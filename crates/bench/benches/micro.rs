@@ -1,0 +1,185 @@
+//! Criterion micro-benchmarks for the advisor's hot paths: containment,
+//! generalization, optimizer costing, physical execution, and the five
+//! configuration searches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xia_advisor::{generalize_pair, Advisor, AdvisorParams, BenefitEvaluator, SearchAlgorithm};
+use xia_bench::TpoxLab;
+use xia_optimizer::{execute_query, Optimizer};
+use xia_workloads::tpox;
+use xia_xpath::{contain, parse_linear_path, parse_statement};
+
+fn bench_containment(c: &mut Criterion) {
+    let general = parse_linear_path("/Security//*").unwrap();
+    let specific = parse_linear_path("/Security/SecInfo/*/Sector").unwrap();
+    let deep_a = parse_linear_path("/a/b/c/d/e/f//g/*/h").unwrap();
+    let deep_b = parse_linear_path("/a/b/c/d/e/f/x/g/y/h").unwrap();
+    c.bench_function("contain/covers_shallow", |b| {
+        b.iter(|| contain::covers(std::hint::black_box(&general), std::hint::black_box(&specific)))
+    });
+    c.bench_function("contain/covers_deep", |b| {
+        b.iter(|| contain::covers(std::hint::black_box(&deep_a), std::hint::black_box(&deep_b)))
+    });
+}
+
+fn bench_generalize(c: &mut Criterion) {
+    let p = parse_linear_path("/Security/Symbol").unwrap();
+    let q = parse_linear_path("/Security/SecInfo/*/Sector").unwrap();
+    let r = parse_linear_path("/a/d/b/d").unwrap();
+    let s = parse_linear_path("/a/b/d").unwrap();
+    c.bench_function("generalize/paper_pair", |b| {
+        b.iter(|| generalize_pair(std::hint::black_box(&p), std::hint::black_box(&q)))
+    });
+    c.bench_function("generalize/reoccurrence_pair", |b| {
+        b.iter(|| generalize_pair(std::hint::black_box(&s), std::hint::black_box(&r)))
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let lab = TpoxLab::quick();
+    let coll = lab.db.collection(tpox::SECURITY_COLL).unwrap();
+    let stats = lab.db.stats_cached(tpox::SECURITY_COLL).unwrap();
+    let catalog = lab.db.catalog(tpox::SECURITY_COLL).unwrap();
+    let opt = Optimizer::new(coll, stats, catalog);
+    let stmt = parse_statement(
+        r#"for $s in SECURITY('SDOC')/Security[Yield > 4.5]
+           where $s/SecInfo/*/Sector = "Energy" return $s/Name"#,
+    )
+    .unwrap();
+    c.bench_function("optimizer/evaluate_mode_scan", |b| {
+        b.iter(|| opt.optimize(std::hint::black_box(&stmt)))
+    });
+    c.bench_function("optimizer/enumerate_mode", |b| {
+        b.iter(|| opt.enumerate_indexes(std::hint::black_box(&stmt)))
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut lab = TpoxLab::quick();
+    let name = tpox::SECURITY_COLL;
+    {
+        let (collection, catalog, _) = lab.db.parts_mut(name).unwrap();
+        catalog.create_physical(
+            collection,
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            xia_xpath::ValueKind::Str,
+        );
+    }
+    lab.db.runstats_all();
+    let (collection, catalog, stats) = lab.db.parts(name).unwrap();
+    let opt = Optimizer::new(collection, stats, catalog);
+    let stmt = parse_statement(
+        r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "SYM00007" return $s"#,
+    )
+    .unwrap();
+    let indexed_plan = opt.optimize(&stmt);
+    let scan_plan = xia_optimizer::Plan {
+        access: xia_optimizer::AccessChoice::Scan,
+        ..indexed_plan.clone()
+    };
+    c.bench_function("exec/index_probe", |b| {
+        b.iter(|| execute_query(&stmt, &indexed_plan, collection, catalog).unwrap())
+    });
+    c.bench_function("exec/full_scan", |b| {
+        b.iter(|| execute_query(&stmt, &scan_plan, collection, catalog).unwrap())
+    });
+}
+
+fn bench_searches(c: &mut Criterion) {
+    let mut lab = TpoxLab::quick();
+    let workload = lab.workload();
+    let params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut lab.db, &workload, &params);
+    let budget = set.config_size(&Advisor::all_index_config(&set));
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for algo in SearchAlgorithm::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
+            b.iter(|| {
+                Advisor::recommend_prepared(&mut lab.db, &workload, &set, budget, algo, &params)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_benefit_cache(c: &mut Criterion) {
+    let mut lab = TpoxLab::quick();
+    let workload = lab.workload();
+    let params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut lab.db, &workload, &params);
+    let all = set.basic_ids();
+    let mut group = c.benchmark_group("benefit");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("cached", |b| {
+        let mut ev = BenefitEvaluator::new(&mut lab.db, &workload, &set);
+        ev.benefit(&all); // warm the cache
+        b.iter(|| ev.benefit(std::hint::black_box(&all)))
+    });
+    group.bench_function("uncached", |b| {
+        let mut ev = BenefitEvaluator::new(&mut lab.db, &workload, &set);
+        ev.use_cache = false;
+        b.iter(|| ev.benefit(std::hint::black_box(&all)))
+    });
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let lab = TpoxLab::quick();
+    let coll = lab.db.collection(tpox::SECURITY_COLL).unwrap();
+    c.bench_function("storage/runstats", |b| {
+        b.iter(|| xia_storage::runstats(std::hint::black_box(coll)))
+    });
+    c.bench_function("storage/build_physical_index", |b| {
+        b.iter(|| {
+            xia_storage::PhysicalIndex::build(
+                std::hint::black_box(coll),
+                &parse_linear_path("/Security/Symbol").unwrap(),
+                xia_xpath::ValueKind::Str,
+            )
+        })
+    });
+    c.bench_function("storage/persist_save", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1 << 20);
+            xia_storage::persist::save_database_to(std::hint::black_box(&lab.db), &mut buf)
+                .unwrap();
+            buf
+        })
+    });
+    let mut buf = Vec::new();
+    xia_storage::persist::save_database_to(&lab.db, &mut buf).unwrap();
+    c.bench_function("storage/persist_load", |b| {
+        b.iter(|| {
+            xia_storage::persist::load_database_from(&mut std::io::Cursor::new(
+                std::hint::black_box(&buf),
+            ))
+            .unwrap()
+        })
+    });
+}
+
+/// Short, CI-friendly measurement windows; raise for precision runs.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets =
+        bench_containment,
+        bench_generalize,
+        bench_optimizer,
+        bench_execution,
+        bench_searches,
+        bench_benefit_cache,
+        bench_storage
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E9 ablations: benefit-evaluation machinery and β sweep.
+
+use xia_bench::experiments::ablation::{self, DEFAULT_BETAS};
+use xia_bench::{write_csv, TpoxLab};
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let rows = ablation::run_switches(&mut lab);
+    let t1 = ablation::switches_table(&rows);
+    print!("{}", t1.render());
+    if let Some(p) = write_csv(&t1, "ablation_switches") {
+        println!("wrote {}", p.display());
+    }
+    println!();
+    let rows = ablation::run_beta(&mut lab, &DEFAULT_BETAS);
+    let t2 = ablation::beta_table(&rows);
+    print!("{}", t2.render());
+    if let Some(p) = write_csv(&t2, "ablation_beta") {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 2: estimated speedup vs disk budget.
+
+use xia_advisor::SearchAlgorithm;
+use xia_bench::experiments::speedup_budget::{self, DEFAULT_FRACTIONS};
+use xia_bench::{write_csv, TpoxLab};
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let result = speedup_budget::run(&mut lab, &DEFAULT_FRACTIONS, &SearchAlgorithm::ALL);
+    let table = speedup_budget::fig2_table(&result);
+    print!("{}", table.render());
+    println!(
+        "All-Index size: {:.2} MiB",
+        result.all_index_size as f64 / (1024.0 * 1024.0)
+    );
+    if let Some(p) = write_csv(&table, "fig2_speedup") {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 3: advisor run time (and optimizer calls) vs budget.
+
+use xia_advisor::SearchAlgorithm;
+use xia_bench::experiments::speedup_budget::{self, DEFAULT_FRACTIONS};
+use xia_bench::{write_csv, TpoxLab};
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let result = speedup_budget::run(&mut lab, &DEFAULT_FRACTIONS, &SearchAlgorithm::ALL);
+    let table = speedup_budget::fig3_table(&result);
+    print!("{}", table.render());
+    if let Some(p) = write_csv(&table, "fig3_advisor_time") {
+        println!("wrote {}", p.display());
+    }
+}

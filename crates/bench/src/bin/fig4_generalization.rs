@@ -1,0 +1,16 @@
+//! Regenerates Fig. 4: estimated speedup on a 20-query test workload as
+//! the training prefix grows.
+
+use xia_bench::experiments::generalization;
+use xia_bench::{write_csv, TpoxLab};
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let sizes = generalization::default_train_sizes();
+    let result = generalization::run(&mut lab, &sizes, 21.0, false);
+    let table = generalization::table(&result);
+    print!("{}", table.render());
+    if let Some(p) = write_csv(&table, "fig4_generalization") {
+        println!("wrote {}", p.display());
+    }
+}

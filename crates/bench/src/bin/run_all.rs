@@ -1,0 +1,78 @@
+//! Runs every experiment in sequence (the EXPERIMENTS.md regeneration
+//! driver). Expect several minutes in release mode.
+
+use xia_advisor::SearchAlgorithm;
+use xia_bench::experiments::*;
+use xia_bench::{write_csv, TpoxLab};
+use xia_workloads::xmark::XmarkConfig;
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+
+    println!("=== Fig. 2 / Fig. 3 ===");
+    let sweep = speedup_budget::run(
+        &mut lab,
+        &speedup_budget::DEFAULT_FRACTIONS,
+        &SearchAlgorithm::ALL,
+    );
+    let t = speedup_budget::fig2_table(&sweep);
+    print!("{}", t.render());
+    write_csv(&t, "fig2_speedup");
+    let t = speedup_budget::fig3_table(&sweep);
+    print!("{}", t.render());
+    write_csv(&t, "fig3_advisor_time");
+
+    println!("\n=== Table III ===");
+    let rows = candidates::run(&mut lab, &candidates::DEFAULT_SIZES);
+    let t = candidates::table(&rows);
+    print!("{}", t.render());
+    write_csv(&t, "table3_candidates");
+
+    println!("\n=== Table IV ===");
+    let rows = generality::run(&mut lab, &generality::DEFAULT_FRACTIONS);
+    let t = generality::table(&rows);
+    print!("{}", t.render());
+    write_csv(&t, "table4_generality");
+
+    println!("\n=== Fig. 4 ===");
+    let sizes = generalization::default_train_sizes();
+    let r = generalization::run(&mut lab, &sizes, 21.0, false);
+    let t = generalization::table(&r);
+    print!("{}", t.render());
+    write_csv(&t, "fig4_generalization");
+
+    println!("\n=== Fig. 5 ===");
+    let r = generalization::run(&mut lab, &sizes, 21.0, true);
+    let t = generalization::table(&r);
+    print!("{}", t.render());
+    write_csv(&t, "fig5_actual");
+
+    println!("\n=== XMark ===");
+    let (points, all_speedup, all_size) =
+        xmark_exp::run(&XmarkConfig::default(), &xmark_exp::DEFAULT_FRACTIONS);
+    let t = xmark_exp::table(&points, all_speedup, all_size);
+    print!("{}", t.render());
+    write_csv(&t, "xmark_experiment");
+
+    println!("\n=== Update cost ===");
+    let rows = update_cost::run(&mut lab, &update_cost::DEFAULT_FREQS);
+    let t = update_cost::table(&rows);
+    print!("{}", t.render());
+    write_csv(&t, "update_cost");
+
+    println!("\n=== Scalability ===");
+    let points = scalability::run(&mut lab, &scalability::DEFAULT_SIZES);
+    let t = scalability::table(&points);
+    print!("{}", t.render());
+    write_csv(&t, "scalability");
+
+    println!("\n=== Ablations ===");
+    let rows = ablation::run_switches(&mut lab);
+    let t = ablation::switches_table(&rows);
+    print!("{}", t.render());
+    write_csv(&t, "ablation_switches");
+    let rows = ablation::run_beta(&mut lab, &ablation::DEFAULT_BETAS);
+    let t = ablation::beta_table(&rows);
+    print!("{}", t.render());
+    write_csv(&t, "ablation_beta");
+}

@@ -1,0 +1,14 @@
+//! Advisor scalability: cost vs workload size.
+
+use xia_bench::experiments::scalability::{self, DEFAULT_SIZES};
+use xia_bench::{write_csv, TpoxLab};
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let points = scalability::run(&mut lab, &DEFAULT_SIZES);
+    let table = scalability::table(&points);
+    print!("{}", table.render());
+    if let Some(p) = write_csv(&table, "scalability") {
+        println!("wrote {}", p.display());
+    }
+}

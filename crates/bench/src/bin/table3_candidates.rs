@@ -1,0 +1,15 @@
+//! Regenerates Table III: basic vs total candidate counts on synthetic
+//! workloads.
+
+use xia_bench::experiments::candidates::{self, DEFAULT_SIZES};
+use xia_bench::{write_csv, TpoxLab};
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let rows = candidates::run(&mut lab, &DEFAULT_SIZES);
+    let table = candidates::table(&rows);
+    print!("{}", table.render());
+    if let Some(p) = write_csv(&table, "table3_candidates") {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table IV: general vs specific index counts per budget.
+
+use xia_bench::experiments::generality::{self, DEFAULT_FRACTIONS};
+use xia_bench::{write_csv, TpoxLab};
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let rows = generality::run(&mut lab, &DEFAULT_FRACTIONS);
+    let table = generality::table(&rows);
+    print!("{}", table.render());
+    if let Some(p) = write_csv(&table, "table4_generality") {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,14 @@
+//! Maintenance-cost experiment: recommendations vs update frequency.
+
+use xia_bench::experiments::update_cost::{self, DEFAULT_FREQS};
+use xia_bench::{write_csv, TpoxLab};
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let rows = update_cost::run(&mut lab, &DEFAULT_FREQS);
+    let table = update_cost::table(&rows);
+    print!("{}", table.render());
+    if let Some(p) = write_csv(&table, "update_cost") {
+        println!("wrote {}", p.display());
+    }
+}

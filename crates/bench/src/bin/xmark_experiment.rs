@@ -1,0 +1,15 @@
+//! XMark secondary-benchmark experiment (tech-report appendix).
+
+use xia_bench::experiments::xmark_exp::{self, DEFAULT_FRACTIONS};
+use xia_bench::write_csv;
+use xia_workloads::xmark::XmarkConfig;
+
+fn main() {
+    let cfg = XmarkConfig::default();
+    let (points, all_speedup, all_size) = xmark_exp::run(&cfg, &DEFAULT_FRACTIONS);
+    let table = xmark_exp::table(&points, all_speedup, all_size);
+    print!("{}", table.render());
+    if let Some(p) = write_csv(&table, "xmark_experiment") {
+        println!("wrote {}", p.display());
+    }
+}

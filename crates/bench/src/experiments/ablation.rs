@@ -1,0 +1,146 @@
+//! E9 ablations: the design choices DESIGN.md calls out.
+//!
+//! * **Benefit-evaluation machinery** (paper Section VI-C): affected sets,
+//!   sub-configuration decomposition, and the evaluation cache each reduce
+//!   Evaluate-mode optimizer calls. Measured by running the same search
+//!   with each switch disabled.
+//! * **β sweep** (Section VI-A): the greedy-heuristics size-expansion
+//!   threshold; the paper found β = 10% to work well.
+
+use crate::lab::TpoxLab;
+use crate::report::{f, Table};
+use std::time::Instant;
+use xia_advisor::{search, Advisor, AdvisorParams, BenefitEvaluator};
+
+/// One ablation configuration result.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Which switches were on: (affected sets, sub-configs, cache).
+    pub switches: (bool, bool, bool),
+    /// Evaluate-mode optimizer calls during the search.
+    pub optimizer_calls: u64,
+    /// Wall time of the search in milliseconds.
+    pub ms: f64,
+    /// Benefit of the final configuration (sanity: should not change).
+    pub benefit: f64,
+}
+
+/// Runs greedy-with-heuristics under each combination of evaluator
+/// switches.
+pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
+    let workload = lab.workload();
+    let params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut lab.db, &workload, &params);
+    let all: Vec<_> = set.ids().collect();
+    let budget = set.config_size(&Advisor::all_index_config(&set));
+
+    let combos = [
+        (true, true, true),
+        (false, true, true),
+        (true, false, true),
+        (true, true, false),
+        (false, false, false),
+    ];
+    let mut rows = Vec::new();
+    for (aff, sub, cache) in combos {
+        let mut ev = BenefitEvaluator::new(&mut lab.db, &workload, &set);
+        ev.use_affected_sets = aff;
+        ev.use_subconfigs = sub;
+        ev.use_cache = cache;
+        let calls0 = ev.eval_stats().optimizer_calls;
+        let start = Instant::now();
+        let config = search::greedy_heuristics(&mut ev, &all, budget, params.beta);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let calls = ev.eval_stats().optimizer_calls - calls0;
+        let benefit = ev.benefit(&config);
+        rows.push(AblationRow {
+            switches: (aff, sub, cache),
+            optimizer_calls: calls,
+            ms,
+            benefit,
+        });
+    }
+    rows
+}
+
+/// Renders the switch-ablation table.
+pub fn switches_table(rows: &[AblationRow]) -> Table {
+    let mut t = Table::new(
+        "Ablation — benefit-evaluation machinery (greedy+heuristics search)",
+        &["affected-sets", "sub-configs", "cache", "optimizer calls", "ms", "benefit"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.switches.0.to_string(),
+            r.switches.1.to_string(),
+            r.switches.2.to_string(),
+            r.optimizer_calls.to_string(),
+            f(r.ms),
+            f(r.benefit),
+        ]);
+    }
+    t
+}
+
+/// One β-sweep result.
+#[derive(Debug, Clone)]
+pub struct BetaRow {
+    /// β value.
+    pub beta: f64,
+    /// Generalized indexes recommended.
+    pub general: usize,
+    /// Specific indexes recommended.
+    pub specific: usize,
+    /// Estimated speedup.
+    pub speedup: f64,
+}
+
+/// Sweeps β for greedy-with-heuristics at a generous budget.
+pub fn run_beta(lab: &mut TpoxLab, betas: &[f64]) -> Vec<BetaRow> {
+    let workload = lab.mixed_workload(9);
+    let base_params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut lab.db, &workload, &base_params);
+    let budget = 4 * set.config_size(&Advisor::all_index_config(&set));
+    let mut rows = Vec::new();
+    for &beta in betas {
+        let params = AdvisorParams {
+            beta,
+            ..AdvisorParams::default()
+        };
+        let rec = Advisor::recommend_prepared(
+            &mut lab.db,
+            &workload,
+            &set,
+            budget,
+            xia_advisor::SearchAlgorithm::GreedyHeuristics,
+            &params,
+        );
+        rows.push(BetaRow {
+            beta,
+            general: rec.general_count,
+            specific: rec.specific_count,
+            speedup: rec.speedup,
+        });
+    }
+    rows
+}
+
+/// Renders the β-sweep table.
+pub fn beta_table(rows: &[BetaRow]) -> Table {
+    let mut t = Table::new(
+        "Ablation — β sweep for the greedy-heuristics size condition",
+        &["beta", "general", "specific", "speedup"],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.2}", r.beta),
+            r.general.to_string(),
+            r.specific.to_string(),
+            f(r.speedup),
+        ]);
+    }
+    t
+}
+
+/// Default β values.
+pub const DEFAULT_BETAS: [f64; 6] = [0.0, 0.05, 0.10, 0.25, 0.50, 1.00];

@@ -1,0 +1,63 @@
+//! Table III: number of basic candidate indexes vs total candidates after
+//! generalization, for synthetic workloads of growing size.
+//!
+//! The paper reports, on random-XPath workloads of 10–50 queries, basic
+//! counts close to the query count and an expansion of "up to 50%" from
+//! generalization.
+
+use crate::lab::TpoxLab;
+use crate::report::Table;
+use xia_advisor::{enumerate_candidates, generalize_set};
+
+/// One measured row.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateCounts {
+    /// Number of synthetic queries.
+    pub queries: usize,
+    /// Basic candidates enumerated by the optimizer.
+    pub basic: usize,
+    /// Total candidates after generalization.
+    pub total: usize,
+}
+
+/// Runs the experiment for the given workload sizes.
+pub fn run(lab: &mut TpoxLab, sizes: &[usize]) -> Vec<CandidateCounts> {
+    let mut out = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let w = lab.synthetic_workload(n, 1000 + i as u64);
+        let mut set = enumerate_candidates(&mut lab.db, &w);
+        let basic = set.len();
+        generalize_set(&mut set);
+        out.push(CandidateCounts {
+            queries: n,
+            basic,
+            total: set.len(),
+        });
+    }
+    out
+}
+
+/// Renders Table III.
+pub fn table(rows: &[CandidateCounts]) -> Table {
+    let mut t = Table::new(
+        "Table III — number of candidate indexes (synthetic workloads)",
+        &["queries", "basic cands.", "total cands.", "expansion %"],
+    );
+    for r in rows {
+        let exp = if r.basic == 0 {
+            0.0
+        } else {
+            100.0 * (r.total - r.basic) as f64 / r.basic as f64
+        };
+        t.row(vec![
+            r.queries.to_string(),
+            r.basic.to_string(),
+            r.total.to_string(),
+            format!("{exp:.0}"),
+        ]);
+    }
+    t
+}
+
+/// The paper's workload sizes.
+pub const DEFAULT_SIZES: [usize; 5] = [10, 20, 30, 40, 50];

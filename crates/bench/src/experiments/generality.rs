@@ -1,0 +1,92 @@
+//! Table IV: number of general (G) and specific (S) indexes recommended
+//! by greedy-with-heuristics, top-down lite, and top-down full, across
+//! disk budgets.
+//!
+//! Shape to reproduce: heuristics recommends (almost) no general indexes;
+//! top-down recommends more general indexes the more budget it has, until
+//! at large budgets the configuration is all generals.
+
+use crate::lab::TpoxLab;
+use crate::report::Table;
+use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm};
+
+/// One cell of Table IV.
+#[derive(Debug, Clone, Copy)]
+pub struct GsCounts {
+    /// Generalized indexes recommended.
+    pub general: usize,
+    /// Specific (basic) indexes recommended.
+    pub specific: usize,
+}
+
+/// One row: a budget plus the three algorithms' counts.
+#[derive(Debug, Clone)]
+pub struct GeneralityRow {
+    /// Budget as a multiple of the All-Index size.
+    pub fraction: f64,
+    /// (algorithm, counts) per algorithm.
+    pub counts: Vec<(SearchAlgorithm, GsCounts)>,
+}
+
+/// The algorithms Table IV compares.
+pub const ALGOS: [SearchAlgorithm; 3] = [
+    SearchAlgorithm::TopDownLite,
+    SearchAlgorithm::TopDownFull,
+    SearchAlgorithm::GreedyHeuristics,
+];
+
+/// Runs the experiment on the mixed (11 TPoX + 9 synthetic) workload.
+pub fn run(lab: &mut TpoxLab, fractions: &[f64]) -> Vec<GeneralityRow> {
+    let workload = lab.mixed_workload(9);
+    let params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut lab.db, &workload, &params);
+    let all_size = set.config_size(&Advisor::all_index_config(&set));
+    let mut rows = Vec::new();
+    for &fraction in fractions {
+        let budget = (all_size as f64 * fraction).round() as u64;
+        let mut counts = Vec::new();
+        for algo in ALGOS {
+            let rec = Advisor::recommend_prepared(
+                &mut lab.db,
+                &workload,
+                &set,
+                budget,
+                algo,
+                &params,
+            );
+            counts.push((
+                algo,
+                GsCounts {
+                    general: rec.general_count,
+                    specific: rec.specific_count,
+                },
+            ));
+        }
+        rows.push(GeneralityRow { fraction, counts });
+    }
+    rows
+}
+
+/// Renders Table IV.
+pub fn table(rows: &[GeneralityRow]) -> Table {
+    let mut headers = vec!["budget (xAllIndex)".to_string()];
+    for algo in ALGOS {
+        headers.push(format!("{} G:S", algo.name()));
+    }
+    let mut t = Table::new(
+        "Table IV — number of general (G) and specific (S) indexes recommended",
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        let mut cells = vec![format!("{:.2}", row.fraction)];
+        for (_, c) in &row.counts {
+            cells.push(format!("G: {}, S: {}", c.general, c.specific));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Budget multiples mirroring the paper's 100 MB–2000 MB sweep against a
+/// 95 MB All-Index size.
+pub const DEFAULT_FRACTIONS: [f64; 4] = [1.05, 5.0, 10.0, 21.0];

@@ -1,0 +1,143 @@
+//! Figures 4 and 5: generalization to unseen queries.
+//!
+//! Train the advisor on the first `n` queries of a 20-query workload (11
+//! TPoX + 9 synthetic), evaluate the recommended configuration on the
+//! full workload. Fig. 4 uses estimated costs; Fig. 5 executes the
+//! workload physically. Shape to reproduce: top-down closes the gap to
+//! All-Index much faster than greedy-with-heuristics, because its general
+//! indexes cover queries the training prefix never showed.
+
+use crate::lab::{actual_execution, estimated_workload_cost, TpoxLab};
+use crate::report::{f, Table};
+use xia_advisor::{Advisor, AdvisorParams, CandidateSet, SearchAlgorithm};
+use xia_workloads::Workload;
+
+/// One training-size measurement.
+#[derive(Debug, Clone)]
+pub struct TrainPoint {
+    /// Training-prefix length.
+    pub train_size: usize,
+    /// Estimated (Fig. 4) or actual (Fig. 5) speedup on the test workload
+    /// per algorithm, aligned with [`GeneralizationResult::algorithms`].
+    pub speedups: Vec<f64>,
+}
+
+/// Results of the train/test experiment.
+#[derive(Debug, Clone)]
+pub struct GeneralizationResult {
+    /// Algorithms measured.
+    pub algorithms: Vec<SearchAlgorithm>,
+    /// All-Index speedup on the test workload (the ceiling).
+    pub all_index: f64,
+    /// Measurements per training size.
+    pub points: Vec<TrainPoint>,
+    /// Whether speedups are actual (executed) rather than estimated.
+    pub actual: bool,
+}
+
+/// The two algorithms the paper plots (top-down full behaves like lite
+/// here, as the paper notes).
+pub const ALGOS: [SearchAlgorithm; 2] = [
+    SearchAlgorithm::TopDownLite,
+    SearchAlgorithm::GreedyHeuristics,
+];
+
+fn test_cost_estimated(
+    lab: &mut TpoxLab,
+    test: &Workload,
+    set: &CandidateSet,
+    config: &[xia_advisor::CandId],
+) -> f64 {
+    estimated_workload_cost(&mut lab.db, test, set, config)
+}
+
+/// Runs the experiment. `train_sizes` are prefix lengths of the 20-query
+/// workload; `budget_multiple` scales the All-Index size (the paper's
+/// 2 GB budget is ~21× its 95 MB All-Index size).
+pub fn run(
+    lab: &mut TpoxLab,
+    train_sizes: &[usize],
+    budget_multiple: f64,
+    actual: bool,
+) -> GeneralizationResult {
+    let test = lab.mixed_workload(9);
+    let params = AdvisorParams::default();
+
+    // Ceiling: All-Index over the full test workload.
+    let test_set = Advisor::prepare(&mut lab.db, &test, &params);
+    let test_all = Advisor::all_index_config(&test_set);
+    let all_size = test_set.config_size(&test_all);
+    let budget = (all_size as f64 * budget_multiple).round() as u64;
+
+    let (baseline, all_index) = if actual {
+        let base = actual_execution(&mut lab.db, &test, &test_set, &[]);
+        let allx = actual_execution(&mut lab.db, &test, &test_set, &test_all);
+        (
+            base.elapsed.as_secs_f64(),
+            base.elapsed.as_secs_f64() / allx.elapsed.as_secs_f64().max(1e-9),
+        )
+    } else {
+        let base = test_cost_estimated(lab, &test, &test_set, &[]);
+        let allx = test_cost_estimated(lab, &test, &test_set, &test_all);
+        (base, base / allx.max(1e-9))
+    };
+
+    let mut points = Vec::new();
+    for &n in train_sizes {
+        let train = test.prefix(n.max(1));
+        let set = Advisor::prepare(&mut lab.db, &train, &params);
+        let mut speedups = Vec::new();
+        for algo in ALGOS {
+            let rec =
+                Advisor::recommend_prepared(&mut lab.db, &train, &set, budget, algo, &params);
+            let speedup = if actual {
+                let run = actual_execution(&mut lab.db, &test, &set, &rec.config);
+                baseline / run.elapsed.as_secs_f64().max(1e-9)
+            } else {
+                let cost = test_cost_estimated(lab, &test, &set, &rec.config);
+                baseline / cost.max(1e-9)
+            };
+            speedups.push(speedup);
+        }
+        points.push(TrainPoint {
+            train_size: n,
+            speedups,
+        });
+    }
+    GeneralizationResult {
+        algorithms: ALGOS.to_vec(),
+        all_index,
+        points,
+        actual,
+    }
+}
+
+/// Renders the figure as a table (Fig. 4 or Fig. 5 depending on
+/// `result.actual`).
+pub fn table(r: &GeneralizationResult) -> Table {
+    let title = if r.actual {
+        "Fig. 5 — actual speedup on test workload vs training size"
+    } else {
+        "Fig. 4 — estimated speedup on test workload vs training size"
+    };
+    let mut headers = vec!["train queries".to_string()];
+    for a in &r.algorithms {
+        headers.push(a.name().to_string());
+    }
+    headers.push("all-index".to_string());
+    let mut t = Table::new(title, &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for p in &r.points {
+        let mut row = vec![p.train_size.to_string()];
+        for s in &p.speedups {
+            row.push(f(*s));
+        }
+        row.push(f(r.all_index));
+        t.row(row);
+    }
+    t
+}
+
+/// Default training sizes (the paper sweeps 1..20).
+pub fn default_train_sizes() -> Vec<usize> {
+    (1..=20).collect()
+}

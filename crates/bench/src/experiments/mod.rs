@@ -1,0 +1,10 @@
+//! Experiment implementations, one module per paper artifact.
+
+pub mod ablation;
+pub mod candidates;
+pub mod generality;
+pub mod generalization;
+pub mod scalability;
+pub mod speedup_budget;
+pub mod update_cost;
+pub mod xmark_exp;

@@ -1,0 +1,73 @@
+//! Advisor scalability: run time and optimizer calls as the workload
+//! grows (companion to Fig. 3, which sweeps budget at fixed workload).
+//!
+//! The claim under test is the paper's "during its search, the advisor
+//! makes a minimal number of optimizer calls, making it very efficient":
+//! with affected sets and the sub-configuration cache, optimizer calls
+//! grow roughly linearly in the number of *distinct* statements, not with
+//! the exponential configuration space.
+
+use crate::lab::TpoxLab;
+use crate::report::{f, Table};
+use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm};
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Number of workload queries.
+    pub queries: usize,
+    /// Candidates after generalization.
+    pub candidates: usize,
+    /// Advisor wall time (ms), search phase only.
+    pub ms: f64,
+    /// Evaluate-mode optimizer calls.
+    pub optimizer_calls: u64,
+}
+
+/// Runs greedy-with-heuristics at the All-Index budget for growing
+/// synthetic workloads.
+pub fn run(lab: &mut TpoxLab, sizes: &[usize]) -> Vec<ScalePoint> {
+    let params = AdvisorParams::default();
+    let mut out = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let w = lab.synthetic_workload(n, 7_000 + i as u64);
+        let set = Advisor::prepare(&mut lab.db, &w, &params);
+        let budget = set.config_size(&Advisor::all_index_config(&set));
+        let rec = Advisor::recommend_prepared(
+            &mut lab.db,
+            &w,
+            &set,
+            budget,
+            SearchAlgorithm::GreedyHeuristics,
+            &params,
+        );
+        out.push(ScalePoint {
+            queries: n,
+            candidates: set.len(),
+            ms: rec.advisor_time.as_secs_f64() * 1e3,
+            optimizer_calls: rec.eval_stats.optimizer_calls,
+        });
+    }
+    out
+}
+
+/// Renders the table.
+pub fn table(points: &[ScalePoint]) -> Table {
+    let mut t = Table::new(
+        "Scalability — advisor cost vs workload size (greedy+heuristics)",
+        &["queries", "candidates", "ms", "optimizer calls", "calls/query"],
+    );
+    for p in points {
+        t.row(vec![
+            p.queries.to_string(),
+            p.candidates.to_string(),
+            f(p.ms),
+            p.optimizer_calls.to_string(),
+            f(p.optimizer_calls as f64 / p.queries.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+/// Default workload sizes.
+pub const DEFAULT_SIZES: [usize; 5] = [10, 20, 40, 80, 160];

@@ -1,0 +1,150 @@
+//! Figures 2 and 3: estimated speedup and advisor run time as functions
+//! of the disk-space budget, for all five search algorithms plus the
+//! All-Index configuration.
+//!
+//! The paper sweeps absolute budgets against a 95 MB All-Index size on
+//! 1 GB of TPoX data; we sweep budgets as *fractions of the All-Index
+//! size*, which preserves the figure's shape independent of scale.
+
+use crate::lab::TpoxLab;
+use crate::report::{f, mib, Table};
+use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm};
+use xia_workloads::Workload;
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct BudgetPoint {
+    /// Budget in bytes.
+    pub budget: u64,
+    /// Estimated workload speedup of the recommended configuration.
+    pub speedup: f64,
+    /// Advisor wall time in milliseconds.
+    pub advisor_ms: f64,
+    /// Evaluate-mode optimizer calls made.
+    pub optimizer_calls: u64,
+    /// Recommended configuration size.
+    pub size: u64,
+    /// Number of recommended indexes.
+    pub indexes: usize,
+}
+
+/// Results of the budget sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Budget fractions of the All-Index size.
+    pub fractions: Vec<f64>,
+    /// All-Index configuration size in bytes.
+    pub all_index_size: u64,
+    /// All-Index estimated speedup (the ceiling line of Fig. 2).
+    pub all_index_speedup: f64,
+    /// Per-algorithm measurements, aligned with `fractions`.
+    pub series: Vec<(SearchAlgorithm, Vec<BudgetPoint>)>,
+}
+
+/// Runs the sweep over the 11-query TPoX workload.
+pub fn run(lab: &mut TpoxLab, fractions: &[f64], algorithms: &[SearchAlgorithm]) -> SweepResult {
+    let workload = lab.workload();
+    run_workload(lab, &workload, fractions, algorithms)
+}
+
+/// Runs the sweep over an arbitrary workload.
+pub fn run_workload(
+    lab: &mut TpoxLab,
+    workload: &Workload,
+    fractions: &[f64],
+    algorithms: &[SearchAlgorithm],
+) -> SweepResult {
+    let params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut lab.db, workload, &params);
+    let all = Advisor::all_index_config(&set);
+    let all_index_size = set.config_size(&all);
+
+    // All-Index speedup: evaluate the full basic configuration.
+    let all_rec = Advisor::recommend_prepared(
+        &mut lab.db,
+        workload,
+        &set,
+        all_index_size,
+        SearchAlgorithm::Greedy,
+        &params,
+    );
+    // `Greedy` at exactly All-Index budget may differ from All-Index; use
+    // the evaluator directly for the ceiling.
+    let mut ev = xia_advisor::BenefitEvaluator::new(&mut lab.db, workload, &set);
+    let all_index_speedup = ev.speedup(&all);
+    drop(ev);
+    let _ = all_rec;
+
+    let mut series = Vec::new();
+    for &algo in algorithms {
+        let mut points = Vec::new();
+        for &frac in fractions {
+            let budget = (all_index_size as f64 * frac).round() as u64;
+            let rec =
+                Advisor::recommend_prepared(&mut lab.db, workload, &set, budget, algo, &params);
+            points.push(BudgetPoint {
+                budget,
+                speedup: rec.speedup,
+                advisor_ms: rec.advisor_time.as_secs_f64() * 1e3,
+                optimizer_calls: rec.eval_stats.optimizer_calls,
+                size: rec.total_size,
+                indexes: rec.config.len(),
+            });
+        }
+        series.push((algo, points));
+    }
+    SweepResult {
+        fractions: fractions.to_vec(),
+        all_index_size,
+        all_index_speedup,
+        series,
+    }
+}
+
+/// Fig. 2: estimated speedup vs budget.
+pub fn fig2_table(r: &SweepResult) -> Table {
+    let mut headers = vec!["budget (xAllIndex)".to_string(), "budget (MiB)".to_string()];
+    for (algo, _) in &r.series {
+        headers.push(algo.name().to_string());
+    }
+    headers.push("all-index".to_string());
+    let mut t = Table::new(
+        "Fig. 2 — estimated workload speedup vs disk budget",
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for (i, &frac) in r.fractions.iter().enumerate() {
+        let budget = (r.all_index_size as f64 * frac).round() as u64;
+        let mut row = vec![format!("{frac:.2}"), mib(budget)];
+        for (_, points) in &r.series {
+            row.push(f(points[i].speedup));
+        }
+        row.push(f(r.all_index_speedup));
+        t.row(row);
+    }
+    t
+}
+
+/// Fig. 3: advisor run time (and optimizer calls) vs budget.
+pub fn fig3_table(r: &SweepResult) -> Table {
+    let mut headers = vec!["budget (xAllIndex)".to_string()];
+    for (algo, _) in &r.series {
+        headers.push(format!("{} ms", algo.name()));
+        headers.push(format!("{} calls", algo.name()));
+    }
+    let mut t = Table::new(
+        "Fig. 3 — advisor run time vs disk budget",
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for (i, &frac) in r.fractions.iter().enumerate() {
+        let mut row = vec![format!("{frac:.2}")];
+        for (_, points) in &r.series {
+            row.push(f(points[i].advisor_ms));
+            row.push(points[i].optimizer_calls.to_string());
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Default budget fractions of the All-Index size used by the binaries.
+pub const DEFAULT_FRACTIONS: [f64; 8] = [0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00, 1.25];

@@ -1,0 +1,87 @@
+//! Maintenance-cost experiment (the paper demonstrates in its tech report
+//! that the advisor "accurately takes into account the cost of index
+//! maintenance when making its recommendations").
+//!
+//! The 11-query TPoX workload is combined with the update mix at growing
+//! frequencies. As updates dominate, the benefit of each index is eroded
+//! by its `mc(x, s)` maintenance charge and the advisor recommends fewer
+//! and smaller indexes.
+
+use crate::lab::TpoxLab;
+use crate::report::{f, Table};
+use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm};
+use xia_workloads::tpox;
+use xia_workloads::Workload;
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct UpdateCostRow {
+    /// Frequency multiplier applied to the update statements.
+    pub update_freq: f64,
+    /// Indexes recommended.
+    pub indexes: usize,
+    /// Total configuration size.
+    pub size: u64,
+    /// Estimated benefit (can approach zero as updates dominate).
+    pub benefit: f64,
+    /// Estimated speedup on the mixed workload.
+    pub speedup: f64,
+}
+
+/// Runs the sweep at a fixed (All-Index-sized) budget.
+pub fn run(lab: &mut TpoxLab, update_freqs: &[f64]) -> Vec<UpdateCostRow> {
+    let params = AdvisorParams::default();
+    let query_texts = tpox::queries(&lab.cfg);
+    let update_texts = tpox::update_mix(&lab.cfg);
+    let mut rows = Vec::new();
+    for &freq in update_freqs {
+        let mut w = Workload::new();
+        for q in &query_texts {
+            w.push(q).expect("query parses");
+        }
+        if freq > 0.0 {
+            for u in &update_texts {
+                w.push_with_freq(u, freq).expect("update parses");
+            }
+        }
+        let set = Advisor::prepare(&mut lab.db, &w, &params);
+        let budget = set.config_size(&Advisor::all_index_config(&set));
+        let rec = Advisor::recommend_prepared(
+            &mut lab.db,
+            &w,
+            &set,
+            budget,
+            SearchAlgorithm::GreedyHeuristics,
+            &params,
+        );
+        rows.push(UpdateCostRow {
+            update_freq: freq,
+            indexes: rec.indexes.len(),
+            size: rec.total_size,
+            benefit: rec.est_benefit,
+            speedup: rec.speedup,
+        });
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn table(rows: &[UpdateCostRow]) -> Table {
+    let mut t = Table::new(
+        "Maintenance cost — recommendations vs update frequency (greedy+heuristics)",
+        &["update freq", "indexes", "size (B)", "benefit", "speedup"],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.0}", r.update_freq),
+            r.indexes.to_string(),
+            r.size.to_string(),
+            f(r.benefit),
+            f(r.speedup),
+        ]);
+    }
+    t
+}
+
+/// Default update-frequency sweep.
+pub const DEFAULT_FREQS: [f64; 5] = [0.0, 1.0, 10.0, 100.0, 1000.0];

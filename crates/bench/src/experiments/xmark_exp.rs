@@ -1,0 +1,82 @@
+//! XMark experiment (the paper's secondary benchmark, reported in its
+//! tech report): budget sweep over the XMark-like workload.
+
+use crate::report::{f, mib, Table};
+use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm};
+use xia_storage::Database;
+use xia_workloads::xmark::{self, XmarkConfig};
+use xia_workloads::Workload;
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct XmarkPoint {
+    /// Budget fraction of All-Index size.
+    pub fraction: f64,
+    /// Speedups per algorithm, aligned with `ALGOS`.
+    pub speedups: Vec<f64>,
+}
+
+/// Algorithms compared.
+pub const ALGOS: [SearchAlgorithm; 3] = [
+    SearchAlgorithm::Greedy,
+    SearchAlgorithm::GreedyHeuristics,
+    SearchAlgorithm::TopDownFull,
+];
+
+/// Runs the sweep; returns the points plus the All-Index speedup and size.
+pub fn run(cfg: &XmarkConfig, fractions: &[f64]) -> (Vec<XmarkPoint>, f64, u64) {
+    let mut db = Database::new();
+    xmark::generate(&mut db, cfg);
+    let w = Workload::from_texts(xmark::queries(cfg).iter().map(|s| s.as_str()))
+        .expect("xmark queries parse");
+    let params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut db, &w, &params);
+    let all = Advisor::all_index_config(&set);
+    let all_size = set.config_size(&all);
+    let mut ev = xia_advisor::BenefitEvaluator::new(&mut db, &w, &set);
+    let all_speedup = ev.speedup(&all);
+    drop(ev);
+
+    let mut out = Vec::new();
+    for &fraction in fractions {
+        let budget = (all_size as f64 * fraction).round() as u64;
+        let mut speedups = Vec::new();
+        for algo in ALGOS {
+            let rec = Advisor::recommend_prepared(&mut db, &w, &set, budget, algo, &params);
+            speedups.push(rec.speedup);
+        }
+        out.push(XmarkPoint {
+            fraction,
+            speedups,
+        });
+    }
+    (out, all_speedup, all_size)
+}
+
+/// Renders the table.
+pub fn table(points: &[XmarkPoint], all_speedup: f64, all_size: u64) -> Table {
+    let mut headers = vec!["budget (xAllIndex)".to_string()];
+    for a in ALGOS {
+        headers.push(a.name().to_string());
+    }
+    headers.push("all-index".to_string());
+    let mut t = Table::new(
+        &format!(
+            "XMark — estimated speedup vs budget (All-Index = {} MiB)",
+            mib(all_size)
+        ),
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for p in points {
+        let mut row = vec![format!("{:.2}", p.fraction)];
+        for s in &p.speedups {
+            row.push(f(*s));
+        }
+        row.push(f(all_speedup));
+        t.row(row);
+    }
+    t
+}
+
+/// Default fractions.
+pub const DEFAULT_FRACTIONS: [f64; 5] = [0.1, 0.25, 0.5, 1.0, 2.0];

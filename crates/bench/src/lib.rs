@@ -1,0 +1,24 @@
+//! # xia-bench
+//!
+//! Experiment harness for the XML Index Advisor reproduction. Every table
+//! and figure of the paper's evaluation section has a module here and a
+//! binary in `src/bin/` that regenerates it (see DESIGN.md §4 for the
+//! experiment index):
+//!
+//! | paper artifact | module | binary |
+//! |---|---|---|
+//! | Fig. 2 (estimated speedup vs budget)  | [`experiments::speedup_budget`] | `fig2_speedup` |
+//! | Fig. 3 (advisor run time vs budget)   | [`experiments::speedup_budget`] | `fig3_advisor_time` |
+//! | Table III (candidate counts)          | [`experiments::candidates`] | `table3_candidates` |
+//! | Table IV (general vs specific counts) | [`experiments::generality`] | `table4_generality` |
+//! | Fig. 4 (generalization, estimated)    | [`experiments::generalization`] | `fig4_generalization` |
+//! | Fig. 5 (generalization, actual)       | [`experiments::generalization`] | `fig5_actual` |
+//! | XMark (tech-report appendix)          | [`experiments::xmark_exp`] | `xmark_experiment` |
+//! | E9 ablations (cache/affected/β)       | [`experiments::ablation`] | `ablation_benefit_cache` |
+
+pub mod experiments;
+pub mod lab;
+pub mod report;
+
+pub use lab::TpoxLab;
+pub use report::{write_csv, Table};

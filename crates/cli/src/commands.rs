@@ -1,0 +1,611 @@
+//! Command implementations. Each returns the text to print.
+
+use crate::workload_file::parse_workload;
+use crate::CliError;
+use std::fmt::Write as _;
+use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm};
+use xia_optimizer::{execute_query, Optimizer};
+use xia_storage::{load_database, save_database, Database};
+use xia_xpath::parse_statement;
+
+fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, CliError> {
+    args.get(i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::new(format!("missing {what}\n\n{}", crate::USAGE)))
+}
+
+fn open(db_path: Option<&str>) -> Result<(String, Database), CliError> {
+    let path = db_path.ok_or_else(|| CliError::new("missing <db> argument"))?;
+    let db = load_database(path).map_err(|e| CliError::new(format!("cannot open {path}: {e}")))?;
+    Ok((path.to_string(), db))
+}
+
+/// `xia init <db>`
+pub fn init(db_path: Option<&str>) -> Result<String, CliError> {
+    let path = db_path.ok_or_else(|| CliError::new("missing <db> argument"))?;
+    if std::path::Path::new(path).exists() {
+        return Err(CliError::new(format!("{path} already exists")));
+    }
+    let db = Database::new();
+    save_database(&db, path)?;
+    Ok(format!("created empty database {path}\n"))
+}
+
+/// `xia load <db> <collection> <file...>`
+pub fn load(args: &[String]) -> Result<String, CliError> {
+    let (path, mut db) = open(args.first().map(|s| s.as_str()))?;
+    let collection = require(args, 1, "<collection>")?.to_string();
+    let files = &args[2..];
+    if files.is_empty() {
+        return Err(CliError::new("no XML files given"));
+    }
+    let mut loaded = 0usize;
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError::new(format!("cannot read {file}: {e}")))?;
+        let coll = db.create_collection(&collection);
+        coll.insert_xml(&text)
+            .map_err(|e| CliError::new(format!("{file}: {e}")))?;
+        loaded += 1;
+    }
+    db.runstats_all();
+    save_database(&db, &path)?;
+    Ok(format!(
+        "loaded {loaded} document(s) into {collection}; {path} saved\n"
+    ))
+}
+
+/// `xia stats <db>`
+pub fn stats(db_path: Option<&str>) -> Result<String, CliError> {
+    let (_, mut db) = open(db_path)?;
+    db.runstats_all();
+    let mut out = String::new();
+    for name in db.collection_names().iter().map(|s| s.to_string()) {
+        let coll = db.collection(&name).expect("listed collection");
+        let stats = db.stats_cached(&name).expect("stats refreshed");
+        let _ = writeln!(
+            out,
+            "collection {name}: {} docs, {} nodes, {} distinct paths, {:.1} KiB of values",
+            stats.doc_count,
+            stats.node_count,
+            coll.vocab().paths.len(),
+            stats.value_bytes as f64 / 1024.0
+        );
+        // Top paths by node count.
+        let mut paths: Vec<_> = coll.vocab().paths.iter().map(|(id, _)| id).collect();
+        paths.sort_by_key(|&id| std::cmp::Reverse(stats.path(id).node_count));
+        for &id in paths.iter().take(8) {
+            let ps = stats.path(id);
+            let _ = writeln!(
+                out,
+                "  {:<50} nodes={:<7} distinct={:<6}",
+                coll.vocab().path_string(id),
+                ps.node_count,
+                ps.distinct_values
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("database is empty\n");
+    }
+    Ok(out)
+}
+
+/// `xia explain <db> <statement>`
+pub fn explain(args: &[String]) -> Result<String, CliError> {
+    let (_, mut db) = open(args.first().map(|s| s.as_str()))?;
+    let text = require(args, 1, "<statement>")?;
+    let stmt = parse_statement(text).map_err(CliError::new)?;
+    db.runstats_all();
+    let coll = stmt.collection().to_string();
+    let (collection, catalog, stats) = db
+        .parts(&coll)
+        .ok_or_else(|| CliError::new(format!("no collection named {coll}")))?;
+    let optimizer = Optimizer::new(collection, stats, catalog);
+    let plan = optimizer.optimize(&stmt);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", xia_optimizer::plan::render_plan(&plan, catalog));
+    let candidates = optimizer.enumerate_indexes(&stmt);
+    if !candidates.is_empty() {
+        let _ = writeln!(out, "indexable patterns:");
+        for c in candidates {
+            let _ = writeln!(out, "  {} [{}]", c.pattern, c.kind);
+        }
+    }
+    Ok(out)
+}
+
+/// `xia exec <db> <statement>`
+pub fn exec(args: &[String]) -> Result<String, CliError> {
+    let (path, mut db) = open(args.first().map(|s| s.as_str()))?;
+    let text = require(args, 1, "<statement>")?;
+    let stmt = parse_statement(text).map_err(CliError::new)?;
+    db.runstats_all();
+    let coll = stmt.collection().to_string();
+    let mut out = String::new();
+    if stmt.is_modification() {
+        match &stmt {
+            xia_xpath::Statement::Insert { xml, .. } => {
+                let xml = xml.clone();
+                db.create_collection(&coll);
+                let (collection, catalog) = db
+                    .collection_and_catalog_mut(&coll)
+                    .expect("collection just created");
+                xia_optimizer::exec::apply_insert(&xml, collection, catalog)
+                    .map_err(CliError::new)?;
+                let _ = writeln!(out, "1 document inserted");
+            }
+            xia_xpath::Statement::Delete { .. } => {
+                let (collection, catalog) = db
+                    .collection_and_catalog_mut(&coll)
+                    .ok_or_else(|| CliError::new(format!("no collection named {coll}")))?;
+                let victims = xia_optimizer::exec::apply_delete(&stmt, collection, catalog)
+                    .map_err(CliError::new)?;
+                let _ = writeln!(out, "{} document(s) deleted", victims.len());
+            }
+            xia_xpath::Statement::Update { .. } => {
+                let (collection, catalog) = db
+                    .collection_and_catalog_mut(&coll)
+                    .ok_or_else(|| CliError::new(format!("no collection named {coll}")))?;
+                let updated = xia_optimizer::exec::apply_update(&stmt, collection, catalog)
+                    .map_err(CliError::new)?;
+                let _ = writeln!(out, "{updated} node(s) updated");
+            }
+            xia_xpath::Statement::Query(_) => unreachable!("is_modification checked"),
+        }
+        db.runstats_all();
+        save_database(&db, &path)?;
+        return Ok(out);
+    }
+    let (collection, catalog, stats) = db
+        .parts(&coll)
+        .ok_or_else(|| CliError::new(format!("no collection named {coll}")))?;
+    let optimizer = Optimizer::new(collection, stats, catalog);
+    let plan = optimizer.optimize(&stmt);
+    let result = execute_query(&stmt, &plan, collection, catalog).map_err(CliError::new)?;
+    let _ = writeln!(
+        out,
+        "{} document(s) matched, {} item(s); plan: {plan}",
+        result.docs_matched, result.items
+    );
+    // Show a result sample.
+    let items =
+        xia_optimizer::execute_query_items(&stmt, &plan, collection, catalog).map_err(CliError::new)?;
+    const SAMPLE: usize = 5;
+    for item in items.iter().take(SAMPLE) {
+        let _ = writeln!(out, "  {item}");
+    }
+    if items.len() > SAMPLE {
+        let _ = writeln!(out, "  ... {} more", items.len() - SAMPLE);
+    }
+    Ok(out)
+}
+
+fn parse_algo(s: &str) -> Result<SearchAlgorithm, CliError> {
+    SearchAlgorithm::ALL
+        .into_iter()
+        .find(|a| a.name() == s)
+        .ok_or_else(|| {
+            CliError::new(format!(
+                "unknown algorithm `{s}` (expected one of: greedy, heuristics, topdown-lite, topdown-full, dp)"
+            ))
+        })
+}
+
+/// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]`
+pub fn recommend(args: &[String]) -> Result<String, CliError> {
+    let (path, mut db) = open(args.first().map(|s| s.as_str()))?;
+    let mut workload_file = None;
+    let mut budget: Option<u64> = None;
+    let mut algo = SearchAlgorithm::TopDownFull;
+    let mut apply = false;
+    let mut report = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-w" | "--workload" => {
+                workload_file = Some(require(args, i + 1, "workload file after -w")?.to_string());
+                i += 2;
+            }
+            "-b" | "--budget" => {
+                let v = require(args, i + 1, "budget after -b")?;
+                budget = Some(
+                    parse_size(v).ok_or_else(|| CliError::new(format!("bad budget `{v}`")))?,
+                );
+                i += 2;
+            }
+            "-a" | "--algo" => {
+                algo = parse_algo(require(args, i + 1, "algorithm after -a")?)?;
+                i += 2;
+            }
+            "--apply" => {
+                apply = true;
+                i += 1;
+            }
+            "--report" => {
+                report = true;
+                i += 1;
+            }
+            other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+        }
+    }
+    let workload_file =
+        workload_file.ok_or_else(|| CliError::new("missing -w <workload-file>"))?;
+    let budget = budget.ok_or_else(|| CliError::new("missing -b <budget>"))?;
+    let text = std::fs::read_to_string(&workload_file)
+        .map_err(|e| CliError::new(format!("cannot read {workload_file}: {e}")))?;
+    let workload = parse_workload(&text).map_err(CliError::new)?;
+    if workload.is_empty() {
+        return Err(CliError::new("workload file contains no statements"));
+    }
+
+    let params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut db, &workload, &params);
+    let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "workload: {} statements; candidates: {} basic, {} total",
+        workload.len(),
+        rec.candidates_basic,
+        rec.candidates_total
+    );
+    let _ = writeln!(
+        out,
+        "algorithm {}: estimated speedup {:.2}x, {} indexes ({} general, {} specific), {} bytes, {} optimizer calls",
+        algo.name(),
+        rec.speedup,
+        rec.indexes.len(),
+        rec.general_count,
+        rec.specific_count,
+        rec.total_size,
+        rec.eval_stats.optimizer_calls
+    );
+    for ix in &rec.indexes {
+        let _ = writeln!(
+            out,
+            "CREATE INDEX ON {} PATTERN '{}' AS {};",
+            ix.collection, ix.pattern, ix.kind
+        );
+    }
+    if report {
+        let full = xia_advisor::TuningReport::build(&mut db, &workload, &set, &rec);
+        let _ = writeln!(out, "
+{}", full.render());
+    }
+    if apply {
+        let n = Advisor::materialize(&mut db, &set, &rec.config);
+        db.runstats_all();
+        save_database(&db, &path)?;
+        let _ = writeln!(out, "applied: {n} physical index(es) built; {path} saved");
+    }
+    Ok(out)
+}
+
+/// `xia whatif <db> -w <file> -i <collection>:<pattern>:<string|numerical> ...`
+pub fn whatif(args: &[String]) -> Result<String, CliError> {
+    let (_, mut db) = open(args.first().map(|s| s.as_str()))?;
+    let mut workload_file = None;
+    let mut specs: Vec<(String, xia_xpath::LinearPath, xia_xpath::ValueKind)> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-w" | "--workload" => {
+                workload_file = Some(require(args, i + 1, "workload file after -w")?.to_string());
+                i += 2;
+            }
+            "-i" | "--index" => {
+                let spec = require(args, i + 1, "index spec after -i")?;
+                specs.push(parse_index_spec(spec)?);
+                i += 2;
+            }
+            other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+        }
+    }
+    let workload_file =
+        workload_file.ok_or_else(|| CliError::new("missing -w <workload-file>"))?;
+    if specs.is_empty() {
+        return Err(CliError::new("missing -i <collection>:<pattern>:<kind>"));
+    }
+    let text = std::fs::read_to_string(&workload_file)
+        .map_err(|e| CliError::new(format!("cannot read {workload_file}: {e}")))?;
+    let workload = parse_workload(&text).map_err(CliError::new)?;
+    let rec = Advisor::what_if(&mut db, &workload, &specs, &AdvisorParams::default());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "what-if configuration: estimated speedup {:.2}x, benefit {:.1}, {} bytes",
+        rec.speedup, rec.est_benefit, rec.total_size
+    );
+    for ix in &rec.indexes {
+        let _ = writeln!(out, "  {} '{}' [{}] {} bytes", ix.collection, ix.pattern, ix.kind, ix.size);
+    }
+    Ok(out)
+}
+
+/// Parses `collection:pattern:kind`, e.g. `SDOC:/Security/Symbol:string`.
+pub fn parse_index_spec(
+    spec: &str,
+) -> Result<(String, xia_xpath::LinearPath, xia_xpath::ValueKind), CliError> {
+    let (coll, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError::new(format!("bad index spec `{spec}` (collection:pattern:kind)")))?;
+    let (pattern, kind) = rest
+        .rsplit_once(':')
+        .ok_or_else(|| CliError::new(format!("bad index spec `{spec}` (collection:pattern:kind)")))?;
+    let kind = match kind {
+        "string" | "str" => xia_xpath::ValueKind::Str,
+        "numerical" | "num" | "double" => xia_xpath::ValueKind::Num,
+        other => return Err(CliError::new(format!("bad index kind `{other}`"))),
+    };
+    let pattern = xia_xpath::parse_linear_path(pattern).map_err(CliError::new)?;
+    Ok((coll.to_string(), pattern, kind))
+}
+
+/// `xia indexes <db>`
+pub fn indexes(db_path: Option<&str>) -> Result<String, CliError> {
+    let (_, db) = open(db_path)?;
+    let mut out = String::new();
+    for name in db.collection_names() {
+        let catalog = db.catalog(name).expect("listed collection");
+        for def in catalog.iter().filter(|d| !d.is_virtual()) {
+            let _ = writeln!(
+                out,
+                "{name}: {} [{}] entries={} size={}B levels={}",
+                def.pattern,
+                def.kind,
+                def.stats.entries,
+                def.stats.size_bytes,
+                def.stats.levels
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no physical indexes\n");
+    }
+    Ok(out)
+}
+
+/// Parses sizes like `1048576`, `64k`, `10m`, `2g`.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim().to_ascii_lowercase();
+    let (num, mult) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(prefix) => {
+            let mult = match s.as_bytes()[s.len() - 1] {
+                b'k' => 1024,
+                b'm' => 1024 * 1024,
+                b'g' => 1024 * 1024 * 1024,
+                _ => unreachable!("strip_suffix matched"),
+            };
+            (prefix, mult)
+        }
+        None => (s.as_str(), 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xia_cli_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_size_suffixes() {
+        assert_eq!(parse_size("1024"), Some(1024));
+        assert_eq!(parse_size("64k"), Some(64 * 1024));
+        assert_eq!(parse_size("10M"), Some(10 * 1024 * 1024));
+        assert_eq!(parse_size("2g"), Some(2 * 1024 * 1024 * 1024));
+        assert_eq!(parse_size("x"), None);
+    }
+
+    #[test]
+    fn init_load_stats_explain_exec_recommend_round_trip() {
+        let dir = tmpdir();
+        let db = dir.join("t.xiadb").to_string_lossy().to_string();
+
+        // init
+        let out = init(Some(&db)).unwrap();
+        assert!(out.contains("created"));
+        assert!(init(Some(&db)).is_err(), "init must refuse to overwrite");
+
+        // load documents — enough data, with realistic bulk, that an index
+        // pays off.
+        let filler = "settlement clearing custodian tranche coupon ".repeat(40);
+        let mut file_args = vec![db.clone(), "SDOC".to_string()];
+        for i in 0..60 {
+            let f = dir.join(format!("doc{i}.xml"));
+            std::fs::write(
+                &f,
+                format!(
+                    "<Security><Symbol>{}</Symbol><Yield>{}.5</Yield>\
+                     <Prospectus>{filler}</Prospectus></Security>",
+                    if i == 0 { "IBM".to_string() } else { format!("S{i}") },
+                    i % 9
+                ),
+            )
+            .unwrap();
+            file_args.push(f.to_string_lossy().to_string());
+        }
+        let out = load(&file_args).unwrap();
+        assert!(out.contains("loaded 60"));
+
+        // stats
+        let out = stats(Some(&db)).unwrap();
+        assert!(out.contains("collection SDOC: 60 docs"), "{out}");
+        assert!(out.contains("/Security/Symbol"));
+
+        // explain
+        let out = explain(&s(&[
+            &db,
+            r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "IBM" return $s"#,
+        ]))
+        .unwrap();
+        assert!(out.contains("SCAN"), "{out}");
+        assert!(out.contains("/Security/Symbol"), "{out}");
+
+        // exec query
+        let out = exec(&s(&[
+            &db,
+            r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "IBM" return $s"#,
+        ]))
+        .unwrap();
+        assert!(out.contains("1 document(s) matched"), "{out}");
+
+        // exec insert persists
+        let out = exec(&s(&[
+            &db,
+            "insert into SDOC <Security><Symbol>GE</Symbol></Security>",
+        ]))
+        .unwrap();
+        assert!(out.contains("inserted"));
+        let out = stats(Some(&db)).unwrap();
+        assert!(out.contains("61 docs"), "{out}");
+
+        // recommend + apply
+        let wl = dir.join("w.xq");
+        std::fs::write(
+            &wl,
+            "for $s in SECURITY('SDOC')/Security\nwhere $s/Symbol = \"IBM\"\nreturn $s\n",
+        )
+        .unwrap();
+        let out = recommend(&s(&[
+            &db,
+            "-w",
+            wl.to_str().unwrap(),
+            "-b",
+            "10m",
+            "-a",
+            "heuristics",
+            "--report",
+            "--apply",
+        ]))
+        .unwrap();
+        assert!(out.contains("CREATE INDEX"), "{out}");
+        assert!(out.contains("applied"), "{out}");
+        assert!(out.contains("per-statement impact"), "{out}");
+
+        // indexes now lists the materialized index
+        let out = indexes(Some(&db)).unwrap();
+        assert!(out.contains("/Security/Symbol"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exec_delete_and_update_persist() {
+        let dir = tmpdir();
+        let db = dir.join("du.xiadb").to_string_lossy().to_string();
+        init(Some(&db)).unwrap();
+        let mut file_args = vec![db.clone(), "SDOC".to_string()];
+        for i in 0..10 {
+            let f = dir.join(format!("d{i}.xml"));
+            std::fs::write(
+                &f,
+                format!("<Security><Symbol>S{i}</Symbol><Yield>{i}</Yield></Security>"),
+            )
+            .unwrap();
+            file_args.push(f.to_string_lossy().to_string());
+        }
+        load(&file_args).unwrap();
+
+        let out = exec(&s(&[&db, r#"update SDOC set /Security/Yield = 99 where /Security[Symbol = "S3"]"#])).unwrap();
+        assert!(out.contains("1 node(s) updated"), "{out}");
+        let out = exec(&s(&[&db, r#"collection('SDOC')/Security[Yield = 99]"#])).unwrap();
+        assert!(out.contains("1 document(s) matched"), "{out}");
+
+        let out = exec(&s(&[&db, r#"delete from SDOC where /Security[Symbol = "S5"]"#])).unwrap();
+        assert!(out.contains("1 document(s) deleted"), "{out}");
+        let out = stats(Some(&db)).unwrap();
+        assert!(out.contains("9 docs"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_index_spec_variants() {
+        let (c, p, k) = parse_index_spec("SDOC:/Security/Symbol:string").unwrap();
+        assert_eq!(c, "SDOC");
+        assert_eq!(p.to_string(), "/Security/Symbol");
+        assert_eq!(k, xia_xpath::ValueKind::Str);
+        let (_, p, k) = parse_index_spec("X://Yield:num").unwrap();
+        assert_eq!(p.to_string(), "//Yield");
+        assert_eq!(k, xia_xpath::ValueKind::Num);
+        assert!(parse_index_spec("nocolons").is_err());
+        assert!(parse_index_spec("C:/a/b:floating").is_err());
+        assert!(parse_index_spec("C:[bad:string").is_err());
+    }
+
+    #[test]
+    fn whatif_prices_a_config() {
+        let dir = tmpdir();
+        let db = dir.join("w.xiadb").to_string_lossy().to_string();
+        init(Some(&db)).unwrap();
+        let filler = "lorem ipsum dolor ".repeat(60);
+        let mut file_args = vec![db.clone(), "SDOC".to_string()];
+        for i in 0..40 {
+            let f = dir.join(format!("w{i}.xml"));
+            std::fs::write(
+                &f,
+                format!("<Security><Symbol>S{i}</Symbol><Pad>{filler}</Pad></Security>"),
+            )
+            .unwrap();
+            file_args.push(f.to_string_lossy().to_string());
+        }
+        load(&file_args).unwrap();
+        let wl = dir.join("w.xq");
+        std::fs::write(&wl, "collection('SDOC')/Security[Symbol = \"S3\"]\n").unwrap();
+        let out = whatif(&s(&[
+            &db,
+            "-w",
+            wl.to_str().unwrap(),
+            "-i",
+            "SDOC:/Security/Symbol:string",
+        ]))
+        .unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("/Security/Symbol"), "{out}");
+        // Missing flags error.
+        assert!(whatif(&s(&[&db, "-w", wl.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_requires_flags() {
+        let dir = tmpdir();
+        let db = dir.join("r.xiadb").to_string_lossy().to_string();
+        init(Some(&db)).unwrap();
+        assert!(recommend(&s(&[&db])).is_err());
+        assert!(recommend(&s(&[&db, "-b", "1m"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_collection_errors() {
+        let dir = tmpdir();
+        let db = dir.join("u.xiadb").to_string_lossy().to_string();
+        init(Some(&db)).unwrap();
+        let err = explain(&s(&[&db, "collection('NOPE')/a[b = 1]"])).unwrap_err();
+        assert!(err.message.contains("NOPE"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_unknown() {
+        assert!(crate::run(&s(&["help"])).unwrap().contains("USAGE"));
+        assert!(crate::run(&s(&["bogus"])).is_err());
+        assert!(crate::run(&[]).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! # xia-cli
+//!
+//! The `xia` command-line tool: an end-user frontend over the XML Index
+//! Advisor. All command logic lives in this library (the binary is a thin
+//! `main`), so every command is unit-testable without spawning processes.
+//!
+//! ```text
+//! xia init      <db>                          create an empty database file
+//! xia load      <db> <collection> <file...>   load XML documents
+//! xia stats     <db>                          collection/path statistics
+//! xia explain   <db> <statement>              show the optimizer's plan
+//! xia exec      <db> <statement>              execute a query
+//! xia recommend <db> -w <workload> -b <bytes> [-a <algo>] [--apply]
+//! xia whatif    <db> -w <workload> -i <spec>  price a hand-written config
+//! xia indexes   <db>                          list physical indexes
+//! ```
+//!
+//! Workload files contain statements separated by blank lines; `#` and
+//! `--` lines are comments.
+
+pub mod commands;
+pub mod workload_file;
+
+use std::fmt;
+
+/// CLI error: a message for the user plus a process exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CliError {
+    /// Creates an error from anything printable.
+    pub fn new(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<xia_storage::PersistError> for CliError {
+    fn from(e: xia_storage::PersistError) -> Self {
+        CliError::new(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+xia — XML Index Advisor
+
+USAGE:
+  xia init      <db>                           create an empty database file
+  xia load      <db> <collection> <file...>    load XML documents into a collection
+  xia stats     <db>                           print collection and path statistics
+  xia explain   <db> <statement>               show the best plan and its cost
+  xia exec      <db> <statement>               execute a query statement
+  xia recommend <db> -w <workload-file> -b <budget-bytes>
+                [-a greedy|heuristics|topdown-lite|topdown-full|dp] [--apply] [--report]
+  xia whatif    <db> -w <workload-file> -i <coll>:<pattern>:<string|numerical> ...
+                                             price a hand-written configuration
+  xia indexes   <db>                           list physical indexes
+
+Workload files: statements separated by blank lines; '#'/'--' comment lines.
+";
+
+/// Dispatches a full argument vector (excluding `argv[0]`). Returns the
+/// output to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError::new(USAGE));
+    };
+    match cmd.as_str() {
+        "init" => commands::init(args.get(1).map(|s| s.as_str())),
+        "load" => commands::load(&args[1..]),
+        "stats" => commands::stats(args.get(1).map(|s| s.as_str())),
+        "explain" => commands::explain(&args[1..]),
+        "exec" => commands::exec(&args[1..]),
+        "recommend" => commands::recommend(&args[1..]),
+        "whatif" => commands::whatif(&args[1..]),
+        "indexes" => commands::indexes(args.get(1).map(|s| s.as_str())),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::new(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}

@@ -1,0 +1,527 @@
+//! The advisor facade: end-to-end index recommendation.
+
+use crate::benefit::{BenefitEvaluator, EvalStats};
+use crate::candidate::{CandId, CandOrigin, CandidateSet};
+use crate::enumerate::{enumerate_candidates, size_candidates};
+use crate::generalize::generalize_set;
+use crate::search;
+use std::time::{Duration, Instant};
+use xia_storage::Database;
+use xia_workloads::Workload;
+use xia_xpath::ValueKind;
+
+/// Which configuration-search algorithm to run (paper Section VII-B
+/// evaluates all five).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchAlgorithm {
+    /// Plain greedy by benefit density (ignores interaction).
+    Greedy,
+    /// Greedy with the paper's heuristics (Section VI-A).
+    GreedyHeuristics,
+    /// Top-down over the generalization DAG, standalone benefits.
+    TopDownLite,
+    /// Top-down with interaction-aware benefit evaluation.
+    TopDownFull,
+    /// Dynamic-programming knapsack (optimal modulo interaction).
+    Dp,
+}
+
+impl SearchAlgorithm {
+    /// All five algorithms, in the paper's presentation order.
+    pub const ALL: [SearchAlgorithm; 5] = [
+        SearchAlgorithm::Greedy,
+        SearchAlgorithm::GreedyHeuristics,
+        SearchAlgorithm::TopDownLite,
+        SearchAlgorithm::TopDownFull,
+        SearchAlgorithm::Dp,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchAlgorithm::Greedy => "greedy",
+            SearchAlgorithm::GreedyHeuristics => "heuristics",
+            SearchAlgorithm::TopDownLite => "topdown-lite",
+            SearchAlgorithm::TopDownFull => "topdown-full",
+            SearchAlgorithm::Dp => "dp",
+        }
+    }
+}
+
+/// Tunable advisor parameters.
+#[derive(Debug, Clone)]
+pub struct AdvisorParams {
+    /// β of the greedy-heuristics size condition
+    /// (`Size(x_g) ≤ (1+β)·ΣSize(x_i)`); the paper found 10% to work well.
+    pub beta: f64,
+    /// Whether to run the generalization step. Disabling restricts the
+    /// space to basic candidates (used in ablations).
+    pub generalize: bool,
+}
+
+impl Default for AdvisorParams {
+    fn default() -> Self {
+        Self {
+            beta: 0.10,
+            generalize: true,
+        }
+    }
+}
+
+/// One recommended index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendedIndex {
+    /// Collection (XML column) to create the index on.
+    pub collection: String,
+    /// Index pattern (linear XPath).
+    pub pattern: String,
+    /// Key type.
+    pub kind: ValueKind,
+    /// Estimated size in bytes.
+    pub size: u64,
+    /// Whether the pattern came from generalization.
+    pub general: bool,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Chosen candidate ids (into the candidate set used for the run).
+    pub config: Vec<CandId>,
+    /// Human-consumable index list.
+    pub indexes: Vec<RecommendedIndex>,
+    /// Estimated benefit of the configuration (paper formula).
+    pub est_benefit: f64,
+    /// Estimated workload cost with no indexes.
+    pub baseline_cost: f64,
+    /// Estimated workload cost under the configuration.
+    pub workload_cost: f64,
+    /// `baseline_cost / workload_cost`.
+    pub speedup: f64,
+    /// Total estimated size of the configuration.
+    pub total_size: u64,
+    /// Number of generalized indexes recommended (paper Table IV "G").
+    pub general_count: usize,
+    /// Number of specific (basic) indexes recommended (Table IV "S").
+    pub specific_count: usize,
+    /// Wall-clock advisor time (paper Fig. 3).
+    pub advisor_time: Duration,
+    /// Evaluate-mode optimizer calls made during the search.
+    pub eval_stats: EvalStats,
+    /// Basic candidates enumerated (paper Table III).
+    pub candidates_basic: usize,
+    /// Total candidates after generalization (Table III).
+    pub candidates_total: usize,
+}
+
+impl Recommendation {
+    /// Renders the recommendation as a DB2-pureXML-style DDL script.
+    ///
+    /// ```text
+    /// CREATE INDEX idx_sdoc_1 ON "SDOC" (XMLCOL)
+    ///   GENERATE KEY USING XMLPATTERN '/Security/Symbol' AS SQL VARCHAR(64);
+    /// ```
+    pub fn ddl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut counters: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for ix in &self.indexes {
+            let n = counters.entry(ix.collection.as_str()).or_insert(0);
+            *n += 1;
+            let sql_type = match ix.kind {
+                ValueKind::Str => "SQL VARCHAR(64)",
+                ValueKind::Num => "SQL DOUBLE",
+            };
+            let _ = writeln!(
+                out,
+                "CREATE INDEX idx_{}_{} ON \"{}\" (XMLCOL)\n  GENERATE KEY USING XMLPATTERN '{}' AS {};",
+                ix.collection.to_lowercase(),
+                n,
+                ix.collection,
+                ix.pattern,
+                sql_type
+            );
+        }
+        out
+    }
+}
+
+/// The XML Index Advisor.
+pub struct Advisor;
+
+impl Advisor {
+    /// Enumerates, generalizes, and sizes the candidate set for a workload
+    /// (steps 1–2 of the pipeline). Exposed separately so experiments can
+    /// share one candidate set across searches.
+    pub fn prepare(db: &mut Database, workload: &Workload, params: &AdvisorParams) -> CandidateSet {
+        let mut set = enumerate_candidates(db, workload);
+        if params.generalize {
+            generalize_set(&mut set);
+        }
+        size_candidates(db, &mut set);
+        set
+    }
+
+    /// The *All Index* configuration: one index per basic candidate — the
+    /// paper's upper-bound configuration for query-only workloads.
+    pub fn all_index_config(set: &CandidateSet) -> Vec<CandId> {
+        set.basic_ids()
+    }
+
+    /// Runs the full pipeline and recommends a configuration within
+    /// `budget` bytes using `algorithm`.
+    pub fn recommend(
+        db: &mut Database,
+        workload: &Workload,
+        budget: u64,
+        algorithm: SearchAlgorithm,
+        params: &AdvisorParams,
+    ) -> Recommendation {
+        let start = Instant::now();
+        let set = Self::prepare(db, workload, params);
+        let basic = set.basic_ids().len();
+        let total = set.len();
+        let mut ev = BenefitEvaluator::new(db, workload, &set);
+        let config = Self::search_with(&mut ev, &set, budget, algorithm, params);
+        Self::finish(&set, &mut ev, config, basic, total, start)
+    }
+
+    /// Runs only the search step over a prepared candidate set (used by
+    /// the experiment harness to share enumeration/generalization work).
+    pub fn recommend_prepared(
+        db: &mut Database,
+        workload: &Workload,
+        set: &CandidateSet,
+        budget: u64,
+        algorithm: SearchAlgorithm,
+        params: &AdvisorParams,
+    ) -> Recommendation {
+        let start = Instant::now();
+        let basic = set.basic_ids().len();
+        let total = set.len();
+        let mut ev = BenefitEvaluator::new(db, workload, set);
+        let config = Self::search_with(&mut ev, set, budget, algorithm, params);
+        Self::finish(set, &mut ev, config, basic, total, start)
+    }
+
+    fn search_with(
+        ev: &mut BenefitEvaluator<'_>,
+        set: &CandidateSet,
+        budget: u64,
+        algorithm: SearchAlgorithm,
+        params: &AdvisorParams,
+    ) -> Vec<CandId> {
+        let all: Vec<CandId> = set.ids().collect();
+        match algorithm {
+            SearchAlgorithm::Greedy => search::greedy(ev, &all, budget),
+            SearchAlgorithm::GreedyHeuristics => {
+                search::greedy_heuristics(ev, &all, budget, params.beta)
+            }
+            SearchAlgorithm::TopDownLite => search::top_down(ev, &all, budget, false),
+            SearchAlgorithm::TopDownFull => search::top_down(ev, &all, budget, true),
+            SearchAlgorithm::Dp => search::dp_knapsack(ev, &all, budget),
+        }
+    }
+
+    fn finish(
+        set: &CandidateSet,
+        ev: &mut BenefitEvaluator<'_>,
+        config: Vec<CandId>,
+        candidates_basic: usize,
+        candidates_total: usize,
+        start: Instant,
+    ) -> Recommendation {
+        let est_benefit = ev.benefit(&config);
+        let baseline_cost = ev.baseline_cost();
+        let workload_cost = ev.workload_cost(&config);
+        let speedup = if workload_cost <= 0.0 {
+            f64::INFINITY
+        } else {
+            baseline_cost / workload_cost
+        };
+        let indexes: Vec<RecommendedIndex> = config
+            .iter()
+            .map(|&id| {
+                let c = set.get(id);
+                RecommendedIndex {
+                    collection: c.collection.clone(),
+                    pattern: c.pattern.to_string(),
+                    kind: c.kind,
+                    size: c.size,
+                    general: c.origin == CandOrigin::Generalized,
+                }
+            })
+            .collect();
+        let general_count = indexes.iter().filter(|i| i.general).count();
+        let specific_count = indexes.len() - general_count;
+        let total_size = set.config_size(&config);
+        Recommendation {
+            config,
+            indexes,
+            est_benefit,
+            baseline_cost,
+            workload_cost,
+            speedup,
+            total_size,
+            general_count,
+            specific_count,
+            advisor_time: start.elapsed(),
+            eval_stats: ev.eval_stats(),
+            candidates_basic,
+            candidates_total,
+        }
+    }
+
+    /// What-if analysis: evaluates a *user-specified* index configuration
+    /// (collection, pattern, kind triples) against a workload, without
+    /// creating any physical index — the advisor-as-a-library equivalent
+    /// of `db2advis -i`. Patterns that duplicate enumerated candidates are
+    /// merged with them; new patterns become ad-hoc candidates with
+    /// affected sets computed by coverage against the basic candidates.
+    pub fn what_if(
+        db: &mut Database,
+        workload: &Workload,
+        indexes: &[(String, xia_xpath::LinearPath, ValueKind)],
+        params: &AdvisorParams,
+    ) -> Recommendation {
+        let start = Instant::now();
+        let mut set = Self::prepare(db, workload, params);
+        let mut config = Vec::new();
+        let basics = set.basic_ids();
+        for (coll, pattern, kind) in indexes {
+            let id = set.insert(coll, pattern.clone(), *kind, CandOrigin::Generalized);
+            // Affected set by coverage over the basic candidates.
+            let mut affected = set.get(id).affected.clone();
+            for &b in &basics {
+                let cb = set.get(b);
+                if &cb.collection == coll
+                    && cb.kind == *kind
+                    && xia_xpath::contain::covers(pattern, &cb.pattern)
+                {
+                    let cb_affected = cb.affected.clone();
+                    affected.union_with(&cb_affected);
+                }
+            }
+            set.get_mut(id).affected = affected;
+            if !config.contains(&id) {
+                config.push(id);
+            }
+        }
+        crate::enumerate::size_candidates(db, &mut set);
+        let basic = set.basic_ids().len();
+        let total = set.len();
+        let mut ev = BenefitEvaluator::new(db, workload, &set);
+        Self::finish(&set, &mut ev, config, basic, total, start)
+    }
+
+    /// Materializes a recommendation: builds the recommended indexes as
+    /// physical indexes in the database's catalogs. Returns the number of
+    /// indexes created. (Used for actual-speedup measurements, Fig. 5.)
+    pub fn materialize(db: &mut Database, set: &CandidateSet, config: &[CandId]) -> usize {
+        let mut created = 0;
+        for &id in config {
+            let c = set.get(id);
+            let (coll, pattern, kind) = (c.collection.clone(), c.pattern.clone(), c.kind);
+            if let Some((collection, catalog, _)) = db.parts_mut(&coll) {
+                catalog.create_physical(collection, &pattern, kind);
+                created += 1;
+            }
+        }
+        created
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_workloads::tpox::{self, TpoxConfig};
+
+    fn setup() -> (Database, Workload) {
+        let mut db = Database::new();
+        let cfg = TpoxConfig::tiny();
+        tpox::generate(&mut db, &cfg);
+        let w = Workload::from_texts(tpox::queries(&cfg).iter().map(|s| s.as_str())).unwrap();
+        (db, w)
+    }
+
+    #[test]
+    fn all_algorithms_fit_the_budget_and_speed_up() {
+        let (mut db, w) = setup();
+        let params = AdvisorParams::default();
+        let set = Advisor::prepare(&mut db, &w, &params);
+        let all_size = set.config_size(&Advisor::all_index_config(&set));
+        let budget = all_size; // generous budget
+        for algo in SearchAlgorithm::ALL {
+            let rec =
+                Advisor::recommend_prepared(&mut db, &w, &set, budget, algo, &params);
+            assert!(
+                rec.total_size <= budget,
+                "{}: size {} > budget {budget}",
+                algo.name(),
+                rec.total_size
+            );
+            assert!(
+                rec.speedup > 1.0,
+                "{}: speedup {} not > 1",
+                algo.name(),
+                rec.speedup
+            );
+            assert!(!rec.config.is_empty(), "{}: empty config", algo.name());
+        }
+    }
+
+    #[test]
+    fn tight_budget_yields_smaller_configs() {
+        let (mut db, w) = setup();
+        let params = AdvisorParams::default();
+        let set = Advisor::prepare(&mut db, &w, &params);
+        let all_size = set.config_size(&Advisor::all_index_config(&set));
+        let big = Advisor::recommend_prepared(
+            &mut db,
+            &w,
+            &set,
+            all_size,
+            SearchAlgorithm::GreedyHeuristics,
+            &params,
+        );
+        let small = Advisor::recommend_prepared(
+            &mut db,
+            &w,
+            &set,
+            all_size / 8,
+            SearchAlgorithm::GreedyHeuristics,
+            &params,
+        );
+        assert!(small.total_size <= all_size / 8);
+        assert!(small.config.len() <= big.config.len());
+        assert!(small.speedup <= big.speedup * 1.01);
+    }
+
+    #[test]
+    fn top_down_recommends_more_general_indexes_than_heuristics() {
+        let (mut db, w) = setup();
+        let params = AdvisorParams::default();
+        let set = Advisor::prepare(&mut db, &w, &params);
+        // Large budget: top-down keeps generals, heuristics sticks to
+        // specifics (paper Table IV).
+        let budget = set.config_size(&set.ids().collect::<Vec<_>>());
+        let td = Advisor::recommend_prepared(
+            &mut db,
+            &w,
+            &set,
+            budget,
+            SearchAlgorithm::TopDownLite,
+            &params,
+        );
+        let gh = Advisor::recommend_prepared(
+            &mut db,
+            &w,
+            &set,
+            budget,
+            SearchAlgorithm::GreedyHeuristics,
+            &params,
+        );
+        assert!(
+            td.general_count >= gh.general_count,
+            "topdown G={} heuristics G={}",
+            td.general_count,
+            gh.general_count
+        );
+    }
+
+    #[test]
+    fn recommendation_reports_candidate_counts() {
+        let (mut db, w) = setup();
+        let rec = Advisor::recommend(
+            &mut db,
+            &w,
+            u64::MAX / 2,
+            SearchAlgorithm::Greedy,
+            &AdvisorParams::default(),
+        );
+        assert!(rec.candidates_basic > 0);
+        assert!(rec.candidates_total >= rec.candidates_basic);
+        assert!(rec.eval_stats.optimizer_calls > 0);
+        assert!(rec.advisor_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn zero_budget_recommends_nothing() {
+        let (mut db, w) = setup();
+        for algo in SearchAlgorithm::ALL {
+            let rec =
+                Advisor::recommend(&mut db, &w, 0, algo, &AdvisorParams::default());
+            assert!(rec.config.is_empty(), "{}: {:?}", algo.name(), rec.indexes);
+            assert_eq!(rec.total_size, 0);
+        }
+    }
+
+    #[test]
+    fn materialize_creates_physical_indexes() {
+        let (mut db, w) = setup();
+        let params = AdvisorParams::default();
+        let set = Advisor::prepare(&mut db, &w, &params);
+        let rec = Advisor::recommend_prepared(
+            &mut db,
+            &w,
+            &set,
+            u64::MAX / 2,
+            SearchAlgorithm::GreedyHeuristics,
+            &params,
+        );
+        let n = Advisor::materialize(&mut db, &set, &rec.config);
+        assert_eq!(n, rec.config.len());
+        let total_phys: usize = db
+            .collection_names()
+            .iter()
+            .map(|c| db.catalog(c).unwrap().iter().filter(|d| !d.is_virtual()).count())
+            .sum();
+        assert_eq!(total_phys, n);
+    }
+
+    #[test]
+    fn what_if_prices_user_configurations() {
+        let (mut db, w) = setup();
+        let params = AdvisorParams::default();
+        // A config the user proposes by hand: one good index, one useless.
+        let config = vec![
+            (
+                "SDOC".to_string(),
+                xia_xpath::parse_linear_path("/Security/Symbol").unwrap(),
+                ValueKind::Str,
+            ),
+            (
+                "SDOC".to_string(),
+                xia_xpath::parse_linear_path("/Security/NoSuchThing").unwrap(),
+                ValueKind::Str,
+            ),
+        ];
+        let rec = Advisor::what_if(&mut db, &w, &config, &params);
+        assert_eq!(rec.config.len(), 2);
+        assert!(rec.speedup > 1.0, "symbol index must pay off");
+        // The useless index contributes size but no benefit.
+        assert!(rec.indexes.iter().any(|i| i.pattern == "/Security/NoSuchThing"));
+    }
+
+    #[test]
+    fn what_if_general_pattern_covers_multiple_queries() {
+        let (mut db, w) = setup();
+        let params = AdvisorParams::default();
+        let config = vec![(
+            "SDOC".to_string(),
+            xia_xpath::parse_linear_path("/Security//*").unwrap(),
+            ValueKind::Str,
+        )];
+        let rec = Advisor::what_if(&mut db, &w, &config, &params);
+        assert!(rec.speedup > 1.0);
+    }
+
+    #[test]
+    fn disabling_generalization_restricts_candidates() {
+        let (mut db, w) = setup();
+        let mut params = AdvisorParams::default();
+        params.generalize = false;
+        let set = Advisor::prepare(&mut db, &w, &params);
+        assert_eq!(set.len(), set.basic_ids().len());
+    }
+}

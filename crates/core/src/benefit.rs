@@ -1,0 +1,525 @@
+//! Benefit evaluation with efficient optimizer-call management.
+//!
+//! Implements the paper's benefit formula (Section III)
+//!
+//! ```text
+//! Benefit(x1..xn; W) = Σ_{s∈W} ( freq_s · (s_old − s_new) − Σ_i freq_s · mc(x_i, s) )
+//! ```
+//!
+//! and the paper's Section VI-C machinery to keep the number of *Evaluate
+//! Indexes* optimizer calls small:
+//!
+//! * **affected sets** — only statements whose basic patterns a candidate
+//!   covers can change cost, so only the union of the configuration's
+//!   affected sets is re-optimized;
+//! * **sub-configurations** — the configuration is split into groups of
+//!   candidates with overlapping affected sets (indexes in different
+//!   groups cannot interact) and each group is evaluated independently;
+//! * **cache** — evaluated sub-configurations are memoized.
+//!
+//! All three mechanisms can be disabled independently for the ablation
+//! experiment (E9 in DESIGN.md).
+
+use crate::candidate::{CandId, CandidateSet, StmtSet};
+use std::collections::HashMap;
+use xia_optimizer::{maintenance, Optimizer};
+use xia_storage::{Database, IndexStats};
+use xia_workloads::Workload;
+
+/// Counters exposed for the efficiency experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalStats {
+    /// Evaluate-mode optimizer invocations (one per statement costed).
+    pub optimizer_calls: u64,
+    /// Sub-configuration cache hits.
+    pub cache_hits: u64,
+    /// Sub-configuration cache misses (evaluations performed).
+    pub cache_misses: u64,
+    /// `benefit()` invocations.
+    pub benefit_calls: u64,
+}
+
+/// Evaluates candidate-configuration benefits through the optimizer.
+pub struct BenefitEvaluator<'a> {
+    db: &'a mut Database,
+    workload: &'a Workload,
+    set: &'a CandidateSet,
+    /// Baseline (no-candidate) cost per statement.
+    baseline: Vec<f64>,
+    /// Derived index statistics per candidate (for maintenance costs).
+    istats: HashMap<CandId, IndexStats>,
+    /// Total (frequency-weighted) maintenance cost per candidate.
+    mc_totals: HashMap<CandId, f64>,
+    /// Memoized sub-configuration benefits (query side, before mc).
+    cache: HashMap<Vec<CandId>, f64>,
+    /// Ablation switch: restrict evaluation to affected statements.
+    pub use_affected_sets: bool,
+    /// Ablation switch: decompose configurations into sub-configurations.
+    pub use_subconfigs: bool,
+    /// Ablation switch: memoize sub-configuration evaluations.
+    pub use_cache: bool,
+    stats: EvalStats,
+}
+
+impl<'a> BenefitEvaluator<'a> {
+    /// Creates an evaluator, computing per-statement baseline costs with
+    /// no candidate indexes in place.
+    pub fn new(db: &'a mut Database, workload: &'a Workload, set: &'a CandidateSet) -> Self {
+        db.runstats_all();
+        for name in db
+            .collection_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+        {
+            if let Some(cat) = db.catalog_mut(&name) {
+                cat.drop_all_virtual();
+            }
+        }
+        let mut ev = Self {
+            db,
+            workload,
+            set,
+            baseline: Vec::new(),
+            istats: HashMap::new(),
+            mc_totals: HashMap::new(),
+            cache: HashMap::new(),
+            use_affected_sets: true,
+            use_subconfigs: true,
+            use_cache: true,
+            stats: EvalStats::default(),
+        };
+        ev.baseline = (0..workload.len())
+            .map(|si| ev.statement_cost(si))
+            .collect();
+        ev
+    }
+
+    /// Evaluation counters so far.
+    pub fn eval_stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Total baseline (no-index) workload cost.
+    pub fn baseline_cost(&self) -> f64 {
+        self.baseline
+            .iter()
+            .zip(self.workload.entries())
+            .map(|(c, e)| c * e.freq)
+            .sum()
+    }
+
+    /// The candidate set being evaluated.
+    pub fn candidates(&self) -> &CandidateSet {
+        self.set
+    }
+
+    /// The workload being evaluated.
+    pub fn workload(&self) -> &Workload {
+        self.workload
+    }
+
+    fn statement_cost(&mut self, si: usize) -> f64 {
+        let stmt = &self.workload.entries()[si].statement;
+        let coll = stmt.collection().to_string();
+        let Some((collection, catalog, stats)) = self.db.parts(&coll) else {
+            return 0.0;
+        };
+        let optimizer = Optimizer::new(collection, stats, catalog);
+        self.stats.optimizer_calls += 1;
+        optimizer.optimize(stmt).total_cost
+    }
+
+    /// Installs exactly `config`'s members as virtual indexes (dropping all
+    /// other virtual indexes everywhere).
+    fn install_virtuals(&mut self, config: &[CandId]) {
+        let names: Vec<String> = self
+            .db
+            .collection_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for name in &names {
+            if let Some(cat) = self.db.catalog_mut(name) {
+                cat.drop_all_virtual();
+            }
+        }
+        for &id in config {
+            let c = self.set.get(id);
+            let (pattern, kind, coll) = (c.pattern.clone(), c.kind, c.collection.clone());
+            if let Some((collection, catalog, stats)) = self.db.parts_mut(&coll) {
+                catalog.create_virtual(collection, stats, &pattern, kind);
+            }
+        }
+    }
+
+    /// Benefit of a configuration per the paper's formula.
+    pub fn benefit(&mut self, config: &[CandId]) -> f64 {
+        self.stats.benefit_calls += 1;
+        if config.is_empty() {
+            return 0.0;
+        }
+        let groups = if self.use_subconfigs {
+            self.decompose(config)
+        } else {
+            vec![config.to_vec()]
+        };
+        let mut total = 0.0;
+        for g in groups {
+            total += self.eval_subconfig(g);
+        }
+        for &id in config {
+            total -= self.mc_total(id);
+        }
+        total
+    }
+
+    /// Estimated workload cost under a configuration
+    /// (`baseline − benefit`).
+    pub fn workload_cost(&mut self, config: &[CandId]) -> f64 {
+        self.baseline_cost() - self.benefit(config)
+    }
+
+    /// Estimated speedup: baseline cost over configured cost.
+    pub fn speedup(&mut self, config: &[CandId]) -> f64 {
+        let base = self.baseline_cost();
+        let cost = self.workload_cost(config);
+        if cost <= 0.0 {
+            f64::INFINITY
+        } else {
+            base / cost
+        }
+    }
+
+    /// Splits a configuration into sub-configurations of candidates with
+    /// transitively overlapping affected sets.
+    pub fn decompose(&self, config: &[CandId]) -> Vec<Vec<CandId>> {
+        let n = config.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (self.set.get(config[i]), self.set.get(config[j]));
+                if a.affected.overlaps(&b.affected) {
+                    let (ra, rb) = (find(&mut parent, i), find(&mut parent, j));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<CandId>> = HashMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(config[i]);
+        }
+        let mut out: Vec<Vec<CandId>> = groups.into_values().collect();
+        for g in &mut out {
+            g.sort_unstable();
+        }
+        out.sort();
+        out
+    }
+
+    /// Evaluates one sub-configuration's query-side benefit
+    /// `Σ freq·(old − new)` over its affected statements.
+    fn eval_subconfig(&mut self, mut sub: Vec<CandId>) -> f64 {
+        sub.sort_unstable();
+        sub.dedup();
+        if self.use_cache {
+            if let Some(&v) = self.cache.get(&sub) {
+                self.stats.cache_hits += 1;
+                return v;
+            }
+            self.stats.cache_misses += 1;
+        }
+        // Affected statements: union over members (or all statements when
+        // the affected-set optimization is disabled).
+        let stmts: Vec<usize> = if self.use_affected_sets {
+            let mut u = StmtSet::new();
+            for &id in &sub {
+                u.union_with(&self.set.get(id).affected);
+            }
+            u.iter().collect()
+        } else {
+            (0..self.workload.len()).collect()
+        };
+        self.install_virtuals(&sub);
+        let mut total = 0.0;
+        for si in stmts {
+            let new_cost = self.statement_cost(si);
+            let freq = self.workload.entries()[si].freq;
+            total += freq * (self.baseline[si] - new_cost);
+        }
+        self.install_virtuals(&[]);
+        if self.use_cache {
+            self.cache.insert(sub, total);
+        }
+        total
+    }
+
+    /// Which members of `config` are actually used in some statement's
+    /// best plan when the whole configuration is installed — the paper's
+    /// "compile all workload queries ... and eliminate indexes that are
+    /// never used" check, used by greedy-with-heuristics as a final
+    /// redundancy pass.
+    pub fn used_candidates(&mut self, config: &[CandId]) -> Vec<CandId> {
+        if config.is_empty() {
+            return Vec::new();
+        }
+        self.install_virtuals(config);
+        // Map (collection, IndexId) → CandId by replaying creation order:
+        // install_virtuals creates one virtual per config member, in order.
+        let mut by_key: HashMap<(String, String, xia_xpath::ValueKind), CandId> = HashMap::new();
+        for &id in config {
+            let c = self.set.get(id);
+            by_key.insert((c.collection.clone(), c.pattern.to_string(), c.kind), id);
+        }
+        let stmts: Vec<usize> = if self.use_affected_sets {
+            let mut u = StmtSet::new();
+            for &id in config {
+                u.union_with(&self.set.get(id).affected);
+            }
+            u.iter().collect()
+        } else {
+            (0..self.workload.len()).collect()
+        };
+        let mut used: Vec<CandId> = Vec::new();
+        for si in stmts {
+            let stmt = &self.workload.entries()[si].statement;
+            let coll = stmt.collection().to_string();
+            let Some((collection, catalog, stats)) = self.db.parts(&coll) else {
+                continue;
+            };
+            let optimizer = Optimizer::new(collection, stats, catalog);
+            self.stats.optimizer_calls += 1;
+            let plan = optimizer.optimize(stmt);
+            for ix in plan.used_indexes() {
+                if let Some(def) = catalog.get(ix) {
+                    let key = (coll.clone(), def.pattern.to_string(), def.kind);
+                    if let Some(&cid) = by_key.get(&key) {
+                        if !used.contains(&cid) {
+                            used.push(cid);
+                        }
+                    }
+                }
+            }
+        }
+        self.install_virtuals(&[]);
+        used.sort_unstable();
+        used
+    }
+
+    fn derived_istats(&mut self, id: CandId) -> IndexStats {
+        if let Some(s) = self.istats.get(&id) {
+            return s.clone();
+        }
+        let c = self.set.get(id);
+        let (coll, pattern, kind) = (c.collection.clone(), c.pattern.clone(), c.kind);
+        let stats = match self.db.parts(&coll) {
+            Some((collection, _, stats)) => {
+                xia_storage::Catalog::derive_stats(collection, stats, &pattern, kind).1
+            }
+            None => IndexStats::default(),
+        };
+        self.istats.insert(id, stats.clone());
+        stats
+    }
+
+    /// Total frequency-weighted maintenance cost of one candidate over the
+    /// workload's modification statements.
+    pub fn mc_total(&mut self, id: CandId) -> f64 {
+        if let Some(&v) = self.mc_totals.get(&id) {
+            return v;
+        }
+        let istats = self.derived_istats(id);
+        let c = self.set.get(id);
+        let (coll, pattern, kind) = (c.collection.clone(), c.pattern.clone(), c.kind);
+        let mut total = 0.0;
+        for entry in self.workload.entries() {
+            if !entry.statement.is_modification() || entry.statement.collection() != coll {
+                continue;
+            }
+            let Some((collection, catalog, stats)) = self.db.parts(&coll) else {
+                continue;
+            };
+            let optimizer = Optimizer::new(collection, stats, catalog);
+            let mc = maintenance::maintenance_cost(
+                &pattern,
+                kind,
+                &istats,
+                &entry.statement,
+                &optimizer,
+                stats,
+                optimizer.cost_model(),
+            );
+            total += entry.freq * mc;
+        }
+        self.mc_totals.insert(id, total);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_candidates, size_candidates};
+    use crate::generalize::generalize_set;
+    use xia_workloads::tpox::{self, TpoxConfig};
+
+    fn setup() -> (Database, Workload) {
+        let mut db = Database::new();
+        let cfg = TpoxConfig::tiny();
+        tpox::generate(&mut db, &cfg);
+        let w = Workload::from_texts(tpox::queries(&cfg).iter().map(|s| s.as_str())).unwrap();
+        (db, w)
+    }
+
+    fn candidates(db: &mut Database, w: &Workload) -> CandidateSet {
+        let mut set = enumerate_candidates(db, w);
+        generalize_set(&mut set);
+        size_candidates(db, &mut set);
+        set
+    }
+
+    #[test]
+    fn empty_config_has_zero_benefit() {
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        assert_eq!(ev.benefit(&[]), 0.0);
+        assert!(ev.baseline_cost() > 0.0);
+    }
+
+    #[test]
+    fn single_selective_index_has_positive_benefit() {
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let sym = set
+            .lookup(
+                "SDOC",
+                &xia_xpath::parse_linear_path("/Security/Symbol").unwrap(),
+                xia_xpath::ValueKind::Str,
+            )
+            .expect("symbol candidate enumerated");
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let b = ev.benefit(&[sym]);
+        assert!(b > 0.0, "benefit = {b}");
+        assert!(ev.speedup(&[sym]) > 1.0);
+    }
+
+    #[test]
+    fn benefit_is_monotone_enough_for_all_vs_one() {
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let all = set.basic_ids();
+        let one = vec![all[0]];
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let b_all = ev.benefit(&all);
+        let b_one = ev.benefit(&one);
+        assert!(b_all >= b_one, "all={b_all} one={b_one}");
+    }
+
+    #[test]
+    fn decompose_groups_by_affected_overlap() {
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let all = set.basic_ids();
+        let groups = ev.decompose(&all);
+        // There is more than one group (queries over three collections),
+        // and groups partition the config.
+        assert!(groups.len() > 1);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, all.len());
+        // Candidates from different collections never share a group.
+        for g in &groups {
+            let coll = &set.get(g[0]).collection;
+            assert!(g.iter().all(|&id| &set.get(id).collection == coll));
+        }
+        let _ = ev.benefit(&all);
+    }
+
+    #[test]
+    fn cache_reduces_optimizer_calls() {
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let all = set.basic_ids();
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let calls0 = ev.eval_stats().optimizer_calls;
+        let b1 = ev.benefit(&all);
+        let calls1 = ev.eval_stats().optimizer_calls;
+        let b2 = ev.benefit(&all);
+        let calls2 = ev.eval_stats().optimizer_calls;
+        assert_eq!(b1, b2);
+        assert!(calls1 > calls0);
+        assert_eq!(calls2, calls1, "second evaluation must be fully cached");
+        assert!(ev.eval_stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn affected_sets_limit_work() {
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let one = vec![set.basic_ids()[0]];
+        // With affected sets on.
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let base_calls = ev.eval_stats().optimizer_calls;
+        ev.benefit(&one);
+        let with = ev.eval_stats().optimizer_calls - base_calls;
+        // With affected sets off (must re-cost every statement).
+        let mut ev2 = BenefitEvaluator::new(&mut db, &w, &set);
+        ev2.use_affected_sets = false;
+        ev2.use_cache = false;
+        let base_calls2 = ev2.eval_stats().optimizer_calls;
+        ev2.benefit(&one);
+        let without = ev2.eval_stats().optimizer_calls - base_calls2;
+        assert!(with < without, "with={with} without={without}");
+    }
+
+    #[test]
+    fn maintenance_cost_reduces_benefit_for_update_workloads() {
+        let mut db = Database::new();
+        let cfg = TpoxConfig::tiny();
+        tpox::generate(&mut db, &cfg);
+        let mut texts = tpox::queries(&cfg);
+        let n_queries = texts.len();
+        texts.extend(tpox::update_mix(&cfg));
+        let w = Workload::from_texts(texts.iter().map(|s| s.as_str())).unwrap();
+        let set = candidates(&mut db, &w);
+        let sym = set
+            .lookup(
+                "SDOC",
+                &xia_xpath::parse_linear_path("/Security/Symbol").unwrap(),
+                xia_xpath::ValueKind::Str,
+            )
+            .unwrap();
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let mc = ev.mc_total(sym);
+        assert!(mc > 0.0, "insert of a Security must charge the symbol index");
+        let _ = n_queries;
+    }
+
+    #[test]
+    fn subconfig_results_compose() {
+        // benefit(config) must equal the sum over its decomposition when
+        // evaluated without subconfig decomposition (no cross-group
+        // interaction by construction).
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let all = set.basic_ids();
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let with_sub = ev.benefit(&all);
+        let mut ev2 = BenefitEvaluator::new(&mut db, &w, &set);
+        ev2.use_subconfigs = false;
+        let without_sub = ev2.benefit(&all);
+        let rel = (with_sub - without_sub).abs() / without_sub.abs().max(1.0);
+        assert!(rel < 1e-9, "with={with_sub} without={without_sub}");
+    }
+}

@@ -1,0 +1,371 @@
+//! Candidate generalization — the paper's Algorithm 1 (`generalizeStep`)
+//! and Table II (`advanceStep` rules), applied to fixpoint.
+//!
+//! Generalizing a pair of linear patterns walks both step lists in
+//! parallel, emitting for each consumed pair a step whose name test is the
+//! common name (or `*`) and whose axis is `//` if either input axis is
+//! `//` (the paper's `genAxis`). The `advanceStep` rules govern pointer
+//! movement:
+//!
+//! 1. both at their last step → done (after the Rule 0 rewrite);
+//! 2. / 3. one side at its last step → the other side jumps to *its* last
+//!    step, recording the skipped middle steps as a `/*` step;
+//! 4. both in the middle → three alternatives: advance both, or align the
+//!    current step of one side with its first re-occurrence in the other
+//!    side's remainder (this handles repeated node names, e.g.
+//!    `/a/b/d` ⊔ `/a/d/b/d` → `{/a//d, /a//b/d}`);
+//! 0. (rewrite) middle `/*` steps are folded into a `//` axis on the next
+//!    step: `/a/*/b` → `/a//b`.
+//!
+//! A pair is only generalized if compatible: same collection and same
+//! value kind (the paper's type/namespace compatibility check; candidate
+//! C3 of Table I cannot generalize with C1/C2 because it is numerical).
+
+use crate::candidate::{CandOrigin, CandidateSet};
+use std::collections::BTreeSet;
+use xia_xpath::{contain, Axis, LinearPath, LinearStep, NameTest};
+
+/// `genAxis` from Algorithm 1: descendant if either input is descendant.
+fn gen_axis(a: Axis, b: Axis) -> Axis {
+    if a == Axis::Descendant || b == Axis::Descendant {
+        Axis::Descendant
+    } else {
+        Axis::Child
+    }
+}
+
+/// Generalized step for a consumed pair of steps.
+fn gen_node(a: &LinearStep, b: &LinearStep) -> LinearStep {
+    let test = if a.test == b.test {
+        a.test.clone()
+    } else {
+        NameTest::Wildcard
+    };
+    LinearStep {
+        axis: gen_axis(a.axis, b.axis),
+        test,
+    }
+}
+
+/// A `/*` filler step recording skipped middle steps.
+fn filler() -> LinearStep {
+    LinearStep {
+        axis: Axis::Child,
+        test: NameTest::Wildcard,
+    }
+}
+
+/// Generalizes a pair of linear patterns, returning every generalized
+/// pattern the paper's rules produce (deduplicated, Rule 0 applied). The
+/// result may be empty only for degenerate (empty) inputs.
+pub fn generalize_pair(p: &LinearPath, q: &LinearPath) -> Vec<LinearPath> {
+    if p.is_empty() || q.is_empty() {
+        return Vec::new();
+    }
+    let mut results: BTreeSet<LinearPath> = BTreeSet::new();
+    // Recursion depth is bounded by |p| + |q|; the branching of Rule 4 is
+    // bounded by first-occurrence alignment, so the state space is small.
+    step(&mut results, Vec::new(), &p.steps, 0, &q.steps, 0);
+    results.into_iter().collect()
+}
+
+/// `generalizeStep` + `advanceStep`, fused. `i`/`j` index the next
+/// unconsumed steps of `p`/`q`.
+fn step(
+    out: &mut BTreeSet<LinearPath>,
+    gen: Vec<LinearStep>,
+    p: &[LinearStep],
+    i: usize,
+    q: &[LinearStep],
+    j: usize,
+) {
+    let last_p = i + 1 == p.len();
+    let last_q = j + 1 == q.len();
+    match (last_p, last_q) {
+        // Rule 1 (via Algorithm 1 line 4-12): consume the two last steps
+        // together, rewrite, emit.
+        (true, true) => {
+            let mut gen = gen;
+            gen.push(gen_node(&p[i], &q[j]));
+            out.insert(LinearPath::new(gen).rewrite_rule0());
+        }
+        // Rules 2/3: a last step can only generalize with another last
+        // step; fast-forward the non-last side to its last step, recording
+        // the skipped steps as a `/*` filler.
+        (true, false) => {
+            let mut gen = gen;
+            gen.push(filler());
+            step(out, gen, p, i, q, q.len() - 1);
+        }
+        (false, true) => {
+            let mut gen = gen;
+            gen.push(filler());
+            step(out, gen, p, p.len() - 1, q, j);
+        }
+        // Rule 4: both middle steps.
+        (false, false) => {
+            // (1) Consume the pair and advance both.
+            let mut g1 = gen.clone();
+            g1.push(gen_node(&p[i], &q[j]));
+            step(out, g1, p, i + 1, q, j + 1);
+            // (2) Align q's current step with its first re-occurrence in
+            // p's remainder (skipping p steps → filler).
+            if let Some(k) = find_occurrence(p, i + 1, &q[j].test) {
+                let mut g2 = gen.clone();
+                g2.push(filler());
+                step(out, g2, p, k, q, j);
+            }
+            // (3) Symmetric.
+            if let Some(k) = find_occurrence(q, j + 1, &p[i].test) {
+                let mut g3 = gen;
+                g3.push(filler());
+                step(out, g3, p, i, q, k);
+            }
+        }
+    }
+}
+
+fn find_occurrence(steps: &[LinearStep], from: usize, test: &NameTest) -> Option<usize> {
+    (from..steps.len()).find(|&k| steps[k].test == *test)
+}
+
+/// Applies pairwise generalization over a candidate set until no new
+/// pattern appears (the paper's fixpoint), inserting generalized
+/// candidates and recording DAG edges `generalized → generalized-from`.
+///
+/// Two candidates are compatible iff they live on the same collection and
+/// have the same value kind. Generalized results that are equivalent to an
+/// input pattern are not re-inserted (no self-edges); results are verified
+/// to cover both inputs (a safety net around the rule engine).
+///
+/// Returns the ids of the newly created generalized candidates.
+pub fn generalize_set(set: &mut CandidateSet) -> Vec<crate::candidate::CandId> {
+    let mut created = Vec::new();
+    let mut frontier: Vec<crate::candidate::CandId> = set.ids().collect();
+    let mut all: Vec<crate::candidate::CandId> = frontier.clone();
+    while !frontier.is_empty() {
+        let mut new_ids = Vec::new();
+        for &a in &frontier {
+            for &b in &all {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (set.get(a), set.get(b));
+                if ca.collection != cb.collection || ca.kind != cb.kind {
+                    continue;
+                }
+                let (pa, pb, coll, kind) = (
+                    ca.pattern.clone(),
+                    cb.pattern.clone(),
+                    ca.collection.clone(),
+                    ca.kind,
+                );
+                for g in generalize_pair(&pa, &pb) {
+                    // Safety: a generalization must cover both inputs.
+                    if !contain::covers(&g, &pa) || !contain::covers(&g, &pb) {
+                        continue;
+                    }
+                    // Skip results equivalent to an input (no new pattern).
+                    if g == pa || g == pb {
+                        let target = if g == pa { a } else { b };
+                        let other = if g == pa { b } else { a };
+                        set.add_edge(target, other);
+                        continue;
+                    }
+                    let existing = set.lookup(&coll, &g, kind);
+                    let gid = set.insert(&coll, g, kind, CandOrigin::Generalized);
+                    set.add_edge(gid, a);
+                    set.add_edge(gid, b);
+                    if existing.is_none() {
+                        new_ids.push(gid);
+                        created.push(gid);
+                    }
+                }
+            }
+        }
+        all.extend(new_ids.iter().copied());
+        frontier = new_ids;
+    }
+    // Affected sets of generalized candidates: union over the basic
+    // candidates they cover (statements that produced covered patterns).
+    let basics = set.basic_ids();
+    for &gid in &created {
+        let gp = set.get(gid).pattern.clone();
+        let mut affected = set.get(gid).affected.clone();
+        for &b in &basics {
+            let cb = set.get(b);
+            if cb.collection == set.get(gid).collection
+                && cb.kind == set.get(gid).kind
+                && contain::covers(&gp, &cb.pattern)
+            {
+                affected.union_with(&cb.affected.clone());
+            }
+        }
+        set.get_mut(gid).affected = affected;
+    }
+    created
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{CandOrigin, CandidateSet};
+    use xia_xpath::parse_linear_path;
+
+    fn lp(s: &str) -> LinearPath {
+        parse_linear_path(s).unwrap()
+    }
+
+    fn gen(a: &str, b: &str) -> Vec<String> {
+        generalize_pair(&lp(a), &lp(b))
+            .into_iter()
+            .map(|p| p.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_c1_c2() {
+        // /Security/Symbol ⊔ /Security/SecInfo/*/Sector → /Security//*
+        let out = gen("/Security/Symbol", "/Security/SecInfo/*/Sector");
+        assert_eq!(out, vec!["/Security//*"]);
+    }
+
+    #[test]
+    fn paper_example_reoccurrence() {
+        // /a/b/d ⊔ /a/d/b/d → {/a//d, /a//b/d} (paper Section V).
+        let out = gen("/a/b/d", "/a/d/b/d");
+        assert!(out.contains(&"/a//d".to_string()), "{out:?}");
+        assert!(out.contains(&"/a//b/d".to_string()), "{out:?}");
+    }
+
+    #[test]
+    fn identical_paths_generalize_to_themselves() {
+        assert_eq!(gen("/a/b/c", "/a/b/c"), vec!["/a/b/c"]);
+    }
+
+    #[test]
+    fn same_parent_different_leaves() {
+        assert_eq!(gen("/Security/Symbol", "/Security/Yield"), vec!["/Security/*"]);
+    }
+
+    #[test]
+    fn descendant_axis_propagates() {
+        // genAxis: // wins.
+        let out = gen("/a//b", "/a/b");
+        assert_eq!(out, vec!["/a//b"]);
+    }
+
+    #[test]
+    fn different_roots_generalize_to_descendant_leaf() {
+        // The generalized middle `*` is folded by Rule 0: /*/x → //x.
+        let out = gen("/a/x", "/b/x");
+        assert_eq!(out, vec!["//x"]);
+    }
+
+    #[test]
+    fn different_lengths_produce_descendant_target() {
+        let out = gen("/a/b", "/a/x/y/b");
+        assert!(out.contains(&"/a//b".to_string()), "{out:?}");
+    }
+
+    #[test]
+    fn results_cover_both_inputs_exhaustive() {
+        let samples = [
+            "/a/b",
+            "/a/b/c",
+            "/a//c",
+            "/a/*/c",
+            "/x/y",
+            "/a/b/d",
+            "/a/d/b/d",
+            "/Security/SecInfo/StockInfo/Sector",
+            "/Security/Symbol",
+        ];
+        for a in &samples {
+            for b in &samples {
+                let (pa, pb) = (lp(a), lp(b));
+                for g in generalize_pair(&pa, &pb) {
+                    assert!(
+                        contain::covers(&g, &pa) && contain::covers(&g, &pb),
+                        "{g} does not cover {a} ⊔ {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_expands_set_and_builds_dag() {
+        let mut set = CandidateSet::new();
+        let c1 = set.insert("SDOC", lp("/Security/Symbol"), xia_xpath::ValueKind::Str, CandOrigin::Basic);
+        let c2 = set.insert(
+            "SDOC",
+            lp("/Security/SecInfo/*/Sector"),
+            xia_xpath::ValueKind::Str,
+            CandOrigin::Basic,
+        );
+        // C3 is numerical: must not generalize with C1/C2 (paper Table I).
+        let c3 = set.insert("SDOC", lp("/Security/Yield"), xia_xpath::ValueKind::Num, CandOrigin::Basic);
+        set.get_mut(c1).affected.insert(0);
+        set.get_mut(c2).affected.insert(1);
+        set.get_mut(c3).affected.insert(1);
+        let created = generalize_set(&mut set);
+        assert_eq!(created.len(), 1);
+        let g = set.get(created[0]);
+        assert_eq!(g.pattern.to_string(), "/Security//*");
+        assert_eq!(g.kind, xia_xpath::ValueKind::Str);
+        let mut kids = g.children.clone();
+        kids.sort();
+        assert_eq!(kids, vec![c1, c2]);
+        // Affected set of the generalization = union of its basics'.
+        assert!(g.affected.contains(0) && g.affected.contains(1));
+        // The numeric candidate remains a root (nothing generalized it).
+        assert!(set.get(c3).parents.is_empty());
+    }
+
+    #[test]
+    fn cross_collection_candidates_do_not_generalize() {
+        let mut set = CandidateSet::new();
+        set.insert("SDOC", lp("/Security/Symbol"), xia_xpath::ValueKind::Str, CandOrigin::Basic);
+        set.insert("ODOC", lp("/Order/Symbol"), xia_xpath::ValueKind::Str, CandOrigin::Basic);
+        let created = generalize_set(&mut set);
+        assert!(created.is_empty());
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_many_siblings() {
+        let mut set = CandidateSet::new();
+        for leaf in ["a", "b", "c", "d", "e"] {
+            set.insert(
+                "C",
+                lp(&format!("/root/mid/{leaf}")),
+                xia_xpath::ValueKind::Str,
+                CandOrigin::Basic,
+            );
+        }
+        let created = generalize_set(&mut set);
+        // All pairs generalize to the single /root/mid/*.
+        assert_eq!(created.len(), 1);
+        assert_eq!(set.get(created[0]).pattern.to_string(), "/root/mid/*");
+        assert_eq!(set.get(created[0]).children.len(), 5);
+    }
+
+    #[test]
+    fn generalization_expansion_is_bounded() {
+        // Mixed-shape candidates must reach a fixpoint without explosion.
+        let mut set = CandidateSet::new();
+        for p in [
+            "/s/a/x",
+            "/s/b/x",
+            "/s/a/y",
+            "/s/c/d/x",
+            "/s//y",
+            "/t/a",
+        ] {
+            set.insert("C", lp(p), xia_xpath::ValueKind::Str, CandOrigin::Basic);
+        }
+        let created = generalize_set(&mut set);
+        assert!(!created.is_empty());
+        assert!(set.len() < 60, "unexpected explosion: {}", set.len());
+    }
+}

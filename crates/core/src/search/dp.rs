@@ -1,0 +1,75 @@
+//! Dynamic-programming 0/1 knapsack (paper Section VII-B: "finds the
+//! optimal solution to the knapsack problem, but is prohibitively
+//! expensive and ignores index interaction").
+//!
+//! Sizes are quantized to keep the table bounded; with the default
+//! granularity of 1/2048 of the budget, the quantization error is well
+//! under typical index-size estimation error.
+
+use super::standalone_benefits;
+use crate::benefit::BenefitEvaluator;
+use crate::candidate::CandId;
+
+/// Quantization steps for the weight dimension.
+const UNITS: u64 = 2048;
+
+/// Optimal (interaction-free) configuration by dynamic programming.
+pub fn dp_knapsack(
+    ev: &mut BenefitEvaluator<'_>,
+    candidates: &[CandId],
+    budget: u64,
+) -> Vec<CandId> {
+    if budget == 0 {
+        return Vec::new();
+    }
+    let benefits = standalone_benefits(ev, candidates);
+    let items: Vec<(CandId, u64, f64)> = candidates
+        .iter()
+        .filter_map(|&id| {
+            let b = benefits.get(&id).copied().unwrap_or(0.0);
+            if b <= 0.0 {
+                return None;
+            }
+            Some((id, ev.candidates().get(id).size, b))
+        })
+        .collect();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let unit = (budget / UNITS).max(1);
+    // Round weights *up* so quantization never overpacks the real budget.
+    let weights: Vec<usize> = items
+        .iter()
+        .map(|(_, size, _)| (size.div_ceil(unit)) as usize)
+        .collect();
+    let cap = (budget / unit) as usize;
+
+    // dp[w] = best value with capacity w; keep[i][w] for reconstruction.
+    let mut dp = vec![0.0f64; cap + 1];
+    let mut keep = vec![vec![false; cap + 1]; items.len()];
+    for (i, (_, _, value)) in items.iter().enumerate() {
+        let w = weights[i];
+        if w > cap {
+            continue;
+        }
+        for c in (w..=cap).rev() {
+            let candidate_value = dp[c - w] + value;
+            if candidate_value > dp[c] {
+                dp[c] = candidate_value;
+                keep[i][c] = true;
+            }
+        }
+    }
+
+    // Reconstruct.
+    let mut chosen = Vec::new();
+    let mut c = cap;
+    for i in (0..items.len()).rev() {
+        if keep[i][c] {
+            chosen.push(items[i].0);
+            c -= weights[i];
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}

@@ -1,0 +1,187 @@
+//! Greedy knapsack searches: plain, and with the paper's heuristics
+//! (Section VI-A).
+
+use super::{by_density, standalone_benefits};
+use crate::benefit::BenefitEvaluator;
+use crate::candidate::CandId;
+use std::collections::HashSet;
+use xia_xpath::contain;
+
+/// Plain greedy search, as in relational index advisors: rank candidates
+/// by standalone benefit density and take them in order while they fit.
+/// Ignores index interaction — the paper shows this wastes budget on
+/// redundant indexes (its Fig. 2 greedy line).
+pub fn greedy(ev: &mut BenefitEvaluator<'_>, candidates: &[CandId], budget: u64) -> Vec<CandId> {
+    let benefits = standalone_benefits(ev, candidates);
+    let order = by_density(ev, &benefits, candidates);
+    let mut chosen = Vec::new();
+    let mut used = 0u64;
+    for id in order {
+        if benefits[&id] <= 0.0 {
+            continue;
+        }
+        let size = ev.candidates().get(id).size;
+        if used + size <= budget {
+            chosen.push(id);
+            used += size;
+        }
+    }
+    chosen
+}
+
+/// Greedy search with the paper's heuristics:
+///
+/// * the benefit of the *entire* configuration decides admission (index
+///   interaction respected);
+/// * a bitmap of covered workload patterns blocks general indexes that
+///   only replicate coverage already chosen;
+/// * a general index `x_g` generalizing basics `x_1..x_n` is admitted only
+///   if `IB(x_g) ≥ IB(x_1..x_n)` and
+///   `Size(x_g) ≤ (1+β)·Σ Size(x_i)` (β defaults to 10%).
+pub fn greedy_heuristics(
+    ev: &mut BenefitEvaluator<'_>,
+    candidates: &[CandId],
+    budget: u64,
+    beta: f64,
+) -> Vec<CandId> {
+    let benefits = standalone_benefits(ev, candidates);
+    let order = by_density(ev, &benefits, candidates);
+
+    let mut chosen: Vec<CandId> = Vec::new();
+    let mut chosen_benefit = 0.0f64;
+    let mut used = 0u64;
+    // Bitmap of basic candidates whose pattern is covered by the selection.
+    let mut covered: HashSet<CandId> = HashSet::new();
+    let basics = ev.candidates().basic_ids();
+
+    for id in order {
+        if benefits[&id] <= 0.0 {
+            continue;
+        }
+        let size = ev.candidates().get(id).size;
+        if used + size > budget {
+            continue;
+        }
+        let is_general = {
+            let c = ev.candidates().get(id);
+            c.origin == crate::candidate::CandOrigin::Generalized
+        };
+        if is_general {
+            let covered_basics = basics_covered_by(ev, id, &basics);
+            // Redundancy bitmap: a general index whose coverage adds no new
+            // workload pattern is a pure replication.
+            if !covered_basics.is_empty() && covered_basics.iter().all(|b| covered.contains(b)) {
+                continue;
+            }
+            // Heuristic 2: bounded size expansion over the specifics.
+            let spec_size: u64 = covered_basics
+                .iter()
+                .map(|&b| ev.candidates().get(b).size)
+                .sum();
+            if spec_size > 0 && size as f64 > (1.0 + beta) * spec_size as f64 {
+                continue;
+            }
+            // Heuristic 1: the general index must be at least as good as
+            // the specifics it replaces (improved benefit over the current
+            // configuration).
+            let mut with_general = chosen.clone();
+            with_general.push(id);
+            let ib_general = ev.benefit(&with_general);
+            let mut with_specifics = chosen.clone();
+            for &b in &covered_basics {
+                if !with_specifics.contains(&b) {
+                    with_specifics.push(b);
+                }
+            }
+            let ib_specifics = ev.benefit(&with_specifics);
+            if ib_general < ib_specifics {
+                continue;
+            }
+            if ib_general > chosen_benefit {
+                chosen = with_general;
+                chosen_benefit = ib_general;
+                used += size;
+                covered.extend(covered_basics);
+            }
+        } else {
+            // Basic candidate: admit if the whole configuration improves.
+            if covered.contains(&id) {
+                continue; // its pattern is already served by a chosen index
+            }
+            let mut with = chosen.clone();
+            with.push(id);
+            let ib = ev.benefit(&with);
+            if ib > chosen_benefit {
+                chosen = with;
+                chosen_benefit = ib;
+                used += size;
+                covered.insert(id);
+            }
+        }
+    }
+
+    // Final redundancy pass (paper Section VI-A): compile the workload
+    // under the chosen configuration, drop indexes no plan uses, and refill
+    // the reclaimed space from the remaining candidates.
+    for _ in 0..4 {
+        let in_use = ev.used_candidates(&chosen);
+        if in_use.len() == chosen.len() {
+            break;
+        }
+        chosen.retain(|id| in_use.contains(id));
+        chosen_benefit = ev.benefit(&chosen);
+        used = chosen
+            .iter()
+            .map(|&id| ev.candidates().get(id).size)
+            .sum();
+        let mut grew = false;
+        for &id in &by_density(ev, &benefits, candidates) {
+            if chosen.contains(&id) || benefits[&id] <= 0.0 {
+                continue;
+            }
+            let size = ev.candidates().get(id).size;
+            if used + size > budget {
+                continue;
+            }
+            let mut with = chosen.clone();
+            with.push(id);
+            let ib = ev.benefit(&with);
+            if ib > chosen_benefit {
+                chosen = with;
+                chosen_benefit = ib;
+                used += size;
+                grew = true;
+            }
+        }
+        if !grew {
+            // Converged: one more prune below (loop) or done.
+            let in_use = ev.used_candidates(&chosen);
+            chosen.retain(|id| in_use.contains(id));
+            break;
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Basic candidates (same collection and kind) covered by a candidate's
+/// pattern.
+pub(crate) fn basics_covered_by(
+    ev: &BenefitEvaluator<'_>,
+    id: CandId,
+    basics: &[CandId],
+) -> Vec<CandId> {
+    let set = ev.candidates();
+    let c = set.get(id);
+    basics
+        .iter()
+        .copied()
+        .filter(|&b| {
+            let cb = set.get(b);
+            b != id
+                && cb.collection == c.collection
+                && cb.kind == c.kind
+                && contain::covers(&c.pattern, &cb.pattern)
+        })
+        .collect()
+}

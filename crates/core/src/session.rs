@@ -1,0 +1,200 @@
+//! Incremental tuning sessions.
+//!
+//! A [`TuningSession`] accumulates workload statements over time (the
+//! paper's motivating DBA workflow: "the DBA has assembled a representative
+//! training workload, but the actual workload may be a variation") and
+//! re-advises on demand, reusing enumeration and generalization work when
+//! nothing changed.
+
+use crate::advisor::{Advisor, AdvisorParams, Recommendation, SearchAlgorithm};
+use crate::candidate::CandidateSet;
+use xia_storage::Database;
+use xia_workloads::Workload;
+use xia_xpath::ParseError;
+
+/// An incremental advisor session over one database.
+pub struct TuningSession<'db> {
+    db: &'db mut Database,
+    workload: Workload,
+    params: AdvisorParams,
+    /// Prepared candidates, invalidated when the workload changes.
+    prepared: Option<CandidateSet>,
+}
+
+impl<'db> TuningSession<'db> {
+    /// Opens a session on a database.
+    pub fn new(db: &'db mut Database) -> Self {
+        Self {
+            db,
+            workload: Workload::new(),
+            params: AdvisorParams::default(),
+            prepared: None,
+        }
+    }
+
+    /// Replaces the advisor parameters (invalidates prepared state if the
+    /// generalization switch changed).
+    pub fn set_params(&mut self, params: AdvisorParams) {
+        if params.generalize != self.params.generalize {
+            self.prepared = None;
+        }
+        self.params = params;
+    }
+
+    /// Adds one statement with frequency 1.
+    pub fn observe(&mut self, statement_text: &str) -> Result<(), ParseError> {
+        self.observe_with_freq(statement_text, 1.0)
+    }
+
+    /// Adds one statement with an explicit frequency.
+    pub fn observe_with_freq(&mut self, statement_text: &str, freq: f64) -> Result<(), ParseError> {
+        self.workload.push_with_freq(statement_text, freq)?;
+        self.prepared = None;
+        Ok(())
+    }
+
+    /// Number of observed statements.
+    pub fn observed(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// The accumulated workload (compressed: duplicates merged).
+    pub fn workload(&self) -> Workload {
+        self.workload.compress()
+    }
+
+    fn ensure_prepared(&mut self) -> &CandidateSet {
+        if self.prepared.is_none() {
+            let compressed = self.workload.compress();
+            self.prepared = Some(Advisor::prepare(self.db, &compressed, &self.params));
+        }
+        self.prepared.as_ref().expect("just prepared")
+    }
+
+    /// Candidate count after enumeration + generalization (for monitoring).
+    pub fn candidate_count(&mut self) -> usize {
+        self.ensure_prepared();
+        self.prepared.as_ref().expect("prepared").len()
+    }
+
+    /// Produces a recommendation for the accumulated workload.
+    pub fn recommend(&mut self, budget: u64, algorithm: SearchAlgorithm) -> Recommendation {
+        self.ensure_prepared();
+        let compressed = self.workload.compress();
+        let set = self.prepared.as_ref().expect("prepared");
+        Advisor::recommend_prepared(self.db, &compressed, set, budget, algorithm, &self.params)
+    }
+
+    /// Materializes a recommendation produced by this session.
+    pub fn apply(&mut self, rec: &Recommendation) -> usize {
+        let set = self.ensure_prepared();
+        // `prepared` is still valid — materializing does not change the
+        // workload — but borrowck needs the set cloned out of self.
+        let config = rec.config.clone();
+        let _ = set;
+        let set = self.prepared.take().expect("prepared above");
+        let n = Advisor::materialize(self.db, &set, &config);
+        self.prepared = Some(set);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_workloads::tpox::{self, TpoxConfig};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        tpox::generate(&mut db, &TpoxConfig::tiny());
+        db
+    }
+
+    #[test]
+    fn session_accumulates_and_recommends() {
+        let mut db = db();
+        let mut session = TuningSession::new(&mut db);
+        session
+            .observe(r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "SYM00001" return $s"#)
+            .unwrap();
+        assert_eq!(session.observed(), 1);
+        let rec1 = session.recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics);
+        assert_eq!(rec1.indexes.len(), 1);
+
+        session
+            .observe(r#"for $o in ORDER('ODOC')/Order where $o/AccountId = "A00001" return $o"#)
+            .unwrap();
+        let rec2 = session.recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics);
+        assert!(rec2.indexes.len() >= 2, "{:?}", rec2.indexes);
+    }
+
+    #[test]
+    fn duplicate_observations_compress() {
+        let mut db = db();
+        let mut session = TuningSession::new(&mut db);
+        for _ in 0..5 {
+            session
+                .observe(r#"collection('SDOC')/Security[Symbol = "SYM00002"]"#)
+                .unwrap();
+        }
+        assert_eq!(session.observed(), 5);
+        assert_eq!(session.workload().len(), 1);
+        assert_eq!(session.workload().entries()[0].freq, 5.0);
+    }
+
+    #[test]
+    fn prepared_state_reused_until_workload_changes() {
+        let mut db = db();
+        let mut session = TuningSession::new(&mut db);
+        session
+            .observe(r#"collection('SDOC')/Security[Symbol = "SYM00003"]"#)
+            .unwrap();
+        let c1 = session.candidate_count();
+        let c2 = session.candidate_count();
+        assert_eq!(c1, c2);
+        session
+            .observe(r#"collection('SDOC')/Security[Yield > 4]"#)
+            .unwrap();
+        let c3 = session.candidate_count();
+        assert!(c3 >= c1);
+    }
+
+    #[test]
+    fn apply_materializes_indexes() {
+        let mut db = db();
+        let mut session = TuningSession::new(&mut db);
+        session
+            .observe(r#"collection('SDOC')/Security[Symbol = "SYM00004"]"#)
+            .unwrap();
+        let rec = session.recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics);
+        let n = session.apply(&rec);
+        assert_eq!(n, rec.indexes.len());
+        assert!(n >= 1);
+        let physical = db
+            .catalog("SDOC")
+            .unwrap()
+            .iter()
+            .filter(|d| !d.is_virtual())
+            .count();
+        assert_eq!(physical, n);
+    }
+
+    #[test]
+    fn ddl_renders_create_index_statements() {
+        let mut db = db();
+        let mut session = TuningSession::new(&mut db);
+        session
+            .observe(r#"collection('SDOC')/Security[Symbol = "SYM00005"]"#)
+            .unwrap();
+        session
+            .observe(r#"collection('SDOC')/Security[Yield > 4.5]"#)
+            .unwrap();
+        let rec = session.recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics);
+        let ddl = rec.ddl();
+        assert!(ddl.contains("CREATE INDEX idx_sdoc_1"), "{ddl}");
+        assert!(ddl.contains("GENERATE KEY USING XMLPATTERN"), "{ddl}");
+        if rec.indexes.iter().any(|i| i.kind == xia_xpath::ValueKind::Num) {
+            assert!(ddl.contains("SQL DOUBLE"));
+        }
+    }
+}

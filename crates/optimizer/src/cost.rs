@@ -1,0 +1,139 @@
+//! Cost model constants.
+//!
+//! Costs are in abstract "timerons" (the DB2 unit the paper's prototype
+//! reports): a blend of I/O and CPU work. Absolute values are calibration
+//! constants; the experiments only depend on their *ratios* (index probes
+//! much cheaper than scans, I/O dominating CPU).
+
+use xia_storage::size::{pages, PAGE_SIZE};
+
+/// Tunable cost-model constants.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Cost of reading one page.
+    pub io_page: f64,
+    /// CPU cost of visiting one node during navigation.
+    pub cpu_node: f64,
+    /// CPU cost of evaluating one predicate.
+    pub cpu_pred: f64,
+    /// CPU cost of scanning one index entry.
+    pub cpu_entry: f64,
+    /// CPU cost of locating and latching one document.
+    pub cpu_fetch_doc: f64,
+    /// Bytes of storage per node (structure overhead, values excluded).
+    pub node_bytes: f64,
+    /// Cost of writing one page.
+    pub io_write_page: f64,
+    /// Cost of maintaining one index entry on a data modification
+    /// (the `mc` unit of the paper's benefit formula).
+    pub update_entry: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            io_page: 10.0,
+            cpu_node: 0.02,
+            cpu_pred: 0.01,
+            cpu_entry: 0.004,
+            cpu_fetch_doc: 0.5,
+            node_bytes: 24.0,
+            io_write_page: 15.0,
+            update_entry: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Storage bytes of a collection with `nodes` nodes and `value_bytes`
+    /// bytes of text.
+    pub fn collection_bytes(&self, nodes: f64, value_bytes: f64) -> f64 {
+        nodes * self.node_bytes + value_bytes
+    }
+
+    /// Cost of a full collection scan with navigation-based predicate
+    /// evaluation.
+    pub fn scan_cost(&self, nodes: f64, value_bytes: f64, predicates: usize) -> f64 {
+        let bytes = self.collection_bytes(nodes, value_bytes);
+        pages(bytes) * self.io_page
+            + nodes * self.cpu_node
+            + nodes * predicates as f64 * self.cpu_pred * 0.1
+    }
+
+    /// Cost of probing an index: descend `levels`, then scan `postings`
+    /// entries off the leaves.
+    pub fn probe_cost(&self, levels: u32, postings: f64, entry_bytes: f64) -> f64 {
+        let leaf_bytes = postings * entry_bytes;
+        levels as f64 * self.io_page + pages(leaf_bytes).min(postings.max(1.0)) * self.io_page * 0.2
+            + postings * self.cpu_entry
+    }
+
+    /// Cost of fetching `docs` documents of `avg_doc_nodes` nodes /
+    /// `avg_doc_bytes` bytes each and evaluating `residual_preds` residual
+    /// predicates by navigation.
+    pub fn fetch_cost(
+        &self,
+        docs: f64,
+        avg_doc_nodes: f64,
+        avg_doc_bytes: f64,
+        residual_preds: usize,
+    ) -> f64 {
+        let doc_pages = pages(avg_doc_nodes * self.node_bytes + avg_doc_bytes);
+        docs * (self.cpu_fetch_doc + doc_pages * self.io_page)
+            + docs * avg_doc_nodes * self.cpu_node * 0.5
+            + docs * residual_preds as f64 * self.cpu_pred
+    }
+
+    /// Cost of writing back `docs` documents.
+    pub fn write_cost(&self, docs: f64, avg_doc_nodes: f64, avg_doc_bytes: f64) -> f64 {
+        let doc_pages = pages(avg_doc_nodes * self.node_bytes + avg_doc_bytes);
+        docs * doc_pages * self.io_write_page
+    }
+
+    /// Cost of storing a freshly inserted document of `nodes` nodes.
+    pub fn insert_cost(&self, nodes: f64, value_bytes: f64) -> f64 {
+        let bytes = nodes * self.node_bytes + value_bytes;
+        nodes * self.cpu_node + pages(bytes) * self.io_write_page
+    }
+
+    /// The page size the model assumes (re-exported for reports).
+    pub fn page_size(&self) -> f64 {
+        PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_cost_scales_with_data() {
+        let m = CostModel::default();
+        let small = m.scan_cost(1_000.0, 10_000.0, 1);
+        let large = m.scan_cost(100_000.0, 1_000_000.0, 1);
+        assert!(large > small * 50.0);
+    }
+
+    #[test]
+    fn probe_is_much_cheaper_than_scan_for_selective_predicates() {
+        let m = CostModel::default();
+        let scan = m.scan_cost(1_000_000.0, 10_000_000.0, 1);
+        let probe = m.probe_cost(3, 10.0, 20.0);
+        assert!(probe * 100.0 < scan, "probe={probe} scan={scan}");
+    }
+
+    #[test]
+    fn fetch_cost_scales_with_docs() {
+        let m = CostModel::default();
+        let one = m.fetch_cost(1.0, 50.0, 500.0, 1);
+        let hundred = m.fetch_cost(100.0, 50.0, 500.0, 1);
+        assert!((hundred / one - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn insert_cost_is_positive_and_monotonic() {
+        let m = CostModel::default();
+        assert!(m.insert_cost(10.0, 100.0) > 0.0);
+        assert!(m.insert_cost(100.0, 1_000.0) > m.insert_cost(10.0, 100.0));
+    }
+}

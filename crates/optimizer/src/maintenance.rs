@@ -1,0 +1,228 @@
+//! Index maintenance cost — the `mc(x, s)` term of the paper's benefit
+//! formula.
+//!
+//! The DB2 optimizer's cost estimates for update/delete/insert statements
+//! do *not* include the cost of updating indexes, so the advisor subtracts
+//! an explicit maintenance cost for every index in a candidate
+//! configuration (paper Section III; detailed model in tech report
+//! CS-2007-22). We model it as: entries touched × per-entry update cost.
+
+use crate::cost::CostModel;
+use crate::modes::Optimizer;
+use xia_storage::{CollectionStats, IndexStats};
+use xia_xml::{parse_document, Vocabulary};
+use xia_xpath::{contain, LinearPath, Statement, ValueKind};
+
+/// Counts the entries an index with `pattern`/`kind` would gain from an
+/// inserted XML payload (parses into a scratch vocabulary; the payload may
+/// introduce paths the collection has never seen).
+pub fn payload_matching_entries(xml: &str, pattern: &LinearPath, kind: ValueKind) -> u64 {
+    let mut vocab = Vocabulary::new();
+    let Ok(doc) = parse_document(xml, &mut vocab) else {
+        return 0;
+    };
+    let mut count = 0u64;
+    for (_, node) in doc.nodes() {
+        let Some(value) = &node.value else { continue };
+        if kind == ValueKind::Num && value.as_num().is_none() {
+            continue;
+        }
+        let labels: Vec<&str> = vocab
+            .paths
+            .labels(node.path)
+            .iter()
+            .map(|&s| vocab.names.resolve(s))
+            .collect();
+        if pattern.matches_labels(&labels) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Maintenance cost of one index for one statement.
+///
+/// * queries: 0;
+/// * insert: entries the payload adds to the index;
+/// * delete: estimated victim docs × the index's entries-per-document;
+/// * update: if the index covers the rewritten path, estimated victim docs
+///   × 2 (delete + insert of the key).
+pub fn maintenance_cost(
+    pattern: &LinearPath,
+    kind: ValueKind,
+    index_stats: &IndexStats,
+    stmt: &Statement,
+    optimizer: &Optimizer<'_>,
+    coll_stats: &CollectionStats,
+    cm: &CostModel,
+) -> f64 {
+    match stmt {
+        Statement::Query(_) => 0.0,
+        Statement::Insert { xml, .. } => {
+            payload_matching_entries(xml, pattern, kind) as f64 * cm.update_entry
+        }
+        Statement::Delete { .. } => {
+            let docs = optimizer.estimate_target_docs(stmt);
+            let per_doc = if coll_stats.doc_count == 0 {
+                0.0
+            } else {
+                index_stats.entries as f64 / coll_stats.doc_count as f64
+            };
+            docs * per_doc * cm.update_entry
+        }
+        Statement::Update { set, .. } => {
+            if contain::covers(pattern, set) {
+                let docs = optimizer.estimate_target_docs(stmt);
+                docs * 2.0 * cm.update_entry
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_storage::{runstats, Catalog, Collection};
+    use xia_xpath::{parse_linear_path, parse_statement};
+
+    #[test]
+    fn payload_matching_counts_by_pattern_and_kind() {
+        let xml = "<Security><Symbol>IBM</Symbol><Yield>4.5</Yield><Name>Intl</Name></Security>";
+        let sym = parse_linear_path("/Security/Symbol").unwrap();
+        assert_eq!(payload_matching_entries(xml, &sym, ValueKind::Str), 1);
+        let all = parse_linear_path("/Security//*").unwrap();
+        assert_eq!(payload_matching_entries(xml, &all, ValueKind::Str), 3);
+        assert_eq!(payload_matching_entries(xml, &all, ValueKind::Num), 1);
+        let other = parse_linear_path("/Order/Price").unwrap();
+        assert_eq!(payload_matching_entries(xml, &other, ValueKind::Str), 0);
+    }
+
+    #[test]
+    fn malformed_payload_counts_zero() {
+        let p = parse_linear_path("/a").unwrap();
+        assert_eq!(payload_matching_entries("<a><b>", &p, ValueKind::Str), 0);
+    }
+
+    fn setup() -> (Collection, xia_storage::CollectionStats, Catalog) {
+        let mut c = Collection::new("SDOC");
+        for i in 0..100u32 {
+            c.build_doc("Security", |b| {
+                b.leaf("Symbol", format!("S{i}").as_str());
+                b.leaf("Yield", (i % 10) as f64);
+            });
+        }
+        let s = runstats(&c);
+        let mut cat = Catalog::new();
+        cat.create_virtual(
+            &c,
+            &s,
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            ValueKind::Str,
+        );
+        (c, s, cat)
+    }
+
+    #[test]
+    fn queries_have_zero_maintenance() {
+        let (c, s, cat) = setup();
+        let opt = Optimizer::new(&c, &s, &cat);
+        let q = parse_statement(
+            r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "S1" return $s"#,
+        )
+        .unwrap();
+        let def = cat.iter().next().unwrap();
+        let mc = maintenance_cost(
+            &def.pattern,
+            def.kind,
+            &def.stats,
+            &q,
+            &opt,
+            &s,
+            opt.cost_model(),
+        );
+        assert_eq!(mc, 0.0);
+    }
+
+    #[test]
+    fn insert_maintenance_charges_matching_entries() {
+        let (c, s, cat) = setup();
+        let opt = Optimizer::new(&c, &s, &cat);
+        let ins =
+            parse_statement("insert into SDOC <Security><Symbol>X</Symbol></Security>").unwrap();
+        let def = cat.iter().next().unwrap();
+        let mc = maintenance_cost(
+            &def.pattern,
+            def.kind,
+            &def.stats,
+            &ins,
+            &opt,
+            &s,
+            opt.cost_model(),
+        );
+        assert!((mc - opt.cost_model().update_entry).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delete_maintenance_scales_with_victims() {
+        let (c, s, cat) = setup();
+        let opt = Optimizer::new(&c, &s, &cat);
+        let selective =
+            parse_statement(r#"delete from SDOC where /Security[Symbol = "S3"]"#).unwrap();
+        let broad = parse_statement(r#"delete from SDOC where /Security[Yield >= 0]"#).unwrap();
+        let def = cat.iter().next().unwrap();
+        let mc_sel = maintenance_cost(
+            &def.pattern,
+            def.kind,
+            &def.stats,
+            &selective,
+            &opt,
+            &s,
+            opt.cost_model(),
+        );
+        let mc_broad = maintenance_cost(
+            &def.pattern,
+            def.kind,
+            &def.stats,
+            &broad,
+            &opt,
+            &s,
+            opt.cost_model(),
+        );
+        assert!(mc_broad > mc_sel * 10.0, "sel={mc_sel} broad={mc_broad}");
+    }
+
+    #[test]
+    fn update_charges_only_covering_indexes() {
+        let (c, s, cat) = setup();
+        let opt = Optimizer::new(&c, &s, &cat);
+        let upd = parse_statement(
+            r#"update SDOC set /Security/Yield = 9 where /Security[Symbol = "S3"]"#,
+        )
+        .unwrap();
+        let sym = parse_linear_path("/Security/Symbol").unwrap();
+        let yld = parse_linear_path("/Security/Yield").unwrap();
+        let def = cat.iter().next().unwrap();
+        let mc_sym = maintenance_cost(
+            &sym,
+            ValueKind::Str,
+            &def.stats,
+            &upd,
+            &opt,
+            &s,
+            opt.cost_model(),
+        );
+        let mc_yld = maintenance_cost(
+            &yld,
+            ValueKind::Num,
+            &def.stats,
+            &upd,
+            &opt,
+            &s,
+            opt.cost_model(),
+        );
+        assert_eq!(mc_sym, 0.0);
+        assert!(mc_yld > 0.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Index catalog: physical and virtual index metadata.
+//!
+//! Virtual indexes are the paper's key server-side mechanism: catalog-only
+//! entries with statistics *derived from data statistics*, visible to the
+//! optimizer's index matching and costing but never usable for execution
+//! (Section III). `what-if` costing creates them, the executor refuses
+//! them.
+
+use crate::collection::Collection;
+use crate::index::PhysicalIndex;
+use crate::size::{index_levels, index_size_bytes};
+use crate::stats::CollectionStats;
+use xia_xml::PathId;
+use xia_xpath::{LinearPath, PathMatcher, ValueKind};
+
+/// Identifier of an index within a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexId(pub u32);
+
+impl IndexId {
+    /// Raw index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Statistics of an index (estimated for virtual indexes, measured for
+/// physical ones — both flow through the same size model so that estimated
+/// and actual configurations are comparable).
+#[derive(Debug, Clone, Default)]
+pub struct IndexStats {
+    /// Number of (key, posting) entries.
+    pub entries: u64,
+    /// Distinct keys.
+    pub distinct: u64,
+    /// Estimated size on disk.
+    pub size_bytes: u64,
+    /// Estimated B-tree depth.
+    pub levels: u32,
+    /// Average key width in bytes.
+    pub avg_key_width: f64,
+}
+
+/// One catalog entry.
+#[derive(Debug)]
+pub struct IndexDef {
+    /// The index id within its catalog.
+    pub id: IndexId,
+    /// The linear XPath index pattern.
+    pub pattern: LinearPath,
+    /// Key type.
+    pub kind: ValueKind,
+    /// Rooted paths matched by the pattern at creation time.
+    pub matched_paths: Vec<PathId>,
+    /// Index statistics.
+    pub stats: IndexStats,
+    /// The physical structure, or `None` for a virtual index.
+    pub physical: Option<PhysicalIndex>,
+}
+
+impl IndexDef {
+    /// Whether this is a virtual (what-if) index.
+    pub fn is_virtual(&self) -> bool {
+        self.physical.is_none()
+    }
+}
+
+/// The index catalog of one collection.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    defs: Vec<Option<IndexDef>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Derives [`IndexStats`] for a pattern from data statistics — the
+    /// paper's derivation of virtual-index statistics from RUNSTATS output.
+    pub fn derive_stats(
+        collection: &Collection,
+        stats: &CollectionStats,
+        pattern: &LinearPath,
+        kind: ValueKind,
+    ) -> (Vec<PathId>, IndexStats) {
+        let matcher = PathMatcher::new(pattern, collection.vocab());
+        let matched = matcher.matching_path_ids(collection.vocab());
+        let mut entries = 0u64;
+        let mut distinct = 0u64;
+        let mut key_bytes = 0.0f64;
+        for &pid in &matched {
+            let ps = stats.path(pid);
+            match kind {
+                ValueKind::Str => {
+                    entries += ps.value_count;
+                    distinct += ps.distinct_values;
+                    key_bytes += ps.value_bytes as f64;
+                }
+                ValueKind::Num => {
+                    entries += ps.numeric_count;
+                    // Distinct numeric values are bounded by distinct values.
+                    distinct += ps.distinct_values.min(ps.numeric_count);
+                    key_bytes += ps.numeric_count as f64 * 8.0;
+                }
+            }
+        }
+        let distinct = distinct.min(entries);
+        let avg_key_width = if entries == 0 {
+            match kind {
+                ValueKind::Str => 16.0,
+                ValueKind::Num => 8.0,
+            }
+        } else {
+            key_bytes / entries as f64
+        };
+        let istats = IndexStats {
+            entries,
+            distinct,
+            size_bytes: index_size_bytes(entries, avg_key_width),
+            levels: index_levels(entries, avg_key_width),
+            avg_key_width,
+        };
+        (matched, istats)
+    }
+
+    fn push(&mut self, mut def: IndexDef) -> IndexId {
+        let id = IndexId(self.defs.len() as u32);
+        def.id = id;
+        self.defs.push(Some(def));
+        id
+    }
+
+    /// Creates a virtual index with derived statistics.
+    pub fn create_virtual(
+        &mut self,
+        collection: &Collection,
+        stats: &CollectionStats,
+        pattern: &LinearPath,
+        kind: ValueKind,
+    ) -> IndexId {
+        let (matched_paths, istats) = Self::derive_stats(collection, stats, pattern, kind);
+        self.push(IndexDef {
+            id: IndexId(0),
+            pattern: pattern.clone(),
+            kind,
+            matched_paths,
+            stats: istats,
+            physical: None,
+        })
+    }
+
+    /// Creates (builds) a physical index over the collection.
+    pub fn create_physical(
+        &mut self,
+        collection: &Collection,
+        pattern: &LinearPath,
+        kind: ValueKind,
+    ) -> IndexId {
+        let physical = PhysicalIndex::build(collection, pattern, kind);
+        let matcher = PathMatcher::new(pattern, collection.vocab());
+        let matched_paths = matcher.matching_path_ids(collection.vocab());
+        let stats = IndexStats {
+            entries: physical.entries(),
+            distinct: physical.distinct_keys(),
+            size_bytes: index_size_bytes(physical.entries(), physical.avg_key_width()),
+            levels: index_levels(physical.entries(), physical.avg_key_width()),
+            avg_key_width: physical.avg_key_width(),
+        };
+        self.push(IndexDef {
+            id: IndexId(0),
+            pattern: pattern.clone(),
+            kind,
+            matched_paths,
+            stats,
+            physical: Some(physical),
+        })
+    }
+
+    /// Drops an index. Idempotent.
+    pub fn drop_index(&mut self, id: IndexId) {
+        if let Some(slot) = self.defs.get_mut(id.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Drops every virtual index (the advisor does this between what-if
+    /// evaluations).
+    pub fn drop_all_virtual(&mut self) {
+        for slot in &mut self.defs {
+            if slot.as_ref().is_some_and(|d| d.is_virtual()) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Drops every index, physical and virtual.
+    pub fn drop_all(&mut self) {
+        for slot in &mut self.defs {
+            *slot = None;
+        }
+    }
+
+    /// Borrows an index definition.
+    pub fn get(&self, id: IndexId) -> Option<&IndexDef> {
+        self.defs.get(id.index()).and_then(|d| d.as_ref())
+    }
+
+    /// Iterates over live index definitions.
+    pub fn iter(&self) -> impl Iterator<Item = &IndexDef> {
+        self.defs.iter().filter_map(|d| d.as_ref())
+    }
+
+    /// Number of live indexes.
+    pub fn len(&self) -> usize {
+        self.defs.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Whether the catalog has no live indexes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total estimated size of all live indexes.
+    pub fn total_size(&self) -> u64 {
+        self.iter().map(|d| d.stats.size_bytes).sum()
+    }
+
+    /// Mutable access to a physical index for maintenance.
+    pub fn physical_mut(&mut self, id: IndexId) -> Option<&mut PhysicalIndex> {
+        self.defs
+            .get_mut(id.index())
+            .and_then(|d| d.as_mut())
+            .and_then(|d| d.physical.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::runstats;
+    use xia_xpath::parse_linear_path;
+
+    fn setup() -> (Collection, CollectionStats) {
+        let mut c = Collection::new("SDOC");
+        for i in 0..50 {
+            c.build_doc("Security", |b| {
+                b.leaf("Symbol", format!("S{i}").as_str());
+                b.leaf("Yield", (i % 10) as f64);
+            });
+        }
+        let s = runstats(&c);
+        (c, s)
+    }
+
+    #[test]
+    fn virtual_stats_match_physical_stats() {
+        let (c, s) = setup();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let mut cat = Catalog::new();
+        let v = cat.create_virtual(&c, &s, &p, ValueKind::Str);
+        let ph = cat.create_physical(&c, &p, ValueKind::Str);
+        let vd = cat.get(v).unwrap();
+        let pd = cat.get(ph).unwrap();
+        assert!(vd.is_virtual());
+        assert!(!pd.is_virtual());
+        assert_eq!(vd.stats.entries, pd.stats.entries);
+        assert_eq!(vd.stats.distinct, pd.stats.distinct);
+        assert_eq!(vd.stats.size_bytes, pd.stats.size_bytes);
+        assert_eq!(vd.stats.levels, pd.stats.levels);
+    }
+
+    #[test]
+    fn numeric_virtual_stats() {
+        let (c, s) = setup();
+        let p = parse_linear_path("/Security/Yield").unwrap();
+        let mut cat = Catalog::new();
+        let v = cat.create_virtual(&c, &s, &p, ValueKind::Num);
+        let d = cat.get(v).unwrap();
+        assert_eq!(d.stats.entries, 50);
+        assert_eq!(d.stats.distinct, 10);
+        assert_eq!(d.stats.avg_key_width, 8.0);
+    }
+
+    #[test]
+    fn universal_pattern_matches_all_paths() {
+        let (c, s) = setup();
+        let mut cat = Catalog::new();
+        let v = cat.create_virtual(&c, &s, &LinearPath::universal(), ValueKind::Str);
+        let d = cat.get(v).unwrap();
+        assert_eq!(d.matched_paths.len(), c.vocab().paths.len());
+        // Every valued node is an entry.
+        assert_eq!(d.stats.entries, 100);
+    }
+
+    #[test]
+    fn drop_all_virtual_keeps_physical() {
+        let (c, s) = setup();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let mut cat = Catalog::new();
+        cat.create_virtual(&c, &s, &p, ValueKind::Str);
+        let ph = cat.create_physical(&c, &p, ValueKind::Str);
+        cat.drop_all_virtual();
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get(ph).is_some());
+    }
+
+    #[test]
+    fn drop_index_is_idempotent() {
+        let (c, s) = setup();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let mut cat = Catalog::new();
+        let id = cat.create_virtual(&c, &s, &p, ValueKind::Str);
+        cat.drop_index(id);
+        cat.drop_index(id);
+        assert!(cat.is_empty());
+        assert!(cat.get(id).is_none());
+    }
+
+    #[test]
+    fn total_size_sums_live_indexes() {
+        let (c, s) = setup();
+        let mut cat = Catalog::new();
+        let a = cat.create_virtual(
+            &c,
+            &s,
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            ValueKind::Str,
+        );
+        let b = cat.create_virtual(
+            &c,
+            &s,
+            &parse_linear_path("/Security/Yield").unwrap(),
+            ValueKind::Num,
+        );
+        let total = cat.total_size();
+        let sa = cat.get(a).unwrap().stats.size_bytes;
+        let sb = cat.get(b).unwrap().stats.size_bytes;
+        assert_eq!(total, sa + sb);
+    }
+
+    #[test]
+    fn general_index_is_at_least_as_large_as_the_specifics_it_covers() {
+        // The paper: "general indexes are larger than the specific indexes
+        // they generalize because they contain more nodes from the data".
+        let (c, s) = setup();
+        let mut cat = Catalog::new();
+        let gen = cat.create_virtual(
+            &c,
+            &s,
+            &parse_linear_path("/Security//*").unwrap(),
+            ValueKind::Str,
+        );
+        let sp1 = cat.create_virtual(
+            &c,
+            &s,
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            ValueKind::Str,
+        );
+        let g = cat.get(gen).unwrap().stats.size_bytes;
+        let s1 = cat.get(sp1).unwrap().stats.size_bytes;
+        assert!(g >= s1);
+    }
+}

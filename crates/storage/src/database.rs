@@ -1,0 +1,256 @@
+//! Named collections with catalogs and cached statistics.
+
+use crate::catalog::Catalog;
+use crate::collection::Collection;
+use crate::stats::{runstats, CollectionStats};
+use std::collections::HashMap;
+
+struct Entry {
+    collection: Collection,
+    catalog: Catalog,
+    stats: Option<CollectionStats>,
+}
+
+/// A database: a set of named collections, each with its index catalog and
+/// (optionally stale) statistics.
+#[derive(Default)]
+pub struct Database {
+    entries: Vec<Entry>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a collection (or returns the existing one) and borrows it
+    /// mutably.
+    pub fn create_collection(&mut self, name: &str) -> &mut Collection {
+        let idx = match self.by_name.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.entries.len();
+                self.entries.push(Entry {
+                    collection: Collection::new(name),
+                    catalog: Catalog::new(),
+                    stats: None,
+                });
+                self.by_name.insert(name.to_string(), i);
+                i
+            }
+        };
+        // Any data change invalidates cached statistics.
+        self.entries[idx].stats = None;
+        &mut self.entries[idx].collection
+    }
+
+    fn entry(&self, name: &str) -> Option<&Entry> {
+        self.by_name.get(name).map(|&i| &self.entries[i])
+    }
+
+    fn entry_mut(&mut self, name: &str) -> Option<&mut Entry> {
+        let i = *self.by_name.get(name)?;
+        Some(&mut self.entries[i])
+    }
+
+    /// Borrows a collection.
+    pub fn collection(&self, name: &str) -> Option<&Collection> {
+        self.entry(name).map(|e| &e.collection)
+    }
+
+    /// Borrows a collection mutably, invalidating its statistics.
+    pub fn collection_mut(&mut self, name: &str) -> Option<&mut Collection> {
+        let e = self.entry_mut(name)?;
+        e.stats = None;
+        Some(&mut e.collection)
+    }
+
+    /// Borrows a collection's catalog.
+    pub fn catalog(&self, name: &str) -> Option<&Catalog> {
+        self.entry(name).map(|e| &e.catalog)
+    }
+
+    /// Borrows a collection's catalog mutably.
+    pub fn catalog_mut(&mut self, name: &str) -> Option<&mut Catalog> {
+        self.entry_mut(name).map(|e| &mut e.catalog)
+    }
+
+    /// Borrows collection, catalog (mutably), and stats together — needed
+    /// when creating virtual indexes, which reads the collection and stats
+    /// while writing the catalog.
+    pub fn parts_mut(
+        &mut self,
+        name: &str,
+    ) -> Option<(&Collection, &mut Catalog, &CollectionStats)> {
+        let i = *self.by_name.get(name)?;
+        let e = &mut self.entries[i];
+        if e.stats.is_none() {
+            e.stats = Some(runstats(&e.collection));
+        }
+        let Entry {
+            collection,
+            catalog,
+            stats,
+        } = e;
+        Some((&*collection, catalog, stats.as_ref().expect("just filled")))
+    }
+
+    /// Borrows collection and catalog both mutably (for statement
+    /// execution with index maintenance). Invalidates statistics.
+    pub fn collection_and_catalog_mut(
+        &mut self,
+        name: &str,
+    ) -> Option<(&mut Collection, &mut Catalog)> {
+        let e = self.entry_mut(name)?;
+        e.stats = None;
+        Some((&mut e.collection, &mut e.catalog))
+    }
+
+    /// Borrows collection, catalog, and statistics immutably. Returns
+    /// `None` if the collection is missing or its statistics are stale —
+    /// call [`Database::runstats_all`] (or [`Database::stats`]) first.
+    pub fn parts(&self, name: &str) -> Option<(&Collection, &Catalog, &CollectionStats)> {
+        let e = self.entry(name)?;
+        Some((&e.collection, &e.catalog, e.stats.as_ref()?))
+    }
+
+    /// Compacts every collection (drops tombstones, renumbers documents)
+    /// and rebuilds its physical indexes against the new document ids.
+    /// Returns the number of documents reclaimed.
+    pub fn compact_all(&mut self) -> usize {
+        let mut reclaimed = 0usize;
+        for e in &mut self.entries {
+            let slots_before = e.collection.slot_count();
+            let mapping = e.collection.compact();
+            reclaimed += slots_before - mapping.len();
+            // Rebuild physical indexes (their postings hold stale doc ids).
+            let defs: Vec<(crate::catalog::IndexId, xia_xpath::LinearPath, xia_xpath::ValueKind)> =
+                e.catalog
+                    .iter()
+                    .filter(|d| !d.is_virtual())
+                    .map(|d| (d.id, d.pattern.clone(), d.kind))
+                    .collect();
+            for (id, pattern, kind) in defs {
+                e.catalog.drop_index(id);
+                e.catalog.create_physical(&e.collection, &pattern, kind);
+            }
+            e.stats = Some(runstats(&e.collection));
+        }
+        reclaimed
+    }
+
+    /// Runs statistics collection on every collection (RUNSTATS).
+    pub fn runstats_all(&mut self) {
+        for e in &mut self.entries {
+            e.stats = Some(runstats(&e.collection));
+        }
+    }
+
+    /// Borrows statistics, computing them if stale.
+    pub fn stats(&mut self, name: &str) -> Option<&CollectionStats> {
+        let e = self.entry_mut(name)?;
+        if e.stats.is_none() {
+            e.stats = Some(runstats(&e.collection));
+        }
+        e.stats.as_ref()
+    }
+
+    /// Borrows statistics without recomputing (`None` if stale or absent).
+    pub fn stats_cached(&self, name: &str) -> Option<&CollectionStats> {
+        self.entry(name).and_then(|e| e.stats.as_ref())
+    }
+
+    /// Names of all collections.
+    pub fn collection_names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.collection.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        db.create_collection("SDOC")
+            .insert_xml("<Security><Yield>4.5</Yield></Security>")
+            .unwrap();
+        assert!(db.collection("SDOC").is_some());
+        assert!(db.collection("NOPE").is_none());
+        assert_eq!(db.collection_names(), vec!["SDOC"]);
+    }
+
+    #[test]
+    fn stats_are_cached_and_invalidated() {
+        let mut db = Database::new();
+        db.create_collection("C").insert_xml("<a><b>1</b></a>").unwrap();
+        let n1 = db.stats("C").unwrap().node_count;
+        assert_eq!(n1, 2);
+        assert!(db.stats_cached("C").is_some());
+        db.collection_mut("C")
+            .unwrap()
+            .insert_xml("<a><b>2</b></a>")
+            .unwrap();
+        assert!(db.stats_cached("C").is_none());
+        let n2 = db.stats("C").unwrap().node_count;
+        assert_eq!(n2, 4);
+    }
+
+    #[test]
+    fn parts_mut_provides_consistent_view() {
+        let mut db = Database::new();
+        db.create_collection("C").insert_xml("<a><b>1</b></a>").unwrap();
+        let (coll, catalog, stats) = db.parts_mut("C").unwrap();
+        assert_eq!(coll.len(), 1);
+        assert_eq!(stats.doc_count, 1);
+        assert!(catalog.is_empty());
+    }
+
+    #[test]
+    fn compact_all_reclaims_and_rebuilds_indexes() {
+        let mut db = Database::new();
+        let c = db.create_collection("C");
+        let ids: Vec<_> = (0..10)
+            .map(|i| {
+                c.build_doc("a", |b| {
+                    b.leaf("v", format!("V{i}").as_str());
+                })
+            })
+            .collect();
+        {
+            let (coll, cat, _) = db.parts_mut("C").unwrap();
+            cat.create_physical(
+                coll,
+                &xia_xpath::parse_linear_path("/a/v").unwrap(),
+                xia_xpath::ValueKind::Str,
+            );
+        }
+        db.collection_mut("C").unwrap().delete(ids[0]);
+        db.collection_mut("C").unwrap().delete(ids[5]);
+        let reclaimed = db.compact_all();
+        assert_eq!(reclaimed, 2);
+        let coll = db.collection("C").unwrap();
+        assert_eq!(coll.len(), 8);
+        assert_eq!(coll.tombstone_ratio(), 0.0);
+        // The rebuilt index resolves against the renumbered documents.
+        let cat = db.catalog("C").unwrap();
+        let def = cat.iter().next().unwrap();
+        let phys = def.physical.as_ref().unwrap();
+        assert_eq!(phys.entries(), 8);
+        let hits = phys.lookup_eq(&xia_xpath::Literal::Str("V7".into()));
+        assert_eq!(hits.len(), 1);
+        assert!(coll.doc(hits[0].doc).is_some());
+    }
+
+    #[test]
+    fn create_collection_is_idempotent() {
+        let mut db = Database::new();
+        db.create_collection("C").insert_xml("<a/>").unwrap();
+        db.create_collection("C").insert_xml("<a/>").unwrap();
+        assert_eq!(db.collection("C").unwrap().len(), 2);
+        assert_eq!(db.collection_names().len(), 1);
+    }
+}

@@ -1,0 +1,406 @@
+//! Physical partial XML value indexes.
+//!
+//! A physical index is a B-tree over the values of all nodes reachable by a
+//! linear XPath *index pattern* (the paper's partial indexing: only the
+//! matching paths are indexed). Keys are typed — string or double — matching
+//! DB2 pureXML's `CREATE INDEX ... GENERATE KEY USING XMLPATTERN ... AS
+//! SQL VARCHAR / DOUBLE`.
+
+use crate::collection::{Collection, DocId};
+use std::collections::{BTreeMap, HashSet};
+use xia_xml::{Document, NodeId, PathId, Vocabulary};
+use xia_xpath::{CmpOp, LinearPath, Literal, PathMatcher, ValueKind};
+
+/// Total-ordered f64 wrapper for B-tree keys. Only finite values are ever
+/// inserted (non-finite text never parses into [`xia_xml::Value`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite index keys")
+    }
+}
+
+/// One index entry: the indexed node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Posting {
+    /// Document containing the node.
+    pub doc: DocId,
+    /// The node within the document.
+    pub node: NodeId,
+}
+
+/// A physical partial value index.
+#[derive(Debug)]
+pub struct PhysicalIndex {
+    pattern: LinearPath,
+    kind: ValueKind,
+    /// Path ids the pattern matched at build time; maintained incrementally
+    /// as the vocabulary grows.
+    matched_paths: HashSet<PathId>,
+    known_paths: usize,
+    str_map: BTreeMap<Box<str>, Vec<Posting>>,
+    num_map: BTreeMap<OrdF64, Vec<Posting>>,
+    /// Structural postings: for every matched path, the documents that
+    /// contain at least one node at it (valued or not). DB2-style XML
+    /// indexes can answer *existence* tests from the index alone; this is
+    /// the equivalent access path.
+    struct_map: BTreeMap<PathId, Vec<DocId>>,
+    entries: u64,
+    key_bytes: u64,
+}
+
+impl PhysicalIndex {
+    /// Builds an index over all live documents of a collection.
+    pub fn build(collection: &Collection, pattern: &LinearPath, kind: ValueKind) -> Self {
+        let vocab = collection.vocab();
+        let matcher = PathMatcher::new(pattern, vocab);
+        let matched: HashSet<PathId> = matcher.matching_path_ids(vocab).into_iter().collect();
+        let mut idx = Self {
+            pattern: pattern.clone(),
+            kind,
+            matched_paths: matched,
+            known_paths: vocab.paths.len(),
+            str_map: BTreeMap::new(),
+            num_map: BTreeMap::new(),
+            struct_map: BTreeMap::new(),
+            entries: 0,
+            key_bytes: 0,
+        };
+        for (doc_id, doc) in collection.iter_docs() {
+            idx.insert_doc_inner(doc_id, doc);
+        }
+        idx
+    }
+
+    /// The index pattern.
+    pub fn pattern(&self) -> &LinearPath {
+        &self.pattern
+    }
+
+    /// The key type.
+    pub fn kind(&self) -> ValueKind {
+        self.kind
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> u64 {
+        match self.kind {
+            ValueKind::Str => self.str_map.len() as u64,
+            ValueKind::Num => self.num_map.len() as u64,
+        }
+    }
+
+    /// Average key width in bytes.
+    pub fn avg_key_width(&self) -> f64 {
+        if self.entries == 0 {
+            match self.kind {
+                ValueKind::Str => 16.0,
+                ValueKind::Num => 8.0,
+            }
+        } else {
+            self.key_bytes as f64 / self.entries as f64
+        }
+    }
+
+    /// Refreshes the matched-path set if the vocabulary has grown since the
+    /// index was built (new document shapes may introduce new paths that
+    /// the pattern matches).
+    fn refresh_paths(&mut self, vocab: &Vocabulary) {
+        if vocab.paths.len() == self.known_paths {
+            return;
+        }
+        let matcher = PathMatcher::new(&self.pattern, vocab);
+        self.matched_paths = matcher.matching_path_ids(vocab).into_iter().collect();
+        self.known_paths = vocab.paths.len();
+    }
+
+    fn insert_doc_inner(&mut self, doc_id: DocId, doc: &Document) {
+        for (node_id, node) in doc.nodes() {
+            if !self.matched_paths.contains(&node.path) {
+                continue;
+            }
+            // Structural posting regardless of value presence.
+            let postings = self.struct_map.entry(node.path).or_default();
+            if postings.last() != Some(&doc_id) {
+                postings.push(doc_id);
+            }
+            let Some(value) = &node.value else { continue };
+            let posting = Posting {
+                doc: doc_id,
+                node: node_id,
+            };
+            match self.kind {
+                ValueKind::Str => {
+                    self.key_bytes += value.as_str().len() as u64;
+                    self.str_map
+                        .entry(value.as_str().into())
+                        .or_default()
+                        .push(posting);
+                    self.entries += 1;
+                }
+                ValueKind::Num => {
+                    if let Some(n) = value.as_num() {
+                        self.key_bytes += 8;
+                        self.num_map.entry(OrdF64(n)).or_default().push(posting);
+                        self.entries += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maintains the index for a newly inserted document.
+    pub fn insert_doc(&mut self, doc_id: DocId, doc: &Document, vocab: &Vocabulary) {
+        self.refresh_paths(vocab);
+        self.insert_doc_inner(doc_id, doc);
+    }
+
+    /// Maintains the index for a deleted document. Returns the number of
+    /// entries removed.
+    pub fn remove_doc(&mut self, doc_id: DocId) -> u64 {
+        let mut removed = 0;
+        let len_of = |s: &str| s.len() as u64;
+        self.str_map.retain(|key, postings| {
+            let before = postings.len();
+            postings.retain(|p| p.doc != doc_id);
+            let gone = (before - postings.len()) as u64;
+            if gone > 0 {
+                removed += gone;
+                self.key_bytes = self.key_bytes.saturating_sub(gone * len_of(key));
+            }
+            !postings.is_empty()
+        });
+        self.num_map.retain(|_, postings| {
+            let before = postings.len();
+            postings.retain(|p| p.doc != doc_id);
+            let gone = (before - postings.len()) as u64;
+            if gone > 0 {
+                removed += gone;
+                self.key_bytes = self.key_bytes.saturating_sub(gone * 8);
+            }
+            !postings.is_empty()
+        });
+        self.struct_map.retain(|_, docs| {
+            docs.retain(|&d| d != doc_id);
+            !docs.is_empty()
+        });
+        self.entries -= removed.min(self.entries);
+        removed
+    }
+
+    /// Existence lookup: documents containing at least one node at any of
+    /// the given paths (which must be a subset of the index's matched
+    /// paths for the result to be complete). Deduplicated, sorted.
+    pub fn lookup_exists(&self, paths: &[PathId]) -> Vec<DocId> {
+        let mut out: Vec<DocId> = paths
+            .iter()
+            .filter_map(|p| self.struct_map.get(p))
+            .flat_map(|docs| docs.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Equality lookup.
+    pub fn lookup_eq(&self, lit: &Literal) -> Vec<Posting> {
+        match (self.kind, lit) {
+            (ValueKind::Str, Literal::Str(s)) => self
+                .str_map
+                .get(s.as_str())
+                .map(|v| v.clone())
+                .unwrap_or_default(),
+            (ValueKind::Num, Literal::Num(n)) => self
+                .num_map
+                .get(&OrdF64(*n))
+                .map(|v| v.clone())
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Range / comparison lookup. `Ne` is answered by scanning both sides
+    /// of the key (valid for an index probe, though the optimizer rarely
+    /// picks an index for `!=`).
+    pub fn lookup_cmp(&self, op: CmpOp, lit: &Literal) -> Vec<Posting> {
+        use std::ops::Bound::{Excluded, Included, Unbounded};
+        if op == CmpOp::Eq {
+            return self.lookup_eq(lit);
+        }
+        match (self.kind, lit) {
+            (ValueKind::Num, Literal::Num(n)) => {
+                let key = OrdF64(*n);
+                let ranges: Vec<(std::ops::Bound<OrdF64>, std::ops::Bound<OrdF64>)> = match op {
+                    CmpOp::Lt => vec![(Unbounded, Excluded(key))],
+                    CmpOp::Le => vec![(Unbounded, Included(key))],
+                    CmpOp::Gt => vec![(Excluded(key), Unbounded)],
+                    CmpOp::Ge => vec![(Included(key), Unbounded)],
+                    CmpOp::Ne => vec![(Unbounded, Excluded(key)), (Excluded(key), Unbounded)],
+                    CmpOp::Eq => unreachable!("handled above"),
+                };
+                ranges
+                    .into_iter()
+                    .flat_map(|r| self.num_map.range(r))
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect()
+            }
+            (ValueKind::Str, Literal::Str(s)) => {
+                let key: Box<str> = s.as_str().into();
+                let mut out = Vec::new();
+                for (k, v) in self.str_map.iter() {
+                    if op.eval_str(k, &key) {
+                        out.extend(v.iter().copied());
+                    }
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_xpath::parse_linear_path;
+
+    fn sample_collection() -> Collection {
+        let mut c = Collection::new("SDOC");
+        for (sym, yld, sector) in [
+            ("IBM", 4.0, "Tech"),
+            ("XOM", 5.5, "Energy"),
+            ("GE", 3.0, "Industrial"),
+            ("BP", 6.0, "Energy"),
+        ] {
+            c.build_doc("Security", |b| {
+                b.leaf("Symbol", sym);
+                b.leaf("Yield", yld);
+                b.begin("SecInfo");
+                b.begin("StockInfo");
+                b.leaf("Sector", sector);
+                b.end();
+                b.end();
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn builds_partial_index_on_specific_pattern() {
+        let c = sample_collection();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let idx = PhysicalIndex::build(&c, &p, ValueKind::Str);
+        assert_eq!(idx.entries(), 4);
+        assert_eq!(idx.distinct_keys(), 4);
+        let hits = idx.lookup_eq(&Literal::Str("IBM".into()));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn wildcard_pattern_indexes_deeper_paths() {
+        let c = sample_collection();
+        let p = parse_linear_path("/Security/SecInfo/*/Sector").unwrap();
+        let idx = PhysicalIndex::build(&c, &p, ValueKind::Str);
+        assert_eq!(idx.entries(), 4);
+        assert_eq!(idx.lookup_eq(&Literal::Str("Energy".into())).len(), 2);
+    }
+
+    #[test]
+    fn numeric_range_lookup() {
+        let c = sample_collection();
+        let p = parse_linear_path("/Security/Yield").unwrap();
+        let idx = PhysicalIndex::build(&c, &p, ValueKind::Num);
+        assert_eq!(idx.entries(), 4);
+        let hits = idx.lookup_cmp(CmpOp::Gt, &Literal::Num(4.5));
+        assert_eq!(hits.len(), 2);
+        let hits = idx.lookup_cmp(CmpOp::Le, &Literal::Num(4.0));
+        assert_eq!(hits.len(), 2);
+        let hits = idx.lookup_cmp(CmpOp::Ne, &Literal::Num(4.0));
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn numeric_index_skips_non_numeric_values() {
+        let mut c = Collection::new("X");
+        c.build_doc("a", |b| {
+            b.leaf("v", "12");
+            b.leaf("v", "hello");
+        });
+        let p = parse_linear_path("/a/v").unwrap();
+        let num = PhysicalIndex::build(&c, &p, ValueKind::Num);
+        assert_eq!(num.entries(), 1);
+        let s = PhysicalIndex::build(&c, &p, ValueKind::Str);
+        assert_eq!(s.entries(), 2);
+    }
+
+    #[test]
+    fn maintenance_on_insert_and_delete() {
+        let mut c = sample_collection();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let mut idx = PhysicalIndex::build(&c, &p, ValueKind::Str);
+        let id = c.build_doc("Security", |b| {
+            b.leaf("Symbol", "AAPL");
+        });
+        idx.insert_doc(id, c.doc(id).unwrap(), c.vocab());
+        assert_eq!(idx.entries(), 5);
+        assert_eq!(idx.lookup_eq(&Literal::Str("AAPL".into())).len(), 1);
+        let removed = idx.remove_doc(id);
+        assert_eq!(removed, 1);
+        assert_eq!(idx.entries(), 4);
+        assert!(idx.lookup_eq(&Literal::Str("AAPL".into())).is_empty());
+    }
+
+    #[test]
+    fn insert_with_new_shape_refreshes_matched_paths() {
+        let mut c = Collection::new("X");
+        c.build_doc("a", |b| {
+            b.leaf("x", "1");
+        });
+        let p = parse_linear_path("/a//*").unwrap();
+        let mut idx = PhysicalIndex::build(&c, &p, ValueKind::Str);
+        assert_eq!(idx.entries(), 1);
+        // New path /a/b/y appears only in the second document.
+        let id = c.build_doc("a", |b| {
+            b.begin("b");
+            b.leaf("y", "2");
+            b.end();
+        });
+        idx.insert_doc(id, c.doc(id).unwrap(), c.vocab());
+        assert_eq!(idx.entries(), 2);
+        assert_eq!(idx.lookup_eq(&Literal::Str("2".into())).len(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_lookups_return_empty() {
+        let c = sample_collection();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let idx = PhysicalIndex::build(&c, &p, ValueKind::Str);
+        assert!(idx.lookup_eq(&Literal::Num(1.0)).is_empty());
+        assert!(idx.lookup_cmp(CmpOp::Gt, &Literal::Num(1.0)).is_empty());
+    }
+
+    #[test]
+    fn string_range_lookup() {
+        let c = sample_collection();
+        let p = parse_linear_path("/Security/SecInfo/*/Sector").unwrap();
+        let idx = PhysicalIndex::build(&c, &p, ValueKind::Str);
+        let hits = idx.lookup_cmp(CmpOp::Lt, &Literal::Str("F".into()));
+        assert_eq!(hits.len(), 2); // two "Energy"
+    }
+}

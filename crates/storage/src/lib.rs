@@ -1,0 +1,31 @@
+//! # xia-storage
+//!
+//! The storage substrate of the XML Index Advisor reproduction: the role
+//! DB2 pureXML's XML-typed columns play in the paper.
+//!
+//! * [`Collection`] — a multi-document XML store with a shared
+//!   [`xia_xml::Vocabulary`] (names + rooted paths).
+//! * [`stats`] — RUNSTATS-equivalent data statistics: per-path node/value
+//!   counts, distinct counts, numeric ranges and equi-depth histograms.
+//!   Virtual-index statistics are *derived* from these, exactly as the
+//!   paper derives index statistics from data statistics (Section III).
+//! * [`PhysicalIndex`] — a partial XML value index: a B-tree over the
+//!   values of the nodes reachable by a linear XPath index pattern.
+//! * [`Catalog`] — index metadata, covering both physical indexes and
+//!   *virtual* indexes (catalog-only, never usable for execution).
+//! * [`Database`] — named collections with their catalogs and statistics.
+
+pub mod catalog;
+pub mod collection;
+pub mod database;
+pub mod index;
+pub mod persist;
+pub mod size;
+pub mod stats;
+
+pub use catalog::{Catalog, IndexDef, IndexId, IndexStats};
+pub use collection::{Collection, DocId};
+pub use database::Database;
+pub use index::{OrdF64, PhysicalIndex, Posting};
+pub use persist::{load_database, save_database, PersistError};
+pub use stats::{runstats, CollectionStats, PathStat};

@@ -1,0 +1,316 @@
+//! Database persistence.
+//!
+//! A simple, dependency-free on-disk format so advisor sessions (and the
+//! `xia` CLI) can work against saved databases:
+//!
+//! ```text
+//! XIADB v1
+//! COLLECTION <name>
+//! DOC <byte-length>
+//! <xml text (exactly byte-length bytes)>
+//! ...
+//! INDEX <collection> <string|numerical> <pattern>
+//! END
+//! ```
+//!
+//! Documents are serialized XML (length-prefixed, so values may contain
+//! any byte but `\0`); physical indexes are persisted as their defining
+//! pattern and rebuilt on load. Virtual indexes and statistics are not
+//! persisted — statistics are recomputed by RUNSTATS, virtual indexes are
+//! per-session advisor state.
+
+use crate::database::Database;
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use xia_xpath::{parse_linear_path, LinearPath, ValueKind};
+
+/// Persistence error.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid XIADB dump.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn format_err(msg: impl Into<String>) -> PersistError {
+    PersistError::Format(msg.into())
+}
+
+/// Serializes the database (documents + physical index definitions) to a
+/// writer.
+pub fn save_database_to(db: &Database, out: &mut impl Write) -> Result<(), PersistError> {
+    writeln!(out, "XIADB v1")?;
+    let mut index_lines: Vec<String> = Vec::new();
+    for name in db.collection_names() {
+        let coll = db.collection(name).expect("name from collection_names");
+        writeln!(out, "COLLECTION {name}")?;
+        for (_, doc) in coll.iter_docs() {
+            let xml = xia_xml::write_document(doc, coll.vocab());
+            writeln!(out, "DOC {}", xml.len())?;
+            out.write_all(xml.as_bytes())?;
+            writeln!(out)?;
+        }
+        if let Some(catalog) = db.catalog(name) {
+            for def in catalog.iter().filter(|d| !d.is_virtual()) {
+                let kind = match def.kind {
+                    ValueKind::Str => "string",
+                    ValueKind::Num => "numerical",
+                };
+                index_lines.push(format!("INDEX {name} {kind} {}", def.pattern));
+            }
+        }
+    }
+    for line in index_lines {
+        writeln!(out, "{line}")?;
+    }
+    writeln!(out, "END")?;
+    Ok(())
+}
+
+/// Saves the database to a file.
+pub fn save_database(db: &Database, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    save_database_to(db, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a database from a reader.
+pub fn load_database_from(input: &mut impl BufRead) -> Result<Database, PersistError> {
+    let mut line = String::new();
+    input.read_line(&mut line)?;
+    if line.trim_end() != "XIADB v1" {
+        return Err(format_err("missing XIADB v1 header"));
+    }
+    let mut db = Database::new();
+    let mut current: Option<String> = None;
+    let mut indexes: Vec<(String, ValueKind, LinearPath)> = Vec::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Err(format_err("unexpected end of file (missing END)"));
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed == "END" {
+            break;
+        }
+        if let Some(name) = trimmed.strip_prefix("COLLECTION ") {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(format_err("empty collection name"));
+            }
+            db.create_collection(name);
+            current = Some(name.to_string());
+        } else if let Some(len) = trimmed.strip_prefix("DOC ") {
+            let len: usize = len
+                .trim()
+                .parse()
+                .map_err(|_| format_err(format!("bad DOC length `{len}`")))?;
+            let mut buf = vec![0u8; len];
+            input.read_exact(&mut buf)?;
+            // Consume the trailing newline.
+            let mut nl = [0u8; 1];
+            input.read_exact(&mut nl)?;
+            let xml = String::from_utf8(buf)
+                .map_err(|_| format_err("document is not valid UTF-8"))?;
+            let Some(coll_name) = &current else {
+                return Err(format_err("DOC before any COLLECTION"));
+            };
+            let coll = db
+                .collection_mut(coll_name)
+                .expect("collection created above");
+            coll.insert_xml(&xml)
+                .map_err(|e| format_err(format!("bad document: {e}")))?;
+        } else if let Some(rest) = trimmed.strip_prefix("INDEX ") {
+            let mut parts = rest.splitn(3, ' ');
+            let coll = parts
+                .next()
+                .ok_or_else(|| format_err("INDEX missing collection"))?;
+            let kind = match parts.next() {
+                Some("string") => ValueKind::Str,
+                Some("numerical") => ValueKind::Num,
+                other => return Err(format_err(format!("bad index kind {other:?}"))),
+            };
+            let pattern = parts
+                .next()
+                .ok_or_else(|| format_err("INDEX missing pattern"))?;
+            let pattern = parse_linear_path(pattern)
+                .map_err(|e| format_err(format!("bad index pattern: {e}")))?;
+            indexes.push((coll.to_string(), kind, pattern));
+        } else if trimmed.is_empty() {
+            continue;
+        } else {
+            return Err(format_err(format!("unrecognized line `{trimmed}`")));
+        }
+    }
+    // Rebuild physical indexes.
+    for (coll, kind, pattern) in indexes {
+        let Some((collection, catalog, _)) = db.parts_mut(&coll) else {
+            return Err(format_err(format!("INDEX on unknown collection {coll}")));
+        };
+        catalog.create_physical(collection, &pattern, kind);
+    }
+    db.runstats_all();
+    Ok(db)
+}
+
+/// Loads a database from a file.
+pub fn load_database(path: impl AsRef<Path>) -> Result<Database, PersistError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    load_database_from(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let c = db.create_collection("SDOC");
+        for i in 0..20 {
+            c.build_doc("Security", |b| {
+                b.leaf("Symbol", format!("S{i}").as_str());
+                b.leaf("Yield", i as f64 / 2.0);
+                b.attr("id", i as f64);
+            });
+        }
+        let o = db.create_collection("ODOC");
+        o.insert_xml("<Order><Total>10 &amp; 20</Total></Order>").unwrap();
+        let (coll, cat, _) = db.parts_mut("SDOC").unwrap();
+        cat.create_physical(
+            coll,
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            ValueKind::Str,
+        );
+        db
+    }
+
+    fn round_trip(db: &Database) -> Database {
+        let mut buf = Vec::new();
+        save_database_to(db, &mut buf).unwrap();
+        load_database_from(&mut std::io::Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn round_trips_documents_and_collections() {
+        let db = sample_db();
+        let loaded = round_trip(&db);
+        assert_eq!(loaded.collection_names().len(), 2);
+        assert_eq!(loaded.collection("SDOC").unwrap().len(), 20);
+        assert_eq!(loaded.collection("ODOC").unwrap().len(), 1);
+        // Node counts match exactly.
+        assert_eq!(
+            loaded.collection("SDOC").unwrap().total_nodes(),
+            db.collection("SDOC").unwrap().total_nodes()
+        );
+    }
+
+    #[test]
+    fn round_trips_physical_indexes() {
+        let db = sample_db();
+        let loaded = round_trip(&db);
+        let cat = loaded.catalog("SDOC").unwrap();
+        assert_eq!(cat.len(), 1);
+        let def = cat.iter().next().unwrap();
+        assert_eq!(def.pattern.to_string(), "/Security/Symbol");
+        assert!(!def.is_virtual());
+        let phys = def.physical.as_ref().unwrap();
+        assert_eq!(phys.entries(), 20);
+    }
+
+    #[test]
+    fn virtual_indexes_are_not_persisted() {
+        let mut db = sample_db();
+        {
+            let (coll, cat, stats) = db.parts_mut("SDOC").unwrap();
+            cat.create_virtual(
+                coll,
+                stats,
+                &parse_linear_path("/Security/Yield").unwrap(),
+                ValueKind::Num,
+            );
+        }
+        let loaded = round_trip(&db);
+        assert_eq!(loaded.catalog("SDOC").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn escaped_values_survive() {
+        let db = sample_db();
+        let loaded = round_trip(&db);
+        let c = loaded.collection("ODOC").unwrap();
+        let (_, doc) = c.iter_docs().next().unwrap();
+        let total = c.vocab().lookup_name("Total").unwrap();
+        assert_eq!(doc.value_at(&[total]).unwrap().as_str(), "10 & 20");
+    }
+
+    #[test]
+    fn rejects_bad_header_and_truncation() {
+        let mut r = std::io::Cursor::new(b"NOT A DB\n".to_vec());
+        assert!(matches!(
+            load_database_from(&mut r),
+            Err(PersistError::Format(_))
+        ));
+        let mut r = std::io::Cursor::new(b"XIADB v1\nCOLLECTION X\n".to_vec());
+        assert!(load_database_from(&mut r).is_err());
+        let mut r = std::io::Cursor::new(b"XIADB v1\nGARBAGE\nEND\n".to_vec());
+        assert!(load_database_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join(format!("xia_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.xiadb");
+        save_database(&db, &path).unwrap();
+        let loaded = load_database(&path).unwrap();
+        assert_eq!(loaded.collection("SDOC").unwrap().len(), 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loaded_db_supports_advising_queries() {
+        // Statistics are recomputed on load, so the optimizer works.
+        let db = sample_db();
+        let loaded = round_trip(&db);
+        let (coll, cat, stats) = loaded.parts("SDOC").unwrap();
+        let opt = xia_optimizer_check::check(coll, stats, cat);
+        assert!(opt);
+    }
+
+    /// Minimal indirection so this crate does not depend on the optimizer:
+    /// verify stats freshness by checking the stats cover every path.
+    mod xia_optimizer_check {
+        use crate::{Catalog, Collection, CollectionStats};
+        pub fn check(coll: &Collection, stats: &CollectionStats, _cat: &Catalog) -> bool {
+            stats.doc_count == coll.len() as u64
+                && coll
+                    .vocab()
+                    .paths
+                    .iter()
+                    .all(|(id, _)| stats.path_ref(id).is_some())
+        }
+    }
+}

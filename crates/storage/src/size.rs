@@ -1,0 +1,85 @@
+//! Index size and shape model.
+//!
+//! The advisor's knapsack weight for a candidate index is its estimated
+//! size; the optimizer's probe cost uses the estimated number of B-tree
+//! levels. Both are derived from entry counts and average key widths, the
+//! same derivation the paper performs from RUNSTATS data statistics.
+
+/// Page size used throughout the cost and size models (bytes).
+pub const PAGE_SIZE: f64 = 4096.0;
+
+/// B-tree leaf fill factor.
+pub const FILL_FACTOR: f64 = 0.70;
+
+/// Per-entry posting overhead: (doc id, node id) plus slot overhead.
+pub const POSTING_BYTES: f64 = 12.0;
+
+/// Estimated on-disk size in bytes of an index with `entries` keys of
+/// average width `avg_key_width`.
+pub fn index_size_bytes(entries: u64, avg_key_width: f64) -> u64 {
+    if entries == 0 {
+        // An empty index still occupies its root page.
+        return PAGE_SIZE as u64;
+    }
+    let entry_bytes = avg_key_width + POSTING_BYTES;
+    let leaf_bytes = entries as f64 * entry_bytes / FILL_FACTOR;
+    // Interior levels add a small fraction.
+    (leaf_bytes * 1.05).ceil() as u64
+}
+
+/// Estimated number of B-tree levels (root = level 1).
+pub fn index_levels(entries: u64, avg_key_width: f64) -> u32 {
+    if entries == 0 {
+        return 1;
+    }
+    let entry_bytes = avg_key_width + POSTING_BYTES;
+    let entries_per_page = (PAGE_SIZE * FILL_FACTOR / entry_bytes).max(2.0);
+    let leaf_pages = (entries as f64 / entries_per_page).ceil().max(1.0);
+    // Interior fanout: key + child pointer.
+    let fanout = (PAGE_SIZE / (avg_key_width + 8.0)).max(2.0);
+    1 + leaf_pages.log(fanout).ceil().max(0.0) as u32
+}
+
+/// Number of pages occupied by `bytes`.
+pub fn pages(bytes: f64) -> f64 {
+    (bytes / PAGE_SIZE).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_grows_linearly_with_entries() {
+        let s1 = index_size_bytes(1_000, 8.0);
+        let s2 = index_size_bytes(2_000, 8.0);
+        assert!(s2 > s1);
+        let ratio = s2 as f64 / s1 as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn wider_keys_make_bigger_indexes() {
+        assert!(index_size_bytes(1_000, 32.0) > index_size_bytes(1_000, 8.0));
+    }
+
+    #[test]
+    fn empty_index_has_one_page_one_level() {
+        assert_eq!(index_size_bytes(0, 8.0), PAGE_SIZE as u64);
+        assert_eq!(index_levels(0, 8.0), 1);
+    }
+
+    #[test]
+    fn levels_grow_logarithmically() {
+        let small = index_levels(100, 8.0);
+        let large = index_levels(10_000_000, 8.0);
+        assert!(small <= large);
+        assert!(large <= 5, "levels = {large}");
+    }
+
+    #[test]
+    fn pages_has_floor_of_one() {
+        assert_eq!(pages(10.0), 1.0);
+        assert_eq!(pages(PAGE_SIZE * 3.0), 3.0);
+    }
+}

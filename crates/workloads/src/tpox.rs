@@ -1,0 +1,431 @@
+//! TPoX-like benchmark: data generator, the 11-query workload, and an
+//! update mix.
+//!
+//! TPoX (Transaction Processing over XML, Nicola et al., SIGMOD 2007) is
+//! the paper's primary benchmark. The real benchmark ships FIXML document
+//! templates; this generator reproduces its *shape*: three collections —
+//! securities (`SDOC`), orders (`ODOC`), customer accounts (`CDOC`) — with
+//! the element vocabulary the paper's running example uses
+//! (`/Security/Symbol`, `/Security/Yield`, `/Security/SecInfo/*/Sector`)
+//! and a query set modeled on the 11 TPoX XQueries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xia_storage::Database;
+
+/// Sector names with their industries (three per sector).
+pub const SECTORS: [(&str, [&str; 3]); 8] = [
+    ("Energy", ["OilGas", "Coal", "Renewables"]),
+    ("Technology", ["Software", "Semiconductors", "Hardware"]),
+    ("Finance", ["Banking", "Insurance", "AssetManagement"]),
+    ("Healthcare", ["Pharma", "Biotech", "Devices"]),
+    ("Consumer", ["Retail", "Food", "Apparel"]),
+    ("Industrial", ["Machinery", "Aerospace", "Construction"]),
+    ("Utilities", ["Electric", "Water", "Gas"]),
+    ("Materials", ["Chemicals", "Mining", "Paper"]),
+];
+
+/// Nationalities used in customer documents.
+pub const NATIONS: [&str; 10] = [
+    "USA", "Canada", "Germany", "France", "Japan", "Brazil", "India", "Greece", "Egypt", "Kenya",
+];
+
+/// Currencies used in accounts.
+pub const CURRENCIES: [&str; 5] = ["USD", "EUR", "JPY", "GBP", "CAD"];
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpoxConfig {
+    /// Number of security documents (`SDOC`).
+    pub securities: usize,
+    /// Number of order documents (`ODOC`).
+    pub orders: usize,
+    /// Number of customer-account documents (`CDOC`).
+    pub customers: usize,
+    /// RNG seed (data and query literals are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TpoxConfig {
+    fn default() -> Self {
+        Self {
+            securities: 400,
+            orders: 1200,
+            customers: 400,
+            seed: 42,
+        }
+    }
+}
+
+impl TpoxConfig {
+    /// A smaller configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            securities: 60,
+            orders: 150,
+            customers: 60,
+            seed: 7,
+        }
+    }
+
+    /// A larger configuration for benchmarks.
+    pub fn scaled(factor: usize) -> Self {
+        Self {
+            securities: 400 * factor,
+            orders: 1200 * factor,
+            customers: 400 * factor,
+            seed: 42,
+        }
+    }
+}
+
+/// Names of the three TPoX collections.
+pub const SECURITY_COLL: &str = "SDOC";
+/// Order collection name.
+pub const ORDER_COLL: &str = "ODOC";
+/// Customer-account collection name.
+pub const CUSTACC_COLL: &str = "CDOC";
+
+fn symbol(i: usize) -> String {
+    format!("SYM{i:05}")
+}
+
+/// Deterministic filler text, approximating the bulk of real TPoX FIXML
+/// documents (3–10 KB each). Document size matters: it sets the scan-vs-
+/// index-fetch trade-off the optimizer (and the paper's experiments)
+/// navigate.
+fn filler(seed: usize, words: usize) -> String {
+    const LEXICON: [&str; 16] = [
+        "settlement", "clearing", "custodian", "tranche", "coupon", "maturity", "counterparty",
+        "collateral", "prospectus", "liquidity", "derivative", "notional", "amortized",
+        "benchmark", "redemption", "covenant",
+    ];
+    let mut out = String::with_capacity(words * 11);
+    for k in 0..words {
+        if k > 0 {
+            out.push(' ');
+        }
+        out.push_str(LEXICON[(seed * 7 + k * 13) % LEXICON.len()]);
+    }
+    out
+}
+
+/// Generates the three TPoX collections into `db` and refreshes statistics.
+pub fn generate(db: &mut Database, cfg: &TpoxConfig) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let sdoc = db.create_collection(SECURITY_COLL);
+    for i in 0..cfg.securities {
+        let (sector, industries) = SECTORS[rng.gen_range(0..SECTORS.len())];
+        let industry = industries[rng.gen_range(0..3)];
+        let is_stock = rng.gen_bool(0.7);
+        let yield_v = (rng.gen_range(0.0..10.0f64) * 10.0).round() / 10.0;
+        let pe = (rng.gen_range(4.0..60.0f64) * 10.0).round() / 10.0;
+        let last = (rng.gen_range(1.0..500.0f64) * 100.0).round() / 100.0;
+        sdoc.build_doc("Security", |b| {
+            b.leaf("Symbol", symbol(i).as_str());
+            b.leaf("Name", format!("{industry} Corp {i}").as_str());
+            b.leaf("SecurityType", if is_stock { "Stock" } else { "Fund" });
+            b.begin("SecInfo");
+            b.begin(if is_stock { "StockInfo" } else { "FundInfo" });
+            b.leaf("Sector", sector);
+            b.leaf("Industry", industry);
+            b.end();
+            b.end();
+            b.begin("Price");
+            b.leaf("LastTrade", last);
+            b.leaf("High52", last * 1.3);
+            b.leaf("Low52", last * 0.6);
+            b.end();
+            b.leaf("Yield", yield_v);
+            b.leaf("PE", pe);
+            // Optional elements: only some securities pay dividends — gives
+            // existence predicates discriminating power.
+            if rng.gen_bool(0.3) {
+                b.begin("Dividend");
+                b.leaf("Amount", (yield_v * last / 100.0 * 100.0).round() / 100.0);
+                b.leaf("ExDate", "2007-06-15");
+                b.end();
+            }
+            b.begin("Prospectus");
+            b.leaf("Summary", filler(i, 120).as_str());
+            b.leaf("RiskFactors", filler(i + 1, 120).as_str());
+            b.leaf("Management", filler(i + 2, 80).as_str());
+            b.end();
+            b.begin("History");
+            for e in 0..3 {
+                b.begin("Event");
+                b.leaf("Date", format!("200{}-0{}-1{}", 5 + e, 1 + e, e).as_str());
+                b.leaf("Text", filler(i * 3 + e, 60).as_str());
+                b.end();
+            }
+            b.end();
+        });
+    }
+
+    let odoc = db.create_collection(ORDER_COLL);
+    for i in 0..cfg.orders {
+        let sym = symbol(rng.gen_range(0..cfg.securities.max(1)));
+        let acct = rng.gen_range(0..cfg.customers.max(1) * 2);
+        let qty = rng.gen_range(1..200) * 50;
+        let price = (rng.gen_range(1.0..500.0f64) * 100.0).round() / 100.0;
+        let buy = rng.gen_bool(0.5);
+        odoc.build_doc("Order", |b| {
+            b.attr("id", i as f64);
+            b.leaf("AccountId", format!("A{acct:05}").as_str());
+            b.leaf("Symbol", sym.as_str());
+            b.leaf("OrderType", if buy { "buy" } else { "sell" });
+            b.leaf("Quantity", qty as f64);
+            b.leaf("LimitPrice", price);
+            b.leaf("Date", format!("2007-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..29)).as_str());
+            b.begin("Fixml");
+            b.leaf("Instrument", filler(i, 90).as_str());
+            b.leaf("Parties", filler(i + 5, 90).as_str());
+            b.leaf("Stipulations", filler(i + 9, 60).as_str());
+            b.end();
+        });
+    }
+
+    let cdoc = db.create_collection(CUSTACC_COLL);
+    for i in 0..cfg.customers {
+        let nation = NATIONS[rng.gen_range(0..NATIONS.len())];
+        let premium = rng.gen_bool(0.2);
+        let accounts = rng.gen_range(1..4);
+        let balances: Vec<f64> = (0..accounts)
+            .map(|_| (rng.gen_range(100.0..200_000.0f64) * 100.0).round() / 100.0)
+            .collect();
+        let currencies: Vec<&str> = (0..accounts)
+            .map(|_| CURRENCIES[rng.gen_range(0..CURRENCIES.len())])
+            .collect();
+        cdoc.build_doc("Customer", |b| {
+            b.leaf("Id", 1000.0 + i as f64);
+            b.leaf("Name", format!("Customer {i}").as_str());
+            b.leaf("Nationality", nation);
+            b.leaf("Premium", if premium { "Y" } else { "N" });
+            b.begin("Accounts");
+            for (a, &bal) in balances.iter().enumerate() {
+                b.begin("Account");
+                b.leaf("AccountId", format!("A{:05}", i * 2 + a).as_str());
+                b.leaf("Balance", bal);
+                b.leaf("Currency", currencies[a]);
+                b.end();
+            }
+            b.end();
+            b.begin("Profile");
+            b.leaf("Notes", filler(i, 110).as_str());
+            b.leaf("Preferences", filler(i + 3, 110).as_str());
+            b.leaf("Compliance", filler(i + 6, 70).as_str());
+            b.end();
+        });
+    }
+
+    db.runstats_all();
+}
+
+/// The 11-query TPoX-like workload. Literals are deterministic in the seed
+/// and chosen to hit existing data.
+pub fn queries(cfg: &TpoxConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51ec);
+    let sym = symbol(rng.gen_range(0..cfg.securities.max(1)));
+    let sym2 = symbol(rng.gen_range(0..cfg.securities.max(1)));
+    let acct = format!("A{:05}", rng.gen_range(0..cfg.customers.max(1) * 2));
+    let cust_id = 1000 + rng.gen_range(0..cfg.customers.max(1));
+    let order_id = rng.gen_range(0..cfg.orders.max(1));
+    vec![
+        // Q1 get_security: full security document by symbol.
+        format!(
+            r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "{sym}" return $s"#
+        ),
+        // Q2 get_security_price.
+        format!(
+            r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "{sym2}" return $s/Price/LastTrade"#
+        ),
+        // Q3 search_securities: the paper's Q2 shape (yield range + sector).
+        r#"for $s in SECURITY('SDOC')/Security[Yield > 4.5]
+           where $s/SecInfo/*/Sector = "Energy"
+           return <Security>{$s/Name}</Security>"#
+            .to_string(),
+        // Q4 securities with high PE in a sector.
+        r#"for $s in SECURITY('SDOC')/Security[PE >= 40]
+           where $s/SecInfo/*/Sector = "Technology"
+           return $s/Symbol"#
+            .to_string(),
+        // Q5 securities by industry.
+        r#"for $s in SECURITY('SDOC')/Security
+           where $s/SecInfo/*/Industry = "Banking"
+           return <Out>{$s/Symbol, $s/Name}</Out>"#
+            .to_string(),
+        // Q6 get_order by id (attribute predicate).
+        format!(r#"for $o in ORDER('ODOC')/Order where $o/id = {order_id} return $o"#),
+        // Q7 orders of an account.
+        format!(
+            r#"for $o in ORDER('ODOC')/Order where $o/AccountId = "{acct}" return $o/Symbol"#
+        ),
+        // Q8 large buy orders.
+        r#"for $o in ORDER('ODOC')/Order[Quantity >= 9000]
+           where $o/OrderType = "buy"
+           return <Big>{$o/Symbol, $o/Quantity}</Big>"#
+            .to_string(),
+        // Q9 customer profile by id.
+        format!(
+            r#"for $c in CUSTACC('CDOC')/Customer where $c/Id = {cust_id} return <Profile>{{$c/Name, $c/Nationality}}</Profile>"#
+        ),
+        // Q10 high balances (nested path under Accounts/Account).
+        r#"for $c in CUSTACC('CDOC')/Customer[Accounts/Account/Balance > 150000]
+           return $c/Name"#
+            .to_string(),
+        // Q11 premium customers of a nationality.
+        r#"for $c in CUSTACC('CDOC')/Customer
+           where $c/Nationality = "Greece" and $c/Premium = "Y"
+           return $c/Id"#
+            .to_string(),
+    ]
+}
+
+/// Extended TPoX-style queries exercising the full language surface:
+/// existence predicates, disjunctions (index-ORing), `let` bindings,
+/// `order by`, and the SQL/XML surface syntax. Used by the language-surface
+/// tests and available for richer workloads.
+pub fn extended_queries(cfg: &TpoxConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xe47e);
+    let sym = symbol(rng.gen_range(0..cfg.securities.max(1)));
+    vec![
+        // Existence: dividend-paying securities (optional element).
+        r#"for $s in SECURITY('SDOC')/Security
+           where $s/Dividend
+           return $s/Symbol"#
+            .to_string(),
+        // Disjunction over sectors (index-ORing candidate).
+        r#"for $s in SECURITY('SDOC')/Security[SecInfo/*/Sector = "Energy" or SecInfo/*/Sector = "Utilities"]
+           return $s/Name"#
+            .to_string(),
+        // `let` binding with a nested navigation.
+        r#"for $s in SECURITY('SDOC')/Security
+           let $p := $s/Price
+           where $p/LastTrade >= 400
+           return $p/High52"#
+            .to_string(),
+        // `order by` over a retrieved key.
+        r#"for $o in ORDER('ODOC')/Order[Quantity >= 8000]
+           order by $o/LimitPrice descending
+           return $o/Symbol"#
+            .to_string(),
+        // SQL/XML surface: the same shape as Q1, different language.
+        format!(
+            r#"SELECT XMLQUERY('$d/Security/Name') FROM SDOC
+               WHERE XMLEXISTS('$d/Security[Symbol = "{sym}"]')"#
+        ),
+        // Existence of a dividend combined with a value predicate.
+        r#"for $s in SECURITY('SDOC')/Security[Yield > 6]
+           where $s/Dividend/Amount >= 1
+           return <Out>{$s/Symbol, $s/Yield}</Out>"#
+            .to_string(),
+    ]
+}
+
+/// An update mix: inserts, a delete, and an update, for maintenance-cost
+/// experiments.
+pub fn update_mix(cfg: &TpoxConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0bad);
+    let i = cfg.securities + 1;
+    let (sector, industries) = SECTORS[rng.gen_range(0..SECTORS.len())];
+    vec![
+        format!(
+            "insert into SDOC <Security><Symbol>{}</Symbol><Name>New Corp</Name>\
+             <SecInfo><StockInfo><Sector>{sector}</Sector><Industry>{}</Industry></StockInfo></SecInfo>\
+             <Yield>5.1</Yield><PE>22</PE></Security>",
+            symbol(i),
+            industries[0]
+        ),
+        format!(
+            "insert into ODOC <Order id=\"{}\"><AccountId>A00001</AccountId><Symbol>{}</Symbol>\
+             <OrderType>buy</OrderType><Quantity>500</Quantity><LimitPrice>99.5</LimitPrice></Order>",
+            cfg.orders + 1,
+            symbol(0)
+        ),
+        format!(r#"delete from ODOC where /Order[id = {}]"#, rng.gen_range(0..cfg.orders.max(1))),
+        format!(
+            r#"update SDOC set /Security/Yield = 6.5 where /Security[Symbol = "{}"]"#,
+            symbol(rng.gen_range(0..cfg.securities.max(1)))
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    #[test]
+    fn generator_populates_three_collections() {
+        let mut db = Database::new();
+        let cfg = TpoxConfig::tiny();
+        generate(&mut db, &cfg);
+        assert_eq!(db.collection(SECURITY_COLL).unwrap().len(), cfg.securities);
+        assert_eq!(db.collection(ORDER_COLL).unwrap().len(), cfg.orders);
+        assert_eq!(db.collection(CUSTACC_COLL).unwrap().len(), cfg.customers);
+        // Stats were refreshed.
+        assert!(db.stats_cached(SECURITY_COLL).is_some());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TpoxConfig::tiny();
+        let mut db1 = Database::new();
+        generate(&mut db1, &cfg);
+        let mut db2 = Database::new();
+        generate(&mut db2, &cfg);
+        let n1 = db1.stats_cached(SECURITY_COLL).unwrap().node_count;
+        let n2 = db2.stats_cached(SECURITY_COLL).unwrap().node_count;
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn both_secinfo_variants_appear() {
+        let mut db = Database::new();
+        generate(&mut db, &TpoxConfig::tiny());
+        let c = db.collection(SECURITY_COLL).unwrap();
+        let paths: Vec<String> = c
+            .vocab()
+            .paths
+            .iter()
+            .map(|(id, _)| c.vocab().path_string(id))
+            .collect();
+        assert!(paths.iter().any(|p| p == "/Security/SecInfo/StockInfo/Sector"));
+        assert!(paths.iter().any(|p| p == "/Security/SecInfo/FundInfo/Sector"));
+    }
+
+    #[test]
+    fn all_eleven_queries_parse() {
+        let cfg = TpoxConfig::tiny();
+        let qs = queries(&cfg);
+        assert_eq!(qs.len(), 11);
+        let w = Workload::from_texts(qs.iter().map(|s| s.as_str())).unwrap();
+        assert_eq!(w.len(), 11);
+        assert_eq!(w.collections().len(), 3);
+    }
+
+    #[test]
+    fn update_mix_parses() {
+        let cfg = TpoxConfig::tiny();
+        let w = Workload::from_texts(update_mix(&cfg).iter().map(|s| s.as_str())).unwrap();
+        assert_eq!(w.len(), 4);
+        assert!(w.entries().iter().all(|e| e.statement.is_modification()));
+    }
+
+    #[test]
+    fn point_queries_hit_existing_data() {
+        // Q1's symbol literal must exist in the generated data.
+        let cfg = TpoxConfig::tiny();
+        let mut db = Database::new();
+        generate(&mut db, &cfg);
+        let q1 = &queries(&cfg)[0];
+        let sym = q1.split('"').nth(1).unwrap();
+        let c = db.collection(SECURITY_COLL).unwrap();
+        let found = c.iter_docs().any(|(_, d)| {
+            d.nodes()
+                .any(|(_, n)| n.value.as_ref().is_some_and(|v| v.as_str() == sym))
+        });
+        assert!(found, "symbol {sym} not found in generated data");
+    }
+}

@@ -1,0 +1,291 @@
+//! XMark-like auction benchmark.
+//!
+//! XMark (Schmidt et al.) is the paper's secondary benchmark; its results
+//! appear in the paper's tech report. The original benchmark is one large
+//! auction-site document; following the paper's DB2 setup (documents in an
+//! XML column), we store the site's entities as separate documents in one
+//! collection: items, persons, and open auctions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xia_storage::Database;
+
+/// Regions used for items.
+pub const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+
+/// Item categories.
+pub const CATEGORIES: [&str; 8] = [
+    "art", "books", "coins", "computers", "garden", "music", "sports", "toys",
+];
+
+/// Countries for person addresses.
+pub const COUNTRIES: [&str; 8] = [
+    "United States",
+    "Germany",
+    "France",
+    "Japan",
+    "Canada",
+    "Brazil",
+    "Kenya",
+    "India",
+];
+
+/// Education levels in person profiles.
+pub const EDUCATION: [&str; 4] = ["High School", "College", "Graduate School", "Other"];
+
+/// Deterministic filler text approximating XMark's Shakespeare-derived
+/// description paragraphs (the bulk of real XMark documents).
+fn xmark_filler(seed: usize, words: usize) -> String {
+    const LEXICON: [&str; 14] = [
+        "gold", "amulet", "vintage", "rare", "mint", "signed", "antique", "original",
+        "limited", "edition", "collectible", "pristine", "handcrafted", "imported",
+    ];
+    let mut out = String::with_capacity(words * 9);
+    for k in 0..words {
+        if k > 0 {
+            out.push(' ');
+        }
+        out.push_str(LEXICON[(seed * 5 + k * 11) % LEXICON.len()]);
+    }
+    out
+}
+
+/// Collection name for XMark documents.
+pub const XMARK_COLL: &str = "XMARK";
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Number of item documents.
+    pub items: usize,
+    /// Number of person documents.
+    pub persons: usize,
+    /// Number of open-auction documents.
+    pub auctions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        Self {
+            items: 400,
+            persons: 300,
+            auctions: 300,
+            seed: 1337,
+        }
+    }
+}
+
+impl XmarkConfig {
+    /// A smaller configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            items: 50,
+            persons: 40,
+            auctions: 40,
+            seed: 5,
+        }
+    }
+}
+
+/// Generates the XMark-like collection into `db` and refreshes statistics.
+pub fn generate(db: &mut Database, cfg: &XmarkConfig) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let coll = db.create_collection(XMARK_COLL);
+
+    for i in 0..cfg.items {
+        let region = REGIONS[rng.gen_range(0..REGIONS.len())];
+        let category = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+        let quantity = rng.gen_range(1..10) as f64;
+        coll.build_doc("item", |b| {
+            b.attr("id", format!("item{i}").as_str());
+            b.leaf("location", COUNTRIES[rng.gen_range(0..COUNTRIES.len())]);
+            b.leaf("region", region);
+            b.leaf("category", category);
+            b.leaf("quantity", quantity);
+            b.leaf("name", format!("item name {i}").as_str());
+            b.begin("description");
+            b.leaf("text", xmark_filler(i, 140).as_str());
+            b.leaf("parlist", xmark_filler(i + 3, 140).as_str());
+            b.end();
+            b.leaf("payment", if rng.gen_bool(0.5) { "Creditcard" } else { "Cash" });
+            b.leaf("shipping", "Will ship internationally");
+        });
+    }
+
+    for i in 0..cfg.persons {
+        let country = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
+        let income = (rng.gen_range(9_000.0..120_000.0f64) * 100.0).round() / 100.0;
+        let has_profile = rng.gen_bool(0.8);
+        coll.build_doc("person", |b| {
+            b.attr("id", format!("person{i}").as_str());
+            b.leaf("name", format!("Person {i}").as_str());
+            b.leaf("emailaddress", format!("mailto:p{i}@example.com").as_str());
+            b.begin("address");
+            b.leaf("city", format!("City{}", i % 25).as_str());
+            b.leaf("country", country);
+            b.end();
+            b.leaf("creditcard", format!("{:04} {:04} {:04} {:04}", i, i * 3 % 9999, i * 7 % 9999, i * 11 % 9999).as_str());
+            b.leaf("watch", xmark_filler(i, 110).as_str());
+            if has_profile {
+                b.begin("profile");
+                b.leaf("income", income);
+                b.leaf("education", EDUCATION[rng.gen_range(0..EDUCATION.len())]);
+                b.leaf("interest", CATEGORIES[rng.gen_range(0..CATEGORIES.len())]);
+                b.end();
+            }
+        });
+    }
+
+    for i in 0..cfg.auctions {
+        let initial = (rng.gen_range(1.0..300.0f64) * 100.0).round() / 100.0;
+        let bidders = rng.gen_range(0..5);
+        let mut current = initial;
+        coll.build_doc("open_auction", |b| {
+            b.attr("id", format!("auction{i}").as_str());
+            b.leaf("initial", initial);
+            b.leaf("reserve", initial * 1.5);
+            for bi in 0..bidders {
+                let increase = (rng.gen_range(1.0..25.0f64) * 100.0).round() / 100.0;
+                current += increase;
+                b.begin("bidder");
+                b.leaf("date", format!("2007-{:02}-{:02}", 1 + bi, 10 + bi).as_str());
+                b.leaf("increase", increase);
+                b.end();
+            }
+            b.leaf("current", current);
+            b.leaf("itemref", format!("item{}", rng.gen_range(0..cfg.items.max(1))).as_str());
+            b.leaf("seller", format!("person{}", rng.gen_range(0..cfg.persons.max(1))).as_str());
+            b.begin("annotation");
+            b.leaf("description", xmark_filler(i, 130).as_str());
+            b.leaf("happiness", rng.gen_range(1..11) as f64);
+            b.end();
+        });
+    }
+
+    db.runstats_all();
+}
+
+/// The XMark-like query workload (modeled on XMark Q1-style point queries
+/// and value joins' local halves).
+pub fn queries(cfg: &XmarkConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xa0c7);
+    let pid = rng.gen_range(0..cfg.persons.max(1));
+    let aid = rng.gen_range(0..cfg.auctions.max(1));
+    vec![
+        // XMark Q1: the name of the person with a given id.
+        format!(r#"for $p in XMARK('XMARK')/person where $p/id = "person{pid}" return $p/name"#),
+        // Items located in the United States (Q2-ish regional selection).
+        r#"for $i in XMARK('XMARK')/item where $i/location = "United States" return $i/name"#
+            .to_string(),
+        // Auctions whose current price exceeds a threshold.
+        r#"for $a in XMARK('XMARK')/open_auction[current > 200] return $a/itemref"#.to_string(),
+        // Persons with high income (profile navigation).
+        r#"for $p in XMARK('XMARK')/person[profile/income >= 100000] return $p/name"#.to_string(),
+        // Persons interested in a category.
+        r#"for $p in XMARK('XMARK')/person
+           where $p/profile/interest = "computers"
+           return <Out>{$p/name, $p/emailaddress}</Out>"#
+            .to_string(),
+        // Bid increases above a threshold (repeated element under auction).
+        r#"for $a in XMARK('XMARK')/open_auction[bidder/increase > 20] return $a/current"#
+            .to_string(),
+        // Items of a category with quantity bound.
+        r#"for $i in XMARK('XMARK')/item[quantity >= 5]
+           where $i/category = "books"
+           return $i/name"#
+            .to_string(),
+        // Point lookup on an auction id (attribute).
+        format!(r#"for $a in XMARK('XMARK')/open_auction where $a/id = "auction{aid}" return $a"#),
+        // Persons from a country, education filter.
+        r#"for $p in XMARK('XMARK')/person
+           where $p/address/country = "Germany" and $p/profile/education = "Graduate School"
+           return $p/name"#
+            .to_string(),
+    ]
+}
+
+/// Extended XMark-style queries (modeled on the benchmark's Q10–Q14
+/// class) exercising disjunctions, existence, and ordering.
+pub fn extended_queries(_cfg: &XmarkConfig) -> Vec<String> {
+    vec![
+        // Items from either of two regions (disjunction).
+        r#"for $i in XMARK('XMARK')/item[region = "europe" or region = "asia"]
+           return $i/name"#
+            .to_string(),
+        // Persons with a profile (existence of an optional subtree).
+        r#"for $p in XMARK('XMARK')/person
+           where $p/profile
+           return $p/name"#
+            .to_string(),
+        // Auctions ordered by current price.
+        r#"for $a in XMARK('XMARK')/open_auction[current >= 100]
+           order by $a/current descending
+           return $a/itemref"#
+            .to_string(),
+        // SQL/XML surface over items.
+        r#"SELECT XMLQUERY('$d/item/name') FROM XMARK
+           WHERE XMLEXISTS('$d/item[category = "coins"]')"#
+            .to_string(),
+        // Let binding over the profile subtree.
+        r#"for $p in XMARK('XMARK')/person
+           let $prof := $p/profile
+           where $prof/education = "College" and $prof/income >= 40000
+           return $p/emailaddress"#
+            .to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    #[test]
+    fn generates_three_document_shapes() {
+        let mut db = Database::new();
+        let cfg = XmarkConfig::tiny();
+        generate(&mut db, &cfg);
+        let c = db.collection(XMARK_COLL).unwrap();
+        assert_eq!(c.len(), cfg.items + cfg.persons + cfg.auctions);
+        let paths: Vec<String> = c
+            .vocab()
+            .paths
+            .iter()
+            .map(|(id, _)| c.vocab().path_string(id))
+            .collect();
+        assert!(paths.iter().any(|p| p == "/item/category"));
+        assert!(paths.iter().any(|p| p == "/person/profile/income"));
+        assert!(paths.iter().any(|p| p == "/open_auction/bidder/increase"));
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        let cfg = XmarkConfig::tiny();
+        let qs = queries(&cfg);
+        assert_eq!(qs.len(), 9);
+        let w = Workload::from_texts(qs.iter().map(|s| s.as_str())).unwrap();
+        assert_eq!(w.collections(), vec![XMARK_COLL.to_string()]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = XmarkConfig::tiny();
+        let mut a = Database::new();
+        generate(&mut a, &cfg);
+        let mut b = Database::new();
+        generate(&mut b, &cfg);
+        assert_eq!(
+            a.stats_cached(XMARK_COLL).unwrap().node_count,
+            b.stats_cached(XMARK_COLL).unwrap().node_count
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Programmatic document construction.
+
+use crate::model::{Document, Node, NodeId, NodeKind};
+use crate::value::Value;
+use crate::Vocabulary;
+
+/// Builds a [`Document`] top-down while interning names and rooted paths in
+/// a shared [`Vocabulary`].
+///
+/// ```
+/// use xia_xml::{DocBuilder, Vocabulary};
+/// let mut vocab = Vocabulary::new();
+/// let mut b = DocBuilder::new(&mut vocab, "Security");
+/// b.leaf("Symbol", "BCIIPRC");
+/// b.begin("SecInfo");
+/// b.leaf("Sector", "Energy");
+/// b.end();
+/// let doc = b.finish();
+/// assert_eq!(doc.len(), 4);
+/// ```
+pub struct DocBuilder<'v> {
+    vocab: &'v mut Vocabulary,
+    nodes: Vec<Node>,
+    stack: Vec<NodeId>,
+}
+
+impl<'v> DocBuilder<'v> {
+    /// Starts a document with the given root element name.
+    pub fn new(vocab: &'v mut Vocabulary, root: &str) -> Self {
+        let name = vocab.names.intern(root);
+        let path = vocab.paths.extend(None, name);
+        let root_node = Node {
+            name,
+            parent: None,
+            children: Vec::new(),
+            path,
+            value: None,
+            kind: NodeKind::Element,
+        };
+        Self {
+            vocab,
+            nodes: vec![root_node],
+            stack: vec![NodeId(0)],
+        }
+    }
+
+    fn push_node(&mut self, name: &str, value: Option<Value>, kind: NodeKind) -> NodeId {
+        let parent = *self.stack.last().expect("builder stack never empty");
+        let name = self.vocab.names.intern(name);
+        let parent_path = self.nodes[parent.index()].path;
+        let path = self.vocab.paths.extend(Some(parent_path), name);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name,
+            parent: Some(parent),
+            children: Vec::new(),
+            path,
+            value,
+            kind,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Opens a child element; subsequent nodes nest inside it until
+    /// [`DocBuilder::end`].
+    pub fn begin(&mut self, name: &str) -> &mut Self {
+        let id = self.push_node(name, None, NodeKind::Element);
+        self.stack.push(id);
+        self
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics on an attempt to close the root element.
+    pub fn end(&mut self) -> &mut Self {
+        assert!(self.stack.len() > 1, "cannot end the root element");
+        self.stack.pop();
+        self
+    }
+
+    /// Adds a leaf element with text content.
+    pub fn leaf(&mut self, name: &str, value: impl Into<Value>) -> &mut Self {
+        self.push_node(name, Some(value.into()), NodeKind::Element);
+        self
+    }
+
+    /// Adds an attribute on the currently open element.
+    pub fn attr(&mut self, name: &str, value: impl Into<Value>) -> &mut Self {
+        self.push_node(name, Some(value.into()), NodeKind::Attribute);
+        self
+    }
+
+    /// Adds an empty child element (no value, no children).
+    pub fn empty(&mut self, name: &str) -> &mut Self {
+        self.push_node(name, None, NodeKind::Element);
+        self
+    }
+
+    /// Finishes the document.
+    ///
+    /// # Panics
+    /// Panics if elements remain open.
+    pub fn finish(self) -> Document {
+        assert_eq!(self.stack.len(), 1, "unclosed elements at finish()");
+        Document::from_arena(self.nodes)
+    }
+}
+
+/// Names current nesting depth (root = 1); exposed for generator sanity
+/// checks.
+impl DocBuilder<'_> {
+    /// Current open-element depth, root included.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "Order");
+        b.attr("id", "103");
+        b.begin("Customer");
+        b.leaf("Name", "Ann");
+        b.end();
+        b.leaf("Total", "250.5");
+        let doc = b.finish();
+        assert_eq!(doc.len(), 5);
+        let root = doc.node(doc.root());
+        assert_eq!(root.children.len(), 3);
+        let attr = doc.node(root.children[0]);
+        assert_eq!(attr.kind, NodeKind::Attribute);
+        assert_eq!(attr.value.as_ref().unwrap().as_num(), Some(103.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed elements")]
+    fn finish_with_open_element_panics() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "a");
+        b.begin("b");
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot end the root")]
+    fn ending_root_panics() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "a");
+        b.end();
+    }
+
+    #[test]
+    fn shared_vocabulary_shares_path_ids() {
+        let mut vocab = Vocabulary::new();
+        let d1 = {
+            let mut b = DocBuilder::new(&mut vocab, "a");
+            b.leaf("x", "1");
+            b.finish()
+        };
+        let d2 = {
+            let mut b = DocBuilder::new(&mut vocab, "a");
+            b.leaf("x", "2");
+            b.finish()
+        };
+        let p1 = d1.nodes().last().unwrap().1.path;
+        let p2 = d2.nodes().last().unwrap().1.path;
+        assert_eq!(p1, p2);
+        assert_eq!(vocab.paths.len(), 2); // /a and /a/x
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "a");
+        assert_eq!(b.depth(), 1);
+        b.begin("b");
+        assert_eq!(b.depth(), 2);
+        b.end();
+        assert_eq!(b.depth(), 1);
+    }
+}

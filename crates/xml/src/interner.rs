@@ -1,0 +1,131 @@
+//! String interning for element and attribute names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name. Cheap to copy and compare; resolved back to a string
+/// through the [`Interner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Returns the raw index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A simple append-only string interner.
+///
+/// Symbols are dense indices, so per-symbol side tables can be plain
+/// vectors.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    map: HashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a previously interned string without interning it.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over all interned symbols with their strings.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Security");
+        let b = i.intern("Security");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "a");
+        assert_eq!(i.resolve(b), "b");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.lookup("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.lookup("x"), Some(s));
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut i = Interner::new();
+        for (n, name) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(i.intern(name).index(), n);
+        }
+    }
+
+    #[test]
+    fn iter_yields_all_pairs() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let pairs: Vec<_> = i.iter().map(|(s, t)| (s.index(), t.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Arena-based XML document model.
+
+use crate::interner::Symbol;
+use crate::paths::PathId;
+// (Symbol is used in public fields and method signatures below.)
+use crate::value::Value;
+use crate::Vocabulary;
+
+/// Index of a node within its [`Document`] arena. Node ids are assigned in
+/// document (pre-) order, so comparing ids compares document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index of this node id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Kind of a node. Attributes are modeled as leaf children of their owner
+/// element (with their name participating in the rooted path), which is how
+/// the index patterns of the paper address them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node.
+    Element,
+    /// An attribute node (always a leaf with a value).
+    Attribute,
+}
+
+/// A single XML node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Interned element/attribute name.
+    pub name: Symbol,
+    /// Parent node, `None` for the document root.
+    pub parent: Option<NodeId>,
+    /// Children in document order (attributes first).
+    pub children: Vec<NodeId>,
+    /// Interned rooted label path of this node.
+    pub path: PathId,
+    /// Text content for leaf nodes, `None` for interior elements.
+    pub value: Option<Value>,
+    /// Element or attribute.
+    pub kind: NodeKind,
+}
+
+/// An XML document: an arena of nodes with a single root element.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Creates a document from a pre-built arena. The first node must be the
+    /// root.
+    pub(crate) fn from_arena(nodes: Vec<Node>) -> Self {
+        debug_assert!(!nodes.is_empty(), "document must have a root");
+        debug_assert!(nodes[0].parent.is_none(), "node 0 must be the root");
+        Self { nodes }
+    }
+
+    /// The root element of the document.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this document.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes in the document.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document has no nodes (never true for parsed documents).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all node ids in document order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over `(NodeId, &Node)` in document order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Returns the first child of `id` with the given name, if any.
+    pub fn child_named(&self, id: NodeId, name: Symbol) -> Option<NodeId> {
+        self.node(id)
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.node(c).name == name)
+    }
+
+    /// Collects the text value of the first descendant reachable via the
+    /// given child-axis label sequence.
+    pub fn value_at(&self, labels: &[Symbol]) -> Option<&Value> {
+        let mut cur = self.root();
+        for &label in labels {
+            cur = self.child_named(cur, label)?;
+        }
+        self.node(cur).value.as_ref()
+    }
+
+    /// Renders the rooted path of a node for debugging.
+    pub fn path_of(&self, id: NodeId, vocab: &Vocabulary) -> String {
+        vocab.path_string(self.node(id).path)
+    }
+
+    /// Replaces the value of a node (used by update execution).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this document.
+    pub fn set_value(&mut self, id: NodeId, value: Option<Value>) {
+        self.nodes[id.index()].value = value;
+    }
+
+    /// Total bytes of value text stored in the document (used by the size
+    /// model in the storage layer).
+    pub fn value_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.value.as_ref())
+            .map(|v| v.as_str().len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DocBuilder;
+    use crate::Vocabulary;
+
+    #[test]
+    fn document_order_ids() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "Security");
+        b.leaf("Symbol", "IBM");
+        b.begin("SecInfo");
+        b.leaf("Sector", "Tech");
+        b.end();
+        let doc = b.finish();
+        // root, Symbol, SecInfo, Sector
+        assert_eq!(doc.len(), 4);
+        let ids: Vec<u32> = doc.node_ids().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn value_at_navigates_child_axis() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "Security");
+        b.begin("SecInfo");
+        b.leaf("Sector", "Energy");
+        b.end();
+        let doc = b.finish();
+        let secinfo = vocab.lookup_name("SecInfo").unwrap();
+        let sector = vocab.lookup_name("Sector").unwrap();
+        assert_eq!(
+            doc.value_at(&[secinfo, sector]).map(|v| v.as_str()),
+            Some("Energy")
+        );
+        assert!(doc.value_at(&[sector]).is_none());
+    }
+
+    #[test]
+    fn paths_are_rooted() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "a");
+        b.begin("b");
+        b.leaf("c", "1");
+        b.end();
+        let doc = b.finish();
+        let last = doc.nodes().last().unwrap();
+        assert_eq!(doc.path_of(last.0, &vocab), "/a/b/c");
+    }
+}

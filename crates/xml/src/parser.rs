@@ -1,0 +1,463 @@
+//! A small, dependency-free XML parser.
+//!
+//! Supports the subset of XML that the workload generators and tests emit:
+//! elements, attributes, character data, CDATA sections, comments, an
+//! optional XML declaration, and the five predefined entities. Namespaces
+//! are treated as part of the name (single-namespace assumption, see
+//! DESIGN.md §6).
+
+use crate::interner::Symbol;
+use crate::model::{Document, Node, NodeId, NodeKind};
+use crate::value::Value;
+use crate::Vocabulary;
+use std::fmt;
+
+/// Parse error with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses an XML document, interning names and rooted paths in `vocab`.
+pub fn parse_document(input: &str, vocab: &mut Vocabulary) -> Result<Document, XmlError> {
+    Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        vocab,
+    }
+    .parse()
+}
+
+struct Parser<'a, 'v> {
+    bytes: &'a [u8],
+    pos: usize,
+    vocab: &'v mut Vocabulary,
+}
+
+struct Frame {
+    node: NodeId,
+    text: String,
+    element_children: usize,
+}
+
+impl<'a, 'v> Parser<'a, 'v> {
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
+        match find_sub(&self.bytes[self.pos..], end.as_bytes()) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct, expected `{end}`"))),
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.pos += 2;
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.pos += 9;
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse(mut self) -> Result<Document, XmlError> {
+        self.skip_misc()?;
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected root element"));
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut stack: Vec<Frame> = Vec::new();
+
+        self.parse_open_tag(&mut nodes, &mut stack)?;
+        while !stack.is_empty() {
+            match self.peek() {
+                None => return Err(self.err("unexpected end of input inside element")),
+                Some(b'<') => {
+                    if self.starts_with("<!--") {
+                        self.pos += 4;
+                        self.skip_until("-->")?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.pos += 9;
+                        let start = self.pos;
+                        self.skip_until("]]>")?;
+                        let text =
+                            std::str::from_utf8(&self.bytes[start..self.pos - 3]).map_err(
+                                |_| self.err("invalid UTF-8 in CDATA"),
+                            )?;
+                        stack
+                            .last_mut()
+                            .expect("stack non-empty in loop")
+                            .text
+                            .push_str(text);
+                    } else if self.starts_with("</") {
+                        self.parse_close_tag(&mut nodes, &mut stack)?;
+                    } else if self.starts_with("<?") {
+                        self.pos += 2;
+                        self.skip_until("?>")?;
+                    } else {
+                        self.parse_open_tag(&mut nodes, &mut stack)?;
+                    }
+                }
+                Some(_) => {
+                    let text = self.parse_text()?;
+                    stack
+                        .last_mut()
+                        .expect("stack non-empty in loop")
+                        .text
+                        .push_str(&text);
+                }
+            }
+        }
+        self.skip_misc()?;
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing content after root element"));
+        }
+        Ok(Document::from_arena(nodes))
+    }
+
+    fn parse_name(&mut self) -> Result<Symbol, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        let name = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in name"))?;
+        Ok(self.vocab.names.intern(name))
+    }
+
+    fn add_node(
+        &mut self,
+        nodes: &mut Vec<Node>,
+        stack: &[Frame],
+        name: Symbol,
+        value: Option<Value>,
+        kind: NodeKind,
+    ) -> NodeId {
+        let parent = stack.last().map(|f| f.node);
+        let parent_path = parent.map(|p| nodes[p.index()].path);
+        let path = self.vocab.paths.extend(parent_path, name);
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(Node {
+            name,
+            parent,
+            children: Vec::new(),
+            path,
+            value,
+            kind,
+        });
+        if let Some(p) = parent {
+            nodes[p.index()].children.push(id);
+        }
+        id
+    }
+
+    fn parse_open_tag(
+        &mut self,
+        nodes: &mut Vec<Node>,
+        stack: &mut Vec<Frame>,
+    ) -> Result<(), XmlError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        if !stack.is_empty() {
+            stack.last_mut().expect("checked non-empty").element_children += 1;
+        } else if !nodes.is_empty() {
+            return Err(self.err("multiple root elements"));
+        }
+        let id = self.add_node(nodes, stack, name, None, NodeKind::Element);
+        stack.push(Frame {
+            node: id,
+            text: String::new(),
+            element_children: 0,
+        });
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'/') => {
+                    self.expect("/>")
+                        .map_err(|_| self.err("expected `/>`"))?;
+                    let frame = stack.pop().expect("frame just pushed");
+                    debug_assert_eq!(frame.node, id);
+                    return Ok(());
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in attribute"))?;
+                    let decoded = decode_entities(raw).map_err(|m| self.err(m))?;
+                    self.pos += 1;
+                    // Attributes are leaf children; they do not count as
+                    // element children for leaf-value purposes.
+                    self.add_node(
+                        nodes,
+                        stack,
+                        attr_name,
+                        Some(Value::new(&decoded)),
+                        NodeKind::Attribute,
+                    );
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+    }
+
+    fn parse_close_tag(
+        &mut self,
+        nodes: &mut Vec<Node>,
+        stack: &mut Vec<Frame>,
+    ) -> Result<(), XmlError> {
+        self.expect("</")?;
+        let name = self.parse_name()?;
+        self.skip_ws();
+        self.expect(">")?;
+        let frame = stack.pop().expect("close tag with empty stack");
+        let node = &mut nodes[frame.node.index()];
+        if node.name != name {
+            return Err(self.err(format!(
+                "mismatched close tag `{}`",
+                self.vocab.names.resolve(name)
+            )));
+        }
+        let text = frame.text.trim();
+        if frame.element_children == 0 && !text.is_empty() {
+            node.value = Some(Value::new(text));
+        }
+        Ok(())
+    }
+
+    fn parse_text(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c != b'<') {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in text"))?;
+        decode_entities(raw).map_err(|m| self.err(m))
+    }
+}
+
+fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+/// Decodes the five predefined XML entities plus decimal/hex character
+/// references.
+pub fn decode_entities(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_string())?;
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| format!("bad character reference `&{entity};`"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid code point in `&{entity};`"))?,
+                );
+            }
+            _ if entity.starts_with('#') => {
+                let code = entity[1..]
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad character reference `&{entity};`"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid code point in `&{entity};`"))?,
+                );
+            }
+            _ => return Err(format!("unknown entity `&{entity};`")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> (Document, Vocabulary) {
+        let mut vocab = Vocabulary::new();
+        let doc = parse_document(s, &mut vocab).expect("parse failed");
+        (doc, vocab)
+    }
+
+    #[test]
+    fn parses_simple_document() {
+        let (doc, vocab) = parse("<Security><Symbol>IBM</Symbol><Yield>4.5</Yield></Security>");
+        assert_eq!(doc.len(), 3);
+        let sym = vocab.lookup_name("Symbol").unwrap();
+        assert_eq!(doc.value_at(&[sym]).unwrap().as_str(), "IBM");
+        let yld = vocab.lookup_name("Yield").unwrap();
+        assert_eq!(doc.value_at(&[yld]).unwrap().as_num(), Some(4.5));
+    }
+
+    #[test]
+    fn parses_attributes_as_leaf_children() {
+        let (doc, vocab) = parse(r#"<Order id="7"><Total>10</Total></Order>"#);
+        let id = vocab.lookup_name("id").unwrap();
+        assert_eq!(doc.value_at(&[id]).unwrap().as_num(), Some(7.0));
+        assert_eq!(doc.node(doc.root()).children.len(), 2);
+    }
+
+    #[test]
+    fn self_closing_elements() {
+        let (doc, _) = parse("<a><b/><c/></a>");
+        assert_eq!(doc.len(), 3);
+    }
+
+    #[test]
+    fn declaration_comments_and_cdata() {
+        let (doc, vocab) = parse(
+            "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b><![CDATA[x<y]]></b></a>",
+        );
+        let b = vocab.lookup_name("b").unwrap();
+        assert_eq!(doc.value_at(&[b]).unwrap().as_str(), "x<y");
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let (doc, vocab) = parse("<a><b>&lt;tag&gt; &amp; &#65;&#x42;</b></a>");
+        let b = vocab.lookup_name("b").unwrap();
+        assert_eq!(doc.value_at(&[b]).unwrap().as_str(), "<tag> & AB");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_not_a_value() {
+        let (doc, _) = parse("<a>\n  <b>1</b>\n</a>");
+        assert!(doc.node(doc.root()).value.is_none());
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let mut vocab = Vocabulary::new();
+        let err = parse_document("<a><b></a></b>", &mut vocab).unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let mut vocab = Vocabulary::new();
+        assert!(parse_document("<a/>junk", &mut vocab).is_err());
+    }
+
+    #[test]
+    fn multiple_roots_error() {
+        let mut vocab = Vocabulary::new();
+        assert!(parse_document("<a/><b/>", &mut vocab).is_err());
+    }
+
+    #[test]
+    fn unterminated_document_errors() {
+        let mut vocab = Vocabulary::new();
+        assert!(parse_document("<a><b>", &mut vocab).is_err());
+        assert!(parse_document("<a attr=\"x>", &mut vocab).is_err());
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let (doc, _) = parse("<!DOCTYPE a><a><b>1</b></a>");
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn mixed_content_keeps_structure_and_drops_stray_text() {
+        // Mixed content is outside the indexable subset; we keep the element
+        // structure and drop interleaved text (documented simplification).
+        let (doc, _) = parse("<a>hello <b>1</b> world</a>");
+        assert_eq!(doc.len(), 2);
+        assert!(doc.node(doc.root()).value.is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Rooted label-path dictionary.
+//!
+//! Native XML stores keep a *path table*: every distinct rooted label path
+//! (`/Security/SecInfo/StockInfo/Sector`) gets a small integer id, and every
+//! node records the id of its path. The XML Index Advisor substrate relies on
+//! this heavily: an index pattern denotes a set of [`PathId`]s, statistics
+//! are kept per path, and partial-index builds select nodes by path id.
+
+use crate::interner::Symbol;
+use std::collections::HashMap;
+
+/// Identifier of an interned rooted label path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    /// Returns the raw index of this path id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only dictionary of rooted label paths.
+#[derive(Debug, Default, Clone)]
+pub struct PathDictionary {
+    paths: Vec<Box<[Symbol]>>,
+    map: HashMap<Box<[Symbol]>, PathId>,
+}
+
+impl PathDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a rooted label path (sequence of element names from the
+    /// document root down to the node).
+    pub fn intern(&mut self, labels: &[Symbol]) -> PathId {
+        if let Some(&id) = self.map.get(labels) {
+            return id;
+        }
+        let id = PathId(self.paths.len() as u32);
+        let boxed: Box<[Symbol]> = labels.into();
+        self.paths.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// Extends an existing path by one label, interning the result.
+    ///
+    /// `parent = None` means the new path is a root path of length one.
+    pub fn extend(&mut self, parent: Option<PathId>, label: Symbol) -> PathId {
+        let mut labels: Vec<Symbol> = match parent {
+            Some(p) => self.labels(p).to_vec(),
+            None => Vec::new(),
+        };
+        labels.push(label);
+        self.intern(&labels)
+    }
+
+    /// Looks up a path without interning it.
+    pub fn lookup(&self, labels: &[Symbol]) -> Option<PathId> {
+        self.map.get(labels).copied()
+    }
+
+    /// Resolves a path id to its label sequence.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this dictionary.
+    pub fn labels(&self, id: PathId) -> &[Symbol] {
+        &self.paths[id.index()]
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Iterates over all `(PathId, labels)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, &[Symbol])> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PathId(i as u32), p.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(ids: &[u32]) -> Vec<Symbol> {
+        ids.iter().map(|&i| Symbol(i)).collect()
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = PathDictionary::new();
+        let a = d.intern(&syms(&[0, 1]));
+        let b = d.intern(&syms(&[0, 1]));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn extend_builds_child_paths() {
+        let mut d = PathDictionary::new();
+        let root = d.extend(None, Symbol(7));
+        let child = d.extend(Some(root), Symbol(8));
+        assert_eq!(d.labels(root), &[Symbol(7)][..]);
+        assert_eq!(d.labels(child), &[Symbol(7), Symbol(8)][..]);
+    }
+
+    #[test]
+    fn different_prefixes_are_distinct_paths() {
+        let mut d = PathDictionary::new();
+        let a = d.intern(&syms(&[0, 2]));
+        let b = d.intern(&syms(&[1, 2]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut d = PathDictionary::new();
+        assert!(d.lookup(&syms(&[3])).is_none());
+        let id = d.intern(&syms(&[3]));
+        assert_eq!(d.lookup(&syms(&[3])), Some(id));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_dense_and_ordered() {
+        let mut d = PathDictionary::new();
+        d.intern(&syms(&[0]));
+        d.intern(&syms(&[0, 1]));
+        let collected: Vec<usize> = d.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(collected, vec![0, 1]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Typed leaf values.
+
+use std::fmt;
+
+/// The text content of a leaf element or attribute, with its numeric
+/// interpretation (if any) computed once at ingestion time.
+///
+/// The paper's candidate indexes are typed (`string` vs `numerical`, Table
+/// I); the storage layer keeps both views so either index kind can be built
+/// over the same nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value {
+    raw: Box<str>,
+    num: Option<f64>,
+}
+
+impl Value {
+    /// Creates a value from raw text, deriving the numeric view.
+    pub fn new(raw: &str) -> Self {
+        let trimmed = raw.trim();
+        let num = if trimmed.is_empty() {
+            None
+        } else {
+            trimmed.parse::<f64>().ok().filter(|n| n.is_finite())
+        };
+        Self {
+            raw: raw.into(),
+            num,
+        }
+    }
+
+    /// The raw text of the value.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// The numeric interpretation, if the text parses as a finite number.
+    pub fn as_num(&self) -> Option<f64> {
+        self.num
+    }
+
+    /// Whether the value has a numeric interpretation.
+    pub fn is_numeric(&self) -> bool {
+        self.num.is_some()
+    }
+
+    /// Approximate width in bytes of the value when stored as an index key.
+    pub fn key_width(&self) -> usize {
+        match self.num {
+            Some(_) => 8,
+            None => self.raw.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::new(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::new(&format_num(n))
+    }
+}
+
+/// Formats a float without a trailing `.0` for integral values, matching how
+/// the workload generators render numbers into XML text.
+pub fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_text_gets_numeric_view() {
+        let v = Value::new("4.5");
+        assert_eq!(v.as_num(), Some(4.5));
+        assert_eq!(v.as_str(), "4.5");
+    }
+
+    #[test]
+    fn non_numeric_text_has_no_numeric_view() {
+        let v = Value::new("BCIIPRC");
+        assert_eq!(v.as_num(), None);
+        assert!(!v.is_numeric());
+    }
+
+    #[test]
+    fn whitespace_padded_numbers_parse() {
+        assert_eq!(Value::new("  42 ").as_num(), Some(42.0));
+    }
+
+    #[test]
+    fn infinities_and_nan_are_rejected() {
+        assert_eq!(Value::new("inf").as_num(), None);
+        assert_eq!(Value::new("NaN").as_num(), None);
+    }
+
+    #[test]
+    fn from_f64_round_trips() {
+        let v = Value::from(12.0);
+        assert_eq!(v.as_str(), "12");
+        assert_eq!(v.as_num(), Some(12.0));
+        let v = Value::from(4.25);
+        assert_eq!(v.as_str(), "4.25");
+    }
+
+    #[test]
+    fn key_width_reflects_kind() {
+        assert_eq!(Value::new("3.5").key_width(), 8);
+        assert_eq!(Value::new("Energy").key_width(), 6);
+    }
+}

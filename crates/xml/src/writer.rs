@@ -1,0 +1,100 @@
+//! Document serialization.
+
+use crate::model::{Document, NodeId, NodeKind};
+use crate::Vocabulary;
+use std::fmt::Write as _;
+
+/// Serializes a document to XML text. Output round-trips through
+/// [`crate::parse_document`] into an equivalent document.
+pub fn write_document(doc: &Document, vocab: &Vocabulary) -> String {
+    let mut out = String::with_capacity(doc.len() * 16);
+    write_element(doc, vocab, doc.root(), &mut out);
+    out
+}
+
+fn write_element(doc: &Document, vocab: &Vocabulary, id: NodeId, out: &mut String) {
+    let node = doc.node(id);
+    debug_assert_eq!(node.kind, NodeKind::Element);
+    let name = vocab.names.resolve(node.name);
+    let _ = write!(out, "<{name}");
+    let mut element_children = Vec::new();
+    for &child in &node.children {
+        let c = doc.node(child);
+        match c.kind {
+            NodeKind::Attribute => {
+                let aname = vocab.names.resolve(c.name);
+                let aval = c.value.as_ref().map(|v| v.as_str()).unwrap_or("");
+                let _ = write!(out, " {aname}=\"{}\"", escape(aval, true));
+            }
+            NodeKind::Element => element_children.push(child),
+        }
+    }
+    match (&node.value, element_children.is_empty()) {
+        (None, true) => {
+            out.push_str("/>");
+        }
+        (Some(v), true) => {
+            let _ = write!(out, ">{}</{name}>", escape(v.as_str(), false));
+        }
+        (_, false) => {
+            out.push('>');
+            for child in element_children {
+                write_element(doc, vocab, child, out);
+            }
+            let _ = write!(out, "</{name}>");
+        }
+    }
+}
+
+/// Escapes text for element content or attribute values.
+pub fn escape(s: &str, in_attr: bool) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_document, DocBuilder};
+
+    #[test]
+    fn round_trips_through_parser() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "Security");
+        b.attr("id", "9");
+        b.leaf("Symbol", "A&B <co>");
+        b.begin("SecInfo");
+        b.leaf("Sector", "Energy");
+        b.end();
+        let doc = b.finish();
+        let text = write_document(&doc, &vocab);
+        let reparsed = parse_document(&text, &mut vocab).unwrap();
+        assert_eq!(reparsed.len(), doc.len());
+        let sym = vocab.lookup_name("Symbol").unwrap();
+        assert_eq!(reparsed.value_at(&[sym]).unwrap().as_str(), "A&B <co>");
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "a");
+        b.empty("b");
+        let doc = b.finish();
+        assert_eq!(write_document(&doc, &vocab), "<a><b/></a>");
+    }
+
+    #[test]
+    fn escape_handles_attr_quotes() {
+        assert_eq!(escape("a\"b", true), "a&quot;b");
+        assert_eq!(escape("a\"b", false), "a\"b");
+    }
+}

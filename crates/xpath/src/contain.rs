@@ -1,0 +1,384 @@
+//! Containment and matching for linear path patterns.
+//!
+//! `covers(general, specific)` decides *language inclusion*: does every
+//! rooted label path matched by `specific` also match `general`? This is the
+//! data-independent relation the optimizer's index matching uses ("index
+//! with pattern P can answer a query pattern Q iff P covers Q"), and the
+//! coverage-bitmap heuristic of the greedy search relies on it too.
+//!
+//! Linear patterns denote regular word languages over the (unbounded)
+//! alphabet of element labels. Inclusion is decided soundly and completely
+//! by restricting to the finite alphabet of labels mentioned in either
+//! pattern plus one fresh "other" letter: wildcard and `Σ*` transitions are
+//! the only ones that accept unmentioned labels, and they treat all
+//! unmentioned labels identically, so any counterexample word can be
+//! relabeled onto the restricted alphabet.
+
+use crate::linear::{Axis, LinearPath, NameTest};
+use xia_xml::{PathId, Symbol, Vocabulary};
+
+/// Letter of the restricted alphabet: index into the mentioned-names list,
+/// or `Other` for any unmentioned label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Letter {
+    Named(usize),
+    Other,
+}
+
+/// NFA over the restricted alphabet. State `i` = "first `i` steps matched";
+/// a descendant-axis step adds a self-loop (Σ*) on its source state.
+struct Nfa {
+    /// `step_tests[i]`: which letters step `i+1` accepts (bitmask over
+    /// named letters; bool for Other).
+    accepts: Vec<(u64, bool)>,
+    /// Whether state `i` has a Σ* self-loop (step `i+1` is descendant-axis).
+    self_loop: Vec<bool>,
+    states: usize,
+}
+
+fn build_nfa(path: &LinearPath, names: &[&str]) -> Nfa {
+    assert!(names.len() <= 64, "containment alphabet limited to 64 names");
+    let mut accepts = Vec::with_capacity(path.len());
+    let mut self_loop = Vec::with_capacity(path.len());
+    for step in &path.steps {
+        let (mask, other) = match &step.test {
+            NameTest::Wildcard => (u64::MAX >> (64 - names.len().max(1)), true),
+            NameTest::Name(n) => {
+                let mut mask = 0u64;
+                if let Some(i) = names.iter().position(|x| x == n) {
+                    mask |= 1 << i;
+                }
+                (mask, false)
+            }
+        };
+        accepts.push((mask, other));
+        self_loop.push(step.axis == Axis::Descendant);
+    }
+    Nfa {
+        accepts,
+        self_loop,
+        states: path.len() + 1,
+    }
+}
+
+impl Nfa {
+    /// Steps a state *set* (bitmask over states) on one letter.
+    fn step_set(&self, set: u64, letter: Letter) -> u64 {
+        let mut next = 0u64;
+        for i in 0..self.states {
+            if set & (1 << i) == 0 {
+                continue;
+            }
+            // Σ* self-loops keep state i alive on any letter.
+            if i < self.states - 1 && self.self_loop[i] {
+                next |= 1 << i;
+            }
+            if i < self.states - 1 {
+                let (mask, other) = self.accepts[i];
+                let ok = match letter {
+                    Letter::Named(n) => mask & (1 << n) != 0,
+                    Letter::Other => other,
+                };
+                if ok {
+                    next |= 1 << (i + 1);
+                }
+            }
+        }
+        next
+    }
+
+    fn start(&self) -> u64 {
+        1
+    }
+
+    fn accepting(&self, set: u64) -> bool {
+        set & (1 << (self.states - 1)) != 0
+    }
+}
+
+/// Returns `true` iff every rooted label path matched by `specific` is also
+/// matched by `general` (language inclusion `L(specific) ⊆ L(general)`).
+pub fn covers(general: &LinearPath, specific: &LinearPath) -> bool {
+    // Patterns longer than 63 steps never occur in practice; guard anyway.
+    if general.len() >= 63 || specific.len() >= 63 {
+        return general == specific;
+    }
+    let mut names: Vec<&str> = general.names();
+    for n in specific.names() {
+        if !names.contains(&n) {
+            names.push(n);
+        }
+    }
+    if names.len() > 64 {
+        return general == specific;
+    }
+    let a = build_nfa(specific, &names); // must be ⊆
+    let b = build_nfa(general, &names); // must be ⊇
+
+    // Search the product of A's state-sets and B's state-sets for a word
+    // accepted by A but not by B. Both sets are bitmasks; the pair space is
+    // tiny for realistic pattern sizes.
+    let mut letters: Vec<Letter> = (0..names.len()).map(Letter::Named).collect();
+    letters.push(Letter::Other);
+
+    let start = (a.start(), b.start());
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(start);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some((sa, sb)) = queue.pop_front() {
+        if a.accepting(sa) && !b.accepting(sb) {
+            return false; // counterexample word exists
+        }
+        for &l in &letters {
+            let na = a.step_set(sa, l);
+            if na == 0 {
+                continue; // word died in A; cannot be a counterexample
+            }
+            let nb = b.step_set(sb, l);
+            if seen.insert((na, nb)) {
+                queue.push_back((na, nb));
+            }
+        }
+    }
+    true
+}
+
+/// Whether two patterns match exactly the same label paths.
+pub fn equivalent(a: &LinearPath, b: &LinearPath) -> bool {
+    covers(a, b) && covers(b, a)
+}
+
+/// A pattern compiled against a concrete [`Vocabulary`] for fast matching of
+/// interned rooted paths. Used by partial-index builds, RUNSTATS, and the
+/// executor.
+pub struct PathMatcher {
+    /// Per step: resolved symbol (None = wildcard or unknown name), axis,
+    /// and whether an unknown name makes the step unsatisfiable.
+    steps: Vec<CompiledStep>,
+}
+
+struct CompiledStep {
+    axis: Axis,
+    /// `Ok(sym)` concrete resolved name; `Err(true)` wildcard; `Err(false)`
+    /// name not present in the vocabulary (never matches).
+    test: Result<Symbol, bool>,
+}
+
+impl PathMatcher {
+    /// Compiles `pattern` against `vocab`.
+    pub fn new(pattern: &LinearPath, vocab: &Vocabulary) -> Self {
+        let steps = pattern
+            .steps
+            .iter()
+            .map(|s| CompiledStep {
+                axis: s.axis,
+                test: match &s.test {
+                    NameTest::Wildcard => Err(true),
+                    NameTest::Name(n) => match vocab.lookup_name(n) {
+                        Some(sym) => Ok(sym),
+                        None => Err(false),
+                    },
+                },
+            })
+            .collect();
+        Self { steps }
+    }
+
+    fn step_accepts(step: &CompiledStep, label: Symbol) -> bool {
+        match step.test {
+            Ok(sym) => sym == label,
+            Err(wild) => wild,
+        }
+    }
+
+    /// Matches an interned label sequence (same DP as
+    /// [`LinearPath::matches_labels`], over symbols).
+    pub fn matches(&self, labels: &[Symbol]) -> bool {
+        let n = labels.len();
+        let mut cur = vec![false; n + 1];
+        cur[0] = true;
+        let mut next = vec![false; n + 1];
+        for step in &self.steps {
+            next.iter_mut().for_each(|b| *b = false);
+            match step.axis {
+                Axis::Child => {
+                    for j in 1..=n {
+                        next[j] = cur[j - 1] && Self::step_accepts(step, labels[j - 1]);
+                    }
+                }
+                Axis::Descendant => {
+                    let mut reach = false;
+                    for j in 1..=n {
+                        reach |= cur[j - 1];
+                        next[j] = reach && Self::step_accepts(step, labels[j - 1]);
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur[n]
+    }
+
+    /// Scans the vocabulary's path dictionary and returns all matching path
+    /// ids, in id order.
+    pub fn matching_path_ids(&self, vocab: &Vocabulary) -> Vec<PathId> {
+        vocab
+            .paths
+            .iter()
+            .filter(|(_, labels)| self.matches(labels))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_linear_path;
+    use xia_xml::DocBuilder;
+
+    fn lp(s: &str) -> LinearPath {
+        parse_linear_path(s).expect("parse")
+    }
+
+    #[test]
+    fn universal_covers_everything() {
+        let u = LinearPath::universal();
+        for s in [
+            "/Security/Symbol",
+            "/Security/SecInfo/*/Sector",
+            "//Yield",
+            "/a//b/*",
+        ] {
+            assert!(covers(&u, &lp(s)), "//* should cover {s}");
+            assert!(!covers(&lp(s), &u), "{s} should not cover //*");
+        }
+    }
+
+    #[test]
+    fn paper_table1_coverage() {
+        // C4 = /Security//* covers C1 and C2 but also C3.
+        let c4 = lp("/Security//*");
+        assert!(covers(&c4, &lp("/Security/Symbol")));
+        assert!(covers(&c4, &lp("/Security/SecInfo/*/Sector")));
+        assert!(covers(&c4, &lp("/Security/Yield")));
+        assert!(!covers(&c4, &lp("/Order/Price")));
+    }
+
+    #[test]
+    fn self_coverage_is_reflexive() {
+        for s in ["/a/b", "/a//b", "/a/*/b", "//*"] {
+            let p = lp(s);
+            assert!(covers(&p, &p), "{s} must cover itself");
+        }
+    }
+
+    #[test]
+    fn wildcard_vs_descendant_distinction() {
+        // /a/* matches exactly depth-2 paths under a; /a//* matches any depth.
+        assert!(covers(&lp("/a//*"), &lp("/a/*")));
+        assert!(!covers(&lp("/a/*"), &lp("/a//*")));
+        assert!(!covers(&lp("/a/*"), &lp("/a/b/c")));
+        assert!(covers(&lp("/a//*"), &lp("/a/b/c")));
+    }
+
+    #[test]
+    fn descendant_name_coverage() {
+        assert!(covers(&lp("//Sector"), &lp("/Security/SecInfo/*/Sector")));
+        assert!(!covers(&lp("/Security/Sector"), &lp("//Sector")));
+        // /a//d covers /a/b/d and /a/d
+        assert!(covers(&lp("/a//d"), &lp("/a/b/d")));
+        assert!(covers(&lp("/a//d"), &lp("/a/d")));
+        assert!(!covers(&lp("/a//d"), &lp("/b/d")));
+    }
+
+    #[test]
+    fn equivalence_of_rule0_rewrites() {
+        // /a/*/b is strictly contained in /a//b (not equivalent).
+        assert!(covers(&lp("/a//b"), &lp("/a/*/b")));
+        assert!(!covers(&lp("/a/*/b"), &lp("/a//b")));
+        assert!(equivalent(&lp("/a//b"), &lp("/a//b")));
+    }
+
+    #[test]
+    fn incomparable_patterns() {
+        assert!(!covers(&lp("/a/b"), &lp("/a/c")));
+        assert!(!covers(&lp("/a/c"), &lp("/a/b")));
+        // /a/*/c vs /a/b//c overlap but neither contains the other.
+        assert!(!covers(&lp("/a/*/c"), &lp("/a/b//c")));
+        assert!(!covers(&lp("/a/b//c"), &lp("/a/*/c")));
+    }
+
+    #[test]
+    fn fresh_label_soundness() {
+        // //x ⊆ //* even though * mentions no names.
+        assert!(covers(&lp("//*"), &lp("//x")));
+        // /a/* does NOT cover /a/b/c (length mismatch via fresh letters).
+        assert!(!covers(&lp("/a/*"), &lp("/a//c")));
+    }
+
+    #[test]
+    fn matcher_agrees_with_pattern_on_document_paths() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "Security");
+        b.leaf("Symbol", "IBM");
+        b.begin("SecInfo");
+        b.begin("StockInfo");
+        b.leaf("Sector", "Tech");
+        b.end();
+        b.end();
+        b.leaf("Yield", "4.5");
+        let _doc = b.finish();
+
+        let pattern = lp("/Security/SecInfo/*/Sector");
+        let m = PathMatcher::new(&pattern, &vocab);
+        let ids = m.matching_path_ids(&vocab);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(vocab.path_string(ids[0]), "/Security/SecInfo/StockInfo/Sector");
+
+        let all = PathMatcher::new(&LinearPath::universal(), &vocab).matching_path_ids(&vocab);
+        assert_eq!(all.len(), vocab.paths.len());
+    }
+
+    #[test]
+    fn matcher_with_unknown_name_matches_nothing() {
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "a");
+        b.leaf("b", "1");
+        let _ = b.finish();
+        let m = PathMatcher::new(&lp("/a/zzz"), &vocab);
+        assert!(m.matching_path_ids(&vocab).is_empty());
+    }
+
+    #[test]
+    fn coverage_implies_matching_superset_on_vocab() {
+        // Semantic check: if covers(g, s) then every path id matched by s is
+        // matched by g in a concrete vocabulary.
+        let mut vocab = Vocabulary::new();
+        let mut b = DocBuilder::new(&mut vocab, "a");
+        b.begin("b");
+        b.leaf("d", "1");
+        b.end();
+        b.begin("d");
+        b.leaf("b", "2");
+        b.end();
+        b.leaf("d", "3");
+        let _ = b.finish();
+        let pats = ["/a/b/d", "/a//d", "/a/*", "/a//*", "//d", "/a/d"];
+        for g in &pats {
+            for s in &pats {
+                let (gp, sp) = (lp(g), lp(s));
+                if covers(&gp, &sp) {
+                    let gm: std::collections::HashSet<_> = PathMatcher::new(&gp, &vocab)
+                        .matching_path_ids(&vocab)
+                        .into_iter()
+                        .collect();
+                    for id in PathMatcher::new(&sp, &vocab).matching_path_ids(&vocab) {
+                        assert!(gm.contains(&id), "{g} covers {s} but misses {:?}", vocab.path_string(id));
+                    }
+                }
+            }
+        }
+    }
+}

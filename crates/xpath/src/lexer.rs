@@ -1,0 +1,307 @@
+//! Token stream shared by the XPath and XQuery-lite parsers.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `/`
+    Slash,
+    /// `//`
+    DblSlash,
+    /// `*`
+    Star,
+    /// A name (element name or keyword; keywords are resolved by parsers).
+    Name(String),
+    /// `$name`
+    Var(String),
+    /// A quoted string literal (quotes stripped, entities not processed).
+    Str(String),
+    /// A numeric literal.
+    Num(f64),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `,`
+    Comma,
+    /// `:=` (accepted, unused)
+    Assign,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Slash => write!(f, "/"),
+            Token::DblSlash => write!(f, "//"),
+            Token::Star => write!(f, "*"),
+            Token::Name(n) => write!(f, "{n}"),
+            Token::Var(v) => write!(f, "${v}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Comma => write!(f, ","),
+            Token::Assign => write!(f, ":="),
+        }
+    }
+}
+
+/// Tokenizes `input`. Returns tokens with their byte offsets.
+pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                pos += 1;
+            }
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    out.push((pos, Token::DblSlash));
+                    pos += 2;
+                } else {
+                    out.push((pos, Token::Slash));
+                    pos += 1;
+                }
+            }
+            b'*' => {
+                out.push((pos, Token::Star));
+                pos += 1;
+            }
+            b'[' => {
+                out.push((pos, Token::LBracket));
+                pos += 1;
+            }
+            b']' => {
+                out.push((pos, Token::RBracket));
+                pos += 1;
+            }
+            b'(' => {
+                out.push((pos, Token::LParen));
+                pos += 1;
+            }
+            b')' => {
+                out.push((pos, Token::RParen));
+                pos += 1;
+            }
+            b'{' => {
+                out.push((pos, Token::LBrace));
+                pos += 1;
+            }
+            b'}' => {
+                out.push((pos, Token::RBrace));
+                pos += 1;
+            }
+            b',' => {
+                out.push((pos, Token::Comma));
+                pos += 1;
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push((pos, Token::Le));
+                    pos += 2;
+                } else {
+                    out.push((pos, Token::Lt));
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push((pos, Token::Ge));
+                    pos += 2;
+                } else {
+                    out.push((pos, Token::Gt));
+                    pos += 1;
+                }
+            }
+            b'=' => {
+                out.push((pos, Token::Eq));
+                pos += 1;
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push((pos, Token::Ne));
+                    pos += 2;
+                } else {
+                    return Err(format!("unexpected `!` at byte {pos}"));
+                }
+            }
+            b':' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push((pos, Token::Assign));
+                    pos += 2;
+                } else {
+                    return Err(format!("unexpected `:` at byte {pos}"));
+                }
+            }
+            b'$' => {
+                let start = pos + 1;
+                let mut end = start;
+                while end < bytes.len() && is_name_byte(bytes[end]) {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(format!("expected variable name at byte {pos}"));
+                }
+                out.push((pos, Token::Var(input[start..end].to_string())));
+                pos = end;
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let start = pos + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != quote {
+                    end += 1;
+                }
+                if end == bytes.len() {
+                    return Err(format!("unterminated string literal at byte {pos}"));
+                }
+                out.push((pos, Token::Str(input[start..end].to_string())));
+                pos = end + 1;
+            }
+            b'0'..=b'9' | b'-' | b'+' | b'.' => {
+                let start = pos;
+                let mut end = pos + 1;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_digit()
+                        || bytes[end] == b'.'
+                        || bytes[end] == b'e'
+                        || bytes[end] == b'E'
+                        || ((bytes[end] == b'+' || bytes[end] == b'-')
+                            && matches!(bytes[end - 1], b'e' | b'E')))
+                {
+                    end += 1;
+                }
+                let text = &input[start..end];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| format!("bad numeric literal `{text}` at byte {pos}"))?;
+                out.push((pos, Token::Num(n)));
+                pos = end;
+            }
+            _ if is_name_byte(c) => {
+                let start = pos;
+                let mut end = pos + 1;
+                while end < bytes.len() && is_name_byte(bytes[end]) {
+                    end += 1;
+                }
+                out.push((pos, Token::Name(input[start..end].to_string())));
+                pos = end;
+            }
+            _ => return Err(format!("unexpected character `{}` at byte {pos}", c as char)),
+        }
+    }
+    Ok(out)
+}
+
+fn is_name_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_paths() {
+        let toks: Vec<Token> = tokenize("/Security//*").unwrap().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Slash,
+                Token::Name("Security".into()),
+                Token::DblSlash,
+                Token::Star
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_predicates_and_operators() {
+        let toks: Vec<Token> = tokenize("[Yield >= 4.5]").unwrap().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBracket,
+                Token::Name("Yield".into()),
+                Token::Ge,
+                Token::Num(4.5),
+                Token::RBracket
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_variables_and_strings() {
+        let toks: Vec<Token> = tokenize("$sec/Symbol = \"BCIIPRC\"")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Var("sec".into()),
+                Token::Slash,
+                Token::Name("Symbol".into()),
+                Token::Eq,
+                Token::Str("BCIIPRC".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_and_exponents() {
+        let toks: Vec<Token> = tokenize("-1.5e3").unwrap().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(toks, vec![Token::Num(-1500.0)]);
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn errors_on_stray_bang() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn single_quotes_accepted() {
+        let toks: Vec<Token> = tokenize("'SDOC'").unwrap().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(toks, vec![Token::Str("SDOC".into())]);
+    }
+}

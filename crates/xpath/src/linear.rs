@@ -1,0 +1,347 @@
+//! Linear XPath path expressions — the paper's index patterns.
+//!
+//! A linear path is a sequence of steps, each with a child (`/`) or
+//! descendant (`//`) axis and a name test that is either a concrete label or
+//! the wildcard `*`. Examples from the paper's Table I:
+//! `/Security/Symbol`, `/Security/SecInfo/*/Sector`, `/Security//*`.
+
+use std::fmt;
+
+/// Navigation axis of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// `/` — immediate child.
+    Child,
+    /// `//` — any descendant.
+    Descendant,
+}
+
+/// Name test of a step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NameTest {
+    /// A concrete element/attribute name.
+    Name(String),
+    /// The wildcard `*`.
+    Wildcard,
+}
+
+impl NameTest {
+    /// Whether this test accepts the given label.
+    pub fn accepts(&self, label: &str) -> bool {
+        match self {
+            NameTest::Name(n) => n == label,
+            NameTest::Wildcard => true,
+        }
+    }
+
+    /// The concrete name, if not a wildcard.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            NameTest::Name(n) => Some(n),
+            NameTest::Wildcard => None,
+        }
+    }
+}
+
+/// One step of a linear path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinearStep {
+    /// `/` or `//`.
+    pub axis: Axis,
+    /// Label or `*`.
+    pub test: NameTest,
+}
+
+impl LinearStep {
+    /// Child-axis step with a concrete name.
+    pub fn child(name: &str) -> Self {
+        Self {
+            axis: Axis::Child,
+            test: NameTest::Name(name.to_string()),
+        }
+    }
+
+    /// Descendant-axis step with a concrete name.
+    pub fn descendant(name: &str) -> Self {
+        Self {
+            axis: Axis::Descendant,
+            test: NameTest::Name(name.to_string()),
+        }
+    }
+
+    /// Child-axis wildcard step (`/*`).
+    pub fn child_wild() -> Self {
+        Self {
+            axis: Axis::Child,
+            test: NameTest::Wildcard,
+        }
+    }
+
+    /// Descendant-axis wildcard step (`//*`).
+    pub fn descendant_wild() -> Self {
+        Self {
+            axis: Axis::Descendant,
+            test: NameTest::Wildcard,
+        }
+    }
+}
+
+/// A linear XPath path expression without predicates: an index pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LinearPath {
+    /// The steps, in order from the root.
+    pub steps: Vec<LinearStep>,
+}
+
+impl LinearPath {
+    /// Creates a path from steps.
+    pub fn new(steps: Vec<LinearStep>) -> Self {
+        Self { steps }
+    }
+
+    /// The universal index pattern `//*` that (virtually) indexes every
+    /// element — the paper's Enumerate-Indexes virtual index.
+    pub fn universal() -> Self {
+        Self {
+            steps: vec![LinearStep::descendant_wild()],
+        }
+    }
+
+    /// Builds a child-axis-only path from concrete labels.
+    pub fn from_labels<'a>(labels: impl IntoIterator<Item = &'a str>) -> Self {
+        Self {
+            steps: labels.into_iter().map(LinearStep::child).collect(),
+        }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the path has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The final (target) step — the nodes this pattern indexes.
+    pub fn last_step(&self) -> Option<&LinearStep> {
+        self.steps.last()
+    }
+
+    /// Appends another relative linear path, returning the concatenation.
+    pub fn join(&self, rel: &[LinearStep]) -> LinearPath {
+        let mut steps = self.steps.clone();
+        steps.extend(rel.iter().cloned());
+        LinearPath { steps }
+    }
+
+    /// Whether the path uses only child axes and concrete names (a fully
+    /// *specific* pattern that matches exactly one rooted label path).
+    pub fn is_specific(&self) -> bool {
+        self.steps
+            .iter()
+            .all(|s| s.axis == Axis::Child && s.test != NameTest::Wildcard)
+    }
+
+    /// Whether any step uses `//` or `*` (a *general* pattern).
+    pub fn is_general(&self) -> bool {
+        !self.is_specific()
+    }
+
+    /// Matches this pattern against a concrete rooted label sequence.
+    ///
+    /// Dynamic programming over (steps × labels); the pattern denotes the
+    /// regular expression obtained by mapping `/l` to `l`, `//l` to `Σ* l`,
+    /// `/*` to `Σ` and `//*` to `Σ* Σ`.
+    pub fn matches_labels(&self, labels: &[&str]) -> bool {
+        // cur[j] = the first j labels can be consumed by the steps so far.
+        let n = labels.len();
+        let mut cur = vec![false; n + 1];
+        cur[0] = true;
+        let mut next = vec![false; n + 1];
+        for step in &self.steps {
+            next.iter_mut().for_each(|b| *b = false);
+            match step.axis {
+                Axis::Child => {
+                    for j in 1..=n {
+                        next[j] = cur[j - 1] && step.test.accepts(labels[j - 1]);
+                    }
+                }
+                Axis::Descendant => {
+                    // prefix-OR of cur gives "reachable with Σ*".
+                    let mut reach = false;
+                    for j in 1..=n {
+                        reach |= cur[j - 1];
+                        next[j] = reach && step.test.accepts(labels[j - 1]);
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur[n]
+    }
+
+    /// Applies the paper's Rule 0 rewrite: any *middle* `/*` (or `//*`) step
+    /// is removed and the following step's axis becomes `//`. E.g. both
+    /// `/a/*/b` and `/a/*/*/b` rewrite to `/a//b`. The final step is never
+    /// rewritten (it is the indexing target).
+    pub fn rewrite_rule0(&self) -> LinearPath {
+        let mut steps: Vec<LinearStep> = Vec::with_capacity(self.steps.len());
+        let mut pending_descendant = false;
+        for (i, step) in self.steps.iter().enumerate() {
+            let is_last = i + 1 == self.steps.len();
+            if !is_last && step.test == NameTest::Wildcard {
+                // Drop the middle wildcard; the next kept step becomes `//`.
+                pending_descendant = true;
+                continue;
+            }
+            let mut s = step.clone();
+            if pending_descendant || s.axis == Axis::Descendant {
+                s.axis = Axis::Descendant;
+            }
+            steps.push(s);
+            pending_descendant = false;
+        }
+        LinearPath { steps }
+    }
+
+    /// Collects the distinct concrete names used in the pattern.
+    pub fn names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .steps
+            .iter()
+            .filter_map(|s| s.test.name())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for LinearPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return f.write_str("/");
+        }
+        for step in &self.steps {
+            f.write_str(match step.axis {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+            })?;
+            match &step.test {
+                NameTest::Name(n) => f.write_str(n)?,
+                NameTest::Wildcard => f.write_str("*")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_linear_path;
+
+    fn lp(s: &str) -> LinearPath {
+        parse_linear_path(s).expect("parse")
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["/Security/Symbol", "/Security//*", "/a/*/b", "//Yield"] {
+            assert_eq!(lp(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn matches_child_axis_exactly() {
+        let p = lp("/Security/Yield");
+        assert!(p.matches_labels(&["Security", "Yield"]));
+        assert!(!p.matches_labels(&["Security", "SecInfo", "Yield"]));
+        assert!(!p.matches_labels(&["Security"]));
+    }
+
+    #[test]
+    fn matches_descendant_axis_at_any_depth() {
+        let p = lp("//Yield");
+        assert!(p.matches_labels(&["Yield"]));
+        assert!(p.matches_labels(&["Security", "Yield"]));
+        assert!(p.matches_labels(&["a", "b", "c", "Yield"]));
+        assert!(!p.matches_labels(&["Yield", "x"]));
+    }
+
+    #[test]
+    fn matches_wildcards() {
+        let p = lp("/Security/*/Sector");
+        assert!(p.matches_labels(&["Security", "StockInfo", "Sector"]));
+        assert!(!p.matches_labels(&["Security", "Sector"]));
+        let u = LinearPath::universal();
+        assert!(u.matches_labels(&["anything"]));
+        assert!(u.matches_labels(&["a", "b", "c"]));
+        assert!(!u.matches_labels(&[]));
+    }
+
+    #[test]
+    fn matches_mixed_descendant_and_child() {
+        let p = lp("/Security//Sector");
+        assert!(p.matches_labels(&["Security", "Sector"]));
+        assert!(p.matches_labels(&["Security", "SecInfo", "StockInfo", "Sector"]));
+        assert!(!p.matches_labels(&["Order", "Sector"]));
+    }
+
+    #[test]
+    fn rewrite_rule0_examples_from_paper() {
+        // Table II Rule 0: /a/*/b -> /a//b and /a/*/*/b -> /a//b.
+        assert_eq!(lp("/a/*/b").rewrite_rule0().to_string(), "/a//b");
+        assert_eq!(lp("/a/*/*/b").rewrite_rule0().to_string(), "/a//b");
+        // Trailing wildcard is the target and is preserved: /Security/*/* -> /Security//*.
+        assert_eq!(lp("/Security/*/*").rewrite_rule0().to_string(), "/Security//*");
+        // No middle wildcard: unchanged.
+        assert_eq!(lp("/a/b/c").rewrite_rule0().to_string(), "/a/b/c");
+    }
+
+    #[test]
+    fn rewrite_rule0_preserves_language_on_samples() {
+        let cases = [
+            ("/a/*/b", vec![vec!["a", "x", "b"], vec!["a", "x", "y", "b"]]),
+            ("/a/*/*/b", vec![vec!["a", "x", "y", "b"]]),
+        ];
+        for (pat, samples) in cases {
+            let orig = lp(pat);
+            let rewritten = orig.rewrite_rule0();
+            for s in samples {
+                if orig.matches_labels(&s) {
+                    assert!(rewritten.matches_labels(&s), "{pat} lost {s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specific_vs_general() {
+        assert!(lp("/Security/Symbol").is_specific());
+        assert!(!lp("/Security//*").is_specific());
+        assert!(!lp("/Security/*/Sector").is_specific());
+        assert!(lp("/Security//*").is_general());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let base = lp("/Security");
+        let joined = base.join(&[LinearStep::child("SecInfo"), LinearStep::child_wild()]);
+        assert_eq!(joined.to_string(), "/Security/SecInfo/*");
+    }
+
+    #[test]
+    fn names_are_sorted_distinct() {
+        assert_eq!(lp("/b/a//b/*").names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_path_matches_only_empty() {
+        let p = LinearPath::default();
+        assert!(p.matches_labels(&[]));
+        assert!(!p.matches_labels(&["a"]));
+    }
+}

@@ -1,0 +1,377 @@
+//! Recursive-descent parser for XPath path expressions.
+
+use crate::ast::{CmpOp, Literal, PathExpr, Predicate, Step};
+use crate::lexer::{tokenize, Token};
+use crate::linear::{Axis, LinearPath, LinearStep, NameTest};
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset of the offending token (input length for end-of-input).
+    pub offset: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub(crate) struct TokenCursor {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl TokenCursor {
+    pub(crate) fn new(input: &str) -> Result<Self, ParseError> {
+        let tokens = tokenize(input).map_err(|message| ParseError {
+            offset: 0,
+            message,
+        })?;
+        Ok(Self {
+            tokens,
+            pos: 0,
+            input_len: input.len(),
+        })
+    }
+
+    pub(crate) fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    pub(crate) fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.input_len)
+    }
+
+    pub(crate) fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected `{want}`, found `{t}`"))),
+            None => Err(self.err(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes a name token, failing otherwise.
+    pub(crate) fn expect_name(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Name(_)) => {
+                if let Some(Token::Name(n)) = self.next() {
+                    Ok(n)
+                } else {
+                    unreachable!("peeked a name")
+                }
+            }
+            Some(t) => Err(self.err(format!("expected a name, found `{t}`"))),
+            None => Err(self.err("expected a name, found end of input")),
+        }
+    }
+}
+
+/// Parses a linear path (predicates rejected), e.g. `/Security/SecInfo/*`.
+pub fn parse_linear_path(input: &str) -> Result<LinearPath, ParseError> {
+    let mut cur = TokenCursor::new(input)?;
+    let path = parse_linear_steps(&mut cur, /*absolute=*/ true)?;
+    if !cur.at_end() {
+        return Err(cur.err("trailing tokens after linear path"));
+    }
+    if path.is_empty() {
+        return Err(cur.err("empty path"));
+    }
+    Ok(LinearPath::new(path))
+}
+
+/// Parses linear steps; if `absolute`, the first step must begin with an
+/// axis token; otherwise a bare initial name is allowed (relative path).
+pub(crate) fn parse_linear_steps(
+    cur: &mut TokenCursor,
+    absolute: bool,
+) -> Result<Vec<LinearStep>, ParseError> {
+    let mut steps = Vec::new();
+    loop {
+        let axis = match cur.peek() {
+            Some(Token::Slash) => {
+                cur.next();
+                Axis::Child
+            }
+            Some(Token::DblSlash) => {
+                cur.next();
+                Axis::Descendant
+            }
+            Some(Token::Name(_)) | Some(Token::Star) if steps.is_empty() && !absolute => {
+                Axis::Child
+            }
+            _ => break,
+        };
+        let test = match cur.peek() {
+            Some(Token::Star) => {
+                cur.next();
+                NameTest::Wildcard
+            }
+            Some(Token::Name(_)) => NameTest::Name(cur.expect_name()?),
+            _ => return Err(cur.err("expected a name test after axis")),
+        };
+        steps.push(LinearStep { axis, test });
+    }
+    Ok(steps)
+}
+
+/// Parses an absolute path expression with predicates, e.g.
+/// `/Security[Yield>4.5]/SecInfo/*/Sector`.
+pub fn parse_path_expr(input: &str) -> Result<PathExpr, ParseError> {
+    let mut cur = TokenCursor::new(input)?;
+    let expr = parse_path_expr_steps(&mut cur, true)?;
+    if !cur.at_end() {
+        return Err(cur.err("trailing tokens after path expression"));
+    }
+    if expr.steps.is_empty() {
+        return Err(cur.err("empty path expression"));
+    }
+    Ok(expr)
+}
+
+/// Parses path-expression steps from the cursor (shared with the XQuery
+/// parser, which encounters paths mid-statement).
+pub(crate) fn parse_path_expr_steps(
+    cur: &mut TokenCursor,
+    absolute: bool,
+) -> Result<PathExpr, ParseError> {
+    let mut steps = Vec::new();
+    loop {
+        let axis = match cur.peek() {
+            Some(Token::Slash) => {
+                cur.next();
+                Axis::Child
+            }
+            Some(Token::DblSlash) => {
+                cur.next();
+                Axis::Descendant
+            }
+            Some(Token::Name(_)) | Some(Token::Star) if steps.is_empty() && !absolute => {
+                Axis::Child
+            }
+            _ => break,
+        };
+        let test = match cur.peek() {
+            Some(Token::Star) => {
+                cur.next();
+                NameTest::Wildcard
+            }
+            Some(Token::Name(_)) => NameTest::Name(cur.expect_name()?),
+            _ => return Err(cur.err("expected a name test after axis")),
+        };
+        let mut predicates = Vec::new();
+        while cur.peek() == Some(&Token::LBracket) {
+            cur.next();
+            predicates.push(parse_predicate(cur)?);
+            cur.expect(&Token::RBracket)?;
+        }
+        steps.push(Step {
+            axis,
+            test,
+            predicates,
+        });
+    }
+    Ok(PathExpr { steps })
+}
+
+fn parse_predicate(cur: &mut TokenCursor) -> Result<Predicate, ParseError> {
+    let first = parse_simple_predicate(cur)?;
+    if !matches!(cur.peek(), Some(Token::Name(n)) if n.eq_ignore_ascii_case("or")) {
+        return Ok(first);
+    }
+    let mut branches = vec![first];
+    while matches!(cur.peek(), Some(Token::Name(n)) if n.eq_ignore_ascii_case("or")) {
+        cur.next();
+        branches.push(parse_simple_predicate(cur)?);
+    }
+    Ok(Predicate::Or(branches))
+}
+
+fn parse_simple_predicate(cur: &mut TokenCursor) -> Result<Predicate, ParseError> {
+    // Optional leading `.` (context-node) — tokenized as Name(".")? Our
+    // lexer folds `.` into names/numbers; a lone `.` lexes as a failed
+    // number, so we accept an empty relative path implicitly when the next
+    // token is an operator.
+    let rel = if matches!(
+        cur.peek(),
+        Some(Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge)
+    ) {
+        Vec::new()
+    } else {
+        parse_linear_steps(cur, false)?
+    };
+    let op = match cur.peek() {
+        Some(Token::Eq) => Some(CmpOp::Eq),
+        Some(Token::Ne) => Some(CmpOp::Ne),
+        Some(Token::Lt) => Some(CmpOp::Lt),
+        Some(Token::Le) => Some(CmpOp::Le),
+        Some(Token::Gt) => Some(CmpOp::Gt),
+        Some(Token::Ge) => Some(CmpOp::Ge),
+        _ => None,
+    };
+    match op {
+        None => {
+            if rel.is_empty() {
+                Err(cur.err("empty predicate"))
+            } else {
+                Ok(Predicate::Exists { rel })
+            }
+        }
+        Some(op) => {
+            cur.next();
+            let value = match cur.next() {
+                Some(Token::Str(s)) => Literal::Str(s),
+                Some(Token::Num(n)) => Literal::Num(n),
+                Some(t) => return Err(cur.err(format!("expected a literal, found `{t}`"))),
+                None => return Err(cur.err("expected a literal, found end of input")),
+            };
+            Ok(Predicate::Compare { rel, op, value })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_linear_paths() {
+        let p = parse_linear_path("/Security/SecInfo/*/Sector").unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.to_string(), "/Security/SecInfo/*/Sector");
+        let p = parse_linear_path("//Yield").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn rejects_predicates_in_linear_paths() {
+        assert!(parse_linear_path("/a[b=1]").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_garbage() {
+        assert!(parse_linear_path("").is_err());
+        assert!(parse_linear_path("/a extra").is_err());
+        assert!(parse_linear_path("/").is_err());
+    }
+
+    #[test]
+    fn parses_compare_predicates() {
+        let e = parse_path_expr("/Security[Yield>4.5]").unwrap();
+        assert_eq!(e.steps.len(), 1);
+        match &e.steps[0].predicates[0] {
+            Predicate::Compare { rel, op, value } => {
+                assert_eq!(rel.len(), 1);
+                assert_eq!(*op, CmpOp::Gt);
+                assert_eq!(*value, Literal::Num(4.5));
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_string_predicates_with_wildcard_rel() {
+        let e = parse_path_expr("/Security[SecInfo/*/Sector = \"Energy\"]").unwrap();
+        match &e.steps[0].predicates[0] {
+            Predicate::Compare { rel, value, .. } => {
+                assert_eq!(rel.len(), 3);
+                assert_eq!(*value, Literal::Str("Energy".into()));
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_existence_predicates() {
+        let e = parse_path_expr("/Security[SecInfo/StockInfo]").unwrap();
+        assert!(matches!(&e.steps[0].predicates[0], Predicate::Exists { rel } if rel.len() == 2));
+    }
+
+    #[test]
+    fn parses_multiple_predicates_and_descendant_rel() {
+        let e = parse_path_expr("/a[b=1][//c>2]/d").unwrap();
+        assert_eq!(e.steps[0].predicates.len(), 2);
+        match &e.steps[0].predicates[1] {
+            Predicate::Compare { rel, .. } => assert_eq!(rel[0].axis, Axis::Descendant),
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_offsets_are_reported() {
+        let err = parse_path_expr("/a[b=]").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.message.contains("literal"));
+    }
+
+    #[test]
+    fn parses_or_predicates() {
+        let e = parse_path_expr(r#"/a[b = 1 or c = "x"]"#).unwrap();
+        match &e.steps[0].predicates[0] {
+            Predicate::Or(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert!(matches!(&branches[0], Predicate::Compare { op: CmpOp::Eq, .. }));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+        // Display round-trips.
+        let printed = e.to_string();
+        assert_eq!(parse_path_expr(&printed).unwrap(), e, "{printed}");
+    }
+
+    #[test]
+    fn or_with_existence_branches() {
+        let e = parse_path_expr("/a[b or c/d >= 2 or e]").unwrap();
+        match &e.steps[0].predicates[0] {
+            Predicate::Or(branches) => {
+                assert_eq!(branches.len(), 3);
+                assert!(matches!(&branches[0], Predicate::Exists { .. }));
+                assert!(matches!(&branches[2], Predicate::Exists { .. }));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_needs_a_right_hand_side() {
+        assert!(parse_path_expr("/a[b = 1 or]").is_err());
+    }
+
+    #[test]
+    fn deep_paths_parse() {
+        let s = format!("/{}", (0..20).map(|i| format!("n{i}")).collect::<Vec<_>>().join("/"));
+        let p = parse_linear_path(&s).unwrap();
+        assert_eq!(p.len(), 20);
+    }
+}

@@ -1,0 +1,105 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Builds a small TPoX-like security collection, runs the two queries of
+//! the paper (Q1/Q2) through the advisor, and prints the enumerated
+//! candidates (Table I), the generalization (C4), and the recommended
+//! configuration.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xia_advisor::{enumerate_candidates, generalize_set, Advisor, AdvisorParams, SearchAlgorithm};
+use xia_storage::Database;
+use xia_workloads::Workload;
+
+fn main() {
+    // 1. Load data: one XML collection ("XML column") of Security docs.
+    let mut db = Database::new();
+    let coll = db.create_collection("SDOC");
+    let sectors = ["Energy", "Tech", "Finance", "Health", "Retail", "Util"];
+    for i in 0..300 {
+        coll.build_doc("Security", |b| {
+            b.leaf(
+                "Symbol",
+                if i == 0 {
+                    "BCIIPRC".to_string()
+                } else {
+                    format!("SYM{i:04}")
+                }
+                .as_str(),
+            );
+            b.leaf("Name", format!("Security {i}").as_str());
+            b.begin("SecInfo");
+            b.begin(if i % 2 == 0 { "StockInfo" } else { "FundInfo" });
+            b.leaf("Sector", sectors[i % sectors.len()]);
+            b.end();
+            b.end();
+            b.leaf("Yield", (i % 100) as f64 / 10.0);
+        });
+    }
+    println!(
+        "loaded {} documents, {} distinct rooted paths\n",
+        coll.len(),
+        coll.vocab().paths.len()
+    );
+
+    // 2. The training workload — the paper's Q1 and Q2.
+    let workload = Workload::from_texts([
+        r#"for $sec in SECURITY('SDOC')/Security
+           where $sec/Symbol = "BCIIPRC"
+           return $sec"#,
+        r#"for $sec in SECURITY('SDOC')/Security[Yield>4.5]
+           where $sec/SecInfo/*/Sector = "Energy"
+           return <Security>{$sec/Name}</Security>"#,
+    ])
+    .expect("workload parses");
+
+    // 3. Enumerate basic candidates via the optimizer's Enumerate Indexes
+    //    mode (the //* virtual-index trick) — the paper's Table I.
+    let mut set = enumerate_candidates(&mut db, &workload);
+    println!("basic candidates (optimizer Enumerate Indexes mode):");
+    for c in set.iter() {
+        println!("  {} {} [{}]", c.collection, c.pattern, c.kind);
+    }
+
+    // 4. Generalize (Algorithm 1 + Table II) — adds C4 = /Security//*.
+    let created = generalize_set(&mut set);
+    println!("\ngeneralized candidates:");
+    for id in &created {
+        let c = set.get(*id);
+        println!(
+            "  {} {} [{}] (covers {} basics)",
+            c.collection,
+            c.pattern,
+            c.kind,
+            c.children.len()
+        );
+    }
+
+    // 5. Recommend a configuration under a disk budget.
+    let budget = 64 * 1024; // 64 KiB for this toy data
+    println!("\nrecommendations under a {budget}-byte budget:");
+    for algo in [
+        SearchAlgorithm::GreedyHeuristics,
+        SearchAlgorithm::TopDownFull,
+    ] {
+        let rec = Advisor::recommend(&mut db, &workload, budget, algo, &AdvisorParams::default());
+        println!(
+            "  {:<13} speedup {:.2}x, {} indexes ({} general, {} specific), {} bytes, {} optimizer calls",
+            algo.name(),
+            rec.speedup,
+            rec.indexes.len(),
+            rec.general_count,
+            rec.specific_count,
+            rec.total_size,
+            rec.eval_stats.optimizer_calls,
+        );
+        for ix in &rec.indexes {
+            println!(
+                "      CREATE INDEX ON {} PATTERN '{}' AS {}",
+                ix.collection, ix.pattern, ix.kind
+            );
+        }
+    }
+}

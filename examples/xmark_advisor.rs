@@ -1,0 +1,60 @@
+//! XMark advisor session: the paper's secondary benchmark.
+//!
+//! Generates the XMark-like auction collection, tunes for its query
+//! workload, and prints the recommended DDL per budget.
+//!
+//! ```sh
+//! cargo run --release --example xmark_advisor
+//! ```
+
+use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm};
+use xia_storage::Database;
+use xia_workloads::xmark::{self, XmarkConfig};
+use xia_workloads::Workload;
+
+fn main() {
+    let cfg = XmarkConfig::default();
+    let mut db = Database::new();
+    println!(
+        "generating XMark-like data ({} items, {} persons, {} auctions)...",
+        cfg.items, cfg.persons, cfg.auctions
+    );
+    xmark::generate(&mut db, &cfg);
+
+    let workload = Workload::from_texts(xmark::queries(&cfg).iter().map(|s| s.as_str()))
+        .expect("xmark queries parse");
+    println!("workload: {} queries\n", workload.len());
+
+    let params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut db, &workload, &params);
+    let all_size = set.config_size(&Advisor::all_index_config(&set));
+
+    for frac in [0.25, 0.5, 1.0] {
+        let budget = (all_size as f64 * frac) as u64;
+        let rec = Advisor::recommend_prepared(
+            &mut db,
+            &workload,
+            &set,
+            budget,
+            SearchAlgorithm::TopDownFull,
+            &params,
+        );
+        println!(
+            "budget {:>7} bytes ({:.0}% of All-Index): speedup {:.2}x with {} indexes",
+            budget,
+            frac * 100.0,
+            rec.speedup,
+            rec.indexes.len()
+        );
+        for ix in &rec.indexes {
+            println!(
+                "  CREATE INDEX ON {} PATTERN '{}' AS {}{}",
+                ix.collection,
+                ix.pattern,
+                ix.kind,
+                if ix.general { "   -- general" } else { "" }
+            );
+        }
+        println!();
+    }
+}

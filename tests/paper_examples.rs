@@ -1,0 +1,233 @@
+//! The paper's running example, end to end: queries Q1/Q2, the Table I
+//! candidates C1–C4, and the generalization walkthrough of Section V.
+
+use xia_advisor::{enumerate_candidates, generalize_pair, generalize_set, Advisor, AdvisorParams};
+use xia_storage::Database;
+use xia_workloads::Workload;
+use xia_xpath::{contain, parse_linear_path, ValueKind};
+
+/// The paper's Q1.
+const Q1: &str = r#"
+    for $sec in SECURITY('SDOC')/Security
+    where $sec/Symbol = "BCIIPRC"
+    return $sec
+"#;
+
+/// The paper's Q2.
+const Q2: &str = r#"
+    for $sec in SECURITY('SDOC')/Security[Yield>4.5]
+    where $sec/SecInfo/*/Sector = "Energy"
+    return <Security>{$sec/Name}</Security>
+"#;
+
+fn tpox_like_db() -> Database {
+    let mut db = Database::new();
+    let c = db.create_collection("SDOC");
+    for i in 0..40 {
+        c.build_doc("Security", |b| {
+            b.leaf("Symbol", if i == 0 { "BCIIPRC".to_string() } else { format!("S{i}") }.as_str());
+            b.leaf("Yield", 3.0 + (i % 5) as f64);
+            b.begin("SecInfo");
+            b.begin(if i % 2 == 0 { "StockInfo" } else { "FundInfo" });
+            b.leaf("Sector", if i % 4 == 0 { "Energy" } else { "Tech" });
+            b.leaf("Industry", "OilGas");
+            b.end();
+            b.end();
+            b.leaf("Name", format!("Security{i}").as_str());
+        });
+    }
+    db
+}
+
+#[test]
+fn table1_candidates_c1_c2_c3() {
+    let mut db = tpox_like_db();
+    let w = Workload::from_texts([Q1, Q2]).unwrap();
+    let set = enumerate_candidates(&mut db, &w);
+    // C1 string, C2 string, C3 numerical — exactly the paper's Table I.
+    let c1 = set.lookup(
+        "SDOC",
+        &parse_linear_path("/Security/Symbol").unwrap(),
+        ValueKind::Str,
+    );
+    let c2 = set.lookup(
+        "SDOC",
+        &parse_linear_path("/Security/SecInfo/*/Sector").unwrap(),
+        ValueKind::Str,
+    );
+    let c3 = set.lookup(
+        "SDOC",
+        &parse_linear_path("/Security/Yield").unwrap(),
+        ValueKind::Num,
+    );
+    assert!(c1.is_some() && c2.is_some() && c3.is_some());
+    assert_eq!(set.len(), 3);
+}
+
+#[test]
+fn table1_candidate_c4_from_generalization() {
+    let mut db = tpox_like_db();
+    let w = Workload::from_texts([Q1, Q2]).unwrap();
+    let mut set = enumerate_candidates(&mut db, &w);
+    let created = generalize_set(&mut set);
+    // C4 = /Security//* (string), generalizing C1 and C2 but not C3.
+    assert_eq!(created.len(), 1);
+    let c4 = set.get(created[0]);
+    assert_eq!(c4.pattern.to_string(), "/Security//*");
+    assert_eq!(c4.kind, ValueKind::Str);
+    assert_eq!(c4.children.len(), 2);
+}
+
+#[test]
+fn section5_generalization_walkthrough() {
+    // The worked example of Section V.
+    let c1 = parse_linear_path("/Security/Symbol").unwrap();
+    let c2 = parse_linear_path("/Security/SecInfo/*/Sector").unwrap();
+    let out = generalize_pair(&c1, &c2);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].to_string(), "/Security//*");
+    // The result covers /Security//Industry-style unseen paths too.
+    assert!(contain::covers(
+        &out[0],
+        &parse_linear_path("/Security/SecInfo/StockInfo/Industry").unwrap()
+    ));
+}
+
+#[test]
+fn dual_language_support_yields_identical_candidates() {
+    // Paper Section I: "our XML Index Advisor implementation in DB2
+    // supports both XQuery and SQL/XML simply by virtue of the fact that
+    // the DB2 query optimizer supports both of these languages".
+    let q1_xquery = r#"for $sec in SECURITY('SDOC')/Security
+                       where $sec/Symbol = "BCIIPRC"
+                       return $sec"#;
+    let q1_sqlxml = r#"SELECT * FROM SDOC WHERE XMLEXISTS('$d/Security[Symbol = "BCIIPRC"]')"#;
+
+    let mut db1 = tpox_like_db();
+    let w1 = Workload::from_texts([q1_xquery]).unwrap();
+    let set1 = enumerate_candidates(&mut db1, &w1);
+
+    let mut db2 = tpox_like_db();
+    let w2 = Workload::from_texts([q1_sqlxml]).unwrap();
+    let set2 = enumerate_candidates(&mut db2, &w2);
+
+    let mut p1: Vec<String> = set1.iter().map(|c| c.pattern.to_string()).collect();
+    let mut p2: Vec<String> = set2.iter().map(|c| c.pattern.to_string()).collect();
+    p1.sort();
+    p2.sort();
+    assert_eq!(p1, p2, "both languages must expose the same candidates");
+}
+
+#[test]
+fn table2_rule0_rewrites() {
+    for (input, expect) in [("/a/*/b", "/a//b"), ("/a/*/*/b", "/a//b")] {
+        let p = parse_linear_path(input).unwrap();
+        assert_eq!(p.rewrite_rule0().to_string(), expect);
+    }
+}
+
+#[test]
+fn section6c_subconfiguration_example() {
+    // "Because C2 and C3 are enumerated from the same query Q2, we merge
+    // their sub-configurations, which gives {C1} and {C2, C3}."
+    let mut db = tpox_like_db();
+    let w = Workload::from_texts([Q1, Q2]).unwrap();
+    let set = {
+        let mut s = enumerate_candidates(&mut db, &w);
+        generalize_set(&mut s);
+        xia_advisor::enumerate::size_candidates(&mut db, &mut s);
+        s
+    };
+    let c1 = set
+        .lookup(
+            "SDOC",
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            ValueKind::Str,
+        )
+        .unwrap();
+    let c2 = set
+        .lookup(
+            "SDOC",
+            &parse_linear_path("/Security/SecInfo/*/Sector").unwrap(),
+            ValueKind::Str,
+        )
+        .unwrap();
+    let c3 = set
+        .lookup(
+            "SDOC",
+            &parse_linear_path("/Security/Yield").unwrap(),
+            ValueKind::Num,
+        )
+        .unwrap();
+    let ev = xia_advisor::BenefitEvaluator::new(&mut db, &w, &set);
+    let groups = ev.decompose(&[c1, c2, c3]);
+    assert_eq!(groups.len(), 2);
+    let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+    assert!(sizes.contains(&1) && sizes.contains(&2));
+    let pair = groups.iter().find(|g| g.len() == 2).unwrap();
+    assert!(pair.contains(&c2) && pair.contains(&c3));
+}
+
+#[test]
+fn advisor_on_paper_workload_recommends_the_selective_indexes() {
+    // A larger, more selective instance: 400 securities, 12 sectors.
+    let mut db = Database::new();
+    let c = db.create_collection("SDOC");
+    let sectors = [
+        "Energy", "Tech", "Finance", "Health", "Retail", "Util", "Mining", "Media", "Agri",
+        "Auto", "Aero", "Chem",
+    ];
+    for i in 0..400 {
+        c.build_doc("Security", |b| {
+            b.leaf(
+                "Symbol",
+                if i == 0 {
+                    "BCIIPRC".to_string()
+                } else {
+                    format!("S{i}")
+                }
+                .as_str(),
+            );
+            b.leaf("Yield", (i % 100) as f64 / 10.0);
+            b.begin("SecInfo");
+            b.begin(if i % 2 == 0 { "StockInfo" } else { "FundInfo" });
+            b.leaf("Sector", sectors[i % sectors.len()]);
+            b.end();
+            b.end();
+            b.leaf("Name", format!("Security{i}").as_str());
+        });
+    }
+    let w = Workload::from_texts([Q1, Q2]).unwrap();
+    let params = AdvisorParams::default();
+    // Greedy-with-heuristics picks the *specific* symbol index; top-down
+    // picks a *general* index covering it — the Table IV contrast — and
+    // both must reach the same benefit on the training workload.
+    let gh = Advisor::recommend(
+        &mut db,
+        &w,
+        u64::MAX / 2,
+        xia_advisor::SearchAlgorithm::GreedyHeuristics,
+        &params,
+    );
+    let gh_patterns: Vec<&str> = gh.indexes.iter().map(|i| i.pattern.as_str()).collect();
+    assert!(gh_patterns.contains(&"/Security/Symbol"), "{gh_patterns:?}");
+    assert!(gh.speedup > 1.0);
+
+    let td = Advisor::recommend(
+        &mut db,
+        &w,
+        u64::MAX / 2,
+        xia_advisor::SearchAlgorithm::TopDownFull,
+        &params,
+    );
+    assert!(td.general_count >= 1, "{:?}", td.indexes);
+    // Every top-down index covers the symbol pattern (tight coupling: it
+    // is usable for Q1).
+    let symbol = parse_linear_path("/Security/Symbol").unwrap();
+    assert!(td
+        .indexes
+        .iter()
+        .any(|i| contain::covers(&parse_linear_path(&i.pattern).unwrap(), &symbol)));
+    let rel = (td.est_benefit - gh.est_benefit).abs() / gh.est_benefit.max(1.0);
+    assert!(rel < 0.2, "td={} gh={}", td.est_benefit, gh.est_benefit);
+}

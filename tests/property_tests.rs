@@ -1,0 +1,354 @@
+//! Property-based tests over the core path algebra and data structures.
+
+use proptest::prelude::*;
+use xia_advisor::{generalize_pair, StmtSet};
+use xia_xml::{parse_document, write_document, Vocabulary};
+use xia_xpath::{contain, parse_linear_path, Axis, LinearPath, LinearStep, NameTest};
+
+/// Strategy: small label alphabet so containment relations actually occur.
+fn label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("Security".to_string()),
+        Just("Sector".to_string()),
+    ]
+}
+
+fn step() -> impl Strategy<Value = LinearStep> {
+    (
+        prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
+        prop_oneof![
+            label().prop_map(NameTest::Name),
+            Just(NameTest::Wildcard),
+        ],
+    )
+        .prop_map(|(axis, test)| LinearStep { axis, test })
+}
+
+fn linear_path() -> impl Strategy<Value = LinearPath> {
+    prop::collection::vec(step(), 1..6).prop_map(LinearPath::new)
+}
+
+fn label_seq() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(label(), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn containment_is_reflexive(p in linear_path()) {
+        prop_assert!(contain::covers(&p, &p));
+    }
+
+    #[test]
+    fn containment_is_transitive(a in linear_path(), b in linear_path(), c in linear_path()) {
+        if contain::covers(&a, &b) && contain::covers(&b, &c) {
+            prop_assert!(contain::covers(&a, &c), "{a} ⊇ {b} ⊇ {c} but not {a} ⊇ {c}");
+        }
+    }
+
+    #[test]
+    fn containment_agrees_with_matching(g in linear_path(), s in linear_path(), w in label_seq()) {
+        // If g covers s, every word matched by s is matched by g.
+        if contain::covers(&g, &s) {
+            let labels: Vec<&str> = w.iter().map(|x| x.as_str()).collect();
+            if s.matches_labels(&labels) {
+                prop_assert!(g.matches_labels(&labels), "{g} covers {s} but misses {labels:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn universal_covers_all(p in linear_path()) {
+        prop_assert!(contain::covers(&LinearPath::universal(), &p));
+    }
+
+    #[test]
+    fn display_parse_round_trip(p in linear_path()) {
+        let s = p.to_string();
+        let q = parse_linear_path(&s).expect("display must re-parse");
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rewrite_rule0_preserves_matching(p in linear_path(), w in label_seq()) {
+        // Rule 0 only *widens* the language (/* middle steps become //),
+        // so any match of the original is a match of the rewrite.
+        let r = p.rewrite_rule0();
+        let labels: Vec<&str> = w.iter().map(|x| x.as_str()).collect();
+        if p.matches_labels(&labels) {
+            prop_assert!(r.matches_labels(&labels), "{p} -> {r} lost {labels:?}");
+        }
+        // And the rewrite covers the original pattern as a language.
+        prop_assert!(contain::covers(&r, &p));
+    }
+
+    #[test]
+    fn generalization_covers_both_inputs(a in linear_path(), b in linear_path()) {
+        for g in generalize_pair(&a, &b) {
+            prop_assert!(contain::covers(&g, &a), "{g} !⊇ {a}");
+            prop_assert!(contain::covers(&g, &b), "{g} !⊇ {b}");
+        }
+    }
+
+    #[test]
+    fn generalization_is_symmetric(a in linear_path(), b in linear_path()) {
+        let mut ab = generalize_pair(&a, &b);
+        let mut ba = generalize_pair(&b, &a);
+        ab.sort();
+        ba.sort();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn stmtset_behaves_like_btreeset(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..60)) {
+        let mut set = StmtSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (idx, _) in &ops {
+            set.insert(*idx);
+            model.insert(*idx);
+        }
+        prop_assert_eq!(set.len(), model.len());
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        for i in 0..200 {
+            prop_assert_eq!(set.contains(i), model.contains(&i));
+        }
+    }
+
+    #[test]
+    fn stmtset_union_is_union(xs in prop::collection::vec(0usize..128, 0..30),
+                              ys in prop::collection::vec(0usize..128, 0..30)) {
+        let mut a = StmtSet::new();
+        for &x in &xs { a.insert(x); }
+        let mut b = StmtSet::new();
+        for &y in &ys { b.insert(y); }
+        let mut u = a.clone();
+        u.union_with(&b);
+        let model: std::collections::BTreeSet<usize> =
+            xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+        prop_assert!(u.is_superset(&a) && u.is_superset(&b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generalization-DAG invariants: every parent pattern covers every
+    /// child pattern semantically, kinds and collections agree along
+    /// edges, and roots have no parents.
+    #[test]
+    fn generalization_dag_parents_cover_children(
+        leaves in prop::collection::vec(
+            prop::collection::vec(label(), 1..4),
+            2..6
+        )
+    ) {
+        use xia_advisor::{generalize_set, CandidateSet};
+        use xia_advisor::candidate::CandOrigin;
+
+        let mut set = CandidateSet::new();
+        for path in &leaves {
+            let mut steps = vec!["root".to_string()];
+            steps.extend(path.iter().cloned());
+            let text = format!("/{}", steps.join("/"));
+            let pattern = parse_linear_path(&text).expect("constructed path parses");
+            set.insert("C", pattern, xia_xpath::ValueKind::Str, CandOrigin::Basic);
+        }
+        generalize_set(&mut set);
+        for c in set.iter() {
+            for &child in &c.children {
+                let ch = set.get(child);
+                prop_assert_eq!(&c.collection, &ch.collection);
+                prop_assert_eq!(c.kind, ch.kind);
+                prop_assert!(
+                    contain::covers(&c.pattern, &ch.pattern),
+                    "{} does not cover child {}",
+                    c.pattern,
+                    ch.pattern
+                );
+                prop_assert!(ch.parents.contains(&c.id));
+            }
+        }
+        for root in set.roots() {
+            prop_assert!(set.get(root).parents.is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Plan-equivalence: for random data and random queries over it, a
+    /// forced full scan and the optimizer's chosen (possibly index-ANDing)
+    /// plan must produce identical results.
+    #[test]
+    fn index_plans_agree_with_scan_plans(seed in 0u64..1000, wl_seed in 0u64..1000) {
+        use xia_advisor::{Advisor, AdvisorParams};
+        use xia_optimizer::{execute_query, AccessChoice, Optimizer, Plan};
+        use xia_storage::Database;
+        use xia_workloads::synthetic::{generate_queries, SyntheticConfig};
+        use xia_workloads::tpox::{self, TpoxConfig};
+        use xia_workloads::Workload;
+
+        let mut db = Database::new();
+        tpox::generate(
+            &mut db,
+            &TpoxConfig {
+                securities: 40,
+                orders: 60,
+                customers: 30,
+                seed,
+            },
+        );
+        let queries = generate_queries(
+            db.collection("SDOC").expect("generated"),
+            &SyntheticConfig {
+                queries: 6,
+                seed: wl_seed,
+                ..Default::default()
+            },
+        );
+        let workload = Workload::from_texts(queries.iter().map(|s| s.as_str())).expect("parse");
+        // Materialize every basic candidate physically.
+        let set = Advisor::prepare(&mut db, &workload, &AdvisorParams::default());
+        let basics = Advisor::all_index_config(&set);
+        Advisor::materialize(&mut db, &set, &basics);
+        db.runstats_all();
+
+        for entry in workload.entries() {
+            let coll = entry.statement.collection();
+            let (collection, catalog, stats) = db.parts(coll).expect("collection exists");
+            let optimizer = Optimizer::new(collection, stats, catalog);
+            let plan = optimizer.optimize(&entry.statement);
+            let scan = Plan {
+                access: AccessChoice::Scan,
+                ..plan.clone()
+            };
+            let via_plan = execute_query(&entry.statement, &plan, collection, catalog).expect("exec");
+            let via_scan = execute_query(&entry.statement, &scan, collection, catalog).expect("exec");
+            prop_assert_eq!(
+                via_plan.docs_matched,
+                via_scan.docs_matched,
+                "plan {} disagrees with scan on `{}`",
+                plan,
+                entry.text
+            );
+            prop_assert_eq!(via_plan.items, via_scan.items);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Robustness: the XML parser must never panic, whatever bytes arrive.
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        let mut vocab = Vocabulary::new();
+        let _ = parse_document(&input, &mut vocab);
+    }
+
+    /// Robustness on "almost XML": tag soup assembled from plausible parts.
+    #[test]
+    fn xml_parser_never_panics_on_tag_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b/>".to_string()),
+                Just("text".to_string()),
+                Just("<!--c-->".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                Just("<a attr=\"v\">".to_string()),
+                Just("<![CDATA[x]]>".to_string()),
+                Just("<?pi?>".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("\"".to_string()),
+            ],
+            0..12
+        )
+    ) {
+        let input: String = parts.concat();
+        let mut vocab = Vocabulary::new();
+        let _ = parse_document(&input, &mut vocab);
+    }
+
+    /// Robustness: statement parsing must never panic.
+    #[test]
+    fn statement_parser_never_panics(input in ".{0,160}") {
+        let _ = xia_xpath::parse_statement(&input);
+        let _ = xia_xpath::parse_linear_path(&input);
+        let _ = xia_xpath::parse_path_expr(&input);
+    }
+
+    /// Robustness on statement-shaped soup.
+    #[test]
+    fn statement_parser_never_panics_on_query_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("for ".to_string()),
+                Just("$v".to_string()),
+                Just(" in ".to_string()),
+                Just("C('X')".to_string()),
+                Just("/a".to_string()),
+                Just("//*".to_string()),
+                Just("[b = 1]".to_string()),
+                Just(" where ".to_string()),
+                Just(" return ".to_string()),
+                Just("let $x := ".to_string()),
+                Just("order by ".to_string()),
+                Just("\"lit".to_string()),
+                Just("4.5e".to_string()),
+                Just("insert into ".to_string()),
+                Just("delete from ".to_string()),
+            ],
+            0..10
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = xia_xpath::parse_statement(&input);
+    }
+}
+
+/// XML text strategy: build documents programmatically, then check the
+/// writer/parser round trip.
+fn xml_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("plain".to_string()),
+        Just("4.5".to_string()),
+        Just("a<b&c>d\"e".to_string()),
+        Just("  spaced  ".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn document_write_parse_round_trip(
+        leaves in prop::collection::vec((label(), xml_value()), 1..8)
+    ) {
+        let mut vocab = Vocabulary::new();
+        let mut b = xia_xml::DocBuilder::new(&mut vocab, "root");
+        for (name, value) in &leaves {
+            b.leaf(name, value.trim());
+        }
+        let doc = b.finish();
+        let text = write_document(&doc, &vocab);
+        let reparsed = parse_document(&text, &mut vocab).expect("round trip parse");
+        prop_assert_eq!(reparsed.len(), doc.len());
+        // Every leaf value survives.
+        let originals: Vec<&str> = doc.nodes().filter_map(|(_, n)| n.value.as_ref()).map(|v| v.as_str()).collect();
+        let reparsed_vals: Vec<String> = reparsed.nodes().filter_map(|(_, n)| n.value.as_ref()).map(|v| v.as_str().to_string()).collect();
+        prop_assert_eq!(originals.len(), reparsed_vals.len());
+        for (o, r) in originals.iter().zip(reparsed_vals.iter()) {
+            prop_assert_eq!(*o, r.as_str());
+        }
+    }
+}
