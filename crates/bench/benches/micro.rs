@@ -1,41 +1,79 @@
-//! Criterion micro-benchmarks for the advisor's hot paths: containment,
-//! generalization, optimizer costing, physical execution, and the five
-//! configuration searches.
+//! Micro-benchmarks for the advisor's hot paths: containment,
+//! generalization, optimizer costing, physical execution, the five
+//! configuration searches, and telemetry overhead.
+//!
+//! Uses a small internal timing harness (the build environment has no
+//! registry access, so criterion is unavailable): each benchmark is
+//! warmed up, then run for a fixed wall-clock window, and the mean
+//! ns/iteration is printed. Run with `cargo bench -p xia-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 use xia_advisor::{generalize_pair, Advisor, AdvisorParams, BenefitEvaluator, SearchAlgorithm};
 use xia_bench::TpoxLab;
+use xia_obs::{Counter, Telemetry};
 use xia_optimizer::{execute_query, Optimizer};
 use xia_workloads::tpox;
 use xia_xpath::{contain, parse_linear_path, parse_statement};
 
-fn bench_containment(c: &mut Criterion) {
+/// Runs `f` repeatedly for ~`window` after a short warm-up and prints the
+/// mean time per iteration.
+fn bench<R>(name: &str, window: Duration, mut f: impl FnMut() -> R) {
+    // Warm-up: a tenth of the window.
+    let warm_until = Instant::now() + window / 10;
+    while Instant::now() < warm_until {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < window {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    let (value, unit) = if per_iter >= 1e6 {
+        (per_iter / 1e6, "ms")
+    } else if per_iter >= 1e3 {
+        (per_iter / 1e3, "µs")
+    } else {
+        (per_iter, "ns")
+    };
+    println!("{name:<40} {value:>10.2} {unit}/iter   ({iters} iters)");
+}
+
+fn quick() -> Duration {
+    Duration::from_millis(300)
+}
+
+fn bench_containment() {
     let general = parse_linear_path("/Security//*").unwrap();
     let specific = parse_linear_path("/Security/SecInfo/*/Sector").unwrap();
     let deep_a = parse_linear_path("/a/b/c/d/e/f//g/*/h").unwrap();
     let deep_b = parse_linear_path("/a/b/c/d/e/f/x/g/y/h").unwrap();
-    c.bench_function("contain/covers_shallow", |b| {
-        b.iter(|| contain::covers(std::hint::black_box(&general), std::hint::black_box(&specific)))
+    bench("contain/covers_shallow", quick(), || {
+        contain::covers(
+            std::hint::black_box(&general),
+            std::hint::black_box(&specific),
+        )
     });
-    c.bench_function("contain/covers_deep", |b| {
-        b.iter(|| contain::covers(std::hint::black_box(&deep_a), std::hint::black_box(&deep_b)))
+    bench("contain/covers_deep", quick(), || {
+        contain::covers(std::hint::black_box(&deep_a), std::hint::black_box(&deep_b))
     });
 }
 
-fn bench_generalize(c: &mut Criterion) {
+fn bench_generalize() {
     let p = parse_linear_path("/Security/Symbol").unwrap();
     let q = parse_linear_path("/Security/SecInfo/*/Sector").unwrap();
     let r = parse_linear_path("/a/d/b/d").unwrap();
     let s = parse_linear_path("/a/b/d").unwrap();
-    c.bench_function("generalize/paper_pair", |b| {
-        b.iter(|| generalize_pair(std::hint::black_box(&p), std::hint::black_box(&q)))
+    bench("generalize/paper_pair", quick(), || {
+        generalize_pair(std::hint::black_box(&p), std::hint::black_box(&q))
     });
-    c.bench_function("generalize/reoccurrence_pair", |b| {
-        b.iter(|| generalize_pair(std::hint::black_box(&s), std::hint::black_box(&r)))
+    bench("generalize/reoccurrence_pair", quick(), || {
+        generalize_pair(std::hint::black_box(&s), std::hint::black_box(&r))
     });
 }
 
-fn bench_optimizer(c: &mut Criterion) {
+fn bench_optimizer() {
     let lab = TpoxLab::quick();
     let coll = lab.db.collection(tpox::SECURITY_COLL).unwrap();
     let stats = lab.db.stats_cached(tpox::SECURITY_COLL).unwrap();
@@ -46,15 +84,15 @@ fn bench_optimizer(c: &mut Criterion) {
            where $s/SecInfo/*/Sector = "Energy" return $s/Name"#,
     )
     .unwrap();
-    c.bench_function("optimizer/evaluate_mode_scan", |b| {
-        b.iter(|| opt.optimize(std::hint::black_box(&stmt)))
+    bench("optimizer/evaluate_mode_scan", quick(), || {
+        opt.optimize(std::hint::black_box(&stmt))
     });
-    c.bench_function("optimizer/enumerate_mode", |b| {
-        b.iter(|| opt.enumerate_indexes(std::hint::black_box(&stmt)))
+    bench("optimizer/enumerate_mode", quick(), || {
+        opt.enumerate_indexes(std::hint::black_box(&stmt))
     });
 }
 
-fn bench_execution(c: &mut Criterion) {
+fn bench_execution() {
     let mut lab = TpoxLab::quick();
     let name = tpox::SECURITY_COLL;
     {
@@ -77,109 +115,101 @@ fn bench_execution(c: &mut Criterion) {
         access: xia_optimizer::AccessChoice::Scan,
         ..indexed_plan.clone()
     };
-    c.bench_function("exec/index_probe", |b| {
-        b.iter(|| execute_query(&stmt, &indexed_plan, collection, catalog).unwrap())
+    bench("exec/index_probe", quick(), || {
+        execute_query(&stmt, &indexed_plan, collection, catalog).unwrap()
     });
-    c.bench_function("exec/full_scan", |b| {
-        b.iter(|| execute_query(&stmt, &scan_plan, collection, catalog).unwrap())
+    bench("exec/full_scan", quick(), || {
+        execute_query(&stmt, &scan_plan, collection, catalog).unwrap()
     });
 }
 
-fn bench_searches(c: &mut Criterion) {
+fn bench_searches() {
     let mut lab = TpoxLab::quick();
     let workload = lab.workload();
     let params = AdvisorParams::default();
     let set = Advisor::prepare(&mut lab.db, &workload, &params);
     let budget = set.config_size(&Advisor::all_index_config(&set));
-    let mut group = c.benchmark_group("search");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
     for algo in SearchAlgorithm::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
-            b.iter(|| {
-                Advisor::recommend_prepared(&mut lab.db, &workload, &set, budget, algo, &params)
-            })
-        });
+        bench(
+            &format!("search/{}", algo.name()),
+            Duration::from_secs(1),
+            || Advisor::recommend_prepared(&mut lab.db, &workload, &set, budget, algo, &params),
+        );
     }
-    group.finish();
 }
 
-fn bench_benefit_cache(c: &mut Criterion) {
+fn bench_benefit_cache() {
     let mut lab = TpoxLab::quick();
     let workload = lab.workload();
     let params = AdvisorParams::default();
     let set = Advisor::prepare(&mut lab.db, &workload, &params);
     let all = set.basic_ids();
-    let mut group = c.benchmark_group("benefit");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("cached", |b| {
+    {
         let mut ev = BenefitEvaluator::new(&mut lab.db, &workload, &set);
         ev.benefit(&all); // warm the cache
-        b.iter(|| ev.benefit(std::hint::black_box(&all)))
-    });
-    group.bench_function("uncached", |b| {
+        bench("benefit/cached", Duration::from_secs(1), || {
+            ev.benefit(std::hint::black_box(&all))
+        });
+    }
+    {
         let mut ev = BenefitEvaluator::new(&mut lab.db, &workload, &set);
         ev.use_cache = false;
-        b.iter(|| ev.benefit(std::hint::black_box(&all)))
-    });
-    group.finish();
+        bench("benefit/uncached", Duration::from_secs(1), || {
+            ev.benefit(std::hint::black_box(&all))
+        });
+    }
 }
 
-fn bench_storage(c: &mut Criterion) {
+fn bench_storage() {
     let lab = TpoxLab::quick();
     let coll = lab.db.collection(tpox::SECURITY_COLL).unwrap();
-    c.bench_function("storage/runstats", |b| {
-        b.iter(|| xia_storage::runstats(std::hint::black_box(coll)))
+    bench("storage/runstats", quick(), || {
+        xia_storage::runstats(std::hint::black_box(coll))
     });
-    c.bench_function("storage/build_physical_index", |b| {
-        b.iter(|| {
-            xia_storage::PhysicalIndex::build(
-                std::hint::black_box(coll),
-                &parse_linear_path("/Security/Symbol").unwrap(),
-                xia_xpath::ValueKind::Str,
-            )
-        })
+    bench("storage/build_physical_index", quick(), || {
+        xia_storage::PhysicalIndex::build(
+            std::hint::black_box(coll),
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            xia_xpath::ValueKind::Str,
+        )
     });
-    c.bench_function("storage/persist_save", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(1 << 20);
-            xia_storage::persist::save_database_to(std::hint::black_box(&lab.db), &mut buf)
-                .unwrap();
-            buf
-        })
+    bench("storage/persist_save", quick(), || {
+        let mut buf = Vec::with_capacity(1 << 20);
+        xia_storage::persist::save_database_to(std::hint::black_box(&lab.db), &mut buf).unwrap();
+        buf
     });
     let mut buf = Vec::new();
     xia_storage::persist::save_database_to(&lab.db, &mut buf).unwrap();
-    c.bench_function("storage/persist_load", |b| {
-        b.iter(|| {
-            xia_storage::persist::load_database_from(&mut std::io::Cursor::new(
-                std::hint::black_box(&buf),
-            ))
-            .unwrap()
-        })
+    bench("storage/persist_load", quick(), || {
+        xia_storage::persist::load_database_from(&mut std::io::Cursor::new(std::hint::black_box(
+            &buf,
+        )))
+        .unwrap()
     });
 }
 
-/// Short, CI-friendly measurement windows; raise for precision runs.
-fn config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-        .configure_from_args()
+/// The telemetry counters must cost nanoseconds whether the handle is live
+/// or off — this is the "bounded overhead" check in measurable form.
+fn bench_telemetry() {
+    let on = Telemetry::new();
+    let off = Telemetry::off();
+    bench("obs/counter_incr_enabled", quick(), || {
+        on.incr(std::hint::black_box(Counter::OptimizerEvaluateCalls))
+    });
+    bench("obs/counter_incr_off", quick(), || {
+        off.incr(std::hint::black_box(Counter::OptimizerEvaluateCalls))
+    });
+    bench("obs/span_enter_exit", quick(), || on.span("bench_phase"));
 }
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets =
-        bench_containment,
-        bench_generalize,
-        bench_optimizer,
-        bench_execution,
-        bench_searches,
-        bench_benefit_cache,
-        bench_storage
+fn main() {
+    println!("xia micro-benchmarks (internal harness; mean over a fixed window)");
+    bench_containment();
+    bench_generalize();
+    bench_optimizer();
+    bench_execution();
+    bench_searches();
+    bench_benefit_cache();
+    bench_storage();
+    bench_telemetry();
 }
-criterion_main!(benches);

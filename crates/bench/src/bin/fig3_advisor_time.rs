@@ -12,4 +12,9 @@ fn main() {
     if let Some(p) = write_csv(&table, "fig3_advisor_time") {
         println!("wrote {}", p.display());
     }
+    let breakdown = speedup_budget::telemetry_breakdown_table(&result);
+    print!("{}", breakdown.render());
+    if let Some(p) = write_csv(&breakdown, "telemetry_breakdown") {
+        println!("wrote {}", p.display());
+    }
 }

@@ -23,6 +23,10 @@ pub struct AblationRow {
     pub ms: f64,
     /// Benefit of the final configuration (sanity: should not change).
     pub benefit: f64,
+    /// Sub-configuration cache hits (telemetry) during the search.
+    pub cache_hits: u64,
+    /// Sub-configuration cache misses (telemetry) during the search.
+    pub cache_misses: u64,
 }
 
 /// Runs greedy-with-heuristics under each combination of evaluator
@@ -43,7 +47,9 @@ pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
     ];
     let mut rows = Vec::new();
     for (aff, sub, cache) in combos {
+        let telemetry = xia_obs::Telemetry::new();
         let mut ev = BenefitEvaluator::new(&mut lab.db, &workload, &set);
+        ev.set_telemetry(&telemetry);
         ev.use_affected_sets = aff;
         ev.use_subconfigs = sub;
         ev.use_cache = cache;
@@ -52,12 +58,16 @@ pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
         let config = search::greedy_heuristics(&mut ev, &all, budget, params.beta);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let calls = ev.eval_stats().optimizer_calls - calls0;
+        let cache_hits = telemetry.get(xia_obs::Counter::BenefitCacheHits);
+        let cache_misses = telemetry.get(xia_obs::Counter::BenefitCacheMisses);
         let benefit = ev.benefit(&config);
         rows.push(AblationRow {
             switches: (aff, sub, cache),
             optimizer_calls: calls,
             ms,
             benefit,
+            cache_hits,
+            cache_misses,
         });
     }
     rows
@@ -67,7 +77,16 @@ pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
 pub fn switches_table(rows: &[AblationRow]) -> Table {
     let mut t = Table::new(
         "Ablation — benefit-evaluation machinery (greedy+heuristics search)",
-        &["affected-sets", "sub-configs", "cache", "optimizer calls", "ms", "benefit"],
+        &[
+            "affected-sets",
+            "sub-configs",
+            "cache",
+            "optimizer calls",
+            "ms",
+            "benefit",
+            "cache hits",
+            "cache misses",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -77,6 +96,8 @@ pub fn switches_table(rows: &[AblationRow]) -> Table {
             r.optimizer_calls.to_string(),
             f(r.ms),
             f(r.benefit),
+            r.cache_hits.to_string(),
+            r.cache_misses.to_string(),
         ]);
     }
     t

@@ -46,14 +46,8 @@ pub fn run(lab: &mut TpoxLab, fractions: &[f64]) -> Vec<GeneralityRow> {
         let budget = (all_size as f64 * fraction).round() as u64;
         let mut counts = Vec::new();
         for algo in ALGOS {
-            let rec = Advisor::recommend_prepared(
-                &mut lab.db,
-                &workload,
-                &set,
-                budget,
-                algo,
-                &params,
-            );
+            let rec =
+                Advisor::recommend_prepared(&mut lab.db, &workload, &set, budget, algo, &params);
             counts.push((
                 algo,
                 GsCounts {

@@ -88,8 +88,7 @@ pub fn run(
         let set = Advisor::prepare(&mut lab.db, &train, &params);
         let mut speedups = Vec::new();
         for algo in ALGOS {
-            let rec =
-                Advisor::recommend_prepared(&mut lab.db, &train, &set, budget, algo, &params);
+            let rec = Advisor::recommend_prepared(&mut lab.db, &train, &set, budget, algo, &params);
             let speedup = if actual {
                 let run = actual_execution(&mut lab.db, &test, &set, &rec.config);
                 baseline / run.elapsed.as_secs_f64().max(1e-9)
@@ -125,7 +124,10 @@ pub fn table(r: &GeneralizationResult) -> Table {
         headers.push(a.name().to_string());
     }
     headers.push("all-index".to_string());
-    let mut t = Table::new(title, &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut t = Table::new(
+        title,
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
     for p in &r.points {
         let mut row = vec![p.train_size.to_string()];
         for s in &p.speedups {

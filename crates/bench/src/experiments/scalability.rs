@@ -55,7 +55,13 @@ pub fn run(lab: &mut TpoxLab, sizes: &[usize]) -> Vec<ScalePoint> {
 pub fn table(points: &[ScalePoint]) -> Table {
     let mut t = Table::new(
         "Scalability — advisor cost vs workload size (greedy+heuristics)",
-        &["queries", "candidates", "ms", "optimizer calls", "calls/query"],
+        &[
+            "queries",
+            "candidates",
+            "ms",
+            "optimizer calls",
+            "calls/query",
+        ],
     );
     for p in points {
         t.row(vec![

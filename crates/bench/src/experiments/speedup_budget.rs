@@ -9,6 +9,7 @@
 use crate::lab::TpoxLab;
 use crate::report::{f, mib, Table};
 use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm};
+use xia_obs::{Counter, Telemetry};
 use xia_workloads::Workload;
 
 /// One measured point.
@@ -26,6 +27,14 @@ pub struct BudgetPoint {
     pub size: u64,
     /// Number of recommended indexes.
     pub indexes: usize,
+    /// Search-phase time (telemetry span) in milliseconds.
+    pub search_ms: f64,
+    /// Benefit-evaluation time inside the search, in milliseconds.
+    pub evaluate_ms: f64,
+    /// Sub-configuration cache hits during the search.
+    pub cache_hits: u64,
+    /// Sub-configuration cache misses during the search.
+    pub cache_misses: u64,
 }
 
 /// Results of the budget sweep.
@@ -39,6 +48,12 @@ pub struct SweepResult {
     pub all_index_speedup: f64,
     /// Per-algorithm measurements, aligned with `fractions`.
     pub series: Vec<(SearchAlgorithm, Vec<BudgetPoint>)>,
+    /// One-time enumerate-phase time (shared prepare step), milliseconds.
+    pub enumerate_ms: f64,
+    /// One-time generalize-phase time, milliseconds.
+    pub generalize_ms: f64,
+    /// One-time candidate-sizing time, milliseconds.
+    pub size_ms: f64,
 }
 
 /// Runs the sweep over the 11-query TPoX workload.
@@ -54,8 +69,16 @@ pub fn run_workload(
     fractions: &[f64],
     algorithms: &[SearchAlgorithm],
 ) -> SweepResult {
-    let params = AdvisorParams::default();
+    let telemetry = Telemetry::new();
+    let params = AdvisorParams {
+        telemetry: telemetry.clone(),
+        ..AdvisorParams::default()
+    };
     let set = Advisor::prepare(&mut lab.db, workload, &params);
+    // The prepare phases run once and are shared by every sweep point.
+    let enumerate_ms = telemetry.span_micros("enumerate") as f64 / 1e3;
+    let generalize_ms = telemetry.span_micros("generalize") as f64 / 1e3;
+    let size_ms = telemetry.span_micros("size") as f64 / 1e3;
     let all = Advisor::all_index_config(&set);
     let all_index_size = set.config_size(&all);
 
@@ -80,6 +103,8 @@ pub fn run_workload(
         let mut points = Vec::new();
         for &frac in fractions {
             let budget = (all_index_size as f64 * frac).round() as u64;
+            // Isolate this point's phase timings and cache counters.
+            telemetry.reset();
             let rec =
                 Advisor::recommend_prepared(&mut lab.db, workload, &set, budget, algo, &params);
             points.push(BudgetPoint {
@@ -89,6 +114,10 @@ pub fn run_workload(
                 optimizer_calls: rec.eval_stats.optimizer_calls,
                 size: rec.total_size,
                 indexes: rec.config.len(),
+                search_ms: telemetry.span_micros("search") as f64 / 1e3,
+                evaluate_ms: telemetry.span_micros("evaluate") as f64 / 1e3,
+                cache_hits: telemetry.get(Counter::BenefitCacheHits),
+                cache_misses: telemetry.get(Counter::BenefitCacheMisses),
             });
         }
         series.push((algo, points));
@@ -98,6 +127,9 @@ pub fn run_workload(
         all_index_size,
         all_index_speedup,
         series,
+        enumerate_ms,
+        generalize_ms,
+        size_ms,
     }
 }
 
@@ -124,11 +156,15 @@ pub fn fig2_table(r: &SweepResult) -> Table {
     t
 }
 
-/// Fig. 3: advisor run time (and optimizer calls) vs budget.
+/// Fig. 3: advisor run time (and optimizer calls) vs budget. The search-
+/// and evaluate-phase columns come from the telemetry span tree rather
+/// than wall-clock bookkeeping in the harness.
 pub fn fig3_table(r: &SweepResult) -> Table {
     let mut headers = vec!["budget (xAllIndex)".to_string()];
     for (algo, _) in &r.series {
         headers.push(format!("{} ms", algo.name()));
+        headers.push(format!("{} search ms", algo.name()));
+        headers.push(format!("{} eval ms", algo.name()));
         headers.push(format!("{} calls", algo.name()));
     }
     let mut t = Table::new(
@@ -139,9 +175,48 @@ pub fn fig3_table(r: &SweepResult) -> Table {
         let mut row = vec![format!("{frac:.2}")];
         for (_, points) in &r.series {
             row.push(f(points[i].advisor_ms));
+            row.push(f(points[i].search_ms));
+            row.push(f(points[i].evaluate_ms));
             row.push(points[i].optimizer_calls.to_string());
         }
         t.row(row);
+    }
+    t
+}
+
+/// Telemetry-sourced phase breakdown per (algorithm, budget) point: where
+/// the advisor's time goes, and how well the benefit cache works. The
+/// enumerate/generalize/size columns repeat the one-time prepare cost so
+/// every row is self-contained.
+pub fn telemetry_breakdown_table(r: &SweepResult) -> Table {
+    let mut t = Table::new(
+        "Telemetry — advisor phase breakdown (from xia-obs spans/counters)",
+        &[
+            "algorithm",
+            "budget (xAllIndex)",
+            "enumerate ms",
+            "generalize ms",
+            "size ms",
+            "search ms",
+            "evaluate ms",
+            "cache hits",
+            "cache misses",
+        ],
+    );
+    for (algo, points) in &r.series {
+        for (i, p) in points.iter().enumerate() {
+            t.row(vec![
+                algo.name().to_string(),
+                format!("{:.2}", r.fractions[i]),
+                f(r.enumerate_ms),
+                f(r.generalize_ms),
+                f(r.size_ms),
+                f(p.search_ms),
+                f(p.evaluate_ms),
+                p.cache_hits.to_string(),
+                p.cache_misses.to_string(),
+            ]);
+        }
     }
     t
 }

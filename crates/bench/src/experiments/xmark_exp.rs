@@ -45,10 +45,7 @@ pub fn run(cfg: &XmarkConfig, fractions: &[f64]) -> (Vec<XmarkPoint>, f64, u64) 
             let rec = Advisor::recommend_prepared(&mut db, &w, &set, budget, algo, &params);
             speedups.push(rec.speedup);
         }
-        out.push(XmarkPoint {
-            fraction,
-            speedups,
-        });
+        out.push(XmarkPoint { fraction, speedups });
     }
     (out, all_speedup, all_size)
 }

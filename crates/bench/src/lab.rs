@@ -72,7 +72,8 @@ impl TpoxLab {
     /// The paper's Fig. 4/5 workload: the 11 TPoX queries followed by `n`
     /// synthetic queries "to increase workload diversity".
     pub fn mixed_workload(&self, n_synth: usize) -> Workload {
-        self.workload().concat(&self.synthetic_workload(n_synth, 0xd1f7))
+        self.workload()
+            .concat(&self.synthetic_workload(n_synth, 0xd1f7))
     }
 }
 

@@ -91,8 +91,36 @@ pub fn stats(db_path: Option<&str>) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `xia explain <db> <statement>`
+/// First line of a statement, for one-line trace rows.
+fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap_or("").trim()
+}
+
+/// Builds the trace report for a finished advisor run: a snapshot of the
+/// telemetry sink plus per-statement what-if costs. The snapshot is taken
+/// *before* [`xia_advisor::TuningReport::build`] so its extra optimizer
+/// calls do not pollute the counters being reported.
+fn trace_report(
+    db: &mut Database,
+    workload: &xia_workloads::Workload,
+    set: &xia_advisor::CandidateSet,
+    rec: &xia_advisor::Recommendation,
+    telemetry: &xia_obs::Telemetry,
+) -> xia_obs::TraceReport {
+    let mut tr = telemetry.report();
+    let full = xia_advisor::TuningReport::build(db, workload, set, rec);
+    for s in &full.statements {
+        tr.push_statement(first_line(&s.text), s.cost_before, s.cost_after);
+    }
+    tr
+}
+
+/// `xia explain <db> <statement>` (plan mode) or
+/// `xia explain <db> -w <workload> -b <budget> [-a <algo>]` (advisor mode).
 pub fn explain(args: &[String]) -> Result<String, CliError> {
+    if args.len() >= 2 && args[1].starts_with('-') {
+        return explain_advisor(args);
+    }
     let (_, mut db) = open(args.first().map(|s| s.as_str()))?;
     let text = require(args, 1, "<statement>")?;
     let stmt = parse_statement(text).map_err(CliError::new)?;
@@ -112,6 +140,69 @@ pub fn explain(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(out, "  {} [{}]", c.pattern, c.kind);
         }
     }
+    Ok(out)
+}
+
+/// Advisor-mode explain: run the full pipeline and print a structured
+/// breakdown — phase timings, what-if call accounting, and per-statement
+/// cost deltas — instead of a single statement's plan.
+fn explain_advisor(args: &[String]) -> Result<String, CliError> {
+    let (_, mut db) = open(args.first().map(|s| s.as_str()))?;
+    let mut workload_file = None;
+    let mut budget: Option<u64> = None;
+    let mut algo = SearchAlgorithm::TopDownFull;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-w" | "--workload" => {
+                workload_file = Some(require(args, i + 1, "workload file after -w")?.to_string());
+                i += 2;
+            }
+            "-b" | "--budget" => {
+                let v = require(args, i + 1, "budget after -b")?;
+                budget =
+                    Some(parse_size(v).ok_or_else(|| CliError::new(format!("bad budget `{v}`")))?);
+                i += 2;
+            }
+            "-a" | "--algo" => {
+                algo = parse_algo(require(args, i + 1, "algorithm after -a")?)?;
+                i += 2;
+            }
+            other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+        }
+    }
+    let workload_file = workload_file.ok_or_else(|| CliError::new("missing -w <workload-file>"))?;
+    let budget = budget.ok_or_else(|| CliError::new("missing -b <budget>"))?;
+    let text = std::fs::read_to_string(&workload_file)
+        .map_err(|e| CliError::new(format!("cannot read {workload_file}: {e}")))?;
+    let workload = parse_workload(&text).map_err(CliError::new)?;
+    if workload.is_empty() {
+        return Err(CliError::new("workload file contains no statements"));
+    }
+
+    let params = AdvisorParams::default();
+    let set = Advisor::prepare(&mut db, &workload, &params);
+    let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params);
+    let tr = trace_report(&mut db, &workload, &set, &rec, &params.telemetry);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "advisor run: {} statements, {} candidates ({} basic), algorithm {}",
+        workload.len(),
+        rec.candidates_total,
+        rec.candidates_basic,
+        algo.name()
+    );
+    let _ = writeln!(
+        out,
+        "recommended {} index(es), {} bytes, estimated speedup {:.2}x, {:.1} ms",
+        rec.indexes.len(),
+        rec.total_size,
+        rec.speedup,
+        rec.advisor_time.as_secs_f64() * 1e3
+    );
+    out.push_str(&tr.to_text());
     Ok(out)
 }
 
@@ -169,8 +260,8 @@ pub fn exec(args: &[String]) -> Result<String, CliError> {
         result.docs_matched, result.items
     );
     // Show a result sample.
-    let items =
-        xia_optimizer::execute_query_items(&stmt, &plan, collection, catalog).map_err(CliError::new)?;
+    let items = xia_optimizer::execute_query_items(&stmt, &plan, collection, catalog)
+        .map_err(CliError::new)?;
     const SAMPLE: usize = 5;
     for item in items.iter().take(SAMPLE) {
         let _ = writeln!(out, "  {item}");
@@ -192,7 +283,15 @@ fn parse_algo(s: &str) -> Result<SearchAlgorithm, CliError> {
         })
 }
 
-/// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]`
+/// How `--trace` output should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Text,
+    Json,
+}
+
+/// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]
+/// [--report] [--trace[=json|text]]`
 pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let (path, mut db) = open(args.first().map(|s| s.as_str()))?;
     let mut workload_file = None;
@@ -200,6 +299,7 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut algo = SearchAlgorithm::TopDownFull;
     let mut apply = false;
     let mut report = false;
+    let mut trace: Option<TraceFormat> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -209,9 +309,8 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
             }
             "-b" | "--budget" => {
                 let v = require(args, i + 1, "budget after -b")?;
-                budget = Some(
-                    parse_size(v).ok_or_else(|| CliError::new(format!("bad budget `{v}`")))?,
-                );
+                budget =
+                    Some(parse_size(v).ok_or_else(|| CliError::new(format!("bad budget `{v}`")))?);
                 i += 2;
             }
             "-a" | "--algo" => {
@@ -226,11 +325,22 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
                 report = true;
                 i += 1;
             }
+            other if other == "--trace" || other.starts_with("--trace=") => {
+                trace = Some(match other.strip_prefix("--trace=") {
+                    None | Some("text") => TraceFormat::Text,
+                    Some("json") => TraceFormat::Json,
+                    Some(bad) => {
+                        return Err(CliError::new(format!(
+                            "bad trace format `{bad}` (expected json or text)"
+                        )))
+                    }
+                });
+                i += 1;
+            }
             other => return Err(CliError::new(format!("unknown flag `{other}`"))),
         }
     }
-    let workload_file =
-        workload_file.ok_or_else(|| CliError::new("missing -w <workload-file>"))?;
+    let workload_file = workload_file.ok_or_else(|| CliError::new("missing -w <workload-file>"))?;
     let budget = budget.ok_or_else(|| CliError::new("missing -b <budget>"))?;
     let text = std::fs::read_to_string(&workload_file)
         .map_err(|e| CliError::new(format!("cannot read {workload_file}: {e}")))?;
@@ -242,6 +352,14 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let params = AdvisorParams::default();
     let set = Advisor::prepare(&mut db, &workload, &params);
     let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params);
+    // Snapshot the trace before any follow-up optimizer work (the tuning
+    // report re-costs the workload) can inflate the counters.
+    let traced = trace.map(|fmt| {
+        (
+            fmt,
+            trace_report(&mut db, &workload, &set, &rec, &params.telemetry),
+        )
+    });
 
     let mut out = String::new();
     let _ = writeln!(
@@ -271,8 +389,22 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     }
     if report {
         let full = xia_advisor::TuningReport::build(&mut db, &workload, &set, &rec);
-        let _ = writeln!(out, "
-{}", full.render());
+        let _ = writeln!(
+            out,
+            "
+{}",
+            full.render()
+        );
+    }
+    match traced {
+        Some((TraceFormat::Json, tr)) => {
+            let _ = writeln!(out, "{}", tr.to_json());
+        }
+        Some((TraceFormat::Text, tr)) => {
+            out.push_str("--- trace ---\n");
+            out.push_str(&tr.to_text());
+        }
+        None => {}
     }
     if apply {
         let n = Advisor::materialize(&mut db, &set, &rec.config);
@@ -303,8 +435,7 @@ pub fn whatif(args: &[String]) -> Result<String, CliError> {
             other => return Err(CliError::new(format!("unknown flag `{other}`"))),
         }
     }
-    let workload_file =
-        workload_file.ok_or_else(|| CliError::new("missing -w <workload-file>"))?;
+    let workload_file = workload_file.ok_or_else(|| CliError::new("missing -w <workload-file>"))?;
     if specs.is_empty() {
         return Err(CliError::new("missing -i <collection>:<pattern>:<kind>"));
     }
@@ -319,7 +450,11 @@ pub fn whatif(args: &[String]) -> Result<String, CliError> {
         rec.speedup, rec.est_benefit, rec.total_size
     );
     for ix in &rec.indexes {
-        let _ = writeln!(out, "  {} '{}' [{}] {} bytes", ix.collection, ix.pattern, ix.kind, ix.size);
+        let _ = writeln!(
+            out,
+            "  {} '{}' [{}] {} bytes",
+            ix.collection, ix.pattern, ix.kind, ix.size
+        );
     }
     Ok(out)
 }
@@ -328,12 +463,12 @@ pub fn whatif(args: &[String]) -> Result<String, CliError> {
 pub fn parse_index_spec(
     spec: &str,
 ) -> Result<(String, xia_xpath::LinearPath, xia_xpath::ValueKind), CliError> {
-    let (coll, rest) = spec
-        .split_once(':')
-        .ok_or_else(|| CliError::new(format!("bad index spec `{spec}` (collection:pattern:kind)")))?;
-    let (pattern, kind) = rest
-        .rsplit_once(':')
-        .ok_or_else(|| CliError::new(format!("bad index spec `{spec}` (collection:pattern:kind)")))?;
+    let (coll, rest) = spec.split_once(':').ok_or_else(|| {
+        CliError::new(format!("bad index spec `{spec}` (collection:pattern:kind)"))
+    })?;
+    let (pattern, kind) = rest.rsplit_once(':').ok_or_else(|| {
+        CliError::new(format!("bad index spec `{spec}` (collection:pattern:kind)"))
+    })?;
     let kind = match kind {
         "string" | "str" => xia_xpath::ValueKind::Str,
         "numerical" | "num" | "double" => xia_xpath::ValueKind::Num,
@@ -353,11 +488,7 @@ pub fn indexes(db_path: Option<&str>) -> Result<String, CliError> {
             let _ = writeln!(
                 out,
                 "{name}: {} [{}] entries={} size={}B levels={}",
-                def.pattern,
-                def.kind,
-                def.stats.entries,
-                def.stats.size_bytes,
-                def.stats.levels
+                def.pattern, def.kind, def.stats.entries, def.stats.size_bytes, def.stats.levels
             );
         }
     }
@@ -433,7 +564,11 @@ mod tests {
                 format!(
                     "<Security><Symbol>{}</Symbol><Yield>{}.5</Yield>\
                      <Prospectus>{filler}</Prospectus></Security>",
-                    if i == 0 { "IBM".to_string() } else { format!("S{i}") },
+                    if i == 0 {
+                        "IBM".to_string()
+                    } else {
+                        format!("S{i}")
+                    },
                     i % 9
                 ),
             )
@@ -522,12 +657,20 @@ mod tests {
         }
         load(&file_args).unwrap();
 
-        let out = exec(&s(&[&db, r#"update SDOC set /Security/Yield = 99 where /Security[Symbol = "S3"]"#])).unwrap();
+        let out = exec(&s(&[
+            &db,
+            r#"update SDOC set /Security/Yield = 99 where /Security[Symbol = "S3"]"#,
+        ]))
+        .unwrap();
         assert!(out.contains("1 node(s) updated"), "{out}");
         let out = exec(&s(&[&db, r#"collection('SDOC')/Security[Yield = 99]"#])).unwrap();
         assert!(out.contains("1 document(s) matched"), "{out}");
 
-        let out = exec(&s(&[&db, r#"delete from SDOC where /Security[Symbol = "S5"]"#])).unwrap();
+        let out = exec(&s(&[
+            &db,
+            r#"delete from SDOC where /Security[Symbol = "S5"]"#,
+        ]))
+        .unwrap();
         assert!(out.contains("1 document(s) deleted"), "{out}");
         let out = stats(Some(&db)).unwrap();
         assert!(out.contains("9 docs"), "{out}");
@@ -579,6 +722,106 @@ mod tests {
         assert!(out.contains("/Security/Symbol"), "{out}");
         // Missing flags error.
         assert!(whatif(&s(&[&db, "-w", wl.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Builds a small database plus workload file for trace/explain tests;
+    /// returns (db path, workload path).
+    fn trace_fixture(dir: &std::path::Path) -> (String, String) {
+        let db = dir.join("t.xiadb").to_string_lossy().to_string();
+        init(Some(&db)).unwrap();
+        let filler = "prospectus filler text ".repeat(50);
+        let mut file_args = vec![db.clone(), "SDOC".to_string()];
+        for i in 0..50 {
+            let f = dir.join(format!("tr{i}.xml"));
+            std::fs::write(
+                &f,
+                format!(
+                    "<Security><Symbol>S{i}</Symbol><Yield>{}.5</Yield>\
+                     <Pad>{filler}</Pad></Security>",
+                    i % 9
+                ),
+            )
+            .unwrap();
+            file_args.push(f.to_string_lossy().to_string());
+        }
+        load(&file_args).unwrap();
+        let wl = dir.join("w.xq");
+        std::fs::write(
+            &wl,
+            "collection('SDOC')/Security[Symbol = \"S3\"]\n\n\
+             collection('SDOC')/Security[Yield > 4.5]\n",
+        )
+        .unwrap();
+        (db, wl.to_string_lossy().to_string())
+    }
+
+    #[test]
+    fn recommend_trace_json_is_parseable_and_complete() {
+        let dir = tmpdir().join("trace_json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let out = recommend(&s(&[&db, "-w", &wl, "-b", "10m", "--trace=json"])).unwrap();
+        let json_line = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("a JSON trace line");
+        let tr = xia_obs::TraceReport::from_json(json_line).unwrap();
+        let nonzero = tr.counters.iter().filter(|&&(_, v)| v > 0).count();
+        assert!(nonzero >= 8, "only {nonzero} non-zero counters: {tr:?}");
+        assert!(tr.counter("optimizer_evaluate_calls").unwrap() > 0);
+        assert_eq!(tr.counter("optimizer_enumerate_calls"), Some(2));
+        // The phase tree covers the whole pipeline.
+        let advise = tr
+            .phases
+            .iter()
+            .find(|p| p.name == "advise")
+            .expect("advise root span");
+        {
+            let phase = "search";
+            assert!(
+                advise.child(phase).is_some(),
+                "missing {phase} under advise"
+            );
+        }
+        for phase in ["enumerate", "generalize", "size"] {
+            assert!(
+                advise.child(phase).is_some() || tr.phases.iter().any(|p| p.name == phase),
+                "missing {phase} phase"
+            );
+        }
+        assert!(advise.child("search").unwrap().child("evaluate").is_some());
+        // Per-statement what-if rows for both workload statements.
+        assert_eq!(tr.statements.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_trace_text_and_bad_format() {
+        let dir = tmpdir().join("trace_text");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let out = recommend(&s(&[&db, "-w", &wl, "-b", "10m", "--trace"])).unwrap();
+        assert!(out.contains("--- trace ---"), "{out}");
+        assert!(out.contains("phases:"), "{out}");
+        assert!(out.contains("optimizer_evaluate_calls"), "{out}");
+        let err = recommend(&s(&[&db, "-w", &wl, "-b", "10m", "--trace=xml"])).unwrap_err();
+        assert!(err.message.contains("bad trace format"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_advisor_mode_prints_breakdown() {
+        let dir = tmpdir().join("explain_adv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let out = explain(&s(&[&db, "-w", &wl, "-b", "10m", "-a", "heuristics"])).unwrap();
+        assert!(out.contains("advisor run: 2 statements"), "{out}");
+        assert!(out.contains("phases:"), "{out}");
+        assert!(out.contains("counters:"), "{out}");
+        assert!(out.contains("statement what-if costs:"), "{out}");
+        // Missing budget errors.
+        assert!(explain(&s(&[&db, "-w", &wl])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,7 +10,7 @@
 //! xia stats     <db>                          collection/path statistics
 //! xia explain   <db> <statement>              show the optimizer's plan
 //! xia exec      <db> <statement>              execute a query
-//! xia recommend <db> -w <workload> -b <bytes> [-a <algo>] [--apply]
+//! xia recommend <db> -w <workload> -b <bytes> [-a <algo>] [--apply] [--trace]
 //! xia whatif    <db> -w <workload> -i <spec>  price a hand-written config
 //! xia indexes   <db>                          list physical indexes
 //! ```
@@ -68,9 +68,13 @@ USAGE:
   xia load      <db> <collection> <file...>    load XML documents into a collection
   xia stats     <db>                           print collection and path statistics
   xia explain   <db> <statement>               show the best plan and its cost
+  xia explain   <db> -w <workload-file> -b <budget-bytes> [-a <algo>]
+                                             advisor breakdown: phase timings,
+                                             counters, per-statement what-if costs
   xia exec      <db> <statement>               execute a query statement
   xia recommend <db> -w <workload-file> -b <budget-bytes>
-                [-a greedy|heuristics|topdown-lite|topdown-full|dp] [--apply] [--report]
+                [-a greedy|heuristics|topdown-lite|topdown-full|dp]
+                [--apply] [--report] [--trace[=json|text]]
   xia whatif    <db> -w <workload-file> -i <coll>:<pattern>:<string|numerical> ...
                                              price a hand-written configuration
   xia indexes   <db>                           list physical indexes

@@ -2,10 +2,11 @@
 
 use crate::benefit::{BenefitEvaluator, EvalStats};
 use crate::candidate::{CandId, CandOrigin, CandidateSet};
-use crate::enumerate::{enumerate_candidates, size_candidates};
+use crate::enumerate::{enumerate_candidates_traced, size_candidates_traced};
 use crate::generalize::generalize_set;
 use crate::search;
 use std::time::{Duration, Instant};
+use xia_obs::{Counter, Telemetry};
 use xia_storage::Database;
 use xia_workloads::Workload;
 use xia_xpath::ValueKind;
@@ -57,6 +58,11 @@ pub struct AdvisorParams {
     /// Whether to run the generalization step. Disabling restricts the
     /// space to basic candidates (used in ablations).
     pub generalize: bool,
+    /// Telemetry sink threaded through the whole pipeline: phase timers,
+    /// what-if call accounting, candidate counters. Enabled by default
+    /// (the handle is near-zero-cost); swap in [`Telemetry::off`] to
+    /// disable collection entirely.
+    pub telemetry: Telemetry,
 }
 
 impl Default for AdvisorParams {
@@ -64,6 +70,7 @@ impl Default for AdvisorParams {
         Self {
             beta: 0.10,
             generalize: true,
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -154,11 +161,23 @@ impl Advisor {
     /// (steps 1–2 of the pipeline). Exposed separately so experiments can
     /// share one candidate set across searches.
     pub fn prepare(db: &mut Database, workload: &Workload, params: &AdvisorParams) -> CandidateSet {
-        let mut set = enumerate_candidates(db, workload);
+        let t = &params.telemetry;
+        let mut set = {
+            let _enumerate = t.span("enumerate");
+            enumerate_candidates_traced(db, workload, t)
+        };
+        t.add(Counter::CandidatesEnumerated, set.len() as u64);
         if params.generalize {
-            generalize_set(&mut set);
+            let created = {
+                let _generalize = t.span("generalize");
+                generalize_set(&mut set)
+            };
+            t.add(Counter::CandidatesGeneralized, created.len() as u64);
         }
-        size_candidates(db, &mut set);
+        {
+            let _size = t.span("size");
+            size_candidates_traced(db, &mut set, t);
+        }
         set
     }
 
@@ -178,11 +197,16 @@ impl Advisor {
         params: &AdvisorParams,
     ) -> Recommendation {
         let start = Instant::now();
+        let _advise = params.telemetry.span("advise");
         let set = Self::prepare(db, workload, params);
         let basic = set.basic_ids().len();
         let total = set.len();
         let mut ev = BenefitEvaluator::new(db, workload, &set);
-        let config = Self::search_with(&mut ev, &set, budget, algorithm, params);
+        ev.set_telemetry(&params.telemetry);
+        let config = {
+            let _search = params.telemetry.span("search");
+            Self::search_with(&mut ev, &set, budget, algorithm, params)
+        };
         Self::finish(&set, &mut ev, config, basic, total, start)
     }
 
@@ -197,10 +221,15 @@ impl Advisor {
         params: &AdvisorParams,
     ) -> Recommendation {
         let start = Instant::now();
+        let _advise = params.telemetry.span("advise");
         let basic = set.basic_ids().len();
         let total = set.len();
         let mut ev = BenefitEvaluator::new(db, workload, set);
-        let config = Self::search_with(&mut ev, set, budget, algorithm, params);
+        ev.set_telemetry(&params.telemetry);
+        let config = {
+            let _search = params.telemetry.span("search");
+            Self::search_with(&mut ev, set, budget, algorithm, params)
+        };
         Self::finish(set, &mut ev, config, basic, total, start)
     }
 
@@ -231,6 +260,8 @@ impl Advisor {
         candidates_total: usize,
         start: Instant,
     ) -> Recommendation {
+        ev.telemetry()
+            .add(Counter::CandidatesAdmitted, config.len() as u64);
         let est_benefit = ev.benefit(&config);
         let baseline_cost = ev.baseline_cost();
         let workload_cost = ev.workload_cost(&config);
@@ -285,6 +316,7 @@ impl Advisor {
         params: &AdvisorParams,
     ) -> Recommendation {
         let start = Instant::now();
+        let _advise = params.telemetry.span("advise");
         let mut set = Self::prepare(db, workload, params);
         let mut config = Vec::new();
         let basics = set.basic_ids();
@@ -307,10 +339,11 @@ impl Advisor {
                 config.push(id);
             }
         }
-        crate::enumerate::size_candidates(db, &mut set);
+        size_candidates_traced(db, &mut set, &params.telemetry);
         let basic = set.basic_ids().len();
         let total = set.len();
         let mut ev = BenefitEvaluator::new(db, workload, &set);
+        ev.set_telemetry(&params.telemetry);
         Self::finish(&set, &mut ev, config, basic, total, start)
     }
 
@@ -352,8 +385,7 @@ mod tests {
         let all_size = set.config_size(&Advisor::all_index_config(&set));
         let budget = all_size; // generous budget
         for algo in SearchAlgorithm::ALL {
-            let rec =
-                Advisor::recommend_prepared(&mut db, &w, &set, budget, algo, &params);
+            let rec = Advisor::recommend_prepared(&mut db, &w, &set, budget, algo, &params);
             assert!(
                 rec.total_size <= budget,
                 "{}: size {} > budget {budget}",
@@ -449,8 +481,7 @@ mod tests {
     fn zero_budget_recommends_nothing() {
         let (mut db, w) = setup();
         for algo in SearchAlgorithm::ALL {
-            let rec =
-                Advisor::recommend(&mut db, &w, 0, algo, &AdvisorParams::default());
+            let rec = Advisor::recommend(&mut db, &w, 0, algo, &AdvisorParams::default());
             assert!(rec.config.is_empty(), "{}: {:?}", algo.name(), rec.indexes);
             assert_eq!(rec.total_size, 0);
         }
@@ -474,7 +505,13 @@ mod tests {
         let total_phys: usize = db
             .collection_names()
             .iter()
-            .map(|c| db.catalog(c).unwrap().iter().filter(|d| !d.is_virtual()).count())
+            .map(|c| {
+                db.catalog(c)
+                    .unwrap()
+                    .iter()
+                    .filter(|d| !d.is_virtual())
+                    .count()
+            })
             .sum();
         assert_eq!(total_phys, n);
     }
@@ -500,7 +537,10 @@ mod tests {
         assert_eq!(rec.config.len(), 2);
         assert!(rec.speedup > 1.0, "symbol index must pay off");
         // The useless index contributes size but no benefit.
-        assert!(rec.indexes.iter().any(|i| i.pattern == "/Security/NoSuchThing"));
+        assert!(rec
+            .indexes
+            .iter()
+            .any(|i| i.pattern == "/Security/NoSuchThing"));
     }
 
     #[test]
@@ -519,8 +559,10 @@ mod tests {
     #[test]
     fn disabling_generalization_restricts_candidates() {
         let (mut db, w) = setup();
-        let mut params = AdvisorParams::default();
-        params.generalize = false;
+        let params = AdvisorParams {
+            generalize: false,
+            ..AdvisorParams::default()
+        };
         let set = Advisor::prepare(&mut db, &w, &params);
         assert_eq!(set.len(), set.basic_ids().len());
     }

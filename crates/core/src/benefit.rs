@@ -22,6 +22,7 @@
 
 use crate::candidate::{CandId, CandidateSet, StmtSet};
 use std::collections::HashMap;
+use xia_obs::{Counter, Telemetry};
 use xia_optimizer::{maintenance, Optimizer};
 use xia_storage::{Database, IndexStats};
 use xia_workloads::Workload;
@@ -59,6 +60,8 @@ pub struct BenefitEvaluator<'a> {
     /// Ablation switch: memoize sub-configuration evaluations.
     pub use_cache: bool,
     stats: EvalStats,
+    /// Telemetry sink for what-if accounting (off unless attached).
+    telemetry: Telemetry,
 }
 
 impl<'a> BenefitEvaluator<'a> {
@@ -88,6 +91,7 @@ impl<'a> BenefitEvaluator<'a> {
             use_subconfigs: true,
             use_cache: true,
             stats: EvalStats::default(),
+            telemetry: Telemetry::off(),
         };
         ev.baseline = (0..workload.len())
             .map(|si| ev.statement_cost(si))
@@ -98,6 +102,21 @@ impl<'a> BenefitEvaluator<'a> {
     /// Evaluation counters so far.
     pub fn eval_stats(&self) -> EvalStats {
         self.stats
+    }
+
+    /// Attaches a telemetry sink: subsequent optimizer calls, cache
+    /// activity, and virtual-index churn (via the database catalogs) count
+    /// against it. Baseline costing in [`BenefitEvaluator::new`] happens
+    /// before any sink can be attached and is deliberately uncounted.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.db.set_telemetry(telemetry);
+    }
+
+    /// The attached telemetry sink (disabled unless
+    /// [`BenefitEvaluator::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Total baseline (no-index) workload cost.
@@ -125,7 +144,8 @@ impl<'a> BenefitEvaluator<'a> {
         let Some((collection, catalog, stats)) = self.db.parts(&coll) else {
             return 0.0;
         };
-        let optimizer = Optimizer::new(collection, stats, catalog);
+        let mut optimizer = Optimizer::new(collection, stats, catalog);
+        optimizer.set_telemetry(&self.telemetry);
         self.stats.optimizer_calls += 1;
         optimizer.optimize(stmt).total_cost
     }
@@ -156,6 +176,8 @@ impl<'a> BenefitEvaluator<'a> {
     /// Benefit of a configuration per the paper's formula.
     pub fn benefit(&mut self, config: &[CandId]) -> f64 {
         self.stats.benefit_calls += 1;
+        self.telemetry.incr(Counter::BenefitEvaluations);
+        let _evaluate = self.telemetry.span("evaluate");
         if config.is_empty() {
             return 0.0;
         }
@@ -215,9 +237,9 @@ impl<'a> BenefitEvaluator<'a> {
             }
         }
         let mut groups: HashMap<usize, Vec<CandId>> = HashMap::new();
-        for i in 0..n {
+        for (i, &cand) in config.iter().enumerate().take(n) {
             let r = find(&mut parent, i);
-            groups.entry(r).or_default().push(config[i]);
+            groups.entry(r).or_default().push(cand);
         }
         let mut out: Vec<Vec<CandId>> = groups.into_values().collect();
         for g in &mut out {
@@ -235,9 +257,11 @@ impl<'a> BenefitEvaluator<'a> {
         if self.use_cache {
             if let Some(&v) = self.cache.get(&sub) {
                 self.stats.cache_hits += 1;
+                self.telemetry.incr(Counter::BenefitCacheHits);
                 return v;
             }
             self.stats.cache_misses += 1;
+            self.telemetry.incr(Counter::BenefitCacheMisses);
         }
         // Affected statements: union over members (or all statements when
         // the affected-set optimization is disabled).
@@ -297,7 +321,8 @@ impl<'a> BenefitEvaluator<'a> {
             let Some((collection, catalog, stats)) = self.db.parts(&coll) else {
                 continue;
             };
-            let optimizer = Optimizer::new(collection, stats, catalog);
+            let mut optimizer = Optimizer::new(collection, stats, catalog);
+            optimizer.set_telemetry(&self.telemetry);
             self.stats.optimizer_calls += 1;
             let plan = optimizer.optimize(stmt);
             for ix in plan.used_indexes() {
@@ -324,6 +349,7 @@ impl<'a> BenefitEvaluator<'a> {
         let (coll, pattern, kind) = (c.collection.clone(), c.pattern.clone(), c.kind);
         let stats = match self.db.parts(&coll) {
             Some((collection, _, stats)) => {
+                self.telemetry.incr(Counter::StatsDerivations);
                 xia_storage::Catalog::derive_stats(collection, stats, &pattern, kind).1
             }
             None => IndexStats::default(),
@@ -349,7 +375,8 @@ impl<'a> BenefitEvaluator<'a> {
             let Some((collection, catalog, stats)) = self.db.parts(&coll) else {
                 continue;
             };
-            let optimizer = Optimizer::new(collection, stats, catalog);
+            let mut optimizer = Optimizer::new(collection, stats, catalog);
+            optimizer.set_telemetry(&self.telemetry);
             let mc = maintenance::maintenance_cost(
                 &pattern,
                 kind,
@@ -502,7 +529,10 @@ mod tests {
             .unwrap();
         let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
         let mc = ev.mc_total(sym);
-        assert!(mc > 0.0, "insert of a Security must charge the symbol index");
+        assert!(
+            mc > 0.0,
+            "insert of a Security must charge the symbol index"
+        );
         let _ = n_queries;
     }
 

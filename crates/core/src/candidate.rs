@@ -138,11 +138,7 @@ impl Candidate {
 
     /// Key used for deduplication.
     pub fn key(&self) -> (String, String, ValueKind) {
-        (
-            self.collection.clone(),
-            self.pattern.to_string(),
-            self.kind,
-        )
+        (self.collection.clone(), self.pattern.to_string(), self.kind)
     }
 }
 
@@ -210,7 +206,12 @@ impl CandidateSet {
     }
 
     /// Looks up a candidate by key.
-    pub fn lookup(&self, collection: &str, pattern: &LinearPath, kind: ValueKind) -> Option<CandId> {
+    pub fn lookup(
+        &self,
+        collection: &str,
+        pattern: &LinearPath,
+        kind: ValueKind,
+    ) -> Option<CandId> {
         self.by_key
             .get(&(collection.to_string(), pattern.to_string(), kind))
             .copied()
@@ -337,15 +338,35 @@ mod tests {
     #[test]
     fn insert_dedups_by_key() {
         let mut set = CandidateSet::new();
-        let a = set.insert("SDOC", lp("/Security/Symbol"), ValueKind::Str, CandOrigin::Basic);
-        let b = set.insert("SDOC", lp("/Security/Symbol"), ValueKind::Str, CandOrigin::Generalized);
+        let a = set.insert(
+            "SDOC",
+            lp("/Security/Symbol"),
+            ValueKind::Str,
+            CandOrigin::Basic,
+        );
+        let b = set.insert(
+            "SDOC",
+            lp("/Security/Symbol"),
+            ValueKind::Str,
+            CandOrigin::Generalized,
+        );
         assert_eq!(a, b);
         assert_eq!(set.len(), 1);
         // Same pattern, different kind → different candidate.
-        let c = set.insert("SDOC", lp("/Security/Symbol"), ValueKind::Num, CandOrigin::Basic);
+        let c = set.insert(
+            "SDOC",
+            lp("/Security/Symbol"),
+            ValueKind::Num,
+            CandOrigin::Basic,
+        );
         assert_ne!(a, c);
         // Same pattern, different collection → different candidate.
-        let d = set.insert("ODOC", lp("/Security/Symbol"), ValueKind::Str, CandOrigin::Basic);
+        let d = set.insert(
+            "ODOC",
+            lp("/Security/Symbol"),
+            ValueKind::Str,
+            CandOrigin::Basic,
+        );
         assert_ne!(a, d);
     }
 

@@ -2,6 +2,7 @@
 //! (paper Section IV).
 
 use crate::candidate::{CandOrigin, CandidateSet};
+use xia_obs::{Counter, Telemetry};
 use xia_optimizer::Optimizer;
 use xia_storage::Database;
 use xia_workloads::Workload;
@@ -13,6 +14,16 @@ use xia_workloads::Workload;
 /// Statistics must be fresh; this refreshes them via
 /// [`Database::runstats_all`] if needed.
 pub fn enumerate_candidates(db: &mut Database, workload: &Workload) -> CandidateSet {
+    enumerate_candidates_traced(db, workload, &Telemetry::off())
+}
+
+/// [`enumerate_candidates`] with per-statement optimizer activity counted
+/// against a telemetry sink.
+pub fn enumerate_candidates_traced(
+    db: &mut Database,
+    workload: &Workload,
+    telemetry: &Telemetry,
+) -> CandidateSet {
     db.runstats_all();
     let mut set = CandidateSet::new();
     for (si, entry) in workload.entries().iter().enumerate() {
@@ -24,7 +35,8 @@ pub fn enumerate_candidates(db: &mut Database, workload: &Workload) -> Candidate
             .stats_cached(&coll_name)
             .expect("runstats_all just refreshed statistics");
         let catalog = db.catalog(&coll_name).expect("collection has a catalog");
-        let optimizer = Optimizer::new(collection, stats, catalog);
+        let mut optimizer = Optimizer::new(collection, stats, catalog);
+        optimizer.set_telemetry(telemetry);
         for cand in optimizer.enumerate_indexes(&entry.statement) {
             let id = set.insert(&cand.collection, cand.pattern, cand.kind, CandOrigin::Basic);
             set.get_mut(id).affected.insert(si);
@@ -37,6 +49,12 @@ pub fn enumerate_candidates(db: &mut Database, workload: &Workload) -> Candidate
 /// statistics (paper Section III: index statistics derived from data
 /// statistics).
 pub fn size_candidates(db: &mut Database, set: &mut CandidateSet) {
+    size_candidates_traced(db, set, &Telemetry::off())
+}
+
+/// [`size_candidates`] with each statistics derivation counted against a
+/// telemetry sink.
+pub fn size_candidates_traced(db: &mut Database, set: &mut CandidateSet, telemetry: &Telemetry) {
     db.runstats_all();
     for id in set.ids().collect::<Vec<_>>() {
         let (coll_name, pattern, kind) = {
@@ -47,6 +65,7 @@ pub fn size_candidates(db: &mut Database, set: &mut CandidateSet) {
             continue;
         };
         let stats = db.stats_cached(&coll_name).expect("stats refreshed above");
+        telemetry.incr(Counter::StatsDerivations);
         let (_, istats) = xia_storage::Catalog::derive_stats(collection, stats, &pattern, kind);
         set.get_mut(id).size = istats.size_bytes;
     }

@@ -245,7 +245,10 @@ mod tests {
 
     #[test]
     fn same_parent_different_leaves() {
-        assert_eq!(gen("/Security/Symbol", "/Security/Yield"), vec!["/Security/*"]);
+        assert_eq!(
+            gen("/Security/Symbol", "/Security/Yield"),
+            vec!["/Security/*"]
+        );
     }
 
     #[test]
@@ -297,7 +300,12 @@ mod tests {
     #[test]
     fn fixpoint_expands_set_and_builds_dag() {
         let mut set = CandidateSet::new();
-        let c1 = set.insert("SDOC", lp("/Security/Symbol"), xia_xpath::ValueKind::Str, CandOrigin::Basic);
+        let c1 = set.insert(
+            "SDOC",
+            lp("/Security/Symbol"),
+            xia_xpath::ValueKind::Str,
+            CandOrigin::Basic,
+        );
         let c2 = set.insert(
             "SDOC",
             lp("/Security/SecInfo/*/Sector"),
@@ -305,7 +313,12 @@ mod tests {
             CandOrigin::Basic,
         );
         // C3 is numerical: must not generalize with C1/C2 (paper Table I).
-        let c3 = set.insert("SDOC", lp("/Security/Yield"), xia_xpath::ValueKind::Num, CandOrigin::Basic);
+        let c3 = set.insert(
+            "SDOC",
+            lp("/Security/Yield"),
+            xia_xpath::ValueKind::Num,
+            CandOrigin::Basic,
+        );
         set.get_mut(c1).affected.insert(0);
         set.get_mut(c2).affected.insert(1);
         set.get_mut(c3).affected.insert(1);
@@ -326,8 +339,18 @@ mod tests {
     #[test]
     fn cross_collection_candidates_do_not_generalize() {
         let mut set = CandidateSet::new();
-        set.insert("SDOC", lp("/Security/Symbol"), xia_xpath::ValueKind::Str, CandOrigin::Basic);
-        set.insert("ODOC", lp("/Order/Symbol"), xia_xpath::ValueKind::Str, CandOrigin::Basic);
+        set.insert(
+            "SDOC",
+            lp("/Security/Symbol"),
+            xia_xpath::ValueKind::Str,
+            CandOrigin::Basic,
+        );
+        set.insert(
+            "ODOC",
+            lp("/Order/Symbol"),
+            xia_xpath::ValueKind::Str,
+            CandOrigin::Basic,
+        );
         let created = generalize_set(&mut set);
         assert!(created.is_empty());
     }
@@ -354,14 +377,7 @@ mod tests {
     fn generalization_expansion_is_bounded() {
         // Mixed-shape candidates must reach a fixpoint without explosion.
         let mut set = CandidateSet::new();
-        for p in [
-            "/s/a/x",
-            "/s/b/x",
-            "/s/a/y",
-            "/s/c/d/x",
-            "/s//y",
-            "/t/a",
-        ] {
+        for p in ["/s/a/x", "/s/b/x", "/s/a/y", "/s/c/d/x", "/s//y", "/t/a"] {
             set.insert("C", lp(p), xia_xpath::ValueKind::Str, CandOrigin::Basic);
         }
         let created = generalize_set(&mut set);

@@ -40,7 +40,9 @@ pub mod session;
 pub use advisor::{Advisor, AdvisorParams, Recommendation, SearchAlgorithm};
 pub use benefit::BenefitEvaluator;
 pub use candidate::{CandId, Candidate, CandidateSet, StmtSet};
-pub use enumerate::enumerate_candidates;
+pub use enumerate::{
+    enumerate_candidates, enumerate_candidates_traced, size_candidates, size_candidates_traced,
+};
+pub use generalize::{generalize_pair, generalize_set};
 pub use report::TuningReport;
 pub use session::TuningSession;
-pub use generalize::{generalize_pair, generalize_set};

@@ -213,11 +213,7 @@ mod tests {
         assert!(text.contains("IXAND"), "{text}");
         // Report building leaves no virtual indexes behind.
         for name in db.collection_names() {
-            assert!(db
-                .catalog(name)
-                .unwrap()
-                .iter()
-                .all(|d| !d.is_virtual()));
+            assert!(db.catalog(name).unwrap().iter().all(|d| !d.is_virtual()));
         }
     }
 

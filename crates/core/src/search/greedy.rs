@@ -12,11 +12,13 @@ use xia_xpath::contain;
 /// Ignores index interaction — the paper shows this wastes budget on
 /// redundant indexes (its Fig. 2 greedy line).
 pub fn greedy(ev: &mut BenefitEvaluator<'_>, candidates: &[CandId], budget: u64) -> Vec<CandId> {
+    let telemetry = ev.telemetry().clone();
     let benefits = standalone_benefits(ev, candidates);
     let order = by_density(ev, &benefits, candidates);
     let mut chosen = Vec::new();
     let mut used = 0u64;
     for id in order {
+        telemetry.incr(xia_obs::Counter::GreedyIterations);
         if benefits[&id] <= 0.0 {
             continue;
         }
@@ -44,6 +46,7 @@ pub fn greedy_heuristics(
     budget: u64,
     beta: f64,
 ) -> Vec<CandId> {
+    let telemetry = ev.telemetry().clone();
     let benefits = standalone_benefits(ev, candidates);
     let order = by_density(ev, &benefits, candidates);
 
@@ -55,6 +58,7 @@ pub fn greedy_heuristics(
     let basics = ev.candidates().basic_ids();
 
     for id in order {
+        telemetry.incr(xia_obs::Counter::GreedyIterations);
         if benefits[&id] <= 0.0 {
             continue;
         }
@@ -71,6 +75,7 @@ pub fn greedy_heuristics(
             // Redundancy bitmap: a general index whose coverage adds no new
             // workload pattern is a pure replication.
             if !covered_basics.is_empty() && covered_basics.iter().all(|b| covered.contains(b)) {
+                telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
                 continue;
             }
             // Heuristic 2: bounded size expansion over the specifics.
@@ -79,6 +84,7 @@ pub fn greedy_heuristics(
                 .map(|&b| ev.candidates().get(b).size)
                 .sum();
             if spec_size > 0 && size as f64 > (1.0 + beta) * spec_size as f64 {
+                telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
                 continue;
             }
             // Heuristic 1: the general index must be at least as good as
@@ -95,6 +101,7 @@ pub fn greedy_heuristics(
             }
             let ib_specifics = ev.benefit(&with_specifics);
             if ib_general < ib_specifics {
+                telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
                 continue;
             }
             if ib_general > chosen_benefit {
@@ -106,6 +113,7 @@ pub fn greedy_heuristics(
         } else {
             // Basic candidate: admit if the whole configuration improves.
             if covered.contains(&id) {
+                telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
                 continue; // its pattern is already served by a chosen index
             }
             let mut with = chosen.clone();
@@ -130,10 +138,7 @@ pub fn greedy_heuristics(
         }
         chosen.retain(|id| in_use.contains(id));
         chosen_benefit = ev.benefit(&chosen);
-        used = chosen
-            .iter()
-            .map(|&id| ev.candidates().get(id).size)
-            .sum();
+        used = chosen.iter().map(|&id| ev.candidates().get(id).size).sum();
         let mut grew = false;
         for &id in &by_density(ev, &benefits, candidates) {
             if chosen.contains(&id) || benefits[&id] <= 0.0 {

@@ -51,7 +51,12 @@ pub(crate) fn by_density(
         let db = density(ev, benefits, b);
         db.partial_cmp(&da)
             .expect("finite densities")
-            .then_with(|| ev.candidates().get(a).size.cmp(&ev.candidates().get(b).size))
+            .then_with(|| {
+                ev.candidates()
+                    .get(a)
+                    .size
+                    .cmp(&ev.candidates().get(b).size)
+            })
             .then_with(|| a.cmp(&b))
     });
     out
@@ -89,8 +94,7 @@ mod tests {
         let (mut db, w, set) = setup();
         let all: Vec<CandId> = set.ids().collect();
         for frac in [0.1, 0.3, 0.7] {
-            let budget =
-                (set.config_size(&set.basic_ids()) as f64 * frac) as u64;
+            let budget = (set.config_size(&set.basic_ids()) as f64 * frac) as u64;
             let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
             let config = greedy(&mut ev, &all, budget);
             assert!(set.config_size(&config) <= budget);
@@ -176,7 +180,9 @@ mod tests {
         let g = greedy(&mut ev, &all, budget);
         let d = dp_knapsack(&mut ev, &all, budget);
         let value = |cfg: &[CandId]| -> f64 {
-            cfg.iter().map(|id| benefits.get(id).copied().unwrap_or(0.0)).sum()
+            cfg.iter()
+                .map(|id| benefits.get(id).copied().unwrap_or(0.0))
+                .sum()
         };
         // DP is optimal for the independent-benefit knapsack, so it must be
         // at least as good as greedy under that objective.

@@ -68,6 +68,7 @@ pub fn top_down(
         let Some(victim) = pick_replacement(ev, &benefits, &current, full) else {
             break;
         };
+        ev.telemetry().incr(xia_obs::Counter::TopDownExpansions);
         let children: Vec<CandId> = ev
             .candidates()
             .get(victim)

@@ -58,6 +58,12 @@ impl<'db> TuningSession<'db> {
         self.workload.len()
     }
 
+    /// The session's telemetry sink (from its [`AdvisorParams`]); phase
+    /// timers and counters accumulate here across `recommend` calls.
+    pub fn telemetry(&self) -> &xia_obs::Telemetry {
+        &self.params.telemetry
+    }
+
     /// The accumulated workload (compressed: duplicates merged).
     pub fn workload(&self) -> Workload {
         self.workload.compress()
@@ -115,7 +121,9 @@ mod tests {
         let mut db = db();
         let mut session = TuningSession::new(&mut db);
         session
-            .observe(r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "SYM00001" return $s"#)
+            .observe(
+                r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "SYM00001" return $s"#,
+            )
             .unwrap();
         assert_eq!(session.observed(), 1);
         let rec1 = session.recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics);
@@ -193,7 +201,11 @@ mod tests {
         let ddl = rec.ddl();
         assert!(ddl.contains("CREATE INDEX idx_sdoc_1"), "{ddl}");
         assert!(ddl.contains("GENERATE KEY USING XMLPATTERN"), "{ddl}");
-        if rec.indexes.iter().any(|i| i.kind == xia_xpath::ValueKind::Num) {
+        if rec
+            .indexes
+            .iter()
+            .any(|i| i.kind == xia_xpath::ValueKind::Num)
+        {
             assert!(ddl.contains("SQL DOUBLE"));
         }
     }

@@ -1,0 +1,125 @@
+//! Named event counters for the advisor pipeline.
+
+/// Every counted event in the advisor, optimizer, and catalog. Each
+/// variant maps to one atomic slot in a [`crate::Telemetry`] sink; see
+/// `DESIGN.md` for the paper artifact each counter reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Counter {
+    /// Evaluate-mode optimizer invocations (`Optimizer::optimize`) — the
+    /// paper's "number of optimizer calls" axis (Fig. 3).
+    OptimizerEvaluateCalls,
+    /// Enumerate-mode optimizer invocations (`Optimizer::enumerate_indexes`).
+    OptimizerEnumerateCalls,
+    /// Index definitions tested for pattern containment during plan
+    /// matching.
+    IndexMatchingAttempts,
+    /// Selectivity estimations performed while costing index plans.
+    SelectivityEstimates,
+    /// Benefit evaluations answered from the sub-configuration cache.
+    BenefitCacheHits,
+    /// Benefit evaluations that had to call the optimizer.
+    BenefitCacheMisses,
+    /// Top-level `benefit()` requests issued by the searches.
+    BenefitEvaluations,
+    /// Basic candidates produced by enumerate-mode (Table III "basic").
+    CandidatesEnumerated,
+    /// Generalized candidates added by Algorithm 1 (Table III "general").
+    CandidatesGeneralized,
+    /// Candidates admitted into the recommended configuration.
+    CandidatesAdmitted,
+    /// Candidates rejected by the greedy-search heuristics (β size rule,
+    /// benefit gate, redundancy elimination).
+    CandidatesPrunedHeuristic,
+    /// Iterations of the greedy selection loops.
+    GreedyIterations,
+    /// Replacement expansions explored by the top-down searches.
+    TopDownExpansions,
+    /// Virtual (what-if) indexes created in a catalog.
+    VirtualIndexesCreated,
+    /// Virtual indexes dropped from a catalog.
+    VirtualIndexesDropped,
+    /// Statistics derivations for virtual indexes.
+    StatsDerivations,
+    /// Estimated bytes of virtual indexes created (gauge-style sum).
+    EstIndexBytes,
+}
+
+impl Counter {
+    /// All counters, in declaration order.
+    pub const ALL: [Counter; 17] = [
+        Counter::OptimizerEvaluateCalls,
+        Counter::OptimizerEnumerateCalls,
+        Counter::IndexMatchingAttempts,
+        Counter::SelectivityEstimates,
+        Counter::BenefitCacheHits,
+        Counter::BenefitCacheMisses,
+        Counter::BenefitEvaluations,
+        Counter::CandidatesEnumerated,
+        Counter::CandidatesGeneralized,
+        Counter::CandidatesAdmitted,
+        Counter::CandidatesPrunedHeuristic,
+        Counter::GreedyIterations,
+        Counter::TopDownExpansions,
+        Counter::VirtualIndexesCreated,
+        Counter::VirtualIndexesDropped,
+        Counter::StatsDerivations,
+        Counter::EstIndexBytes,
+    ];
+
+    /// Number of counters.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in reports and CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::OptimizerEvaluateCalls => "optimizer_evaluate_calls",
+            Counter::OptimizerEnumerateCalls => "optimizer_enumerate_calls",
+            Counter::IndexMatchingAttempts => "index_matching_attempts",
+            Counter::SelectivityEstimates => "selectivity_estimates",
+            Counter::BenefitCacheHits => "benefit_cache_hits",
+            Counter::BenefitCacheMisses => "benefit_cache_misses",
+            Counter::BenefitEvaluations => "benefit_evaluations",
+            Counter::CandidatesEnumerated => "candidates_enumerated",
+            Counter::CandidatesGeneralized => "candidates_generalized",
+            Counter::CandidatesAdmitted => "candidates_admitted",
+            Counter::CandidatesPrunedHeuristic => "candidates_pruned_heuristic",
+            Counter::GreedyIterations => "greedy_iterations",
+            Counter::TopDownExpansions => "topdown_expansions",
+            Counter::VirtualIndexesCreated => "virtual_indexes_created",
+            Counter::VirtualIndexesDropped => "virtual_indexes_dropped",
+            Counter::StatsDerivations => "stats_derivations",
+            Counter::EstIndexBytes => "est_index_bytes",
+        }
+    }
+
+    /// Slot index in the atomic counter array (the declaration-order
+    /// discriminant; `ALL` is declared in the same order).
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_snake_case() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Counter::ALL {
+            let n = c.name();
+            assert!(seen.insert(n), "duplicate name {n}");
+            assert!(n
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch == '_' || ch.is_ascii_digit()));
+        }
+    }
+}

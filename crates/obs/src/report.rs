@@ -1,0 +1,293 @@
+//! Structured trace reports: counters + phase tree + per-statement costs,
+//! serializable to JSON and pretty text.
+
+use crate::json::Json;
+use crate::span::SpanSnapshot;
+use std::fmt::Write as _;
+
+/// Before/after estimated cost of one workload statement under a
+/// recommended configuration (the `explain` subcommand's what-if rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatementTrace {
+    /// Statement text (first line / truncated form is fine).
+    pub statement: String,
+    /// Estimated cost with no candidate indexes.
+    pub base_cost: f64,
+    /// Estimated cost under the recommended configuration.
+    pub new_cost: f64,
+}
+
+/// A complete trace snapshot of one advisor run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Every counter with its value, in declaration order.
+    pub counters: Vec<(String, u64)>,
+    /// Phase-timing tree roots.
+    pub phases: Vec<SpanSnapshot>,
+    /// Optional per-statement what-if costs.
+    pub statements: Vec<StatementTrace>,
+}
+
+impl TraceReport {
+    /// Adds a per-statement what-if cost row.
+    pub fn push_statement(&mut self, statement: impl Into<String>, base_cost: f64, new_cost: f64) {
+        self.statements.push(StatementTrace {
+            statement: statement.into(),
+            base_cost,
+            new_cost,
+        });
+    }
+
+    /// Value of a counter by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "phases".to_string(),
+                Json::Arr(self.phases.iter().map(span_to_json).collect()),
+            ),
+            (
+                "statements".to_string(),
+                Json::Arr(
+                    self.statements
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("statement".to_string(), Json::Str(s.statement.clone())),
+                                ("base_cost".to_string(), Json::Num(s.base_cost)),
+                                ("new_cost".to_string(), Json::Num(s.new_cost)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report back from its JSON rendering (used by tests and
+    /// external tooling).
+    pub fn from_json(text: &str) -> Result<TraceReport, String> {
+        let v = Json::parse(text)?;
+        let counters = match v.get("counters") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_num()
+                        .map(|n| (k.clone(), n as u64))
+                        .ok_or_else(|| format!("counter `{k}` is not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing `counters` object".to_string()),
+        };
+        let phases = match v.get("phases") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(span_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing `phases` array".to_string()),
+        };
+        let statements = match v.get("statements") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|s| {
+                    Ok(StatementTrace {
+                        statement: s
+                            .get("statement")
+                            .and_then(Json::as_str)
+                            .ok_or("statement text missing")?
+                            .to_string(),
+                        base_cost: s
+                            .get("base_cost")
+                            .and_then(Json::as_num)
+                            .ok_or("base_cost missing")?,
+                        new_cost: s
+                            .get("new_cost")
+                            .and_then(Json::as_num)
+                            .ok_or("new_cost missing")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("missing `statements` array".to_string()),
+        };
+        Ok(TraceReport {
+            counters,
+            phases,
+            statements,
+        })
+    }
+
+    /// Human-readable rendering: phase tree, then non-zero counters, then
+    /// statement costs.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phases:\n");
+        if self.phases.is_empty() {
+            out.push_str("  (none recorded)\n");
+        }
+        for root in &self.phases {
+            render_span(root, 1, &mut out);
+        }
+        out.push_str("counters:\n");
+        let width = self
+            .counters
+            .iter()
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &self.counters {
+            if *value > 0 {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        if !self.statements.is_empty() {
+            out.push_str("statement what-if costs:\n");
+            for s in &self.statements {
+                let pct = if s.base_cost > 0.0 {
+                    100.0 * (s.base_cost - s.new_cost) / s.base_cost
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:>12.1} -> {:>12.1}  ({pct:>5.1}% off)  {}",
+                    s.base_cost, s.new_cost, s.statement
+                );
+            }
+        }
+        out
+    }
+}
+
+fn span_to_json(s: &SpanSnapshot) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(s.name.clone())),
+        ("micros".to_string(), Json::Num(s.micros as f64)),
+        ("calls".to_string(), Json::Num(s.calls as f64)),
+        (
+            "children".to_string(),
+            Json::Arr(s.children.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+fn span_from_json(v: &Json) -> Result<SpanSnapshot, String> {
+    Ok(SpanSnapshot {
+        name: v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("span name missing")?
+            .to_string(),
+        micros: v
+            .get("micros")
+            .and_then(Json::as_num)
+            .ok_or("span micros missing")? as u64,
+        calls: v
+            .get("calls")
+            .and_then(Json::as_num)
+            .ok_or("span calls missing")? as u64,
+        children: match v.get("children") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(span_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        },
+    })
+}
+
+fn render_span(s: &SpanSnapshot, depth: usize, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "{:indent$}{:<24} {:>10.3} ms  ({} call{})",
+        "",
+        s.name,
+        s.micros as f64 / 1_000.0,
+        s.calls,
+        if s.calls == 1 { "" } else { "s" },
+        indent = depth * 2
+    );
+    for c in &s.children {
+        render_span(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counter, Telemetry};
+
+    fn sample() -> TraceReport {
+        let t = Telemetry::new();
+        t.add(Counter::OptimizerEvaluateCalls, 42);
+        t.add(Counter::BenefitCacheHits, 7);
+        {
+            let _a = t.span("advise");
+            let _b = t.span("search");
+            let _c = t.span("evaluate");
+        }
+        let mut report = t.report();
+        report.push_statement("for $s in SECURITY('SDOC')/Security \"q\"", 120.5, 10.25);
+        report
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let report = sample();
+        let back = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn json_contains_counters_and_nested_phases() {
+        let report = sample();
+        let v = Json::parse(&report.to_json()).unwrap();
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            counters.get("optimizer_evaluate_calls").unwrap().as_num(),
+            Some(42.0)
+        );
+        let phases = v.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases[0].get("name").unwrap().as_str(), Some("advise"));
+        let search = &phases[0].get("children").unwrap().as_arr().unwrap()[0];
+        assert_eq!(search.get("name").unwrap().as_str(), Some("search"));
+    }
+
+    #[test]
+    fn text_rendering_mentions_phases_and_counters() {
+        let text = sample().to_text();
+        assert!(text.contains("advise"));
+        assert!(text.contains("evaluate"));
+        assert!(text.contains("optimizer_evaluate_calls"));
+        assert!(text.contains("42"));
+        // Zero counters are suppressed in text form.
+        assert!(!text.contains("topdown_expansions"));
+        assert!(text.contains("what-if"));
+    }
+
+    #[test]
+    fn counter_lookup_by_name() {
+        let report = sample();
+        assert_eq!(report.counter("benefit_cache_hits"), Some(7));
+        assert_eq!(report.counter("nope"), None);
+    }
+}

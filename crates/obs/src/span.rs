@@ -1,0 +1,109 @@
+//! Nested phase-timing tree.
+//!
+//! Spans are merged by name under their parent: entering `"evaluate"`
+//! 10 000 times inside `"search"` yields one tree node with
+//! `calls == 10_000`, keeping memory bounded for hot loops.
+
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct SpanNode {
+    name: &'static str,
+    nanos: u128,
+    calls: u64,
+    children: Vec<usize>,
+}
+
+/// The mutable span tree behind a telemetry sink. One instance per sink,
+/// guarded by a mutex; spans are expected to open/close on one thread at
+/// a time (the advisor is single-threaded per recommendation).
+#[derive(Debug, Default)]
+pub(crate) struct SpanStore {
+    nodes: Vec<SpanNode>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+impl SpanStore {
+    /// Opens a span named `name` under the currently open span (or as a
+    /// root), merging with an existing same-named sibling.
+    pub(crate) fn enter(&mut self, name: &'static str) {
+        let siblings = match self.stack.last() {
+            Some(&parent) => &self.nodes[parent].children,
+            None => &self.roots,
+        };
+        let existing = siblings
+            .iter()
+            .copied()
+            .find(|&i| self.nodes[i].name == name);
+        let idx = match existing {
+            Some(i) => i,
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(SpanNode {
+                    name,
+                    nanos: 0,
+                    calls: 0,
+                    children: Vec::new(),
+                });
+                match self.stack.last() {
+                    Some(&parent) => self.nodes[parent].children.push(idx),
+                    None => self.roots.push(idx),
+                }
+                idx
+            }
+        };
+        self.stack.push(idx);
+    }
+
+    /// Closes the innermost open span, accruing `elapsed` to it.
+    pub(crate) fn exit(&mut self, elapsed: Duration) {
+        if let Some(idx) = self.stack.pop() {
+            let node = &mut self.nodes[idx];
+            node.nanos += elapsed.as_nanos();
+            node.calls += 1;
+        }
+    }
+
+    /// Drops all recorded spans (including any still open).
+    pub(crate) fn clear(&mut self) {
+        self.nodes.clear();
+        self.roots.clear();
+        self.stack.clear();
+    }
+
+    /// Immutable snapshot of the tree roots.
+    pub(crate) fn snapshot(&self) -> Vec<SpanSnapshot> {
+        self.roots.iter().map(|&i| self.snap(i)).collect()
+    }
+
+    fn snap(&self, idx: usize) -> SpanSnapshot {
+        let node = &self.nodes[idx];
+        SpanSnapshot {
+            name: node.name.to_string(),
+            micros: (node.nanos / 1_000) as u64,
+            calls: node.calls,
+            children: node.children.iter().map(|&c| self.snap(c)).collect(),
+        }
+    }
+}
+
+/// One node of a phase-timing snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Phase name.
+    pub name: String,
+    /// Total time accrued across all calls, in microseconds.
+    pub micros: u64,
+    /// Number of times the phase was entered.
+    pub calls: u64,
+    /// Nested phases, in first-entered order.
+    pub children: Vec<SpanSnapshot>,
+}
+
+impl SpanSnapshot {
+    /// Finds a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.children.iter().find(|c| c.name == name)
+    }
+}

@@ -64,7 +64,8 @@ impl CostModel {
     /// entries off the leaves.
     pub fn probe_cost(&self, levels: u32, postings: f64, entry_bytes: f64) -> f64 {
         let leaf_bytes = postings * entry_bytes;
-        levels as f64 * self.io_page + pages(leaf_bytes).min(postings.max(1.0)) * self.io_page * 0.2
+        levels as f64 * self.io_page
+            + pages(leaf_bytes).min(postings.max(1.0)) * self.io_page * 0.2
             + postings * self.cpu_entry
     }
 

@@ -113,7 +113,11 @@ fn compile_patterns(nq: &NormalizedQuery, collection: &Collection) -> CompiledQu
         .matching_path_ids(vocab)
         .into_iter()
         .collect();
-    let patterns = nq.patterns.iter().map(|ap| compile_one(ap, vocab)).collect();
+    let patterns = nq
+        .patterns
+        .iter()
+        .map(|ap| compile_one(ap, vocab))
+        .collect();
     let groups = nq
         .or_groups
         .iter()
@@ -181,7 +185,9 @@ pub fn execute_normalized(
                         catalog,
                         &mut result,
                     )?,
-                    crate::plan::PlanStep::Union { group, branches, .. } => {
+                    crate::plan::PlanStep::Union {
+                        group, branches, ..
+                    } => {
                         let mut union: HashSet<DocId> = HashSet::new();
                         for u in branches {
                             let docs = probe_docs(
@@ -205,7 +211,9 @@ pub fn execute_normalized(
             let mut docs: Vec<DocId> = candidate_docs.unwrap_or_default().into_iter().collect();
             docs.sort_unstable();
             for id in docs {
-                let Some(doc) = collection.doc(id) else { continue };
+                let Some(doc) = collection.doc(id) else {
+                    continue;
+                };
                 result.nodes_visited += doc.len() as u64;
                 if doc_matches_all(doc, &cq) {
                     result.docs_matched += 1;
@@ -227,7 +235,9 @@ fn probe_docs(
     catalog: &Catalog,
     result: &mut ExecResult,
 ) -> Result<HashSet<DocId>, ExecError> {
-    let def = catalog.get(u.index).ok_or(ExecError::UnknownIndex(u.index))?;
+    let def = catalog
+        .get(u.index)
+        .ok_or(ExecError::UnknownIndex(u.index))?;
     let physical = def
         .physical
         .as_ref()
@@ -366,7 +376,11 @@ fn write_subtree(
             let _ = write!(out, "/>");
         }
         (Some(v), true) => {
-            let _ = write!(out, ">{}</{name}>", xia_xml::writer::escape(v.as_str(), false));
+            let _ = write!(
+                out,
+                ">{}</{name}>",
+                xia_xml::writer::escape(v.as_str(), false)
+            );
         }
         (_, false) => {
             let _ = write!(out, ">");
@@ -391,7 +405,11 @@ pub fn apply_insert(
 }
 
 fn maintain_insert(id: DocId, collection: &Collection, catalog: &mut Catalog) {
-    let ids: Vec<_> = catalog.iter().filter(|d| !d.is_virtual()).map(|d| d.id).collect();
+    let ids: Vec<_> = catalog
+        .iter()
+        .filter(|d| !d.is_virtual())
+        .map(|d| d.id)
+        .collect();
     for ix in ids {
         if let (Some(p), Some(doc)) = (catalog.physical_mut(ix), collection.doc(id)) {
             p.insert_doc(id, doc, collection.vocab());
@@ -415,7 +433,11 @@ pub fn apply_delete(
         .collect();
     for &id in &victims {
         collection.delete(id);
-        let ids: Vec<_> = catalog.iter().filter(|d| !d.is_virtual()).map(|d| d.id).collect();
+        let ids: Vec<_> = catalog
+            .iter()
+            .filter(|d| !d.is_virtual())
+            .map(|d| d.id)
+            .collect();
         for ix in ids {
             if let Some(p) = catalog.physical_mut(ix) {
                 p.remove_doc(id);
@@ -453,7 +475,11 @@ pub fn apply_update(
     let mut updated = 0u64;
     for &id in &victims {
         // Re-index via remove + reinsert (values changed).
-        let ixs: Vec<_> = catalog.iter().filter(|d| !d.is_virtual()).map(|d| d.id).collect();
+        let ixs: Vec<_> = catalog
+            .iter()
+            .filter(|d| !d.is_virtual())
+            .map(|d| d.id)
+            .collect();
         for ix in &ixs {
             if let Some(p) = catalog.physical_mut(*ix) {
                 p.remove_doc(id);
@@ -513,7 +539,11 @@ mod tests {
         let c = setup();
         let s = runstats(&c);
         let mut cat = Catalog::new();
-        cat.create_physical(&c, &parse_linear_path("/Security/Symbol").unwrap(), ValueKind::Str);
+        cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            ValueKind::Str,
+        );
         let opt = Optimizer::new(&c, &s, &cat);
         let stmt = q(r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "S42" return $s"#);
         let plan = opt.optimize(&stmt);
@@ -535,7 +565,11 @@ mod tests {
         let c = setup();
         let s = runstats(&c);
         let mut cat = Catalog::new();
-        cat.create_physical(&c, &parse_linear_path("/Security/Yield").unwrap(), ValueKind::Num);
+        cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Yield").unwrap(),
+            ValueKind::Num,
+        );
         cat.create_physical(
             &c,
             &parse_linear_path("/Security/SecInfo/*/Sector").unwrap(),
@@ -574,7 +608,11 @@ mod tests {
         let c = setup();
         let s = runstats(&c);
         let mut cat = Catalog::new();
-        cat.create_physical(&c, &parse_linear_path("/Security/Yield").unwrap(), ValueKind::Num);
+        cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Yield").unwrap(),
+            ValueKind::Num,
+        );
         let opt = Optimizer::new(&c, &s, &cat);
         let stmt = q(r#"for $s in SECURITY('SDOC')/Security[Yield > 7.5] return $s"#);
         let plan = opt.optimize(&stmt);
@@ -588,7 +626,11 @@ mod tests {
         let c = setup();
         let s = runstats(&c);
         let mut cat = Catalog::new();
-        cat.create_physical(&c, &parse_linear_path("/Security//*").unwrap(), ValueKind::Str);
+        cat.create_physical(
+            &c,
+            &parse_linear_path("/Security//*").unwrap(),
+            ValueKind::Str,
+        );
         let opt = Optimizer::new(&c, &s, &cat);
         let stmt = q(r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "S7" return $s"#);
         let plan = opt.optimize(&stmt);
@@ -601,9 +643,18 @@ mod tests {
     fn apply_insert_maintains_indexes() {
         let mut c = setup();
         let mut cat = Catalog::new();
-        let ix = cat.create_physical(&c, &parse_linear_path("/Security/Symbol").unwrap(), ValueKind::Str);
+        let ix = cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            ValueKind::Str,
+        );
         let before = cat.get(ix).unwrap().physical.as_ref().unwrap().entries();
-        apply_insert("<Security><Symbol>NEW</Symbol></Security>", &mut c, &mut cat).unwrap();
+        apply_insert(
+            "<Security><Symbol>NEW</Symbol></Security>",
+            &mut c,
+            &mut cat,
+        )
+        .unwrap();
         let after = cat.get(ix).unwrap().physical.as_ref().unwrap().entries();
         assert_eq!(after, before + 1);
     }
@@ -612,7 +663,11 @@ mod tests {
     fn apply_delete_removes_docs_and_entries() {
         let mut c = setup();
         let mut cat = Catalog::new();
-        let ix = cat.create_physical(&c, &parse_linear_path("/Security/Symbol").unwrap(), ValueKind::Str);
+        let ix = cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            ValueKind::Str,
+        );
         let del = q(r#"delete from SDOC where /Security[Symbol = "S42"]"#);
         let victims = apply_delete(&del, &mut c, &mut cat).unwrap();
         assert_eq!(victims.len(), 1);
@@ -625,7 +680,11 @@ mod tests {
     fn apply_update_rewrites_values_and_reindexes() {
         let mut c = setup();
         let mut cat = Catalog::new();
-        let ix = cat.create_physical(&c, &parse_linear_path("/Security/Yield").unwrap(), ValueKind::Num);
+        let ix = cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Yield").unwrap(),
+            ValueKind::Num,
+        );
         let upd = q(r#"update SDOC set /Security/Yield = 99 where /Security[Symbol = "S42"]"#);
         let updated = apply_update(&upd, &mut c, &mut cat).unwrap();
         assert_eq!(updated, 1);
@@ -638,16 +697,19 @@ mod tests {
         let c = setup();
         let s = runstats(&c);
         let mut cat = Catalog::new();
-        cat.create_physical(&c, &parse_linear_path("/Security/Symbol").unwrap(), ValueKind::Str);
+        cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Symbol").unwrap(),
+            ValueKind::Str,
+        );
         let opt = Optimizer::new(&c, &s, &cat);
         // Projected return path.
-        let stmt = q(
-            r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "S42" return $s/Yield"#,
-        );
+        let stmt =
+            q(r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "S42" return $s/Yield"#);
         let plan = opt.optimize(&stmt);
         let items = execute_query_items(&stmt, &plan, &c, &cat).unwrap();
         assert_eq!(items, vec!["<Yield>2</Yield>".to_string()]); // 42 % 10 = 2
-        // Whole-document return.
+                                                                 // Whole-document return.
         let stmt = q(r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "S42" return $s"#);
         let plan = opt.optimize(&stmt);
         let items = execute_query_items(&stmt, &plan, &c, &cat).unwrap();
@@ -662,11 +724,9 @@ mod tests {
         let s = runstats(&c);
         let cat = Catalog::new();
         let opt = Optimizer::new(&c, &s, &cat);
-        let stmt = q(
-            r#"for $s in SECURITY('SDOC')/Security
+        let stmt = q(r#"for $s in SECURITY('SDOC')/Security
                where $s/Symbol = "S7"
-               return <Out>{$s/Symbol, $s/Yield}</Out>"#,
-        );
+               return <Out>{$s/Symbol, $s/Yield}</Out>"#);
         let plan = opt.optimize(&stmt);
         let items = execute_query_items(&stmt, &plan, &c, &cat).unwrap();
         assert_eq!(items.len(), 2);
@@ -726,18 +786,20 @@ mod tests {
         }
         let s = runstats(&c);
         let mut cat = Catalog::new();
-        cat.create_physical(&c, &parse_linear_path("/Security/Yield").unwrap(), ValueKind::Num);
+        cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Yield").unwrap(),
+            ValueKind::Num,
+        );
         cat.create_physical(
             &c,
             &parse_linear_path("/Security/Callable").unwrap(),
             ValueKind::Str,
         );
         let opt = Optimizer::new(&c, &s, &cat);
-        let stmt = q(
-            r#"for $s in SECURITY('SDOC')/Security
+        let stmt = q(r#"for $s in SECURITY('SDOC')/Security
                where $s/Yield = 3 and $s/Callable
-               return $s/Symbol"#,
-        );
+               return $s/Symbol"#);
         let plan = opt.optimize(&stmt);
         let res = execute_query(&stmt, &plan, &c, &cat).unwrap();
         // i % 10 == 3 and i % 3 == 0 → i ≡ 3 (mod 30) → 10 docs.
@@ -757,8 +819,16 @@ mod tests {
         }
         let s = runstats(&c);
         let mut cat = Catalog::new();
-        cat.create_physical(&c, &parse_linear_path("/Security/Sector").unwrap(), ValueKind::Str);
-        cat.create_physical(&c, &parse_linear_path("/Security/Rating").unwrap(), ValueKind::Str);
+        cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Sector").unwrap(),
+            ValueKind::Str,
+        );
+        cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Rating").unwrap(),
+            ValueKind::Str,
+        );
         let opt = Optimizer::new(&c, &s, &cat);
         let stmt = q(
             r#"for $s in SECURITY('SDOC')/Security[Sector = "Sec0" or Rating = "R0"]
@@ -775,7 +845,10 @@ mod tests {
             access: AccessChoice::Scan,
             ..plan
         };
-        assert_eq!(execute_query(&stmt, &scan, &c, &cat).unwrap().docs_matched, 40);
+        assert_eq!(
+            execute_query(&stmt, &scan, &c, &cat).unwrap().docs_matched,
+            40
+        );
     }
 
     #[test]
@@ -791,7 +864,11 @@ mod tests {
         let mut cat = Catalog::new();
         // Only the Sector branch has an index; the group must be evaluated
         // residually (no partial index-ORing).
-        cat.create_physical(&c, &parse_linear_path("/Security/Sector").unwrap(), ValueKind::Str);
+        cat.create_physical(
+            &c,
+            &parse_linear_path("/Security/Sector").unwrap(),
+            ValueKind::Str,
+        );
         let opt = Optimizer::new(&c, &s, &cat);
         let stmt = q(
             r#"for $s in SECURITY('SDOC')/Security[Sector = "Energy" or Yield > 8]
@@ -809,7 +886,10 @@ mod tests {
         let mut c = Collection::new("SDOC");
         for i in 0..200u32 {
             c.build_doc("Security", |b| {
-                b.leaf("Sector", ["Energy", "Tech", "Retail", "Util"][(i % 4) as usize]);
+                b.leaf(
+                    "Sector",
+                    ["Energy", "Tech", "Retail", "Util"][(i % 4) as usize],
+                );
                 b.leaf("Yield", (i % 10) as f64);
             });
         }

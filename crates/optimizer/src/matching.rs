@@ -54,6 +54,25 @@ pub fn matching_indexes<'c>(catalog: &'c Catalog, ap: &AccessPattern) -> Vec<&'c
     catalog.iter().filter(|d| index_matches(d, ap)).collect()
 }
 
+/// [`matching_indexes`] with each containment test counted against a
+/// telemetry sink (one attempt per live index definition probed).
+pub fn matching_indexes_traced<'c>(
+    catalog: &'c Catalog,
+    ap: &AccessPattern,
+    telemetry: &xia_obs::Telemetry,
+) -> Vec<&'c IndexDef> {
+    let mut attempts = 0u64;
+    let out = catalog
+        .iter()
+        .filter(|d| {
+            attempts += 1;
+            index_matches(d, ap)
+        })
+        .collect();
+    telemetry.add(xia_obs::Counter::IndexMatchingAttempts, attempts);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

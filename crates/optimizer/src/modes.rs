@@ -5,6 +5,7 @@ use crate::matching::{self, CandidatePattern};
 use crate::plan::{AccessChoice, IndexUse, Plan, PlanStep};
 use crate::selectivity::PatternStats;
 use std::cell::Cell;
+use xia_obs::{Counter, Telemetry};
 use xia_storage::{Catalog, Collection, CollectionStats};
 use xia_xpath::{normalize_statement, NormalizedQuery, Statement, ValueKind};
 
@@ -16,6 +17,9 @@ pub struct Optimizer<'a> {
     catalog: &'a Catalog,
     cost_model: CostModel,
     evaluate_calls: Cell<u64>,
+    /// Telemetry sink for mode entry points, index-matching attempts, and
+    /// selectivity estimates (off unless attached).
+    telemetry: Telemetry,
 }
 
 impl<'a> Optimizer<'a> {
@@ -41,7 +45,13 @@ impl<'a> Optimizer<'a> {
             catalog,
             cost_model,
             evaluate_calls: Cell::new(0),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry sink; subsequent mode calls count against it.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     /// The cost model in use.
@@ -68,6 +78,7 @@ impl<'a> Optimizer<'a> {
     /// patterns of the normalized statement) and carry the key type implied
     /// by the compared literal.
     pub fn enumerate_indexes(&self, stmt: &Statement) -> Vec<CandidatePattern> {
+        self.telemetry.incr(Counter::OptimizerEnumerateCalls);
         let Some(nq) = normalize_statement(stmt) else {
             return Vec::new(); // inserts read nothing
         };
@@ -99,6 +110,7 @@ impl<'a> Optimizer<'a> {
     /// these calls.
     pub fn optimize(&self, stmt: &Statement) -> Plan {
         self.evaluate_calls.set(self.evaluate_calls.get() + 1);
+        self.telemetry.incr(Counter::OptimizerEvaluateCalls);
         match normalize_statement(stmt) {
             Some(nq) => self.plan_normalized(&nq),
             None => self.plan_insert(stmt),
@@ -113,6 +125,7 @@ impl<'a> Optimizer<'a> {
         let pred_count = nq.patterns.len() + nq.or_groups.len();
 
         // --- Scan alternative -------------------------------------------
+        self.telemetry.incr(Counter::SelectivityEstimates);
         let root_stats = PatternStats::collect(&nq.root, self.collection, self.stats);
         let root_docs = root_stats.docs_upper as f64;
         let est_docs_scan = self.estimate_result_docs(nq, root_docs);
@@ -142,8 +155,10 @@ impl<'a> Optimizer<'a> {
                 .map(|(bi, ap)| self.best_index_use(bi, ap))
                 .collect();
             if branches.iter().all(|b| b.is_some()) && !group.is_empty() {
-                let branches: Vec<IndexUse> =
-                    branches.into_iter().map(|b| b.expect("checked all some")).collect();
+                let branches: Vec<IndexUse> = branches
+                    .into_iter()
+                    .map(|b| b.expect("checked all some"))
+                    .collect();
                 let est_docs = if root_docs == 0.0 {
                     0.0
                 } else {
@@ -200,9 +215,13 @@ impl<'a> Optimizer<'a> {
     }
 
     /// The cheapest matching index probe for one access pattern, if any.
-    fn best_index_use(&self, pattern_idx: usize, ap: &xia_xpath::AccessPattern) -> Option<IndexUse> {
+    fn best_index_use(
+        &self,
+        pattern_idx: usize,
+        ap: &xia_xpath::AccessPattern,
+    ) -> Option<IndexUse> {
         let mut best: Option<IndexUse> = None;
-        for def in matching::matching_indexes(self.catalog, ap) {
+        for def in matching::matching_indexes_traced(self.catalog, ap, &self.telemetry) {
             let use_ = self.cost_index_use(pattern_idx, ap, def);
             let better = match &best {
                 None => true,
@@ -225,6 +244,7 @@ impl<'a> Optimizer<'a> {
         def: &xia_storage::IndexDef,
     ) -> IndexUse {
         let cm = &self.cost_model;
+        self.telemetry.incr(Counter::SelectivityEstimates);
         let pat_stats = PatternStats::collect(&ap.linear, self.collection, self.stats);
         let (est_docs, est_postings) = match &ap.pred {
             // Existence: answered from the index's per-path document lists
@@ -332,6 +352,7 @@ impl<'a> Optimizer<'a> {
 
     /// Estimated documents satisfying one access pattern.
     fn pattern_docs(&self, ap: &xia_xpath::AccessPattern) -> f64 {
+        self.telemetry.incr(Counter::SelectivityEstimates);
         let ps = PatternStats::collect(&ap.linear, self.collection, self.stats);
         match &ap.pred {
             xia_xpath::PatternPred::Exists => ps.docs_upper as f64,
@@ -347,8 +368,7 @@ impl<'a> Optimizer<'a> {
         let cm = &self.cost_model;
         let probe: f64 = steps.iter().map(|s| s.probe_cost()).sum();
         let docs_after_indexes = self.combined_docs(steps, root_docs, nq, false);
-        let residual_preds =
-            (nq.patterns.len() + nq.or_groups.len()).saturating_sub(steps.len());
+        let residual_preds = (nq.patterns.len() + nq.or_groups.len()).saturating_sub(steps.len());
         let mut cost = probe
             + cm.fetch_cost(
                 docs_after_indexes,
@@ -388,6 +408,7 @@ impl<'a> Optimizer<'a> {
     pub fn estimate_target_docs(&self, stmt: &Statement) -> f64 {
         match normalize_statement(stmt) {
             Some(nq) => {
+                self.telemetry.incr(Counter::SelectivityEstimates);
                 let root_stats = PatternStats::collect(&nq.root, self.collection, self.stats);
                 self.estimate_result_docs(&nq, root_stats.docs_upper as f64)
             }
@@ -449,7 +470,10 @@ mod tests {
                 b.leaf("Yield", (i % 100) as f64 / 10.0);
                 b.begin("SecInfo");
                 b.begin(if i % 2 == 0 { "StockInfo" } else { "FundInfo" });
-                b.leaf("Sector", ["Energy", "Tech", "Retail", "Util"][(i % 4) as usize]);
+                b.leaf(
+                    "Sector",
+                    ["Energy", "Tech", "Retail", "Util"][(i % 4) as usize],
+                );
                 b.end();
                 b.end();
                 b.leaf("Name", format!("Security {i}").as_str());
@@ -459,10 +483,8 @@ mod tests {
     }
 
     fn q_symbol() -> Statement {
-        parse_statement(
-            r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "S42" return $s"#,
-        )
-        .unwrap()
+        parse_statement(r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "S42" return $s"#)
+            .unwrap()
     }
 
     #[test]
@@ -654,10 +676,7 @@ mod tests {
         let cat = Catalog::new();
         let opt = Optimizer::new(&c, &s, &cat);
         let small = parse_statement("insert into SDOC <a><b>1</b></a>").unwrap();
-        let big_xml = format!(
-            "insert into SDOC <a>{}</a>",
-            "<b>x</b>".repeat(500)
-        );
+        let big_xml = format!("insert into SDOC <a>{}</a>", "<b>x</b>".repeat(500));
         let big = parse_statement(&big_xml).unwrap();
         let cs = opt.optimize(&small).total_cost;
         let cb = opt.optimize(&big).total_cost;
@@ -680,7 +699,7 @@ mod tests {
         let opt = Optimizer::new(&c, &s, &cat);
         let del = parse_statement(r#"delete from SDOC where /Security[Symbol = "S42"]"#).unwrap();
         let docs = opt.estimate_target_docs(&del);
-        assert!(docs >= 0.5 && docs <= 5.0, "docs = {docs}");
+        assert!((0.5..=5.0).contains(&docs), "docs = {docs}");
         let ins = parse_statement("insert into SDOC <a/>").unwrap();
         assert_eq!(opt.estimate_target_docs(&ins), 1.0);
     }

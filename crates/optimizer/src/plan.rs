@@ -120,7 +120,9 @@ impl fmt::Display for Plan {
                     }
                     match step {
                         PlanStep::Probe(u) => write!(f, "ix{}(p{})", u.index.0, u.pattern_idx)?,
-                        PlanStep::Union { group, branches, .. } => {
+                        PlanStep::Union {
+                            group, branches, ..
+                        } => {
                             write!(f, "ixor{}(", group)?;
                             for (j, u) in branches.iter().enumerate() {
                                 if j > 0 {
@@ -151,7 +153,10 @@ pub fn render_plan(plan: &Plan, catalog: &xia_storage::Catalog) -> String {
     match &plan.access {
         AccessChoice::Scan => {
             let _ = writeln!(out, "  RETURN");
-            let _ = writeln!(out, "  └─ TBSCAN (full collection scan, navigational predicates)");
+            let _ = writeln!(
+                out,
+                "  └─ TBSCAN (full collection scan, navigational predicates)"
+            );
         }
         AccessChoice::IndexAnd(steps) => {
             let _ = writeln!(out, "  RETURN");
@@ -160,8 +165,8 @@ pub fn render_plan(plan: &Plan, catalog: &xia_storage::Catalog) -> String {
                 let _ = writeln!(out, "     └─ IXAND (document-set intersection)");
             }
             let indent = if steps.len() > 1 { "        " } else { "     " };
-            let write_use = |u: &IndexUse, indent: &str, out: &mut String| {
-                match catalog.get(u.index) {
+            let write_use =
+                |u: &IndexUse, indent: &str, out: &mut String| match catalog.get(u.index) {
                     Some(def) => {
                         let _ = writeln!(
                             out,
@@ -176,8 +181,7 @@ pub fn render_plan(plan: &Plan, catalog: &xia_storage::Catalog) -> String {
                     None => {
                         let _ = writeln!(out, "{indent}└─ IXSCAN ix{} (dropped)", u.index.0);
                     }
-                }
-            };
+                };
             for step in steps {
                 match step {
                     PlanStep::Probe(u) => write_use(u, indent, &mut out),

@@ -1,6 +1,6 @@
 //! Selectivity estimation for access patterns.
 
-use xia_storage::{CollectionStats, Collection};
+use xia_storage::{Collection, CollectionStats};
 use xia_xml::PathId;
 use xia_xpath::{AccessPattern, CmpOp, LinearPath, Literal, PathMatcher, PatternPred, ValueKind};
 

@@ -10,6 +10,7 @@ use crate::collection::Collection;
 use crate::index::PhysicalIndex;
 use crate::size::{index_levels, index_size_bytes};
 use crate::stats::CollectionStats;
+use xia_obs::{Counter, Telemetry};
 use xia_xml::PathId;
 use xia_xpath::{LinearPath, PathMatcher, ValueKind};
 
@@ -66,15 +67,32 @@ impl IndexDef {
 }
 
 /// The index catalog of one collection.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
     defs: Vec<Option<IndexDef>>,
+    /// Telemetry sink for virtual-index churn (off unless attached).
+    telemetry: Telemetry,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self {
+            defs: Vec::new(),
+            telemetry: Telemetry::off(),
+        }
+    }
 }
 
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry sink; virtual-index creations and drops are
+    /// counted against it.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     /// Derives [`IndexStats`] for a pattern from data statistics — the
@@ -141,6 +159,10 @@ impl Catalog {
         kind: ValueKind,
     ) -> IndexId {
         let (matched_paths, istats) = Self::derive_stats(collection, stats, pattern, kind);
+        self.telemetry.incr(Counter::StatsDerivations);
+        self.telemetry.incr(Counter::VirtualIndexesCreated);
+        self.telemetry
+            .add(Counter::EstIndexBytes, istats.size_bytes);
         self.push(IndexDef {
             id: IndexId(0),
             pattern: pattern.clone(),
@@ -181,6 +203,9 @@ impl Catalog {
     /// Drops an index. Idempotent.
     pub fn drop_index(&mut self, id: IndexId) {
         if let Some(slot) = self.defs.get_mut(id.index()) {
+            if slot.as_ref().is_some_and(|d| d.is_virtual()) {
+                self.telemetry.incr(Counter::VirtualIndexesDropped);
+            }
             *slot = None;
         }
     }
@@ -188,11 +213,14 @@ impl Catalog {
     /// Drops every virtual index (the advisor does this between what-if
     /// evaluations).
     pub fn drop_all_virtual(&mut self) {
+        let mut dropped = 0u64;
         for slot in &mut self.defs {
             if slot.as_ref().is_some_and(|d| d.is_virtual()) {
                 *slot = None;
+                dropped += 1;
             }
         }
+        self.telemetry.add(Counter::VirtualIndexesDropped, dropped);
     }
 
     /// Drops every index, physical and virtual.
@@ -338,6 +366,28 @@ mod tests {
         let sa = cat.get(a).unwrap().stats.size_bytes;
         let sb = cat.get(b).unwrap().stats.size_bytes;
         assert_eq!(total, sa + sb);
+    }
+
+    #[test]
+    fn telemetry_counts_virtual_index_churn() {
+        let (c, s) = setup();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let t = Telemetry::new();
+        let mut cat = Catalog::new();
+        cat.set_telemetry(&t);
+        let v = cat.create_virtual(&c, &s, &p, ValueKind::Str);
+        cat.create_virtual(&c, &s, &p, ValueKind::Num);
+        let ph = cat.create_physical(&c, &p, ValueKind::Str);
+        assert_eq!(t.get(Counter::VirtualIndexesCreated), 2);
+        assert_eq!(t.get(Counter::StatsDerivations), 2);
+        assert_eq!(
+            t.get(Counter::EstIndexBytes),
+            cat.get(v).unwrap().stats.size_bytes + cat.iter().nth(1).unwrap().stats.size_bytes
+        );
+        cat.drop_index(v);
+        cat.drop_index(ph); // physical: not counted
+        cat.drop_all_virtual();
+        assert_eq!(t.get(Counter::VirtualIndexesDropped), 2);
     }
 
     #[test]

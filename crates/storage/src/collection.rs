@@ -191,8 +191,10 @@ mod tests {
     #[test]
     fn shared_vocabulary_across_documents() {
         let mut c = Collection::new("SDOC");
-        c.insert_xml("<Security><Yield>4.5</Yield></Security>").unwrap();
-        c.insert_xml("<Security><Yield>3.2</Yield></Security>").unwrap();
+        c.insert_xml("<Security><Yield>4.5</Yield></Security>")
+            .unwrap();
+        c.insert_xml("<Security><Yield>3.2</Yield></Security>")
+            .unwrap();
         // /Security and /Security/Yield only.
         assert_eq!(c.vocab().paths.len(), 2);
         assert_eq!(c.total_nodes(), 4);

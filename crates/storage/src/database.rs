@@ -126,12 +126,16 @@ impl Database {
             let mapping = e.collection.compact();
             reclaimed += slots_before - mapping.len();
             // Rebuild physical indexes (their postings hold stale doc ids).
-            let defs: Vec<(crate::catalog::IndexId, xia_xpath::LinearPath, xia_xpath::ValueKind)> =
-                e.catalog
-                    .iter()
-                    .filter(|d| !d.is_virtual())
-                    .map(|d| (d.id, d.pattern.clone(), d.kind))
-                    .collect();
+            let defs: Vec<(
+                crate::catalog::IndexId,
+                xia_xpath::LinearPath,
+                xia_xpath::ValueKind,
+            )> = e
+                .catalog
+                .iter()
+                .filter(|d| !d.is_virtual())
+                .map(|d| (d.id, d.pattern.clone(), d.kind))
+                .collect();
             for (id, pattern, kind) in defs {
                 e.catalog.drop_index(id);
                 e.catalog.create_physical(&e.collection, &pattern, kind);
@@ -166,6 +170,15 @@ impl Database {
     pub fn collection_names(&self) -> Vec<&str> {
         self.entries.iter().map(|e| e.collection.name()).collect()
     }
+
+    /// Attaches a telemetry sink to every collection's catalog (see
+    /// [`Catalog::set_telemetry`]). Collections created afterwards start
+    /// with a disabled sink.
+    pub fn set_telemetry(&mut self, telemetry: &xia_obs::Telemetry) {
+        for e in &mut self.entries {
+            e.catalog.set_telemetry(telemetry);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +199,9 @@ mod tests {
     #[test]
     fn stats_are_cached_and_invalidated() {
         let mut db = Database::new();
-        db.create_collection("C").insert_xml("<a><b>1</b></a>").unwrap();
+        db.create_collection("C")
+            .insert_xml("<a><b>1</b></a>")
+            .unwrap();
         let n1 = db.stats("C").unwrap().node_count;
         assert_eq!(n1, 2);
         assert!(db.stats_cached("C").is_some());
@@ -202,7 +217,9 @@ mod tests {
     #[test]
     fn parts_mut_provides_consistent_view() {
         let mut db = Database::new();
-        db.create_collection("C").insert_xml("<a><b>1</b></a>").unwrap();
+        db.create_collection("C")
+            .insert_xml("<a><b>1</b></a>")
+            .unwrap();
         let (coll, catalog, stats) = db.parts_mut("C").unwrap();
         assert_eq!(coll.len(), 1);
         assert_eq!(stats.doc_count, 1);

@@ -220,16 +220,12 @@ impl PhysicalIndex {
     /// Equality lookup.
     pub fn lookup_eq(&self, lit: &Literal) -> Vec<Posting> {
         match (self.kind, lit) {
-            (ValueKind::Str, Literal::Str(s)) => self
-                .str_map
-                .get(s.as_str())
-                .map(|v| v.clone())
-                .unwrap_or_default(),
-            (ValueKind::Num, Literal::Num(n)) => self
-                .num_map
-                .get(&OrdF64(*n))
-                .map(|v| v.clone())
-                .unwrap_or_default(),
+            (ValueKind::Str, Literal::Str(s)) => {
+                self.str_map.get(s.as_str()).cloned().unwrap_or_default()
+            }
+            (ValueKind::Num, Literal::Num(n)) => {
+                self.num_map.get(&OrdF64(*n)).cloned().unwrap_or_default()
+            }
             _ => Vec::new(),
         }
     }

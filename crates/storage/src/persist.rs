@@ -131,8 +131,8 @@ pub fn load_database_from(input: &mut impl BufRead) -> Result<Database, PersistE
             // Consume the trailing newline.
             let mut nl = [0u8; 1];
             input.read_exact(&mut nl)?;
-            let xml = String::from_utf8(buf)
-                .map_err(|_| format_err("document is not valid UTF-8"))?;
+            let xml =
+                String::from_utf8(buf).map_err(|_| format_err("document is not valid UTF-8"))?;
             let Some(coll_name) = &current else {
                 return Err(format_err("DOC before any COLLECTION"));
             };
@@ -196,7 +196,8 @@ mod tests {
             });
         }
         let o = db.create_collection("ODOC");
-        o.insert_xml("<Order><Total>10 &amp; 20</Total></Order>").unwrap();
+        o.insert_xml("<Order><Total>10 &amp; 20</Total></Order>")
+            .unwrap();
         let (coll, cat, _) = db.parts_mut("SDOC").unwrap();
         cat.create_physical(
             coll,

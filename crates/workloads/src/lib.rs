@@ -13,6 +13,7 @@
 //!   the data (paper Section VII-C, Table III and Figs. 4–5).
 //! * [`Workload`] — statements with frequencies, the advisor's input.
 
+pub mod prng;
 pub mod synthetic;
 pub mod tpox;
 pub mod workload;

@@ -1,0 +1,132 @@
+//! Small deterministic PRNG (SplitMix64) for the data generators.
+//!
+//! The build environment has no crates.io access, so the generators use
+//! this internal generator instead of the `rand` crate. SplitMix64 passes
+//! BigCrush for the 64-bit output stream and is more than adequate for
+//! synthesizing benchmark data; the API mirrors the subset of `rand` the
+//! generators use (`seed_from_u64`, `gen_range`, `gen_bool`) so call sites
+//! read the same.
+
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Seeds the generator. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a half-open range. Panics on an empty range,
+    /// matching `rand::Rng::gen_range`.
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Types [`Prng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Draws one uniform sample from `range`.
+    fn sample(rng: &mut Prng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut Prng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is ≤ span/2^64 — irrelevant for data
+                // generation with spans far below 2^32.
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(usize, u32, u64, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut Prng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Prng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_range_is_constant() {
+        let mut rng = Prng::seed_from_u64(9);
+        for _ in 0..20 {
+            assert_eq!(rng.gen_range(4usize..5), 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Prng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_samples_cover_the_range() {
+        let mut rng = Prng::seed_from_u64(13);
+        let samples: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0f64..10.0)).collect();
+        assert!(samples.iter().any(|&v| v < 1.0));
+        assert!(samples.iter().any(|&v| v > 9.0));
+    }
+}

@@ -8,8 +8,7 @@
 //! predicate drawn from the node's actual value (so queries select real
 //! data).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::Prng;
 use xia_storage::Collection;
 use xia_xml::Value;
 
@@ -42,7 +41,7 @@ impl Default for SyntheticConfig {
 /// Returns fewer than `cfg.queries` only if the collection has no valued
 /// nodes.
 pub fn generate_queries(collection: &Collection, cfg: &SyntheticConfig) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Prng::seed_from_u64(cfg.seed);
     let docs: Vec<_> = collection.iter_docs().collect();
     if docs.is_empty() {
         return Vec::new();
@@ -85,12 +84,15 @@ pub fn generate_queries(collection: &Collection, cfg: &SyntheticConfig) -> Vec<S
 
         let pred = render_predicate(&leaf, value, &mut rng, cfg.range_prob);
         let root = steps.join("/");
-        out.push(format!("collection('{}')/{root}[{pred}]", collection.name()));
+        out.push(format!(
+            "collection('{}')/{root}[{pred}]",
+            collection.name()
+        ));
     }
     out
 }
 
-fn render_predicate(leaf: &str, value: &Value, rng: &mut StdRng, range_prob: f64) -> String {
+fn render_predicate(leaf: &str, value: &Value, rng: &mut Prng, range_prob: f64) -> String {
     match value.as_num() {
         Some(n) if rng.gen_bool(range_prob) => {
             if rng.gen_bool(0.5) {

@@ -9,8 +9,7 @@
 //! (`/Security/Symbol`, `/Security/Yield`, `/Security/SecInfo/*/Sector`)
 //! and a query set modeled on the 11 TPoX XQueries.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::Prng;
 use xia_storage::Database;
 
 /// Sector names with their industries (three per sector).
@@ -96,9 +95,22 @@ fn symbol(i: usize) -> String {
 /// navigate.
 fn filler(seed: usize, words: usize) -> String {
     const LEXICON: [&str; 16] = [
-        "settlement", "clearing", "custodian", "tranche", "coupon", "maturity", "counterparty",
-        "collateral", "prospectus", "liquidity", "derivative", "notional", "amortized",
-        "benchmark", "redemption", "covenant",
+        "settlement",
+        "clearing",
+        "custodian",
+        "tranche",
+        "coupon",
+        "maturity",
+        "counterparty",
+        "collateral",
+        "prospectus",
+        "liquidity",
+        "derivative",
+        "notional",
+        "amortized",
+        "benchmark",
+        "redemption",
+        "covenant",
     ];
     let mut out = String::with_capacity(words * 11);
     for k in 0..words {
@@ -112,7 +124,7 @@ fn filler(seed: usize, words: usize) -> String {
 
 /// Generates the three TPoX collections into `db` and refreshes statistics.
 pub fn generate(db: &mut Database, cfg: &TpoxConfig) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Prng::seed_from_u64(cfg.seed);
 
     let sdoc = db.create_collection(SECURITY_COLL);
     for i in 0..cfg.securities {
@@ -177,7 +189,15 @@ pub fn generate(db: &mut Database, cfg: &TpoxConfig) {
             b.leaf("OrderType", if buy { "buy" } else { "sell" });
             b.leaf("Quantity", qty as f64);
             b.leaf("LimitPrice", price);
-            b.leaf("Date", format!("2007-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..29)).as_str());
+            b.leaf(
+                "Date",
+                format!(
+                    "2007-{:02}-{:02}",
+                    rng.gen_range(1..13),
+                    rng.gen_range(1..29)
+                )
+                .as_str(),
+            );
             b.begin("Fixml");
             b.leaf("Instrument", filler(i, 90).as_str());
             b.leaf("Parties", filler(i + 5, 90).as_str());
@@ -225,7 +245,7 @@ pub fn generate(db: &mut Database, cfg: &TpoxConfig) {
 /// The 11-query TPoX-like workload. Literals are deterministic in the seed
 /// and chosen to hit existing data.
 pub fn queries(cfg: &TpoxConfig) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51ec);
+    let mut rng = Prng::seed_from_u64(cfg.seed ^ 0x51ec);
     let sym = symbol(rng.gen_range(0..cfg.securities.max(1)));
     let sym2 = symbol(rng.gen_range(0..cfg.securities.max(1)));
     let acct = format!("A{:05}", rng.gen_range(0..cfg.customers.max(1) * 2));
@@ -233,9 +253,7 @@ pub fn queries(cfg: &TpoxConfig) -> Vec<String> {
     let order_id = rng.gen_range(0..cfg.orders.max(1));
     vec![
         // Q1 get_security: full security document by symbol.
-        format!(
-            r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "{sym}" return $s"#
-        ),
+        format!(r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "{sym}" return $s"#),
         // Q2 get_security_price.
         format!(
             r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "{sym2}" return $s/Price/LastTrade"#
@@ -258,9 +276,7 @@ pub fn queries(cfg: &TpoxConfig) -> Vec<String> {
         // Q6 get_order by id (attribute predicate).
         format!(r#"for $o in ORDER('ODOC')/Order where $o/id = {order_id} return $o"#),
         // Q7 orders of an account.
-        format!(
-            r#"for $o in ORDER('ODOC')/Order where $o/AccountId = "{acct}" return $o/Symbol"#
-        ),
+        format!(r#"for $o in ORDER('ODOC')/Order where $o/AccountId = "{acct}" return $o/Symbol"#),
         // Q8 large buy orders.
         r#"for $o in ORDER('ODOC')/Order[Quantity >= 9000]
            where $o/OrderType = "buy"
@@ -287,7 +303,7 @@ pub fn queries(cfg: &TpoxConfig) -> Vec<String> {
 /// `order by`, and the SQL/XML surface syntax. Used by the language-surface
 /// tests and available for richer workloads.
 pub fn extended_queries(cfg: &TpoxConfig) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xe47e);
+    let mut rng = Prng::seed_from_u64(cfg.seed ^ 0xe47e);
     let sym = symbol(rng.gen_range(0..cfg.securities.max(1)));
     vec![
         // Existence: dividend-paying securities (optional element).
@@ -326,7 +342,7 @@ pub fn extended_queries(cfg: &TpoxConfig) -> Vec<String> {
 /// An update mix: inserts, a delete, and an update, for maintenance-cost
 /// experiments.
 pub fn update_mix(cfg: &TpoxConfig) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0bad);
+    let mut rng = Prng::seed_from_u64(cfg.seed ^ 0x0bad);
     let i = cfg.securities + 1;
     let (sector, industries) = SECTORS[rng.gen_range(0..SECTORS.len())];
     vec![
@@ -391,8 +407,12 @@ mod tests {
             .iter()
             .map(|(id, _)| c.vocab().path_string(id))
             .collect();
-        assert!(paths.iter().any(|p| p == "/Security/SecInfo/StockInfo/Sector"));
-        assert!(paths.iter().any(|p| p == "/Security/SecInfo/FundInfo/Sector"));
+        assert!(paths
+            .iter()
+            .any(|p| p == "/Security/SecInfo/StockInfo/Sector"));
+        assert!(paths
+            .iter()
+            .any(|p| p == "/Security/SecInfo/FundInfo/Sector"));
     }
 
     #[test]

@@ -141,7 +141,10 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(w.len(), 2);
-        assert_eq!(w.collections(), vec!["SDOC".to_string(), "ODOC".to_string()]);
+        assert_eq!(
+            w.collections(),
+            vec!["SDOC".to_string(), "ODOC".to_string()]
+        );
     }
 
     #[test]
@@ -160,7 +163,8 @@ mod tests {
     #[test]
     fn frequencies_are_kept() {
         let mut w = Workload::new();
-        w.push_with_freq(r#"collection('C')/a[b = 1]"#, 7.5).unwrap();
+        w.push_with_freq(r#"collection('C')/a[b = 1]"#, 7.5)
+            .unwrap();
         assert_eq!(w.entries()[0].freq, 7.5);
     }
 
@@ -174,9 +178,12 @@ mod tests {
     #[test]
     fn compress_merges_duplicates_preserving_mass() {
         let mut w = Workload::new();
-        w.push_with_freq(r#"collection('C')/a[b = 1]"#, 2.0).unwrap();
-        w.push_with_freq(r#"collection('C')/a[b   =   1]"#, 3.0).unwrap();
-        w.push_with_freq(r#"collection('C')/a[c = 2]"#, 1.0).unwrap();
+        w.push_with_freq(r#"collection('C')/a[b = 1]"#, 2.0)
+            .unwrap();
+        w.push_with_freq(r#"collection('C')/a[b   =   1]"#, 3.0)
+            .unwrap();
+        w.push_with_freq(r#"collection('C')/a[c = 2]"#, 1.0)
+            .unwrap();
         let c = w.compress();
         assert_eq!(c.len(), 2);
         assert_eq!(c.total_freq(), w.total_freq());
@@ -185,11 +192,9 @@ mod tests {
 
     #[test]
     fn compress_of_distinct_workload_is_identity() {
-        let w = Workload::from_texts([
-            r#"collection('C')/a[b = 1]"#,
-            r#"collection('C')/a[c = 2]"#,
-        ])
-        .unwrap();
+        let w =
+            Workload::from_texts([r#"collection('C')/a[b = 1]"#, r#"collection('C')/a[c = 2]"#])
+                .unwrap();
         assert_eq!(w.compress().len(), 2);
     }
 

@@ -6,8 +6,7 @@
 //! XML column), we store the site's entities as separate documents in one
 //! collection: items, persons, and open auctions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::Prng;
 use xia_storage::Database;
 
 /// Regions used for items.
@@ -22,7 +21,14 @@ pub const REGIONS: [&str; 6] = [
 
 /// Item categories.
 pub const CATEGORIES: [&str; 8] = [
-    "art", "books", "coins", "computers", "garden", "music", "sports", "toys",
+    "art",
+    "books",
+    "coins",
+    "computers",
+    "garden",
+    "music",
+    "sports",
+    "toys",
 ];
 
 /// Countries for person addresses.
@@ -44,8 +50,20 @@ pub const EDUCATION: [&str; 4] = ["High School", "College", "Graduate School", "
 /// description paragraphs (the bulk of real XMark documents).
 fn xmark_filler(seed: usize, words: usize) -> String {
     const LEXICON: [&str; 14] = [
-        "gold", "amulet", "vintage", "rare", "mint", "signed", "antique", "original",
-        "limited", "edition", "collectible", "pristine", "handcrafted", "imported",
+        "gold",
+        "amulet",
+        "vintage",
+        "rare",
+        "mint",
+        "signed",
+        "antique",
+        "original",
+        "limited",
+        "edition",
+        "collectible",
+        "pristine",
+        "handcrafted",
+        "imported",
     ];
     let mut out = String::with_capacity(words * 9);
     for k in 0..words {
@@ -98,7 +116,7 @@ impl XmarkConfig {
 
 /// Generates the XMark-like collection into `db` and refreshes statistics.
 pub fn generate(db: &mut Database, cfg: &XmarkConfig) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Prng::seed_from_u64(cfg.seed);
     let coll = db.create_collection(XMARK_COLL);
 
     for i in 0..cfg.items {
@@ -116,7 +134,14 @@ pub fn generate(db: &mut Database, cfg: &XmarkConfig) {
             b.leaf("text", xmark_filler(i, 140).as_str());
             b.leaf("parlist", xmark_filler(i + 3, 140).as_str());
             b.end();
-            b.leaf("payment", if rng.gen_bool(0.5) { "Creditcard" } else { "Cash" });
+            b.leaf(
+                "payment",
+                if rng.gen_bool(0.5) {
+                    "Creditcard"
+                } else {
+                    "Cash"
+                },
+            );
             b.leaf("shipping", "Will ship internationally");
         });
     }
@@ -133,7 +158,17 @@ pub fn generate(db: &mut Database, cfg: &XmarkConfig) {
             b.leaf("city", format!("City{}", i % 25).as_str());
             b.leaf("country", country);
             b.end();
-            b.leaf("creditcard", format!("{:04} {:04} {:04} {:04}", i, i * 3 % 9999, i * 7 % 9999, i * 11 % 9999).as_str());
+            b.leaf(
+                "creditcard",
+                format!(
+                    "{:04} {:04} {:04} {:04}",
+                    i,
+                    i * 3 % 9999,
+                    i * 7 % 9999,
+                    i * 11 % 9999
+                )
+                .as_str(),
+            );
             b.leaf("watch", xmark_filler(i, 110).as_str());
             if has_profile {
                 b.begin("profile");
@@ -157,13 +192,22 @@ pub fn generate(db: &mut Database, cfg: &XmarkConfig) {
                 let increase = (rng.gen_range(1.0..25.0f64) * 100.0).round() / 100.0;
                 current += increase;
                 b.begin("bidder");
-                b.leaf("date", format!("2007-{:02}-{:02}", 1 + bi, 10 + bi).as_str());
+                b.leaf(
+                    "date",
+                    format!("2007-{:02}-{:02}", 1 + bi, 10 + bi).as_str(),
+                );
                 b.leaf("increase", increase);
                 b.end();
             }
             b.leaf("current", current);
-            b.leaf("itemref", format!("item{}", rng.gen_range(0..cfg.items.max(1))).as_str());
-            b.leaf("seller", format!("person{}", rng.gen_range(0..cfg.persons.max(1))).as_str());
+            b.leaf(
+                "itemref",
+                format!("item{}", rng.gen_range(0..cfg.items.max(1))).as_str(),
+            );
+            b.leaf(
+                "seller",
+                format!("person{}", rng.gen_range(0..cfg.persons.max(1))).as_str(),
+            );
             b.begin("annotation");
             b.leaf("description", xmark_filler(i, 130).as_str());
             b.leaf("happiness", rng.gen_range(1..11) as f64);
@@ -177,7 +221,7 @@ pub fn generate(db: &mut Database, cfg: &XmarkConfig) {
 /// The XMark-like query workload (modeled on XMark Q1-style point queries
 /// and value joins' local halves).
 pub fn queries(cfg: &XmarkConfig) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xa0c7);
+    let mut rng = Prng::seed_from_u64(cfg.seed ^ 0xa0c7);
     let pid = rng.gen_range(0..cfg.persons.max(1));
     let aid = rng.gen_range(0..cfg.auctions.max(1));
     vec![

@@ -23,7 +23,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -130,10 +134,8 @@ impl<'a, 'v> Parser<'a, 'v> {
                         self.pos += 9;
                         let start = self.pos;
                         self.skip_until("]]>")?;
-                        let text =
-                            std::str::from_utf8(&self.bytes[start..self.pos - 3]).map_err(
-                                |_| self.err("invalid UTF-8 in CDATA"),
-                            )?;
+                        let text = std::str::from_utf8(&self.bytes[start..self.pos - 3])
+                            .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
                         stack
                             .last_mut()
                             .expect("stack non-empty in loop")
@@ -216,7 +218,10 @@ impl<'a, 'v> Parser<'a, 'v> {
         self.expect("<")?;
         let name = self.parse_name()?;
         if !stack.is_empty() {
-            stack.last_mut().expect("checked non-empty").element_children += 1;
+            stack
+                .last_mut()
+                .expect("checked non-empty")
+                .element_children += 1;
         } else if !nodes.is_empty() {
             return Err(self.err("multiple root elements"));
         }
@@ -235,8 +240,7 @@ impl<'a, 'v> Parser<'a, 'v> {
                     return Ok(());
                 }
                 Some(b'/') => {
-                    self.expect("/>")
-                        .map_err(|_| self.err("expected `/>`"))?;
+                    self.expect("/>").map_err(|_| self.err("expected `/>`"))?;
                     let frame = stack.pop().expect("frame just pushed");
                     debug_assert_eq!(frame.node, id);
                     return Ok(());
@@ -279,7 +283,7 @@ impl<'a, 'v> Parser<'a, 'v> {
 
     fn parse_close_tag(
         &mut self,
-        nodes: &mut Vec<Node>,
+        nodes: &mut [Node],
         stack: &mut Vec<Frame>,
     ) -> Result<(), XmlError> {
         self.expect("</")?;
@@ -313,9 +317,7 @@ impl<'a, 'v> Parser<'a, 'v> {
 }
 
 fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 /// Decodes the five predefined XML entities plus decimal/hex character
@@ -400,9 +402,8 @@ mod tests {
 
     #[test]
     fn declaration_comments_and_cdata() {
-        let (doc, vocab) = parse(
-            "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b><![CDATA[x<y]]></b></a>",
-        );
+        let (doc, vocab) =
+            parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b><![CDATA[x<y]]></b></a>");
         let b = vocab.lookup_name("b").unwrap();
         assert_eq!(doc.value_at(&[b]).unwrap().as_str(), "x<y");
     }

@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn strip_predicates_keeps_skeleton() {
         let e = parse_path_expr("/Security[Yield>4.5]/SecInfo/*/Sector").unwrap();
-        assert_eq!(e.strip_predicates().to_string(), "/Security/SecInfo/*/Sector");
+        assert_eq!(
+            e.strip_predicates().to_string(),
+            "/Security/SecInfo/*/Sector"
+        );
         assert_eq!(e.predicate_count(), 1);
     }
 

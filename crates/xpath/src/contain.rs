@@ -37,7 +37,10 @@ struct Nfa {
 }
 
 fn build_nfa(path: &LinearPath, names: &[&str]) -> Nfa {
-    assert!(names.len() <= 64, "containment alphabet limited to 64 names");
+    assert!(
+        names.len() <= 64,
+        "containment alphabet limited to 64 names"
+    );
     let mut accepts = Vec::with_capacity(path.len());
     let mut self_loop = Vec::with_capacity(path.len());
     for step in &path.steps {
@@ -335,7 +338,10 @@ mod tests {
         let m = PathMatcher::new(&pattern, &vocab);
         let ids = m.matching_path_ids(&vocab);
         assert_eq!(ids.len(), 1);
-        assert_eq!(vocab.path_string(ids[0]), "/Security/SecInfo/StockInfo/Sector");
+        assert_eq!(
+            vocab.path_string(ids[0]),
+            "/Security/SecInfo/StockInfo/Sector"
+        );
 
         let all = PathMatcher::new(&LinearPath::universal(), &vocab).matching_path_ids(&vocab);
         assert_eq!(all.len(), vocab.paths.len());
@@ -375,7 +381,11 @@ mod tests {
                         .into_iter()
                         .collect();
                     for id in PathMatcher::new(&sp, &vocab).matching_path_ids(&vocab) {
-                        assert!(gm.contains(&id), "{g} covers {s} but misses {:?}", vocab.path_string(id));
+                        assert!(
+                            gm.contains(&id),
+                            "{g} covers {s} but misses {:?}",
+                            vocab.path_string(id)
+                        );
                     }
                 }
             }

@@ -221,7 +221,12 @@ pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, String> {
                 out.push((pos, Token::Name(input[start..end].to_string())));
                 pos = end;
             }
-            _ => return Err(format!("unexpected character `{}` at byte {pos}", c as char)),
+            _ => {
+                return Err(format!(
+                    "unexpected character `{}` at byte {pos}",
+                    c as char
+                ))
+            }
         }
     }
     Ok(out)
@@ -237,7 +242,11 @@ mod tests {
 
     #[test]
     fn tokenizes_paths() {
-        let toks: Vec<Token> = tokenize("/Security//*").unwrap().into_iter().map(|(_, t)| t).collect();
+        let toks: Vec<Token> = tokenize("/Security//*")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
         assert_eq!(
             toks,
             vec![
@@ -251,7 +260,11 @@ mod tests {
 
     #[test]
     fn tokenizes_predicates_and_operators() {
-        let toks: Vec<Token> = tokenize("[Yield >= 4.5]").unwrap().into_iter().map(|(_, t)| t).collect();
+        let toks: Vec<Token> = tokenize("[Yield >= 4.5]")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
         assert_eq!(
             toks,
             vec![
@@ -285,7 +298,11 @@ mod tests {
 
     #[test]
     fn negative_numbers_and_exponents() {
-        let toks: Vec<Token> = tokenize("-1.5e3").unwrap().into_iter().map(|(_, t)| t).collect();
+        let toks: Vec<Token> = tokenize("-1.5e3")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
         assert_eq!(toks, vec![Token::Num(-1500.0)]);
     }
 
@@ -301,7 +318,11 @@ mod tests {
 
     #[test]
     fn single_quotes_accepted() {
-        let toks: Vec<Token> = tokenize("'SDOC'").unwrap().into_iter().map(|(_, t)| t).collect();
+        let toks: Vec<Token> = tokenize("'SDOC'")
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
         assert_eq!(toks, vec![Token::Str("SDOC".into())]);
     }
 }

@@ -31,7 +31,9 @@ pub mod xquery;
 pub use ast::{CmpOp, Literal, PathExpr, Predicate, Step};
 pub use contain::{covers, PathMatcher};
 pub use linear::{Axis, LinearPath, LinearStep, NameTest};
-pub use normalize::{normalize as normalize_statement, AccessPattern, NormalizedQuery, PatternPred};
+pub use normalize::{
+    normalize as normalize_statement, AccessPattern, NormalizedQuery, PatternPred,
+};
 pub use parser::{parse_linear_path, parse_path_expr, ParseError};
 pub use sqlxml::parse_sqlxml;
 pub use statement::{Statement, ValueKind};

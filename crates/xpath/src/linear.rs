@@ -208,11 +208,7 @@ impl LinearPath {
 
     /// Collects the distinct concrete names used in the pattern.
     pub fn names(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = self
-            .steps
-            .iter()
-            .filter_map(|s| s.test.name())
-            .collect();
+        let mut out: Vec<&str> = self.steps.iter().filter_map(|s| s.test.name()).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -296,7 +292,10 @@ mod tests {
         assert_eq!(lp("/a/*/b").rewrite_rule0().to_string(), "/a//b");
         assert_eq!(lp("/a/*/*/b").rewrite_rule0().to_string(), "/a//b");
         // Trailing wildcard is the target and is preserved: /Security/*/* -> /Security//*.
-        assert_eq!(lp("/Security/*/*").rewrite_rule0().to_string(), "/Security//*");
+        assert_eq!(
+            lp("/Security/*/*").rewrite_rule0().to_string(),
+            "/Security//*"
+        );
         // No middle wildcard: unchanged.
         assert_eq!(lp("/a/b/c").rewrite_rule0().to_string(), "/a/b/c");
     }
@@ -304,7 +303,10 @@ mod tests {
     #[test]
     fn rewrite_rule0_preserves_language_on_samples() {
         let cases = [
-            ("/a/*/b", vec![vec!["a", "x", "b"], vec!["a", "x", "y", "b"]]),
+            (
+                "/a/*/b",
+                vec![vec!["a", "x", "b"], vec!["a", "x", "y", "b"]],
+            ),
             ("/a/*/*/b", vec![vec!["a", "x", "y", "b"]]),
         ];
         for (pat, samples) in cases {

@@ -161,7 +161,9 @@ fn collect_step_predicates(
 ) {
     fn simple_pattern(prefix: &[LinearStep], pred: &Predicate) -> AccessPattern {
         let (rel, pp) = match pred {
-            Predicate::Compare { rel, op, value } => (rel, PatternPred::Compare(*op, value.clone())),
+            Predicate::Compare { rel, op, value } => {
+                (rel, PatternPred::Compare(*op, value.clone()))
+            }
             Predicate::Exists { rel } => (rel, PatternPred::Exists),
             Predicate::Or(_) => unreachable!("nested Or is never produced by the parser"),
         };
@@ -177,7 +179,12 @@ fn collect_step_predicates(
         for pred in &step.predicates {
             match pred {
                 Predicate::Or(branches) => {
-                    or_out.push(branches.iter().map(|b| simple_pattern(&prefix, b)).collect());
+                    or_out.push(
+                        branches
+                            .iter()
+                            .map(|b| simple_pattern(&prefix, b))
+                            .collect(),
+                    );
                 }
                 _ => out.push(simple_pattern(&prefix, pred)),
             }

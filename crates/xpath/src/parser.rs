@@ -30,10 +30,7 @@ pub(crate) struct TokenCursor {
 
 impl TokenCursor {
     pub(crate) fn new(input: &str) -> Result<Self, ParseError> {
-        let tokens = tokenize(input).map_err(|message| ParseError {
-            offset: 0,
-            message,
-        })?;
+        let tokens = tokenize(input).map_err(|message| ParseError { offset: 0, message })?;
         Ok(Self {
             tokens,
             pos: 0,
@@ -341,7 +338,10 @@ mod tests {
         match &e.steps[0].predicates[0] {
             Predicate::Or(branches) => {
                 assert_eq!(branches.len(), 2);
-                assert!(matches!(&branches[0], Predicate::Compare { op: CmpOp::Eq, .. }));
+                assert!(matches!(
+                    &branches[0],
+                    Predicate::Compare { op: CmpOp::Eq, .. }
+                ));
             }
             other => panic!("expected Or, got {other:?}"),
         }
@@ -370,7 +370,13 @@ mod tests {
 
     #[test]
     fn deep_paths_parse() {
-        let s = format!("/{}", (0..20).map(|i| format!("n{i}")).collect::<Vec<_>>().join("/"));
+        let s = format!(
+            "/{}",
+            (0..20)
+                .map(|i| format!("n{i}"))
+                .collect::<Vec<_>>()
+                .join("/")
+        );
         let p = parse_linear_path(&s).unwrap();
         assert_eq!(p.len(), 20);
     }

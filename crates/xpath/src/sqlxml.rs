@@ -120,9 +120,9 @@ pub fn parse_sqlxml(input: &str) -> Result<FlworQuery, ParseError> {
             .iter()
             .map(|p| {
                 if p.steps[0].test != root_test {
-                    return Err(cur.err(
-                        "XMLQUERY path must share the document root element".to_string(),
-                    ));
+                    return Err(
+                        cur.err("XMLQUERY path must share the document root element".to_string())
+                    );
                 }
                 let rel: Vec<LinearStep> = p.steps[1..]
                     .iter()

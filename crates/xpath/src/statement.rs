@@ -109,7 +109,10 @@ mod tests {
 
     #[test]
     fn value_kind_of_literal() {
-        assert_eq!(ValueKind::of_literal(&Literal::Str("x".into())), ValueKind::Str);
+        assert_eq!(
+            ValueKind::of_literal(&Literal::Str("x".into())),
+            ValueKind::Str
+        );
         assert_eq!(ValueKind::of_literal(&Literal::Num(1.0)), ValueKind::Num);
         assert_eq!(ValueKind::Str.to_string(), "string");
         assert_eq!(ValueKind::Num.to_string(), "numerical");

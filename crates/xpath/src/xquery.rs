@@ -553,9 +553,7 @@ mod tests {
     #[test]
     fn order_by_is_parsed_with_optional_direction() {
         for dir in ["", " ascending", " descending"] {
-            let s = format!(
-                r#"for $s in C('C')/a where $s/b = 1 order by $s/x{dir} return $s/b"#
-            );
+            let s = format!(r#"for $s in C('C')/a where $s/b = 1 order by $s/x{dir} return $s/b"#);
             let Statement::Query(q) = parse_statement(&s).unwrap() else {
                 panic!()
             };

@@ -31,8 +31,16 @@ fn main() {
     println!(
         "workload: {} statements ({} queries, {} updates)\n",
         workload.len(),
-        workload.entries().iter().filter(|e| !e.statement.is_modification()).count(),
-        workload.entries().iter().filter(|e| e.statement.is_modification()).count(),
+        workload
+            .entries()
+            .iter()
+            .filter(|e| !e.statement.is_modification())
+            .count(),
+        workload
+            .entries()
+            .iter()
+            .filter(|e| e.statement.is_modification())
+            .count(),
     );
 
     // Tune under a sweep of budgets.
@@ -46,7 +54,10 @@ fn main() {
         all_size as f64 / 1024.0
     );
 
-    println!("{:<14} {:>10} {:>9} {:>8} {:>7} {:>11}", "algorithm", "budget", "speedup", "indexes", "G/S", "opt. calls");
+    println!(
+        "{:<14} {:>10} {:>9} {:>8} {:>7} {:>11}",
+        "algorithm", "budget", "speedup", "indexes", "G/S", "opt. calls"
+    );
     let mut best: Option<(SearchAlgorithm, Vec<xia_advisor::CandId>, f64)> = None;
     for frac in [0.25, 0.5, 1.0] {
         let budget = (all_size as f64 * frac) as u64;
@@ -62,13 +73,16 @@ fn main() {
                 rec.specific_count,
                 rec.eval_stats.optimizer_calls
             );
-            if best.as_ref().map_or(true, |(_, _, s)| rec.speedup > *s) {
+            if best.as_ref().is_none_or(|(_, _, s)| rec.speedup > *s) {
                 best = Some((algo, rec.config.clone(), rec.speedup));
             }
         }
     }
     let (algo, config, est) = best.expect("at least one recommendation");
-    println!("\nbest: {} (estimated {est:.2}x) — materializing and executing...", algo.name());
+    println!(
+        "\nbest: {} (estimated {est:.2}x) — materializing and executing...",
+        algo.name()
+    );
 
     // Actual speedup: execute the query side with and without the indexes.
     let queries: Vec<&str> = texts[..11].iter().map(|s| s.as_str()).collect();

@@ -55,16 +55,24 @@ fn main() {
     let set = Advisor::prepare(&mut db, &training, &params);
     let budget = 4 * set.config_size(&Advisor::all_index_config(&set));
 
-    println!("training on {} queries, budget {} bytes\n", training.len(), budget);
+    println!(
+        "training on {} queries, budget {} bytes\n",
+        training.len(),
+        budget
+    );
     for algo in [
         SearchAlgorithm::GreedyHeuristics,
         SearchAlgorithm::TopDownLite,
     ] {
-        let rec =
-            Advisor::recommend_prepared(&mut db, &training, &set, budget, algo, &params);
+        let rec = Advisor::recommend_prepared(&mut db, &training, &set, budget, algo, &params);
         println!("{}:", algo.name());
         for ix in &rec.indexes {
-            println!("  {} [{}] {}", ix.pattern, ix.kind, if ix.general { "(general)" } else { "" });
+            println!(
+                "  {} [{}] {}",
+                ix.pattern,
+                ix.kind,
+                if ix.general { "(general)" } else { "" }
+            );
         }
         // How many *drifted* statements can use the recommendation?
         Advisor::materialize(&mut db, &set, &rec.config);

@@ -87,10 +87,14 @@ fn fig2_speedup_increases_with_budget_and_caps_at_all_index() {
 fn fig3_reports_time_and_calls() {
     let mut lab = TpoxLab::quick();
     let fractions = [0.5, 1.0];
-    let r = speedup_budget::run(&mut lab, &fractions, &[
-        SearchAlgorithm::GreedyHeuristics,
-        SearchAlgorithm::TopDownFull,
-    ]);
+    let r = speedup_budget::run(
+        &mut lab,
+        &fractions,
+        &[
+            SearchAlgorithm::GreedyHeuristics,
+            SearchAlgorithm::TopDownFull,
+        ],
+    );
     for (_, points) in &r.series {
         for p in points {
             assert!(p.optimizer_calls > 0);
@@ -132,9 +136,7 @@ fn table4_topdown_recommends_more_generals_with_more_budget() {
     };
     // Top-down at the larger budget keeps at least as many generals as at
     // the tight budget.
-    assert!(
-        g(&rows[1], SearchAlgorithm::TopDownLite) >= g(&rows[0], SearchAlgorithm::TopDownLite)
-    );
+    assert!(g(&rows[1], SearchAlgorithm::TopDownLite) >= g(&rows[0], SearchAlgorithm::TopDownLite));
     // Heuristics is conservative about generals (paper: almost always 0).
     for row in &rows {
         let heur = g(row, SearchAlgorithm::GreedyHeuristics);
@@ -162,7 +164,11 @@ fn fig4_generalization_closes_gap_with_training_size() {
     // With full training both algorithms approach the All-Index ceiling.
     let last = &r.points[2];
     for s in &last.speedups {
-        assert!(*s >= r.all_index * 0.5, "{s} far below ceiling {}", r.all_index);
+        assert!(
+            *s >= r.all_index * 0.5,
+            "{s} far below ceiling {}",
+            r.all_index
+        );
     }
 }
 
@@ -171,7 +177,11 @@ fn fig5_actual_execution_follows_estimates() {
     let mut lab = TpoxLab::quick();
     let r = generalization::run(&mut lab, &[20], 21.0, true);
     assert!(r.actual);
-    assert!(r.all_index > 1.0, "actual all-index speedup {}", r.all_index);
+    assert!(
+        r.all_index > 1.0,
+        "actual all-index speedup {}",
+        r.all_index
+    );
     for s in &r.points[0].speedups {
         assert!(*s > 1.0, "actual speedup {s} not > 1 with full training");
     }
@@ -212,7 +222,12 @@ fn ablation_machinery_reduces_optimizer_calls() {
     // evaluation machinery (it is an efficiency device, not an accuracy
     // trade).
     let rel = (full.benefit - none.benefit).abs() / none.benefit.abs().max(1.0);
-    assert!(rel < 0.05, "benefit drifted: {} vs {}", full.benefit, none.benefit);
+    assert!(
+        rel < 0.05,
+        "benefit drifted: {} vs {}",
+        full.benefit,
+        none.benefit
+    );
 }
 
 #[test]

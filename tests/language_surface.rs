@@ -81,11 +81,8 @@ fn extended_queries_enumerate_candidates_and_advise() {
     assert!(rec.speedup > 1.0);
     // The existence pattern over the optional Dividend element is a
     // candidate (structural access).
-    let set = xia_advisor::Advisor::prepare(
-        &mut db,
-        &workload,
-        &xia_advisor::AdvisorParams::default(),
-    );
+    let set =
+        xia_advisor::Advisor::prepare(&mut db, &workload, &xia_advisor::AdvisorParams::default());
     let pats: Vec<String> = set.iter().map(|c| c.pattern.to_string()).collect();
     assert!(
         pats.iter().any(|p| p.contains("Dividend")),

@@ -25,7 +25,15 @@ fn tpox_like_db() -> Database {
     let c = db.create_collection("SDOC");
     for i in 0..40 {
         c.build_doc("Security", |b| {
-            b.leaf("Symbol", if i == 0 { "BCIIPRC".to_string() } else { format!("S{i}") }.as_str());
+            b.leaf(
+                "Symbol",
+                if i == 0 {
+                    "BCIIPRC".to_string()
+                } else {
+                    format!("S{i}")
+                }
+                .as_str(),
+            );
             b.leaf("Yield", 3.0 + (i % 5) as f64);
             b.begin("SecInfo");
             b.begin(if i % 2 == 0 { "StockInfo" } else { "FundInfo" });
@@ -174,8 +182,8 @@ fn advisor_on_paper_workload_recommends_the_selective_indexes() {
     let mut db = Database::new();
     let c = db.create_collection("SDOC");
     let sectors = [
-        "Energy", "Tech", "Finance", "Health", "Retail", "Util", "Mining", "Media", "Agri",
-        "Auto", "Aero", "Chem",
+        "Energy", "Tech", "Finance", "Health", "Retail", "Util", "Mining", "Media", "Agri", "Auto",
+        "Aero", "Chem",
     ];
     for i in 0..400 {
         c.build_doc("Security", |b| {
