@@ -202,6 +202,39 @@ fn bench_telemetry() {
     bench("obs/span_enter_exit", quick(), || on.span("bench_phase"));
 }
 
+/// The fault handle mirrors the telemetry contract: disabled, a roll is a
+/// null check; the full advise loop with the default (off) injector should
+/// match the plain `search/*` numbers above — that is the "no measurable
+/// overhead when disabled" acceptance check in measurable form.
+fn bench_faults() {
+    use xia_fault::{FaultInjector, FaultSite};
+    let off = FaultInjector::off();
+    let on = FaultInjector::seeded(7).with_rate(FaultSite::OptimizerCost, 0.01);
+    bench("fault/roll_off", quick(), || {
+        off.roll(std::hint::black_box(FaultSite::OptimizerCost))
+            .is_ok()
+    });
+    bench("fault/roll_seeded", quick(), || {
+        on.roll(std::hint::black_box(FaultSite::OptimizerCost))
+            .is_ok()
+    });
+    let mut lab = TpoxLab::quick();
+    let workload = lab.workload();
+    let params = AdvisorParams::default(); // faults: FaultInjector::off()
+    let set = Advisor::prepare(&mut lab.db, &workload, &params);
+    let budget = set.config_size(&Advisor::all_index_config(&set));
+    bench("fault/advise_injector_off", Duration::from_secs(1), || {
+        Advisor::recommend_prepared(
+            &mut lab.db,
+            &workload,
+            &set,
+            budget,
+            SearchAlgorithm::GreedyHeuristics,
+            &params,
+        )
+    });
+}
+
 fn main() {
     println!("xia micro-benchmarks (internal harness; mean over a fixed window)");
     bench_containment();
@@ -212,4 +245,5 @@ fn main() {
     bench_benefit_cache();
     bench_storage();
     bench_telemetry();
+    bench_faults();
 }

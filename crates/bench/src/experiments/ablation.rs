@@ -135,7 +135,8 @@ pub fn run_beta(lab: &mut TpoxLab, betas: &[f64]) -> Vec<BetaRow> {
             budget,
             xia_advisor::SearchAlgorithm::GreedyHeuristics,
             &params,
-        );
+        )
+        .expect("advise");
         rows.push(BetaRow {
             beta,
             general: rec.general_count,

@@ -47,7 +47,8 @@ pub fn run(lab: &mut TpoxLab, fractions: &[f64]) -> Vec<GeneralityRow> {
         let mut counts = Vec::new();
         for algo in ALGOS {
             let rec =
-                Advisor::recommend_prepared(&mut lab.db, &workload, &set, budget, algo, &params);
+                Advisor::recommend_prepared(&mut lab.db, &workload, &set, budget, algo, &params)
+                    .expect("advise");
             counts.push((
                 algo,
                 GsCounts {

@@ -88,7 +88,8 @@ pub fn run(
         let set = Advisor::prepare(&mut lab.db, &train, &params);
         let mut speedups = Vec::new();
         for algo in ALGOS {
-            let rec = Advisor::recommend_prepared(&mut lab.db, &train, &set, budget, algo, &params);
+            let rec = Advisor::recommend_prepared(&mut lab.db, &train, &set, budget, algo, &params)
+                .expect("advise");
             let speedup = if actual {
                 let run = actual_execution(&mut lab.db, &test, &set, &rec.config);
                 baseline / run.elapsed.as_secs_f64().max(1e-9)

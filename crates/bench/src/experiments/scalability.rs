@@ -40,7 +40,8 @@ pub fn run(lab: &mut TpoxLab, sizes: &[usize]) -> Vec<ScalePoint> {
             budget,
             SearchAlgorithm::GreedyHeuristics,
             &params,
-        );
+        )
+        .expect("advise");
         out.push(ScalePoint {
             queries: n,
             candidates: set.len(),

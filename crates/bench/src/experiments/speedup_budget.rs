@@ -90,7 +90,8 @@ pub fn run_workload(
         all_index_size,
         SearchAlgorithm::Greedy,
         &params,
-    );
+    )
+    .expect("advise");
     // `Greedy` at exactly All-Index budget may differ from All-Index; use
     // the evaluator directly for the ceiling.
     let mut ev = xia_advisor::BenefitEvaluator::new(&mut lab.db, workload, &set);
@@ -106,7 +107,8 @@ pub fn run_workload(
             // Isolate this point's phase timings and cache counters.
             telemetry.reset();
             let rec =
-                Advisor::recommend_prepared(&mut lab.db, workload, &set, budget, algo, &params);
+                Advisor::recommend_prepared(&mut lab.db, workload, &set, budget, algo, &params)
+                    .expect("advise");
             points.push(BudgetPoint {
                 budget,
                 speedup: rec.speedup,

@@ -53,7 +53,8 @@ pub fn run(lab: &mut TpoxLab, update_freqs: &[f64]) -> Vec<UpdateCostRow> {
             budget,
             SearchAlgorithm::GreedyHeuristics,
             &params,
-        );
+        )
+        .expect("advise");
         rows.push(UpdateCostRow {
             update_freq: freq,
             indexes: rec.indexes.len(),

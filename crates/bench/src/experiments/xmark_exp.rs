@@ -42,7 +42,8 @@ pub fn run(cfg: &XmarkConfig, fractions: &[f64]) -> (Vec<XmarkPoint>, f64, u64) 
         let budget = (all_size as f64 * fraction).round() as u64;
         let mut speedups = Vec::new();
         for algo in ALGOS {
-            let rec = Advisor::recommend_prepared(&mut db, &w, &set, budget, algo, &params);
+            let rec = Advisor::recommend_prepared(&mut db, &w, &set, budget, algo, &params)
+                .expect("advise");
             speedups.push(rec.speedup);
         }
         out.push(XmarkPoint { fraction, speedups });

@@ -11,13 +11,31 @@ use xia_xpath::parse_statement;
 fn require<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, CliError> {
     args.get(i)
         .map(|s| s.as_str())
-        .ok_or_else(|| CliError::new(format!("missing {what}\n\n{}", crate::USAGE)))
+        .ok_or_else(|| CliError::usage(format!("missing {what}\n\n{}", crate::USAGE)))
 }
 
 fn open(db_path: Option<&str>) -> Result<(String, Database), CliError> {
-    let path = db_path.ok_or_else(|| CliError::new("missing <db> argument"))?;
-    let db = load_database(path).map_err(|e| CliError::new(format!("cannot open {path}: {e}")))?;
+    let path = db_path.ok_or_else(|| CliError::usage("missing <db> argument"))?;
+    let db = load_database(path).map_err(|e| {
+        let inner: CliError = e.into();
+        CliError::with_kind(format!("cannot open {path}: {inner}"), inner.kind)
+    })?;
     Ok((path.to_string(), db))
+}
+
+/// Lenient open for the advisor path: a corrupt record skips that document
+/// (reported in the returned [`xia_storage::LoadReport`]) instead of
+/// failing the whole run.
+fn open_lenient(
+    db_path: Option<&str>,
+    faults: &xia_fault::FaultInjector,
+) -> Result<(String, Database, xia_storage::LoadReport), CliError> {
+    let path = db_path.ok_or_else(|| CliError::usage("missing <db> argument"))?;
+    let (db, report) = xia_storage::load_database_lenient_faulted(path, faults).map_err(|e| {
+        let inner: CliError = e.into();
+        CliError::with_kind(format!("cannot open {path}: {inner}"), inner.kind)
+    })?;
+    Ok((path.to_string(), db, report))
 }
 
 /// `xia init <db>`
@@ -62,7 +80,10 @@ pub fn stats(db_path: Option<&str>) -> Result<String, CliError> {
     let mut out = String::new();
     for name in db.collection_names().iter().map(|s| s.to_string()) {
         let coll = db.collection(&name).expect("listed collection");
-        let stats = db.stats_cached(&name).expect("stats refreshed");
+        let Some(stats) = db.stats_cached(&name) else {
+            let _ = writeln!(out, "collection {name}: statistics unavailable");
+            continue;
+        };
         let _ = writeln!(
             out,
             "collection {name}: {} docs, {} nodes, {} distinct paths, {:.1} KiB of values",
@@ -168,11 +189,12 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
                 algo = parse_algo(require(args, i + 1, "algorithm after -a")?)?;
                 i += 2;
             }
-            other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+            other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
     }
-    let workload_file = workload_file.ok_or_else(|| CliError::new("missing -w <workload-file>"))?;
-    let budget = budget.ok_or_else(|| CliError::new("missing -b <budget>"))?;
+    let workload_file =
+        workload_file.ok_or_else(|| CliError::usage("missing -w <workload-file>"))?;
+    let budget = budget.ok_or_else(|| CliError::usage("missing -b <budget>"))?;
     let text = std::fs::read_to_string(&workload_file)
         .map_err(|e| CliError::new(format!("cannot read {workload_file}: {e}")))?;
     let workload = parse_workload(&text).map_err(CliError::new)?;
@@ -182,7 +204,7 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
 
     let params = AdvisorParams::default();
     let set = Advisor::prepare(&mut db, &workload, &params);
-    let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params);
+    let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)?;
     let tr = trace_report(&mut db, &workload, &set, &rec, &params.telemetry);
 
     let mut out = String::new();
@@ -291,14 +313,18 @@ enum TraceFormat {
 }
 
 /// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]
-/// [--report] [--trace[=json|text]]`
+/// [--report] [--trace[=json|text]] [--strict] [--what-if-budget <calls>]
+/// [--inject <site>:<rate>] [--fault-seed <n>]`
 pub fn recommend(args: &[String]) -> Result<String, CliError> {
-    let (path, mut db) = open(args.first().map(|s| s.as_str()))?;
     let mut workload_file = None;
     let mut budget: Option<u64> = None;
     let mut algo = SearchAlgorithm::TopDownFull;
     let mut apply = false;
     let mut report = false;
+    let mut strict = false;
+    let mut what_if_calls: u64 = 0;
+    let mut fault_seed: u64 = 0;
+    let mut inject_specs: Vec<String> = Vec::new();
     let mut trace: Option<TraceFormat> = None;
     let mut i = 1;
     while i < args.len() {
@@ -309,8 +335,9 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
             }
             "-b" | "--budget" => {
                 let v = require(args, i + 1, "budget after -b")?;
-                budget =
-                    Some(parse_size(v).ok_or_else(|| CliError::new(format!("bad budget `{v}`")))?);
+                budget = Some(
+                    parse_size(v).ok_or_else(|| CliError::usage(format!("bad budget `{v}`")))?,
+                );
                 i += 2;
             }
             "-a" | "--algo" => {
@@ -325,33 +352,107 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
                 report = true;
                 i += 1;
             }
+            "--strict" => {
+                strict = true;
+                i += 1;
+            }
+            "--what-if-budget" => {
+                let v = require(args, i + 1, "call count after --what-if-budget")?;
+                what_if_calls = v.parse().map_err(|_| {
+                    CliError::usage(format!("bad what-if budget `{v}` (expected a call count)"))
+                })?;
+                i += 2;
+            }
+            "--inject" => {
+                inject_specs.push(require(args, i + 1, "spec after --inject")?.to_string());
+                i += 2;
+            }
+            "--fault-seed" => {
+                let v = require(args, i + 1, "seed after --fault-seed")?;
+                fault_seed = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad fault seed `{v}`")))?;
+                i += 2;
+            }
             other if other == "--trace" || other.starts_with("--trace=") => {
                 trace = Some(match other.strip_prefix("--trace=") {
                     None | Some("text") => TraceFormat::Text,
                     Some("json") => TraceFormat::Json,
                     Some(bad) => {
-                        return Err(CliError::new(format!(
+                        return Err(CliError::usage(format!(
                             "bad trace format `{bad}` (expected json or text)"
                         )))
                     }
                 });
                 i += 1;
             }
-            other => return Err(CliError::new(format!("unknown flag `{other}`"))),
+            other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
     }
-    let workload_file = workload_file.ok_or_else(|| CliError::new("missing -w <workload-file>"))?;
-    let budget = budget.ok_or_else(|| CliError::new("missing -b <budget>"))?;
-    let text = std::fs::read_to_string(&workload_file)
-        .map_err(|e| CliError::new(format!("cannot read {workload_file}: {e}")))?;
-    let workload = parse_workload(&text).map_err(CliError::new)?;
-    if workload.is_empty() {
-        return Err(CliError::new("workload file contains no statements"));
+    let workload_file =
+        workload_file.ok_or_else(|| CliError::usage("missing -w <workload-file>"))?;
+    let budget = budget.ok_or_else(|| CliError::usage("missing -b <budget>"))?;
+
+    let mut faults = xia_fault::FaultInjector::off();
+    if !inject_specs.is_empty() {
+        let mut f = xia_fault::FaultInjector::seeded(fault_seed);
+        for spec in &inject_specs {
+            f = f.with_spec(spec).map_err(CliError::usage)?;
+        }
+        faults = f;
     }
 
-    let params = AdvisorParams::default();
+    let (path, mut db, load_report) = open_lenient(args.first().map(|s| s.as_str()), &faults)?;
+    let mut out = String::new();
+    if !load_report.is_clean() {
+        for d in &load_report.diagnostics {
+            let _ = writeln!(out, "warning: {path}: {d}");
+        }
+        let _ = writeln!(
+            out,
+            "warning: {path}: loaded {} document(s), skipped {} (degraded database)",
+            load_report.docs_loaded, load_report.docs_skipped
+        );
+    }
+
+    let text = std::fs::read_to_string(&workload_file)
+        .map_err(|e| CliError::new(format!("cannot read {workload_file}: {e}")))?;
+    // Lenient workload parse: malformed statements are quarantined with a
+    // diagnostic instead of rejecting the whole file.
+    let mut workload = xia_workloads::Workload::new();
+    let mut parse_quarantined = 0usize;
+    for (freq, stmt) in crate::workload_file::split_statements(&text) {
+        if let Some(e) = workload.try_push_with_freq(&stmt, freq) {
+            parse_quarantined += 1;
+            let _ = writeln!(
+                out,
+                "warning: statement quarantined (parse): {e}: {}",
+                first_line(&stmt)
+            );
+        }
+    }
+    if workload.is_empty() {
+        if parse_quarantined > 0 {
+            return Err(CliError::new(format!(
+                "all {parse_quarantined} statement(s) in {workload_file} failed to parse"
+            )));
+        }
+        return Err(CliError::new("workload file contains no statements"));
+    }
+    if strict && parse_quarantined > 0 {
+        return Err(CliError::internal(format!(
+            "strict mode: {parse_quarantined} statement(s) quarantined at parse stage"
+        )));
+    }
+
+    let params = AdvisorParams {
+        faults,
+        what_if_budget: xia_advisor::WhatIfBudget::calls(what_if_calls),
+        strict,
+        ..AdvisorParams::default()
+    };
     let set = Advisor::prepare(&mut db, &workload, &params);
-    let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params);
+    let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)?;
     // Snapshot the trace before any follow-up optimizer work (the tuning
     // report re-costs the workload) can inflate the counters.
     let traced = trace.map(|fmt| {
@@ -361,7 +462,17 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
         )
     });
 
-    let mut out = String::new();
+    for q in &rec.quarantined {
+        let _ = writeln!(out, "warning: {q}");
+    }
+    if rec.degraded {
+        let _ = writeln!(
+            out,
+            "warning: degraded recommendation ({} statement(s) quarantined, {} heuristic cost fallback(s))",
+            rec.quarantined.len(),
+            rec.cost_fallbacks
+        );
+    }
     let _ = writeln!(
         out,
         "workload: {} statements; candidates: {} basic, {} total",
@@ -442,7 +553,7 @@ pub fn whatif(args: &[String]) -> Result<String, CliError> {
     let text = std::fs::read_to_string(&workload_file)
         .map_err(|e| CliError::new(format!("cannot read {workload_file}: {e}")))?;
     let workload = parse_workload(&text).map_err(CliError::new)?;
-    let rec = Advisor::what_if(&mut db, &workload, &specs, &AdvisorParams::default());
+    let rec = Advisor::what_if(&mut db, &workload, &specs, &AdvisorParams::default())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -850,5 +961,112 @@ mod tests {
         assert!(crate::run(&s(&["help"])).unwrap().contains("USAGE"));
         assert!(crate::run(&s(&["bogus"])).is_err());
         assert!(crate::run(&[]).is_err());
+    }
+
+    #[test]
+    fn exit_codes_follow_the_taxonomy() {
+        use crate::ErrorKind;
+        // Usage errors: exit 2.
+        assert_eq!(
+            crate::run(&s(&["bogus"])).unwrap_err().kind,
+            ErrorKind::Usage
+        );
+        assert_eq!(crate::run(&[]).unwrap_err().exit_code(), 2);
+        assert_eq!(stats(None).unwrap_err().kind, ErrorKind::Usage);
+        // Input errors (missing file): exit 3.
+        let err = stats(Some("/nonexistent/xia/none.xiadb")).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Input, "{err}");
+        assert_eq!(err.exit_code(), 3);
+        // Corrupt database: exit 4.
+        let dir = tmpdir().join("exit_codes");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.xiadb");
+        std::fs::write(&bad, "NOT A DATABASE\ngarbage\n").unwrap();
+        let err = stats(Some(bad.to_str().unwrap())).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::CorruptDb, "{err}");
+        assert_eq!(err.exit_code(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_under_total_optimizer_faults_degrades_cleanly() {
+        let dir = tmpdir().join("inject_opt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let args = s(&[
+            &db,
+            "-w",
+            &wl,
+            "-b",
+            "10m",
+            "--inject",
+            "optimizer-cost:1.0",
+            "--fault-seed",
+            "7",
+        ]);
+        let out = recommend(&args).unwrap();
+        assert!(
+            out.contains("warning: degraded recommendation"),
+            "total cost failure must be reported: {out}"
+        );
+        // Same seed, same flags: the degraded output is reproducible.
+        let again = recommend(&args).unwrap();
+        assert_eq!(out, again, "seeded fault runs must be deterministic");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_rejects_bad_inject_specs_as_usage() {
+        let dir = tmpdir().join("inject_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        for spec in ["bogus-site:0.5", "storage-io:notanumber", "nocolon"] {
+            let err = recommend(&s(&[&db, "-w", &wl, "-b", "10m", "--inject", spec])).unwrap_err();
+            assert_eq!(err.kind, crate::ErrorKind::Usage, "spec {spec}: {err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_quarantines_unparseable_statements_with_a_warning() {
+        let dir = tmpdir().join("quarantine");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        // Append a hopeless statement to the workload file.
+        let mut text = std::fs::read_to_string(&wl).unwrap();
+        text.push_str("\n\n???not xquery at all(((\n");
+        std::fs::write(&wl, &text).unwrap();
+        let out = recommend(&s(&[&db, "-w", &wl, "-b", "10m"])).unwrap();
+        assert!(
+            out.contains("warning: statement quarantined (parse)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("CREATE INDEX"),
+            "good statements still tune: {out}"
+        );
+        // Strict mode turns the same quarantine into an internal error.
+        let err = recommend(&s(&[&db, "-w", &wl, "-b", "10m", "--strict"])).unwrap_err();
+        assert_eq!(err.kind, crate::ErrorKind::Internal, "{err}");
+        assert_eq!(err.exit_code(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_survives_a_truncated_database_with_warnings() {
+        let dir = tmpdir().join("trunc_db");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        // Chop into the END trailer so the file checksum cannot verify.
+        let bytes = std::fs::read(&db).unwrap();
+        std::fs::write(&db, &bytes[..bytes.len() - 5]).unwrap();
+        // Strict single-statement commands refuse the corrupt file...
+        let err = stats(Some(&db)).unwrap_err();
+        assert_eq!(err.kind, crate::ErrorKind::CorruptDb, "{err}");
+        // ...but recommend opens leniently, warns, and tunes what is left.
+        let out = recommend(&s(&[&db, "-w", &wl, "-b", "10m"])).unwrap();
+        assert!(out.contains("warning:"), "{out}");
+        assert!(out.contains("degraded database"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

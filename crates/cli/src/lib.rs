@@ -23,19 +23,77 @@ pub mod workload_file;
 
 use std::fmt;
 
-/// CLI error: a message for the user plus a process exit code.
+/// What went wrong, mapped to a distinct process exit code so scripts can
+/// react without parsing stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Bad command line: unknown command/flag, missing argument. Exit 2.
+    Usage,
+    /// Bad user input: unparseable statement, unknown collection, missing
+    /// or unreadable file. Exit 3.
+    Input,
+    /// The database file is corrupt or truncated. Exit 4.
+    CorruptDb,
+    /// Internal failure (injected fault, strict-mode degradation, bug).
+    /// Exit 5.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The process exit code for this kind of failure.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            ErrorKind::Usage => 2,
+            ErrorKind::Input => 3,
+            ErrorKind::CorruptDb => 4,
+            ErrorKind::Internal => 5,
+        }
+    }
+}
+
+/// CLI error: a message for the user plus a process exit code. The message
+/// may span multiple lines — one per link of the underlying error's
+/// context chain.
 #[derive(Debug)]
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
+    /// Failure class, determines the exit code.
+    pub kind: ErrorKind,
 }
 
 impl CliError {
-    /// Creates an error from anything printable.
+    /// Creates an input error (exit 3) from anything printable.
     pub fn new(message: impl fmt::Display) -> Self {
+        Self::with_kind(message, ErrorKind::Input)
+    }
+
+    /// Creates a usage error (exit 2).
+    pub fn usage(message: impl fmt::Display) -> Self {
+        Self::with_kind(message, ErrorKind::Usage)
+    }
+
+    /// Creates a corrupt-database error (exit 4).
+    pub fn corrupt(message: impl fmt::Display) -> Self {
+        Self::with_kind(message, ErrorKind::CorruptDb)
+    }
+
+    /// Creates an internal error (exit 5).
+    pub fn internal(message: impl fmt::Display) -> Self {
+        Self::with_kind(message, ErrorKind::Internal)
+    }
+
+    /// Creates an error with an explicit kind.
+    pub fn with_kind(message: impl fmt::Display, kind: ErrorKind) -> Self {
         Self {
             message: message.to_string(),
+            kind,
         }
+    }
+
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        self.kind.exit_code()
     }
 }
 
@@ -49,13 +107,47 @@ impl std::error::Error for CliError {}
 
 impl From<xia_storage::PersistError> for CliError {
     fn from(e: xia_storage::PersistError) -> Self {
-        CliError::new(e)
+        let kind = match &e {
+            xia_storage::PersistError::Corrupt { .. } | xia_storage::PersistError::Format(_) => {
+                ErrorKind::CorruptDb
+            }
+            _ => ErrorKind::Input,
+        };
+        CliError::with_kind(e, kind)
     }
 }
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::new(e)
+    }
+}
+
+impl From<xia_advisor::XiaError> for CliError {
+    fn from(e: xia_advisor::XiaError) -> Self {
+        use xia_advisor::XiaError;
+        let kind = match e.root() {
+            XiaError::Persist(p) => {
+                return CliError {
+                    message: e.chain().join("\n  caused by: "),
+                    kind: match p {
+                        xia_storage::PersistError::Corrupt { .. }
+                        | xia_storage::PersistError::Format(_) => ErrorKind::CorruptDb,
+                        _ => ErrorKind::Input,
+                    },
+                }
+            }
+            XiaError::Parse(_)
+            | XiaError::Xml(_)
+            | XiaError::EmptyWorkload
+            | XiaError::AllStatementsQuarantined { .. }
+            | XiaError::UnknownCollection(_) => ErrorKind::Input,
+            _ => ErrorKind::Internal,
+        };
+        CliError {
+            message: e.chain().join("\n  caused by: "),
+            kind,
+        }
     }
 }
 
@@ -74,19 +166,29 @@ USAGE:
   xia exec      <db> <statement>               execute a query statement
   xia recommend <db> -w <workload-file> -b <budget-bytes>
                 [-a greedy|heuristics|topdown-lite|topdown-full|dp]
-                [--apply] [--report] [--trace[=json|text]]
+                [--apply] [--report] [--trace[=json|text]] [--strict]
+                [--what-if-budget <calls>]
+                [--inject <site>:<rate>] [--fault-seed <n>]
   xia whatif    <db> -w <workload-file> -i <coll>:<pattern>:<string|numerical> ...
                                              price a hand-written configuration
   xia indexes   <db>                           list physical indexes
 
 Workload files: statements separated by blank lines; '#'/'--' comment lines.
+Statements that fail to parse are quarantined (reported, then skipped) by
+`recommend`; other commands reject them.
+
+Fault injection (for robustness testing): --inject storage-io:0.05
+injects I/O faults in 5% of storage operations; sites are storage-io,
+optimizer-cost, stats-unavailable. --fault-seed makes runs reproducible.
+
+Exit codes: 0 ok, 2 usage, 3 bad input, 4 corrupt database, 5 internal.
 ";
 
 /// Dispatches a full argument vector (excluding `argv[0]`). Returns the
 /// output to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some(cmd) = args.first() else {
-        return Err(CliError::new(USAGE));
+        return Err(CliError::usage(USAGE));
     };
     match cmd.as_str() {
         "init" => commands::init(args.get(1).map(|s| s.as_str())),
@@ -98,7 +200,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "whatif" => commands::whatif(&args[1..]),
         "indexes" => commands::indexes(args.get(1).map(|s| s.as_str())),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::new(format!(
+        other => Err(CliError::usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),
     }

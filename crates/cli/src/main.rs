@@ -1,4 +1,7 @@
 //! The `xia` binary: thin wrapper over [`xia_cli::run`].
+//!
+//! Exit codes: 0 success, 2 usage error, 3 bad input, 4 corrupt database,
+//! 5 internal failure. Error context chains print one line per cause.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,7 +9,7 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

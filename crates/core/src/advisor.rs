@@ -1,11 +1,13 @@
 //! The advisor facade: end-to-end index recommendation.
 
-use crate::benefit::{BenefitEvaluator, EvalStats};
+use crate::benefit::{BenefitEvaluator, EvalStats, WhatIfBudget};
 use crate::candidate::{CandId, CandOrigin, CandidateSet};
 use crate::enumerate::{enumerate_candidates_traced, size_candidates_traced};
+use crate::error::{StatementIssue, XiaError};
 use crate::generalize::generalize_set;
 use crate::search;
 use std::time::{Duration, Instant};
+use xia_fault::FaultInjector;
 use xia_obs::{Counter, Telemetry};
 use xia_storage::Database;
 use xia_workloads::Workload;
@@ -63,6 +65,15 @@ pub struct AdvisorParams {
     /// (the handle is near-zero-cost); swap in [`Telemetry::off`] to
     /// disable collection entirely.
     pub telemetry: Telemetry,
+    /// Fault injector threaded through storage and the optimizer
+    /// (disabled by default; see the `xia-fault` crate).
+    pub faults: FaultInjector,
+    /// What-if call/time budget; when exhausted, benefit evaluation falls
+    /// back to cached and then heuristic costs (unlimited by default).
+    pub what_if_budget: WhatIfBudget,
+    /// Strict mode: fail with [`XiaError::StrictDegradation`] instead of
+    /// returning a degraded recommendation.
+    pub strict: bool,
 }
 
 impl Default for AdvisorParams {
@@ -71,6 +82,9 @@ impl Default for AdvisorParams {
             beta: 0.10,
             generalize: true,
             telemetry: Telemetry::new(),
+            faults: FaultInjector::off(),
+            what_if_budget: WhatIfBudget::unlimited(),
+            strict: false,
         }
     }
 }
@@ -119,6 +133,15 @@ pub struct Recommendation {
     pub candidates_basic: usize,
     /// Total candidates after generalization (Table III).
     pub candidates_total: usize,
+    /// Statements quarantined during evaluation (missing collection,
+    /// parse-stage issues appended by the caller). The recommendation
+    /// covers the remaining statements.
+    pub quarantined: Vec<StatementIssue>,
+    /// Whether any fallback or quarantine degraded this run.
+    pub degraded: bool,
+    /// Benefit evaluations answered heuristically (injected faults,
+    /// unavailable statistics, or what-if budget exhaustion).
+    pub cost_fallbacks: u64,
 }
 
 impl Recommendation {
@@ -162,6 +185,10 @@ impl Advisor {
     /// share one candidate set across searches.
     pub fn prepare(db: &mut Database, workload: &Workload, params: &AdvisorParams) -> CandidateSet {
         let t = &params.telemetry;
+        // Thread the fault injector through storage before any statistics
+        // work, so stats-unavailable faults fire during enumeration too.
+        db.set_faults(&params.faults);
+        db.set_telemetry(t);
         let mut set = {
             let _enumerate = t.span("enumerate");
             enumerate_candidates_traced(db, workload, t)
@@ -189,25 +216,34 @@ impl Advisor {
 
     /// Runs the full pipeline and recommends a configuration within
     /// `budget` bytes using `algorithm`.
+    ///
+    /// Degrades gracefully: statements that cannot be costed are
+    /// quarantined (reported in [`Recommendation::quarantined`]) and
+    /// optimizer failures fall back to heuristic costs — an `Err` means
+    /// no useful recommendation exists at all (empty workload, everything
+    /// quarantined, or strict mode refusing degradation).
     pub fn recommend(
         db: &mut Database,
         workload: &Workload,
         budget: u64,
         algorithm: SearchAlgorithm,
         params: &AdvisorParams,
-    ) -> Recommendation {
+    ) -> Result<Recommendation, XiaError> {
+        if workload.is_empty() {
+            return Err(XiaError::EmptyWorkload);
+        }
         let start = Instant::now();
         let _advise = params.telemetry.span("advise");
         let set = Self::prepare(db, workload, params);
         let basic = set.basic_ids().len();
         let total = set.len();
-        let mut ev = BenefitEvaluator::new(db, workload, &set);
-        ev.set_telemetry(&params.telemetry);
+        let mut ev = BenefitEvaluator::configured(db, workload, &set, params);
+        Self::check_viability(&ev, params)?;
         let config = {
             let _search = params.telemetry.span("search");
             Self::search_with(&mut ev, &set, budget, algorithm, params)
         };
-        Self::finish(&set, &mut ev, config, basic, total, start)
+        Self::finish_checked(&set, &mut ev, config, basic, total, start, params)
     }
 
     /// Runs only the search step over a prepared candidate set (used by
@@ -219,18 +255,51 @@ impl Advisor {
         budget: u64,
         algorithm: SearchAlgorithm,
         params: &AdvisorParams,
-    ) -> Recommendation {
+    ) -> Result<Recommendation, XiaError> {
+        if workload.is_empty() {
+            return Err(XiaError::EmptyWorkload);
+        }
         let start = Instant::now();
         let _advise = params.telemetry.span("advise");
         let basic = set.basic_ids().len();
         let total = set.len();
-        let mut ev = BenefitEvaluator::new(db, workload, set);
-        ev.set_telemetry(&params.telemetry);
+        let mut ev = BenefitEvaluator::configured(db, workload, set, params);
+        Self::check_viability(&ev, params)?;
         let config = {
             let _search = params.telemetry.span("search");
             Self::search_with(&mut ev, set, budget, algorithm, params)
         };
-        Self::finish(set, &mut ev, config, basic, total, start)
+        Self::finish_checked(set, &mut ev, config, basic, total, start, params)
+    }
+
+    /// Rejects runs where nothing survived quarantine.
+    fn check_viability(ev: &BenefitEvaluator<'_>, _params: &AdvisorParams) -> Result<(), XiaError> {
+        if ev.active_statements() == 0 {
+            return Err(XiaError::AllStatementsQuarantined {
+                total: ev.quarantined().len(),
+            });
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_checked(
+        set: &CandidateSet,
+        ev: &mut BenefitEvaluator<'_>,
+        config: Vec<CandId>,
+        candidates_basic: usize,
+        candidates_total: usize,
+        start: Instant,
+        params: &AdvisorParams,
+    ) -> Result<Recommendation, XiaError> {
+        let rec = Self::finish(set, ev, config, candidates_basic, candidates_total, start);
+        if params.strict && rec.degraded {
+            return Err(XiaError::StrictDegradation {
+                quarantined: rec.quarantined.len(),
+                fallbacks: rec.cost_fallbacks,
+            });
+        }
+        Ok(rec)
     }
 
     fn search_with(
@@ -300,6 +369,9 @@ impl Advisor {
             eval_stats: ev.eval_stats(),
             candidates_basic,
             candidates_total,
+            quarantined: ev.quarantined().to_vec(),
+            degraded: ev.is_degraded(),
+            cost_fallbacks: ev.fallback_count(),
         }
     }
 
@@ -314,7 +386,10 @@ impl Advisor {
         workload: &Workload,
         indexes: &[(String, xia_xpath::LinearPath, ValueKind)],
         params: &AdvisorParams,
-    ) -> Recommendation {
+    ) -> Result<Recommendation, XiaError> {
+        if workload.is_empty() {
+            return Err(XiaError::EmptyWorkload);
+        }
         let start = Instant::now();
         let _advise = params.telemetry.span("advise");
         let mut set = Self::prepare(db, workload, params);
@@ -342,9 +417,9 @@ impl Advisor {
         size_candidates_traced(db, &mut set, &params.telemetry);
         let basic = set.basic_ids().len();
         let total = set.len();
-        let mut ev = BenefitEvaluator::new(db, workload, &set);
-        ev.set_telemetry(&params.telemetry);
-        Self::finish(&set, &mut ev, config, basic, total, start)
+        let mut ev = BenefitEvaluator::configured(db, workload, &set, params);
+        Self::check_viability(&ev, params)?;
+        Self::finish_checked(&set, &mut ev, config, basic, total, start, params)
     }
 
     /// Materializes a recommendation: builds the recommended indexes as
@@ -385,7 +460,8 @@ mod tests {
         let all_size = set.config_size(&Advisor::all_index_config(&set));
         let budget = all_size; // generous budget
         for algo in SearchAlgorithm::ALL {
-            let rec = Advisor::recommend_prepared(&mut db, &w, &set, budget, algo, &params);
+            let rec =
+                Advisor::recommend_prepared(&mut db, &w, &set, budget, algo, &params).unwrap();
             assert!(
                 rec.total_size <= budget,
                 "{}: size {} > budget {budget}",
@@ -415,7 +491,8 @@ mod tests {
             all_size,
             SearchAlgorithm::GreedyHeuristics,
             &params,
-        );
+        )
+        .unwrap();
         let small = Advisor::recommend_prepared(
             &mut db,
             &w,
@@ -423,7 +500,8 @@ mod tests {
             all_size / 8,
             SearchAlgorithm::GreedyHeuristics,
             &params,
-        );
+        )
+        .unwrap();
         assert!(small.total_size <= all_size / 8);
         assert!(small.config.len() <= big.config.len());
         assert!(small.speedup <= big.speedup * 1.01);
@@ -444,7 +522,8 @@ mod tests {
             budget,
             SearchAlgorithm::TopDownLite,
             &params,
-        );
+        )
+        .unwrap();
         let gh = Advisor::recommend_prepared(
             &mut db,
             &w,
@@ -452,7 +531,8 @@ mod tests {
             budget,
             SearchAlgorithm::GreedyHeuristics,
             &params,
-        );
+        )
+        .unwrap();
         assert!(
             td.general_count >= gh.general_count,
             "topdown G={} heuristics G={}",
@@ -470,7 +550,8 @@ mod tests {
             u64::MAX / 2,
             SearchAlgorithm::Greedy,
             &AdvisorParams::default(),
-        );
+        )
+        .unwrap();
         assert!(rec.candidates_basic > 0);
         assert!(rec.candidates_total >= rec.candidates_basic);
         assert!(rec.eval_stats.optimizer_calls > 0);
@@ -481,7 +562,7 @@ mod tests {
     fn zero_budget_recommends_nothing() {
         let (mut db, w) = setup();
         for algo in SearchAlgorithm::ALL {
-            let rec = Advisor::recommend(&mut db, &w, 0, algo, &AdvisorParams::default());
+            let rec = Advisor::recommend(&mut db, &w, 0, algo, &AdvisorParams::default()).unwrap();
             assert!(rec.config.is_empty(), "{}: {:?}", algo.name(), rec.indexes);
             assert_eq!(rec.total_size, 0);
         }
@@ -499,7 +580,8 @@ mod tests {
             u64::MAX / 2,
             SearchAlgorithm::GreedyHeuristics,
             &params,
-        );
+        )
+        .unwrap();
         let n = Advisor::materialize(&mut db, &set, &rec.config);
         assert_eq!(n, rec.config.len());
         let total_phys: usize = db
@@ -533,7 +615,7 @@ mod tests {
                 ValueKind::Str,
             ),
         ];
-        let rec = Advisor::what_if(&mut db, &w, &config, &params);
+        let rec = Advisor::what_if(&mut db, &w, &config, &params).unwrap();
         assert_eq!(rec.config.len(), 2);
         assert!(rec.speedup > 1.0, "symbol index must pay off");
         // The useless index contributes size but no benefit.
@@ -552,7 +634,7 @@ mod tests {
             xia_xpath::parse_linear_path("/Security//*").unwrap(),
             ValueKind::Str,
         )];
-        let rec = Advisor::what_if(&mut db, &w, &config, &params);
+        let rec = Advisor::what_if(&mut db, &w, &config, &params).unwrap();
         assert!(rec.speedup > 1.0);
     }
 

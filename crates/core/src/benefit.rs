@@ -21,9 +21,12 @@
 //! experiment (E9 in DESIGN.md).
 
 use crate::candidate::{CandId, CandidateSet, StmtSet};
+use crate::error::{IssueStage, StatementIssue};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use xia_fault::FaultInjector;
 use xia_obs::{Counter, Telemetry};
-use xia_optimizer::{maintenance, Optimizer};
+use xia_optimizer::{maintenance, CostError, Optimizer};
 use xia_storage::{Database, IndexStats};
 use xia_workloads::Workload;
 
@@ -38,6 +41,38 @@ pub struct EvalStats {
     pub cache_misses: u64,
     /// `benefit()` invocations.
     pub benefit_calls: u64,
+}
+
+/// A what-if evaluation budget. When either limit is reached, further
+/// benefit evaluations fall back to cached sub-configuration values and,
+/// failing that, heuristic costs (the degradation ladder: budget → cached
+/// → heuristic). Zero means unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WhatIfBudget {
+    /// Maximum Evaluate-mode optimizer calls (0 = unlimited).
+    pub max_calls: u64,
+    /// Maximum wall-clock milliseconds spent evaluating (0 = unlimited).
+    pub max_millis: u64,
+}
+
+impl WhatIfBudget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A call-count budget.
+    pub fn calls(max_calls: u64) -> Self {
+        Self {
+            max_calls,
+            max_millis: 0,
+        }
+    }
+
+    fn exhausted(&self, calls: u64, elapsed: Duration) -> bool {
+        (self.max_calls > 0 && calls >= self.max_calls)
+            || (self.max_millis > 0 && elapsed.as_millis() as u64 >= self.max_millis)
+    }
 }
 
 /// Evaluates candidate-configuration benefits through the optimizer.
@@ -62,12 +97,78 @@ pub struct BenefitEvaluator<'a> {
     stats: EvalStats,
     /// Telemetry sink for what-if accounting (off unless attached).
     telemetry: Telemetry,
+    /// Fault injector threaded into every optimizer the evaluator builds.
+    faults: FaultInjector,
+    /// What-if call/time budget; exhausted → heuristic fallbacks.
+    budget: WhatIfBudget,
+    /// When evaluation started (for the time budget).
+    started: Instant,
+    /// Per-statement liveness: quarantined statements are masked out of
+    /// every evaluation loop.
+    active: Vec<bool>,
+    /// Diagnostics for quarantined statements.
+    quarantined: Vec<StatementIssue>,
+    /// Benefit evaluations answered heuristically (fault or budget).
+    fallbacks: u64,
 }
 
 impl<'a> BenefitEvaluator<'a> {
     /// Creates an evaluator, computing per-statement baseline costs with
     /// no candidate indexes in place.
     pub fn new(db: &'a mut Database, workload: &'a Workload, set: &'a CandidateSet) -> Self {
+        Self::with_faults(
+            db,
+            workload,
+            set,
+            &FaultInjector::off(),
+            WhatIfBudget::unlimited(),
+        )
+    }
+
+    /// Creates an evaluator configured from [`crate::advisor::AdvisorParams`]:
+    /// telemetry, fault injector, and what-if budget are all in effect from
+    /// baseline costing onwards.
+    pub fn configured(
+        db: &'a mut Database,
+        workload: &'a Workload,
+        set: &'a CandidateSet,
+        params: &crate::advisor::AdvisorParams,
+    ) -> Self {
+        Self::build(
+            db,
+            workload,
+            set,
+            &params.faults,
+            params.what_if_budget,
+            &params.telemetry,
+        )
+    }
+
+    /// Creates an evaluator with a fault injector and what-if budget in
+    /// effect from baseline costing onwards. Statements whose collection
+    /// is missing are quarantined here; statements whose costing fails
+    /// (stats unavailable, injected optimizer fault) get a heuristic
+    /// baseline and the run is marked degraded.
+    pub fn with_faults(
+        db: &'a mut Database,
+        workload: &'a Workload,
+        set: &'a CandidateSet,
+        faults: &FaultInjector,
+        budget: WhatIfBudget,
+    ) -> Self {
+        Self::build(db, workload, set, faults, budget, &Telemetry::off())
+    }
+
+    fn build(
+        db: &'a mut Database,
+        workload: &'a Workload,
+        set: &'a CandidateSet,
+        faults: &FaultInjector,
+        budget: WhatIfBudget,
+        telemetry: &Telemetry,
+    ) -> Self {
+        db.set_faults(faults);
+        db.set_telemetry(telemetry);
         db.runstats_all();
         for name in db
             .collection_names()
@@ -91,17 +192,82 @@ impl<'a> BenefitEvaluator<'a> {
             use_subconfigs: true,
             use_cache: true,
             stats: EvalStats::default(),
-            telemetry: Telemetry::off(),
+            telemetry: telemetry.clone(),
+            faults: faults.clone(),
+            budget,
+            started: Instant::now(),
+            active: vec![true; workload.len()],
+            quarantined: Vec::new(),
+            fallbacks: 0,
         };
-        ev.baseline = (0..workload.len())
-            .map(|si| ev.statement_cost(si))
-            .collect();
+        ev.compute_baselines();
         ev
+    }
+
+    fn compute_baselines(&mut self) {
+        self.baseline = vec![0.0; self.workload.len()];
+        for si in 0..self.workload.len() {
+            let entry = &self.workload.entries()[si];
+            let coll = entry.statement.collection().to_string();
+            if self.db.collection(&coll).is_none() {
+                self.active[si] = false;
+                self.telemetry.incr(Counter::StatementsQuarantined);
+                self.quarantined.push(StatementIssue {
+                    index: si,
+                    text: entry.text.clone(),
+                    stage: IssueStage::Cost,
+                    detail: format!("unknown collection `{coll}`"),
+                });
+                continue;
+            }
+            self.baseline[si] = match self.try_statement_cost(si) {
+                Ok(c) => c,
+                Err(_) => {
+                    // The statement is costable in principle (the data is
+                    // there); fall back to a heuristic scan estimate so the
+                    // run can continue degraded.
+                    self.fallbacks += 1;
+                    self.telemetry.incr(Counter::CostFallbacks);
+                    self.heuristic_statement_cost(&coll)
+                }
+            };
+        }
+    }
+
+    /// A crude scan-cost proxy used when the optimizer cannot answer:
+    /// touch every node of the statement's collection once.
+    fn heuristic_statement_cost(&self, coll: &str) -> f64 {
+        self.db
+            .collection(coll)
+            .map(|c| c.total_nodes() as f64)
+            .unwrap_or(0.0)
+            .max(1.0)
     }
 
     /// Evaluation counters so far.
     pub fn eval_stats(&self) -> EvalStats {
         self.stats
+    }
+
+    /// Diagnostics for statements quarantined during baseline costing.
+    pub fn quarantined(&self) -> &[StatementIssue] {
+        &self.quarantined
+    }
+
+    /// Number of statements still participating in evaluation.
+    pub fn active_statements(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Benefit evaluations answered heuristically so far (injected faults,
+    /// unavailable statistics, or budget exhaustion).
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Whether any quarantine or fallback degraded this run.
+    pub fn is_degraded(&self) -> bool {
+        self.fallbacks > 0 || !self.quarantined.is_empty()
     }
 
     /// Attaches a telemetry sink: subsequent optimizer calls, cache
@@ -138,16 +304,45 @@ impl<'a> BenefitEvaluator<'a> {
         self.workload
     }
 
-    fn statement_cost(&mut self, si: usize) -> f64 {
+    fn try_statement_cost(&mut self, si: usize) -> Result<f64, CostError> {
         let stmt = &self.workload.entries()[si].statement;
         let coll = stmt.collection().to_string();
         let Some((collection, catalog, stats)) = self.db.parts(&coll) else {
-            return 0.0;
+            // The collection exists (checked at quarantine time), so a
+            // missing view here means statistics were unavailable.
+            return Err(CostError::StatsUnavailable(coll));
         };
         let mut optimizer = Optimizer::new(collection, stats, catalog);
         optimizer.set_telemetry(&self.telemetry);
+        optimizer.set_faults(&self.faults);
         self.stats.optimizer_calls += 1;
-        optimizer.optimize(stmt).total_cost
+        Ok(optimizer.try_optimize(stmt)?.total_cost)
+    }
+
+    /// Costs one statement with the degradation ladder applied: a budget
+    /// check first (exhausted → no optimizer call), then the optimizer,
+    /// then a heuristic. The heuristic indexed-cost estimate is half the
+    /// statement's baseline — optimistic enough that candidates still rank
+    /// by affected baseline mass when the optimizer is unavailable, so a
+    /// degraded run still produces a non-empty recommendation.
+    fn degraded_statement_cost(&mut self, si: usize) -> f64 {
+        if self
+            .budget
+            .exhausted(self.stats.optimizer_calls, self.started.elapsed())
+        {
+            self.telemetry.incr(Counter::WhatIfBudgetExhausted);
+            self.fallbacks += 1;
+            self.telemetry.incr(Counter::CostFallbacks);
+            return 0.5 * self.baseline[si];
+        }
+        match self.try_statement_cost(si) {
+            Ok(c) => c,
+            Err(_) => {
+                self.fallbacks += 1;
+                self.telemetry.incr(Counter::CostFallbacks);
+                0.5 * self.baseline[si]
+            }
+        }
     }
 
     /// Installs exactly `config`'s members as virtual indexes (dropping all
@@ -276,13 +471,19 @@ impl<'a> BenefitEvaluator<'a> {
         };
         self.install_virtuals(&sub);
         let mut total = 0.0;
+        let fallbacks_before = self.fallbacks;
         for si in stmts {
-            let new_cost = self.statement_cost(si);
+            if !self.active[si] {
+                continue;
+            }
+            let new_cost = self.degraded_statement_cost(si);
             let freq = self.workload.entries()[si].freq;
             total += freq * (self.baseline[si] - new_cost);
         }
         self.install_virtuals(&[]);
-        if self.use_cache {
+        // Heuristic answers are not memoized: a later evaluation inside
+        // budget (or past the fault) should get the real number.
+        if self.use_cache && self.fallbacks == fallbacks_before {
             self.cache.insert(sub, total);
         }
         total
@@ -316,6 +517,9 @@ impl<'a> BenefitEvaluator<'a> {
         };
         let mut used: Vec<CandId> = Vec::new();
         for si in stmts {
+            if !self.active[si] {
+                continue;
+            }
             let stmt = &self.workload.entries()[si].statement;
             let coll = stmt.collection().to_string();
             let Some((collection, catalog, stats)) = self.db.parts(&coll) else {

@@ -31,9 +31,12 @@ pub fn enumerate_candidates_traced(
         let Some(collection) = db.collection(&coll_name) else {
             continue; // statement over a collection that does not exist
         };
-        let stats = db
-            .stats_cached(&coll_name)
-            .expect("runstats_all just refreshed statistics");
+        // Statistics can be absent when collection under a stats-unavailable
+        // fault (see xia-fault); skip the statement rather than panic — the
+        // benefit evaluator degrades it to a heuristic cost downstream.
+        let Some(stats) = db.stats_cached(&coll_name) else {
+            continue;
+        };
         let catalog = db.catalog(&coll_name).expect("collection has a catalog");
         let mut optimizer = Optimizer::new(collection, stats, catalog);
         optimizer.set_telemetry(telemetry);
@@ -64,7 +67,9 @@ pub fn size_candidates_traced(db: &mut Database, set: &mut CandidateSet, telemet
         let Some(collection) = db.collection(&coll_name) else {
             continue;
         };
-        let stats = db.stats_cached(&coll_name).expect("stats refreshed above");
+        let Some(stats) = db.stats_cached(&coll_name) else {
+            continue; // stats unavailable (fault-injected); keep size 0
+        };
         telemetry.incr(Counter::StatsDerivations);
         let (_, istats) = xia_storage::Catalog::derive_stats(collection, stats, &pattern, kind);
         set.get_mut(id).size = istats.size_bytes;

@@ -1,0 +1,256 @@
+//! Unified advisor error hierarchy.
+//!
+//! Every fallible advisor entry point returns [`XiaError`], which wraps
+//! the layer-specific errors (`ParseError`, `XmlError`, `PersistError`,
+//! `ExecError`, injected faults) and supports context chains: callers
+//! attach what they were doing with [`XiaError::context`], and consumers
+//! (the `xia` CLI) walk [`XiaError::chain`] to print the full story.
+//!
+//! Statement-level problems that the advisor survives are *not* errors:
+//! they become [`StatementIssue`] diagnostics on the `Recommendation`
+//! (see `benefit::BenefitEvaluator`). `XiaError` is reserved for the
+//! cases where no useful answer exists at all.
+
+use std::fmt;
+use xia_fault::InjectedFault;
+use xia_optimizer::ExecError;
+use xia_storage::PersistError;
+use xia_xml::XmlError;
+use xia_xpath::ParseError;
+
+/// Where in the pipeline a quarantined statement failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueStage {
+    /// The statement text did not parse.
+    Parse,
+    /// The statement parsed but could not be costed (missing collection,
+    /// stats unavailable, optimizer failure).
+    Cost,
+}
+
+impl fmt::Display for IssueStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IssueStage::Parse => "parse",
+            IssueStage::Cost => "cost",
+        })
+    }
+}
+
+/// A per-statement diagnostic for a quarantined workload statement. The
+/// advisor keeps going over the remaining statements and reports these in
+/// the `Recommendation` instead of aborting.
+#[derive(Debug, Clone)]
+pub struct StatementIssue {
+    /// Index of the statement in the workload (or input order for
+    /// parse-stage issues collected before a workload exists).
+    pub index: usize,
+    /// The statement text (possibly truncated by the producer).
+    pub text: String,
+    /// Pipeline stage that failed.
+    pub stage: IssueStage,
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+impl fmt::Display for StatementIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "statement #{} quarantined at {} stage: {}",
+            self.index + 1,
+            self.stage,
+            self.detail
+        )
+    }
+}
+
+/// The advisor's unified error type.
+#[derive(Debug)]
+pub enum XiaError {
+    /// A statement or path failed to parse.
+    Parse(ParseError),
+    /// An XML document failed to parse.
+    Xml(XmlError),
+    /// Persisted-database load/save failure (I/O, format, corruption).
+    Persist(PersistError),
+    /// Plan execution failure.
+    Exec(ExecError),
+    /// A fault fired by the xia-fault injector surfaced as an error.
+    Injected(InjectedFault),
+    /// The workload contains no statements (nothing to advise on).
+    EmptyWorkload,
+    /// Every statement in the workload was quarantined; no recommendation
+    /// can be based on anything.
+    AllStatementsQuarantined {
+        /// How many statements were quarantined.
+        total: usize,
+    },
+    /// A statement referenced a collection the database does not have.
+    UnknownCollection(String),
+    /// Strict mode was requested and the run would have degraded.
+    StrictDegradation {
+        /// Statements quarantined at cost stage.
+        quarantined: usize,
+        /// Benefit evaluations answered heuristically.
+        fallbacks: u64,
+    },
+    /// An internal invariant failed — a bug, not a user problem.
+    Internal(String),
+    /// A wrapped error with one line of caller context.
+    Context {
+        /// What the caller was doing.
+        context: String,
+        /// The underlying error.
+        source: Box<XiaError>,
+    },
+}
+
+impl fmt::Display for XiaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XiaError::Parse(e) => write!(f, "parse error: {e}"),
+            XiaError::Xml(e) => write!(f, "xml error: {e}"),
+            XiaError::Persist(e) => write!(f, "{e}"),
+            XiaError::Exec(e) => write!(f, "execution error: {e}"),
+            XiaError::Injected(e) => write!(f, "{e}"),
+            XiaError::EmptyWorkload => write!(f, "workload is empty"),
+            XiaError::AllStatementsQuarantined { total } => write!(
+                f,
+                "all {total} workload statements were quarantined; nothing to advise on"
+            ),
+            XiaError::UnknownCollection(name) => {
+                write!(f, "unknown collection `{name}`")
+            }
+            XiaError::StrictDegradation {
+                quarantined,
+                fallbacks,
+            } => write!(
+                f,
+                "strict mode: run degraded ({quarantined} statements quarantined, \
+                 {fallbacks} cost fallbacks)"
+            ),
+            XiaError::Internal(m) => write!(f, "internal error: {m}"),
+            XiaError::Context { context, .. } => write!(f, "{context}"),
+        }
+    }
+}
+
+impl std::error::Error for XiaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XiaError::Parse(e) => Some(e),
+            XiaError::Xml(e) => Some(e),
+            XiaError::Persist(e) => Some(e),
+            XiaError::Exec(e) => Some(e),
+            XiaError::Injected(e) => Some(e),
+            XiaError::Context { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl XiaError {
+    /// Wraps this error with one line of context (outermost first when
+    /// printed via [`XiaError::chain`]).
+    pub fn context(self, context: impl Into<String>) -> XiaError {
+        XiaError::Context {
+            context: context.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// The error's root cause (unwraps all context layers).
+    pub fn root(&self) -> &XiaError {
+        match self {
+            XiaError::Context { source, .. } => source.root(),
+            other => other,
+        }
+    }
+
+    /// The full context chain, outermost message first, ending at the
+    /// root cause's own message.
+    pub fn chain(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            out.push(cur.to_string());
+            match cur {
+                XiaError::Context { source, .. } => cur = source.as_ref(),
+                _ => break,
+            }
+        }
+        // Layer-wrapped foreign errors already render their source in
+        // Display; nothing further to walk.
+        out
+    }
+}
+
+impl From<ParseError> for XiaError {
+    fn from(e: ParseError) -> Self {
+        XiaError::Parse(e)
+    }
+}
+
+impl From<XmlError> for XiaError {
+    fn from(e: XmlError) -> Self {
+        XiaError::Xml(e)
+    }
+}
+
+impl From<PersistError> for XiaError {
+    fn from(e: PersistError) -> Self {
+        XiaError::Persist(e)
+    }
+}
+
+impl From<ExecError> for XiaError {
+    fn from(e: ExecError) -> Self {
+        XiaError::Exec(e)
+    }
+}
+
+impl From<InjectedFault> for XiaError {
+    fn from(e: InjectedFault) -> Self {
+        XiaError::Injected(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_chain_prints_outermost_first() {
+        let e = XiaError::EmptyWorkload
+            .context("while preparing candidates")
+            .context("while advising on database `db.xiadb`");
+        let chain = e.chain();
+        assert_eq!(chain.len(), 3);
+        assert!(chain[0].contains("advising"));
+        assert!(chain[1].contains("preparing"));
+        assert!(chain[2].contains("empty"));
+        assert!(matches!(e.root(), XiaError::EmptyWorkload));
+    }
+
+    #[test]
+    fn sources_are_walkable() {
+        use std::error::Error as _;
+        let inner = XiaError::UnknownCollection("X".into());
+        let e = inner.context("loading");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn statement_issue_displays_one_based() {
+        let i = StatementIssue {
+            index: 0,
+            text: "bad".into(),
+            stage: IssueStage::Parse,
+            detail: "unexpected token".into(),
+        };
+        let s = i.to_string();
+        assert!(s.contains("#1"), "{s}");
+        assert!(s.contains("parse stage"), "{s}");
+    }
+}

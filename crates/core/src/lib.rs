@@ -32,17 +32,19 @@ pub mod advisor;
 pub mod benefit;
 pub mod candidate;
 pub mod enumerate;
+pub mod error;
 pub mod generalize;
 pub mod report;
 pub mod search;
 pub mod session;
 
 pub use advisor::{Advisor, AdvisorParams, Recommendation, SearchAlgorithm};
-pub use benefit::BenefitEvaluator;
+pub use benefit::{BenefitEvaluator, WhatIfBudget};
 pub use candidate::{CandId, Candidate, CandidateSet, StmtSet};
 pub use enumerate::{
     enumerate_candidates, enumerate_candidates_traced, size_candidates, size_candidates_traced,
 };
+pub use error::{IssueStage, StatementIssue, XiaError};
 pub use generalize::{generalize_pair, generalize_set};
 pub use report::TuningReport;
 pub use session::TuningSession;

@@ -194,7 +194,8 @@ mod tests {
             u64::MAX / 2,
             SearchAlgorithm::GreedyHeuristics,
             &params,
-        );
+        )
+        .unwrap();
         let report = TuningReport::build(&mut db, &w, &set, &rec);
         assert_eq!(report.statements.len(), w.len());
         // Every improved statement's after-cost is at most its before-cost.
@@ -232,7 +233,8 @@ mod tests {
             0,
             SearchAlgorithm::GreedyHeuristics,
             &params,
-        );
+        )
+        .unwrap();
         let report = TuningReport::build(&mut db, &w, &set, &rec);
         for s in &report.statements {
             assert!((s.cost_after - s.cost_before).abs() < 1e-9);

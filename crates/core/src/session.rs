@@ -8,6 +8,7 @@
 
 use crate::advisor::{Advisor, AdvisorParams, Recommendation, SearchAlgorithm};
 use crate::candidate::CandidateSet;
+use crate::error::XiaError;
 use xia_storage::Database;
 use xia_workloads::Workload;
 use xia_xpath::ParseError;
@@ -83,8 +84,14 @@ impl<'db> TuningSession<'db> {
         self.prepared.as_ref().expect("prepared").len()
     }
 
-    /// Produces a recommendation for the accumulated workload.
-    pub fn recommend(&mut self, budget: u64, algorithm: SearchAlgorithm) -> Recommendation {
+    /// Produces a recommendation for the accumulated workload. Errors when
+    /// nothing useful can be recommended (empty workload, everything
+    /// quarantined, strict-mode degradation); see [`Advisor::recommend`].
+    pub fn recommend(
+        &mut self,
+        budget: u64,
+        algorithm: SearchAlgorithm,
+    ) -> Result<Recommendation, XiaError> {
         self.ensure_prepared();
         let compressed = self.workload.compress();
         let set = self.prepared.as_ref().expect("prepared");
@@ -126,13 +133,17 @@ mod tests {
             )
             .unwrap();
         assert_eq!(session.observed(), 1);
-        let rec1 = session.recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics);
+        let rec1 = session
+            .recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .unwrap();
         assert_eq!(rec1.indexes.len(), 1);
 
         session
             .observe(r#"for $o in ORDER('ODOC')/Order where $o/AccountId = "A00001" return $o"#)
             .unwrap();
-        let rec2 = session.recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics);
+        let rec2 = session
+            .recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .unwrap();
         assert!(rec2.indexes.len() >= 2, "{:?}", rec2.indexes);
     }
 
@@ -174,7 +185,9 @@ mod tests {
         session
             .observe(r#"collection('SDOC')/Security[Symbol = "SYM00004"]"#)
             .unwrap();
-        let rec = session.recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics);
+        let rec = session
+            .recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .unwrap();
         let n = session.apply(&rec);
         assert_eq!(n, rec.indexes.len());
         assert!(n >= 1);
@@ -197,7 +210,9 @@ mod tests {
         session
             .observe(r#"collection('SDOC')/Security[Yield > 4.5]"#)
             .unwrap();
-        let rec = session.recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics);
+        let rec = session
+            .recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .unwrap();
         let ddl = rec.ddl();
         assert!(ddl.contains("CREATE INDEX idx_sdoc_1"), "{ddl}");
         assert!(ddl.contains("GENERATE KEY USING XMLPATTERN"), "{ddl}");

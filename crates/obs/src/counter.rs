@@ -42,11 +42,21 @@ pub enum Counter {
     StatsDerivations,
     /// Estimated bytes of virtual indexes created (gauge-style sum).
     EstIndexBytes,
+    /// Workload statements quarantined after a parse or costing failure
+    /// (graceful degradation instead of aborting the advise run).
+    StatementsQuarantined,
+    /// Benefit evaluations answered with a heuristic fallback cost after
+    /// an optimizer failure or budget exhaustion.
+    CostFallbacks,
+    /// What-if evaluations refused because the call/time budget ran out.
+    WhatIfBudgetExhausted,
+    /// Faults fired by the xia-fault injector during this run.
+    FaultsInjected,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 21] = [
         Counter::OptimizerEvaluateCalls,
         Counter::OptimizerEnumerateCalls,
         Counter::IndexMatchingAttempts,
@@ -64,6 +74,10 @@ impl Counter {
         Counter::VirtualIndexesDropped,
         Counter::StatsDerivations,
         Counter::EstIndexBytes,
+        Counter::StatementsQuarantined,
+        Counter::CostFallbacks,
+        Counter::WhatIfBudgetExhausted,
+        Counter::FaultsInjected,
     ];
 
     /// Number of counters.
@@ -89,6 +103,10 @@ impl Counter {
             Counter::VirtualIndexesDropped => "virtual_indexes_dropped",
             Counter::StatsDerivations => "stats_derivations",
             Counter::EstIndexBytes => "est_index_bytes",
+            Counter::StatementsQuarantined => "statements_quarantined",
+            Counter::CostFallbacks => "cost_fallbacks",
+            Counter::WhatIfBudgetExhausted => "what_if_budget_exhausted",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 

@@ -5,9 +5,43 @@ use crate::matching::{self, CandidatePattern};
 use crate::plan::{AccessChoice, IndexUse, Plan, PlanStep};
 use crate::selectivity::PatternStats;
 use std::cell::Cell;
+use std::fmt;
+use xia_fault::{FaultInjector, FaultSite, InjectedFault};
 use xia_obs::{Counter, Telemetry};
 use xia_storage::{Catalog, Collection, CollectionStats};
 use xia_xpath::{normalize_statement, NormalizedQuery, Statement, ValueKind};
+
+/// An Evaluate-mode costing failure. The what-if interface treats the
+/// optimizer as an oracle; this is the oracle declining to answer — the
+/// advisor degrades to cached or heuristic costs instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostError {
+    /// A fault injected by the xia-fault harness.
+    Injected(InjectedFault),
+    /// Collection statistics were unavailable or stale for the named
+    /// collection, so no cost estimate could be produced.
+    StatsUnavailable(String),
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::Injected(e) => write!(f, "optimizer cost estimation failed: {e}"),
+            CostError::StatsUnavailable(coll) => {
+                write!(f, "statistics unavailable for collection `{coll}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CostError::Injected(e) => Some(e),
+            CostError::StatsUnavailable(_) => None,
+        }
+    }
+}
 
 /// A cost-based optimizer bound to one collection's data, statistics, and
 /// catalog — the server-side component the advisor calls into.
@@ -20,6 +54,8 @@ pub struct Optimizer<'a> {
     /// Telemetry sink for mode entry points, index-matching attempts, and
     /// selectivity estimates (off unless attached).
     telemetry: Telemetry,
+    /// Fault injector for Evaluate-mode failures (off unless attached).
+    faults: FaultInjector,
 }
 
 impl<'a> Optimizer<'a> {
@@ -46,12 +82,19 @@ impl<'a> Optimizer<'a> {
             cost_model,
             evaluate_calls: Cell::new(0),
             telemetry: Telemetry::off(),
+            faults: FaultInjector::off(),
         }
     }
 
     /// Attaches a telemetry sink; subsequent mode calls count against it.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.telemetry = telemetry.clone();
+    }
+
+    /// Attaches a fault injector; subsequent [`Optimizer::try_optimize`]
+    /// calls roll its `optimizer-cost` site.
+    pub fn set_faults(&mut self, faults: &FaultInjector) {
+        self.faults = faults.clone();
     }
 
     /// The cost model in use.
@@ -115,6 +158,19 @@ impl<'a> Optimizer<'a> {
             Some(nq) => self.plan_normalized(&nq),
             None => self.plan_insert(stmt),
         }
+    }
+
+    /// Fallible Evaluate-mode entry point: like [`Optimizer::optimize`],
+    /// but rolls the attached fault injector's `optimizer-cost` site first
+    /// and reports the failure instead of costing. The advisor uses this
+    /// for what-if calls so it can degrade gracefully; direct execution
+    /// paths keep the infallible [`Optimizer::optimize`].
+    pub fn try_optimize(&self, stmt: &Statement) -> Result<Plan, CostError> {
+        if let Err(e) = self.faults.roll(FaultSite::OptimizerCost) {
+            self.telemetry.incr(Counter::FaultsInjected);
+            return Err(CostError::Injected(e));
+        }
+        Ok(self.optimize(stmt))
     }
 
     /// Plans a normalized statement (shared by queries, deletes, updates).
@@ -689,6 +745,23 @@ mod tests {
         assert_eq!(estimate_payload_nodes("<a><b>1</b><c/></a>"), 3);
         assert_eq!(estimate_payload_nodes(r#"<a id="1"><b/></a>"#), 3);
         assert_eq!(estimate_payload_nodes(""), 1);
+    }
+
+    #[test]
+    fn try_optimize_reports_injected_cost_faults() {
+        let c = big_collection();
+        let s = runstats(&c);
+        let cat = Catalog::new();
+        let mut opt = Optimizer::new(&c, &s, &cat);
+        // No injector attached: behaves exactly like optimize().
+        assert!(opt.try_optimize(&q_symbol()).is_ok());
+        let f = xia_fault::FaultInjector::seeded(11).with_always(FaultSite::OptimizerCost);
+        opt.set_faults(&f);
+        match opt.try_optimize(&q_symbol()) {
+            Err(CostError::Injected(e)) => assert_eq!(e.site, FaultSite::OptimizerCost),
+            other => panic!("expected injected fault, got {other:?}"),
+        }
+        assert_eq!(f.injected(FaultSite::OptimizerCost), 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::catalog::Catalog;
 use crate::collection::Collection;
 use crate::stats::{runstats, CollectionStats};
 use std::collections::HashMap;
+use xia_fault::{FaultInjector, FaultSite};
 
 struct Entry {
     collection: Collection,
@@ -17,6 +18,7 @@ struct Entry {
 pub struct Database {
     entries: Vec<Entry>,
     by_name: HashMap<String, usize>,
+    faults: FaultInjector,
 }
 
 impl Database {
@@ -145,17 +147,31 @@ impl Database {
         reclaimed
     }
 
-    /// Runs statistics collection on every collection (RUNSTATS).
+    /// Runs statistics collection on every collection (RUNSTATS). With a
+    /// fault injector attached, a fired `stats-unavailable` fault leaves
+    /// that collection's statistics stale — [`Database::parts`] then
+    /// returns `None` for it while [`Database::collection`] still works,
+    /// which is how callers distinguish "no stats" from "no collection".
     pub fn runstats_all(&mut self) {
+        let faults = self.faults.clone();
         for e in &mut self.entries {
+            if faults.roll(FaultSite::StatsUnavailable).is_err() {
+                e.stats = None;
+                continue;
+            }
             e.stats = Some(runstats(&e.collection));
         }
     }
 
-    /// Borrows statistics, computing them if stale.
+    /// Borrows statistics, computing them if stale. Returns `None` when an
+    /// attached fault injector fires `stats-unavailable`.
     pub fn stats(&mut self, name: &str) -> Option<&CollectionStats> {
+        let faults = self.faults.clone();
         let e = self.entry_mut(name)?;
         if e.stats.is_none() {
+            if faults.roll(FaultSite::StatsUnavailable).is_err() {
+                return None;
+            }
             e.stats = Some(runstats(&e.collection));
         }
         e.stats.as_ref()
@@ -178,6 +194,17 @@ impl Database {
         for e in &mut self.entries {
             e.catalog.set_telemetry(telemetry);
         }
+    }
+
+    /// Attaches a fault injector; statistics collection rolls its
+    /// `stats-unavailable` site (see [`Database::runstats_all`]).
+    pub fn set_faults(&mut self, faults: &FaultInjector) {
+        self.faults = faults.clone();
+    }
+
+    /// The attached fault injector (disabled unless set).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 }
 

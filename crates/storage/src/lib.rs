@@ -27,5 +27,9 @@ pub use catalog::{Catalog, IndexDef, IndexId, IndexStats};
 pub use collection::{Collection, DocId};
 pub use database::Database;
 pub use index::{OrdF64, PhysicalIndex, Posting};
-pub use persist::{load_database, save_database, PersistError};
+pub use persist::{
+    fnv1a64, load_database, load_database_from, load_database_lenient,
+    load_database_lenient_faulted, load_database_lenient_from, save_database,
+    save_database_faulted, save_database_to, save_database_to_faulted, LoadReport, PersistError,
+};
 pub use stats::{runstats, CollectionStats, PathStat};

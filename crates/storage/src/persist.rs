@@ -4,13 +4,13 @@
 //! `xia` CLI) can work against saved databases:
 //!
 //! ```text
-//! XIADB v1
+//! XIADB v2
 //! COLLECTION <name>
-//! DOC <byte-length>
+//! DOC <byte-length> <fnv1a64-hex>
 //! <xml text (exactly byte-length bytes)>
 //! ...
 //! INDEX <collection> <string|numerical> <pattern>
-//! END
+//! END <record-count> <fnv1a64-hex>
 //! ```
 //!
 //! Documents are serialized XML (length-prefixed, so values may contain
@@ -18,11 +18,24 @@
 //! pattern and rebuilt on load. Virtual indexes and statistics are not
 //! persisted — statistics are recomputed by RUNSTATS, virtual indexes are
 //! per-session advisor state.
+//!
+//! ## Integrity
+//!
+//! Version 2 adds corruption detection: every `DOC` record carries an
+//! FNV-1a-64 checksum of its payload, and the `END` trailer carries the
+//! record count plus a running checksum of every byte before it. The
+//! strict loaders ([`load_database`] / [`load_database_from`]) fail on
+//! the first mismatch; the lenient loaders ([`load_database_lenient`])
+//! load every record that verifies and report what didn't in a
+//! [`LoadReport`] — the partial-recovery path the advisor uses so one
+//! flipped bit does not take down a tuning session. Version 1 files
+//! (no checksums) still load through both paths.
 
 use crate::database::Database;
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+use xia_fault::{FaultInjector, FaultSite};
 use xia_xpath::{parse_linear_path, LinearPath, ValueKind};
 
 /// Persistence error.
@@ -32,6 +45,14 @@ pub enum PersistError {
     Io(std::io::Error),
     /// The file is not a valid XIADB dump.
     Format(String),
+    /// The file is framed correctly but a checksum does not verify —
+    /// on-disk corruption rather than a foreign format.
+    Corrupt {
+        /// 1-based line number of the failing record.
+        line: u64,
+        /// What failed to verify.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -39,11 +60,21 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::Format(m) => write!(f, "format error: {m}"),
+            PersistError::Corrupt { line, detail } => {
+                write!(f, "corruption detected at line {line}: {detail}")
+            }
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
@@ -51,23 +82,112 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+impl From<xia_fault::InjectedFault> for PersistError {
+    fn from(e: xia_fault::InjectedFault) -> Self {
+        PersistError::Io(e.into())
+    }
+}
+
 fn format_err(msg: impl Into<String>) -> PersistError {
     PersistError::Format(msg.into())
 }
 
+/// FNV-1a 64-bit — the dependency-free checksum guarding the dump.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a 64 of `bytes` (exposed for tests and tooling).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut f = Fnv::new();
+    f.update(bytes);
+    f.finish()
+}
+
+/// What a lenient load found: per-record outcomes plus the diagnostics
+/// for everything that failed to verify.
+#[derive(Debug, Default, Clone)]
+pub struct LoadReport {
+    /// Format version of the file (1 or 2).
+    pub version: u32,
+    /// Documents loaded and verified.
+    pub docs_loaded: u64,
+    /// Documents skipped (checksum mismatch, bad XML, injected I/O).
+    pub docs_skipped: u64,
+    /// Physical index definitions rebuilt.
+    pub indexes_loaded: u64,
+    /// Index definitions skipped (unparseable or unknown collection).
+    pub indexes_skipped: u64,
+    /// Whether the END trailer was present and verified.
+    pub trailer_ok: bool,
+    /// False when loading stopped early (truncation or mis-framing);
+    /// records after the stop point were never examined.
+    pub complete: bool,
+    /// One human-readable line per problem, with line numbers.
+    pub diagnostics: Vec<String>,
+}
+
+impl LoadReport {
+    /// True when every record verified and the trailer matched.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.trailer_ok && self.complete
+    }
+}
+
 /// Serializes the database (documents + physical index definitions) to a
-/// writer.
+/// writer, in the checksummed v2 format.
 pub fn save_database_to(db: &Database, out: &mut impl Write) -> Result<(), PersistError> {
-    writeln!(out, "XIADB v1")?;
+    save_database_to_faulted(db, out, &FaultInjector::off())
+}
+
+/// [`save_database_to`] with a fault injector rolled once per record
+/// (`storage-io` site) — an injected fault surfaces as an I/O error.
+pub fn save_database_to_faulted(
+    db: &Database,
+    out: &mut impl Write,
+    faults: &FaultInjector,
+) -> Result<(), PersistError> {
+    fn emit(out: &mut impl Write, fnv: &mut Fnv, s: &str) -> Result<(), PersistError> {
+        out.write_all(s.as_bytes())?;
+        fnv.update(s.as_bytes());
+        Ok(())
+    }
+    let mut fnv = Fnv::new();
+    let mut records: u64 = 0;
+    emit(out, &mut fnv, "XIADB v2\n")?;
     let mut index_lines: Vec<String> = Vec::new();
     for name in db.collection_names() {
         let coll = db.collection(name).expect("name from collection_names");
-        writeln!(out, "COLLECTION {name}")?;
+        faults.roll(FaultSite::StorageIo)?;
+        records += 1;
+        emit(out, &mut fnv, &format!("COLLECTION {name}\n"))?;
         for (_, doc) in coll.iter_docs() {
+            faults.roll(FaultSite::StorageIo)?;
             let xml = xia_xml::write_document(doc, coll.vocab());
-            writeln!(out, "DOC {}", xml.len())?;
-            out.write_all(xml.as_bytes())?;
-            writeln!(out)?;
+            records += 1;
+            emit(
+                out,
+                &mut fnv,
+                &format!("DOC {} {:016x}\n", xml.len(), fnv1a64(xml.as_bytes())),
+            )?;
+            emit(out, &mut fnv, &xml)?;
+            emit(out, &mut fnv, "\n")?;
         }
         if let Some(catalog) = db.catalog(name) {
             for def in catalog.iter().filter(|d| !d.is_virtual()) {
@@ -75,110 +195,345 @@ pub fn save_database_to(db: &Database, out: &mut impl Write) -> Result<(), Persi
                     ValueKind::Str => "string",
                     ValueKind::Num => "numerical",
                 };
-                index_lines.push(format!("INDEX {name} {kind} {}", def.pattern));
+                index_lines.push(format!("INDEX {name} {kind} {}\n", def.pattern));
             }
         }
     }
     for line in index_lines {
-        writeln!(out, "{line}")?;
+        faults.roll(FaultSite::StorageIo)?;
+        records += 1;
+        emit(out, &mut fnv, &line)?;
     }
-    writeln!(out, "END")?;
+    writeln!(out, "END {records} {:016x}", fnv.finish())?;
     Ok(())
 }
 
 /// Saves the database to a file.
 pub fn save_database(db: &Database, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    save_database_faulted(db, path, &FaultInjector::off())
+}
+
+/// [`save_database`] with a fault injector (see
+/// [`save_database_to_faulted`]).
+pub fn save_database_faulted(
+    db: &Database,
+    path: impl AsRef<Path>,
+    faults: &FaultInjector,
+) -> Result<(), PersistError> {
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
-    save_database_to(db, &mut w)?;
+    save_database_to_faulted(db, &mut w, faults)?;
     w.flush()?;
     Ok(())
 }
 
-/// Deserializes a database from a reader.
+/// Strictly deserializes a database from a reader: the first corrupt or
+/// malformed record is an error.
 pub fn load_database_from(input: &mut impl BufRead) -> Result<Database, PersistError> {
-    let mut line = String::new();
-    input.read_line(&mut line)?;
-    if line.trim_end() != "XIADB v1" {
-        return Err(format_err("missing XIADB v1 header"));
-    }
-    let mut db = Database::new();
-    let mut current: Option<String> = None;
-    let mut indexes: Vec<(String, ValueKind, LinearPath)> = Vec::new();
-    loop {
-        line.clear();
-        if input.read_line(&mut line)? == 0 {
-            return Err(format_err("unexpected end of file (missing END)"));
-        }
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        if trimmed == "END" {
-            break;
-        }
-        if let Some(name) = trimmed.strip_prefix("COLLECTION ") {
-            let name = name.trim();
-            if name.is_empty() {
-                return Err(format_err("empty collection name"));
-            }
-            db.create_collection(name);
-            current = Some(name.to_string());
-        } else if let Some(len) = trimmed.strip_prefix("DOC ") {
-            let len: usize = len
-                .trim()
-                .parse()
-                .map_err(|_| format_err(format!("bad DOC length `{len}`")))?;
-            let mut buf = vec![0u8; len];
-            input.read_exact(&mut buf)?;
-            // Consume the trailing newline.
-            let mut nl = [0u8; 1];
-            input.read_exact(&mut nl)?;
-            let xml =
-                String::from_utf8(buf).map_err(|_| format_err("document is not valid UTF-8"))?;
-            let Some(coll_name) = &current else {
-                return Err(format_err("DOC before any COLLECTION"));
-            };
-            let coll = db
-                .collection_mut(coll_name)
-                .expect("collection created above");
-            coll.insert_xml(&xml)
-                .map_err(|e| format_err(format!("bad document: {e}")))?;
-        } else if let Some(rest) = trimmed.strip_prefix("INDEX ") {
-            let mut parts = rest.splitn(3, ' ');
-            let coll = parts
-                .next()
-                .ok_or_else(|| format_err("INDEX missing collection"))?;
-            let kind = match parts.next() {
-                Some("string") => ValueKind::Str,
-                Some("numerical") => ValueKind::Num,
-                other => return Err(format_err(format!("bad index kind {other:?}"))),
-            };
-            let pattern = parts
-                .next()
-                .ok_or_else(|| format_err("INDEX missing pattern"))?;
-            let pattern = parse_linear_path(pattern)
-                .map_err(|e| format_err(format!("bad index pattern: {e}")))?;
-            indexes.push((coll.to_string(), kind, pattern));
-        } else if trimmed.is_empty() {
-            continue;
-        } else {
-            return Err(format_err(format!("unrecognized line `{trimmed}`")));
-        }
-    }
-    // Rebuild physical indexes.
-    for (coll, kind, pattern) in indexes {
-        let Some((collection, catalog, _)) = db.parts_mut(&coll) else {
-            return Err(format_err(format!("INDEX on unknown collection {coll}")));
-        };
-        catalog.create_physical(collection, &pattern, kind);
-    }
-    db.runstats_all();
-    Ok(db)
+    load_core(input, true, &FaultInjector::off()).map(|(db, _)| db)
 }
 
-/// Loads a database from a file.
+/// Strictly loads a database from a file.
 pub fn load_database(path: impl AsRef<Path>) -> Result<Database, PersistError> {
     let file = std::fs::File::open(path)?;
     let mut r = BufReader::new(file);
     load_database_from(&mut r)
+}
+
+/// Leniently deserializes: loads every record that verifies, skips (and
+/// reports) what doesn't, and stops with a partial database only on
+/// unrecoverable mis-framing. Errors only when nothing is loadable
+/// (missing or foreign header, unreadable input).
+pub fn load_database_lenient_from(
+    input: &mut impl BufRead,
+) -> Result<(Database, LoadReport), PersistError> {
+    load_core(input, false, &FaultInjector::off())
+}
+
+/// Leniently loads a database from a file.
+pub fn load_database_lenient(
+    path: impl AsRef<Path>,
+) -> Result<(Database, LoadReport), PersistError> {
+    load_database_lenient_faulted(path, &FaultInjector::off())
+}
+
+/// [`load_database_lenient`] with a fault injector rolled once per DOC
+/// record (`storage-io` site); an injected fault skips that document and
+/// is reported in the diagnostics, modelling an unreadable page.
+pub fn load_database_lenient_faulted(
+    path: impl AsRef<Path>,
+    faults: &FaultInjector,
+) -> Result<(Database, LoadReport), PersistError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    load_core(&mut r, false, faults)
+}
+
+fn load_core(
+    input: &mut impl BufRead,
+    strict: bool,
+    faults: &FaultInjector,
+) -> Result<(Database, LoadReport), PersistError> {
+    let mut line = String::new();
+    input.read_line(&mut line)?;
+    let version = match line.trim_end() {
+        "XIADB v1" => 1,
+        "XIADB v2" => 2,
+        _ => return Err(format_err("missing XIADB v1/v2 header")),
+    };
+    let mut report = LoadReport {
+        version,
+        // v1 has a bare END with nothing to verify; treat it as ok.
+        trailer_ok: false,
+        complete: true,
+        ..LoadReport::default()
+    };
+    let mut fnv = Fnv::new();
+    fnv.update(line.as_bytes());
+    let mut lineno: u64 = 1;
+    let mut records: u64 = 0;
+    let mut db = Database::new();
+    let mut current: Option<String> = None;
+    let mut indexes: Vec<(u64, String, ValueKind, LinearPath)> = Vec::new();
+    let mut saw_end = false;
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            if strict {
+                return Err(format_err("unexpected end of file (missing END)"));
+            }
+            report.complete = false;
+            report
+                .diagnostics
+                .push(format!("line {}: file truncated (missing END)", lineno + 1));
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed == "END" || trimmed.starts_with("END ") {
+            saw_end = true;
+            match version {
+                1 => {
+                    if trimmed != "END" {
+                        let msg = format!("line {lineno}: malformed v1 END trailer");
+                        if strict {
+                            return Err(format_err(msg));
+                        }
+                        report.diagnostics.push(msg);
+                    } else {
+                        report.trailer_ok = true;
+                    }
+                }
+                _ => {
+                    let mut parts = trimmed.split_ascii_whitespace();
+                    let _end = parts.next();
+                    let want_records = parts.next().and_then(|s| s.parse::<u64>().ok());
+                    let want_fnv = parts.next().and_then(|s| u64::from_str_radix(s, 16).ok());
+                    match (want_records, want_fnv) {
+                        (Some(r), Some(h)) if r == records && h == fnv.finish() => {
+                            report.trailer_ok = true;
+                        }
+                        (Some(_), Some(_)) => {
+                            let detail = "END trailer record count or file checksum mismatch";
+                            if strict {
+                                return Err(PersistError::Corrupt {
+                                    line: lineno,
+                                    detail: detail.into(),
+                                });
+                            }
+                            report.diagnostics.push(format!("line {lineno}: {detail}"));
+                        }
+                        _ => {
+                            let msg = format!("line {lineno}: malformed END trailer");
+                            if strict {
+                                return Err(format_err(msg));
+                            }
+                            report.diagnostics.push(msg);
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        fnv.update(line.as_bytes());
+        if let Some(name) = trimmed.strip_prefix("COLLECTION ") {
+            records += 1;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(format_err(format!("line {lineno}: empty collection name")));
+            }
+            db.create_collection(name);
+            current = Some(name.to_string());
+        } else if let Some(rest) = trimmed.strip_prefix("DOC ") {
+            records += 1;
+            let doc_line = lineno;
+            let mut parts = rest.split_ascii_whitespace();
+            let len: usize = match parts.next().and_then(|s| s.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    let msg = format!("line {doc_line}: bad DOC length `{rest}`");
+                    if strict {
+                        return Err(format_err(msg));
+                    }
+                    // Unrecoverable: without the length the payload cannot
+                    // be skipped over.
+                    report.diagnostics.push(msg);
+                    report.complete = false;
+                    break;
+                }
+            };
+            let want_sum: Option<u64> = parts.next().and_then(|s| u64::from_str_radix(s, 16).ok());
+            if version >= 2 && want_sum.is_none() {
+                let msg = format!("line {doc_line}: DOC record missing checksum");
+                if strict {
+                    return Err(format_err(msg));
+                }
+                report.diagnostics.push(msg);
+                report.complete = false;
+                break;
+            }
+            let mut buf = vec![0u8; len];
+            if let Err(e) = input.read_exact(&mut buf) {
+                if strict {
+                    return Err(e.into());
+                }
+                report.docs_skipped += 1;
+                report.complete = false;
+                report
+                    .diagnostics
+                    .push(format!("line {doc_line}: truncated document payload ({e})"));
+                break;
+            }
+            // Consume the trailing newline.
+            let mut nl = [0u8; 1];
+            let have_nl = input.read_exact(&mut nl).is_ok();
+            fnv.update(&buf);
+            if have_nl {
+                fnv.update(&nl);
+            }
+            lineno += buf.iter().filter(|&&b| b == b'\n').count() as u64 + 1;
+            if let Err(e) = faults.roll(FaultSite::StorageIo) {
+                if strict {
+                    return Err(PersistError::Io(e.into()));
+                }
+                report.docs_skipped += 1;
+                report
+                    .diagnostics
+                    .push(format!("line {doc_line}: document unreadable ({e})"));
+                continue;
+            }
+            if let Some(want) = want_sum {
+                let got = fnv1a64(&buf);
+                if got != want {
+                    if strict {
+                        return Err(PersistError::Corrupt {
+                            line: doc_line,
+                            detail: format!(
+                                "document checksum mismatch (stored {want:016x}, computed {got:016x})"
+                            ),
+                        });
+                    }
+                    report.docs_skipped += 1;
+                    report.diagnostics.push(format!(
+                        "line {doc_line}: document checksum mismatch, skipped"
+                    ));
+                    continue;
+                }
+            }
+            let xml = match String::from_utf8(buf) {
+                Ok(s) => s,
+                Err(_) => {
+                    let msg = format!("line {doc_line}: document is not valid UTF-8");
+                    if strict {
+                        return Err(format_err(msg));
+                    }
+                    report.docs_skipped += 1;
+                    report.diagnostics.push(format!("{msg}, skipped"));
+                    continue;
+                }
+            };
+            let Some(coll_name) = &current else {
+                let msg = format!("line {doc_line}: DOC before any COLLECTION");
+                if strict {
+                    return Err(format_err(msg));
+                }
+                report.docs_skipped += 1;
+                report.diagnostics.push(format!("{msg}, skipped"));
+                continue;
+            };
+            let coll = db
+                .collection_mut(coll_name)
+                .expect("collection created above");
+            match coll.insert_xml(&xml) {
+                Ok(_) => report.docs_loaded += 1,
+                Err(e) => {
+                    let msg = format!("line {doc_line}: bad document: {e}");
+                    if strict {
+                        return Err(format_err(msg));
+                    }
+                    report.docs_skipped += 1;
+                    report.diagnostics.push(format!("{msg}, skipped"));
+                }
+            }
+        } else if let Some(rest) = trimmed.strip_prefix("INDEX ") {
+            records += 1;
+            match parse_index_record(rest) {
+                Ok((coll, kind, pattern)) => indexes.push((lineno, coll, kind, pattern)),
+                Err(msg) => {
+                    let msg = format!("line {lineno}: {msg}");
+                    if strict {
+                        return Err(format_err(msg));
+                    }
+                    report.indexes_skipped += 1;
+                    report.diagnostics.push(format!("{msg}, skipped"));
+                }
+            }
+        } else if trimmed.is_empty() {
+            continue;
+        } else {
+            let msg = format!("line {lineno}: unrecognized line `{trimmed}`");
+            if strict {
+                return Err(format_err(msg));
+            }
+            // Mis-framing: continuing would interpret payload bytes as
+            // records. Stop and return what verified so far.
+            report.diagnostics.push(msg);
+            report.complete = false;
+            break;
+        }
+    }
+    if !saw_end && strict {
+        return Err(format_err("unexpected end of file (missing END)"));
+    }
+    // Rebuild physical indexes.
+    for (at, coll, kind, pattern) in indexes {
+        let Some((collection, catalog, _)) = db.parts_mut(&coll) else {
+            let msg = format!("line {at}: INDEX on unknown collection {coll}");
+            if strict {
+                return Err(format_err(msg));
+            }
+            report.indexes_skipped += 1;
+            report.diagnostics.push(format!("{msg}, skipped"));
+            continue;
+        };
+        catalog.create_physical(collection, &pattern, kind);
+        report.indexes_loaded += 1;
+    }
+    db.runstats_all();
+    Ok((db, report))
+}
+
+fn parse_index_record(rest: &str) -> Result<(String, ValueKind, LinearPath), String> {
+    let mut parts = rest.splitn(3, ' ');
+    let coll = parts.next().ok_or("INDEX missing collection")?;
+    let kind = match parts.next() {
+        Some("string") => ValueKind::Str,
+        Some("numerical") => ValueKind::Num,
+        other => return Err(format!("bad index kind {other:?}")),
+    };
+    let pattern = parts.next().ok_or("INDEX missing pattern")?;
+    let pattern = parse_linear_path(pattern).map_err(|e| format!("bad index pattern: {e}"))?;
+    Ok((coll.to_string(), kind, pattern))
 }
 
 #[cfg(test)]
@@ -277,6 +632,89 @@ mod tests {
         assert!(load_database_from(&mut r).is_err());
         let mut r = std::io::Cursor::new(b"XIADB v1\nGARBAGE\nEND\n".to_vec());
         assert!(load_database_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let xml = "<a><b>1</b></a>";
+        let file = format!("XIADB v1\nCOLLECTION X\nDOC {}\n{xml}\nEND\n", xml.len());
+        let db = load_database_from(&mut std::io::Cursor::new(file.clone().into_bytes())).unwrap();
+        assert_eq!(db.collection("X").unwrap().len(), 1);
+        let (db, report) =
+            load_database_lenient_from(&mut std::io::Cursor::new(file.into_bytes())).unwrap();
+        assert_eq!(db.collection("X").unwrap().len(), 1);
+        assert_eq!(report.version, 1);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn strict_load_detects_flipped_payload_byte() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_database_to(&db, &mut buf).unwrap();
+        // Flip a byte inside the first document payload.
+        let pos = buf
+            .windows(4)
+            .position(|w| w == b"<Sec")
+            .expect("payload present");
+        buf[pos + 1] ^= 0x20;
+        match load_database_from(&mut std::io::Cursor::new(buf)) {
+            Err(PersistError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("checksum"), "{detail}")
+            }
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("expected Corrupt, got Ok"),
+        }
+    }
+
+    #[test]
+    fn lenient_load_skips_corrupt_doc_and_reports() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_database_to(&db, &mut buf).unwrap();
+        let pos = buf
+            .windows(4)
+            .position(|w| w == b"<Sec")
+            .expect("payload present");
+        buf[pos + 1] ^= 0x20;
+        let (loaded, report) = load_database_lenient_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.collection("SDOC").unwrap().len(), 19);
+        assert_eq!(report.docs_skipped, 1);
+        assert_eq!(report.docs_loaded, 20); // 19 SDOC + 1 ODOC
+        assert!(!report.is_clean());
+        assert!(report.diagnostics[0].contains("checksum"));
+        // Index still rebuilds over the surviving documents.
+        assert_eq!(report.indexes_loaded, 1);
+    }
+
+    #[test]
+    fn lenient_load_survives_truncation_with_partial_db() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_database_to(&db, &mut buf).unwrap();
+        buf.truncate(buf.len() * 2 / 3);
+        let (loaded, report) = load_database_lenient_from(&mut std::io::Cursor::new(buf)).unwrap();
+        assert!(!loaded.collection("SDOC").unwrap().is_empty());
+        assert!(!report.complete);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn injected_io_fault_skips_docs_leniently_and_fails_strictly() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join(format!("xia_persist_fault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.xiadb");
+        save_database(&db, &path).unwrap();
+        let faults = FaultInjector::seeded(5).with_rate(FaultSite::StorageIo, 0.3);
+        let (loaded, report) = load_database_lenient_faulted(&path, &faults).unwrap();
+        assert!(report.docs_skipped > 0);
+        assert_eq!(report.docs_loaded + report.docs_skipped, 21);
+        assert_eq!(
+            loaded.collection("SDOC").unwrap().len() + loaded.collection("ODOC").unwrap().len(),
+            report.docs_loaded as usize
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

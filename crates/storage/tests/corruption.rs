@@ -1,0 +1,174 @@
+//! Property-style corruption tests: save → mutilate → load.
+//!
+//! For a sweep of truncation points and deterministic single-bit flips,
+//! loading must never panic: the strict loader reports a typed error, the
+//! lenient loader recovers whatever still verifies.
+
+use xia_storage::{
+    load_database_from, load_database_lenient_from, save_database_to, Database, PersistError,
+};
+
+/// Deterministic pseudo-random stream (splitmix64) — no external crates,
+/// fixed seed, reproducible failures.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+const DOCS: usize = 24;
+
+fn sample_db() -> Database {
+    let mut db = Database::new();
+    let coll = db.create_collection("SDOC");
+    for i in 0..DOCS {
+        coll.insert_xml(&format!(
+            "<Security><Symbol>S{i:03}</Symbol><Yield>{}.25</Yield>\
+             <Sector>sector-{}</Sector></Security>",
+            i % 9,
+            i % 4
+        ))
+        .unwrap();
+    }
+    let coll = db.create_collection("ODOC");
+    for i in 0..8 {
+        coll.insert_xml(&format!("<Order><Id>{i}</Id><Qty>{}</Qty></Order>", i * 10))
+            .unwrap();
+    }
+    db.runstats_all();
+    db
+}
+
+fn dump(db: &Database) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    save_database_to(db, &mut bytes).unwrap();
+    bytes
+}
+
+fn strict(bytes: &[u8]) -> Result<Database, PersistError> {
+    let mut r = std::io::BufReader::new(bytes);
+    load_database_from(&mut r)
+}
+
+fn lenient(bytes: &[u8]) -> Result<(Database, xia_storage::LoadReport), PersistError> {
+    let mut r = std::io::BufReader::new(bytes);
+    load_database_lenient_from(&mut r)
+}
+
+fn doc_count(db: &Database) -> usize {
+    db.collection_names()
+        .iter()
+        .map(|n| db.collection(n).unwrap().iter_docs().count())
+        .sum()
+}
+
+#[test]
+fn clean_round_trip_is_identity() {
+    let db = sample_db();
+    let bytes = dump(&db);
+    let restored = strict(&bytes).unwrap();
+    assert_eq!(doc_count(&restored), DOCS + 8);
+    let (restored, report) = lenient(&bytes).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(doc_count(&restored), DOCS + 8);
+    assert_eq!(report.docs_loaded as usize, DOCS + 8);
+}
+
+#[test]
+fn every_truncation_point_loads_without_panicking() {
+    let bytes = dump(&sample_db());
+    let total = DOCS + 8;
+    // Every 7th byte: the loader must return, not panic. Stop short of
+    // `len - 1`, because dropping only the final newline still leaves a
+    // logically complete file (the trailer line is intact).
+    for cut in (0..bytes.len() - 1).step_by(7) {
+        let prefix = &bytes[..cut];
+        // Strict: a truncated file is never silently accepted — the END
+        // trailer is missing or itself cut short.
+        assert!(
+            strict(prefix).is_err(),
+            "strict load accepted a truncation at byte {cut}"
+        );
+        // Lenient: partial recovery or a typed error, never a panic, and
+        // never more documents than were saved.
+        // An Err is fine too (header truncated away entirely).
+        if let Ok((db, report)) = lenient(prefix) {
+            assert!(
+                !report.is_clean(),
+                "truncation at {cut} reported a clean load: {report:?}"
+            );
+            assert!(doc_count(&db) <= total);
+        }
+    }
+}
+
+#[test]
+fn every_sampled_bit_flip_is_detected_or_tolerated() {
+    let bytes = dump(&sample_db());
+    let total = DOCS + 8;
+    let mut rng = Rng(0xFA0175);
+    for _ in 0..300 {
+        let pos = (rng.next() as usize) % bytes.len();
+        let bit = 1u8 << (rng.next() % 8);
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= bit;
+        if flipped[pos] == bytes[pos] {
+            continue;
+        }
+        // Strict mode: a flipped payload or frame must not be silently
+        // accepted as a full, clean database — unless the flip landed in
+        // bytes the loader legitimately ignores (it must then still load
+        // every document).
+        match strict(&flipped) {
+            Ok(db) => assert_eq!(
+                doc_count(&db),
+                total,
+                "strict load silently dropped data after flipping bit {bit:#x} at byte {pos}"
+            ),
+            Err(e) => {
+                assert!(!format!("{e}").is_empty());
+            }
+        }
+        // Lenient mode: never panics, never conjures documents.
+        if let Ok((db, report)) = lenient(&flipped) {
+            assert!(doc_count(&db) <= total);
+            let _ = report;
+        }
+    }
+}
+
+#[test]
+fn flipping_one_payload_byte_loses_exactly_that_document_leniently() {
+    let bytes = dump(&sample_db());
+    // Find a DOC payload: the line after a "DOC <len> <fnv>" header. Flip a
+    // byte in the middle of its XML.
+    let text = String::from_utf8(bytes.clone()).unwrap();
+    let mut offset = 0usize;
+    let mut payload_at = None;
+    for line in text.lines() {
+        if line.starts_with("DOC ") {
+            payload_at = Some(offset + line.len() + 1 + 10); // 10 bytes into the XML
+            break;
+        }
+        offset += line.len() + 1;
+    }
+    let pos = payload_at.expect("dump contains a DOC record");
+    let mut flipped = bytes.clone();
+    flipped[pos] ^= 0x01;
+
+    match strict(&flipped) {
+        Err(PersistError::Corrupt { .. }) => {}
+        Err(other) => panic!("expected Corrupt, got {other}"),
+        Ok(_) => panic!("strict load accepted a corrupt payload"),
+    }
+    let (db, report) = lenient(&flipped).unwrap();
+    assert_eq!(report.docs_skipped, 1, "{report:?}");
+    assert_eq!(doc_count(&db), DOCS + 8 - 1);
+    assert!(!report.is_clean());
+}

@@ -60,6 +60,31 @@ impl Workload {
         Ok(w)
     }
 
+    /// Lenient variant of [`Workload::from_texts`]: statements that fail to
+    /// parse are collected instead of aborting the whole workload, so one
+    /// malformed statement in a captured trace does not block tuning.
+    /// Returns the workload over the parseable statements plus the rejected
+    /// `(text, error)` pairs in input order.
+    pub fn from_texts_lenient<'a>(
+        texts: impl IntoIterator<Item = &'a str>,
+    ) -> (Self, Vec<(String, ParseError)>) {
+        let mut w = Self::new();
+        let mut rejected = Vec::new();
+        for t in texts {
+            if let Err(e) = w.push(t) {
+                rejected.push((t.trim().to_string(), e));
+            }
+        }
+        (w, rejected)
+    }
+
+    /// Lenient variant of [`Workload::push_with_freq`]: on a parse failure
+    /// the workload is left unchanged and the error is returned by value
+    /// (never panics, never aborts a batch).
+    pub fn try_push_with_freq(&mut self, text: &str, freq: f64) -> Option<ParseError> {
+        self.push_with_freq(text, freq).err()
+    }
+
     /// The entries in order.
     pub fn entries(&self) -> &[WorkloadEntry] {
         &self.entries
@@ -203,5 +228,24 @@ mod tests {
         let mut w = Workload::new();
         assert!(w.push("for $x in nonsense").is_err());
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn lenient_from_texts_keeps_good_statements() {
+        let (w, rejected) = Workload::from_texts_lenient([
+            r#"collection('C')/a[b = 1]"#,
+            "for $x in nonsense",
+            r#"collection('C')/a[c = 2]"#,
+        ]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].0, "for $x in nonsense");
+    }
+
+    #[test]
+    fn lenient_from_texts_of_all_bad_input_is_empty() {
+        let (w, rejected) = Workload::from_texts_lenient(["???", "also bad ["]);
+        assert!(w.is_empty());
+        assert_eq!(rejected.len(), 2);
     }
 }

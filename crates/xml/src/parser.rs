@@ -216,6 +216,11 @@ impl<'a, 'v> Parser<'a, 'v> {
         stack: &mut Vec<Frame>,
     ) -> Result<(), XmlError> {
         self.expect("<")?;
+        if stack.len() >= MAX_XML_DEPTH {
+            return Err(self.err(format!(
+                "element nesting deeper than {MAX_XML_DEPTH} levels"
+            )));
+        }
         let name = self.parse_name()?;
         if !stack.is_empty() {
             stack
@@ -320,6 +325,18 @@ fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
 }
 
+/// Maximum element nesting depth. Real document collections nest a few
+/// dozen levels; a hostile chain of thousands of open tags would make the
+/// rooted-path dictionary quadratic (each node's path copies its parent's),
+/// so the parser rejects absurd depth with a typed error instead.
+pub const MAX_XML_DEPTH: usize = 512;
+
+/// Longest accepted entity reference body (between `&` and `;`). The
+/// longest legitimate reference is a hex character reference like
+/// `&#x10FFFF;`; the cap keeps a stray `&` in hostile input from scanning
+/// (and echoing back) unbounded text while hunting for a `;`.
+const MAX_ENTITY_LEN: usize = 32;
+
 /// Decodes the five predefined XML entities plus decimal/hex character
 /// references.
 pub fn decode_entities(s: &str) -> Result<String, String> {
@@ -331,9 +348,13 @@ pub fn decode_entities(s: &str) -> Result<String, String> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         rest = &rest[amp..];
-        let semi = rest
-            .find(';')
-            .ok_or_else(|| "unterminated entity reference".to_string())?;
+        // Byte search: `;` is ASCII, so this never splits a code point,
+        // even when the window cuts through a multi-byte character.
+        let window = &rest.as_bytes()[..rest.len().min(MAX_ENTITY_LEN + 2)];
+        let semi = window
+            .iter()
+            .position(|&b| b == b';')
+            .ok_or_else(|| "unterminated or overlong entity reference".to_string())?;
         let entity = &rest[1..semi];
         match entity {
             "amp" => out.push('&'),
@@ -460,5 +481,75 @@ mod tests {
         let (doc, _) = parse("<a>hello <b>1</b> world</a>");
         assert_eq!(doc.len(), 2);
         assert!(doc.node(doc.root()).value.is_none());
+    }
+
+    #[test]
+    fn overlong_entity_reference_is_rejected_without_scanning() {
+        // A stray `&` followed by a long run of text must not be treated as
+        // a giant entity name (nor echoed back verbatim in the error).
+        let body = "x".repeat(10_000);
+        let err = decode_entities(&format!("&{body};")).unwrap_err();
+        assert!(err.contains("overlong"), "{err}");
+        assert!(
+            err.len() < 200,
+            "error echoes hostile input: {} bytes",
+            err.len()
+        );
+        // Same through the document parser.
+        let mut vocab = Vocabulary::new();
+        assert!(parse_document(&format!("<a>&{body};</a>"), &mut vocab).is_err());
+    }
+
+    #[test]
+    fn unterminated_entity_reference_errors() {
+        assert!(decode_entities("tail &amp").is_err());
+        assert!(decode_entities("&").is_err());
+    }
+
+    #[test]
+    fn hostile_character_references_are_rejected() {
+        // Surrogate code point.
+        assert!(decode_entities("&#xD800;").is_err());
+        // Beyond the Unicode range.
+        assert!(decode_entities("&#x110000;").is_err());
+        assert!(decode_entities("&#4294967296;").is_err());
+        // Garbage digits.
+        assert!(decode_entities("&#xZZ;").is_err());
+        assert!(decode_entities("&#;").is_err());
+        // The maximum legitimate reference still decodes.
+        assert_eq!(decode_entities("&#x10FFFF;").unwrap(), "\u{10FFFF}");
+    }
+
+    #[test]
+    fn multibyte_text_near_entity_cap_does_not_split_code_points() {
+        // A multi-byte character straddling the scan window must not panic.
+        let s = format!("&{}é;", "e".repeat(31));
+        assert!(decode_entities(&s).is_err());
+        let ok = format!("{}&amp;tail", "é".repeat(40));
+        assert!(decode_entities(&ok).unwrap().contains('&'));
+    }
+
+    fn nested(depth: usize) -> String {
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<a>");
+        }
+        s.push('1');
+        for _ in 0..depth {
+            s.push_str("</a>");
+        }
+        s
+    }
+
+    #[test]
+    fn nesting_depth_is_capped_with_a_typed_error() {
+        let mut vocab = Vocabulary::new();
+        // Within the cap: parses fine (the parser is iterative, so this is
+        // bounded by MAX_XML_DEPTH, not the call stack).
+        let doc = parse_document(&nested(MAX_XML_DEPTH), &mut vocab).unwrap();
+        assert_eq!(doc.len(), MAX_XML_DEPTH);
+        // One past the cap: typed error, no panic, no quadratic blow-up.
+        let err = parse_document(&nested(MAX_XML_DEPTH + 1), &mut vocab).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
     }
 }

@@ -34,7 +34,7 @@ pub use linear::{Axis, LinearPath, LinearStep, NameTest};
 pub use normalize::{
     normalize as normalize_statement, AccessPattern, NormalizedQuery, PatternPred,
 };
-pub use parser::{parse_linear_path, parse_path_expr, ParseError};
+pub use parser::{parse_linear_path, parse_path_expr, ParseError, MAX_PATH_STEPS};
 pub use sqlxml::parse_sqlxml;
 pub use statement::{Statement, ValueKind};
 pub use xquery::{parse_statement, FlworQuery, ReturnExpr};

@@ -22,6 +22,14 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum number of steps in one path and of predicates on one step.
+/// Downstream consumers (containment checks, index matching, plan
+/// rendering) recurse or allocate per step, so hostile inputs with
+/// hundreds of thousands of steps are rejected up front with a typed
+/// error instead of risking stack or memory exhaustion deep in the
+/// pipeline.
+pub const MAX_PATH_STEPS: usize = 4096;
+
 pub(crate) struct TokenCursor {
     tokens: Vec<(usize, Token)>,
     pos: usize,
@@ -138,6 +146,9 @@ pub(crate) fn parse_linear_steps(
             Some(Token::Name(_)) => NameTest::Name(cur.expect_name()?),
             _ => return Err(cur.err("expected a name test after axis")),
         };
+        if steps.len() >= MAX_PATH_STEPS {
+            return Err(cur.err(format!("path longer than {MAX_PATH_STEPS} steps")));
+        }
         steps.push(LinearStep { axis, test });
     }
     Ok(steps)
@@ -189,9 +200,15 @@ pub(crate) fn parse_path_expr_steps(
         };
         let mut predicates = Vec::new();
         while cur.peek() == Some(&Token::LBracket) {
+            if predicates.len() >= MAX_PATH_STEPS {
+                return Err(cur.err(format!("more than {MAX_PATH_STEPS} predicates on one step")));
+            }
             cur.next();
             predicates.push(parse_predicate(cur)?);
             cur.expect(&Token::RBracket)?;
+        }
+        if steps.len() >= MAX_PATH_STEPS {
+            return Err(cur.err(format!("path longer than {MAX_PATH_STEPS} steps")));
         }
         steps.push(Step {
             axis,
@@ -379,5 +396,43 @@ mod tests {
         );
         let p = parse_linear_path(&s).unwrap();
         assert_eq!(p.len(), 20);
+    }
+
+    #[test]
+    fn hostile_step_count_is_rejected() {
+        let s = "/a".repeat(MAX_PATH_STEPS + 1);
+        let err = parse_linear_path(&s).unwrap_err();
+        assert!(err.message.contains("longer than"), "{err}");
+        let err = parse_path_expr(&s).unwrap_err();
+        assert!(err.message.contains("longer than"), "{err}");
+        // At the cap, both parsers accept.
+        let ok = "/a".repeat(MAX_PATH_STEPS);
+        assert!(parse_linear_path(&ok).is_ok());
+    }
+
+    #[test]
+    fn hostile_predicate_count_is_rejected() {
+        let s = format!("/a{}", "[b]".repeat(MAX_PATH_STEPS + 1));
+        let err = parse_path_expr(&s).unwrap_err();
+        assert!(err.message.contains("predicates"), "{err}");
+    }
+
+    #[test]
+    fn hostile_lexer_input_errors_without_panicking() {
+        // Unterminated strings, stray operator bytes, and multi-byte
+        // characters must produce typed errors, never panics.
+        for bad in [
+            "\"unterminated",
+            "'unterminated",
+            "a ! b",
+            "a : b",
+            "$",
+            "héllo",
+            "\u{1F600}",
+            "1e",
+            "..5.5.",
+        ] {
+            assert!(parse_path_expr(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

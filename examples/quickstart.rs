@@ -84,7 +84,8 @@ fn main() {
         SearchAlgorithm::GreedyHeuristics,
         SearchAlgorithm::TopDownFull,
     ] {
-        let rec = Advisor::recommend(&mut db, &workload, budget, algo, &AdvisorParams::default());
+        let rec = Advisor::recommend(&mut db, &workload, budget, algo, &AdvisorParams::default())
+            .expect("advise");
         println!(
             "  {:<13} speedup {:.2}x, {} indexes ({} general, {} specific), {} bytes, {} optimizer calls",
             algo.name(),

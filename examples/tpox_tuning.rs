@@ -62,7 +62,8 @@ fn main() {
     for frac in [0.25, 0.5, 1.0] {
         let budget = (all_size as f64 * frac) as u64;
         for algo in SearchAlgorithm::ALL {
-            let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params);
+            let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)
+                .expect("advise");
             println!(
                 "{:<14} {:>9.2}x {:>8.2}x {:>8} {:>3}/{:<3} {:>11}",
                 algo.name(),

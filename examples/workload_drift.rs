@@ -64,7 +64,8 @@ fn main() {
         SearchAlgorithm::GreedyHeuristics,
         SearchAlgorithm::TopDownLite,
     ] {
-        let rec = Advisor::recommend_prepared(&mut db, &training, &set, budget, algo, &params);
+        let rec = Advisor::recommend_prepared(&mut db, &training, &set, budget, algo, &params)
+            .expect("advise");
         println!("{}:", algo.name());
         for ix in &rec.indexes {
             println!(

@@ -38,7 +38,8 @@ fn main() {
             budget,
             SearchAlgorithm::TopDownFull,
             &params,
-        );
+        )
+        .expect("advise");
         println!(
             "budget {:>7} bytes ({:.0}% of All-Index): speedup {:.2}x with {} indexes",
             budget,

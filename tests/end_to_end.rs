@@ -20,7 +20,8 @@ fn recommended_indexes_speed_up_real_execution() {
         budget,
         SearchAlgorithm::GreedyHeuristics,
         &params,
-    );
+    )
+    .expect("advise");
     assert!(!rec.config.is_empty());
 
     let baseline = actual_execution(&mut lab.db, &workload, &set, &[]);
@@ -56,7 +57,8 @@ fn recommended_indexes_are_used_by_the_optimizer() {
         budget,
         SearchAlgorithm::GreedyHeuristics,
         &params,
-    );
+    )
+    .expect("advise");
     Advisor::materialize(&mut lab.db, &set, &rec.config);
     lab.db.runstats_all();
 
@@ -160,7 +162,8 @@ fn multi_collection_workload_recommends_per_collection_indexes() {
         u64::MAX / 2,
         SearchAlgorithm::GreedyHeuristics,
         &params,
-    );
+    )
+    .expect("advise");
     let colls: std::collections::HashSet<&str> =
         rec.indexes.iter().map(|i| i.collection.as_str()).collect();
     assert!(colls.contains("SDOC"));
@@ -196,7 +199,8 @@ fn advisor_handles_or_and_sqlxml_statements() {
         u64::MAX / 2,
         SearchAlgorithm::GreedyHeuristics,
         &params,
-    );
+    )
+    .expect("advise");
     assert!(rec.speedup > 1.0, "speedup {}", rec.speedup);
     // Physical execution agrees with a scan on the OR query.
     let baseline = xia_bench::lab::actual_execution(&mut lab.db, &workload, &set, &[]);

@@ -76,7 +76,8 @@ fn extended_queries_enumerate_candidates_and_advise() {
         u64::MAX / 2,
         xia_advisor::SearchAlgorithm::GreedyHeuristics,
         &xia_advisor::AdvisorParams::default(),
-    );
+    )
+    .expect("advise");
     assert!(rec.candidates_basic > 10);
     assert!(rec.speedup > 1.0);
     // The existence pattern over the optional Dividend element is a

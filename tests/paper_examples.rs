@@ -216,7 +216,8 @@ fn advisor_on_paper_workload_recommends_the_selective_indexes() {
         u64::MAX / 2,
         xia_advisor::SearchAlgorithm::GreedyHeuristics,
         &params,
-    );
+    )
+    .expect("advise");
     let gh_patterns: Vec<&str> = gh.indexes.iter().map(|i| i.pattern.as_str()).collect();
     assert!(gh_patterns.contains(&"/Security/Symbol"), "{gh_patterns:?}");
     assert!(gh.speedup > 1.0);
@@ -227,7 +228,8 @@ fn advisor_on_paper_workload_recommends_the_selective_indexes() {
         u64::MAX / 2,
         xia_advisor::SearchAlgorithm::TopDownFull,
         &params,
-    );
+    )
+    .expect("advise");
     assert!(td.general_count >= 1, "{:?}", td.indexes);
     // Every top-down index covers the symbol pattern (tight coupling: it
     // is usable for Q1).

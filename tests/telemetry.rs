@@ -60,7 +60,8 @@ fn full_run_populates_counters_and_phase_tree() {
         u64::MAX / 2,
         SearchAlgorithm::GreedyHeuristics,
         &params,
-    );
+    )
+    .expect("advise");
     assert!(!rec.config.is_empty());
     let t = &params.telemetry;
 
@@ -166,7 +167,8 @@ fn live_report_round_trips_through_json() {
         u64::MAX / 2,
         SearchAlgorithm::TopDownFull,
         &params,
-    );
+    )
+    .expect("advise");
     let mut report = params.telemetry.report();
     // Hostile statement text: quotes, backslashes, control chars, unicode.
     report.push_statement("q \"x\" \\ \t\n \u{1} é €", 123.5, 7.0);
@@ -193,7 +195,8 @@ fn disabled_handle_records_nothing_and_stays_cheap() {
         u64::MAX / 2,
         SearchAlgorithm::GreedyHeuristics,
         &params,
-    );
+    )
+    .expect("advise");
     assert!(!rec.config.is_empty());
     assert_eq!(params.telemetry.get(Counter::OptimizerEvaluateCalls), 0);
     assert!(params.telemetry.span_snapshots().is_empty());
