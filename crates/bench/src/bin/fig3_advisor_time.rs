@@ -1,4 +1,6 @@
-//! Regenerates Fig. 3: advisor run time (and optimizer calls) vs budget.
+//! Regenerates Fig. 3: advisor run time (and optimizer calls) vs budget,
+//! single-threaded and at `--jobs 4` (the counts are identical; only the
+//! timing columns change).
 
 use xia_advisor::SearchAlgorithm;
 use xia_bench::experiments::speedup_budget::{self, DEFAULT_FRACTIONS};
@@ -6,10 +8,30 @@ use xia_bench::{write_csv, TpoxLab};
 
 fn main() {
     let mut lab = TpoxLab::standard();
-    let result = speedup_budget::run(&mut lab, &DEFAULT_FRACTIONS, &SearchAlgorithm::ALL);
+    let workload = lab.workload();
+    let result = speedup_budget::run_workload_jobs(
+        &mut lab,
+        &workload,
+        &DEFAULT_FRACTIONS,
+        &SearchAlgorithm::ALL,
+        1,
+    );
     let table = speedup_budget::fig3_table(&result);
     print!("{}", table.render());
     if let Some(p) = write_csv(&table, "fig3_advisor_time") {
+        println!("wrote {}", p.display());
+    }
+    let result4 = speedup_budget::run_workload_jobs(
+        &mut lab,
+        &workload,
+        &DEFAULT_FRACTIONS,
+        &SearchAlgorithm::ALL,
+        4,
+    );
+    let mut table4 = speedup_budget::fig3_table(&result4);
+    table4.title.push_str(" (--jobs 4)");
+    print!("{}", table4.render());
+    if let Some(p) = write_csv(&table4, "fig3_advisor_time_jobs4") {
         println!("wrote {}", p.display());
     }
     let breakdown = speedup_budget::telemetry_breakdown_table(&result);

@@ -1,0 +1,32 @@
+//! Parallel what-if evaluation: evaluation-phase timings vs `--jobs`.
+//!
+//! Run with `--release`; scale the lab with `XIA_SCALE` (default 1) and
+//! the workload with `XIA_SYNTH` extra synthetic statements (default 24 —
+//! enough per-statement costing work for the fan-out to amortize).
+
+use xia_bench::experiments::parallel::{self, DEFAULT_JOBS};
+use xia_bench::{write_csv, TpoxLab};
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let n_synth: usize = std::env::var("XIA_SYNTH")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let workload = lab.mixed_workload(n_synth);
+    let rows = parallel::run(&mut lab, &workload, &DEFAULT_JOBS);
+    let t = parallel::table(&rows);
+    print!("{}", t.render());
+    if let Some(p) = write_csv(&t, "parallel_speedup") {
+        println!("wrote {}", p.display());
+    }
+    if let (Some(serial), Some(par)) = (
+        rows.iter().find(|r| r.jobs == 1),
+        rows.iter().find(|r| r.jobs == 4),
+    ) {
+        println!(
+            "evaluation phase: {:.1} ms at jobs=1, {:.1} ms at jobs=4 ({:.2}x)",
+            serial.evaluate_ms, par.evaluate_ms, par.eval_speedup
+        );
+    }
+}

@@ -75,4 +75,11 @@ fn main() {
     let t = ablation::beta_table(&rows);
     print!("{}", t.render());
     write_csv(&t, "ablation_beta");
+
+    println!("\n=== Parallel what-if evaluation ===");
+    let workload = lab.mixed_workload(24);
+    let rows = parallel::run(&mut lab, &workload, &parallel::DEFAULT_JOBS);
+    let t = parallel::table(&rows);
+    print!("{}", t.render());
+    write_csv(&t, "parallel_speedup");
 }

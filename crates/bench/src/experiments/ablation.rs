@@ -17,6 +17,8 @@ use xia_advisor::{search, Advisor, AdvisorParams, BenefitEvaluator};
 pub struct AblationRow {
     /// Which switches were on: (affected sets, sub-configs, cache).
     pub switches: (bool, bool, bool),
+    /// What-if worker threads used for the search.
+    pub jobs: usize,
     /// Evaluate-mode optimizer calls during the search.
     pub optimizer_calls: u64,
     /// Wall time of the search in milliseconds.
@@ -30,7 +32,9 @@ pub struct AblationRow {
 }
 
 /// Runs greedy-with-heuristics under each combination of evaluator
-/// switches.
+/// switches, single- and multi-threaded (the all-on combo repeats at
+/// `jobs = 4` so the table reports the parallel evaluation time
+/// alongside the serial one).
 pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
     let workload = lab.workload();
     let params = AdvisorParams::default();
@@ -39,17 +43,19 @@ pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
     let budget = set.config_size(&Advisor::all_index_config(&set));
 
     let combos = [
-        (true, true, true),
-        (false, true, true),
-        (true, false, true),
-        (true, true, false),
-        (false, false, false),
+        (true, true, true, 1),
+        (true, true, true, 4),
+        (false, true, true, 1),
+        (true, false, true, 1),
+        (true, true, false, 1),
+        (false, false, false, 1),
     ];
     let mut rows = Vec::new();
-    for (aff, sub, cache) in combos {
+    for (aff, sub, cache, jobs) in combos {
         let telemetry = xia_obs::Telemetry::new();
         let mut ev = BenefitEvaluator::new(&mut lab.db, &workload, &set);
         ev.set_telemetry(&telemetry);
+        ev.set_jobs(jobs);
         ev.use_affected_sets = aff;
         ev.use_subconfigs = sub;
         ev.use_cache = cache;
@@ -63,6 +69,7 @@ pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
         let benefit = ev.benefit(&config);
         rows.push(AblationRow {
             switches: (aff, sub, cache),
+            jobs,
             optimizer_calls: calls,
             ms,
             benefit,
@@ -81,6 +88,7 @@ pub fn switches_table(rows: &[AblationRow]) -> Table {
             "affected-sets",
             "sub-configs",
             "cache",
+            "jobs",
             "optimizer calls",
             "ms",
             "benefit",
@@ -93,6 +101,7 @@ pub fn switches_table(rows: &[AblationRow]) -> Table {
             r.switches.0.to_string(),
             r.switches.1.to_string(),
             r.switches.2.to_string(),
+            r.jobs.to_string(),
             r.optimizer_calls.to_string(),
             f(r.ms),
             f(r.benefit),
@@ -166,3 +175,49 @@ pub fn beta_table(rows: &[BetaRow]) -> Table {
 
 /// Default β values.
 pub const DEFAULT_BETAS: [f64; 6] = [0.0, 0.05, 0.10, 0.25, 0.50, 1.00];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_ablation_shows_canonical_hit_rate() {
+        let mut lab = TpoxLab::quick();
+        let rows = run_switches(&mut lab);
+        let by = |aff: bool, sub: bool, cache: bool, jobs: usize| {
+            rows.iter()
+                .find(|r| r.switches == (aff, sub, cache) && r.jobs == jobs)
+                .expect("combo present")
+                .clone()
+        };
+        let cached = by(true, true, true, 1);
+        let uncached = by(true, true, false, 1);
+        // The cache must absorb repeat evaluations: strictly fewer
+        // Evaluate-mode optimizer calls, same final benefit.
+        assert!(
+            cached.optimizer_calls < uncached.optimizer_calls,
+            "cached={} uncached={}",
+            cached.optimizer_calls,
+            uncached.optimizer_calls
+        );
+        assert!((cached.benefit - uncached.benefit).abs() < 1e-6 * uncached.benefit.abs().max(1.0));
+        // Canonical (sorted) keys: the greedy-heuristics search revisits
+        // sub-configurations in many orders, so a healthy share of lookups
+        // must hit. Insertion-order keys used to leave this near zero.
+        let hit_rate =
+            cached.cache_hits as f64 / (cached.cache_hits + cached.cache_misses).max(1) as f64;
+        assert!(
+            hit_rate > 0.25,
+            "hit rate {hit_rate:.3} ({} hits / {} misses)",
+            cached.cache_hits,
+            cached.cache_misses
+        );
+        // The parallel all-on row is the same search: identical call count
+        // and benefit, whatever the worker count.
+        let par = by(true, true, true, 4);
+        assert_eq!(par.optimizer_calls, cached.optimizer_calls);
+        assert_eq!(par.cache_hits, cached.cache_hits);
+        assert_eq!(par.cache_misses, cached.cache_misses);
+        assert!((par.benefit - cached.benefit).abs() < 1e-12);
+    }
+}

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod candidates;
 pub mod generality;
 pub mod generalization;
+pub mod parallel;
 pub mod scalability;
 pub mod speedup_budget;
 pub mod update_cost;

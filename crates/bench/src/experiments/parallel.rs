@@ -1,0 +1,140 @@
+//! Parallel what-if evaluation: evaluation-phase wall time vs the
+//! `--jobs` worker count.
+//!
+//! Candidate configurations are costed through immutable catalog overlays,
+//! so per-statement Evaluate-mode optimizer calls fan out across worker
+//! threads with no shared mutable state. The recommendation is a pure
+//! function of the inputs — every row of this experiment must produce the
+//! same configuration; only the timings may differ.
+
+use crate::lab::TpoxLab;
+use crate::report::{f, Table};
+use xia_advisor::{Advisor, AdvisorParams, CandId, SearchAlgorithm};
+use xia_obs::Telemetry;
+use xia_workloads::Workload;
+
+/// One measured worker count.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// Worker threads used for benefit evaluation.
+    pub jobs: usize,
+    /// Advisor wall time in milliseconds.
+    pub advisor_ms: f64,
+    /// Evaluation-phase time (telemetry "evaluate" spans) in milliseconds.
+    pub evaluate_ms: f64,
+    /// Search-phase time (telemetry span) in milliseconds.
+    pub search_ms: f64,
+    /// Evaluate-mode optimizer calls (identical across rows).
+    pub optimizer_calls: u64,
+    /// Evaluation-phase speedup relative to the `jobs = 1` row.
+    pub eval_speedup: f64,
+    /// The recommended configuration (identical across rows).
+    pub config: Vec<CandId>,
+}
+
+/// Runs the same recommendation at each worker count and reports the
+/// phase timings. Panics if any worker count changes the recommendation —
+/// that would be a determinism regression, not a measurement.
+pub fn run(lab: &mut TpoxLab, workload: &Workload, jobs_list: &[usize]) -> Vec<ParallelRow> {
+    let telemetry = Telemetry::new();
+    let base = AdvisorParams {
+        telemetry: telemetry.clone(),
+        ..AdvisorParams::default()
+    };
+    let set = Advisor::prepare(&mut lab.db, workload, &base);
+    let budget = set.config_size(&Advisor::all_index_config(&set)) / 2;
+
+    let mut rows: Vec<ParallelRow> = Vec::new();
+    for &jobs in jobs_list {
+        let params = AdvisorParams {
+            jobs,
+            telemetry: telemetry.clone(),
+            ..AdvisorParams::default()
+        };
+        telemetry.reset();
+        let rec = Advisor::recommend_prepared(
+            &mut lab.db,
+            workload,
+            &set,
+            budget,
+            SearchAlgorithm::GreedyHeuristics,
+            &params,
+        )
+        .expect("advise");
+        if let Some(first) = rows.first() {
+            assert_eq!(
+                first.config, rec.config,
+                "jobs={jobs} changed the recommendation"
+            );
+            assert_eq!(
+                first.optimizer_calls, rec.eval_stats.optimizer_calls,
+                "jobs={jobs} changed the optimizer-call count"
+            );
+        }
+        let evaluate_ms = telemetry.span_micros("evaluate") as f64 / 1e3;
+        let eval_speedup = rows
+            .first()
+            .map(|r| r.evaluate_ms / evaluate_ms.max(1e-9))
+            .unwrap_or(1.0);
+        rows.push(ParallelRow {
+            jobs,
+            advisor_ms: rec.advisor_time.as_secs_f64() * 1e3,
+            evaluate_ms,
+            search_ms: telemetry.span_micros("search") as f64 / 1e3,
+            optimizer_calls: rec.eval_stats.optimizer_calls,
+            eval_speedup,
+            config: rec.config,
+        });
+    }
+    rows
+}
+
+/// Renders the jobs-sweep table.
+pub fn table(rows: &[ParallelRow]) -> Table {
+    let mut t = Table::new(
+        "Parallel what-if evaluation — phase timings vs worker count",
+        &[
+            "jobs",
+            "advisor ms",
+            "evaluate ms",
+            "search ms",
+            "optimizer calls",
+            "eval speedup",
+            "indexes",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.jobs.to_string(),
+            f(r.advisor_ms),
+            f(r.evaluate_ms),
+            f(r.search_ms),
+            r.optimizer_calls.to_string(),
+            format!("{:.2}x", r.eval_speedup),
+            r.config.len().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Default worker counts swept by the binary.
+pub const DEFAULT_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_sweep_is_recommendation_invariant() {
+        let mut lab = TpoxLab::quick();
+        let workload = lab.mixed_workload(6);
+        // run() itself panics if any worker count changes the
+        // recommendation; this pins the experiment harness contract.
+        let rows = run(&mut lab, &workload, &[1, 4, 8]);
+        assert_eq!(rows.len(), 3);
+        assert!(!rows[0].config.is_empty());
+        for r in &rows[1..] {
+            assert_eq!(r.config, rows[0].config);
+        }
+    }
+}

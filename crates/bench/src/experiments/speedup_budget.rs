@@ -62,16 +62,37 @@ pub fn run(lab: &mut TpoxLab, fractions: &[f64], algorithms: &[SearchAlgorithm])
     run_workload(lab, &workload, fractions, algorithms)
 }
 
-/// Runs the sweep over an arbitrary workload.
+/// Runs the sweep over an arbitrary workload with the default worker
+/// count.
 pub fn run_workload(
     lab: &mut TpoxLab,
     workload: &Workload,
     fractions: &[f64],
     algorithms: &[SearchAlgorithm],
 ) -> SweepResult {
+    run_workload_jobs(
+        lab,
+        workload,
+        fractions,
+        algorithms,
+        AdvisorParams::default().jobs,
+    )
+}
+
+/// Runs the sweep with an explicit what-if worker count (`--jobs`): the
+/// numbers are identical to the serial sweep; only the timing columns
+/// change.
+pub fn run_workload_jobs(
+    lab: &mut TpoxLab,
+    workload: &Workload,
+    fractions: &[f64],
+    algorithms: &[SearchAlgorithm],
+    jobs: usize,
+) -> SweepResult {
     let telemetry = Telemetry::new();
     let params = AdvisorParams {
         telemetry: telemetry.clone(),
+        jobs,
         ..AdvisorParams::default()
     };
     let set = Advisor::prepare(&mut lab.db, workload, &params);

@@ -172,6 +172,7 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     let mut workload_file = None;
     let mut budget: Option<u64> = None;
     let mut algo = SearchAlgorithm::TopDownFull;
+    let mut jobs: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -189,6 +190,13 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
                 algo = parse_algo(require(args, i + 1, "algorithm after -a")?)?;
                 i += 2;
             }
+            "-j" | "--jobs" => {
+                let v = require(args, i + 1, "worker count after --jobs")?;
+                jobs = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("bad job count `{v}` (expected a number; 0 = auto)"))
+                })?);
+                i += 2;
+            }
             other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -202,7 +210,10 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::new("workload file contains no statements"));
     }
 
-    let params = AdvisorParams::default();
+    let mut params = AdvisorParams::default();
+    if let Some(jobs) = jobs {
+        params.jobs = jobs;
+    }
     let set = Advisor::prepare(&mut db, &workload, &params);
     let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)?;
     let tr = trace_report(&mut db, &workload, &set, &rec, &params.telemetry);
@@ -314,7 +325,7 @@ enum TraceFormat {
 
 /// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]
 /// [--report] [--trace[=json|text]] [--strict] [--what-if-budget <calls>]
-/// [--inject <site>:<rate>] [--fault-seed <n>]`
+/// [--jobs <n>] [--inject <site>:<rate>] [--fault-seed <n>]`
 pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut workload_file = None;
     let mut budget: Option<u64> = None;
@@ -323,6 +334,7 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut report = false;
     let mut strict = false;
     let mut what_if_calls: u64 = 0;
+    let mut jobs: Option<usize> = None;
     let mut fault_seed: u64 = 0;
     let mut inject_specs: Vec<String> = Vec::new();
     let mut trace: Option<TraceFormat> = None;
@@ -361,6 +373,13 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
                 what_if_calls = v.parse().map_err(|_| {
                     CliError::usage(format!("bad what-if budget `{v}` (expected a call count)"))
                 })?;
+                i += 2;
+            }
+            "-j" | "--jobs" => {
+                let v = require(args, i + 1, "worker count after --jobs")?;
+                jobs = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("bad job count `{v}` (expected a number; 0 = auto)"))
+                })?);
                 i += 2;
             }
             "--inject" => {
@@ -445,12 +464,15 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
         )));
     }
 
-    let params = AdvisorParams {
+    let mut params = AdvisorParams {
         faults,
         what_if_budget: xia_advisor::WhatIfBudget::calls(what_if_calls),
         strict,
         ..AdvisorParams::default()
     };
+    if let Some(jobs) = jobs {
+        params.jobs = jobs;
+    }
     let set = Advisor::prepare(&mut db, &workload, &params);
     let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)?;
     // Snapshot the trace before any follow-up optimizer work (the tuning
@@ -985,6 +1007,59 @@ mod tests {
         let err = stats(Some(bad.to_str().unwrap())).unwrap_err();
         assert_eq!(err.kind, ErrorKind::CorruptDb, "{err}");
         assert_eq!(err.exit_code(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_output_is_byte_identical_across_jobs() {
+        // --jobs changes only wall-clock time; the printed recommendation
+        // (speedup, index list, optimizer-call count) must be identical for
+        // every worker count, clean and under injected faults.
+        let dir = tmpdir().join("jobs_identical");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let run = |jobs: &str, extra: &[&str]| {
+            let mut args = vec![
+                db.as_str(),
+                "-w",
+                wl.as_str(),
+                "-b",
+                "10m",
+                "-a",
+                "heuristics",
+                "--jobs",
+                jobs,
+            ];
+            args.extend_from_slice(extra);
+            recommend(&s(&args)).unwrap()
+        };
+        let clean = run("1", &[]);
+        assert!(clean.contains("CREATE INDEX"), "{clean}");
+        for jobs in ["4", "8", "0"] {
+            assert_eq!(
+                clean,
+                run(jobs, &[]),
+                "clean output diverged at --jobs {jobs}"
+            );
+        }
+        let faulty = run(
+            "1",
+            &["--inject", "optimizer-cost:0.3", "--fault-seed", "11"],
+        );
+        for jobs in ["4", "8"] {
+            assert_eq!(
+                faulty,
+                run(
+                    jobs,
+                    &["--inject", "optimizer-cost:0.3", "--fault-seed", "11"]
+                ),
+                "faulty output diverged at --jobs {jobs}"
+            );
+        }
+        assert!(
+            recommend(&s(&[&db, "-w", &wl, "-b", "10m", "--jobs", "x"])).is_err(),
+            "bad job count must be a usage error"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

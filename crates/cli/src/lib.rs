@@ -10,7 +10,7 @@
 //! xia stats     <db>                          collection/path statistics
 //! xia explain   <db> <statement>              show the optimizer's plan
 //! xia exec      <db> <statement>              execute a query
-//! xia recommend <db> -w <workload> -b <bytes> [-a <algo>] [--apply] [--trace]
+//! xia recommend <db> -w <workload> -b <bytes> [-a <algo>] [--jobs <n>] [--apply] [--trace]
 //! xia whatif    <db> -w <workload> -i <spec>  price a hand-written config
 //! xia indexes   <db>                          list physical indexes
 //! ```
@@ -167,7 +167,7 @@ USAGE:
   xia recommend <db> -w <workload-file> -b <budget-bytes>
                 [-a greedy|heuristics|topdown-lite|topdown-full|dp]
                 [--apply] [--report] [--trace[=json|text]] [--strict]
-                [--what-if-budget <calls>]
+                [--what-if-budget <calls>] [--jobs <n>]
                 [--inject <site>:<rate>] [--fault-seed <n>]
   xia whatif    <db> -w <workload-file> -i <coll>:<pattern>:<string|numerical> ...
                                              price a hand-written configuration
@@ -176,6 +176,10 @@ USAGE:
 Workload files: statements separated by blank lines; '#'/'--' comment lines.
 Statements that fail to parse are quarantined (reported, then skipped) by
 `recommend`; other commands reject them.
+
+--jobs (or -j) sets the what-if worker-thread count for benefit
+evaluation (0 = one per core; default 1, or the XIA_JOBS environment
+variable). The recommendation is identical for every value.
 
 Fault injection (for robustness testing): --inject storage-io:0.05
 injects I/O faults in 5% of storage operations; sites are storage-io,

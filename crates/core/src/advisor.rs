@@ -74,6 +74,31 @@ pub struct AdvisorParams {
     /// Strict mode: fail with [`XiaError::StrictDegradation`] instead of
     /// returning a degraded recommendation.
     pub strict: bool,
+    /// What-if worker threads for benefit evaluation (`--jobs`). `0` means
+    /// auto-detect (one per available core); recommendations are identical
+    /// for every value — only wall-clock time changes. Defaults to the
+    /// `XIA_JOBS` environment variable, or 1.
+    pub jobs: usize,
+}
+
+impl AdvisorParams {
+    /// Resolves [`AdvisorParams::jobs`] to a concrete worker count
+    /// (`0` → available parallelism).
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    fn default_jobs() -> usize {
+        std::env::var("XIA_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+    }
 }
 
 impl Default for AdvisorParams {
@@ -85,6 +110,7 @@ impl Default for AdvisorParams {
             faults: FaultInjector::off(),
             what_if_budget: WhatIfBudget::unlimited(),
             strict: false,
+            jobs: Self::default_jobs(),
         }
     }
 }

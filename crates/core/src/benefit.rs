@@ -23,11 +23,13 @@
 use crate::candidate::{CandId, CandidateSet, StmtSet};
 use crate::error::{IssueStage, StatementIssue};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 use std::time::{Duration, Instant};
 use xia_fault::FaultInjector;
 use xia_obs::{Counter, Telemetry};
-use xia_optimizer::{maintenance, CostError, Optimizer};
-use xia_storage::{Database, IndexStats};
+use xia_optimizer::{maintenance, Optimizer};
+use xia_storage::{CatalogOverlay, Database, IndexStats};
 use xia_workloads::Workload;
 
 /// Counters exposed for the efficiency experiments.
@@ -75,9 +77,167 @@ impl WhatIfBudget {
     }
 }
 
+/// Canonicalizes a sub-configuration cache key: sorted, deduplicated. The
+/// same sub-configuration reached in any order maps to one key.
+fn canonical_key(mut key: Vec<CandId>) -> Vec<CandId> {
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// Number of memo-cache shards (a power of two; keys spread by FNV hash).
+const CACHE_SHARDS: usize = 16;
+
+/// FNV-1a over a canonical key (also used to salt per-task fault streams).
+fn key_hash(seed: u64, key: &[CandId]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &CandId(id) in key {
+        h = (h ^ u64::from(id)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The sub-configuration memo cache: canonical-key entries sharded by key
+/// hash, each shard behind its own `RwLock`. Reads take a shard read lock
+/// only, so concurrent readers on different shards (or the same shard)
+/// never serialize behind one another; writes touch a single shard.
+#[derive(Debug)]
+struct ShardedCache {
+    shards: Vec<RwLock<HashMap<Vec<CandId>, f64>>>,
+}
+
+impl ShardedCache {
+    fn new() -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    fn shard(&self, key: &[CandId]) -> &RwLock<HashMap<Vec<CandId>, f64>> {
+        &self.shards[(key_hash(0, key) % CACHE_SHARDS as u64) as usize]
+    }
+
+    fn get(&self, key: &[CandId]) -> Option<f64> {
+        self.shard(key)
+            .read()
+            .ok()
+            .and_then(|m| m.get(key).copied())
+    }
+
+    fn insert(&self, key: Vec<CandId>, value: f64) {
+        if let Ok(mut m) = self.shard(&key).write() {
+            m.insert(key, value);
+        }
+    }
+}
+
+/// Minimum task count before `run_indexed` spawns workers. Costing one
+/// statement takes single-digit microseconds while a scoped spawn+join of
+/// a small worker pool costs ~150µs; fanning out a handful of tasks is a
+/// guaranteed slowdown. Small batches (the greedy search's incremental
+/// `benefit()` probes) stay serial; large ones (`benefit_batch` over all
+/// candidates, baseline costing) parallelize. Results are identical
+/// either way.
+const PAR_MIN_TASKS: usize = 48;
+
+/// Runs `f(0..n)` across `jobs` scoped worker threads (work-stealing via a
+/// shared atomic cursor) and returns the results in index order. With one
+/// job — or fewer than [`PAR_MIN_TASKS`] tasks — it degenerates to a plain
+/// serial loop, so the results are identical either way; `f` must be a
+/// pure function of its index apart from counting into the telemetry
+/// handle it is given.
+///
+/// Each worker thread counts into its own scratch [`Telemetry`], merged
+/// into `telemetry` after the join: counter totals are exact and
+/// jobs-invariant (addition commutes), but the hot costing loop never
+/// touches a shared cache line — contended `fetch_add`s on one counter
+/// array would otherwise eat the entire fan-out win.
+fn run_indexed<T, F>(n: usize, jobs: usize, telemetry: &Telemetry, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &Telemetry) -> T + Sync,
+{
+    if jobs <= 1 || n < PAR_MIN_TASKS {
+        return (0..n).map(|i| f(i, telemetry)).collect();
+    }
+    let workers = jobs.min(n);
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let scratch = Telemetry::new();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &scratch)));
+                    }
+                    (local, scratch)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, scratch) = handle.join().expect("what-if worker panicked");
+            for (i, v) in local {
+                out[i] = Some(v);
+            }
+            for c in Counter::ALL {
+                let count = scratch.get(c);
+                if count > 0 {
+                    telemetry.add(c, count);
+                }
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every task index was claimed"))
+        .collect()
+}
+
+/// How one planned statement costing resolves. All nondeterministic
+/// decisions (budget, statistics availability) are made by the coordinator
+/// at planning time; workers only execute `Optimize` tasks.
+#[derive(Debug, Clone, Copy)]
+enum TaskKind {
+    /// Cost through the optimizer, rolling a fault stream derived from
+    /// `salt` (a pure function of the sub-configuration and statement, so
+    /// the schedule is independent of worker interleaving).
+    Optimize { salt: u64 },
+    /// The what-if budget was exhausted when this task was planned.
+    BudgetFallback,
+    /// Collection statistics were unavailable when this task was planned.
+    StatsFallback,
+}
+
+/// One planned statement costing against one missed sub-configuration.
+#[derive(Debug, Clone, Copy)]
+struct CostTask {
+    /// Index into the batch's missed-group list.
+    group: usize,
+    /// Statement index in the workload.
+    si: usize,
+    kind: TaskKind,
+}
+
+/// Fault-stream phase tags (keep baseline and evaluation schedules apart).
+const SALT_BASELINE: u64 = 0xBA5E;
+const SALT_EVALUATE: u64 = 0xE7A1;
+
 /// Evaluates candidate-configuration benefits through the optimizer.
+///
+/// Costing is side-effect-free: candidate configurations are materialized
+/// as [`CatalogOverlay`]s over the immutable database instead of being
+/// created and dropped in the shared catalogs, so per-statement what-if
+/// calls fan out across `jobs` scoped worker threads. The coordinator
+/// thread plans every task (cache lookups, budget charging, fault-stream
+/// salts) serially and merges results in task order, which keeps
+/// recommendations and counter totals byte-identical for any `jobs`.
 pub struct BenefitEvaluator<'a> {
-    db: &'a mut Database,
+    db: &'a Database,
     workload: &'a Workload,
     set: &'a CandidateSet,
     /// Baseline (no-candidate) cost per statement.
@@ -87,7 +247,7 @@ pub struct BenefitEvaluator<'a> {
     /// Total (frequency-weighted) maintenance cost per candidate.
     mc_totals: HashMap<CandId, f64>,
     /// Memoized sub-configuration benefits (query side, before mc).
-    cache: HashMap<Vec<CandId>, f64>,
+    cache: ShardedCache,
     /// Ablation switch: restrict evaluation to affected statements.
     pub use_affected_sets: bool,
     /// Ablation switch: decompose configurations into sub-configurations.
@@ -97,12 +257,16 @@ pub struct BenefitEvaluator<'a> {
     stats: EvalStats,
     /// Telemetry sink for what-if accounting (off unless attached).
     telemetry: Telemetry,
-    /// Fault injector threaded into every optimizer the evaluator builds.
+    /// Fault injector that per-task streams are derived from.
     faults: FaultInjector,
     /// What-if call/time budget; exhausted → heuristic fallbacks.
     budget: WhatIfBudget,
-    /// When evaluation started (for the time budget).
-    started: Instant,
+    /// When the first `benefit()` call arrived (anchor for the time
+    /// budget; `None` until evaluation starts, so a long prepare phase
+    /// cannot eat the budget).
+    started: Option<Instant>,
+    /// Worker threads for what-if fan-out (1 = serial).
+    jobs: usize,
     /// Per-statement liveness: quarantined statements are masked out of
     /// every evaluation loop.
     active: Vec<bool>,
@@ -141,6 +305,7 @@ impl<'a> BenefitEvaluator<'a> {
             &params.faults,
             params.what_if_budget,
             &params.telemetry,
+            params.effective_jobs(),
         )
     }
 
@@ -156,7 +321,7 @@ impl<'a> BenefitEvaluator<'a> {
         faults: &FaultInjector,
         budget: WhatIfBudget,
     ) -> Self {
-        Self::build(db, workload, set, faults, budget, &Telemetry::off())
+        Self::build(db, workload, set, faults, budget, &Telemetry::off(), 1)
     }
 
     fn build(
@@ -166,7 +331,12 @@ impl<'a> BenefitEvaluator<'a> {
         faults: &FaultInjector,
         budget: WhatIfBudget,
         telemetry: &Telemetry,
+        jobs: usize,
     ) -> Self {
+        // Setup is the only phase that mutates the database: attach the
+        // sinks, refresh statistics, and clear stale virtual indexes. From
+        // here on the evaluator holds the database immutably — what-if
+        // configurations live in catalog overlays, never in the catalogs.
         db.set_faults(faults);
         db.set_telemetry(telemetry);
         db.runstats_all();
@@ -180,6 +350,7 @@ impl<'a> BenefitEvaluator<'a> {
                 cat.drop_all_virtual();
             }
         }
+        let db: &'a Database = db;
         let mut ev = Self {
             db,
             workload,
@@ -187,7 +358,7 @@ impl<'a> BenefitEvaluator<'a> {
             baseline: Vec::new(),
             istats: HashMap::new(),
             mc_totals: HashMap::new(),
-            cache: HashMap::new(),
+            cache: ShardedCache::new(),
             use_affected_sets: true,
             use_subconfigs: true,
             use_cache: true,
@@ -195,7 +366,8 @@ impl<'a> BenefitEvaluator<'a> {
             telemetry: telemetry.clone(),
             faults: faults.clone(),
             budget,
-            started: Instant::now(),
+            started: None,
+            jobs: jobs.max(1),
             active: vec![true; workload.len()],
             quarantined: Vec::new(),
             fallbacks: 0,
@@ -205,11 +377,21 @@ impl<'a> BenefitEvaluator<'a> {
     }
 
     fn compute_baselines(&mut self) {
-        self.baseline = vec![0.0; self.workload.len()];
-        for si in 0..self.workload.len() {
+        let n = self.workload.len();
+        self.baseline = vec![0.0; n];
+        // Plan serially: quarantine missing collections, resolve stats
+        // availability, and assign fault-stream salts.
+        #[derive(Clone, Copy)]
+        enum BasePlan {
+            Quarantined,
+            StatsFallback,
+            Cost { salt: u64 },
+        }
+        let mut plans = Vec::with_capacity(n);
+        for si in 0..n {
             let entry = &self.workload.entries()[si];
-            let coll = entry.statement.collection().to_string();
-            if self.db.collection(&coll).is_none() {
+            let coll = entry.statement.collection();
+            plans.push(if self.db.collection(coll).is_none() {
                 self.active[si] = false;
                 self.telemetry.incr(Counter::StatementsQuarantined);
                 self.quarantined.push(StatementIssue {
@@ -218,17 +400,47 @@ impl<'a> BenefitEvaluator<'a> {
                     stage: IssueStage::Cost,
                     detail: format!("unknown collection `{coll}`"),
                 });
-                continue;
-            }
-            self.baseline[si] = match self.try_statement_cost(si) {
-                Ok(c) => c,
-                Err(_) => {
+                BasePlan::Quarantined
+            } else if self.db.parts(coll).is_none() {
+                // The collection exists but statistics are unavailable.
+                BasePlan::StatsFallback
+            } else {
+                BasePlan::Cost {
+                    salt: key_hash(SALT_BASELINE, &[]) ^ si as u64,
+                }
+            });
+        }
+        let (db, workload) = (self.db, self.workload);
+        let faults = self.faults.clone();
+        let results = run_indexed(n, self.jobs, &self.telemetry.clone(), |si, tel| {
+            let BasePlan::Cost { salt } = plans[si] else {
+                return None;
+            };
+            let stmt = &workload.entries()[si].statement;
+            let (collection, catalog, stats) = db.parts(stmt.collection())?;
+            let mut optimizer = Optimizer::with_view(collection, stats, catalog.view());
+            optimizer.set_telemetry(tel);
+            optimizer.set_faults(&faults.derive_stream(salt));
+            optimizer.try_optimize(stmt).ok().map(|p| p.total_cost)
+        });
+        for (si, (plan, result)) in plans.iter().zip(results).enumerate() {
+            self.baseline[si] = match (plan, result) {
+                (BasePlan::Quarantined, _) => 0.0,
+                (BasePlan::Cost { .. }, Some(cost)) => {
+                    self.stats.optimizer_calls += 1;
+                    cost
+                }
+                (kind, _) => {
                     // The statement is costable in principle (the data is
                     // there); fall back to a heuristic scan estimate so the
                     // run can continue degraded.
+                    if matches!(kind, BasePlan::Cost { .. }) {
+                        self.stats.optimizer_calls += 1;
+                    }
                     self.fallbacks += 1;
                     self.telemetry.incr(Counter::CostFallbacks);
-                    self.heuristic_statement_cost(&coll)
+                    let coll = self.workload.entries()[si].statement.collection();
+                    self.heuristic_statement_cost(coll)
                 }
             };
         }
@@ -271,12 +483,23 @@ impl<'a> BenefitEvaluator<'a> {
     }
 
     /// Attaches a telemetry sink: subsequent optimizer calls, cache
-    /// activity, and virtual-index churn (via the database catalogs) count
-    /// against it. Baseline costing in [`BenefitEvaluator::new`] happens
-    /// before any sink can be attached and is deliberately uncounted.
+    /// activity, and virtual-index churn (via what-if catalog overlays)
+    /// count against it. Baseline costing in [`BenefitEvaluator::new`]
+    /// happens before any sink can be attached and is deliberately
+    /// uncounted.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.telemetry = telemetry.clone();
-        self.db.set_telemetry(telemetry);
+    }
+
+    /// Sets the number of what-if worker threads (clamped to at least 1).
+    /// Results are identical for any value; only wall-clock time changes.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// The number of what-if worker threads in use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The attached telemetry sink (disabled unless
@@ -304,68 +527,202 @@ impl<'a> BenefitEvaluator<'a> {
         self.workload
     }
 
-    fn try_statement_cost(&mut self, si: usize) -> Result<f64, CostError> {
-        let stmt = &self.workload.entries()[si].statement;
-        let coll = stmt.collection().to_string();
-        let Some((collection, catalog, stats)) = self.db.parts(&coll) else {
-            // The collection exists (checked at quarantine time), so a
-            // missing view here means statistics were unavailable.
-            return Err(CostError::StatsUnavailable(coll));
-        };
-        let mut optimizer = Optimizer::new(collection, stats, catalog);
-        optimizer.set_telemetry(&self.telemetry);
-        optimizer.set_faults(&self.faults);
-        self.stats.optimizer_calls += 1;
-        Ok(optimizer.try_optimize(stmt)?.total_cost)
-    }
-
-    /// Costs one statement with the degradation ladder applied: a budget
-    /// check first (exhausted → no optimizer call), then the optimizer,
-    /// then a heuristic. The heuristic indexed-cost estimate is half the
-    /// statement's baseline — optimistic enough that candidates still rank
-    /// by affected baseline mass when the optimizer is unavailable, so a
-    /// degraded run still produces a non-empty recommendation.
-    fn degraded_statement_cost(&mut self, si: usize) -> f64 {
-        if self
-            .budget
-            .exhausted(self.stats.optimizer_calls, self.started.elapsed())
-        {
-            self.telemetry.incr(Counter::WhatIfBudgetExhausted);
-            self.fallbacks += 1;
-            self.telemetry.incr(Counter::CostFallbacks);
-            return 0.5 * self.baseline[si];
-        }
-        match self.try_statement_cost(si) {
-            Ok(c) => c,
-            Err(_) => {
-                self.fallbacks += 1;
-                self.telemetry.incr(Counter::CostFallbacks);
-                0.5 * self.baseline[si]
-            }
-        }
-    }
-
-    /// Installs exactly `config`'s members as virtual indexes (dropping all
-    /// other virtual indexes everywhere).
-    fn install_virtuals(&mut self, config: &[CandId]) {
-        let names: Vec<String> = self
-            .db
-            .collection_names()
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        for name in &names {
-            if let Some(cat) = self.db.catalog_mut(name) {
-                cat.drop_all_virtual();
-            }
-        }
-        for &id in config {
+    /// Builds one what-if overlay per collection touched by `key`, holding
+    /// exactly the sub-configuration's members as virtual indexes. The
+    /// shared catalogs are never mutated; candidates whose collection has
+    /// no statistics are skipped (mirroring the old install path, which
+    /// could not create their virtual indexes either).
+    fn build_overlays(&self, key: &[CandId]) -> Vec<(String, CatalogOverlay<'a>)> {
+        let mut per: Vec<(String, CatalogOverlay<'a>)> = Vec::new();
+        for &id in key {
             let c = self.set.get(id);
-            let (pattern, kind, coll) = (c.pattern.clone(), c.kind, c.collection.clone());
-            if let Some((collection, catalog, stats)) = self.db.parts_mut(&coll) {
-                catalog.create_virtual(collection, stats, &pattern, kind);
+            let Some((collection, catalog, stats)) = self.db.parts(&c.collection) else {
+                continue;
+            };
+            let slot = match per.iter().position(|(name, _)| name == &c.collection) {
+                Some(i) => &mut per[i].1,
+                None => {
+                    per.push((
+                        c.collection.clone(),
+                        CatalogOverlay::with_telemetry(catalog, &self.telemetry),
+                    ));
+                    &mut per.last_mut().expect("just pushed").1
+                }
+            };
+            slot.add_virtual(collection, stats, &c.pattern, c.kind);
+        }
+        per
+    }
+
+    /// Affected statements of a sub-configuration: the union of member
+    /// affected sets (or every statement when the optimization is off).
+    fn affected_statements(&self, key: &[CandId]) -> Vec<usize> {
+        if self.use_affected_sets {
+            let mut u = StmtSet::new();
+            for &id in key {
+                u.union_with(&self.set.get(id).affected);
+            }
+            u.iter().collect()
+        } else {
+            (0..self.workload.len()).collect()
+        }
+    }
+
+    /// Evaluates a batch of canonical sub-configuration keys and returns
+    /// each key's query-side benefit `Σ freq·(old − new)`, in order.
+    ///
+    /// The coordinator thread does everything order-sensitive serially —
+    /// cache lookups (and their hit/miss counters), budget charging,
+    /// fault-stream salting, overlay construction — then fans the planned
+    /// optimizer calls out across workers and merges their results back in
+    /// task order. Costs are pure functions of the plan, so the returned
+    /// values, the memo cache, and every counter total are identical for
+    /// any `jobs` value.
+    fn eval_groups(&mut self, keys: Vec<Vec<CandId>>) -> Vec<f64> {
+        // The time budget is anchored at the first evaluation, not at
+        // evaluator construction: a long prepare phase must not eat it.
+        let started = *self.started.get_or_insert_with(Instant::now);
+
+        // Phase 1 (coordinator): cache lookups and miss collection.
+        enum Slot {
+            Done(f64),
+            Miss(usize),
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(keys.len());
+        let mut misses: Vec<Vec<CandId>> = Vec::new();
+        for key in keys {
+            debug_assert!(key.windows(2).all(|w| w[0] < w[1]), "canonical keys");
+            if self.use_cache {
+                if let Some(v) = self.cache.get(&key) {
+                    self.stats.cache_hits += 1;
+                    self.telemetry.incr(Counter::BenefitCacheHits);
+                    slots.push(Slot::Done(v));
+                    continue;
+                }
+                if let Some(i) = misses.iter().position(|k| k == &key) {
+                    // A duplicate within this batch: a serial evaluation
+                    // would have found the first occurrence memoized.
+                    self.stats.cache_hits += 1;
+                    self.telemetry.incr(Counter::BenefitCacheHits);
+                    slots.push(Slot::Miss(i));
+                    continue;
+                }
+                self.stats.cache_misses += 1;
+                self.telemetry.incr(Counter::BenefitCacheMisses);
+            }
+            slots.push(Slot::Miss(misses.len()));
+            misses.push(key);
+        }
+        if misses.is_empty() {
+            return slots
+                .into_iter()
+                .map(|s| match s {
+                    Slot::Done(v) => v,
+                    Slot::Miss(_) => 0.0,
+                })
+                .collect();
+        }
+
+        // Phase 2 (coordinator): plan per-statement tasks. The budget is
+        // charged here, in deterministic order — workers never touch it.
+        let mut planned_calls = self.stats.optimizer_calls;
+        let mut tasks: Vec<CostTask> = Vec::new();
+        for (group, key) in misses.iter().enumerate() {
+            for si in self.affected_statements(key) {
+                if !self.active[si] {
+                    continue;
+                }
+                let coll = self.workload.entries()[si].statement.collection();
+                let kind = if self.budget.exhausted(planned_calls, started.elapsed()) {
+                    TaskKind::BudgetFallback
+                } else if self.db.parts(coll).is_none() {
+                    TaskKind::StatsFallback
+                } else {
+                    planned_calls += 1;
+                    TaskKind::Optimize {
+                        salt: key_hash(SALT_EVALUATE, key) ^ si as u64,
+                    }
+                };
+                tasks.push(CostTask { group, si, kind });
             }
         }
+
+        // Phase 3 (coordinator): one overlay set per missed group, built
+        // serially so virtual-index churn counters stay deterministic.
+        let overlays: Vec<Vec<(String, CatalogOverlay<'a>)>> =
+            misses.iter().map(|key| self.build_overlays(key)).collect();
+
+        // Phase 4 (workers): pure costing, fanned out over `jobs` threads.
+        let (db, workload) = (self.db, self.workload);
+        let faults = self.faults.clone();
+        let results = run_indexed(tasks.len(), self.jobs, &self.telemetry.clone(), |i, tel| {
+            let task = &tasks[i];
+            let TaskKind::Optimize { salt } = task.kind else {
+                return None;
+            };
+            let stmt = &workload.entries()[task.si].statement;
+            let coll = stmt.collection();
+            let (collection, catalog, stats) = db.parts(coll)?;
+            let view = overlays[task.group]
+                .iter()
+                .find(|(name, _)| name == coll)
+                .map(|(_, ov)| ov.view())
+                .unwrap_or_else(|| catalog.view());
+            let mut optimizer = Optimizer::with_view(collection, stats, view);
+            optimizer.set_telemetry(tel);
+            optimizer.set_faults(&faults.derive_stream(salt));
+            optimizer.try_optimize(stmt).ok().map(|p| p.total_cost)
+        });
+
+        // Phase 5 (coordinator): merge in task order — the floating-point
+        // summation order is fixed regardless of worker interleaving.
+        let mut totals = vec![0.0f64; misses.len()];
+        let mut tainted = vec![false; misses.len()];
+        for (task, result) in tasks.iter().zip(results) {
+            let new_cost = match (task.kind, result) {
+                (TaskKind::Optimize { .. }, Some(cost)) => {
+                    self.stats.optimizer_calls += 1;
+                    cost
+                }
+                (kind, _) => {
+                    // The degradation ladder's heuristic indexed-cost
+                    // estimate: half the baseline — optimistic enough that
+                    // candidates still rank by affected baseline mass.
+                    if matches!(kind, TaskKind::Optimize { .. }) {
+                        self.stats.optimizer_calls += 1;
+                    }
+                    if matches!(kind, TaskKind::BudgetFallback) {
+                        self.telemetry.incr(Counter::WhatIfBudgetExhausted);
+                    }
+                    self.fallbacks += 1;
+                    self.telemetry.incr(Counter::CostFallbacks);
+                    tainted[task.group] = true;
+                    0.5 * self.baseline[task.si]
+                }
+            };
+            let entry = &self.workload.entries()[task.si];
+            totals[task.group] += entry.freq * (self.baseline[task.si] - new_cost);
+        }
+        // Discarding the overlays here (not in a worker) keeps the
+        // virtual-indexes-dropped counter deterministic too.
+        drop(overlays);
+
+        // Heuristic answers are not memoized: a later evaluation inside
+        // budget (or past the fault) should get the real number.
+        if self.use_cache {
+            for ((key, &value), &bad) in misses.iter().zip(&totals).zip(&tainted) {
+                if !bad {
+                    self.cache.insert(key.clone(), value);
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| match s {
+                Slot::Done(v) => v,
+                Slot::Miss(i) => totals[i],
+            })
+            .collect()
     }
 
     /// Benefit of a configuration per the paper's formula.
@@ -381,14 +738,50 @@ impl<'a> BenefitEvaluator<'a> {
         } else {
             vec![config.to_vec()]
         };
-        let mut total = 0.0;
-        for g in groups {
-            total += self.eval_subconfig(g);
-        }
+        let values = self.eval_groups(groups.into_iter().map(canonical_key).collect());
+        let mut total: f64 = values.iter().sum();
         for &id in config {
             total -= self.mc_total(id);
         }
         total
+    }
+
+    /// Benefits of many configurations, planned and costed as one batch:
+    /// every sub-configuration group of every input fans out into the same
+    /// worker pool, which is where parallel evaluation pays off most (the
+    /// per-candidate scoring pass evaluates dozens of independent
+    /// singletons). Equivalent to mapping [`BenefitEvaluator::benefit`]
+    /// over `configs`, including all counter totals.
+    pub fn benefit_batch(&mut self, configs: &[Vec<CandId>]) -> Vec<f64> {
+        let _evaluate = self.telemetry.span("evaluate");
+        let mut keys: Vec<Vec<CandId>> = Vec::new();
+        let mut ranges = Vec::with_capacity(configs.len());
+        for config in configs {
+            self.stats.benefit_calls += 1;
+            self.telemetry.incr(Counter::BenefitEvaluations);
+            let start = keys.len();
+            if !config.is_empty() {
+                let groups = if self.use_subconfigs {
+                    self.decompose(config)
+                } else {
+                    vec![config.clone()]
+                };
+                keys.extend(groups.into_iter().map(canonical_key));
+            }
+            ranges.push(start..keys.len());
+        }
+        let values = self.eval_groups(keys);
+        configs
+            .iter()
+            .zip(ranges)
+            .map(|(config, range)| {
+                let mut total: f64 = values[range].iter().sum();
+                for &id in config {
+                    total -= self.mc_total(id);
+                }
+                total
+            })
+            .collect()
     }
 
     /// Estimated workload cost under a configuration
@@ -444,103 +837,75 @@ impl<'a> BenefitEvaluator<'a> {
         out
     }
 
-    /// Evaluates one sub-configuration's query-side benefit
-    /// `Σ freq·(old − new)` over its affected statements.
-    fn eval_subconfig(&mut self, mut sub: Vec<CandId>) -> f64 {
-        sub.sort_unstable();
-        sub.dedup();
-        if self.use_cache {
-            if let Some(&v) = self.cache.get(&sub) {
-                self.stats.cache_hits += 1;
-                self.telemetry.incr(Counter::BenefitCacheHits);
-                return v;
-            }
-            self.stats.cache_misses += 1;
-            self.telemetry.incr(Counter::BenefitCacheMisses);
-        }
-        // Affected statements: union over members (or all statements when
-        // the affected-set optimization is disabled).
-        let stmts: Vec<usize> = if self.use_affected_sets {
-            let mut u = StmtSet::new();
-            for &id in &sub {
-                u.union_with(&self.set.get(id).affected);
-            }
-            u.iter().collect()
-        } else {
-            (0..self.workload.len()).collect()
-        };
-        self.install_virtuals(&sub);
-        let mut total = 0.0;
-        let fallbacks_before = self.fallbacks;
-        for si in stmts {
-            if !self.active[si] {
-                continue;
-            }
-            let new_cost = self.degraded_statement_cost(si);
-            let freq = self.workload.entries()[si].freq;
-            total += freq * (self.baseline[si] - new_cost);
-        }
-        self.install_virtuals(&[]);
-        // Heuristic answers are not memoized: a later evaluation inside
-        // budget (or past the fault) should get the real number.
-        if self.use_cache && self.fallbacks == fallbacks_before {
-            self.cache.insert(sub, total);
-        }
-        total
-    }
-
     /// Which members of `config` are actually used in some statement's
     /// best plan when the whole configuration is installed — the paper's
     /// "compile all workload queries ... and eliminate indexes that are
     /// never used" check, used by greedy-with-heuristics as a final
-    /// redundancy pass.
+    /// redundancy pass. The configuration is materialized as catalog
+    /// overlays and statements are compiled across the worker pool; the
+    /// result is order-insensitive (sorted), so the fan-out cannot change
+    /// it.
     pub fn used_candidates(&mut self, config: &[CandId]) -> Vec<CandId> {
         if config.is_empty() {
             return Vec::new();
         }
-        self.install_virtuals(config);
-        // Map (collection, IndexId) → CandId by replaying creation order:
-        // install_virtuals creates one virtual per config member, in order.
+        // Map (collection, pattern, kind) → CandId to resolve the overlay
+        // index definitions a plan used back to candidates.
         let mut by_key: HashMap<(String, String, xia_xpath::ValueKind), CandId> = HashMap::new();
         for &id in config {
             let c = self.set.get(id);
             by_key.insert((c.collection.clone(), c.pattern.to_string(), c.kind), id);
         }
-        let stmts: Vec<usize> = if self.use_affected_sets {
-            let mut u = StmtSet::new();
-            for &id in config {
-                u.union_with(&self.set.get(id).affected);
-            }
-            u.iter().collect()
-        } else {
-            (0..self.workload.len()).collect()
-        };
-        let mut used: Vec<CandId> = Vec::new();
-        for si in stmts {
-            if !self.active[si] {
-                continue;
-            }
-            let stmt = &self.workload.entries()[si].statement;
-            let coll = stmt.collection().to_string();
-            let Some((collection, catalog, stats)) = self.db.parts(&coll) else {
-                continue;
+        let overlays = self.build_overlays(config);
+        let stmts: Vec<usize> = self
+            .affected_statements(config)
+            .into_iter()
+            .filter(|&si| self.active[si])
+            .collect();
+        // Compiling (Evaluate mode without fault rolls) consumes one
+        // optimizer call per statement with statistics available — counted
+        // at planning time so the total is deterministic.
+        let planned: u64 = stmts
+            .iter()
+            .filter(|&&si| {
+                let coll = self.workload.entries()[si].statement.collection();
+                self.db.parts(coll).is_some()
+            })
+            .count() as u64;
+        let (db, workload) = (self.db, self.workload);
+        let by_key = &by_key;
+        let overlays = &overlays;
+        let results = run_indexed(stmts.len(), self.jobs, &self.telemetry.clone(), |i, tel| {
+            let stmt = &workload.entries()[stmts[i]].statement;
+            let coll = stmt.collection();
+            let Some((collection, catalog, stats)) = db.parts(coll) else {
+                return Vec::new();
             };
-            let mut optimizer = Optimizer::new(collection, stats, catalog);
-            optimizer.set_telemetry(&self.telemetry);
-            self.stats.optimizer_calls += 1;
+            let view = overlays
+                .iter()
+                .find(|(name, _)| name == coll)
+                .map(|(_, ov)| ov.view())
+                .unwrap_or_else(|| catalog.view());
+            let mut optimizer = Optimizer::with_view(collection, stats, view);
+            optimizer.set_telemetry(tel);
             let plan = optimizer.optimize(stmt);
-            for ix in plan.used_indexes() {
-                if let Some(def) = catalog.get(ix) {
-                    let key = (coll.clone(), def.pattern.to_string(), def.kind);
-                    if let Some(&cid) = by_key.get(&key) {
-                        if !used.contains(&cid) {
-                            used.push(cid);
-                        }
-                    }
-                }
+            plan.used_indexes()
+                .into_iter()
+                .filter_map(|ix| {
+                    let def = view.get(ix)?;
+                    by_key
+                        .get(&(coll.to_string(), def.pattern.to_string(), def.kind))
+                        .copied()
+                })
+                .collect::<Vec<CandId>>()
+        });
+        self.stats.optimizer_calls += planned;
+        let mut used: Vec<CandId> = Vec::new();
+        for cid in results.into_iter().flatten() {
+            if !used.contains(&cid) {
+                used.push(cid);
             }
         }
-        self.install_virtuals(&[]);
         used.sort_unstable();
         used
     }
@@ -755,5 +1120,54 @@ mod tests {
         let without_sub = ev2.benefit(&all);
         let rel = (with_sub - without_sub).abs() / without_sub.abs().max(1.0);
         assert!(rel < 1e-9, "with={with_sub} without={without_sub}");
+    }
+
+    #[test]
+    fn cache_key_is_order_insensitive() {
+        // The memo cache keys on the canonical (sorted) sub-configuration:
+        // re-evaluating a permutation of an already-costed configuration
+        // must be served entirely from cache.
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let fwd = set.basic_ids();
+        assert!(fwd.len() >= 2);
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let b1 = ev.benefit(&fwd);
+        let stats1 = ev.eval_stats();
+        let b2 = ev.benefit(&rev);
+        let stats2 = ev.eval_stats();
+        assert_eq!(b1.to_bits(), b2.to_bits());
+        assert_eq!(
+            stats2.optimizer_calls, stats1.optimizer_calls,
+            "permuted configuration re-costed instead of cache-served"
+        );
+        assert_eq!(stats2.cache_misses, stats1.cache_misses);
+        assert!(stats2.cache_hits > stats1.cache_hits);
+    }
+
+    #[test]
+    fn time_budget_clock_starts_at_first_benefit_call() {
+        // The wall-clock budget must account evaluation time, not the time
+        // since evaluator construction — expensive setup (or an idle
+        // advisor session) between construction and the first benefit()
+        // call must not burn the budget.
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let budget = WhatIfBudget {
+            max_calls: 0,
+            max_millis: 500,
+        };
+        let mut ev =
+            BenefitEvaluator::with_faults(&mut db, &w, &set, &FaultInjector::off(), budget);
+        std::thread::sleep(Duration::from_millis(600));
+        let b = ev.benefit(&set.basic_ids());
+        assert_eq!(
+            ev.fallback_count(),
+            0,
+            "budget clock counted pre-evaluation time"
+        );
+        assert!(b > 0.0);
     }
 }

@@ -23,9 +23,11 @@ pub fn greedy(ev: &mut BenefitEvaluator<'_>, candidates: &[CandId], budget: u64)
             continue;
         }
         let size = ev.candidates().get(id).size;
-        if used + size <= budget {
+        // checked_add: a corrupt size from a lenient load must not wrap
+        // the accumulator and admit an oversized index.
+        if let Some(next_used) = used.checked_add(size).filter(|&t| t <= budget) {
             chosen.push(id);
-            used += size;
+            used = next_used;
         }
     }
     chosen
@@ -63,9 +65,10 @@ pub fn greedy_heuristics(
             continue;
         }
         let size = ev.candidates().get(id).size;
-        if used + size > budget {
+        // checked_add against u64 wraparound from corrupt candidate sizes.
+        let Some(next_used) = used.checked_add(size).filter(|&t| t <= budget) else {
             continue;
-        }
+        };
         let is_general = {
             let c = ev.candidates().get(id);
             c.origin == crate::candidate::CandOrigin::Generalized
@@ -82,7 +85,7 @@ pub fn greedy_heuristics(
             let spec_size: u64 = covered_basics
                 .iter()
                 .map(|&b| ev.candidates().get(b).size)
-                .sum();
+                .fold(0u64, u64::saturating_add);
             if spec_size > 0 && size as f64 > (1.0 + beta) * spec_size as f64 {
                 telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
                 continue;
@@ -107,7 +110,7 @@ pub fn greedy_heuristics(
             if ib_general > chosen_benefit {
                 chosen = with_general;
                 chosen_benefit = ib_general;
-                used += size;
+                used = next_used;
                 covered.extend(covered_basics);
             }
         } else {
@@ -122,7 +125,7 @@ pub fn greedy_heuristics(
             if ib > chosen_benefit {
                 chosen = with;
                 chosen_benefit = ib;
-                used += size;
+                used = next_used;
                 covered.insert(id);
             }
         }
@@ -130,7 +133,9 @@ pub fn greedy_heuristics(
 
     // Final redundancy pass (paper Section VI-A): compile the workload
     // under the chosen configuration, drop indexes no plan uses, and refill
-    // the reclaimed space from the remaining candidates.
+    // the reclaimed space from the remaining candidates. `covered` and
+    // `used` are rebuilt from the pruned `chosen` each round — the refill
+    // must not re-admit coverage (or budget) freed only on paper.
     for _ in 0..4 {
         let in_use = ev.used_candidates(&chosen);
         if in_use.len() == chosen.len() {
@@ -138,23 +143,45 @@ pub fn greedy_heuristics(
         }
         chosen.retain(|id| in_use.contains(id));
         chosen_benefit = ev.benefit(&chosen);
-        used = chosen.iter().map(|&id| ev.candidates().get(id).size).sum();
+        used = rebuild_used(ev, &chosen);
+        covered = rebuild_covered(ev, &chosen, &basics);
         let mut grew = false;
         for &id in &by_density(ev, &benefits, candidates) {
             if chosen.contains(&id) || benefits[&id] <= 0.0 {
                 continue;
             }
             let size = ev.candidates().get(id).size;
-            if used + size > budget {
+            let Some(next_used) = used.checked_add(size).filter(|&t| t <= budget) else {
                 continue;
-            }
+            };
+            let is_general =
+                ev.candidates().get(id).origin == crate::candidate::CandOrigin::Generalized;
+            let covered_basics = if is_general {
+                let cb = basics_covered_by(ev, id, &basics);
+                if !cb.is_empty() && cb.iter().all(|b| covered.contains(b)) {
+                    telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
+                    continue;
+                }
+                cb
+            } else {
+                if covered.contains(&id) {
+                    telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
+                    continue;
+                }
+                Vec::new()
+            };
             let mut with = chosen.clone();
             with.push(id);
             let ib = ev.benefit(&with);
             if ib > chosen_benefit {
                 chosen = with;
                 chosen_benefit = ib;
-                used += size;
+                used = next_used;
+                if is_general {
+                    covered.extend(covered_basics);
+                } else {
+                    covered.insert(id);
+                }
                 grew = true;
             }
         }
@@ -167,6 +194,34 @@ pub fn greedy_heuristics(
     }
     chosen.sort_unstable();
     chosen
+}
+
+/// Total size of a configuration, saturating instead of wrapping on
+/// corrupt candidate sizes.
+fn rebuild_used(ev: &BenefitEvaluator<'_>, chosen: &[CandId]) -> u64 {
+    chosen
+        .iter()
+        .map(|&id| ev.candidates().get(id).size)
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Recomputes the coverage bitmap implied by a configuration: each chosen
+/// basic covers itself; each chosen general covers the basics its pattern
+/// contains.
+fn rebuild_covered(
+    ev: &BenefitEvaluator<'_>,
+    chosen: &[CandId],
+    basics: &[CandId],
+) -> HashSet<CandId> {
+    let mut covered = HashSet::new();
+    for &id in chosen {
+        if ev.candidates().get(id).origin == crate::candidate::CandOrigin::Generalized {
+            covered.extend(basics_covered_by(ev, id, basics));
+        } else {
+            covered.insert(id);
+        }
+    }
+    covered
 }
 
 /// Basic candidates (same collection and kind) covered by a candidate's

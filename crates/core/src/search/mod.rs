@@ -25,17 +25,17 @@ use crate::benefit::BenefitEvaluator;
 use crate::candidate::CandId;
 use std::collections::HashMap;
 
-/// Shared helper: standalone (single-index) benefits, memoized by the
-/// evaluator's sub-configuration cache anyway, but batched here so the
-/// searches can sort once.
+/// Shared helper: standalone (single-index) benefits. Evaluated as one
+/// batch so every singleton's what-if calls fan out across the evaluator's
+/// worker pool — the largest single source of parallel speedup — and
+/// memoized by the evaluator's sub-configuration cache for later reuse.
 pub(crate) fn standalone_benefits(
     ev: &mut BenefitEvaluator<'_>,
     candidates: &[CandId],
 ) -> HashMap<CandId, f64> {
-    candidates
-        .iter()
-        .map(|&id| (id, ev.benefit(&[id])))
-        .collect()
+    let configs: Vec<Vec<CandId>> = candidates.iter().map(|&id| vec![id]).collect();
+    let benefits = ev.benefit_batch(&configs);
+    candidates.iter().copied().zip(benefits).collect()
 }
 
 /// Sorts candidate ids by benefit density (benefit per byte), descending;
@@ -205,6 +205,61 @@ mod tests {
         assert!(dp_knapsack(&mut ev, &all, 0).is_empty());
         assert!(top_down(&mut ev, &all, 0, false).is_empty());
         assert!(top_down(&mut ev, &all, 0, true).is_empty());
+    }
+
+    #[test]
+    fn corrupt_size_is_rejected_without_panic() {
+        // A candidate whose size was corrupted to u64::MAX (adversarial or
+        // lenient-load data) must never be admitted, and the knapsack
+        // accounting must not wrap around and admit oversized followers.
+        let (mut db, w, mut set) = setup();
+        let all: Vec<CandId> = set.ids().collect();
+        let victim = all[0];
+        let budget = set.config_size(&set.basic_ids());
+        set.get_mut(victim).size = u64::MAX;
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let g = greedy(&mut ev, &all, budget);
+        assert!(!g.contains(&victim), "greedy admitted a u64::MAX index");
+        assert!(set.config_size(&g) <= budget);
+        let h = greedy_heuristics(&mut ev, &all, budget, 0.10);
+        assert!(!h.contains(&victim), "heuristics admitted a u64::MAX index");
+        assert!(set.config_size(&h) <= budget);
+    }
+
+    #[test]
+    fn heuristics_redundancy_pass_respects_budget_and_coverage() {
+        // Sweep budgets so the final redundancy pass actually prunes and
+        // refills; after each run the config must stay within budget and the
+        // refill must not have re-admitted coverage-redundant indexes.
+        let (mut db, w, set) = setup();
+        let all: Vec<CandId> = set.ids().collect();
+        let full = set.config_size(&all);
+        for frac in [0.15, 0.35, 0.6, 1.0] {
+            let budget = (full as f64 * frac) as u64;
+            let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+            let config = greedy_heuristics(&mut ev, &all, budget, 0.10);
+            assert!(
+                set.config_size(&config) <= budget,
+                "budget {budget} exceeded: {}",
+                set.config_size(&config)
+            );
+            for &a in &config {
+                for &b in &config {
+                    if a == b {
+                        continue;
+                    }
+                    let (ca, cb) = (set.get(a), set.get(b));
+                    if ca.collection == cb.collection && ca.kind == cb.kind {
+                        assert!(
+                            !xia_xpath::contain::covers(&ca.pattern, &cb.pattern),
+                            "budget {budget}: {} covers co-selected {}",
+                            ca.pattern,
+                            cb.pattern
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

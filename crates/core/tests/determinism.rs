@@ -1,0 +1,165 @@
+//! Determinism suite: the advisor's output is a pure function of
+//! (workload, seed, parameters) — the `--jobs` worker count changes only
+//! wall-clock time, never the recommendation or the telemetry totals.
+//!
+//! Every nondeterministic decision (cache lookups, budget charging, fault
+//! salts, stats-availability probes) is planned serially on the
+//! coordinator; workers execute pure costing tasks. These tests pin that
+//! contract: identical recommendations (bit-for-bit benefit estimates) and
+//! identical counter totals at `--jobs` 1, 4, and 8 — clean, under
+//! injected faults, and under an exhausted what-if budget.
+
+use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm, WhatIfBudget};
+use xia_fault::{FaultInjector, FaultSite};
+use xia_obs::{Counter, Telemetry};
+use xia_storage::Database;
+use xia_workloads::tpox::{self, TpoxConfig};
+use xia_workloads::Workload;
+
+const SEED: u64 = 0xD37E;
+const JOBS: [usize; 3] = [1, 4, 8];
+
+/// Counters whose totals must not depend on the worker count.
+const PINNED: [Counter; 9] = [
+    Counter::OptimizerEvaluateCalls,
+    Counter::BenefitCacheHits,
+    Counter::BenefitCacheMisses,
+    Counter::BenefitEvaluations,
+    Counter::CostFallbacks,
+    Counter::WhatIfBudgetExhausted,
+    Counter::FaultsInjected,
+    Counter::VirtualIndexesCreated,
+    Counter::VirtualIndexesDropped,
+];
+
+/// Everything the suite compares across worker counts.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    config: Vec<xia_advisor::CandId>,
+    indexes: Vec<String>,
+    est_benefit_bits: u64,
+    baseline_bits: u64,
+    workload_bits: u64,
+    optimizer_calls: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    counters: Vec<(Counter, u64)>,
+}
+
+fn run(algo: SearchAlgorithm, jobs: usize, make_params: impl Fn() -> AdvisorParams) -> Fingerprint {
+    let mut db = Database::new();
+    let cfg = TpoxConfig::tiny();
+    tpox::generate(&mut db, &cfg);
+    let w = Workload::from_texts(tpox::queries(&cfg).iter().map(|s| s.as_str())).unwrap();
+    let params = AdvisorParams {
+        jobs,
+        telemetry: Telemetry::new(),
+        ..make_params()
+    };
+    let rec = Advisor::recommend(&mut db, &w, u64::MAX / 2, algo, &params).expect("advise");
+    Fingerprint {
+        config: rec.config.clone(),
+        indexes: rec.indexes.iter().map(|ix| format!("{ix:?}")).collect(),
+        est_benefit_bits: rec.est_benefit.to_bits(),
+        baseline_bits: rec.baseline_cost.to_bits(),
+        workload_bits: rec.workload_cost.to_bits(),
+        optimizer_calls: rec.eval_stats.optimizer_calls,
+        cache_hits: rec.eval_stats.cache_hits,
+        cache_misses: rec.eval_stats.cache_misses,
+        counters: PINNED
+            .iter()
+            .map(|&c| (c, params.telemetry.get(c)))
+            .collect(),
+    }
+}
+
+fn assert_jobs_invariant(algo: SearchAlgorithm, make_params: impl Fn() -> AdvisorParams) {
+    let reference = run(algo, JOBS[0], &make_params);
+    assert!(
+        !reference.config.is_empty(),
+        "suite must exercise a non-trivial recommendation"
+    );
+    for &jobs in &JOBS[1..] {
+        let other = run(algo, jobs, &make_params);
+        assert_eq!(
+            reference, other,
+            "jobs=1 and jobs={jobs} disagree for {algo:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_run_is_jobs_invariant_greedy() {
+    assert_jobs_invariant(SearchAlgorithm::Greedy, AdvisorParams::default);
+}
+
+#[test]
+fn clean_run_is_jobs_invariant_heuristics() {
+    assert_jobs_invariant(SearchAlgorithm::GreedyHeuristics, AdvisorParams::default);
+}
+
+#[test]
+fn optimizer_faults_are_jobs_invariant() {
+    assert_jobs_invariant(SearchAlgorithm::GreedyHeuristics, || AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::OptimizerCost, 0.3),
+        ..AdvisorParams::default()
+    });
+    // The schedule must actually fire for the invariant to mean anything.
+    let probe = run(SearchAlgorithm::GreedyHeuristics, 4, || AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::OptimizerCost, 0.3),
+        ..AdvisorParams::default()
+    });
+    let injected = probe
+        .counters
+        .iter()
+        .find(|(c, _)| *c == Counter::FaultsInjected)
+        .map(|&(_, n)| n)
+        .unwrap_or(0);
+    assert!(injected > 0, "0.3 fault rate never fired");
+}
+
+#[test]
+fn stats_faults_are_jobs_invariant() {
+    assert_jobs_invariant(SearchAlgorithm::Greedy, || AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::StatsUnavailable, 0.5),
+        ..AdvisorParams::default()
+    });
+}
+
+#[test]
+fn call_budget_exhaustion_is_jobs_invariant() {
+    // A tight call budget forces the degradation ladder mid-search. Budget
+    // charging happens at task-planning time on the coordinator, so the
+    // exact statement at which the budget trips is identical for every
+    // worker count.
+    assert_jobs_invariant(SearchAlgorithm::Greedy, || AdvisorParams {
+        what_if_budget: WhatIfBudget::calls(4),
+        ..AdvisorParams::default()
+    });
+}
+
+#[test]
+fn faults_and_budget_combined_are_jobs_invariant() {
+    assert_jobs_invariant(SearchAlgorithm::GreedyHeuristics, || AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::OptimizerCost, 0.2),
+        what_if_budget: WhatIfBudget::calls(32),
+        ..AdvisorParams::default()
+    });
+}
+
+#[test]
+fn repeated_runs_at_same_jobs_are_identical() {
+    for jobs in JOBS {
+        let a = run(
+            SearchAlgorithm::GreedyHeuristics,
+            jobs,
+            AdvisorParams::default,
+        );
+        let b = run(
+            SearchAlgorithm::GreedyHeuristics,
+            jobs,
+            AdvisorParams::default,
+        );
+        assert_eq!(a, b, "jobs={jobs} not reproducible run-to-run");
+    }
+}

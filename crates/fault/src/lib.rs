@@ -114,10 +114,23 @@ struct Inner {
     injected: [AtomicU64; FaultSite::COUNT],
 }
 
+/// A derived fault stream: its own hash seed and per-site call numbering,
+/// layered over the parent injector's shared thresholds and counters.
+#[derive(Debug)]
+struct Stream {
+    seed: u64,
+    /// Per-site call numbers local to this stream.
+    calls: [AtomicU64; FaultSite::COUNT],
+}
+
 /// Cheap handle to shared fault-injection state. See the crate docs.
 #[derive(Debug, Clone, Default)]
 pub struct FaultInjector {
     inner: Option<Arc<Inner>>,
+    /// When present, rolls hash against this stream's seed and call
+    /// numbering instead of the shared ones (see
+    /// [`FaultInjector::derive_stream`]).
+    stream: Option<Arc<Stream>>,
 }
 
 /// splitmix64 — the standard 64-bit finalizer; good avalanche, no state.
@@ -132,7 +145,10 @@ fn splitmix64(mut z: u64) -> u64 {
 impl FaultInjector {
     /// A disabled handle: every roll succeeds, at the cost of one branch.
     pub fn off() -> Self {
-        Self { inner: None }
+        Self {
+            inner: None,
+            stream: None,
+        }
     }
 
     /// A seeded injector with all sites initially at probability 0. Use
@@ -145,6 +161,33 @@ impl FaultInjector {
                 thresholds: [0; FaultSite::COUNT],
                 calls: std::array::from_fn(|_| AtomicU64::new(0)),
                 injected: std::array::from_fn(|_| AtomicU64::new(0)),
+            })),
+            stream: None,
+        }
+    }
+
+    /// Derives a fault stream for one unit of parallel work, identified by
+    /// a caller-chosen `salt` (e.g. a hash of the task being costed).
+    ///
+    /// The derived handle shares the parent's thresholds and aggregate
+    /// `calls`/`injected` counters, but rolls against its own seed
+    /// (`splitmix64(parent_seed ^ salt)`) and its own per-site call
+    /// numbering. Whether a roll fires is therefore a pure function of
+    /// `(seed, salt, local call number)` — independent of how concurrent
+    /// workers interleave — which is what keeps chaos runs deterministic
+    /// under `--jobs N`. Deriving from a disabled handle yields a disabled
+    /// handle; deriving from a derived handle chains the seeds.
+    pub fn derive_stream(&self, salt: u64) -> FaultInjector {
+        let Some(inner) = &self.inner else {
+            return FaultInjector::off();
+        };
+        let parent_seed = self.stream.as_ref().map_or(inner.seed, |s| s.seed);
+        let seed = splitmix64(parent_seed ^ salt.wrapping_mul(0xa24b_aed4_963e_e407));
+        FaultInjector {
+            inner: Some(Arc::clone(inner)),
+            stream: Some(Arc::new(Stream {
+                seed,
+                calls: std::array::from_fn(|_| AtomicU64::new(0)),
             })),
         }
     }
@@ -197,15 +240,23 @@ impl FaultInjector {
     /// handle inlines to a branch.
     fn roll_armed(&self, inner: &Inner, site: FaultSite) -> Result<(), InjectedFault> {
         let i = site.index();
-        let call = inner.calls[i].fetch_add(1, Ordering::Relaxed) + 1;
+        // The shared counter always tracks total rolls across all streams.
+        let shared_call = inner.calls[i].fetch_add(1, Ordering::Relaxed) + 1;
+        // A derived stream hashes against its own seed and call numbering,
+        // so its schedule is independent of concurrent rolls elsewhere.
+        let (seed, call) = match &self.stream {
+            Some(stream) => (
+                stream.seed,
+                stream.calls[i].fetch_add(1, Ordering::Relaxed) + 1,
+            ),
+            None => (inner.seed, shared_call),
+        };
         let threshold = inner.thresholds[i];
         if threshold == 0 {
             return Ok(());
         }
         let h = splitmix64(
-            inner
-                .seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add((i as u64) << 56)
                 .wrapping_add(call),
         );
@@ -342,6 +393,55 @@ mod tests {
         let g = f.clone();
         assert!(g.roll(FaultSite::StatsUnavailable).is_err());
         assert_eq!(f.injected(FaultSite::StatsUnavailable), 1);
+    }
+
+    #[test]
+    fn derived_streams_are_interleaving_independent() {
+        // The schedule of a derived stream must depend only on
+        // (seed, salt, local call number) — not on rolls made through the
+        // parent or through sibling streams in between.
+        let schedule = |noise: bool| -> Vec<bool> {
+            let parent = FaultInjector::seeded(77).with_rate(FaultSite::OptimizerCost, 0.4);
+            let stream = parent.derive_stream(0xBEEF);
+            let sibling = parent.derive_stream(0xCAFE);
+            (0..60)
+                .map(|_| {
+                    if noise {
+                        let _ = parent.roll(FaultSite::OptimizerCost);
+                        let _ = sibling.roll(FaultSite::OptimizerCost);
+                    }
+                    stream.roll(FaultSite::OptimizerCost).is_err()
+                })
+                .collect()
+        };
+        assert_eq!(schedule(false), schedule(true));
+        // Different salts yield different schedules.
+        let parent = FaultInjector::seeded(77).with_rate(FaultSite::OptimizerCost, 0.4);
+        let roll_out = |salt: u64| -> Vec<bool> {
+            let stream = parent.derive_stream(salt);
+            (0..60)
+                .map(|_| stream.roll(FaultSite::OptimizerCost).is_err())
+                .collect()
+        };
+        assert_ne!(roll_out(1), roll_out(2));
+    }
+
+    #[test]
+    fn derived_streams_report_into_parent_counters() {
+        let parent = FaultInjector::seeded(5).with_always(FaultSite::OptimizerCost);
+        let stream = parent.derive_stream(42);
+        assert!(stream.roll(FaultSite::OptimizerCost).is_err());
+        assert!(stream.roll(FaultSite::OptimizerCost).is_err());
+        let _ = parent.roll(FaultSite::OptimizerCost);
+        assert_eq!(parent.calls(FaultSite::OptimizerCost), 3);
+        assert_eq!(parent.injected(FaultSite::OptimizerCost), 3);
+    }
+
+    #[test]
+    fn deriving_from_off_stays_off() {
+        let stream = FaultInjector::off().derive_stream(9);
+        assert!(!stream.is_enabled());
+        assert!(stream.roll(FaultSite::StorageIo).is_ok());
     }
 
     #[test]

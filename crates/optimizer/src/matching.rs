@@ -5,7 +5,7 @@
 //! and `K` equals the predicate's literal type. This is the optimizer-side
 //! index-matching step the paper's candidate enumeration piggybacks on.
 
-use xia_storage::{Catalog, IndexDef};
+use xia_storage::{Catalog, CatalogView, IndexDef};
 use xia_xpath::{contain, AccessPattern, CmpOp, LinearPath, PatternPred, ValueKind};
 
 /// A candidate index pattern enumerated by the optimizer for one statement
@@ -51,18 +51,24 @@ pub fn index_matches(def: &IndexDef, ap: &AccessPattern) -> bool {
 
 /// All live catalog indexes matching an access pattern.
 pub fn matching_indexes<'c>(catalog: &'c Catalog, ap: &AccessPattern) -> Vec<&'c IndexDef> {
-    catalog.iter().filter(|d| index_matches(d, ap)).collect()
+    matching_indexes_view(catalog.view(), ap)
 }
 
-/// [`matching_indexes`] with each containment test counted against a
+/// [`matching_indexes`] over a catalog view (base catalog plus an optional
+/// what-if overlay) — the side-effect-free form Evaluate mode uses.
+pub fn matching_indexes_view<'c>(view: CatalogView<'c>, ap: &AccessPattern) -> Vec<&'c IndexDef> {
+    view.iter().filter(|d| index_matches(d, ap)).collect()
+}
+
+/// [`matching_indexes_view`] with each containment test counted against a
 /// telemetry sink (one attempt per live index definition probed).
 pub fn matching_indexes_traced<'c>(
-    catalog: &'c Catalog,
+    view: CatalogView<'c>,
     ap: &AccessPattern,
     telemetry: &xia_obs::Telemetry,
 ) -> Vec<&'c IndexDef> {
     let mut attempts = 0u64;
-    let out = catalog
+    let out = view
         .iter()
         .filter(|d| {
             attempts += 1;

@@ -8,7 +8,7 @@ use std::cell::Cell;
 use std::fmt;
 use xia_fault::{FaultInjector, FaultSite, InjectedFault};
 use xia_obs::{Counter, Telemetry};
-use xia_storage::{Catalog, Collection, CollectionStats};
+use xia_storage::{Catalog, CatalogView, Collection, CollectionStats};
 use xia_xpath::{normalize_statement, NormalizedQuery, Statement, ValueKind};
 
 /// An Evaluate-mode costing failure. The what-if interface treats the
@@ -48,7 +48,7 @@ impl std::error::Error for CostError {
 pub struct Optimizer<'a> {
     collection: &'a Collection,
     stats: &'a CollectionStats,
-    catalog: &'a Catalog,
+    catalog: CatalogView<'a>,
     cost_model: CostModel,
     evaluate_calls: Cell<u64>,
     /// Telemetry sink for mode entry points, index-matching attempts, and
@@ -68,6 +68,19 @@ impl<'a> Optimizer<'a> {
         Self::with_cost_model(collection, stats, catalog, CostModel::default())
     }
 
+    /// Binds an optimizer to a catalog view (base catalog plus an optional
+    /// what-if overlay). This is Evaluate mode's side-effect-free entry
+    /// point: the candidate configuration lives in the overlay, the shared
+    /// catalog is never mutated, and any number of such optimizers can
+    /// cost concurrently against the same database.
+    pub fn with_view(
+        collection: &'a Collection,
+        stats: &'a CollectionStats,
+        view: CatalogView<'a>,
+    ) -> Self {
+        Self::with_view_cost_model(collection, stats, view, CostModel::default())
+    }
+
     /// Binds an optimizer with a custom cost model.
     pub fn with_cost_model(
         collection: &'a Collection,
@@ -75,10 +88,20 @@ impl<'a> Optimizer<'a> {
         catalog: &'a Catalog,
         cost_model: CostModel,
     ) -> Self {
+        Self::with_view_cost_model(collection, stats, catalog.view(), cost_model)
+    }
+
+    /// [`Optimizer::with_view`] with a custom cost model.
+    pub fn with_view_cost_model(
+        collection: &'a Collection,
+        stats: &'a CollectionStats,
+        view: CatalogView<'a>,
+        cost_model: CostModel,
+    ) -> Self {
         Self {
             collection,
             stats,
-            catalog,
+            catalog: view,
             cost_model,
             evaluate_calls: Cell::new(0),
             telemetry: Telemetry::off(),

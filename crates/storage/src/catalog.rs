@@ -262,6 +262,150 @@ impl Catalog {
             .and_then(|d| d.as_mut())
             .and_then(|d| d.physical.as_mut())
     }
+
+    /// Number of id slots ever allocated (live or dropped). Overlay ids
+    /// start past this boundary so they can never collide with catalog ids.
+    pub fn slot_capacity(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// A read-only view of this catalog with no overlay.
+    pub fn view(&self) -> CatalogView<'_> {
+        CatalogView {
+            base: self,
+            overlay: &[],
+            overlay_base: self.defs.len(),
+        }
+    }
+
+    /// Starts a what-if overlay on this catalog, counting virtual-index
+    /// churn against the catalog's own telemetry sink.
+    pub fn overlay(&self) -> CatalogOverlay<'_> {
+        CatalogOverlay::with_telemetry(self, &self.telemetry)
+    }
+}
+
+/// A transient set of virtual indexes layered over an immutable [`Catalog`].
+///
+/// This is the side-effect-free replacement for create/drop virtual-index
+/// churn in the shared catalog: a what-if evaluation builds an overlay for
+/// the candidate configuration, hands the combined [`CatalogView`] to the
+/// optimizer, and discards the overlay afterwards. The base catalog is
+/// never touched, so any number of overlays can cost concurrently against
+/// the same catalog.
+///
+/// Overlay entries get ids past [`Catalog::slot_capacity`], so plans can
+/// reference overlay indexes without ambiguity, and the created/dropped
+/// telemetry balance is preserved: every index added here is counted
+/// created, and counted dropped when the overlay goes away.
+#[derive(Debug)]
+pub struct CatalogOverlay<'a> {
+    base: &'a Catalog,
+    defs: Vec<IndexDef>,
+    telemetry: Telemetry,
+}
+
+impl<'a> CatalogOverlay<'a> {
+    /// Starts an empty overlay counting churn against `telemetry`.
+    pub fn with_telemetry(base: &'a Catalog, telemetry: &Telemetry) -> Self {
+        Self {
+            base,
+            defs: Vec::new(),
+            telemetry: telemetry.clone(),
+        }
+    }
+
+    /// Adds a virtual index with derived statistics (the overlay analogue
+    /// of [`Catalog::create_virtual`]).
+    pub fn add_virtual(
+        &mut self,
+        collection: &Collection,
+        stats: &CollectionStats,
+        pattern: &LinearPath,
+        kind: ValueKind,
+    ) -> IndexId {
+        let (matched_paths, istats) = Catalog::derive_stats(collection, stats, pattern, kind);
+        self.telemetry.incr(Counter::StatsDerivations);
+        self.telemetry.incr(Counter::VirtualIndexesCreated);
+        self.telemetry
+            .add(Counter::EstIndexBytes, istats.size_bytes);
+        let id = IndexId((self.base.defs.len() + self.defs.len()) as u32);
+        self.defs.push(IndexDef {
+            id,
+            pattern: pattern.clone(),
+            kind,
+            matched_paths,
+            stats: istats,
+            physical: None,
+        });
+        id
+    }
+
+    /// Number of overlay entries.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the overlay holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The combined base + overlay view.
+    pub fn view(&self) -> CatalogView<'_> {
+        CatalogView {
+            base: self.base,
+            overlay: &self.defs,
+            overlay_base: self.base.defs.len(),
+        }
+    }
+}
+
+impl Drop for CatalogOverlay<'_> {
+    fn drop(&mut self) {
+        // Balance the created counter: discarding the overlay is the
+        // what-if "drop" of its virtual indexes.
+        self.telemetry
+            .add(Counter::VirtualIndexesDropped, self.defs.len() as u64);
+    }
+}
+
+/// An immutable view of a catalog plus an optional what-if overlay.
+///
+/// Cheap to copy; the optimizer's Evaluate-Indexes mode matches and costs
+/// against this instead of a `&Catalog`, so candidate configurations never
+/// mutate shared state.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogView<'a> {
+    base: &'a Catalog,
+    overlay: &'a [IndexDef],
+    overlay_base: usize,
+}
+
+impl<'a> CatalogView<'a> {
+    /// Borrows an index definition, routing by the overlay id boundary.
+    pub fn get(&self, id: IndexId) -> Option<&'a IndexDef> {
+        if id.index() >= self.overlay_base {
+            self.overlay.get(id.index() - self.overlay_base)
+        } else {
+            self.base.get(id)
+        }
+    }
+
+    /// Iterates over live base definitions, then overlay definitions.
+    pub fn iter(&self) -> impl Iterator<Item = &'a IndexDef> {
+        self.base.iter().chain(self.overlay.iter())
+    }
+
+    /// Number of live indexes visible through the view.
+    pub fn len(&self) -> usize {
+        self.base.len() + self.overlay.len()
+    }
+
+    /// Whether the view exposes no indexes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +532,72 @@ mod tests {
         cat.drop_index(ph); // physical: not counted
         cat.drop_all_virtual();
         assert_eq!(t.get(Counter::VirtualIndexesDropped), 2);
+    }
+
+    #[test]
+    fn overlay_is_visible_through_view_but_never_touches_base() {
+        let (c, s) = setup();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let mut cat = Catalog::new();
+        let ph = cat.create_physical(&c, &p, ValueKind::Str);
+        let t = Telemetry::new();
+        let mut ov = CatalogOverlay::with_telemetry(&cat, &t);
+        let v = ov.add_virtual(&c, &s, &p, ValueKind::Num);
+        assert!(v.index() >= cat.slot_capacity(), "overlay ids are disjoint");
+
+        let view = ov.view();
+        assert_eq!(view.len(), 2);
+        assert!(view.get(ph).is_some_and(|d| !d.is_virtual()));
+        assert!(view.get(v).is_some_and(|d| d.is_virtual()));
+        assert_eq!(view.iter().count(), 2);
+        // The base catalog is untouched.
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get(v).is_none());
+    }
+
+    #[test]
+    fn overlay_telemetry_balances_created_and_dropped() {
+        let (c, s) = setup();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let cat = Catalog::new();
+        let t = Telemetry::new();
+        {
+            let mut ov = CatalogOverlay::with_telemetry(&cat, &t);
+            ov.add_virtual(&c, &s, &p, ValueKind::Str);
+            ov.add_virtual(&c, &s, &p, ValueKind::Num);
+            assert_eq!(t.get(Counter::VirtualIndexesCreated), 2);
+            assert_eq!(t.get(Counter::StatsDerivations), 2);
+            assert_eq!(t.get(Counter::VirtualIndexesDropped), 0);
+        }
+        assert_eq!(t.get(Counter::VirtualIndexesDropped), 2);
+    }
+
+    #[test]
+    fn overlay_stats_match_catalog_derivation() {
+        let (c, s) = setup();
+        let p = parse_linear_path("/Security/Yield").unwrap();
+        let mut cat = Catalog::new();
+        let direct = cat.create_virtual(&c, &s, &p, ValueKind::Num);
+        let mut ov = cat.overlay();
+        let layered = ov.add_virtual(&c, &s, &p, ValueKind::Num);
+        let view = ov.view();
+        let a = &view.get(direct).unwrap().stats;
+        let b = &view.get(layered).unwrap().stats;
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.distinct, b.distinct);
+        assert_eq!(a.size_bytes, b.size_bytes);
+    }
+
+    #[test]
+    fn plain_view_ids_route_to_base() {
+        let (c, _s) = setup();
+        let p = parse_linear_path("/Security/Symbol").unwrap();
+        let mut cat = Catalog::new();
+        let ph = cat.create_physical(&c, &p, ValueKind::Str);
+        let view = cat.view();
+        assert_eq!(view.len(), cat.len());
+        assert!(view.get(ph).is_some());
+        assert!(view.get(IndexId(99)).is_none());
     }
 
     #[test]

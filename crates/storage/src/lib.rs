@@ -23,7 +23,7 @@ pub mod persist;
 pub mod size;
 pub mod stats;
 
-pub use catalog::{Catalog, IndexDef, IndexId, IndexStats};
+pub use catalog::{Catalog, CatalogOverlay, CatalogView, IndexDef, IndexId, IndexStats};
 pub use collection::{Collection, DocId};
 pub use database::Database;
 pub use index::{OrdF64, PhysicalIndex, Posting};
