@@ -15,8 +15,9 @@ use xia_advisor::{search, Advisor, AdvisorParams, BenefitEvaluator};
 /// One ablation configuration result.
 #[derive(Debug, Clone)]
 pub struct AblationRow {
-    /// Which switches were on: (affected sets, sub-configs, cache).
-    pub switches: (bool, bool, bool),
+    /// Which switches were on: (affected sets, sub-configs, cache,
+    /// statement-relevance pruning).
+    pub switches: (bool, bool, bool, bool),
     /// What-if worker threads used for the search.
     pub jobs: usize,
     /// Evaluate-mode optimizer calls during the search.
@@ -29,12 +30,18 @@ pub struct AblationRow {
     pub cache_hits: u64,
     /// Sub-configuration cache misses (telemetry) during the search.
     pub cache_misses: u64,
+    /// Per-statement costings served from the projection-keyed statement
+    /// cost cache (telemetry) during the search.
+    pub stmt_cache_hits: u64,
 }
 
 /// Runs greedy-with-heuristics under each combination of evaluator
 /// switches, single- and multi-threaded (the all-on combo repeats at
 /// `jobs = 4` so the table reports the parallel evaluation time
-/// alongside the serial one).
+/// alongside the serial one). Pruning is disabled together with the
+/// sub-configuration cache in the cache-ablation row so that row still
+/// isolates the memo cache (the statement cache would otherwise absorb
+/// most of the repeat evaluations the row exists to expose).
 pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
     let workload = lab.workload();
     let params = AdvisorParams::default();
@@ -43,15 +50,16 @@ pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
     let budget = set.config_size(&Advisor::all_index_config(&set));
 
     let combos = [
-        (true, true, true, 1),
-        (true, true, true, 4),
-        (false, true, true, 1),
-        (true, false, true, 1),
-        (true, true, false, 1),
-        (false, false, false, 1),
+        (true, true, true, true, 1),
+        (true, true, true, true, 4),
+        (false, true, true, true, 1),
+        (true, false, true, true, 1),
+        (true, true, true, false, 1),
+        (true, true, false, false, 1),
+        (false, false, false, false, 1),
     ];
     let mut rows = Vec::new();
-    for (aff, sub, cache, jobs) in combos {
+    for (aff, sub, cache, prune, jobs) in combos {
         let telemetry = xia_obs::Telemetry::new();
         let mut ev = BenefitEvaluator::new(&mut lab.db, &workload, &set);
         ev.set_telemetry(&telemetry);
@@ -59,6 +67,7 @@ pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
         ev.use_affected_sets = aff;
         ev.use_subconfigs = sub;
         ev.use_cache = cache;
+        ev.prune = prune;
         let calls0 = ev.eval_stats().optimizer_calls;
         let start = Instant::now();
         let config = search::greedy_heuristics(&mut ev, &all, budget, params.beta);
@@ -66,15 +75,17 @@ pub fn run_switches(lab: &mut TpoxLab) -> Vec<AblationRow> {
         let calls = ev.eval_stats().optimizer_calls - calls0;
         let cache_hits = telemetry.get(xia_obs::Counter::BenefitCacheHits);
         let cache_misses = telemetry.get(xia_obs::Counter::BenefitCacheMisses);
+        let stmt_cache_hits = telemetry.get(xia_obs::Counter::StmtCacheHits);
         let benefit = ev.benefit(&config);
         rows.push(AblationRow {
-            switches: (aff, sub, cache),
+            switches: (aff, sub, cache, prune),
             jobs,
             optimizer_calls: calls,
             ms,
             benefit,
             cache_hits,
             cache_misses,
+            stmt_cache_hits,
         });
     }
     rows
@@ -88,12 +99,14 @@ pub fn switches_table(rows: &[AblationRow]) -> Table {
             "affected-sets",
             "sub-configs",
             "cache",
+            "prune",
             "jobs",
             "optimizer calls",
             "ms",
             "benefit",
             "cache hits",
             "cache misses",
+            "stmt cache hits",
         ],
     );
     for r in rows {
@@ -101,12 +114,14 @@ pub fn switches_table(rows: &[AblationRow]) -> Table {
             r.switches.0.to_string(),
             r.switches.1.to_string(),
             r.switches.2.to_string(),
+            r.switches.3.to_string(),
             r.jobs.to_string(),
             r.optimizer_calls.to_string(),
             f(r.ms),
             f(r.benefit),
             r.cache_hits.to_string(),
             r.cache_misses.to_string(),
+            r.stmt_cache_hits.to_string(),
         ]);
     }
     t
@@ -184,14 +199,14 @@ mod tests {
     fn cache_ablation_shows_canonical_hit_rate() {
         let mut lab = TpoxLab::quick();
         let rows = run_switches(&mut lab);
-        let by = |aff: bool, sub: bool, cache: bool, jobs: usize| {
+        let by = |aff: bool, sub: bool, cache: bool, prune: bool, jobs: usize| {
             rows.iter()
-                .find(|r| r.switches == (aff, sub, cache) && r.jobs == jobs)
+                .find(|r| r.switches == (aff, sub, cache, prune) && r.jobs == jobs)
                 .expect("combo present")
                 .clone()
         };
-        let cached = by(true, true, true, 1);
-        let uncached = by(true, true, false, 1);
+        let cached = by(true, true, true, true, 1);
+        let uncached = by(true, true, false, false, 1);
         // The cache must absorb repeat evaluations: strictly fewer
         // Evaluate-mode optimizer calls, same final benefit.
         assert!(
@@ -214,10 +229,44 @@ mod tests {
         );
         // The parallel all-on row is the same search: identical call count
         // and benefit, whatever the worker count.
-        let par = by(true, true, true, 4);
+        let par = by(true, true, true, true, 4);
         assert_eq!(par.optimizer_calls, cached.optimizer_calls);
         assert_eq!(par.cache_hits, cached.cache_hits);
         assert_eq!(par.cache_misses, cached.cache_misses);
         assert!((par.benefit - cached.benefit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_ablation_hits_statement_cache() {
+        // The CI ablation gate: statement-relevance pruning must actually
+        // serve costings from the projection-keyed statement cache (a
+        // silent cache regression would leave this at zero), save
+        // optimizer calls versus the unpruned row, and leave the final
+        // benefit bitwise unchanged.
+        let mut lab = TpoxLab::quick();
+        let rows = run_switches(&mut lab);
+        let by = |prune: bool| {
+            rows.iter()
+                .find(|r| r.switches == (true, true, true, prune) && r.jobs == 1)
+                .expect("combo present")
+                .clone()
+        };
+        let pruned = by(true);
+        let unpruned = by(false);
+        assert!(
+            pruned.stmt_cache_hits > 0,
+            "pruning never hit the statement cost cache"
+        );
+        assert!(
+            pruned.optimizer_calls < unpruned.optimizer_calls,
+            "pruned={} unpruned={}",
+            pruned.optimizer_calls,
+            unpruned.optimizer_calls
+        );
+        assert_eq!(
+            pruned.benefit.to_bits(),
+            unpruned.benefit.to_bits(),
+            "pruning changed the search outcome"
+        );
     }
 }

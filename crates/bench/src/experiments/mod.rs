@@ -5,6 +5,7 @@ pub mod candidates;
 pub mod generality;
 pub mod generalization;
 pub mod parallel;
+pub mod pruning;
 pub mod scalability;
 pub mod speedup_budget;
 pub mod update_cost;

@@ -35,6 +35,12 @@ pub struct BudgetPoint {
     pub cache_hits: u64,
     /// Sub-configuration cache misses during the search.
     pub cache_misses: u64,
+    /// Per-statement costings served from the statement cost cache.
+    pub stmt_cache_hits: u64,
+    /// Per-statement costings the relevance-pruning layer skipped.
+    pub statements_pruned: u64,
+    /// Incremental `benefit_delta` probes issued by the search.
+    pub delta_probes: u64,
 }
 
 /// Results of the budget sweep.
@@ -141,6 +147,9 @@ pub fn run_workload_jobs(
                 evaluate_ms: telemetry.span_micros("evaluate") as f64 / 1e3,
                 cache_hits: telemetry.get(Counter::BenefitCacheHits),
                 cache_misses: telemetry.get(Counter::BenefitCacheMisses),
+                stmt_cache_hits: telemetry.get(Counter::StmtCacheHits),
+                statements_pruned: telemetry.get(Counter::StatementsPruned),
+                delta_probes: telemetry.get(Counter::DeltaProbes),
             });
         }
         series.push((algo, points));
@@ -224,6 +233,9 @@ pub fn telemetry_breakdown_table(r: &SweepResult) -> Table {
             "evaluate ms",
             "cache hits",
             "cache misses",
+            "stmt cache hits",
+            "statements pruned",
+            "delta probes",
         ],
     );
     for (algo, points) in &r.series {
@@ -238,6 +250,9 @@ pub fn telemetry_breakdown_table(r: &SweepResult) -> Table {
                 f(p.evaluate_ms),
                 p.cache_hits.to_string(),
                 p.cache_misses.to_string(),
+                p.stmt_cache_hits.to_string(),
+                p.statements_pruned.to_string(),
+                p.delta_probes.to_string(),
             ]);
         }
     }

@@ -75,6 +75,31 @@ impl TpoxLab {
         self.workload()
             .concat(&self.synthetic_workload(n_synth, 0xd1f7))
     }
+
+    /// The E11 "sparse" workload: `n` anchored two-predicate synthetic
+    /// queries over the security collection. Nearly every statement
+    /// shares one anchor predicate while carrying a distinct second
+    /// predicate, so candidate relevance sets overlap heavily — the
+    /// regime where statement-relevance pruning pays (each what-if probe
+    /// touches a configuration group spanning many statements, of which
+    /// only a few are relevant to the probed candidate).
+    pub fn sparse_workload(&self, n: usize) -> Workload {
+        let coll = self
+            .db
+            .collection(tpox::SECURITY_COLL)
+            .expect("lab has SDOC");
+        let texts = synthetic::generate_queries(
+            coll,
+            &SyntheticConfig {
+                queries: n,
+                seed: 0x5aa5,
+                wildcard_prob: 0.0,
+                anchor_prob: 0.9,
+                ..Default::default()
+            },
+        );
+        Workload::from_texts(texts.iter().map(|s| s.as_str())).expect("sparse queries parse")
+    }
 }
 
 /// Estimated total (frequency-weighted) workload cost with the given

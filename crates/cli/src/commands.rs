@@ -173,6 +173,7 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     let mut budget: Option<u64> = None;
     let mut algo = SearchAlgorithm::TopDownFull;
     let mut jobs: Option<usize> = None;
+    let mut prune = true;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -197,6 +198,10 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
                 })?);
                 i += 2;
             }
+            "--no-prune" => {
+                prune = false;
+                i += 1;
+            }
             other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -210,7 +215,10 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::new("workload file contains no statements"));
     }
 
-    let mut params = AdvisorParams::default();
+    let mut params = AdvisorParams {
+        prune,
+        ..AdvisorParams::default()
+    };
     if let Some(jobs) = jobs {
         params.jobs = jobs;
     }
@@ -325,7 +333,7 @@ enum TraceFormat {
 
 /// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]
 /// [--report] [--trace[=json|text]] [--strict] [--what-if-budget <calls>]
-/// [--jobs <n>] [--inject <site>:<rate>] [--fault-seed <n>]`
+/// [--jobs <n>] [--no-prune] [--inject <site>:<rate>] [--fault-seed <n>]`
 pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut workload_file = None;
     let mut budget: Option<u64> = None;
@@ -335,6 +343,7 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut strict = false;
     let mut what_if_calls: u64 = 0;
     let mut jobs: Option<usize> = None;
+    let mut prune = true;
     let mut fault_seed: u64 = 0;
     let mut inject_specs: Vec<String> = Vec::new();
     let mut trace: Option<TraceFormat> = None;
@@ -381,6 +390,10 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
                     CliError::usage(format!("bad job count `{v}` (expected a number; 0 = auto)"))
                 })?);
                 i += 2;
+            }
+            "--no-prune" => {
+                prune = false;
+                i += 1;
             }
             "--inject" => {
                 inject_specs.push(require(args, i + 1, "spec after --inject")?.to_string());
@@ -468,6 +481,7 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
         faults,
         what_if_budget: xia_advisor::WhatIfBudget::calls(what_if_calls),
         strict,
+        prune,
         ..AdvisorParams::default()
     };
     if let Some(jobs) = jobs {
@@ -1060,6 +1074,63 @@ mod tests {
             recommend(&s(&[&db, "-w", &wl, "-b", "10m", "--jobs", "x"])).is_err(),
             "bad job count must be a usage error"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_no_prune_changes_only_call_counts() {
+        // --no-prune disables the statement-relevance shortcut: the
+        // recommendation (index list, sizes, speedup) must stay
+        // byte-identical; only the reported optimizer-call count may
+        // change, and pruning must never need *more* calls.
+        let dir = tmpdir().join("no_prune");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let run = |extra: &[&str]| {
+            let mut args = vec![
+                db.as_str(),
+                "-w",
+                wl.as_str(),
+                "-b",
+                "10m",
+                "-a",
+                "heuristics",
+            ];
+            args.extend_from_slice(extra);
+            recommend(&s(&args)).unwrap()
+        };
+        // Blank out the call count in the summary line so everything else
+        // can be compared bytewise.
+        let mask = |out: &str| -> String {
+            out.lines()
+                .map(|l| match (l.strip_suffix(" optimizer calls"), l) {
+                    (Some(head), _) => match head.rfind(", ") {
+                        Some(p) => format!("{}, <calls> optimizer calls", &head[..p]),
+                        None => l.to_string(),
+                    },
+                    (None, l) => l.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let calls = |out: &str| -> u64 {
+            out.lines()
+                .find_map(|l| l.strip_suffix(" optimizer calls"))
+                .and_then(|head| head.rsplit(", ").next())
+                .and_then(|n| n.parse().ok())
+                .expect("summary line reports optimizer calls")
+        };
+        let pruned = run(&[]);
+        let unpruned = run(&["--no-prune"]);
+        assert_eq!(mask(&pruned), mask(&unpruned), "--no-prune changed output");
+        assert!(
+            calls(&pruned) <= calls(&unpruned),
+            "pruning used more optimizer calls: {} vs {}",
+            calls(&pruned),
+            calls(&unpruned)
+        );
+        // The unpruned path is jobs-invariant too.
+        assert_eq!(unpruned, run(&["--no-prune", "--jobs", "4"]));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -167,7 +167,7 @@ USAGE:
   xia recommend <db> -w <workload-file> -b <budget-bytes>
                 [-a greedy|heuristics|topdown-lite|topdown-full|dp]
                 [--apply] [--report] [--trace[=json|text]] [--strict]
-                [--what-if-budget <calls>] [--jobs <n>]
+                [--what-if-budget <calls>] [--jobs <n>] [--no-prune]
                 [--inject <site>:<rate>] [--fault-seed <n>]
   xia whatif    <db> -w <workload-file> -i <coll>:<pattern>:<string|numerical> ...
                                              price a hand-written configuration
@@ -180,6 +180,10 @@ Statements that fail to parse are quarantined (reported, then skipped) by
 --jobs (or -j) sets the what-if worker-thread count for benefit
 evaluation (0 = one per core; default 1, or the XIA_JOBS environment
 variable). The recommendation is identical for every value.
+
+--no-prune disables statement-relevance pruning (the per-statement cost
+cache shortcut) for `recommend` and advisor-mode `explain`; the
+recommendation is byte-identical either way, only slower.
 
 Fault injection (for robustness testing): --inject storage-io:0.05
 injects I/O faults in 5% of storage operations; sites are storage-io,

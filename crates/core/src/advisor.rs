@@ -79,6 +79,12 @@ pub struct AdvisorParams {
     /// for every value — only wall-clock time changes. Defaults to the
     /// `XIA_JOBS` environment variable, or 1.
     pub jobs: usize,
+    /// Statement-relevance pruning (`--no-prune` turns it off): serve
+    /// per-statement what-if costings whose candidate projection was
+    /// already costed from the statement cache instead of re-running the
+    /// optimizer. Recommendations are byte-identical either way — off
+    /// exists for the ablation. On by default.
+    pub prune: bool,
 }
 
 impl AdvisorParams {
@@ -111,6 +117,7 @@ impl Default for AdvisorParams {
             what_if_budget: WhatIfBudget::unlimited(),
             strict: false,
             jobs: Self::default_jobs(),
+            prune: true,
         }
     }
 }

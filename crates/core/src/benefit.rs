@@ -19,6 +19,20 @@
 //!
 //! All three mechanisms can be disabled independently for the ablation
 //! experiment (E9 in DESIGN.md).
+//!
+//! On top of these sits **statement-relevance pruning** (DESIGN.md §11): a
+//! relevance matrix derived from the statements' index-matching signatures
+//! tells, for each candidate, exactly which statements' plans could consult
+//! it. Each per-statement costing is keyed on the canonical *projection* of
+//! the sub-configuration onto the statement's relevant candidates and
+//! memoized in a statement-level cost cache — adding an irrelevant index or
+//! permuting the configuration is a guaranteed hit, so an incremental
+//! `benefit(config ∪ {x})` probe re-costs only statements in
+//! `relevant(x)`. The optimizer consults the catalog only through index
+//! matching (the same covers/kind test the signature encodes), so serving a
+//! projection hit is bitwise identical to re-running the optimizer; the
+//! pruned and unpruned paths produce byte-identical recommendations (pinned
+//! by `tests/determinism.rs`). `prune` toggles the layer for ablation.
 
 use crate::candidate::{CandId, CandidateSet, StmtSet};
 use crate::error::{IssueStage, StatementIssue};
@@ -31,6 +45,7 @@ use xia_obs::{Counter, Telemetry};
 use xia_optimizer::{maintenance, Optimizer};
 use xia_storage::{CatalogOverlay, Database, IndexStats};
 use xia_workloads::Workload;
+use xia_xpath::RelevanceMatrix;
 
 /// Counters exposed for the efficiency experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -43,6 +58,14 @@ pub struct EvalStats {
     pub cache_misses: u64,
     /// `benefit()` invocations.
     pub benefit_calls: u64,
+    /// Per-statement costings answered from the projection-keyed statement
+    /// cost cache.
+    pub stmt_cache_hits: u64,
+    /// Per-statement costings the pruning layer served without an
+    /// optimizer call.
+    pub statements_pruned: u64,
+    /// Incremental `benefit_delta` probes issued by the searches.
+    pub delta_probes: u64,
 }
 
 /// A what-if evaluation budget. When either limit is reached, further
@@ -204,9 +227,14 @@ where
 #[derive(Debug, Clone, Copy)]
 enum TaskKind {
     /// Cost through the optimizer, rolling a fault stream derived from
-    /// `salt` (a pure function of the sub-configuration and statement, so
-    /// the schedule is independent of worker interleaving).
+    /// `salt` (a pure function of the statement and the sub-configuration's
+    /// *projection* onto its relevant candidates, so the schedule is
+    /// independent of worker interleaving — and of whether an equal
+    /// projection was previously served from the statement cache).
     Optimize { salt: u64 },
+    /// Answered from the statement cost cache at planning time (projection
+    /// hit, or post-exhaustion cached serve); workers skip it.
+    Served { cost: f64 },
     /// The what-if budget was exhausted when this task was planned.
     BudgetFallback,
     /// Collection statistics were unavailable when this task was planned.
@@ -214,13 +242,17 @@ enum TaskKind {
 }
 
 /// One planned statement costing against one missed sub-configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct CostTask {
     /// Index into the batch's missed-group list.
     group: usize,
     /// Statement index in the workload.
     si: usize,
     kind: TaskKind,
+    /// Canonical projection of the group onto the statement's relevant
+    /// candidates — the statement-cache key an `Optimize` result is
+    /// memoized under (`None` for fallback and served tasks).
+    proj: Option<Vec<CandId>>,
 }
 
 /// Fault-stream phase tags (keep baseline and evaluation schedules apart).
@@ -248,6 +280,23 @@ pub struct BenefitEvaluator<'a> {
     mc_totals: HashMap<CandId, f64>,
     /// Memoized sub-configuration benefits (query side, before mc).
     cache: ShardedCache,
+    /// Per-candidate relevance: the statements whose plans could possibly
+    /// consult the candidate (derived from the statements' index-matching
+    /// signatures at construction time — no optimizer calls).
+    relevance: Vec<StmtSet>,
+    /// Per-statement cost cache: statement index → canonical projection of
+    /// a sub-configuration onto the statement's relevant candidates → cost.
+    /// Coordinator-only; maintained identically with pruning on or off so
+    /// the budget trajectory is mode-invariant. Tainted (fault/fallback)
+    /// costs are never inserted.
+    stmt_cache: HashMap<usize, HashMap<Vec<CandId>, f64>>,
+    /// What-if budget account: statements actually re-costed (statement
+    /// cache misses), charged identically with pruning on or off.
+    charged: u64,
+    /// Relevance-pruning switch: serve projection hits from the statement
+    /// cache instead of re-running the optimizer. Off re-executes every
+    /// hit (uncharged) for the ablation; results are byte-identical.
+    pub prune: bool,
     /// Ablation switch: restrict evaluation to affected statements.
     pub use_affected_sets: bool,
     /// Ablation switch: decompose configurations into sub-configurations.
@@ -298,7 +347,7 @@ impl<'a> BenefitEvaluator<'a> {
         set: &'a CandidateSet,
         params: &crate::advisor::AdvisorParams,
     ) -> Self {
-        Self::build(
+        let mut ev = Self::build(
             db,
             workload,
             set,
@@ -306,7 +355,9 @@ impl<'a> BenefitEvaluator<'a> {
             params.what_if_budget,
             &params.telemetry,
             params.effective_jobs(),
-        )
+        );
+        ev.prune = params.prune;
+        ev
     }
 
     /// Creates an evaluator with a fault injector and what-if budget in
@@ -351,6 +402,26 @@ impl<'a> BenefitEvaluator<'a> {
             }
         }
         let db: &'a Database = db;
+        // Relevance matrix: one signature per statement, one bitset per
+        // candidate. Pure containment work — no optimizer calls.
+        let matrix = RelevanceMatrix::new(
+            workload
+                .entries()
+                .iter()
+                .map(|e| xia_optimizer::statement_signature(&e.statement))
+                .collect(),
+        );
+        let relevance = set
+            .ids()
+            .map(|id| {
+                let c = set.get(id);
+                let mut s = StmtSet::new();
+                for si in matrix.relevant_statements(&c.collection, &c.pattern, c.kind) {
+                    s.insert(si);
+                }
+                s
+            })
+            .collect();
         let mut ev = Self {
             db,
             workload,
@@ -359,6 +430,10 @@ impl<'a> BenefitEvaluator<'a> {
             istats: HashMap::new(),
             mc_totals: HashMap::new(),
             cache: ShardedCache::new(),
+            relevance,
+            stmt_cache: HashMap::new(),
+            charged: 0,
+            prune: true,
             use_affected_sets: true,
             use_subconfigs: true,
             use_cache: true,
@@ -428,6 +503,7 @@ impl<'a> BenefitEvaluator<'a> {
                 (BasePlan::Quarantined, _) => 0.0,
                 (BasePlan::Cost { .. }, Some(cost)) => {
                     self.stats.optimizer_calls += 1;
+                    self.charged += 1;
                     cost
                 }
                 (kind, _) => {
@@ -436,6 +512,7 @@ impl<'a> BenefitEvaluator<'a> {
                     // run can continue degraded.
                     if matches!(kind, BasePlan::Cost { .. }) {
                         self.stats.optimizer_calls += 1;
+                        self.charged += 1;
                     }
                     self.fallbacks += 1;
                     self.telemetry.incr(Counter::CostFallbacks);
@@ -475,6 +552,13 @@ impl<'a> BenefitEvaluator<'a> {
     /// unavailable statistics, or budget exhaustion).
     pub fn fallback_count(&self) -> u64 {
         self.fallbacks
+    }
+
+    /// Optimizer calls charged against the what-if budget so far. Only
+    /// statements actually re-costed charge; costings served from the
+    /// statement cache are free, with pruning on or off.
+    pub fn budget_charged(&self) -> u64 {
+        self.charged
     }
 
     /// Whether any quarantine or fallback degraded this run.
@@ -554,6 +638,16 @@ impl<'a> BenefitEvaluator<'a> {
         per
     }
 
+    /// Canonical projection of a (sorted, deduplicated) sub-configuration
+    /// key onto one statement's relevant candidates. Filtering preserves
+    /// order, so the projection is itself canonical.
+    fn projection(&self, key: &[CandId], si: usize) -> Vec<CandId> {
+        key.iter()
+            .copied()
+            .filter(|&id| self.relevance[id.index()].contains(si))
+            .collect()
+    }
+
     /// Affected statements of a sub-configuration: the union of member
     /// affected sets (or every statement when the optimization is off).
     fn affected_statements(&self, key: &[CandId]) -> Vec<usize> {
@@ -599,14 +693,22 @@ impl<'a> BenefitEvaluator<'a> {
                     slots.push(Slot::Done(v));
                     continue;
                 }
-                if let Some(i) = misses.iter().position(|k| k == &key) {
-                    // A duplicate within this batch: a serial evaluation
-                    // would have found the first occurrence memoized.
+            }
+            if let Some(i) = misses.iter().position(|k| k == &key) {
+                // A duplicate within this batch: evaluate once, fan out
+                // once, charge the budget once — even with the memo cache
+                // disabled, identical configs in one batch must not cost
+                // the workload twice. (With the cache on, a serial
+                // evaluation would have found the first occurrence
+                // memoized, so it counts as a hit.)
+                if self.use_cache {
                     self.stats.cache_hits += 1;
                     self.telemetry.incr(Counter::BenefitCacheHits);
-                    slots.push(Slot::Miss(i));
-                    continue;
                 }
+                slots.push(Slot::Miss(i));
+                continue;
+            }
+            if self.use_cache {
                 self.stats.cache_misses += 1;
                 self.telemetry.incr(Counter::BenefitCacheMisses);
             }
@@ -623,34 +725,94 @@ impl<'a> BenefitEvaluator<'a> {
                 .collect();
         }
 
-        // Phase 2 (coordinator): plan per-statement tasks. The budget is
-        // charged here, in deterministic order — workers never touch it.
-        let mut planned_calls = self.stats.optimizer_calls;
+        // Phase 2 (coordinator): plan per-statement tasks. Statement-cache
+        // lookups, budget charging, and fault-stream salts all happen
+        // here, in deterministic order — workers never touch them. Each
+        // costing is keyed on the projection of the group onto the
+        // statement's relevant candidates: a plan can only consult
+        // matching indexes, so equal projections have bitwise-equal
+        // costs. A projection hit is served without an optimizer call
+        // when pruning is on, and replayed — uncharged, under the same
+        // projection-derived fault salt, hence bitwise identically — when
+        // it is off; the budget and the cache evolve identically either
+        // way.
         let mut tasks: Vec<CostTask> = Vec::new();
         for (group, key) in misses.iter().enumerate() {
             for si in self.affected_statements(key) {
                 if !self.active[si] {
                     continue;
                 }
-                let coll = self.workload.entries()[si].statement.collection();
-                let kind = if self.budget.exhausted(planned_calls, started.elapsed()) {
-                    TaskKind::BudgetFallback
-                } else if self.db.parts(coll).is_none() {
-                    TaskKind::StatsFallback
-                } else {
-                    planned_calls += 1;
-                    TaskKind::Optimize {
-                        salt: key_hash(SALT_EVALUATE, key) ^ si as u64,
+                let proj = self.projection(key, si);
+                let cached = self.stmt_cache.get(&si).and_then(|m| m.get(&proj)).copied();
+                let exhausted = self.budget.exhausted(self.charged, started.elapsed());
+                let (kind, proj) = match cached {
+                    // Pruning serves every projection hit; with pruning
+                    // off, hits are still served once the budget is gone
+                    // (the PR2 ladder: budget → cached → heuristic).
+                    Some(cost) if self.prune || exhausted => {
+                        self.stats.stmt_cache_hits += 1;
+                        self.telemetry.incr(Counter::StmtCacheHits);
+                        if self.prune {
+                            self.stats.statements_pruned += 1;
+                            self.telemetry.incr(Counter::StatementsPruned);
+                        }
+                        (TaskKind::Served { cost }, None)
+                    }
+                    // Ablation replay: the cached value exists, so the
+                    // statement's collection is known costable and the
+                    // call is not charged against the budget.
+                    Some(_) => (
+                        TaskKind::Optimize {
+                            salt: key_hash(SALT_EVALUATE, &proj) ^ si as u64,
+                        },
+                        Some(proj),
+                    ),
+                    None if exhausted => (TaskKind::BudgetFallback, None),
+                    None => {
+                        let coll = self.workload.entries()[si].statement.collection();
+                        if self.db.parts(coll).is_none() {
+                            (TaskKind::StatsFallback, None)
+                        } else {
+                            self.charged += 1;
+                            (
+                                TaskKind::Optimize {
+                                    salt: key_hash(SALT_EVALUATE, &proj) ^ si as u64,
+                                },
+                                Some(proj),
+                            )
+                        }
                     }
                 };
-                tasks.push(CostTask { group, si, kind });
+                tasks.push(CostTask {
+                    group,
+                    si,
+                    kind,
+                    proj,
+                });
             }
         }
 
-        // Phase 3 (coordinator): one overlay set per missed group, built
-        // serially so virtual-index churn counters stay deterministic.
-        let overlays: Vec<Vec<(String, CatalogOverlay<'a>)>> =
-            misses.iter().map(|key| self.build_overlays(key)).collect();
+        // Phase 3 (coordinator): one overlay set per missed group that
+        // still needs real optimizer work, built serially so virtual-index
+        // churn counters stay deterministic. Fully-served groups skip the
+        // overlay — their virtual indexes would never be probed.
+        let mut needs_overlay = vec![false; misses.len()];
+        for task in &tasks {
+            if matches!(task.kind, TaskKind::Optimize { .. }) {
+                needs_overlay[task.group] = true;
+            }
+        }
+        let overlays: Vec<Vec<(String, CatalogOverlay<'a>)>> = misses
+            .iter()
+            .enumerate()
+            .map(|(g, key)| {
+                if needs_overlay[g] {
+                    self.build_overlays(key)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
 
         // Phase 4 (workers): pure costing, fanned out over `jobs` threads.
         let (db, workload) = (self.db, self.workload);
@@ -680,8 +842,18 @@ impl<'a> BenefitEvaluator<'a> {
         let mut tainted = vec![false; misses.len()];
         for (task, result) in tasks.iter().zip(results) {
             let new_cost = match (task.kind, result) {
+                (TaskKind::Served { cost }, _) => cost,
                 (TaskKind::Optimize { .. }, Some(cost)) => {
                     self.stats.optimizer_calls += 1;
+                    // Memoize under the projection key: any configuration
+                    // with the same projection onto this statement has
+                    // bitwise the same cost.
+                    if let Some(proj) = &task.proj {
+                        self.stmt_cache
+                            .entry(task.si)
+                            .or_default()
+                            .insert(proj.clone(), cost);
+                    }
                     cost
                 }
                 (kind, _) => {
@@ -725,7 +897,10 @@ impl<'a> BenefitEvaluator<'a> {
             .collect()
     }
 
-    /// Benefit of a configuration per the paper's formula.
+    /// Benefit of a configuration per the paper's formula. The
+    /// configuration is canonicalized first: duplicate members describe
+    /// one index, so they are evaluated — and charged maintenance cost —
+    /// once.
     pub fn benefit(&mut self, config: &[CandId]) -> f64 {
         self.stats.benefit_calls += 1;
         self.telemetry.incr(Counter::BenefitEvaluations);
@@ -733,17 +908,33 @@ impl<'a> BenefitEvaluator<'a> {
         if config.is_empty() {
             return 0.0;
         }
+        let config = canonical_key(config.to_vec());
         let groups = if self.use_subconfigs {
-            self.decompose(config)
+            self.decompose(&config)
         } else {
-            vec![config.to_vec()]
+            vec![config.clone()]
         };
         let values = self.eval_groups(groups.into_iter().map(canonical_key).collect());
         let mut total: f64 = values.iter().sum();
-        for &id in config {
+        for &id in &config {
             total -= self.mc_total(id);
         }
         total
+    }
+
+    /// Benefit of `base ∪ {add}` — the incremental probe the greedy and
+    /// top-down searches issue each round. The value (and every counter a
+    /// plain [`BenefitEvaluator::benefit`] call would bump) is identical
+    /// to evaluating the union directly; the saving comes from the
+    /// relevance-pruning layer, which re-costs only statements relevant to
+    /// `add` (or whose projection the addition changed) and serves the
+    /// rest from the group and statement caches.
+    pub fn benefit_delta(&mut self, base: &[CandId], add: CandId) -> f64 {
+        self.stats.delta_probes += 1;
+        self.telemetry.incr(Counter::DeltaProbes);
+        let mut config = base.to_vec();
+        config.push(add);
+        self.benefit(&config)
     }
 
     /// Benefits of many configurations, planned and costed as one batch:
@@ -754,9 +945,14 @@ impl<'a> BenefitEvaluator<'a> {
     /// over `configs`, including all counter totals.
     pub fn benefit_batch(&mut self, configs: &[Vec<CandId>]) -> Vec<f64> {
         let _evaluate = self.telemetry.span("evaluate");
+        // Canonicalize every config up front: identical configurations in
+        // one batch (after sorting and deduplication) share their group
+        // keys, which the in-batch duplicate check in `eval_groups`
+        // collapses to a single fan-out — and a single budget charge.
+        let canon: Vec<Vec<CandId>> = configs.iter().map(|c| canonical_key(c.clone())).collect();
         let mut keys: Vec<Vec<CandId>> = Vec::new();
-        let mut ranges = Vec::with_capacity(configs.len());
-        for config in configs {
+        let mut ranges = Vec::with_capacity(canon.len());
+        for config in &canon {
             self.stats.benefit_calls += 1;
             self.telemetry.incr(Counter::BenefitEvaluations);
             let start = keys.len();
@@ -771,7 +967,7 @@ impl<'a> BenefitEvaluator<'a> {
             ranges.push(start..keys.len());
         }
         let values = self.eval_groups(keys);
-        configs
+        canon
             .iter()
             .zip(ranges)
             .map(|(config, range)| {
@@ -785,7 +981,9 @@ impl<'a> BenefitEvaluator<'a> {
     }
 
     /// Estimated workload cost under a configuration
-    /// (`baseline − benefit`).
+    /// (`baseline − benefit`). Fully reuses the group and statement
+    /// caches: pricing a configuration the search already probed costs no
+    /// optimizer calls.
     pub fn workload_cost(&mut self, config: &[CandId]) -> f64 {
         self.baseline_cost() - self.benefit(config)
     }
@@ -900,6 +1098,7 @@ impl<'a> BenefitEvaluator<'a> {
                 .collect::<Vec<CandId>>()
         });
         self.stats.optimizer_calls += planned;
+        self.charged += planned;
         let mut used: Vec<CandId> = Vec::new();
         for cid in results.into_iter().flatten() {
             if !used.contains(&cid) {
@@ -1145,6 +1344,158 @@ mod tests {
         );
         assert_eq!(stats2.cache_misses, stats1.cache_misses);
         assert!(stats2.cache_hits > stats1.cache_hits);
+    }
+
+    #[test]
+    fn duplicate_configs_in_batch_cost_once_without_cache() {
+        // Identical configurations inside one batch must collapse to a
+        // single fan-out and a single budget charge even with the memo
+        // cache disabled — double costing was the PR 4 bugfix target.
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let one = vec![set.basic_ids()[0]];
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        ev.use_cache = false;
+        let calls0 = ev.eval_stats().optimizer_calls;
+        let charged0 = ev.budget_charged();
+        let dup = ev.benefit_batch(&[one.clone(), one.clone(), one.clone()]);
+        let dup_calls = ev.eval_stats().optimizer_calls - calls0;
+        let dup_charged = ev.budget_charged() - charged0;
+        assert_eq!(dup[0].to_bits(), dup[1].to_bits());
+        assert_eq!(dup[0].to_bits(), dup[2].to_bits());
+
+        let mut ev2 = BenefitEvaluator::new(&mut db, &w, &set);
+        ev2.use_cache = false;
+        let calls1 = ev2.eval_stats().optimizer_calls;
+        let charged1 = ev2.budget_charged();
+        let single = ev2.benefit_batch(std::slice::from_ref(&one));
+        assert_eq!(single[0].to_bits(), dup[0].to_bits());
+        assert_eq!(
+            ev2.eval_stats().optimizer_calls - calls1,
+            dup_calls,
+            "duplicates in a batch were costed more than once"
+        );
+        assert_eq!(
+            ev2.budget_charged() - charged1,
+            dup_charged,
+            "duplicates in a batch were charged more than once"
+        );
+    }
+
+    #[test]
+    fn duplicate_members_in_config_collapse() {
+        // A configuration is a set: listing a member twice must evaluate
+        // (and charge maintenance for) one index.
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let a = set.basic_ids()[0];
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let once = ev.benefit(&[a]);
+        let twice = ev.benefit(&[a, a]);
+        assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn pruned_and_unpruned_benefits_match_bitwise() {
+        // The relevance-pruning layer is a pure evaluation shortcut: with
+        // the memo cache disabled (so the statement cache carries the whole
+        // load), every benefit value must stay bitwise identical to the
+        // unpruned path, at strictly fewer optimizer calls.
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let all = set.basic_ids();
+        let probe = |prune: bool, db: &mut Database| -> (Vec<u64>, u64, u64, EvalStats) {
+            let mut ev = BenefitEvaluator::new(db, &w, &set);
+            ev.prune = prune;
+            ev.use_cache = false;
+            let mut bits = Vec::new();
+            let mut base: Vec<CandId> = Vec::new();
+            for &id in all.iter().take(4) {
+                bits.push(ev.benefit_delta(&base, id).to_bits());
+                base.push(id);
+            }
+            bits.push(ev.benefit(&all).to_bits());
+            bits.push(ev.benefit(&all).to_bits());
+            (
+                bits,
+                ev.eval_stats().optimizer_calls,
+                ev.budget_charged(),
+                ev.eval_stats(),
+            )
+        };
+        let (bits_on, calls_on, charged_on, stats_on) = probe(true, &mut db);
+        let (bits_off, calls_off, charged_off, stats_off) = probe(false, &mut db);
+        assert_eq!(bits_on, bits_off, "pruning changed a benefit value");
+        assert_eq!(
+            charged_on, charged_off,
+            "pruning changed the budget trajectory"
+        );
+        assert!(
+            calls_on < calls_off,
+            "pruning saved no optimizer calls: on={calls_on} off={calls_off}"
+        );
+        assert!(stats_on.statements_pruned > 0);
+        assert!(stats_on.stmt_cache_hits > 0);
+        assert_eq!(stats_off.statements_pruned, 0);
+        assert_eq!(stats_on.delta_probes, 4);
+        assert_eq!(stats_off.delta_probes, 4);
+    }
+
+    #[test]
+    fn delta_probe_matches_fresh_union_evaluation() {
+        // benefit_delta(base, x) must return bitwise the same value a
+        // fresh evaluator computes for base ∪ {x}, while re-costing only
+        // what the addition touched.
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let all = set.basic_ids();
+        assert!(all.len() >= 3);
+        let base = vec![all[0], all[1]];
+        let add = all[2];
+
+        let (delta, delta_calls, probes) = {
+            let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+            let _ = ev.benefit(&base);
+            let calls_before = ev.eval_stats().optimizer_calls;
+            let delta = ev.benefit_delta(&base, add);
+            (
+                delta,
+                ev.eval_stats().optimizer_calls - calls_before,
+                ev.eval_stats().delta_probes,
+            )
+        };
+        let mut ev2 = BenefitEvaluator::new(&mut db, &w, &set);
+        let union = vec![all[0], all[1], all[2]];
+        let fresh = ev2.benefit(&union);
+        let fresh_calls = ev2.eval_stats().optimizer_calls;
+        assert_eq!(delta.to_bits(), fresh.to_bits());
+        assert!(
+            delta_calls < fresh_calls,
+            "delta probe re-costed as much as a fresh evaluation: \
+             delta={delta_calls} fresh={fresh_calls}"
+        );
+        assert_eq!(probes, 1);
+    }
+
+    #[test]
+    fn repeated_evaluation_charges_no_further_budget() {
+        // Only statements actually re-costed charge the what-if budget:
+        // re-evaluating a configuration (in any member order) is free.
+        let (mut db, w) = setup();
+        let set = candidates(&mut db, &w);
+        let fwd = set.basic_ids();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let mut ev = BenefitEvaluator::new(&mut db, &w, &set);
+        let _ = ev.benefit(&fwd);
+        let charged = ev.budget_charged();
+        let _ = ev.benefit(&fwd);
+        let _ = ev.benefit(&rev);
+        assert_eq!(
+            ev.budget_charged(),
+            charged,
+            "a cache-served evaluation charged the budget"
+        );
     }
 
     #[test]

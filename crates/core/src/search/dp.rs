@@ -30,7 +30,14 @@ pub fn dp_knapsack(
             if b <= 0.0 {
                 return None;
             }
-            Some((id, ev.candidates().get(id).size, b))
+            let size = ev.candidates().get(id).size;
+            // A corrupt size larger than the whole budget can never be
+            // packed; dropping it here keeps the quantized weights from
+            // overflowing downstream arithmetic.
+            if size > budget {
+                return None;
+            }
+            Some((id, size, b))
         })
         .collect();
     if items.is_empty() {
@@ -61,13 +68,20 @@ pub fn dp_knapsack(
         }
     }
 
-    // Reconstruct.
+    // Reconstruct. The up-rounded weights already bound the real sizes,
+    // but — like both greedy knapsacks since PR 3 — the accumulator is
+    // guarded with checked_add so a corrupt size can never wrap it and
+    // admit an oversized index.
     let mut chosen = Vec::new();
     let mut c = cap;
+    let mut real_used = 0u64;
     for i in (0..items.len()).rev() {
         if keep[i][c] {
-            chosen.push(items[i].0);
             c -= weights[i];
+            if let Some(t) = real_used.checked_add(items[i].1).filter(|&t| t <= budget) {
+                chosen.push(items[i].0);
+                real_used = t;
+            }
         }
     }
     chosen.sort_unstable();

@@ -95,7 +95,7 @@ pub fn greedy_heuristics(
             // configuration).
             let mut with_general = chosen.clone();
             with_general.push(id);
-            let ib_general = ev.benefit(&with_general);
+            let ib_general = ev.benefit_delta(&chosen, id);
             let mut with_specifics = chosen.clone();
             for &b in &covered_basics {
                 if !with_specifics.contains(&b) {
@@ -121,7 +121,7 @@ pub fn greedy_heuristics(
             }
             let mut with = chosen.clone();
             with.push(id);
-            let ib = ev.benefit(&with);
+            let ib = ev.benefit_delta(&chosen, id);
             if ib > chosen_benefit {
                 chosen = with;
                 chosen_benefit = ib;
@@ -172,7 +172,7 @@ pub fn greedy_heuristics(
             };
             let mut with = chosen.clone();
             with.push(id);
-            let ib = ev.benefit(&with);
+            let ib = ev.benefit_delta(&chosen, id);
             if ib > chosen_benefit {
                 chosen = with;
                 chosen_benefit = ib;

@@ -224,6 +224,11 @@ mod tests {
         let h = greedy_heuristics(&mut ev, &all, budget, 0.10);
         assert!(!h.contains(&victim), "heuristics admitted a u64::MAX index");
         assert!(set.config_size(&h) <= budget);
+        let d = dp_knapsack(&mut ev, &all, budget);
+        assert!(!d.contains(&victim), "dp admitted a u64::MAX index");
+        assert!(set.config_size(&d) <= budget);
+        let t = top_down(&mut ev, &all, budget, false);
+        assert!(!t.contains(&victim), "top-down admitted a u64::MAX index");
     }
 
     #[test]

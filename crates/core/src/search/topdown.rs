@@ -151,9 +151,7 @@ fn pick_replacement(
         let delta_b = if full {
             // IB relative to the rest of the configuration.
             let rest: Vec<CandId> = current.iter().copied().filter(|&x| x != g).collect();
-            let mut with_g = rest.clone();
-            with_g.push(g);
-            let ib_g = ev.benefit(&with_g);
+            let ib_g = ev.benefit_delta(&rest, g);
             let mut with_children = rest;
             for &c in &children {
                 if !with_children.contains(&c) {
@@ -210,9 +208,11 @@ fn fill_leftover(
             continue;
         }
         let size = ev.candidates().get(id).size;
-        if used + size > budget {
+        // checked_add: corrupt candidate sizes must not wrap the
+        // accumulator past the budget.
+        let Some(next_used) = used.checked_add(size).filter(|&t| t <= budget) else {
             continue;
-        }
+        };
         // Skip candidates already covered by a chosen index of the same
         // collection and kind — the optimizer would use only one of them.
         let c = ev.candidates().get(id);
@@ -226,16 +226,14 @@ fn fill_leftover(
             continue;
         }
         if full {
-            let mut with = current.clone();
-            with.push(id);
-            let ib = ev.benefit(&with);
+            let ib = ev.benefit_delta(current, id);
             if ib <= cur_benefit {
                 continue;
             }
             cur_benefit = ib;
         }
         current.push(id);
-        used += size;
+        used = next_used;
     }
     current.sort_unstable();
 }
@@ -250,11 +248,14 @@ fn greedy_prefix(
     let mut chosen = Vec::new();
     let mut used = 0u64;
     // First pass: candidates with positive standalone benefit, by density.
+    // checked_add throughout: corrupt sizes must not wrap the accumulator.
     for &id in &order {
         let size = ev.candidates().get(id).size;
-        if used + size <= budget && benefits.get(&id).copied().unwrap_or(0.0) > 0.0 {
-            chosen.push(id);
-            used += size;
+        if benefits.get(&id).copied().unwrap_or(0.0) > 0.0 {
+            if let Some(next_used) = used.checked_add(size).filter(|&t| t <= budget) {
+                chosen.push(id);
+                used = next_used;
+            }
         }
     }
     // Second pass: zero-standalone basics (contextual value) if room
@@ -262,12 +263,13 @@ fn greedy_prefix(
     for &id in &order {
         let size = ev.candidates().get(id).size;
         if !chosen.contains(&id)
-            && used + size <= budget
             && ev.candidates().get(id).origin == crate::candidate::CandOrigin::Basic
             && benefits.get(&id).copied().unwrap_or(0.0) >= 0.0
         {
-            chosen.push(id);
-            used += size;
+            if let Some(next_used) = used.checked_add(size).filter(|&t| t <= budget) {
+                chosen.push(id);
+                used = next_used;
+            }
         }
     }
     chosen.sort_unstable();

@@ -52,11 +52,20 @@ pub enum Counter {
     WhatIfBudgetExhausted,
     /// Faults fired by the xia-fault injector during this run.
     FaultsInjected,
+    /// Per-statement costings served without an optimizer call because the
+    /// candidate being probed is irrelevant to the statement (relevance
+    /// pruning layer).
+    StatementsPruned,
+    /// Per-statement costings answered from the projection-keyed
+    /// statement cost cache.
+    StmtCacheHits,
+    /// Incremental `benefit_delta` probes issued by the searches.
+    DeltaProbes,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 24] = [
         Counter::OptimizerEvaluateCalls,
         Counter::OptimizerEnumerateCalls,
         Counter::IndexMatchingAttempts,
@@ -78,6 +87,9 @@ impl Counter {
         Counter::CostFallbacks,
         Counter::WhatIfBudgetExhausted,
         Counter::FaultsInjected,
+        Counter::StatementsPruned,
+        Counter::StmtCacheHits,
+        Counter::DeltaProbes,
     ];
 
     /// Number of counters.
@@ -107,6 +119,9 @@ impl Counter {
             Counter::CostFallbacks => "cost_fallbacks",
             Counter::WhatIfBudgetExhausted => "what_if_budget_exhausted",
             Counter::FaultsInjected => "faults_injected",
+            Counter::StatementsPruned => "statements_pruned",
+            Counter::StmtCacheHits => "stmt_cache_hits",
+            Counter::DeltaProbes => "delta_probes",
         }
     }
 

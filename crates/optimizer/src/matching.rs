@@ -6,7 +6,10 @@
 //! index-matching step the paper's candidate enumeration piggybacks on.
 
 use xia_storage::{Catalog, CatalogView, IndexDef};
-use xia_xpath::{contain, AccessPattern, CmpOp, LinearPath, PatternPred, ValueKind};
+use xia_xpath::{
+    contain, AccessPattern, CmpOp, LinearPath, PatternPred, Statement, StatementSignature,
+    ValueKind,
+};
 
 /// A candidate index pattern enumerated by the optimizer for one statement
 /// (the output of the Enumerate Indexes mode).
@@ -46,6 +49,35 @@ pub fn index_matches(def: &IndexDef, ap: &AccessPattern) -> bool {
         // Existence: any kind works (structural postings are kept either
         // way).
         None => contain::covers(&def.pattern, &ap.linear),
+    }
+}
+
+/// The statement's index-matching surface: every indexable access pattern
+/// its plans could probe an index with, plus the collection. Plan costing
+/// consults the catalog *only* through [`index_matches`] over these
+/// patterns (inserts never consult it at all), so an index matching none
+/// of them cannot influence the statement's plan or cost — this is what
+/// the advisor's relevance pruning is derived from.
+pub fn statement_signature(stmt: &Statement) -> StatementSignature {
+    match xia_xpath::normalize_statement(stmt) {
+        Some(nq) => {
+            let targets = nq
+                .patterns
+                .iter()
+                .chain(nq.or_groups.iter().flatten())
+                .filter(|ap| pattern_is_indexable(ap))
+                .map(|ap| (ap.linear.clone(), ap.pred.value_kind()))
+                .collect();
+            StatementSignature {
+                collection: nq.collection,
+                targets,
+            }
+        }
+        // Inserts read nothing: their plans are catalog-independent.
+        None => StatementSignature {
+            collection: stmt.collection().to_string(),
+            targets: Vec::new(),
+        },
     }
 }
 
@@ -153,6 +185,45 @@ mod tests {
         };
         assert!(pattern_is_indexable(&e));
         assert_eq!(matching_indexes(&cat, &e).len(), 2);
+    }
+
+    #[test]
+    fn statement_signature_exposes_indexable_targets() {
+        let stmt = xia_xpath::parse_statement(
+            r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "IBM" and $s/Yield > 4.0 return $s"#,
+        )
+        .unwrap();
+        let sig = statement_signature(&stmt);
+        assert_eq!(sig.collection, "SDOC");
+        assert!(sig
+            .targets
+            .iter()
+            .any(|(p, k)| p.to_string() == "/Security/Symbol" && *k == Some(ValueKind::Str)));
+        assert!(sig
+            .targets
+            .iter()
+            .any(|(p, k)| p.to_string() == "/Security/Yield" && *k == Some(ValueKind::Num)));
+        // The signature admits exactly what index_matches would accept.
+        assert!(sig.admits(
+            "SDOC",
+            &parse_linear_path("/Security//*").unwrap(),
+            ValueKind::Str
+        ));
+        assert!(!sig.admits(
+            "SDOC",
+            &parse_linear_path("/Order/Price").unwrap(),
+            ValueKind::Str
+        ));
+    }
+
+    #[test]
+    fn insert_signature_is_empty() {
+        let stmt =
+            xia_xpath::parse_statement("insert into SDOC <Security><Symbol>GE</Symbol></Security>")
+                .unwrap();
+        let sig = statement_signature(&stmt);
+        assert_eq!(sig.collection, "SDOC");
+        assert!(sig.targets.is_empty());
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub struct SyntheticConfig {
     /// Probability of turning an equality predicate into a numeric range
     /// (when the sampled value is numeric).
     pub range_prob: f64,
+    /// Probability of prepending a shared *anchor* predicate — a fixed
+    /// shallow equality that many statements have in common — turning
+    /// the query into a two-predicate conjunction. Anchored workloads
+    /// have heavily overlapping candidate relevance (the CoPhy "sparse"
+    /// setting), which is what statement-relevance pruning exploits.
+    /// `0.0` (the default) reproduces the single-predicate generator
+    /// byte-for-byte.
+    pub anchor_prob: f64,
 }
 
 impl Default for SyntheticConfig {
@@ -33,6 +41,7 @@ impl Default for SyntheticConfig {
             seed: 99,
             wildcard_prob: 0.3,
             range_prob: 0.4,
+            anchor_prob: 0.0,
         }
     }
 }
@@ -47,6 +56,11 @@ pub fn generate_queries(collection: &Collection, cfg: &SyntheticConfig) -> Vec<S
         return Vec::new();
     }
     let vocab = collection.vocab();
+    let anchor = if cfg.anchor_prob > 0.0 {
+        find_anchor(collection)
+    } else {
+        None
+    };
     let mut out = Vec::with_capacity(cfg.queries);
     let mut attempts = 0;
     while out.len() < cfg.queries && attempts < cfg.queries * 20 {
@@ -82,14 +96,93 @@ pub fn generate_queries(collection: &Collection, cfg: &SyntheticConfig) -> Vec<S
         }
         let value = node.value.as_ref().expect("sampled from valued nodes");
 
-        let pred = render_predicate(&leaf, value, &mut rng, cfg.range_prob);
-        let root = steps.join("/");
-        out.push(format!(
-            "collection('{}')/{root}[{pred}]",
-            collection.name()
-        ));
+        // Optionally prepend the shared anchor predicate (never when the
+        // sampled predicate *is* the anchor path — a self-conjunction
+        // teaches the advisor nothing).
+        let anchored = anchor.as_ref().and_then(|(aroot, aleaf)| {
+            if steps[0] != *aroot || (steps.len() == 1 && leaf == *aleaf) {
+                return None;
+            }
+            if !rng.gen_bool(cfg.anchor_prob) {
+                return None;
+            }
+            doc.nodes()
+                .find_map(|(_, n)| {
+                    let ls = vocab.paths.labels(n.path);
+                    (ls.len() == 2
+                        && vocab.names.resolve(ls[0]) == aroot
+                        && vocab.names.resolve(ls[1]) == aleaf)
+                        .then(|| n.value.clone())
+                        .flatten()
+                })
+                .map(|v| (aleaf.clone(), v))
+        });
+
+        match anchored {
+            Some((aleaf, aval)) => {
+                let rel = steps[1..]
+                    .iter()
+                    .map(|s| s.as_str())
+                    .chain([leaf.as_str()])
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let apred = render_eq(&aleaf, &aval);
+                let pred = render_predicate(&rel, value, &mut rng, cfg.range_prob);
+                out.push(format!(
+                    "collection('{}')/{}[{apred}][{pred}]",
+                    collection.name(),
+                    steps[0]
+                ));
+            }
+            None => {
+                let pred = render_predicate(&leaf, value, &mut rng, cfg.range_prob);
+                let root = steps.join("/");
+                out.push(format!(
+                    "collection('{}')/{root}[{pred}]",
+                    collection.name()
+                ));
+            }
+        }
     }
     out
+}
+
+/// Picks the anchor predicate path: the alphabetically first short-valued
+/// element directly under the document root. Deterministic in the data,
+/// independent of the RNG.
+fn find_anchor(collection: &Collection) -> Option<(String, String)> {
+    let vocab = collection.vocab();
+    let mut best: Option<(String, String)> = None;
+    for (_, doc) in collection.iter_docs() {
+        for (_, node) in doc.nodes() {
+            let Some(v) = node.value.as_ref() else {
+                continue;
+            };
+            if v.as_str().len() > 48 {
+                continue;
+            }
+            let labels = vocab.paths.labels(node.path);
+            if labels.len() != 2 {
+                continue;
+            }
+            let root = vocab.names.resolve(labels[0]).to_string();
+            let leaf = vocab.names.resolve(labels[1]).to_string();
+            if best.as_ref().is_none_or(|(_, b)| leaf < *b) {
+                best = Some((root, leaf));
+            }
+        }
+        if best.is_some() {
+            break;
+        }
+    }
+    best
+}
+
+fn render_eq(leaf: &str, value: &Value) -> String {
+    match value.as_num() {
+        Some(n) => format!("{leaf} = {}", trim_num(n)),
+        None => format!("{leaf} = \"{}\"", value.as_str().replace('"', "")),
+    }
 }
 
 fn render_predicate(leaf: &str, value: &Value, rng: &mut Prng, range_prob: f64) -> String {
@@ -184,6 +277,59 @@ mod tests {
         );
         // Every query with a deep-enough path must contain a wildcard.
         assert!(qs.iter().any(|q| q.contains("/*")), "{qs:?}");
+    }
+
+    #[test]
+    fn anchored_queries_share_a_conjunctive_pattern() {
+        let db = sdoc();
+        let c = db.collection("SDOC").unwrap();
+        let qs = generate_queries(
+            c,
+            &SyntheticConfig {
+                queries: 20,
+                anchor_prob: 1.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(qs.len(), 20);
+        let w = Workload::from_texts(qs.iter().map(|s| s.as_str())).unwrap();
+        // Count statements carrying the shared anchor pattern: two
+        // conjunctive patterns, one of them on the common anchor path.
+        let mut anchored = 0;
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for e in w.entries() {
+            let n = normalize_statement(&e.statement).unwrap();
+            if n.patterns.len() == 2 {
+                anchored += 1;
+                for p in &n.patterns {
+                    *counts.entry(format!("{}", p.linear)).or_default() += 1;
+                }
+            }
+        }
+        // Nearly every query is anchored (the sampled predicate sometimes
+        // *is* the anchor, which suppresses the conjunction), and one
+        // shared path — the anchor — shows up in every conjunction.
+        assert!(anchored >= 15, "only {anchored}/20 anchored: {qs:?}");
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(max >= anchored, "no shared anchor path: {counts:?}");
+    }
+
+    #[test]
+    fn zero_anchor_prob_reproduces_the_single_predicate_stream() {
+        let db = sdoc();
+        let c = db.collection("SDOC").unwrap();
+        let base = generate_queries(c, &SyntheticConfig::default());
+        let explicit = generate_queries(
+            c,
+            &SyntheticConfig {
+                anchor_prob: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(base, explicit);
+        for q in &base {
+            assert!(!q.contains("]["), "unexpected conjunction: {q}");
+        }
     }
 
     #[test]

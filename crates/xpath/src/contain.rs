@@ -15,6 +15,7 @@
 //! relabeled onto the restricted alphabet.
 
 use crate::linear::{Axis, LinearPath, NameTest};
+use crate::statement::ValueKind;
 use xia_xml::{PathId, Symbol, Vocabulary};
 
 /// Letter of the restricted alphabet: index into the mentioned-names list,
@@ -150,6 +151,81 @@ pub fn covers(general: &LinearPath, specific: &LinearPath) -> bool {
 /// Whether two patterns match exactly the same label paths.
 pub fn equivalent(a: &LinearPath, b: &LinearPath) -> bool {
     covers(a, b) && covers(b, a)
+}
+
+/// The access-pattern surface of one workload statement, as seen by index
+/// matching: the collection it touches and the indexable linear patterns it
+/// probes, each with the comparison's value kind (`None` for existence
+/// probes, which any index kind can answer).
+///
+/// This is everything the optimizer's `index_matches` consults about a
+/// statement, so a candidate index that matches *no* target here provably
+/// cannot appear in any plan for the statement — the soundness basis of
+/// relevance pruning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementSignature {
+    /// Collection the statement runs against.
+    pub collection: String,
+    /// Indexable access patterns: `(linear pattern, comparison kind)`.
+    /// Empty for statements whose plans never consult the catalog
+    /// (inserts).
+    pub targets: Vec<(LinearPath, Option<ValueKind>)>,
+}
+
+impl StatementSignature {
+    /// Whether an index with this `(collection, pattern, kind)` could match
+    /// any access pattern of the statement (mirrors the optimizer's
+    /// `index_matches`: kind compatibility plus pattern containment).
+    pub fn admits(&self, collection: &str, pattern: &LinearPath, kind: ValueKind) -> bool {
+        self.collection == collection
+            && self
+                .targets
+                .iter()
+                .any(|(q, kq)| kq.is_none_or(|k| k == kind) && covers(pattern, q))
+    }
+}
+
+/// Precomputed statement-relevance matrix: for each candidate index
+/// pattern, the set of workload statements whose plans could possibly use
+/// it. Built once per advise run from the statements' signatures — deriving
+/// a candidate's row costs only containment checks, never optimizer calls.
+#[derive(Debug, Default)]
+pub struct RelevanceMatrix {
+    signatures: Vec<StatementSignature>,
+}
+
+impl RelevanceMatrix {
+    /// Builds a matrix over a workload's statement signatures (one entry
+    /// per statement, in workload order).
+    pub fn new(signatures: Vec<StatementSignature>) -> Self {
+        Self { signatures }
+    }
+
+    /// Number of statements covered.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Whether the matrix covers no statements.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// The statements (ascending indexes) a candidate index with this
+    /// `(collection, pattern, kind)` is relevant to.
+    pub fn relevant_statements(
+        &self,
+        collection: &str,
+        pattern: &LinearPath,
+        kind: ValueKind,
+    ) -> Vec<usize> {
+        self.signatures
+            .iter()
+            .enumerate()
+            .filter(|(_, sig)| sig.admits(collection, pattern, kind))
+            .map(|(si, _)| si)
+            .collect()
+    }
 }
 
 /// A pattern compiled against a concrete [`Vocabulary`] for fast matching of
@@ -345,6 +421,94 @@ mod tests {
 
         let all = PathMatcher::new(&LinearPath::universal(), &vocab).matching_path_ids(&vocab);
         assert_eq!(all.len(), vocab.paths.len());
+    }
+
+    /// Property (soundness of relevance pruning at the containment layer):
+    /// over a generated workload, `covers(g, s)` implies the relevance
+    /// bitset of `g` is a superset of `s`'s — anything a specific pattern
+    /// can serve, its generalization can serve too. Follows from
+    /// transitivity of language inclusion; this pins it end-to-end through
+    /// [`RelevanceMatrix`].
+    #[test]
+    fn relevance_of_general_pattern_is_superset_of_specific() {
+        // Deterministic splitmix64 so the "generated workload" is stable.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) as usize
+        };
+        let pool = [
+            "/a/b/d", "/a//d", "/a/*", "/a//*", "//d", "/a/d", "/a/b//c", "/a/*/c", "//*", "/a/b",
+            "//c", "/x/y",
+        ];
+        let kinds = [Some(ValueKind::Str), Some(ValueKind::Num), None];
+        let colls = ["C1", "C2"];
+        // 40 random statements, 1–3 targets each.
+        let mut sigs = Vec::new();
+        for _ in 0..40 {
+            let collection = colls[next() % colls.len()].to_string();
+            let n = 1 + next() % 3;
+            let targets = (0..n)
+                .map(|_| (lp(pool[next() % pool.len()]), kinds[next() % kinds.len()]))
+                .collect();
+            sigs.push(StatementSignature {
+                collection,
+                targets,
+            });
+        }
+        let m = RelevanceMatrix::new(sigs);
+        assert_eq!(m.len(), 40);
+        for g in &pool {
+            for s in &pool {
+                let (gp, sp) = (lp(g), lp(s));
+                if !covers(&gp, &sp) {
+                    continue;
+                }
+                for coll in &colls {
+                    for kind in [ValueKind::Str, ValueKind::Num] {
+                        let rg: std::collections::HashSet<usize> =
+                            m.relevant_statements(coll, &gp, kind).into_iter().collect();
+                        for si in m.relevant_statements(coll, &sp, kind) {
+                            assert!(
+                                rg.contains(&si),
+                                "{g} covers {s} but relevance({g}) misses statement {si}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_admits_respects_kind_and_collection() {
+        let sig = StatementSignature {
+            collection: "SDOC".to_string(),
+            targets: vec![
+                (lp("/Security/Symbol"), Some(ValueKind::Str)),
+                (lp("/Security/Names"), None), // existence probe: any kind
+            ],
+        };
+        // Kind must match for comparison targets.
+        assert!(sig.admits("SDOC", &lp("/Security/Symbol"), ValueKind::Str));
+        assert!(!sig.admits("SDOC", &lp("/Security/Symbol"), ValueKind::Num));
+        // Existence targets admit both kinds.
+        assert!(sig.admits("SDOC", &lp("/Security/Names"), ValueKind::Str));
+        assert!(sig.admits("SDOC", &lp("/Security/Names"), ValueKind::Num));
+        // A general pattern covering a target is relevant.
+        assert!(sig.admits("SDOC", &lp("/Security//*"), ValueKind::Str));
+        // Wrong collection or unrelated pattern is not.
+        assert!(!sig.admits("ODOC", &lp("/Security/Symbol"), ValueKind::Str));
+        assert!(!sig.admits("SDOC", &lp("/Order/Price"), ValueKind::Str));
+        // Insert-style empty signature admits nothing.
+        let insert = StatementSignature {
+            collection: "SDOC".to_string(),
+            targets: Vec::new(),
+        };
+        assert!(!insert.admits("SDOC", &lp("//*"), ValueKind::Str));
     }
 
     #[test]

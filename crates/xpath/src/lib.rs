@@ -29,7 +29,7 @@ pub mod statement;
 pub mod xquery;
 
 pub use ast::{CmpOp, Literal, PathExpr, Predicate, Step};
-pub use contain::{covers, PathMatcher};
+pub use contain::{covers, PathMatcher, RelevanceMatrix, StatementSignature};
 pub use linear::{Axis, LinearPath, LinearStep, NameTest};
 pub use normalize::{
     normalize as normalize_statement, AccessPattern, NormalizedQuery, PatternPred,

@@ -140,20 +140,43 @@ fn telemetry_cache_counters_match_eval_stats() {
     assert!(t.get(Counter::BenefitCacheHits) > 0);
 
     // Cache off: neither hits nor misses are counted, and the repeat
-    // evaluation pays the optimizer calls again.
+    // evaluation pays the optimizer calls again. The statement-relevance
+    // cache is a separate layer — disable it too so the repeat truly
+    // re-costs.
     let t2 = Telemetry::new();
-    let mut ev2 = BenefitEvaluator::new(&mut db, &w, &set);
-    ev2.set_telemetry(&t2);
-    ev2.use_cache = false;
-    let c1 = ev2.benefit(&all);
-    let evals1 = t2.get(Counter::OptimizerEvaluateCalls);
-    let c2 = ev2.benefit(&all);
-    let evals2 = t2.get(Counter::OptimizerEvaluateCalls);
-    assert_eq!(c1, c2, "determinism does not depend on the cache");
-    assert_eq!(c1, b1, "cache must not change the benefit value");
-    assert_eq!(evals2, 2 * evals1, "uncached repeat re-costs everything");
-    assert_eq!(t2.get(Counter::BenefitCacheHits), 0);
-    assert_eq!(t2.get(Counter::BenefitCacheMisses), 0);
+    {
+        let mut ev2 = BenefitEvaluator::new(&mut db, &w, &set);
+        ev2.set_telemetry(&t2);
+        ev2.use_cache = false;
+        ev2.prune = false;
+        let c1 = ev2.benefit(&all);
+        let evals1 = t2.get(Counter::OptimizerEvaluateCalls);
+        let c2 = ev2.benefit(&all);
+        let evals2 = t2.get(Counter::OptimizerEvaluateCalls);
+        assert_eq!(c1, c2, "determinism does not depend on the cache");
+        assert_eq!(c1, b1, "cache must not change the benefit value");
+        assert_eq!(evals2, 2 * evals1, "uncached repeat re-costs everything");
+        assert_eq!(t2.get(Counter::BenefitCacheHits), 0);
+        assert_eq!(t2.get(Counter::BenefitCacheMisses), 0);
+    }
+
+    // Memo cache off but relevance pruning on: the repeat is served from
+    // the per-statement cost cache without further optimizer calls.
+    let t3 = Telemetry::new();
+    let mut ev3 = BenefitEvaluator::new(&mut db, &w, &set);
+    ev3.set_telemetry(&t3);
+    ev3.use_cache = false;
+    let d1 = ev3.benefit(&all);
+    let evals_first = t3.get(Counter::OptimizerEvaluateCalls);
+    let d2 = ev3.benefit(&all);
+    assert_eq!(d1, d2);
+    assert_eq!(d1, b1, "pruning must not change the benefit value");
+    assert_eq!(
+        t3.get(Counter::OptimizerEvaluateCalls),
+        evals_first,
+        "statement-cache repeat must not call the optimizer"
+    );
+    assert!(t3.get(Counter::StmtCacheHits) > 0);
 }
 
 #[test]
