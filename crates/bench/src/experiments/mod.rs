@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod candidates;
 pub mod generality;
 pub mod generalization;
+pub mod generalization_speedup;
 pub mod parallel;
 pub mod pruning;
 pub mod scalability;

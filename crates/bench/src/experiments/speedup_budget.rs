@@ -41,6 +41,10 @@ pub struct BudgetPoint {
     pub statements_pruned: u64,
     /// Incremental `benefit_delta` probes issued by the search.
     pub delta_probes: u64,
+    /// Containment verdicts answered from the shared cover cache.
+    pub contain_cache_hits: u64,
+    /// Containment verdicts decided by the name-mask fast reject.
+    pub contain_fast_rejects: u64,
 }
 
 /// Results of the budget sweep.
@@ -60,6 +64,12 @@ pub struct SweepResult {
     pub generalize_ms: f64,
     /// One-time candidate-sizing time, milliseconds.
     pub size_ms: f64,
+    /// Candidate pairs the (one-time) generalization fixpoint visited.
+    pub generalize_pairs_visited: u64,
+    /// Pairs the semi-naive fixpoint skipped via compatibility buckets.
+    pub pairs_skipped_bucket: u64,
+    /// `generalize_pair` calls answered from the canonical-pair memo.
+    pub pairs_memo_hits: u64,
 }
 
 /// Runs the sweep over the 11-query TPoX workload.
@@ -106,6 +116,9 @@ pub fn run_workload_jobs(
     let enumerate_ms = telemetry.span_micros("enumerate") as f64 / 1e3;
     let generalize_ms = telemetry.span_micros("generalize") as f64 / 1e3;
     let size_ms = telemetry.span_micros("size") as f64 / 1e3;
+    let generalize_pairs_visited = telemetry.get(Counter::GeneralizePairsVisited);
+    let pairs_skipped_bucket = telemetry.get(Counter::PairsSkippedBucket);
+    let pairs_memo_hits = telemetry.get(Counter::PairsMemoHits);
     let all = Advisor::all_index_config(&set);
     let all_index_size = set.config_size(&all);
 
@@ -150,6 +163,8 @@ pub fn run_workload_jobs(
                 stmt_cache_hits: telemetry.get(Counter::StmtCacheHits),
                 statements_pruned: telemetry.get(Counter::StatementsPruned),
                 delta_probes: telemetry.get(Counter::DeltaProbes),
+                contain_cache_hits: telemetry.get(Counter::ContainCacheHits),
+                contain_fast_rejects: telemetry.get(Counter::ContainFastRejects),
             });
         }
         series.push((algo, points));
@@ -162,6 +177,9 @@ pub fn run_workload_jobs(
         enumerate_ms,
         generalize_ms,
         size_ms,
+        generalize_pairs_visited,
+        pairs_skipped_bucket,
+        pairs_memo_hits,
     }
 }
 
@@ -236,6 +254,11 @@ pub fn telemetry_breakdown_table(r: &SweepResult) -> Table {
             "stmt cache hits",
             "statements pruned",
             "delta probes",
+            "generalize pairs visited",
+            "pairs skipped bucket",
+            "pairs memo hits",
+            "contain cache hits",
+            "contain fast rejects",
         ],
     );
     for (algo, points) in &r.series {
@@ -253,6 +276,11 @@ pub fn telemetry_breakdown_table(r: &SweepResult) -> Table {
                 p.stmt_cache_hits.to_string(),
                 p.statements_pruned.to_string(),
                 p.delta_probes.to_string(),
+                r.generalize_pairs_visited.to_string(),
+                r.pairs_skipped_bucket.to_string(),
+                r.pairs_memo_hits.to_string(),
+                p.contain_cache_hits.to_string(),
+                p.contain_fast_rejects.to_string(),
             ]);
         }
     }

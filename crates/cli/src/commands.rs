@@ -174,6 +174,7 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     let mut algo = SearchAlgorithm::TopDownFull;
     let mut jobs: Option<usize> = None;
     let mut prune = true;
+    let mut fastpath = true;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -202,6 +203,10 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
                 prune = false;
                 i += 1;
             }
+            "--no-fastpath" => {
+                fastpath = false;
+                i += 1;
+            }
             other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -217,6 +222,7 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
 
     let mut params = AdvisorParams {
         prune,
+        fastpath,
         ..AdvisorParams::default()
     };
     if let Some(jobs) = jobs {
@@ -333,7 +339,8 @@ enum TraceFormat {
 
 /// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]
 /// [--report] [--trace[=json|text]] [--strict] [--what-if-budget <calls>]
-/// [--jobs <n>] [--no-prune] [--inject <site>:<rate>] [--fault-seed <n>]`
+/// [--jobs <n>] [--no-prune] [--no-fastpath] [--inject <site>:<rate>]
+/// [--fault-seed <n>]`
 pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut workload_file = None;
     let mut budget: Option<u64> = None;
@@ -344,6 +351,7 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut what_if_calls: u64 = 0;
     let mut jobs: Option<usize> = None;
     let mut prune = true;
+    let mut fastpath = true;
     let mut fault_seed: u64 = 0;
     let mut inject_specs: Vec<String> = Vec::new();
     let mut trace: Option<TraceFormat> = None;
@@ -393,6 +401,10 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
             }
             "--no-prune" => {
                 prune = false;
+                i += 1;
+            }
+            "--no-fastpath" => {
+                fastpath = false;
                 i += 1;
             }
             "--inject" => {
@@ -482,6 +494,7 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
         what_if_budget: xia_advisor::WhatIfBudget::calls(what_if_calls),
         strict,
         prune,
+        fastpath,
         ..AdvisorParams::default()
     };
     if let Some(jobs) = jobs {
@@ -1131,6 +1144,46 @@ mod tests {
         );
         // The unpruned path is jobs-invariant too.
         assert_eq!(unpruned, run(&["--no-prune", "--jobs", "4"]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_no_fastpath_output_is_byte_identical() {
+        // --no-fastpath runs the naive generalization fixpoint and plain
+        // containment instead of the semi-naive/memoized fast path. Unlike
+        // --no-prune, nothing about the costing changes, so the whole
+        // output — index list, sizes, speedup, reported call counts — must
+        // be byte-identical, clean and under fault injection.
+        let dir = tmpdir().join("no_fastpath");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let run = |extra: &[&str]| {
+            let mut args = vec![
+                db.as_str(),
+                "-w",
+                wl.as_str(),
+                "-b",
+                "10m",
+                "-a",
+                "heuristics",
+            ];
+            args.extend_from_slice(extra);
+            recommend(&s(&args)).unwrap()
+        };
+        let fast = run(&[]);
+        let naive = run(&["--no-fastpath"]);
+        assert_eq!(fast, naive, "--no-fastpath changed the output");
+        // Parity holds under fault injection and across worker counts too.
+        let faulty = &["--inject", "optimizer-cost:0.3", "--fault-seed", "11"];
+        let fast_faulty = run(faulty);
+        let mut naive_faulty_args = vec!["--no-fastpath"];
+        naive_faulty_args.extend_from_slice(faulty);
+        assert_eq!(
+            fast_faulty,
+            run(&naive_faulty_args),
+            "--no-fastpath changed faulty output"
+        );
+        assert_eq!(naive, run(&["--no-fastpath", "--jobs", "4"]));
         std::fs::remove_dir_all(&dir).ok();
     }
 

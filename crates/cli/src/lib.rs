@@ -168,7 +168,7 @@ USAGE:
                 [-a greedy|heuristics|topdown-lite|topdown-full|dp]
                 [--apply] [--report] [--trace[=json|text]] [--strict]
                 [--what-if-budget <calls>] [--jobs <n>] [--no-prune]
-                [--inject <site>:<rate>] [--fault-seed <n>]
+                [--no-fastpath] [--inject <site>:<rate>] [--fault-seed <n>]
   xia whatif    <db> -w <workload-file> -i <coll>:<pattern>:<string|numerical> ...
                                              price a hand-written configuration
   xia indexes   <db>                           list physical indexes
@@ -184,6 +184,11 @@ variable). The recommendation is identical for every value.
 --no-prune disables statement-relevance pruning (the per-statement cost
 cache shortcut) for `recommend` and advisor-mode `explain`; the
 recommendation is byte-identical either way, only slower.
+
+--no-fastpath disables the interning fast path (semi-naive generalization
+fixpoint, memoized containment) for `recommend` and advisor-mode
+`explain`; candidate sets and recommendations are byte-identical either
+way, only slower.
 
 Fault injection (for robustness testing): --inject storage-io:0.05
 injects I/O faults in 5% of storage operations; sites are storage-io,

@@ -4,7 +4,7 @@ use crate::benefit::{BenefitEvaluator, EvalStats, WhatIfBudget};
 use crate::candidate::{CandId, CandOrigin, CandidateSet};
 use crate::enumerate::{enumerate_candidates_traced, size_candidates_traced};
 use crate::error::{StatementIssue, XiaError};
-use crate::generalize::generalize_set;
+use crate::generalize::{generalize_set_fast, generalize_set_naive};
 use crate::search;
 use std::time::{Duration, Instant};
 use xia_fault::FaultInjector;
@@ -85,6 +85,13 @@ pub struct AdvisorParams {
     /// optimizer. Recommendations are byte-identical either way — off
     /// exists for the ablation. On by default.
     pub prune: bool,
+    /// Interning/semi-naive fast path (`--no-fastpath` turns it off): run
+    /// generalization as a bucketed, memoized semi-naive fixpoint and
+    /// serve containment checks through the shared cover cache with the
+    /// name-mask fast reject. Candidate sets, generalization DAGs, and
+    /// recommendations are byte-identical either way — off exists for the
+    /// A/B parity check and the E12 ablation. On by default.
+    pub fastpath: bool,
 }
 
 impl AdvisorParams {
@@ -118,6 +125,7 @@ impl Default for AdvisorParams {
             strict: false,
             jobs: Self::default_jobs(),
             prune: true,
+            fastpath: true,
         }
     }
 }
@@ -230,7 +238,11 @@ impl Advisor {
         if params.generalize {
             let created = {
                 let _generalize = t.span("generalize");
-                generalize_set(&mut set)
+                if params.fastpath {
+                    generalize_set_fast(&mut set, t)
+                } else {
+                    generalize_set_naive(&mut set, t)
+                }
             };
             t.add(Counter::CandidatesGeneralized, created.len() as u64);
         }
@@ -364,6 +376,10 @@ impl Advisor {
     ) -> Recommendation {
         ev.telemetry()
             .add(Counter::CandidatesAdmitted, config.len() as u64);
+        let cover = ev.cover_cache().stats();
+        ev.telemetry().add(Counter::ContainCacheHits, cover.hits);
+        ev.telemetry()
+            .add(Counter::ContainFastRejects, cover.fast_rejects);
         let est_benefit = ev.benefit(&config);
         let baseline_cost = ev.baseline_cost();
         let workload_cost = ev.workload_cost(&config);

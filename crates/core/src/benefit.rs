@@ -45,7 +45,7 @@ use xia_obs::{Counter, Telemetry};
 use xia_optimizer::{maintenance, Optimizer};
 use xia_storage::{CatalogOverlay, Database, IndexStats};
 use xia_workloads::Workload;
-use xia_xpath::RelevanceMatrix;
+use xia_xpath::{CoverCache, LinearPath, RelevanceMatrix};
 
 /// Counters exposed for the efficiency experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -297,6 +297,15 @@ pub struct BenefitEvaluator<'a> {
     /// cache instead of re-running the optimizer. Off re-executes every
     /// hit (uncharged) for the ablation; results are byte-identical.
     pub prune: bool,
+    /// Fast-path switch (`--no-fastpath` turns it off): route containment
+    /// verdicts through the shared [`CoverCache`]. Verdicts are identical
+    /// either way; off exists for the A/B parity check.
+    fastpath: bool,
+    /// Shared containment-verdict cache: the relevance build, greedy
+    /// coverage bitmaps, and top-down leftover fill all ask the same
+    /// `(general, specific)` questions repeatedly. Coordinator-only, so
+    /// its hit counters are invariant under `jobs`.
+    cover_cache: CoverCache,
     /// Ablation switch: restrict evaluation to affected statements.
     pub use_affected_sets: bool,
     /// Ablation switch: decompose configurations into sub-configurations.
@@ -355,6 +364,7 @@ impl<'a> BenefitEvaluator<'a> {
             params.what_if_budget,
             &params.telemetry,
             params.effective_jobs(),
+            params.fastpath,
         );
         ev.prune = params.prune;
         ev
@@ -372,9 +382,19 @@ impl<'a> BenefitEvaluator<'a> {
         faults: &FaultInjector,
         budget: WhatIfBudget,
     ) -> Self {
-        Self::build(db, workload, set, faults, budget, &Telemetry::off(), 1)
+        Self::build(
+            db,
+            workload,
+            set,
+            faults,
+            budget,
+            &Telemetry::off(),
+            1,
+            true,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         db: &'a mut Database,
         workload: &'a Workload,
@@ -383,6 +403,7 @@ impl<'a> BenefitEvaluator<'a> {
         budget: WhatIfBudget,
         telemetry: &Telemetry,
         jobs: usize,
+        fastpath: bool,
     ) -> Self {
         // Setup is the only phase that mutates the database: attach the
         // sinks, refresh statistics, and clear stale virtual indexes. From
@@ -411,12 +432,23 @@ impl<'a> BenefitEvaluator<'a> {
                 .map(|e| xia_optimizer::statement_signature(&e.statement))
                 .collect(),
         );
+        let cover_cache = CoverCache::new();
         let relevance = set
             .ids()
             .map(|id| {
                 let c = set.get(id);
                 let mut s = StmtSet::new();
-                for si in matrix.relevant_statements(&c.collection, &c.pattern, c.kind) {
+                let rows = if fastpath {
+                    matrix.relevant_statements_cached(
+                        &c.collection,
+                        &c.pattern,
+                        c.kind,
+                        &cover_cache,
+                    )
+                } else {
+                    matrix.relevant_statements(&c.collection, &c.pattern, c.kind)
+                };
+                for si in rows {
                     s.insert(si);
                 }
                 s
@@ -434,6 +466,8 @@ impl<'a> BenefitEvaluator<'a> {
             stmt_cache: HashMap::new(),
             charged: 0,
             prune: true,
+            fastpath,
+            cover_cache,
             use_affected_sets: true,
             use_subconfigs: true,
             use_cache: true,
@@ -590,6 +624,23 @@ impl<'a> BenefitEvaluator<'a> {
     /// [`BenefitEvaluator::set_telemetry`] was called).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The shared containment-verdict cache (counters feed the
+    /// `contain_cache_hits` / `contain_fast_rejects` telemetry).
+    pub fn cover_cache(&self) -> &CoverCache {
+        &self.cover_cache
+    }
+
+    /// Containment check routed through the shared cover cache when the
+    /// fast path is on, the plain NFA search when it is off. The verdict
+    /// is identical either way (pinned by the parity suite).
+    pub fn covers(&self, general: &LinearPath, specific: &LinearPath) -> bool {
+        if self.fastpath {
+            self.cover_cache.covers(general, specific)
+        } else {
+            xia_xpath::contain::covers(general, specific)
+        }
     }
 
     /// Total baseline (no-index) workload cost.

@@ -136,9 +136,10 @@ impl Candidate {
         self.pattern.is_general()
     }
 
-    /// Key used for deduplication.
-    pub fn key(&self) -> (String, String, ValueKind) {
-        (self.collection.clone(), self.pattern.to_string(), self.kind)
+    /// Key used for deduplication. Structural (the pattern itself, not its
+    /// rendered text): hashing rides the precomputed path signature.
+    pub fn key(&self) -> (String, LinearPath, ValueKind) {
+        (self.collection.clone(), self.pattern.clone(), self.kind)
     }
 }
 
@@ -161,10 +162,10 @@ impl fmt::Display for Candidate {
 
 /// The candidate set: basic candidates from enumeration plus generalized
 /// candidates, with the generalization DAG.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CandidateSet {
     cands: Vec<Candidate>,
-    by_key: HashMap<(String, String, ValueKind), CandId>,
+    by_key: HashMap<(String, LinearPath, ValueKind), CandId>,
 }
 
 impl CandidateSet {
@@ -182,7 +183,7 @@ impl CandidateSet {
         kind: ValueKind,
         origin: CandOrigin,
     ) -> CandId {
-        let key = (collection.to_string(), pattern.to_string(), kind);
+        let key = (collection.to_string(), pattern.clone(), kind);
         if let Some(&id) = self.by_key.get(&key) {
             if origin == CandOrigin::Basic {
                 self.cands[id.index()].origin = CandOrigin::Basic;
@@ -213,7 +214,7 @@ impl CandidateSet {
         kind: ValueKind,
     ) -> Option<CandId> {
         self.by_key
-            .get(&(collection.to_string(), pattern.to_string(), kind))
+            .get(&(collection.to_string(), pattern.clone(), kind))
             .copied()
     }
 

@@ -20,10 +20,27 @@
 //! A pair is only generalized if compatible: same collection and same
 //! value kind (the paper's type/namespace compatibility check; candidate
 //! C3 of Table I cannot generalize with C1/C2 because it is numerical).
+//!
+//! Two fixpoint drivers share the per-pair rule engine:
+//!
+//! * [`generalize_set_naive`] — the literal Algorithm 1 loop: every round
+//!   re-scans (frontier × all) ordered pairs, checking compatibility pair
+//!   by pair.
+//! * [`generalize_set_fast`] — the semi-naive evaluation: candidates are
+//!   bucketed by their (collection, value-kind) compatibility key so
+//!   incompatible pairs are never enumerated, each unordered pair is
+//!   visited once per round (the naive loop's second, reversed visit is a
+//!   provable no-op), and `generalize_pair` results are memoized under a
+//!   canonical pair key (the rule engine is symmetric in its arguments).
+//!   Skipped work is counted (`pairs_skipped_bucket`, `pairs_memo_hits`)
+//!   but the *effect sequence* on the candidate set — insertion order of
+//!   new candidates, DAG edge order, affected-set unions — is byte-for-
+//!   byte the naive one, which the determinism suite pins A/B.
 
-use crate::candidate::{CandOrigin, CandidateSet};
-use std::collections::BTreeSet;
-use xia_xpath::{contain, Axis, LinearPath, LinearStep, NameTest};
+use crate::candidate::{CandId, CandOrigin, CandidateSet};
+use std::collections::{HashMap, HashSet};
+use xia_obs::{Counter, Telemetry};
+use xia_xpath::{contain, Axis, LinearPath, LinearStep, NameTest, ValueKind};
 
 /// `genAxis` from Algorithm 1: descendant if either input is descendant.
 fn gen_axis(a: Axis, b: Axis) -> Axis {
@@ -37,7 +54,7 @@ fn gen_axis(a: Axis, b: Axis) -> Axis {
 /// Generalized step for a consumed pair of steps.
 fn gen_node(a: &LinearStep, b: &LinearStep) -> LinearStep {
     let test = if a.test == b.test {
-        a.test.clone()
+        a.test
     } else {
         NameTest::Wildcard
     };
@@ -56,82 +73,91 @@ fn filler() -> LinearStep {
 }
 
 /// Generalizes a pair of linear patterns, returning every generalized
-/// pattern the paper's rules produce (deduplicated, Rule 0 applied). The
-/// result may be empty only for degenerate (empty) inputs.
+/// pattern the paper's rules produce (deduplicated and sorted, Rule 0
+/// applied). The result may be empty only for degenerate (empty) inputs.
+/// Symmetric: `generalize_pair(p, q)` and `generalize_pair(q, p)` return
+/// the same list (`gen_axis` and `gen_node` are symmetric and Rules 2/3
+/// and the two Rule 4 alignments swap roles).
 pub fn generalize_pair(p: &LinearPath, q: &LinearPath) -> Vec<LinearPath> {
     if p.is_empty() || q.is_empty() {
         return Vec::new();
     }
-    let mut results: BTreeSet<LinearPath> = BTreeSet::new();
-    // Recursion depth is bounded by |p| + |q|; the branching of Rule 4 is
-    // bounded by first-occurrence alignment, so the state space is small.
-    step(&mut results, Vec::new(), &p.steps, 0, &q.steps, 0);
-    results.into_iter().collect()
-}
-
-/// `generalizeStep` + `advanceStep`, fused. `i`/`j` index the next
-/// unconsumed steps of `p`/`q`.
-fn step(
-    out: &mut BTreeSet<LinearPath>,
-    gen: Vec<LinearStep>,
-    p: &[LinearStep],
-    i: usize,
-    q: &[LinearStep],
-    j: usize,
-) {
-    let last_p = i + 1 == p.len();
-    let last_q = j + 1 == q.len();
-    match (last_p, last_q) {
-        // Rule 1 (via Algorithm 1 line 4-12): consume the two last steps
-        // together, rewrite, emit.
-        (true, true) => {
-            let mut gen = gen;
-            gen.push(gen_node(&p[i], &q[j]));
-            out.insert(LinearPath::new(gen).rewrite_rule0());
-        }
-        // Rules 2/3: a last step can only generalize with another last
-        // step; fast-forward the non-last side to its last step, recording
-        // the skipped steps as a `/*` filler.
-        (true, false) => {
-            let mut gen = gen;
-            gen.push(filler());
-            step(out, gen, p, i, q, q.len() - 1);
-        }
-        (false, true) => {
-            let mut gen = gen;
-            gen.push(filler());
-            step(out, gen, p, p.len() - 1, q, j);
-        }
-        // Rule 4: both middle steps.
-        (false, false) => {
-            // (1) Consume the pair and advance both.
-            let mut g1 = gen.clone();
-            g1.push(gen_node(&p[i], &q[j]));
-            step(out, g1, p, i + 1, q, j + 1);
-            // (2) Align q's current step with its first re-occurrence in
-            // p's remainder (skipping p steps → filler).
-            if let Some(k) = find_occurrence(p, i + 1, &q[j].test) {
-                let mut g2 = gen.clone();
-                g2.push(filler());
-                step(out, g2, p, k, q, j);
+    let mut results: HashSet<LinearPath> = HashSet::new();
+    // An explicit worklist instead of recursion: a frame is the partial
+    // generalization built so far plus the two cursors. Rule 4 branches by
+    // pushing up to three successor frames, so the traversal is the same
+    // DFS the recursive formulation performed — but paths at the
+    // MAX_PATH_STEPS parser cap cannot overflow the thread stack.
+    let mut work: Vec<(Vec<LinearStep>, usize, usize)> = vec![(Vec::new(), 0, 0)];
+    while let Some((gen, i, j)) = work.pop() {
+        let last_p = i + 1 == p.steps.len();
+        let last_q = j + 1 == q.steps.len();
+        match (last_p, last_q) {
+            // Rule 1 (via Algorithm 1 line 4-12): consume the two last
+            // steps together, rewrite, emit.
+            (true, true) => {
+                let mut gen = gen;
+                gen.push(gen_node(&p.steps[i], &q.steps[j]));
+                results.insert(LinearPath::new(gen).rewrite_rule0());
             }
-            // (3) Symmetric.
-            if let Some(k) = find_occurrence(q, j + 1, &p[i].test) {
-                let mut g3 = gen;
-                g3.push(filler());
-                step(out, g3, p, i, q, k);
+            // Rules 2/3: a last step can only generalize with another last
+            // step; fast-forward the non-last side to its last step,
+            // recording the skipped steps as a `/*` filler.
+            (true, false) => {
+                let mut gen = gen;
+                gen.push(filler());
+                work.push((gen, i, q.steps.len() - 1));
+            }
+            (false, true) => {
+                let mut gen = gen;
+                gen.push(filler());
+                work.push((gen, p.steps.len() - 1, j));
+            }
+            // Rule 4: both middle steps.
+            (false, false) => {
+                // (1) Consume the pair and advance both.
+                let mut g1 = gen.clone();
+                g1.push(gen_node(&p.steps[i], &q.steps[j]));
+                work.push((g1, i + 1, j + 1));
+                // (2) Align q's current step with its first re-occurrence
+                // in p's remainder (skipping p steps → filler).
+                if let Some(k) = find_occurrence(&p.steps, i + 1, q.steps[j].test) {
+                    let mut g2 = gen.clone();
+                    g2.push(filler());
+                    work.push((g2, k, j));
+                }
+                // (3) Symmetric.
+                if let Some(k) = find_occurrence(&q.steps, j + 1, p.steps[i].test) {
+                    let mut g3 = gen;
+                    g3.push(filler());
+                    work.push((g3, i, k));
+                }
             }
         }
     }
+    // Hash-based dedup plus an explicit sort reproduces the ordering the
+    // original `BTreeSet` collection gave (`Ord` on paths is total).
+    let mut out: Vec<LinearPath> = results.into_iter().collect();
+    out.sort_unstable();
+    out
 }
 
-fn find_occurrence(steps: &[LinearStep], from: usize, test: &NameTest) -> Option<usize> {
-    (from..steps.len()).find(|&k| steps[k].test == *test)
+fn find_occurrence(steps: &[LinearStep], from: usize, test: NameTest) -> Option<usize> {
+    (from..steps.len()).find(|&k| steps[k].test == test)
 }
 
 /// Applies pairwise generalization over a candidate set until no new
 /// pattern appears (the paper's fixpoint), inserting generalized
 /// candidates and recording DAG edges `generalized → generalized-from`.
+/// Uncounted convenience wrapper over [`generalize_set_naive`].
+pub fn generalize_set(set: &mut CandidateSet) -> Vec<CandId> {
+    generalize_set_naive(set, &Telemetry::off())
+}
+
+/// The literal Algorithm 1 fixpoint: each round visits every ordered
+/// (frontier × all) pair and re-derives compatibility and `generalize_pair`
+/// from scratch. This is the parity baseline the semi-naive path is
+/// verified against (`--no-fastpath`).
 ///
 /// Two candidates are compatible iff they live on the same collection and
 /// have the same value kind. Generalized results that are equivalent to an
@@ -139,10 +165,10 @@ fn find_occurrence(steps: &[LinearStep], from: usize, test: &NameTest) -> Option
 /// to cover both inputs (a safety net around the rule engine).
 ///
 /// Returns the ids of the newly created generalized candidates.
-pub fn generalize_set(set: &mut CandidateSet) -> Vec<crate::candidate::CandId> {
+pub fn generalize_set_naive(set: &mut CandidateSet, t: &Telemetry) -> Vec<CandId> {
     let mut created = Vec::new();
-    let mut frontier: Vec<crate::candidate::CandId> = set.ids().collect();
-    let mut all: Vec<crate::candidate::CandId> = frontier.clone();
+    let mut frontier: Vec<CandId> = set.ids().collect();
+    let mut all: Vec<CandId> = frontier.clone();
     while !frontier.is_empty() {
         let mut new_ids = Vec::new();
         for &a in &frontier {
@@ -150,6 +176,10 @@ pub fn generalize_set(set: &mut CandidateSet) -> Vec<crate::candidate::CandId> {
                 if a == b {
                     continue;
                 }
+                // The naive loop *examines* every ordered pair — the
+                // compatibility check below is itself per-pair work the
+                // semi-naive buckets avoid, so it counts as a visit.
+                t.incr(Counter::GeneralizePairsVisited);
                 let (ca, cb) = (set.get(a), set.get(b));
                 if ca.collection != cb.collection || ca.kind != cb.kind {
                     continue;
@@ -160,36 +190,180 @@ pub fn generalize_set(set: &mut CandidateSet) -> Vec<crate::candidate::CandId> {
                     ca.collection.clone(),
                     ca.kind,
                 );
-                for g in generalize_pair(&pa, &pb) {
-                    // Safety: a generalization must cover both inputs.
-                    if !contain::covers(&g, &pa) || !contain::covers(&g, &pb) {
-                        continue;
-                    }
-                    // Skip results equivalent to an input (no new pattern).
-                    if g == pa || g == pb {
-                        let target = if g == pa { a } else { b };
-                        let other = if g == pa { b } else { a };
-                        set.add_edge(target, other);
-                        continue;
-                    }
-                    let existing = set.lookup(&coll, &g, kind);
-                    let gid = set.insert(&coll, g, kind, CandOrigin::Generalized);
-                    set.add_edge(gid, a);
-                    set.add_edge(gid, b);
-                    if existing.is_none() {
-                        new_ids.push(gid);
-                        created.push(gid);
-                    }
-                }
+                let results = generalize_pair(&pa, &pb);
+                apply_pair_results(set, &results, a, b, &pa, &pb, &coll, kind, |gid| {
+                    new_ids.push(gid);
+                    created.push(gid);
+                });
             }
         }
         all.extend(new_ids.iter().copied());
         frontier = new_ids;
     }
-    // Affected sets of generalized candidates: union over the basic
-    // candidates they cover (statements that produced covered patterns).
+    union_affected_from_basics(set, &created);
+    created
+}
+
+/// Semi-naive fixpoint: same effect sequence as [`generalize_set_naive`],
+/// an order of magnitude fewer pair visits.
+///
+/// Three reductions, each a no-op elimination:
+///
+/// * **bucketing** — candidates are grouped by (collection, value-kind);
+///   the naive loop's incompatible pairs `continue` without effect, so
+///   iterating only `a`'s own bucket (in global insertion order) visits
+///   exactly the pairs that do something, in the same order.
+/// * **unordered-pair dedup** — when both `a` and `b` are in the frontier,
+///   the naive loop visits (a, b) and later (b, a). `generalize_pair` is
+///   symmetric and every set operation it triggers is idempotent, so the
+///   reversed second visit (the one where `b` precedes `a` in the
+///   frontier) has no effect and is skipped.
+/// * **memoization** — `generalize_pair` results are cached under the
+///   canonical (sorted) pattern pair, so re-deriving the same pair in a
+///   later round (frontier member against old candidate already paired
+///   last round cannot recur, but distinct candidate pairs with equal
+///   *patterns* across collections/kinds can) costs a lookup.
+///
+/// Buckets are extended with the round's new candidates only after the
+/// round completes, mirroring the naive loop's round-start snapshot of
+/// `all`.
+pub fn generalize_set_fast(set: &mut CandidateSet, t: &Telemetry) -> Vec<CandId> {
+    let mut created = Vec::new();
+    let mut frontier: Vec<CandId> = set.ids().collect();
+    let mut buckets: HashMap<(String, ValueKind), Vec<CandId>> = HashMap::new();
+    let mut all_len = 0usize;
+    for &id in &frontier {
+        let c = set.get(id);
+        buckets
+            .entry((c.collection.clone(), c.kind))
+            .or_default()
+            .push(id);
+        all_len += 1;
+    }
+    // Two-level memo (smaller pattern → larger pattern → results) so hits
+    // cost two borrowed lookups and misses move their already-owned
+    // patterns in — no per-pair clones on either path.
+    let mut memo: HashMap<LinearPath, HashMap<LinearPath, Vec<LinearPath>>> = HashMap::new();
+    while !frontier.is_empty() {
+        // Frontier positions drive the unordered-pair dedup: the naive
+        // loop's first visit of a frontier pair is the one where `a` comes
+        // earlier in the frontier.
+        let fpos: HashMap<CandId, usize> = frontier
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let mut new_ids = Vec::new();
+        for (fa, &a) in frontier.iter().enumerate() {
+            let ca = set.get(a);
+            let key = (ca.collection.clone(), ca.kind);
+            // Buckets are only extended at round end, so the round-start
+            // snapshot can be borrowed across the set mutations below
+            // (only `set`, `memo`, and `new_ids` change inside the loop).
+            let bucket: &[CandId] = buckets.get(&key).map_or(&[], Vec::as_slice);
+            // Everything outside the bucket is an incompatible pair the
+            // naive loop would have enumerated and discarded.
+            t.add(Counter::PairsSkippedBucket, (all_len - bucket.len()) as u64);
+            for &b in bucket {
+                if b == a {
+                    continue;
+                }
+                if let Some(&fb) = fpos.get(&b) {
+                    if fb < fa {
+                        // (b, a) was already processed this round; this
+                        // reversed visit is the naive loop's no-op.
+                        continue;
+                    }
+                }
+                t.incr(Counter::GeneralizePairsVisited);
+                let (pa, pb, coll, kind) = {
+                    let (ca, cb) = (set.get(a), set.get(b));
+                    (
+                        ca.pattern.clone(),
+                        cb.pattern.clone(),
+                        ca.collection.clone(),
+                        ca.kind,
+                    )
+                };
+                let swapped = pb < pa;
+                let cached = {
+                    let (k1, k2) = if swapped { (&pb, &pa) } else { (&pa, &pb) };
+                    memo.get(k1).and_then(|m| m.get(k2))
+                };
+                if let Some(results) = cached {
+                    t.incr(Counter::PairsMemoHits);
+                    apply_pair_results(set, results, a, b, &pa, &pb, &coll, kind, |gid| {
+                        new_ids.push(gid);
+                        created.push(gid);
+                    });
+                } else {
+                    let r = generalize_pair(&pa, &pb);
+                    apply_pair_results(set, &r, a, b, &pa, &pb, &coll, kind, |gid| {
+                        new_ids.push(gid);
+                        created.push(gid);
+                    });
+                    let (k1, k2) = if swapped { (pb, pa) } else { (pa, pb) };
+                    memo.entry(k1).or_default().insert(k2, r);
+                }
+            }
+        }
+        for &gid in &new_ids {
+            let c = set.get(gid);
+            buckets
+                .entry((c.collection.clone(), c.kind))
+                .or_default()
+                .push(gid);
+        }
+        all_len += new_ids.len();
+        frontier = new_ids;
+    }
+    union_affected_from_basics(set, &created);
+    created
+}
+
+/// Applies one visited pair's generalization results to the set — the loop
+/// body shared verbatim by both fixpoints, so their per-pair effects cannot
+/// drift apart. `on_new` fires for results whose pattern was not in the set
+/// before this call.
+#[allow(clippy::too_many_arguments)]
+fn apply_pair_results(
+    set: &mut CandidateSet,
+    results: &[LinearPath],
+    a: CandId,
+    b: CandId,
+    pa: &LinearPath,
+    pb: &LinearPath,
+    coll: &str,
+    kind: ValueKind,
+    mut on_new: impl FnMut(CandId),
+) {
+    for g in results {
+        // Safety: a generalization must cover both inputs.
+        if !contain::covers(g, pa) || !contain::covers(g, pb) {
+            continue;
+        }
+        // Skip results equivalent to an input (no new pattern).
+        if g == pa || g == pb {
+            let target = if g == pa { a } else { b };
+            let other = if g == pa { b } else { a };
+            set.add_edge(target, other);
+            continue;
+        }
+        let existing = set.lookup(coll, g, kind);
+        let gid = set.insert(coll, g.clone(), kind, CandOrigin::Generalized);
+        set.add_edge(gid, a);
+        set.add_edge(gid, b);
+        if existing.is_none() {
+            on_new(gid);
+        }
+    }
+}
+
+/// Affected sets of generalized candidates: union over the basic
+/// candidates they cover (statements that produced covered patterns).
+fn union_affected_from_basics(set: &mut CandidateSet, created: &[CandId]) {
     let basics = set.basic_ids();
-    for &gid in &created {
+    for &gid in created {
         let gp = set.get(gid).pattern.clone();
         let mut affected = set.get(gid).affected.clone();
         for &b in &basics {
@@ -203,7 +377,6 @@ pub fn generalize_set(set: &mut CandidateSet) -> Vec<crate::candidate::CandId> {
         }
         set.get_mut(gid).affected = affected;
     }
-    created
 }
 
 #[cfg(test)]
@@ -297,6 +470,41 @@ mod tests {
         }
     }
 
+    /// Regression (stack-safety): the rule engine must survive paths at
+    /// the parser's MAX_PATH_STEPS cap. The recursive formulation nested
+    /// one stack frame per consumed step pair; the worklist keeps frames
+    /// on the heap. Distinct names keep Rule 4 single-branch, so this
+    /// exercises maximum *depth*, not exponential width.
+    #[test]
+    fn generalize_pair_survives_max_path_steps() {
+        let labels: Vec<String> = (0..xia_xpath::MAX_PATH_STEPS)
+            .map(|i| format!("s{i}"))
+            .collect();
+        let p = LinearPath::from_labels(labels.iter().map(|s| s.as_str()));
+        assert_eq!(p.len(), xia_xpath::MAX_PATH_STEPS);
+        let out = generalize_pair(&p, &p);
+        assert_eq!(out, vec![p.clone()], "p ⊔ p must be p itself");
+        // A shifted variant still terminates and produces covering output
+        // (the off-by-one tail makes Rules 2/3 fire at full depth too).
+        let q = p.join(&[LinearStep::child("tail")]);
+        let out = generalize_pair(&p, &q);
+        assert!(!out.is_empty());
+    }
+
+    /// `generalize_pair` is symmetric — the property the canonical memo
+    /// key in the semi-naive fixpoint relies on.
+    #[test]
+    fn generalize_pair_is_symmetric_on_pool() {
+        let pool = [
+            "/a/b", "/a/b/c", "/a//c", "/a/*/c", "/x/y", "/a/b/d", "/a/d/b/d", "/a//*",
+        ];
+        for a in &pool {
+            for b in &pool {
+                assert_eq!(gen(a, b), gen(b, a), "asymmetric on ({a}, {b})");
+            }
+        }
+    }
+
     #[test]
     fn fixpoint_expands_set_and_builds_dag() {
         let mut set = CandidateSet::new();
@@ -383,5 +591,138 @@ mod tests {
         let created = generalize_set(&mut set);
         assert!(!created.is_empty());
         assert!(set.len() < 60, "unexpected explosion: {}", set.len());
+    }
+
+    /// Builds the same seeded candidate set twice and runs each fixpoint
+    /// on its own copy, asserting the *entire observable state* matches:
+    /// candidate order, patterns, origins, affected sets, and DAG edge
+    /// lists (in stored order, not sorted — edge insertion order is part
+    /// of the parity contract).
+    fn assert_fixpoints_agree(seed_paths: &[(&str, &str, xia_xpath::ValueKind)]) {
+        let build = || {
+            let mut set = CandidateSet::new();
+            for (i, (coll, path, kind)) in seed_paths.iter().enumerate() {
+                let id = set.insert(coll, lp(path), *kind, CandOrigin::Basic);
+                set.get_mut(id).affected.insert(i);
+            }
+            set
+        };
+        let mut naive_set = build();
+        let mut fast_set = build();
+        let naive_created = generalize_set_naive(&mut naive_set, &Telemetry::off());
+        let t = Telemetry::new();
+        let fast_created = generalize_set_fast(&mut fast_set, &t);
+        assert_eq!(naive_created, fast_created, "created ids diverge");
+        assert_eq!(naive_set.len(), fast_set.len(), "set sizes diverge");
+        for (n, f) in naive_set.iter().zip(fast_set.iter()) {
+            assert_eq!(n.id, f.id);
+            assert_eq!(n.collection, f.collection);
+            assert_eq!(n.pattern, f.pattern, "pattern diverges at {:?}", n.id);
+            assert_eq!(n.kind, f.kind);
+            assert_eq!(n.origin, f.origin);
+            assert_eq!(n.children, f.children, "children diverge at {}", n.pattern);
+            assert_eq!(n.parents, f.parents, "parents diverge at {}", n.pattern);
+            assert_eq!(
+                n.affected.iter().collect::<Vec<_>>(),
+                f.affected.iter().collect::<Vec<_>>(),
+                "affected diverges at {}",
+                n.pattern
+            );
+        }
+    }
+
+    #[test]
+    fn semi_naive_matches_naive_on_paper_workload() {
+        use xia_xpath::ValueKind::{Num, Str};
+        assert_fixpoints_agree(&[
+            ("SDOC", "/Security/Symbol", Str),
+            ("SDOC", "/Security/SecInfo/*/Sector", Str),
+            ("SDOC", "/Security/Yield", Num),
+            ("ODOC", "/Order/Price", Num),
+        ]);
+    }
+
+    /// Property: semi-naive ≡ naive on randomized synthetic candidate
+    /// sets spanning several collections and kinds (where bucketing does
+    /// real work) with repeated-name paths (where Rule 4 branches).
+    #[test]
+    fn semi_naive_matches_naive_on_random_workloads() {
+        // Deterministic splitmix64 case generator.
+        let mut state = 0x5EED_0012u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) as usize
+        };
+        let labels = ["a", "b", "c", "d", "Sector"];
+        let colls = ["C1", "C2", "C3"];
+        let kinds = [xia_xpath::ValueKind::Str, xia_xpath::ValueKind::Num];
+        for _case in 0..30 {
+            let n = 3 + next() % 6;
+            let seeds: Vec<(String, String, xia_xpath::ValueKind)> = (0..n)
+                .map(|_| {
+                    let depth = 1 + next() % 4;
+                    let path = format!(
+                        "/root{}",
+                        (0..depth)
+                            .map(|_| format!("/{}", labels[next() % labels.len()]))
+                            .collect::<String>()
+                    );
+                    (
+                        colls[next() % colls.len()].to_string(),
+                        path,
+                        kinds[next() % kinds.len()],
+                    )
+                })
+                .collect();
+            let borrowed: Vec<(&str, &str, xia_xpath::ValueKind)> = seeds
+                .iter()
+                .map(|(c, p, k)| (c.as_str(), p.as_str(), *k))
+                .collect();
+            assert_fixpoints_agree(&borrowed);
+        }
+    }
+
+    /// The fast path's accounting: bucketing skips cross-kind pairs, the
+    /// memo fires on repeated pattern pairs, and the fast path visits
+    /// strictly fewer pairs than the naive loop on a multi-kind workload.
+    #[test]
+    fn fast_path_counters_reflect_skipped_work() {
+        use xia_xpath::ValueKind::{Num, Str};
+        let seeds = [
+            ("C1", "/r/a/x", Str),
+            ("C1", "/r/b/x", Str),
+            ("C1", "/r/c/x", Str),
+            ("C1", "/r/a/y", Num),
+            ("C2", "/r/b/y", Num),
+            ("C2", "/r/c/y", Num),
+        ];
+        let build = || {
+            let mut set = CandidateSet::new();
+            for (coll, path, kind) in seeds {
+                set.insert(coll, lp(path), kind, CandOrigin::Basic);
+            }
+            set
+        };
+        let tn = Telemetry::new();
+        generalize_set_naive(&mut build(), &tn);
+        let tf = Telemetry::new();
+        generalize_set_fast(&mut build(), &tf);
+        let naive_visits = tn.get(Counter::GeneralizePairsVisited);
+        let fast_visits = tf.get(Counter::GeneralizePairsVisited);
+        assert!(naive_visits > 0 && fast_visits > 0);
+        assert!(
+            fast_visits < naive_visits,
+            "fast {fast_visits} !< naive {naive_visits}"
+        );
+        assert!(
+            tf.get(Counter::PairsSkippedBucket) > 0,
+            "multi-kind workload must skip cross-bucket pairs"
+        );
+        // Naive never reports fast-path counters.
+        assert_eq!(tn.get(Counter::PairsSkippedBucket), 0);
+        assert_eq!(tn.get(Counter::PairsMemoHits), 0);
     }
 }

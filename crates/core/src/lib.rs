@@ -45,6 +45,6 @@ pub use enumerate::{
     enumerate_candidates, enumerate_candidates_traced, size_candidates, size_candidates_traced,
 };
 pub use error::{IssueStage, StatementIssue, XiaError};
-pub use generalize::{generalize_pair, generalize_set};
+pub use generalize::{generalize_pair, generalize_set, generalize_set_fast, generalize_set_naive};
 pub use report::TuningReport;
 pub use session::TuningSession;

@@ -5,7 +5,6 @@ use super::{by_density, standalone_benefits};
 use crate::benefit::BenefitEvaluator;
 use crate::candidate::CandId;
 use std::collections::HashSet;
-use xia_xpath::contain;
 
 /// Plain greedy search, as in relational index advisors: rank candidates
 /// by standalone benefit density and take them in order while they fit.
@@ -241,7 +240,7 @@ pub(crate) fn basics_covered_by(
             b != id
                 && cb.collection == c.collection
                 && cb.kind == c.kind
-                && contain::covers(&c.pattern, &cb.pattern)
+                && ev.covers(&c.pattern, &cb.pattern)
         })
         .collect()
 }

@@ -218,9 +218,7 @@ fn fill_leftover(
         let c = ev.candidates().get(id);
         let covered = current.iter().any(|&g| {
             let cg = ev.candidates().get(g);
-            cg.collection == c.collection
-                && cg.kind == c.kind
-                && xia_xpath::contain::covers(&cg.pattern, &c.pattern)
+            cg.collection == c.collection && cg.kind == c.kind && ev.covers(&cg.pattern, &c.pattern)
         });
         if covered {
             continue;

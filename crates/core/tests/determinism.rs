@@ -269,6 +269,110 @@ fn pruning_saves_calls_and_reports_counters() {
     );
 }
 
+/// `--no-fastpath` parity: the interning/semi-naive fast path must leave
+/// the *entire* fingerprint untouched — recommendation, every cost bit,
+/// and every pinned counter. (The fast path's own accounting lives in
+/// counters outside the pinned set, so fast-on and fast-off runs agree on
+/// everything compared here.)
+fn assert_fastpath_invariant(algo: SearchAlgorithm, make_params: impl Fn() -> AdvisorParams) {
+    for jobs in [1, 4] {
+        let on = run(algo, jobs, || AdvisorParams {
+            fastpath: true,
+            ..make_params()
+        });
+        assert!(!on.config.is_empty() || algo == SearchAlgorithm::Greedy);
+        let off = run(algo, jobs, || AdvisorParams {
+            fastpath: false,
+            ..make_params()
+        });
+        assert_eq!(
+            on, off,
+            "fast path changed the outcome for {algo:?} at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn fastpath_preserves_recommendation_clean() {
+    assert_fastpath_invariant(SearchAlgorithm::Greedy, AdvisorParams::default);
+    assert_fastpath_invariant(SearchAlgorithm::GreedyHeuristics, AdvisorParams::default);
+    assert_fastpath_invariant(SearchAlgorithm::TopDownFull, AdvisorParams::default);
+}
+
+#[test]
+fn fastpath_preserves_recommendation_under_faults() {
+    assert_fastpath_invariant(SearchAlgorithm::GreedyHeuristics, || AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::OptimizerCost, 0.3),
+        ..AdvisorParams::default()
+    });
+    assert_fastpath_invariant(SearchAlgorithm::Greedy, || AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::StatsUnavailable, 0.5),
+        ..AdvisorParams::default()
+    });
+}
+
+#[test]
+fn fastpath_preserves_recommendation_under_exhausted_budget() {
+    assert_fastpath_invariant(SearchAlgorithm::Greedy, || AdvisorParams {
+        what_if_budget: WhatIfBudget::calls(4),
+        ..AdvisorParams::default()
+    });
+}
+
+#[test]
+fn naive_mode_is_jobs_invariant() {
+    // `--no-fastpath` is the parity baseline; it must satisfy the same
+    // jobs-invariance contract as the default path.
+    assert_jobs_invariant(SearchAlgorithm::GreedyHeuristics, || AdvisorParams {
+        fastpath: false,
+        ..AdvisorParams::default()
+    });
+}
+
+/// Candidate-set-level parity on the real TPoX workload: patterns, kinds,
+/// origins, and DAG edge lists (in stored order) must be byte-identical
+/// with the semi-naive fixpoint on or off.
+#[test]
+fn fastpath_preserves_candidate_set_and_dag() {
+    let prepare = |fastpath: bool| {
+        let mut db = Database::new();
+        let cfg = TpoxConfig::tiny();
+        tpox::generate(&mut db, &cfg);
+        let w = Workload::from_texts(tpox::queries(&cfg).iter().map(|s| s.as_str())).unwrap();
+        let params = AdvisorParams {
+            fastpath,
+            telemetry: Telemetry::new(),
+            ..AdvisorParams::default()
+        };
+        let set = Advisor::prepare(&mut db, &w, &params);
+        let dump: Vec<String> = set
+            .iter()
+            .map(|c| {
+                format!(
+                    "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}",
+                    c.id,
+                    c.collection,
+                    c.pattern,
+                    c.kind,
+                    c.origin,
+                    c.children,
+                    c.parents,
+                    c.affected.iter().collect::<Vec<_>>()
+                )
+            })
+            .collect();
+        (dump, params.telemetry)
+    };
+    let (fast, t_fast) = prepare(true);
+    let (naive, t_naive) = prepare(false);
+    assert_eq!(fast, naive, "candidate set diverges fast vs naive");
+    // Both modes report pair visits; the fast path visits strictly fewer.
+    let nv = t_naive.get(Counter::GeneralizePairsVisited);
+    let fv = t_fast.get(Counter::GeneralizePairsVisited);
+    assert!(nv > 0 && fv > 0, "pair-visit accounting missing");
+    assert!(fv < nv, "semi-naive visited {fv}, naive {nv}");
+}
+
 #[test]
 fn repeated_runs_at_same_jobs_are_identical() {
     for jobs in JOBS {

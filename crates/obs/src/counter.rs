@@ -61,11 +61,28 @@ pub enum Counter {
     StmtCacheHits,
     /// Incremental `benefit_delta` probes issued by the searches.
     DeltaProbes,
+    /// Candidate pairs the generalization fixpoint examined (reached the
+    /// loop body: the naive path counts every ordered pair including the
+    /// compatibility check it then fails; the semi-naive path counts the
+    /// bucket-compatible pairs it processes). The E12 speedup factor is
+    /// this counter's naive/semi-naive ratio.
+    GeneralizePairsVisited,
+    /// Candidate pairs the semi-naive fixpoint never visited because the
+    /// two candidates live in different (collection, value-kind) buckets.
+    PairsSkippedBucket,
+    /// `generalize_pair` invocations answered from the canonical-pair memo
+    /// instead of re-running the rule engine.
+    PairsMemoHits,
+    /// Containment verdicts answered from the shared cover cache.
+    ContainCacheHits,
+    /// Containment verdicts decided by the name-mask fast reject without
+    /// running the NFA product search.
+    ContainFastRejects,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 29] = [
         Counter::OptimizerEvaluateCalls,
         Counter::OptimizerEnumerateCalls,
         Counter::IndexMatchingAttempts,
@@ -90,6 +107,11 @@ impl Counter {
         Counter::StatementsPruned,
         Counter::StmtCacheHits,
         Counter::DeltaProbes,
+        Counter::GeneralizePairsVisited,
+        Counter::PairsSkippedBucket,
+        Counter::PairsMemoHits,
+        Counter::ContainCacheHits,
+        Counter::ContainFastRejects,
     ];
 
     /// Number of counters.
@@ -122,6 +144,11 @@ impl Counter {
             Counter::StatementsPruned => "statements_pruned",
             Counter::StmtCacheHits => "stmt_cache_hits",
             Counter::DeltaProbes => "delta_probes",
+            Counter::GeneralizePairsVisited => "generalize_pairs_visited",
+            Counter::PairsSkippedBucket => "pairs_skipped_bucket",
+            Counter::PairsMemoHits => "pairs_memo_hits",
+            Counter::ContainCacheHits => "contain_cache_hits",
+            Counter::ContainFastRejects => "contain_fast_rejects",
         }
     }
 

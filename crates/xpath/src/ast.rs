@@ -127,8 +127,8 @@ impl fmt::Display for Predicate {
                     (_, Axis::Descendant) => "//",
                 };
                 f.write_str(sep)?;
-                match &s.test {
-                    NameTest::Name(n) => f.write_str(n)?,
+                match s.test {
+                    NameTest::Name(n) => f.write_str(n.as_str())?,
                     NameTest::Wildcard => f.write_str("*")?,
                 }
             }
@@ -187,7 +187,7 @@ impl PathExpr {
                 .iter()
                 .map(|s| LinearStep {
                     axis: s.axis,
-                    test: s.test.clone(),
+                    test: s.test,
                 })
                 .collect(),
         )
@@ -206,8 +206,8 @@ impl fmt::Display for PathExpr {
                 Axis::Child => "/",
                 Axis::Descendant => "//",
             })?;
-            match &step.test {
-                NameTest::Name(n) => f.write_str(n)?,
+            match step.test {
+                NameTest::Name(n) => f.write_str(n.as_str())?,
                 NameTest::Wildcard => f.write_str("*")?,
             }
             for p in &step.predicates {

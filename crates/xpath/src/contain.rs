@@ -13,9 +13,29 @@
 //! the only ones that accept unmentioned labels, and they treat all
 //! unmentioned labels identically, so any counterexample word can be
 //! relabeled onto the restricted alphabet.
+//!
+//! Two fast paths sit in front of the NFA product search, both exact:
+//!
+//! * **identity** — `L ⊆ L` always holds, so equal patterns (an integer
+//!   compare over interned steps) accept immediately;
+//! * **name-mask reject** — every concrete name test in `general` must be
+//!   consumed by every word of `L(general)`, while `specific` always has a
+//!   witness word avoiding any name it does not mention. So if `general`
+//!   mentions a name `specific` does not, containment is impossible. The
+//!   bloom-style [`LinearPath::name_mask`] over-approximates the mention
+//!   sets: `general.mask & !specific.mask != 0` proves such a name exists
+//!   (bit collisions can only *hide* a reject, never invent one).
+//!
+//! [`CoverCache`] memoizes verdicts by pattern identity so the relevance
+//! matrix, top-down search, and greedy coverage bitmaps — which re-ask the
+//! same `(candidate, candidate)` questions many times per advise run —
+//! each pay for a verdict once.
 
+use crate::intern::Sym;
 use crate::linear::{Axis, LinearPath, NameTest};
 use crate::statement::ValueKind;
+use std::collections::HashMap;
+use std::sync::Mutex;
 use xia_xml::{PathId, Symbol, Vocabulary};
 
 /// Letter of the restricted alphabet: index into the mentioned-names list,
@@ -37,7 +57,7 @@ struct Nfa {
     states: usize,
 }
 
-fn build_nfa(path: &LinearPath, names: &[&str]) -> Nfa {
+fn build_nfa(path: &LinearPath, names: &[Sym]) -> Nfa {
     assert!(
         names.len() <= 64,
         "containment alphabet limited to 64 names"
@@ -45,11 +65,11 @@ fn build_nfa(path: &LinearPath, names: &[&str]) -> Nfa {
     let mut accepts = Vec::with_capacity(path.len());
     let mut self_loop = Vec::with_capacity(path.len());
     for step in &path.steps {
-        let (mask, other) = match &step.test {
+        let (mask, other) = match step.test {
             NameTest::Wildcard => (u64::MAX >> (64 - names.len().max(1)), true),
             NameTest::Name(n) => {
                 let mut mask = 0u64;
-                if let Some(i) = names.iter().position(|x| x == n) {
+                if let Some(i) = names.iter().position(|x| *x == n) {
                     mask |= 1 << i;
                 }
                 (mask, false)
@@ -100,6 +120,15 @@ impl Nfa {
     }
 }
 
+/// Exact precheck: does the name-mask argument *prove* `general` cannot
+/// cover `specific`? `general` mentioning a concrete name that `specific`
+/// never matches forces a witness word in `L(specific) \ L(general)`.
+/// Conservative under bloom collisions: `false` means "no proof", not
+/// "covered".
+fn mask_rejects(general: &LinearPath, specific: &LinearPath) -> bool {
+    general.name_mask() & !specific.name_mask() != 0
+}
+
 /// Returns `true` iff every rooted label path matched by `specific` is also
 /// matched by `general` (language inclusion `L(specific) ⊆ L(general)`).
 pub fn covers(general: &LinearPath, specific: &LinearPath) -> bool {
@@ -107,8 +136,20 @@ pub fn covers(general: &LinearPath, specific: &LinearPath) -> bool {
     if general.len() >= 63 || specific.len() >= 63 {
         return general == specific;
     }
-    let mut names: Vec<&str> = general.names();
-    for n in specific.names() {
+    if general == specific {
+        return true; // identity: L ⊆ L
+    }
+    if mask_rejects(general, specific) {
+        return false;
+    }
+    covers_full(general, specific)
+}
+
+/// The NFA product search, without the identity/mask fast paths. Kept
+/// separate so property tests can pin `covers ≡ covers_full`.
+fn covers_full(general: &LinearPath, specific: &LinearPath) -> bool {
+    let mut names: Vec<Sym> = Vec::new();
+    for n in general.syms().chain(specific.syms()) {
         if !names.contains(&n) {
             names.push(n);
         }
@@ -153,6 +194,103 @@ pub fn equivalent(a: &LinearPath, b: &LinearPath) -> bool {
     covers(a, b) && covers(b, a)
 }
 
+/// Dense identity of a pattern inside a [`CoverCache`]: assigned on first
+/// sight, stable for the cache's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternId(u32);
+
+/// Hit/reject statistics of a [`CoverCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverCacheStats {
+    /// Verdicts answered from the memo table.
+    pub hits: u64,
+    /// Verdicts decided by the name-mask fast reject (on a memo miss).
+    pub fast_rejects: u64,
+    /// Distinct `(general, specific)` verdicts stored.
+    pub entries: u64,
+}
+
+#[derive(Default)]
+struct CoverCacheInner {
+    ids: HashMap<LinearPath, PatternId>,
+    /// Per pattern id: precomputed name mask (index = id).
+    masks: Vec<u64>,
+    verdicts: HashMap<(PatternId, PatternId), bool>,
+    hits: u64,
+    fast_rejects: u64,
+}
+
+/// Shared containment-verdict memo keyed by pattern identity.
+///
+/// One instance lives in the benefit evaluator per advise run and is
+/// consulted by everything on the coordinator path that asks containment
+/// questions about the (fixed) candidate set: relevance-matrix
+/// construction, the top-down search's covered-check, and the greedy
+/// search's coverage bitmaps. Verdicts are pure, so caching cannot change
+/// results — only how often the NFA product search runs.
+#[derive(Default)]
+pub struct CoverCache {
+    inner: Mutex<CoverCacheInner>,
+}
+
+impl CoverCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`covers`]: identical verdicts, computed at most once per
+    /// `(general, specific)` pattern pair.
+    pub fn covers(&self, general: &LinearPath, specific: &LinearPath) -> bool {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let g = Self::id_of(&mut inner, general);
+        let s = Self::id_of(&mut inner, specific);
+        if let Some(&v) = inner.verdicts.get(&(g, s)) {
+            inner.hits += 1;
+            return v;
+        }
+        let long = general.len() >= 63 || specific.len() >= 63;
+        let verdict = if general == specific {
+            true
+        } else if long {
+            false // length guard: covers() falls back to equality here
+        } else if inner.masks[g.0 as usize] & !inner.masks[s.0 as usize] != 0 {
+            inner.fast_rejects += 1;
+            false
+        } else {
+            covers_full(general, specific)
+        };
+        inner.verdicts.insert((g, s), verdict);
+        verdict
+    }
+
+    fn id_of(inner: &mut CoverCacheInner, pattern: &LinearPath) -> PatternId {
+        if let Some(&id) = inner.ids.get(pattern) {
+            return id;
+        }
+        let id = PatternId(inner.masks.len() as u32);
+        inner.masks.push(pattern.name_mask());
+        inner.ids.insert(pattern.clone(), id);
+        id
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CoverCacheStats {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        CoverCacheStats {
+            hits: inner.hits,
+            fast_rejects: inner.fast_rejects,
+            entries: inner.verdicts.len() as u64,
+        }
+    }
+}
+
 /// The access-pattern surface of one workload statement, as seen by index
 /// matching: the collection it touches and the indexable linear patterns it
 /// probes, each with the comparison's value kind (`None` for existence
@@ -182,6 +320,22 @@ impl StatementSignature {
                 .targets
                 .iter()
                 .any(|(q, kq)| kq.is_none_or(|k| k == kind) && covers(pattern, q))
+    }
+
+    /// [`Self::admits`] with containment verdicts routed through a shared
+    /// [`CoverCache`]. Same result; repeated pattern pairs cost one lookup.
+    pub fn admits_with(
+        &self,
+        collection: &str,
+        pattern: &LinearPath,
+        kind: ValueKind,
+        cache: &CoverCache,
+    ) -> bool {
+        self.collection == collection
+            && self
+                .targets
+                .iter()
+                .any(|(q, kq)| kq.is_none_or(|k| k == kind) && cache.covers(pattern, q))
     }
 }
 
@@ -226,6 +380,24 @@ impl RelevanceMatrix {
             .map(|(si, _)| si)
             .collect()
     }
+
+    /// [`Self::relevant_statements`] through a shared [`CoverCache`] —
+    /// candidates generalize each other heavily, so the same
+    /// `(pattern, target)` containment questions recur across rows.
+    pub fn relevant_statements_cached(
+        &self,
+        collection: &str,
+        pattern: &LinearPath,
+        kind: ValueKind,
+        cache: &CoverCache,
+    ) -> Vec<usize> {
+        self.signatures
+            .iter()
+            .enumerate()
+            .filter(|(_, sig)| sig.admits_with(collection, pattern, kind, cache))
+            .map(|(si, _)| si)
+            .collect()
+    }
 }
 
 /// A pattern compiled against a concrete [`Vocabulary`] for fast matching of
@@ -252,9 +424,9 @@ impl PathMatcher {
             .iter()
             .map(|s| CompiledStep {
                 axis: s.axis,
-                test: match &s.test {
+                test: match s.test {
                     NameTest::Wildcard => Err(true),
-                    NameTest::Name(n) => match vocab.lookup_name(n) {
+                    NameTest::Name(n) => match vocab.lookup_name(n.as_str()) {
                         Some(sym) => Ok(sym),
                         None => Err(false),
                     },
@@ -397,6 +569,82 @@ mod tests {
         assert!(!covers(&lp("/a/*"), &lp("/a//c")));
     }
 
+    /// The pattern pool the fast-path property tests range over: mixes
+    /// child/descendant axes, wildcards, shared and disjoint names.
+    const POOL: [&str; 14] = [
+        "/a/b/d", "/a//d", "/a/*", "/a//*", "//d", "/a/d", "/a/b//c", "/a/*/c", "//*", "/a/b",
+        "//c", "/x/y", "/a/b/c/d", "//a//b",
+    ];
+
+    /// Property (tentpole fast path): the mask-based reject is sound — it
+    /// never fires on a pair the full NFA search would accept. Together
+    /// with the identity fast path (reflexivity, pinned above) this gives
+    /// `covers ≡ covers_full` on every pair in the pool.
+    #[test]
+    fn mask_reject_never_rejects_true_containment() {
+        for g in &POOL {
+            for s in &POOL {
+                let (gp, sp) = (lp(g), lp(s));
+                let full = covers_full(&gp, &sp);
+                if mask_rejects(&gp, &sp) {
+                    assert!(!full, "mask rejected {g} ⊇ {s}, but containment holds");
+                }
+                assert_eq!(
+                    covers(&gp, &sp),
+                    full,
+                    "fast covers diverged from covers_full on ({g}, {s})"
+                );
+            }
+        }
+    }
+
+    /// The cache returns exactly what plain `covers` returns, answers
+    /// repeats from the memo table, and counts fast rejects.
+    #[test]
+    fn cover_cache_matches_plain_covers_and_counts() {
+        let cache = CoverCache::new();
+        for g in &POOL {
+            for s in &POOL {
+                let (gp, sp) = (lp(g), lp(s));
+                assert_eq!(
+                    cache.covers(&gp, &sp),
+                    covers(&gp, &sp),
+                    "cache verdict diverged on ({g}, {s})"
+                );
+            }
+        }
+        let first = cache.stats();
+        assert_eq!(first.entries, (POOL.len() * POOL.len()) as u64);
+        assert_eq!(first.hits, 0, "first pass has no repeats");
+        assert!(first.fast_rejects > 0, "pool contains disjoint-name pairs");
+        // Second pass: all hits, no new entries, no new fast rejects.
+        for g in &POOL {
+            for s in &POOL {
+                let (gp, sp) = (lp(g), lp(s));
+                assert_eq!(cache.covers(&gp, &sp), covers(&gp, &sp));
+            }
+        }
+        let second = cache.stats();
+        assert_eq!(second.entries, first.entries);
+        assert_eq!(second.fast_rejects, first.fast_rejects);
+        assert_eq!(second.hits, (POOL.len() * POOL.len()) as u64);
+    }
+
+    #[test]
+    fn cover_cache_handles_long_path_guard() {
+        // Paths at/above the 63-step guard take the equality fallback in
+        // both the plain and cached functions.
+        let long = LinearPath::from_labels((0..70).map(|_| "n").collect::<Vec<_>>());
+        let short = lp("/n");
+        let cache = CoverCache::new();
+        assert!(cache.covers(&long, &long));
+        assert!(!cache.covers(&long, &short));
+        assert!(!cache.covers(&short, &long));
+        assert_eq!(cache.covers(&long, &long), covers(&long, &long));
+        assert_eq!(cache.covers(&long, &short), covers(&long, &short));
+        assert_eq!(cache.covers(&short, &long), covers(&short, &long));
+    }
+
     #[test]
     fn matcher_agrees_with_pattern_on_document_paths() {
         let mut vocab = Vocabulary::new();
@@ -481,6 +729,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The cached relevance rows are identical to the uncached ones for
+    /// every (collection, pattern, kind) probe over a generated workload.
+    #[test]
+    fn cached_relevance_rows_match_uncached() {
+        let mut state = 0xD37Eu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) as usize
+        };
+        let kinds = [Some(ValueKind::Str), Some(ValueKind::Num), None];
+        let colls = ["C1", "C2"];
+        let mut sigs = Vec::new();
+        for _ in 0..30 {
+            let collection = colls[next() % colls.len()].to_string();
+            let n = 1 + next() % 3;
+            let targets = (0..n)
+                .map(|_| (lp(POOL[next() % POOL.len()]), kinds[next() % kinds.len()]))
+                .collect();
+            sigs.push(StatementSignature {
+                collection,
+                targets,
+            });
+        }
+        let m = RelevanceMatrix::new(sigs);
+        let cache = CoverCache::new();
+        for p in &POOL {
+            let pat = lp(p);
+            for coll in &colls {
+                for kind in [ValueKind::Str, ValueKind::Num] {
+                    assert_eq!(
+                        m.relevant_statements_cached(coll, &pat, kind, &cache),
+                        m.relevant_statements(coll, &pat, kind),
+                        "cached relevance diverged for {p} on {coll}/{kind:?}"
+                    );
+                }
+            }
+        }
+        assert!(cache.stats().hits > 0, "repeat probes should hit the memo");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Global string interner for step names.
+//!
+//! Every concrete name test in a [`crate::LinearPath`] carries a [`Sym`]
+//! instead of an owned `String`: a `Copy` handle pairing a dense `u32` id
+//! with a `&'static str` borrowed from the process-wide registry. Equality
+//! and hashing compare the id (one integer), resolution to text is a field
+//! read (no lock), and steps become `Copy` — which is what lets the hot
+//! consumers (containment, generalization, candidate dedup) stop being
+//! string-shaped.
+//!
+//! The registry leaks each distinct name once (`Box::leak`), so its
+//! footprint is bounded by the vocabulary of distinct element/attribute
+//! names ever parsed — small and workload-shaped, the same trade the
+//! document-side `xia_xml::Interner` makes with its arena.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// Interned step name: a `Copy` symbol with O(1) equality, hashing, and
+/// lock-free resolution to `&'static str`.
+#[derive(Clone, Copy)]
+pub struct Sym {
+    id: u32,
+    name: &'static str,
+}
+
+impl Sym {
+    /// The interned text.
+    #[inline]
+    pub fn as_str(self) -> &'static str {
+        self.name
+    }
+
+    /// Dense registry id (allocation order). Stable within a process;
+    /// never persisted.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.id
+    }
+}
+
+impl PartialEq for Sym {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Sym {}
+
+impl std::hash::Hash for Sym {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print as the quoted text so debug output of name tests reads
+        // like the pre-interning representation.
+        write!(f, "{:?}", self.name)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+struct Registry {
+    map: HashMap<&'static str, Sym>,
+}
+
+fn registry() -> &'static RwLock<Registry> {
+    static REGISTRY: OnceLock<RwLock<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        RwLock::new(Registry {
+            map: HashMap::new(),
+        })
+    })
+}
+
+/// Interns a name, returning its symbol. Idempotent: the same text always
+/// yields the same symbol, so `intern(a) == intern(b) ⟺ a == b`.
+pub fn intern(name: &str) -> Sym {
+    let reg = registry();
+    // Fast path: shared read lock for the (overwhelmingly common) case of
+    // an already-interned name.
+    {
+        let guard = reg.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(&sym) = guard.map.get(name) {
+            return sym;
+        }
+    }
+    let mut guard = reg.write().unwrap_or_else(|e| e.into_inner());
+    // Double-check under the write lock: another thread may have interned
+    // the name between our read and write acquisitions.
+    if let Some(&sym) = guard.map.get(name) {
+        return sym;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let sym = Sym {
+        id: guard.map.len() as u32,
+        name: leaked,
+    };
+    guard.map.insert(leaked, sym);
+    sym
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_round_trips_and_is_idempotent() {
+        let a = intern("Security");
+        let b = intern("Security");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "Security");
+        let c = intern("Symbol-test-distinct");
+        assert_ne!(a, c);
+        assert_eq!(c.as_str(), "Symbol-test-distinct");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let syms: Vec<Sym> = (0..200).map(|i| intern(&format!("intern_t_{i}"))).collect();
+        let mut ids: Vec<u32> = syms.iter().map(|s| s.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200, "symbol ids must be unique per name");
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("intern_t_{i}"));
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..64)
+                        .map(|i| intern(&format!("race_{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Sym>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("interner thread"))
+            .collect();
+        for row in &results[1..] {
+            assert_eq!(row, &results[0], "same text must intern identically");
+        }
+    }
+}

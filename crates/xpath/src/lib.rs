@@ -20,6 +20,7 @@
 
 pub mod ast;
 pub mod contain;
+pub mod intern;
 pub mod lexer;
 pub mod linear;
 pub mod normalize;
@@ -29,7 +30,11 @@ pub mod statement;
 pub mod xquery;
 
 pub use ast::{CmpOp, Literal, PathExpr, Predicate, Step};
-pub use contain::{covers, PathMatcher, RelevanceMatrix, StatementSignature};
+pub use contain::{
+    covers, CoverCache, CoverCacheStats, PathMatcher, PatternId, RelevanceMatrix,
+    StatementSignature,
+};
+pub use intern::{intern, Sym};
 pub use linear::{Axis, LinearPath, LinearStep, NameTest};
 pub use normalize::{
     normalize as normalize_statement, AccessPattern, NormalizedQuery, PatternPred,

@@ -4,7 +4,15 @@
 //! descendant (`//`) axis and a name test that is either a concrete label or
 //! the wildcard `*`. Examples from the paper's Table I:
 //! `/Security/Symbol`, `/Security/SecInfo/*/Sector`, `/Security//*`.
+//!
+//! Concrete names are interned ([`crate::intern::Sym`]), so steps are
+//! `Copy`, comparisons are integer-sized, and each path exposes a
+//! precomputed-in-one-pass 64-bit [`LinearPath::signature`] plus a
+//! bloom-style [`LinearPath::name_mask`] used by the containment layer's
+//! fast reject.
 
+use crate::intern::{intern, Sym};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// Navigation axis of a step.
@@ -17,34 +25,69 @@ pub enum Axis {
 }
 
 /// Name test of a step.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NameTest {
-    /// A concrete element/attribute name.
-    Name(String),
+    /// A concrete element/attribute name (interned).
+    Name(Sym),
     /// The wildcard `*`.
     Wildcard,
 }
 
 impl NameTest {
+    /// Builds a concrete name test, interning the name.
+    pub fn name_of(name: &str) -> Self {
+        NameTest::Name(intern(name))
+    }
+
     /// Whether this test accepts the given label.
     pub fn accepts(&self, label: &str) -> bool {
         match self {
-            NameTest::Name(n) => n == label,
+            NameTest::Name(n) => n.as_str() == label,
             NameTest::Wildcard => true,
         }
     }
 
     /// The concrete name, if not a wildcard.
-    pub fn name(&self) -> Option<&str> {
+    pub fn name(&self) -> Option<&'static str> {
         match self {
-            NameTest::Name(n) => Some(n),
+            NameTest::Name(n) => Some(n.as_str()),
+            NameTest::Wildcard => None,
+        }
+    }
+
+    /// The interned symbol, if not a wildcard.
+    pub fn sym(&self) -> Option<Sym> {
+        match self {
+            NameTest::Name(n) => Some(*n),
             NameTest::Wildcard => None,
         }
     }
 }
 
+// Ordering is by the *resolved text* (with `Name < Wildcard`, the
+// declaration order), not by symbol id: symbol ids reflect interning
+// order, which varies run to run, while every canonically sorted output
+// (generalization results, candidate orderings) must match the ordering
+// the pre-interning `Name(String)` derive produced byte for byte.
+impl Ord for NameTest {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (NameTest::Name(a), NameTest::Name(b)) => a.as_str().cmp(b.as_str()),
+            (NameTest::Name(_), NameTest::Wildcard) => Ordering::Less,
+            (NameTest::Wildcard, NameTest::Name(_)) => Ordering::Greater,
+            (NameTest::Wildcard, NameTest::Wildcard) => Ordering::Equal,
+        }
+    }
+}
+
+impl PartialOrd for NameTest {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// One step of a linear path.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinearStep {
     /// `/` or `//`.
     pub axis: Axis,
@@ -57,7 +100,7 @@ impl LinearStep {
     pub fn child(name: &str) -> Self {
         Self {
             axis: Axis::Child,
-            test: NameTest::Name(name.to_string()),
+            test: NameTest::name_of(name),
         }
     }
 
@@ -65,7 +108,7 @@ impl LinearStep {
     pub fn descendant(name: &str) -> Self {
         Self {
             axis: Axis::Descendant,
-            test: NameTest::Name(name.to_string()),
+            test: NameTest::name_of(name),
         }
     }
 
@@ -87,10 +130,20 @@ impl LinearStep {
 }
 
 /// A linear XPath path expression without predicates: an index pattern.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct LinearPath {
     /// The steps, in order from the root.
     pub steps: Vec<LinearStep>,
+}
+
+// Hashing feeds the 64-bit path signature instead of walking the steps
+// again, so every hash-based dedup of paths (generalization results, pair
+// memos, candidate keys) runs off the same precomputable fingerprint.
+// Equal paths produce equal signatures by construction.
+impl std::hash::Hash for LinearPath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.signature());
+    }
 }
 
 impl LinearPath {
@@ -132,7 +185,7 @@ impl LinearPath {
     /// Appends another relative linear path, returning the concatenation.
     pub fn join(&self, rel: &[LinearStep]) -> LinearPath {
         let mut steps = self.steps.clone();
-        steps.extend(rel.iter().cloned());
+        steps.extend(rel.iter().copied());
         LinearPath { steps }
     }
 
@@ -196,7 +249,7 @@ impl LinearPath {
                 pending_descendant = true;
                 continue;
             }
-            let mut s = step.clone();
+            let mut s = *step;
             if pending_descendant || s.axis == Axis::Descendant {
                 s.axis = Axis::Descendant;
             }
@@ -206,12 +259,50 @@ impl LinearPath {
         LinearPath { steps }
     }
 
-    /// Collects the distinct concrete names used in the pattern.
-    pub fn names(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = self.steps.iter().filter_map(|s| s.test.name()).collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+    /// Iterates the concrete names used in the pattern, in step order,
+    /// without allocating (wildcards are skipped; repeats are not deduped).
+    pub fn names_iter(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.steps.iter().filter_map(|s| s.test.name())
+    }
+
+    /// Iterates the interned symbols of the concrete names, in step order.
+    pub fn syms(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.steps.iter().filter_map(|s| s.test.sym())
+    }
+
+    /// A 64-bit structural fingerprint of the path: a splitmix-style fold
+    /// over each step's axis and name symbol. Equal paths always produce
+    /// equal signatures; distinct paths collide with probability ~2⁻⁶⁴.
+    /// One O(len) pass, no allocation — this is what [`LinearPath`]'s
+    /// `Hash` feeds into hash-based dedup.
+    pub fn signature(&self) -> u64 {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (self.steps.len() as u64);
+        for step in &self.steps {
+            let code = match step.test {
+                // Ids start at 0, so offset by 2 to keep the wildcard and
+                // axis codes out of the symbol range.
+                NameTest::Name(s) => u64::from(s.id()) + 2,
+                NameTest::Wildcard => 1,
+            };
+            let axis = match step.axis {
+                Axis::Child => 0u64,
+                Axis::Descendant => 1u64,
+            };
+            let mut z = h ^ (code << 1 | axis).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h = z ^ (z >> 31);
+        }
+        h
+    }
+
+    /// Bloom-style mask of the concrete names mentioned by the pattern:
+    /// bit `sym.id() % 64` set per name, wildcards contribute nothing.
+    /// Used by the containment fast reject — if `general` sets a bit that
+    /// `specific` does not, `general` mentions a name `specific` never
+    /// matches, so containment is impossible (see `contain`).
+    pub fn name_mask(&self) -> u64 {
+        self.syms().fold(0u64, |m, s| m | (1u64 << (s.id() % 64)))
     }
 }
 
@@ -226,7 +317,7 @@ impl fmt::Display for LinearPath {
                 Axis::Descendant => "//",
             })?;
             match &step.test {
-                NameTest::Name(n) => f.write_str(n)?,
+                NameTest::Name(n) => f.write_str(n.as_str())?,
                 NameTest::Wildcard => f.write_str("*")?,
             }
         }
@@ -336,8 +427,52 @@ mod tests {
     }
 
     #[test]
-    fn names_are_sorted_distinct() {
-        assert_eq!(lp("/b/a//b/*").names(), vec!["a", "b"]);
+    fn names_iter_walks_concrete_names_in_step_order() {
+        let names: Vec<&str> = lp("/b/a//b/*").names_iter().collect();
+        assert_eq!(names, vec!["b", "a", "b"]);
+        assert_eq!(lp("//*").names_iter().count(), 0);
+    }
+
+    #[test]
+    fn ordering_matches_name_text_not_symbol_id() {
+        // Intern in reverse-lexicographic order so symbol ids disagree
+        // with text order; Ord must still sort by text.
+        let z = lp("/zzz_ord_probe");
+        let a = lp("/aaa_ord_probe");
+        assert!(a < z, "paths must order by name text");
+        assert!(NameTest::name_of("aaa_ord_probe") < NameTest::name_of("zzz_ord_probe"));
+        assert!(NameTest::name_of("zzz_ord_probe") < NameTest::Wildcard);
+    }
+
+    #[test]
+    fn signature_distinguishes_structure() {
+        // Equal paths → equal signature (also via separate parses).
+        assert_eq!(lp("/a/b/c").signature(), lp("/a/b/c").signature());
+        // Axis, name, and length changes all perturb it.
+        let sigs = [
+            lp("/a/b").signature(),
+            lp("/a//b").signature(),
+            lp("/a/c").signature(),
+            lp("/a/b/c").signature(),
+            lp("/a/*").signature(),
+            lp("//a/b").signature(),
+        ];
+        let mut dedup = sigs.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sigs.len(), "signature collision: {sigs:?}");
+    }
+
+    #[test]
+    fn name_mask_covers_mentioned_names_only() {
+        let p = lp("/a/b//c/*");
+        let mask = p.name_mask();
+        for s in p.syms() {
+            assert_ne!(mask & (1 << (s.id() % 64)), 0);
+        }
+        assert_eq!(lp("//*").name_mask(), 0, "wildcards contribute no bits");
+        // Subpath masks are subsets.
+        assert_eq!(lp("/a/b").name_mask() & !mask, 0);
     }
 
     #[test]

@@ -174,7 +174,7 @@ fn collect_step_predicates(
     for step in &expr.steps {
         prefix.push(LinearStep {
             axis: step.axis,
-            test: step.test.clone(),
+            test: step.test,
         });
         for pred in &step.predicates {
             match pred {

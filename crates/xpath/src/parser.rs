@@ -143,7 +143,7 @@ pub(crate) fn parse_linear_steps(
                 cur.next();
                 NameTest::Wildcard
             }
-            Some(Token::Name(_)) => NameTest::Name(cur.expect_name()?),
+            Some(Token::Name(_)) => NameTest::name_of(&cur.expect_name()?),
             _ => return Err(cur.err("expected a name test after axis")),
         };
         if steps.len() >= MAX_PATH_STEPS {
@@ -195,7 +195,7 @@ pub(crate) fn parse_path_expr_steps(
                 cur.next();
                 NameTest::Wildcard
             }
-            Some(Token::Name(_)) => NameTest::Name(cur.expect_name()?),
+            Some(Token::Name(_)) => NameTest::name_of(&cur.expect_name()?),
             _ => return Err(cur.err("expected a name test after axis")),
         };
         let mut predicates = Vec::new();

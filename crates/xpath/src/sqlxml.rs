@@ -88,7 +88,7 @@ pub fn parse_sqlxml(input: &str) -> Result<FlworQuery, ParseError> {
         .or(projections.first())
         .expect("checked non-empty above");
     let root_step = first.steps[0].clone();
-    let root_test = root_step.test.clone();
+    let root_test = root_step.test;
 
     // Fold every XMLEXISTS path into one source PathExpr rooted at the
     // shared root element: predicates keep their anchoring by extending
@@ -128,7 +128,7 @@ pub fn parse_sqlxml(input: &str) -> Result<FlworQuery, ParseError> {
                     .iter()
                     .map(|s| LinearStep {
                         axis: s.axis,
-                        test: s.test.clone(),
+                        test: s.test,
                     })
                     .collect();
                 Ok(if rel.is_empty() {
@@ -181,7 +181,7 @@ fn fold_into_root(source: &mut PathExpr, path: &PathExpr) {
     for step in &path.steps[1..] {
         prefix.push(LinearStep {
             axis: step.axis,
-            test: step.test.clone(),
+            test: step.test,
         });
         for pred in &step.predicates {
             let re_anchored = re_anchor(&prefix, pred);
@@ -200,7 +200,7 @@ fn fold_into_root(source: &mut PathExpr, path: &PathExpr) {
 
 fn display_test(t: &crate::linear::NameTest) -> String {
     match t {
-        crate::linear::NameTest::Name(n) => n.clone(),
+        crate::linear::NameTest::Name(n) => n.as_str().to_string(),
         crate::linear::NameTest::Wildcard => "*".to_string(),
     }
 }

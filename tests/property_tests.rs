@@ -27,7 +27,7 @@ fn step(rng: &mut Prng) -> LinearStep {
     let test = if rng.gen_bool(0.25) {
         NameTest::Wildcard
     } else {
-        NameTest::Name(label(rng))
+        NameTest::name_of(&label(rng))
     };
     LinearStep { axis, test }
 }
@@ -240,6 +240,108 @@ fn generalization_dag_parents_cover_children() {
         }
         for root in set.roots() {
             assert!(set.get(root).parents.is_empty());
+        }
+    }
+}
+
+/// Fast-path parity: the semi-naive generalization fixpoint produces the
+/// same candidate set — patterns, origins, DAG edge vectors in stored
+/// order, affected sets — as the naive Algorithm 1 loop, on randomized
+/// multi-collection, multi-kind workloads.
+#[test]
+fn semi_naive_fixpoint_matches_naive() {
+    use xia_advisor::candidate::CandOrigin;
+    use xia_advisor::{generalize_set_fast, generalize_set_naive, CandidateSet};
+    use xia_obs::Telemetry;
+
+    let mut rng = Prng::seed_from_u64(0x0c);
+    let colls = ["C1", "C2"];
+    let kinds = [xia_xpath::ValueKind::Str, xia_xpath::ValueKind::Num];
+    for _ in 0..48 {
+        let mut seeds = Vec::new();
+        for i in 0..rng.gen_range(2..8) {
+            let depth = rng.gen_range(1..4);
+            let mut steps = vec!["root".to_string()];
+            steps.extend((0..depth).map(|_| label(&mut rng)));
+            seeds.push((
+                colls[rng.gen_range(0..colls.len())],
+                format!("/{}", steps.join("/")),
+                kinds[rng.gen_range(0..kinds.len())],
+                i,
+            ));
+        }
+        let build = |seeds: &[(&str, String, xia_xpath::ValueKind, usize)]| {
+            let mut set = CandidateSet::new();
+            for (coll, text, kind, stmt) in seeds {
+                let pattern = parse_linear_path(text).expect("constructed path parses");
+                let id = set.insert(coll, pattern, *kind, CandOrigin::Basic);
+                set.get_mut(id).affected.insert(*stmt);
+            }
+            set
+        };
+        let mut naive = build(&seeds);
+        let mut fast = build(&seeds);
+        let created_naive = generalize_set_naive(&mut naive, &Telemetry::off());
+        let created_fast = generalize_set_fast(&mut fast, &Telemetry::off());
+        assert_eq!(created_naive, created_fast, "created ids diverge");
+        assert_eq!(naive.len(), fast.len());
+        for (n, f) in naive.iter().zip(fast.iter()) {
+            assert_eq!(n.id, f.id);
+            assert_eq!(n.pattern, f.pattern, "pattern diverges at {:?}", n.id);
+            assert_eq!(
+                (&n.collection, n.kind, n.origin),
+                (&f.collection, f.kind, f.origin)
+            );
+            assert_eq!(n.children, f.children, "children diverge at {}", n.pattern);
+            assert_eq!(n.parents, f.parents, "parents diverge at {}", n.pattern);
+            assert_eq!(
+                n.affected.iter().collect::<Vec<_>>(),
+                f.affected.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+/// The name-mask fast reject is sound: whenever the mask pre-check says
+/// "cannot cover", the full NFA containment search agrees. (Completeness
+/// is not required — a bloom collision may let a non-covering pair through
+/// to the full search — but a true containment must never be rejected.)
+#[test]
+fn name_mask_never_rejects_true_containment() {
+    let mut rng = Prng::seed_from_u64(0x0d);
+    for _ in 0..4000 {
+        let g = linear_path(&mut rng);
+        let s = linear_path(&mut rng);
+        if contain::covers(&g, &s) {
+            assert_eq!(
+                g.name_mask() & !s.name_mask(),
+                0,
+                "mask would reject true containment {g} ⊇ {s}"
+            );
+        }
+    }
+}
+
+/// The interner round-trips every name that survives a parse: the symbol
+/// resolved from a parsed step yields the original text, and re-interning
+/// that text yields the same symbol.
+#[test]
+fn interner_round_trips_parsed_names() {
+    let mut rng = Prng::seed_from_u64(0x0e);
+    for i in 0..512 {
+        // Mix the shared label alphabet with fresh unique names so both
+        // the read-lock hit path and the insert path are exercised.
+        let name = if rng.gen_bool(0.5) {
+            label(&mut rng)
+        } else {
+            format!("uniq_pt_{i}")
+        };
+        let text = format!("/{name}//{name}");
+        let p = parse_linear_path(&text).expect("constructed path parses");
+        for step in &p.steps {
+            let sym = step.test.sym().expect("named step");
+            assert_eq!(sym.as_str(), name, "symbol text diverged");
+            assert_eq!(xia_xpath::intern(&name), sym, "re-interning diverged");
         }
     }
 }
