@@ -39,4 +39,9 @@ fn main() {
     if let Some(p) = write_csv(&breakdown, "telemetry_breakdown") {
         println!("wrote {}", p.display());
     }
+    let latencies = speedup_budget::latency_table(&mut lab, &workload, &SearchAlgorithm::ALL);
+    print!("{}", latencies.render());
+    if let Some(p) = write_csv(&latencies, "latency_histograms") {
+        println!("wrote {}", p.display());
+    }
 }

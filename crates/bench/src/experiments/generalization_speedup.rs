@@ -16,7 +16,7 @@ use std::time::Instant;
 use xia_advisor::{
     generalize_set_fast, generalize_set_naive, Advisor, AdvisorParams, CandidateSet,
 };
-use xia_obs::{Counter, Telemetry};
+use xia_obs::{Counter, EventJournal, Telemetry};
 use xia_workloads::Workload;
 
 /// One workload-size comparison point.
@@ -76,13 +76,13 @@ pub fn measure(lab: &mut TpoxLab, workload: &Workload) -> GeneralizationRow {
     let mut naive_set = base.clone();
     let t_naive = Telemetry::new();
     let start = Instant::now();
-    generalize_set_naive(&mut naive_set, &t_naive);
+    generalize_set_naive(&mut naive_set, &t_naive, &EventJournal::off());
     let ms_naive = start.elapsed().as_secs_f64() * 1e3;
 
     let mut fast_set = base;
     let t_fast = Telemetry::new();
     let start = Instant::now();
-    generalize_set_fast(&mut fast_set, &t_fast);
+    generalize_set_fast(&mut fast_set, &t_fast, &EventJournal::off());
     let ms_fast = start.elapsed().as_secs_f64() * 1e3;
 
     GeneralizationRow {

@@ -287,5 +287,67 @@ pub fn telemetry_breakdown_table(r: &SweepResult) -> Table {
     t
 }
 
+/// Latency-histogram summaries from one full advisor run per algorithm:
+/// the what-if and containment-check call distributions, plus the
+/// per-call distribution of every phase span. Only sample counts are
+/// deterministic; the percentile columns are wall-clock.
+pub fn latency_table(
+    lab: &mut TpoxLab,
+    workload: &Workload,
+    algorithms: &[SearchAlgorithm],
+) -> Table {
+    let mut t = Table::new(
+        "Latency histograms — per-call distributions (ns), one advisor run per algorithm",
+        &[
+            "algorithm",
+            "metric",
+            "count",
+            "p50_ns",
+            "p95_ns",
+            "p99_ns",
+            "max_ns",
+        ],
+    );
+    for &algo in algorithms {
+        let telemetry = Telemetry::new();
+        let params = AdvisorParams {
+            telemetry: telemetry.clone(),
+            ..AdvisorParams::default()
+        };
+        let set = Advisor::prepare(&mut lab.db, workload, &params);
+        let budget = set.config_size(&Advisor::all_index_config(&set));
+        Advisor::recommend_prepared(&mut lab.db, workload, &set, budget, algo, &params)
+            .expect("advise");
+        let report = telemetry.report();
+        for (name, s) in &report.latencies {
+            push_latency_row(&mut t, algo.name(), name, s);
+        }
+        for root in &report.phases {
+            push_phase_latency_rows(&mut t, algo.name(), root, "phase");
+        }
+    }
+    t
+}
+
+fn push_latency_row(t: &mut Table, algo: &str, metric: &str, s: &xia_obs::HistSummary) {
+    t.row(vec![
+        algo.to_string(),
+        metric.to_string(),
+        s.count.to_string(),
+        s.p50_ns.to_string(),
+        s.p95_ns.to_string(),
+        s.p99_ns.to_string(),
+        s.max_ns.to_string(),
+    ]);
+}
+
+fn push_phase_latency_rows(t: &mut Table, algo: &str, span: &xia_obs::SpanSnapshot, prefix: &str) {
+    let path = format!("{prefix}:{}", span.name);
+    push_latency_row(t, algo, &path, &span.latency);
+    for child in &span.children {
+        push_phase_latency_rows(t, algo, child, &path);
+    }
+}
+
 /// Default budget fractions of the All-Index size used by the binaries.
 pub const DEFAULT_FRACTIONS: [f64; 8] = [0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00, 1.25];

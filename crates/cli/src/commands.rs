@@ -166,7 +166,10 @@ pub fn explain(args: &[String]) -> Result<String, CliError> {
 
 /// Advisor-mode explain: run the full pipeline and print a structured
 /// breakdown — phase timings, what-if call accounting, and per-statement
-/// cost deltas — instead of a single statement's plan.
+/// cost deltas — instead of a single statement's plan. `--why <pattern>`
+/// additionally replays the decision journal and prints the derivation
+/// chain (generation → prunes → benefit deltas → final decision) for the
+/// given index pattern, recursing to the basics it generalizes.
 fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     let (_, mut db) = open(args.first().map(|s| s.as_str()))?;
     let mut workload_file = None;
@@ -175,6 +178,7 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     let mut jobs: Option<usize> = None;
     let mut prune = true;
     let mut fastpath = true;
+    let mut why: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -207,6 +211,10 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
                 fastpath = false;
                 i += 1;
             }
+            "--why" => {
+                why.push(require(args, i + 1, "index pattern after --why")?.to_string());
+                i += 2;
+            }
             other => return Err(CliError::usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -227,6 +235,9 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     };
     if let Some(jobs) = jobs {
         params.jobs = jobs;
+    }
+    if !why.is_empty() {
+        params.journal = xia_obs::EventJournal::new();
     }
     let set = Advisor::prepare(&mut db, &workload, &params);
     let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)?;
@@ -250,6 +261,13 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
         rec.advisor_time.as_secs_f64() * 1e3
     );
     out.push_str(&tr.to_text());
+    if !why.is_empty() {
+        let events = params.journal.events();
+        for pattern in &why {
+            let _ = writeln!(out, "--- why {pattern} ---");
+            out.push_str(&xia_obs::provenance::explain_why(&events, pattern));
+        }
+    }
     Ok(out)
 }
 
@@ -338,9 +356,9 @@ enum TraceFormat {
 }
 
 /// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]
-/// [--report] [--trace[=json|text]] [--strict] [--what-if-budget <calls>]
-/// [--jobs <n>] [--no-prune] [--no-fastpath] [--inject <site>:<rate>]
-/// [--fault-seed <n>]`
+/// [--report] [--trace[=json|text]] [--strict] [--journal <path>]
+/// [--what-if-budget <calls>] [--jobs <n>] [--no-prune] [--no-fastpath]
+/// [--inject <site>:<rate>] [--fault-seed <n>]`
 pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut workload_file = None;
     let mut budget: Option<u64> = None;
@@ -355,6 +373,7 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut fault_seed: u64 = 0;
     let mut inject_specs: Vec<String> = Vec::new();
     let mut trace: Option<TraceFormat> = None;
+    let mut journal_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -416,6 +435,11 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
                 fault_seed = v
                     .parse()
                     .map_err(|_| CliError::usage(format!("bad fault seed `{v}`")))?;
+                i += 2;
+            }
+            "--journal" => {
+                journal_path =
+                    Some(require(args, i + 1, "output path after --journal")?.to_string());
                 i += 2;
             }
             other if other == "--trace" || other.starts_with("--trace=") => {
@@ -500,8 +524,23 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     if let Some(jobs) = jobs {
         params.jobs = jobs;
     }
+    if journal_path.is_some() {
+        params.journal = xia_obs::EventJournal::new();
+    }
     let set = Advisor::prepare(&mut db, &workload, &params);
     let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)?;
+    // Write the journal before any follow-up optimizer work; all events
+    // are coordinator-side, so the file is byte-identical for every
+    // --jobs value.
+    if let Some(jpath) = &journal_path {
+        std::fs::write(jpath, params.journal.to_jsonl())
+            .map_err(|e| CliError::new(format!("cannot write {jpath}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "journal: {} event(s) written to {jpath}",
+            params.journal.len()
+        );
+    }
     // Snapshot the trace before any follow-up optimizer work (the tuning
     // report re-costs the workload) can inflate the counters.
     let traced = trace.map(|fmt| {
@@ -1087,6 +1126,95 @@ mod tests {
             recommend(&s(&[&db, "-w", &wl, "-b", "10m", "--jobs", "x"])).is_err(),
             "bad job count must be a usage error"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_journal_is_byte_identical_across_jobs() {
+        // --journal exports the decision journal as JSONL. All events are
+        // emitted on the coordinator, so the file must be byte-identical
+        // for every --jobs value — clean and under injected faults.
+        let dir = tmpdir().join("journal_jobs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let run = |jobs: &str, tag: &str, extra: &[&str]| -> (String, String) {
+            let jpath = dir.join(format!("j_{tag}_{jobs}.jsonl"));
+            let jp = jpath.to_string_lossy().to_string();
+            let mut args = vec![
+                db.as_str(),
+                "-w",
+                wl.as_str(),
+                "-b",
+                "10m",
+                "-a",
+                "heuristics",
+                "--jobs",
+                jobs,
+                "--journal",
+                jp.as_str(),
+            ];
+            args.extend_from_slice(extra);
+            let out = recommend(&s(&args)).unwrap();
+            (out, std::fs::read_to_string(&jpath).unwrap())
+        };
+        let (out1, j1) = run("1", "clean", &[]);
+        assert!(out1.contains("journal:"), "{out1}");
+        let events = xia_obs::EventJournal::parse_jsonl(&j1).unwrap();
+        assert!(!events.is_empty(), "journal must record the run");
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, xia_obs::Event::KnapsackDecision { .. })),
+            "journal must record search decisions"
+        );
+        for jobs in ["4", "8"] {
+            let (_, j) = run(jobs, "clean", &[]);
+            assert_eq!(j1, j, "clean journal diverged at --jobs {jobs}");
+        }
+        let faults = ["--inject", "optimizer-cost:0.3", "--fault-seed", "11"];
+        let (_, f1) = run("1", "faulty", &faults);
+        for jobs in ["4", "8"] {
+            let (_, f) = run(jobs, "faulty", &faults);
+            assert_eq!(f1, f, "faulty journal diverged at --jobs {jobs}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_why_replays_the_derivation_chain() {
+        let dir = tmpdir().join("explain_why");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        // Pull a recommended pattern out of a normal run first.
+        let rec = recommend(&s(&[&db, "-w", &wl, "-b", "10m", "-a", "heuristics"])).unwrap();
+        let pattern = rec
+            .lines()
+            .find_map(|l| {
+                let (_, rest) = l.split_once("PATTERN '")?;
+                rest.split_once('\'').map(|(p, _)| p.to_string())
+            })
+            .expect("a recommended index");
+        let out = explain(&s(&[
+            &db,
+            "-w",
+            &wl,
+            "-b",
+            "10m",
+            "-a",
+            "heuristics",
+            "--why",
+            &pattern,
+        ]))
+        .unwrap();
+        assert!(out.contains(&format!("--- why {pattern} ---")), "{out}");
+        assert!(out.contains("final decision: KEPT"), "{out}");
+        assert!(
+            out.contains("candidate") || out.contains("generalized from"),
+            "{out}"
+        );
+        // Unknown patterns still print a definitive (empty-chain) answer.
+        let out = explain(&s(&[&db, "-w", &wl, "-b", "10m", "--why", "/No/Such"])).unwrap();
+        assert!(out.contains("no journal events"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -161,14 +161,17 @@ USAGE:
   xia stats     <db>                           print collection and path statistics
   xia explain   <db> <statement>               show the best plan and its cost
   xia explain   <db> -w <workload-file> -b <budget-bytes> [-a <algo>]
-                                             advisor breakdown: phase timings,
-                                             counters, per-statement what-if costs
+                [--why <index-pattern>]      advisor breakdown: phase timings,
+                                             counters, per-statement what-if costs;
+                                             --why replays the decision journal for
+                                             one pattern's derivation chain
   xia exec      <db> <statement>               execute a query statement
   xia recommend <db> -w <workload-file> -b <budget-bytes>
                 [-a greedy|heuristics|topdown-lite|topdown-full|dp]
                 [--apply] [--report] [--trace[=json|text]] [--strict]
-                [--what-if-budget <calls>] [--jobs <n>] [--no-prune]
-                [--no-fastpath] [--inject <site>:<rate>] [--fault-seed <n>]
+                [--journal <path>] [--what-if-budget <calls>] [--jobs <n>]
+                [--no-prune] [--no-fastpath] [--inject <site>:<rate>]
+                [--fault-seed <n>]
   xia whatif    <db> -w <workload-file> -i <coll>:<pattern>:<string|numerical> ...
                                              price a hand-written configuration
   xia indexes   <db>                           list physical indexes
@@ -176,6 +179,11 @@ USAGE:
 Workload files: statements separated by blank lines; '#'/'--' comment lines.
 Statements that fail to parse are quarantined (reported, then skipped) by
 `recommend`; other commands reject them.
+
+--journal <path> writes the advisor's decision-provenance journal as
+JSONL (one event per line: candidate generation, generalizations, prunes,
+what-if evaluations, knapsack decisions). All events are emitted on the
+coordinator, so the file is byte-identical for every --jobs value.
 
 --jobs (or -j) sets the what-if worker-thread count for benefit
 evaluation (0 = one per core; default 1, or the XIA_JOBS environment

@@ -8,7 +8,7 @@ use crate::generalize::{generalize_set_fast, generalize_set_naive};
 use crate::search;
 use std::time::{Duration, Instant};
 use xia_fault::FaultInjector;
-use xia_obs::{Counter, Telemetry};
+use xia_obs::{Counter, Event, EventJournal, Telemetry};
 use xia_storage::Database;
 use xia_workloads::Workload;
 use xia_xpath::ValueKind;
@@ -92,6 +92,12 @@ pub struct AdvisorParams {
     /// recommendations are byte-identical either way — off exists for the
     /// A/B parity check and the E12 ablation. On by default.
     pub fastpath: bool,
+    /// Decision-provenance journal (`--journal`, `explain --why`). Unlike
+    /// telemetry, journaling is *opt-in*: the default handle is disabled,
+    /// so event payloads are never even constructed. All emission sites
+    /// run on the coordinator thread in deterministic order, so the JSONL
+    /// export is byte-identical for every `jobs` value.
+    pub journal: EventJournal,
 }
 
 impl AdvisorParams {
@@ -126,6 +132,7 @@ impl Default for AdvisorParams {
             jobs: Self::default_jobs(),
             prune: true,
             fastpath: true,
+            journal: EventJournal::off(),
         }
     }
 }
@@ -235,13 +242,23 @@ impl Advisor {
             enumerate_candidates_traced(db, workload, t)
         };
         t.add(Counter::CandidatesEnumerated, set.len() as u64);
+        if params.journal.is_enabled() {
+            for c in set.iter() {
+                params.journal.emit(|| Event::CandidateGenerated {
+                    collection: c.collection.clone(),
+                    pattern: c.pattern.to_string(),
+                    kind: c.kind.to_string(),
+                    origin: "basic".to_string(),
+                });
+            }
+        }
         if params.generalize {
             let created = {
                 let _generalize = t.span("generalize");
                 if params.fastpath {
-                    generalize_set_fast(&mut set, t)
+                    generalize_set_fast(&mut set, t, &params.journal)
                 } else {
-                    generalize_set_naive(&mut set, t)
+                    generalize_set_naive(&mut set, t, &params.journal)
                 }
             };
             t.add(Counter::CandidatesGeneralized, created.len() as u64);
@@ -404,6 +421,17 @@ impl Advisor {
         let general_count = indexes.iter().filter(|i| i.general).count();
         let specific_count = indexes.len() - general_count;
         let total_size = set.config_size(&config);
+        // The authoritative admission record: every index in the final
+        // configuration gets a KEPT decision with the configuration-level
+        // benefit, whatever the search algorithm recorded along the way.
+        for ix in &indexes {
+            ev.journal().emit(|| Event::KnapsackDecision {
+                pattern: ix.pattern.clone(),
+                kept: true,
+                benefit: est_benefit,
+                size: ix.size,
+            });
+        }
         Recommendation {
             config,
             indexes,

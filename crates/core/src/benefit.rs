@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
 use std::time::{Duration, Instant};
 use xia_fault::FaultInjector;
-use xia_obs::{Counter, Telemetry};
+use xia_obs::{Counter, Event, EventJournal, Hist, Telemetry};
 use xia_optimizer::{maintenance, Optimizer};
 use xia_storage::{CatalogOverlay, Database, IndexStats};
 use xia_workloads::Workload;
@@ -214,6 +214,7 @@ where
                     telemetry.add(c, count);
                 }
             }
+            telemetry.merge_hists_from(&scratch);
         }
     });
     out.into_iter()
@@ -332,6 +333,11 @@ pub struct BenefitEvaluator<'a> {
     quarantined: Vec<StatementIssue>,
     /// Benefit evaluations answered heuristically (fault or budget).
     fallbacks: u64,
+    /// Decision-provenance journal. All emissions happen coordinator-side
+    /// (planning and merge phases), so the event stream is jobs-invariant.
+    journal: EventJournal,
+    /// `BudgetExhausted` is emitted once, at the first fallback planning.
+    budget_event_emitted: bool,
 }
 
 impl<'a> BenefitEvaluator<'a> {
@@ -365,6 +371,7 @@ impl<'a> BenefitEvaluator<'a> {
             &params.telemetry,
             params.effective_jobs(),
             params.fastpath,
+            &params.journal,
         );
         ev.prune = params.prune;
         ev
@@ -391,6 +398,7 @@ impl<'a> BenefitEvaluator<'a> {
             &Telemetry::off(),
             1,
             true,
+            &EventJournal::off(),
         )
     }
 
@@ -404,6 +412,7 @@ impl<'a> BenefitEvaluator<'a> {
         telemetry: &Telemetry,
         jobs: usize,
         fastpath: bool,
+        journal: &EventJournal,
     ) -> Self {
         // Setup is the only phase that mutates the database: attach the
         // sinks, refresh statistics, and clear stale virtual indexes. From
@@ -480,6 +489,8 @@ impl<'a> BenefitEvaluator<'a> {
             active: vec![true; workload.len()],
             quarantined: Vec::new(),
             fallbacks: 0,
+            journal: journal.clone(),
+            budget_event_emitted: false,
         };
         ev.compute_baselines();
         ev
@@ -530,7 +541,12 @@ impl<'a> BenefitEvaluator<'a> {
             let mut optimizer = Optimizer::with_view(collection, stats, catalog.view());
             optimizer.set_telemetry(tel);
             optimizer.set_faults(&faults.derive_stream(salt));
-            optimizer.try_optimize(stmt).ok().map(|p| p.total_cost)
+            let t0 = tel.is_enabled().then(Instant::now);
+            let cost = optimizer.try_optimize(stmt).ok().map(|p| p.total_cost);
+            if let Some(t0) = t0 {
+                tel.record(Hist::WhatIfCall, t0.elapsed());
+            }
+            cost
         });
         for (si, (plan, result)) in plans.iter().zip(results).enumerate() {
             self.baseline[si] = match (plan, result) {
@@ -541,6 +557,12 @@ impl<'a> BenefitEvaluator<'a> {
                     cost
                 }
                 (kind, _) => {
+                    // An optimizer failure here is an injected fault — the
+                    // collection and its statistics were resolvable at
+                    // planning time.
+                    if matches!(kind, BasePlan::Cost { .. }) {
+                        self.journal.emit(|| Event::FaultInjected { statement: si });
+                    }
                     // The statement is costable in principle (the data is
                     // there); fall back to a heuristic scan estimate so the
                     // run can continue degraded.
@@ -626,6 +648,12 @@ impl<'a> BenefitEvaluator<'a> {
         &self.telemetry
     }
 
+    /// The attached decision-provenance journal (disabled unless one was
+    /// passed through [`crate::advisor::AdvisorParams::journal`]).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
     /// The shared containment-verdict cache (counters feed the
     /// `contain_cache_hits` / `contain_fast_rejects` telemetry).
     pub fn cover_cache(&self) -> &CoverCache {
@@ -636,11 +664,16 @@ impl<'a> BenefitEvaluator<'a> {
     /// fast path is on, the plain NFA search when it is off. The verdict
     /// is identical either way (pinned by the parity suite).
     pub fn covers(&self, general: &LinearPath, specific: &LinearPath) -> bool {
-        if self.fastpath {
+        let t0 = self.telemetry.is_enabled().then(Instant::now);
+        let verdict = if self.fastpath {
             self.cover_cache.covers(general, specific)
         } else {
             xia_xpath::contain::covers(general, specific)
+        };
+        if let Some(t0) = t0 {
+            self.telemetry.record(Hist::ContainCheck, t0.elapsed());
         }
+        verdict
     }
 
     /// Total baseline (no-index) workload cost.
@@ -733,15 +766,28 @@ impl<'a> BenefitEvaluator<'a> {
             Done(f64),
             Miss(usize),
         }
+        // Journal bookkeeping mirrors the slot list: each input key's
+        // member patterns plus whether it was served without a fresh
+        // costing (memo hit or in-batch duplicate).
+        let journal_on = self.journal.is_enabled();
+        let mut journal_slots: Vec<(Vec<String>, bool)> = Vec::new();
         let mut slots: Vec<Slot> = Vec::with_capacity(keys.len());
         let mut misses: Vec<Vec<CandId>> = Vec::new();
         for key in keys {
             debug_assert!(key.windows(2).all(|w| w[0] < w[1]), "canonical keys");
+            let patterns: Vec<String> = if journal_on {
+                key.iter()
+                    .map(|&id| self.set.get(id).pattern.to_string())
+                    .collect()
+            } else {
+                Vec::new()
+            };
             if self.use_cache {
                 if let Some(v) = self.cache.get(&key) {
                     self.stats.cache_hits += 1;
                     self.telemetry.incr(Counter::BenefitCacheHits);
                     slots.push(Slot::Done(v));
+                    journal_slots.push((patterns, true));
                     continue;
                 }
             }
@@ -757,6 +803,7 @@ impl<'a> BenefitEvaluator<'a> {
                     self.telemetry.incr(Counter::BenefitCacheHits);
                 }
                 slots.push(Slot::Miss(i));
+                journal_slots.push((patterns, true));
                 continue;
             }
             if self.use_cache {
@@ -764,16 +811,19 @@ impl<'a> BenefitEvaluator<'a> {
                 self.telemetry.incr(Counter::BenefitCacheMisses);
             }
             slots.push(Slot::Miss(misses.len()));
+            journal_slots.push((patterns, false));
             misses.push(key);
         }
         if misses.is_empty() {
-            return slots
+            let out: Vec<f64> = slots
                 .into_iter()
                 .map(|s| match s {
                     Slot::Done(v) => v,
                     Slot::Miss(_) => 0.0,
                 })
                 .collect();
+            self.emit_what_if_events(&journal_slots, &out);
+            return out;
         }
 
         // Phase 2 (coordinator): plan per-statement tasks. Statement-cache
@@ -818,7 +868,14 @@ impl<'a> BenefitEvaluator<'a> {
                         },
                         Some(proj),
                     ),
-                    None if exhausted => (TaskKind::BudgetFallback, None),
+                    None if exhausted => {
+                        if !self.budget_event_emitted {
+                            self.budget_event_emitted = true;
+                            let charged = self.charged;
+                            self.journal.emit(|| Event::BudgetExhausted { charged });
+                        }
+                        (TaskKind::BudgetFallback, None)
+                    }
                     None => {
                         let coll = self.workload.entries()[si].statement.collection();
                         if self.db.parts(coll).is_none() {
@@ -884,7 +941,12 @@ impl<'a> BenefitEvaluator<'a> {
             let mut optimizer = Optimizer::with_view(collection, stats, view);
             optimizer.set_telemetry(tel);
             optimizer.set_faults(&faults.derive_stream(salt));
-            optimizer.try_optimize(stmt).ok().map(|p| p.total_cost)
+            let t0 = tel.is_enabled().then(Instant::now);
+            let cost = optimizer.try_optimize(stmt).ok().map(|p| p.total_cost);
+            if let Some(t0) = t0 {
+                tel.record(Hist::WhatIfCall, t0.elapsed());
+            }
+            cost
         });
 
         // Phase 5 (coordinator): merge in task order — the floating-point
@@ -913,6 +975,10 @@ impl<'a> BenefitEvaluator<'a> {
                     // candidates still rank by affected baseline mass.
                     if matches!(kind, TaskKind::Optimize { .. }) {
                         self.stats.optimizer_calls += 1;
+                        // A planned optimizer call that came back empty is
+                        // an injected (or real) optimizer failure.
+                        let si = task.si;
+                        self.journal.emit(|| Event::FaultInjected { statement: si });
                     }
                     if matches!(kind, TaskKind::BudgetFallback) {
                         self.telemetry.incr(Counter::WhatIfBudgetExhausted);
@@ -939,13 +1005,32 @@ impl<'a> BenefitEvaluator<'a> {
                 }
             }
         }
-        slots
+        let out: Vec<f64> = slots
             .into_iter()
             .map(|s| match s {
                 Slot::Done(v) => v,
                 Slot::Miss(i) => totals[i],
             })
-            .collect()
+            .collect();
+        self.emit_what_if_events(&journal_slots, &out);
+        out
+    }
+
+    /// Emits one `WhatIfEvaluated` event per input slot, in slot order,
+    /// pairing each configuration with its final query-side benefit. Runs
+    /// on the coordinator after the merge, so the journal stream is
+    /// identical regardless of worker count.
+    fn emit_what_if_events(&self, journal_slots: &[(Vec<String>, bool)], values: &[f64]) {
+        if !self.journal.is_enabled() {
+            return;
+        }
+        for ((config, cache_hit), &cost) in journal_slots.iter().zip(values) {
+            self.journal.emit(|| Event::WhatIfEvaluated {
+                config: config.clone(),
+                cost,
+                cache_hit: *cache_hit,
+            });
+        }
     }
 
     /// Benefit of a configuration per the paper's formula. The

@@ -39,7 +39,7 @@
 
 use crate::candidate::{CandId, CandOrigin, CandidateSet};
 use std::collections::{HashMap, HashSet};
-use xia_obs::{Counter, Telemetry};
+use xia_obs::{Counter, Event, EventJournal, Telemetry};
 use xia_xpath::{contain, Axis, LinearPath, LinearStep, NameTest, ValueKind};
 
 /// `genAxis` from Algorithm 1: descendant if either input is descendant.
@@ -151,7 +151,7 @@ fn find_occurrence(steps: &[LinearStep], from: usize, test: NameTest) -> Option<
 /// candidates and recording DAG edges `generalized → generalized-from`.
 /// Uncounted convenience wrapper over [`generalize_set_naive`].
 pub fn generalize_set(set: &mut CandidateSet) -> Vec<CandId> {
-    generalize_set_naive(set, &Telemetry::off())
+    generalize_set_naive(set, &Telemetry::off(), &EventJournal::off())
 }
 
 /// The literal Algorithm 1 fixpoint: each round visits every ordered
@@ -165,7 +165,11 @@ pub fn generalize_set(set: &mut CandidateSet) -> Vec<CandId> {
 /// to cover both inputs (a safety net around the rule engine).
 ///
 /// Returns the ids of the newly created generalized candidates.
-pub fn generalize_set_naive(set: &mut CandidateSet, t: &Telemetry) -> Vec<CandId> {
+pub fn generalize_set_naive(
+    set: &mut CandidateSet,
+    t: &Telemetry,
+    j: &EventJournal,
+) -> Vec<CandId> {
     let mut created = Vec::new();
     let mut frontier: Vec<CandId> = set.ids().collect();
     let mut all: Vec<CandId> = frontier.clone();
@@ -191,7 +195,7 @@ pub fn generalize_set_naive(set: &mut CandidateSet, t: &Telemetry) -> Vec<CandId
                     ca.kind,
                 );
                 let results = generalize_pair(&pa, &pb);
-                apply_pair_results(set, &results, a, b, &pa, &pb, &coll, kind, |gid| {
+                apply_pair_results(set, &results, a, b, &pa, &pb, &coll, kind, j, |gid| {
                     new_ids.push(gid);
                     created.push(gid);
                 });
@@ -227,7 +231,7 @@ pub fn generalize_set_naive(set: &mut CandidateSet, t: &Telemetry) -> Vec<CandId
 /// Buckets are extended with the round's new candidates only after the
 /// round completes, mirroring the naive loop's round-start snapshot of
 /// `all`.
-pub fn generalize_set_fast(set: &mut CandidateSet, t: &Telemetry) -> Vec<CandId> {
+pub fn generalize_set_fast(set: &mut CandidateSet, t: &Telemetry, j: &EventJournal) -> Vec<CandId> {
     let mut created = Vec::new();
     let mut frontier: Vec<CandId> = set.ids().collect();
     let mut buckets: HashMap<(String, ValueKind), Vec<CandId>> = HashMap::new();
@@ -292,13 +296,13 @@ pub fn generalize_set_fast(set: &mut CandidateSet, t: &Telemetry) -> Vec<CandId>
                 };
                 if let Some(results) = cached {
                     t.incr(Counter::PairsMemoHits);
-                    apply_pair_results(set, results, a, b, &pa, &pb, &coll, kind, |gid| {
+                    apply_pair_results(set, results, a, b, &pa, &pb, &coll, kind, j, |gid| {
                         new_ids.push(gid);
                         created.push(gid);
                     });
                 } else {
                     let r = generalize_pair(&pa, &pb);
-                    apply_pair_results(set, &r, a, b, &pa, &pb, &coll, kind, |gid| {
+                    apply_pair_results(set, &r, a, b, &pa, &pb, &coll, kind, j, |gid| {
                         new_ids.push(gid);
                         created.push(gid);
                     });
@@ -324,7 +328,8 @@ pub fn generalize_set_fast(set: &mut CandidateSet, t: &Telemetry) -> Vec<CandId>
 /// Applies one visited pair's generalization results to the set — the loop
 /// body shared verbatim by both fixpoints, so their per-pair effects cannot
 /// drift apart. `on_new` fires for results whose pattern was not in the set
-/// before this call.
+/// before this call; the journal records that first derivation only, so
+/// fast and naive runs emit identical event streams.
 #[allow(clippy::too_many_arguments)]
 fn apply_pair_results(
     set: &mut CandidateSet,
@@ -335,6 +340,7 @@ fn apply_pair_results(
     pb: &LinearPath,
     coll: &str,
     kind: ValueKind,
+    j: &EventJournal,
     mut on_new: impl FnMut(CandId),
 ) {
     for g in results {
@@ -354,6 +360,18 @@ fn apply_pair_results(
         set.add_edge(gid, a);
         set.add_edge(gid, b);
         if existing.is_none() {
+            j.emit(|| Event::PairGeneralized {
+                collection: coll.to_string(),
+                left: pa.to_string(),
+                right: pb.to_string(),
+                result: g.to_string(),
+            });
+            j.emit(|| Event::CandidateGenerated {
+                collection: coll.to_string(),
+                pattern: g.to_string(),
+                kind: kind.to_string(),
+                origin: "generalized".to_string(),
+            });
             on_new(gid);
         }
     }
@@ -609,9 +627,16 @@ mod tests {
         };
         let mut naive_set = build();
         let mut fast_set = build();
-        let naive_created = generalize_set_naive(&mut naive_set, &Telemetry::off());
+        let naive_journal = EventJournal::new();
+        let naive_created = generalize_set_naive(&mut naive_set, &Telemetry::off(), &naive_journal);
         let t = Telemetry::new();
-        let fast_created = generalize_set_fast(&mut fast_set, &t);
+        let fast_journal = EventJournal::new();
+        let fast_created = generalize_set_fast(&mut fast_set, &t, &fast_journal);
+        assert_eq!(
+            naive_journal.to_jsonl(),
+            fast_journal.to_jsonl(),
+            "journal streams diverge"
+        );
         assert_eq!(naive_created, fast_created, "created ids diverge");
         assert_eq!(naive_set.len(), fast_set.len(), "set sizes diverge");
         for (n, f) in naive_set.iter().zip(fast_set.iter()) {
@@ -707,9 +732,9 @@ mod tests {
             set
         };
         let tn = Telemetry::new();
-        generalize_set_naive(&mut build(), &tn);
+        generalize_set_naive(&mut build(), &tn, &EventJournal::off());
         let tf = Telemetry::new();
-        generalize_set_fast(&mut build(), &tf);
+        generalize_set_fast(&mut build(), &tf, &EventJournal::off());
         let naive_visits = tn.get(Counter::GeneralizePairsVisited);
         let fast_visits = tf.get(Counter::GeneralizePairsVisited);
         assert!(naive_visits > 0 && fast_visits > 0);

@@ -5,6 +5,7 @@ use super::{by_density, standalone_benefits};
 use crate::benefit::BenefitEvaluator;
 use crate::candidate::CandId;
 use std::collections::HashSet;
+use xia_obs::{Event, PruneReason};
 
 /// Plain greedy search, as in relational index advisors: rank candidates
 /// by standalone benefit density and take them in order while they fit.
@@ -12,6 +13,7 @@ use std::collections::HashSet;
 /// redundant indexes (its Fig. 2 greedy line).
 pub fn greedy(ev: &mut BenefitEvaluator<'_>, candidates: &[CandId], budget: u64) -> Vec<CandId> {
     let telemetry = ev.telemetry().clone();
+    let journal = ev.journal().clone();
     let benefits = standalone_benefits(ev, candidates);
     let order = by_density(ev, &benefits, candidates);
     let mut chosen = Vec::new();
@@ -24,10 +26,19 @@ pub fn greedy(ev: &mut BenefitEvaluator<'_>, candidates: &[CandId], budget: u64)
         let size = ev.candidates().get(id).size;
         // checked_add: a corrupt size from a lenient load must not wrap
         // the accumulator and admit an oversized index.
-        if let Some(next_used) = used.checked_add(size).filter(|&t| t <= budget) {
+        let kept = if let Some(next_used) = used.checked_add(size).filter(|&t| t <= budget) {
             chosen.push(id);
             used = next_used;
-        }
+            true
+        } else {
+            false
+        };
+        journal.emit(|| Event::KnapsackDecision {
+            pattern: ev.candidates().get(id).pattern.to_string(),
+            kept,
+            benefit: benefits[&id],
+            size,
+        });
     }
     chosen
 }
@@ -48,6 +59,7 @@ pub fn greedy_heuristics(
     beta: f64,
 ) -> Vec<CandId> {
     let telemetry = ev.telemetry().clone();
+    let journal = ev.journal().clone();
     let benefits = standalone_benefits(ev, candidates);
     let order = by_density(ev, &benefits, candidates);
 
@@ -78,6 +90,10 @@ pub fn greedy_heuristics(
             // workload pattern is a pure replication.
             if !covered_basics.is_empty() && covered_basics.iter().all(|b| covered.contains(b)) {
                 telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
+                journal.emit(|| Event::CandidatePruned {
+                    pattern: ev.candidates().get(id).pattern.to_string(),
+                    reason: PruneReason::CoverageRedundant,
+                });
                 continue;
             }
             // Heuristic 2: bounded size expansion over the specifics.
@@ -87,6 +103,10 @@ pub fn greedy_heuristics(
                 .fold(0u64, u64::saturating_add);
             if spec_size > 0 && size as f64 > (1.0 + beta) * spec_size as f64 {
                 telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
+                journal.emit(|| Event::CandidatePruned {
+                    pattern: ev.candidates().get(id).pattern.to_string(),
+                    reason: PruneReason::SizeRule,
+                });
                 continue;
             }
             // Heuristic 1: the general index must be at least as good as
@@ -104,9 +124,20 @@ pub fn greedy_heuristics(
             let ib_specifics = ev.benefit(&with_specifics);
             if ib_general < ib_specifics {
                 telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
+                journal.emit(|| Event::CandidatePruned {
+                    pattern: ev.candidates().get(id).pattern.to_string(),
+                    reason: PruneReason::BenefitGate,
+                });
                 continue;
             }
-            if ib_general > chosen_benefit {
+            let kept = ib_general > chosen_benefit;
+            journal.emit(|| Event::KnapsackDecision {
+                pattern: ev.candidates().get(id).pattern.to_string(),
+                kept,
+                benefit: ib_general,
+                size,
+            });
+            if kept {
                 chosen = with_general;
                 chosen_benefit = ib_general;
                 used = next_used;
@@ -116,12 +147,23 @@ pub fn greedy_heuristics(
             // Basic candidate: admit if the whole configuration improves.
             if covered.contains(&id) {
                 telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
+                journal.emit(|| Event::CandidatePruned {
+                    pattern: ev.candidates().get(id).pattern.to_string(),
+                    reason: PruneReason::CoverageRedundant,
+                });
                 continue; // its pattern is already served by a chosen index
             }
             let mut with = chosen.clone();
             with.push(id);
             let ib = ev.benefit_delta(&chosen, id);
-            if ib > chosen_benefit {
+            let kept = ib > chosen_benefit;
+            journal.emit(|| Event::KnapsackDecision {
+                pattern: ev.candidates().get(id).pattern.to_string(),
+                kept,
+                benefit: ib,
+                size,
+            });
+            if kept {
                 chosen = with;
                 chosen_benefit = ib;
                 used = next_used;
@@ -139,6 +181,14 @@ pub fn greedy_heuristics(
         let in_use = ev.used_candidates(&chosen);
         if in_use.len() == chosen.len() {
             break;
+        }
+        for &id in &chosen {
+            if !in_use.contains(&id) {
+                journal.emit(|| Event::CandidatePruned {
+                    pattern: ev.candidates().get(id).pattern.to_string(),
+                    reason: PruneReason::NotUsedInPlan,
+                });
+            }
         }
         chosen.retain(|id| in_use.contains(id));
         chosen_benefit = ev.benefit(&chosen);
@@ -159,12 +209,20 @@ pub fn greedy_heuristics(
                 let cb = basics_covered_by(ev, id, &basics);
                 if !cb.is_empty() && cb.iter().all(|b| covered.contains(b)) {
                     telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
+                    journal.emit(|| Event::CandidatePruned {
+                        pattern: ev.candidates().get(id).pattern.to_string(),
+                        reason: PruneReason::CoverageRedundant,
+                    });
                     continue;
                 }
                 cb
             } else {
                 if covered.contains(&id) {
                     telemetry.incr(xia_obs::Counter::CandidatesPrunedHeuristic);
+                    journal.emit(|| Event::CandidatePruned {
+                        pattern: ev.candidates().get(id).pattern.to_string(),
+                        reason: PruneReason::CoverageRedundant,
+                    });
                     continue;
                 }
                 Vec::new()
@@ -172,7 +230,14 @@ pub fn greedy_heuristics(
             let mut with = chosen.clone();
             with.push(id);
             let ib = ev.benefit_delta(&chosen, id);
-            if ib > chosen_benefit {
+            let kept = ib > chosen_benefit;
+            journal.emit(|| Event::KnapsackDecision {
+                pattern: ev.candidates().get(id).pattern.to_string(),
+                kept,
+                benefit: ib,
+                size,
+            });
+            if kept {
                 chosen = with;
                 chosen_benefit = ib;
                 used = next_used;
@@ -187,6 +252,14 @@ pub fn greedy_heuristics(
         if !grew {
             // Converged: one more prune below (loop) or done.
             let in_use = ev.used_candidates(&chosen);
+            for &id in &chosen {
+                if !in_use.contains(&id) {
+                    journal.emit(|| Event::CandidatePruned {
+                        pattern: ev.candidates().get(id).pattern.to_string(),
+                        reason: PruneReason::NotUsedInPlan,
+                    });
+                }
+            }
             chosen.retain(|id| in_use.contains(id));
             break;
         }

@@ -13,6 +13,7 @@ use super::{by_density, standalone_benefits};
 use crate::benefit::BenefitEvaluator;
 use crate::candidate::CandId;
 use std::collections::HashMap;
+use xia_obs::{Event, PruneReason};
 
 /// Top-down search. `full` selects the interaction-aware variant.
 pub fn top_down(
@@ -69,6 +70,10 @@ pub fn top_down(
             break;
         };
         ev.telemetry().incr(xia_obs::Counter::TopDownExpansions);
+        ev.journal().emit(|| Event::CandidatePruned {
+            pattern: ev.candidates().get(victim).pattern.to_string(),
+            reason: PruneReason::Replaced,
+        });
         let children: Vec<CandId> = ev
             .candidates()
             .get(victim)

@@ -389,3 +389,170 @@ fn repeated_runs_at_same_jobs_are_identical() {
         assert_eq!(a, b, "jobs={jobs} not reproducible run-to-run");
     }
 }
+
+// ---------------------------------------------------------------------
+// Observability surfaces: the decision journal is emitted entirely on
+// the coordinator, so its JSONL export must be byte-identical across
+// worker counts and across the fast/naive generalization paths. Trace
+// reports contain wall-clock timings; with those masked, the remaining
+// structure (counters, span tree, latency sample counts) must be
+// byte-identical across worker counts too.
+
+/// One full advisor run with the journal enabled; returns the journal
+/// JSONL and the time-masked trace-report JSON.
+fn run_observed(jobs: usize, make_params: impl Fn() -> AdvisorParams) -> (String, String) {
+    let mut db = Database::new();
+    let cfg = TpoxConfig::tiny();
+    tpox::generate(&mut db, &cfg);
+    let w = Workload::from_texts(tpox::queries(&cfg).iter().map(|s| s.as_str())).unwrap();
+    let params = AdvisorParams {
+        jobs,
+        telemetry: Telemetry::new(),
+        journal: xia_obs::EventJournal::new(),
+        ..make_params()
+    };
+    let rec = Advisor::recommend(
+        &mut db,
+        &w,
+        u64::MAX / 2,
+        SearchAlgorithm::GreedyHeuristics,
+        &params,
+    )
+    .expect("advise");
+    assert!(!rec.config.is_empty());
+    let mut report = params.telemetry.report();
+    mask_report(&mut report);
+    (params.journal.to_jsonl(), report.to_json())
+}
+
+/// Zeroes every wall-clock-derived field, keeping structure and sample
+/// counts (which are jobs-invariant) intact.
+fn mask_report(r: &mut xia_obs::TraceReport) {
+    for p in &mut r.phases {
+        mask_span(p);
+    }
+    for (_, s) in &mut r.latencies {
+        mask_summary(s);
+    }
+}
+
+fn mask_span(s: &mut xia_obs::SpanSnapshot) {
+    s.micros = 0;
+    mask_summary(&mut s.latency);
+    for c in &mut s.children {
+        mask_span(c);
+    }
+}
+
+fn mask_summary(s: &mut xia_obs::HistSummary) {
+    s.p50_ns = 0;
+    s.p95_ns = 0;
+    s.p99_ns = 0;
+    s.max_ns = 0;
+}
+
+#[test]
+fn journal_jsonl_is_byte_identical_across_jobs() {
+    let (j1, _) = run_observed(1, AdvisorParams::default);
+    assert!(!j1.is_empty(), "journal must record the run");
+    for &jobs in &JOBS[1..] {
+        let (j, _) = run_observed(jobs, AdvisorParams::default);
+        assert_eq!(j1, j, "clean journal diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn journal_jsonl_is_byte_identical_across_jobs_under_faults() {
+    let faulty = || AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::OptimizerCost, 0.3),
+        ..AdvisorParams::default()
+    };
+    let (j1, _) = run_observed(1, faulty);
+    assert!(
+        j1.contains("fault_injected"),
+        "a 0.3 optimizer-cost fault rate must surface in the journal"
+    );
+    for &jobs in &JOBS[1..] {
+        let (j, _) = run_observed(jobs, faulty);
+        assert_eq!(j1, j, "faulty journal diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn journal_jsonl_is_byte_identical_across_jobs_under_exhausted_budget() {
+    let tight = || AdvisorParams {
+        what_if_budget: WhatIfBudget::calls(4),
+        ..AdvisorParams::default()
+    };
+    let (j1, _) = run_observed(1, tight);
+    assert!(
+        j1.contains("budget_exhausted"),
+        "a 4-call budget must trip and be journaled"
+    );
+    for &jobs in &JOBS[1..] {
+        let (j, _) = run_observed(jobs, tight);
+        assert_eq!(j1, j, "budget-exhausted journal diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn journal_jsonl_is_identical_fastpath_vs_naive() {
+    let (fast, _) = run_observed(1, || AdvisorParams {
+        fastpath: true,
+        ..AdvisorParams::default()
+    });
+    let (naive, _) = run_observed(1, || AdvisorParams {
+        fastpath: false,
+        ..AdvisorParams::default()
+    });
+    assert_eq!(
+        fast, naive,
+        "fast-path and naive generalization must derive the same events"
+    );
+}
+
+#[test]
+fn masked_trace_report_is_byte_identical_across_jobs() {
+    let (_, r1) = run_observed(1, AdvisorParams::default);
+    assert!(
+        r1.contains("what_if_call"),
+        "latency section missing from the report: {r1}"
+    );
+    for &jobs in &JOBS[1..] {
+        let (_, r) = run_observed(jobs, AdvisorParams::default);
+        assert_eq!(r1, r, "masked trace report diverged at jobs={jobs}");
+    }
+    let faulty = || AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::OptimizerCost, 0.3),
+        ..AdvisorParams::default()
+    };
+    let (_, f1) = run_observed(1, faulty);
+    for &jobs in &JOBS[1..] {
+        let (_, f) = run_observed(jobs, faulty);
+        assert_eq!(f1, f, "masked faulty trace report diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn journal_round_trips_through_jsonl() {
+    let mut db = Database::new();
+    let cfg = TpoxConfig::tiny();
+    tpox::generate(&mut db, &cfg);
+    let w = Workload::from_texts(tpox::queries(&cfg).iter().map(|s| s.as_str())).unwrap();
+    let params = AdvisorParams {
+        journal: xia_obs::EventJournal::new(),
+        ..AdvisorParams::default()
+    };
+    Advisor::recommend(
+        &mut db,
+        &w,
+        u64::MAX / 2,
+        SearchAlgorithm::TopDownFull,
+        &params,
+    )
+    .expect("advise");
+    let events = params.journal.events();
+    assert!(!events.is_empty());
+    let parsed = xia_obs::EventJournal::parse_jsonl(&params.journal.to_jsonl()).expect("parse");
+    assert_eq!(events, parsed, "JSONL round-trip must preserve the stream");
+}

@@ -1,0 +1,134 @@
+//! Provenance acceptance: for every search algorithm, every recommended
+//! index's derivation chain must be fully reconstructible from the
+//! decision journal — a generation event (enumeration or generalization)
+//! plus a final KEPT knapsack decision — on the paper's Table I/III
+//! running example.
+
+use xia_advisor::{Advisor, AdvisorParams, SearchAlgorithm};
+use xia_obs::{provenance, EventJournal};
+use xia_storage::Database;
+use xia_workloads::Workload;
+
+/// TPoX-flavoured collection like the paper's running example.
+fn paper_db() -> Database {
+    let mut db = Database::new();
+    let c = db.create_collection("SDOC");
+    for i in 0..40 {
+        c.build_doc("Security", |b| {
+            b.leaf(
+                "Symbol",
+                if i == 0 {
+                    "BCIIPRC".to_string()
+                } else {
+                    format!("S{i}")
+                }
+                .as_str(),
+            );
+            b.leaf("Yield", 3.0 + (i % 5) as f64);
+            b.begin("SecInfo");
+            b.begin(if i % 2 == 0 { "StockInfo" } else { "FundInfo" });
+            b.leaf("Sector", if i % 4 == 0 { "Energy" } else { "Tech" });
+            b.end();
+            b.end();
+            b.leaf("Name", format!("N{i}").as_str());
+        });
+    }
+    db
+}
+
+/// The paper's two statements (Table I): Q1 yields candidate C1, Q2
+/// yields C2 and C3; generalization adds the Table III patterns.
+fn paper_workload() -> Workload {
+    Workload::from_texts([
+        r#"for $sec in SECURITY('SDOC')/Security
+           where $sec/Symbol = "BCIIPRC"
+           return $sec"#,
+        r#"for $sec in SECURITY('SDOC')/Security[Yield>4.5]
+           where $sec/SecInfo/*/Sector = "Energy"
+           return <Security>{$sec/Name}</Security>"#,
+    ])
+    .unwrap()
+}
+
+#[test]
+fn every_recommended_index_has_a_full_derivation_chain() {
+    for algo in [
+        SearchAlgorithm::Greedy,
+        SearchAlgorithm::GreedyHeuristics,
+        SearchAlgorithm::TopDownLite,
+        SearchAlgorithm::TopDownFull,
+        SearchAlgorithm::Dp,
+    ] {
+        let mut db = paper_db();
+        let w = paper_workload();
+        let params = AdvisorParams {
+            journal: EventJournal::new(),
+            ..AdvisorParams::default()
+        };
+        let rec = Advisor::recommend(&mut db, &w, u64::MAX / 2, algo, &params).expect("advise");
+        assert!(!rec.indexes.is_empty(), "{algo:?}: nothing recommended");
+        let events = params.journal.events();
+        for ix in &rec.indexes {
+            let d = provenance::derive(&events, &ix.pattern);
+            let text = provenance::explain_why(&events, &ix.pattern);
+            assert!(
+                d.origin.is_some(),
+                "{algo:?} {}: no generation event\n{text}",
+                ix.pattern
+            );
+            let (kept, _, size) = d
+                .final_decision()
+                .unwrap_or_else(|| panic!("{algo:?} {}: no knapsack decision", ix.pattern));
+            assert!(
+                kept,
+                "{algo:?} {}: final decision is not KEPT\n{text}",
+                ix.pattern
+            );
+            assert_eq!(size, ix.size, "{algo:?} {}: size mismatch", ix.pattern);
+            assert!(text.contains("final decision: KEPT"), "{text}");
+            if ix.general {
+                assert!(
+                    text.contains("generalized from"),
+                    "{algo:?} {}: general index missing its derivation\n{text}",
+                    ix.pattern
+                );
+            } else {
+                assert!(
+                    text.contains("basic candidate"),
+                    "{algo:?} {}: basic index missing its origin\n{text}",
+                    ix.pattern
+                );
+            }
+        }
+        // The chains survive an export/import cycle.
+        let reread = EventJournal::parse_jsonl(&params.journal.to_jsonl()).expect("parse");
+        for ix in &rec.indexes {
+            let d = provenance::derive(&reread, &ix.pattern);
+            assert_eq!(
+                d.final_decision().map(|(k, _, _)| k),
+                Some(true),
+                "{algo:?} {}: KEPT decision lost in JSONL round-trip",
+                ix.pattern
+            );
+        }
+    }
+}
+
+#[test]
+fn default_journal_stays_off_and_records_nothing() {
+    let mut db = paper_db();
+    let w = paper_workload();
+    let params = AdvisorParams::default();
+    let rec = Advisor::recommend(
+        &mut db,
+        &w,
+        u64::MAX / 2,
+        SearchAlgorithm::GreedyHeuristics,
+        &params,
+    )
+    .expect("advise");
+    assert!(!rec.indexes.is_empty());
+    assert!(!params.journal.is_enabled());
+    assert!(params.journal.is_empty());
+    assert!(params.journal.to_jsonl().is_empty());
+}

@@ -267,17 +267,32 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            // Surrogates are not produced by our emitter.
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| format!("invalid \\u{hex}"))?,
-                            );
+                            let code = self.hex4(self.pos + 1)?;
                             self.pos += 4;
+                            // Our emitter never writes surrogates (non-BMP
+                            // chars pass through as UTF-8), but external
+                            // tools escape them as `\uD800..\uDFFF` pairs.
+                            let scalar = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos + 1..self.pos + 3) != Some(&b"\\u"[..]) {
+                                    return Err(format!("lone high surrogate \\u{code:04x}"));
+                                }
+                                let low = self.hex4(self.pos + 3)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!(
+                                        "high surrogate \\u{code:04x} followed by \\u{low:04x}"
+                                    ));
+                                }
+                                self.pos += 6;
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else if (0xDC00..0xE000).contains(&code) {
+                                return Err(format!("lone low surrogate \\u{code:04x}"));
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| format!("invalid \\u{scalar:04x}"))?,
+                            );
                         }
                         other => return Err(format!("bad escape {other:?}")),
                     }
@@ -293,6 +308,16 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Four hex digits starting at byte `at`, as a code unit.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self.bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+        if !hex.iter().all(u8::is_ascii_hexdigit) {
+            return Err(format!("bad \\u escape `{}`", String::from_utf8_lossy(hex)));
+        }
+        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+        u32::from_str_radix(hex, 16).map_err(|e| e.to_string())
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -352,6 +377,62 @@ mod tests {
         let v = Json::Obj(vec![(nasty.to_string(), Json::Str(nasty.to_string()))]);
         let back = Json::parse(&v.render()).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parses_external_surrogate_pairs() {
+        // External emitters escape non-BMP chars as surrogate pairs.
+        assert_eq!(
+            Json::parse(r#""\uD83D\uDE00""#).unwrap(),
+            Json::Str("😀".into())
+        );
+        assert_eq!(
+            Json::parse(r#""x\uD835\uDD4Ay""#).unwrap(),
+            Json::Str("x𝕊y".into())
+        );
+        // Literal UTF-8 still passes straight through.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+        // Lone or malformed surrogates are not scalar values.
+        assert!(Json::parse(r#""\uD83D""#).is_err());
+        assert!(Json::parse(r#""\uD83D!""#).is_err());
+        assert!(Json::parse(r#""\uDE00""#).is_err());
+        assert!(Json::parse(r#""\uD83D\uD83D""#).is_err());
+        assert!(Json::parse(r#""\uZZZZ""#).is_err());
+    }
+
+    #[test]
+    fn fuzz_round_trips_arbitrary_strings() {
+        // Deterministic xorshift64* driving a char-class mix heavy on the
+        // troublesome cases: quotes, backslashes, slashes (TPoX path
+        // labels), control chars, multi-byte UTF-8, and non-BMP scalars.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..500 {
+            let len = (next() % 24) as usize;
+            let s: String = (0..len)
+                .map(|_| match next() % 10 {
+                    0 => '"',
+                    1 => '\\',
+                    2 => '/',
+                    3 => char::from_u32((next() % 0x20) as u32).expect("control char"),
+                    4 => 'é',
+                    5 => '→',
+                    6 => '😀',
+                    7 => '\u{10FFFF}',
+                    _ => char::from_u32(b'a' as u32 + (next() % 26) as u32).expect("ascii"),
+                })
+                .collect();
+            let v = Json::Obj(vec![(s.clone(), Json::Str(s.clone()))]);
+            let text = v.render();
+            assert!(text.is_ascii() || std::str::from_utf8(text.as_bytes()).is_ok());
+            let back = Json::parse(&text).unwrap_or_else(|e| panic!("{e} for {text:?}"));
+            assert_eq!(back, v, "round-trip mismatch for {s:?}");
+        }
     }
 
     #[test]

@@ -24,23 +24,33 @@
 //! count), so hot loops produce bounded trees.
 
 mod counter;
+pub mod event;
+mod hist;
+pub mod journal;
 pub mod json;
+pub mod provenance;
 mod report;
+mod snapshot;
 mod span;
 
 pub use counter::Counter;
+pub use event::{Event, PruneReason};
+pub use hist::{Hist, HistSummary, LatencyHistogram};
+pub use journal::EventJournal;
 pub use report::{StatementTrace, TraceReport};
+pub use snapshot::MetricsSnapshot;
 pub use span::SpanSnapshot;
 
 use span::SpanStore;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[derive(Debug)]
 struct Inner {
     counters: [AtomicU64; Counter::COUNT],
     spans: Mutex<SpanStore>,
+    hists: [Mutex<LatencyHistogram>; Hist::COUNT],
 }
 
 /// Cheap handle to a shared telemetry sink. See the crate docs.
@@ -64,6 +74,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 counters: std::array::from_fn(|_| AtomicU64::new(0)),
                 spans: Mutex::new(SpanStore::default()),
+                hists: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
             })),
         }
     }
@@ -108,6 +119,68 @@ impl Telemetry {
                 c.store(0, Ordering::Relaxed);
             }
             inner.spans.lock().expect("span store poisoned").clear();
+            for h in &inner.hists {
+                *h.lock().expect("histogram poisoned") = LatencyHistogram::new();
+            }
+        }
+    }
+
+    /// Records one latency sample, in nanoseconds.
+    #[inline]
+    pub fn record_nanos(&self, hist: Hist, nanos: u64) {
+        if let Some(inner) = &self.inner {
+            inner.hists[hist.index()]
+                .lock()
+                .expect("histogram poisoned")
+                .record(nanos);
+        }
+    }
+
+    /// Records one latency sample from a [`Duration`].
+    #[inline]
+    pub fn record(&self, hist: Hist, elapsed: Duration) {
+        if self.inner.is_some() {
+            self.record_nanos(hist, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// A clone of a named histogram's current state (empty on a disabled
+    /// handle).
+    pub fn hist_snapshot(&self, hist: Hist) -> LatencyHistogram {
+        match &self.inner {
+            Some(inner) => inner.hists[hist.index()]
+                .lock()
+                .expect("histogram poisoned")
+                .clone(),
+            None => LatencyHistogram::new(),
+        }
+    }
+
+    /// Condensed summary of a named histogram.
+    pub fn hist_summary(&self, hist: Hist) -> HistSummary {
+        match &self.inner {
+            Some(inner) => inner.hists[hist.index()]
+                .lock()
+                .expect("histogram poisoned")
+                .summary(),
+            None => HistSummary::default(),
+        }
+    }
+
+    /// Folds another sink's histograms into this one (used by the what-if
+    /// worker merge; the fold is associative and commutative, so merge
+    /// order cannot change the result).
+    pub fn merge_hists_from(&self, other: &Telemetry) {
+        if let (Some(inner), Some(_)) = (&self.inner, &other.inner) {
+            for h in Hist::ALL {
+                let scratch = other.hist_snapshot(h);
+                if scratch.count() > 0 {
+                    inner.hists[h.index()]
+                        .lock()
+                        .expect("histogram poisoned")
+                        .merge_from(&scratch);
+                }
+            }
         }
     }
 
@@ -165,6 +238,10 @@ impl Telemetry {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
             phases: self.span_snapshots(),
+            latencies: Hist::ALL
+                .iter()
+                .map(|&h| (h.name().to_string(), self.hist_summary(h)))
+                .collect(),
             statements: Vec::new(),
         }
     }
@@ -273,6 +350,42 @@ mod tests {
         assert!(t.span_micros("evaluate") >= 3_000);
         assert!(t.span_micros("search") >= 3_000);
         assert_eq!(t.span_micros("missing"), 0);
+    }
+
+    #[test]
+    fn histograms_record_merge_and_reset() {
+        let t = Telemetry::new();
+        t.record(Hist::WhatIfCall, Duration::from_micros(10));
+        t.record_nanos(Hist::ContainCheck, 500);
+        assert_eq!(t.hist_summary(Hist::WhatIfCall).count, 1);
+        let scratch = Telemetry::new();
+        scratch.record(Hist::WhatIfCall, Duration::from_micros(20));
+        t.merge_hists_from(&scratch);
+        let s = t.hist_summary(Hist::WhatIfCall);
+        assert_eq!(s.count, 2);
+        assert!(s.max_ns >= 20_000);
+        t.reset();
+        assert_eq!(t.hist_summary(Hist::WhatIfCall).count, 0);
+        assert_eq!(t.hist_summary(Hist::ContainCheck).count, 0);
+    }
+
+    #[test]
+    fn off_handle_histograms_are_inert() {
+        let t = Telemetry::off();
+        t.record(Hist::WhatIfCall, Duration::from_micros(10));
+        assert_eq!(t.hist_summary(Hist::WhatIfCall), HistSummary::default());
+        assert_eq!(t.hist_snapshot(Hist::WhatIfCall).count(), 0);
+    }
+
+    #[test]
+    fn span_latency_percentiles_populate() {
+        let t = Telemetry::new();
+        for _ in 0..4 {
+            let _g = t.span("evaluate");
+        }
+        let roots = t.span_snapshots();
+        assert_eq!(roots[0].latency.count, 4);
+        assert!(roots[0].latency.max_ns >= roots[0].latency.p50_ns);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Structured trace reports: counters + phase tree + per-statement costs,
 //! serializable to JSON and pretty text.
 
+use crate::hist::HistSummary;
 use crate::json::Json;
 use crate::span::SpanSnapshot;
 use std::fmt::Write as _;
@@ -24,6 +25,9 @@ pub struct TraceReport {
     pub counters: Vec<(String, u64)>,
     /// Phase-timing tree roots.
     pub phases: Vec<SpanSnapshot>,
+    /// Named latency distributions ([`crate::Hist::ALL`] order): what-if
+    /// calls, containment checks, ….
+    pub latencies: Vec<(String, HistSummary)>,
     /// Optional per-statement what-if costs.
     pub statements: Vec<StatementTrace>,
 }
@@ -67,6 +71,15 @@ impl TraceReport {
                 Json::Arr(self.phases.iter().map(span_to_json).collect()),
             ),
             (
+                "latencies".to_string(),
+                Json::Obj(
+                    self.latencies
+                        .iter()
+                        .map(|(k, s)| (k.clone(), hist_summary_to_json(s)))
+                        .collect(),
+                ),
+            ),
+            (
                 "statements".to_string(),
                 Json::Arr(
                     self.statements
@@ -106,6 +119,15 @@ impl TraceReport {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("missing `phases` array".to_string()),
         };
+        // Lenient: reports written before latency histograms existed
+        // simply have no distributions.
+        let latencies = match v.get("latencies") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), hist_summary_from_json(v)?)))
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => Vec::new(),
+        };
         let statements = match v.get("statements") {
             Some(Json::Arr(items)) => items
                 .iter()
@@ -132,6 +154,7 @@ impl TraceReport {
         Ok(TraceReport {
             counters,
             phases,
+            latencies,
             statements,
         })
     }
@@ -159,6 +182,27 @@ impl TraceReport {
                 let _ = writeln!(out, "  {name:<width$}  {value}");
             }
         }
+        if self.latencies.iter().any(|(_, s)| s.count > 0) {
+            out.push_str("latencies:\n");
+            let width = self
+                .latencies
+                .iter()
+                .filter(|(_, s)| s.count > 0)
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
+            for (name, s) in &self.latencies {
+                if s.count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<width$}  {} sample{}  {}",
+                        s.count,
+                        if s.count == 1 { "" } else { "s" },
+                        render_percentiles(s)
+                    );
+                }
+            }
+        }
         if !self.statements.is_empty() {
             out.push_str("statement what-if costs:\n");
             for s in &self.statements {
@@ -178,11 +222,40 @@ impl TraceReport {
     }
 }
 
+/// Renders a latency summary as a JSON object (all values nanoseconds).
+pub(crate) fn hist_summary_to_json(s: &HistSummary) -> Json {
+    Json::Obj(vec![
+        ("count".to_string(), Json::Num(s.count as f64)),
+        ("p50_ns".to_string(), Json::Num(s.p50_ns as f64)),
+        ("p95_ns".to_string(), Json::Num(s.p95_ns as f64)),
+        ("p99_ns".to_string(), Json::Num(s.p99_ns as f64)),
+        ("max_ns".to_string(), Json::Num(s.max_ns as f64)),
+    ])
+}
+
+/// Parses a latency summary back from its JSON object form.
+pub(crate) fn hist_summary_from_json(v: &Json) -> Result<HistSummary, String> {
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_num)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("latency summary missing `{k}`"))
+    };
+    Ok(HistSummary {
+        count: field("count")?,
+        p50_ns: field("p50_ns")?,
+        p95_ns: field("p95_ns")?,
+        p99_ns: field("p99_ns")?,
+        max_ns: field("max_ns")?,
+    })
+}
+
 fn span_to_json(s: &SpanSnapshot) -> Json {
     Json::Obj(vec![
         ("name".to_string(), Json::Str(s.name.clone())),
         ("micros".to_string(), Json::Num(s.micros as f64)),
         ("calls".to_string(), Json::Num(s.calls as f64)),
+        ("latency".to_string(), hist_summary_to_json(&s.latency)),
         (
             "children".to_string(),
             Json::Arr(s.children.iter().map(span_to_json).collect()),
@@ -205,6 +278,11 @@ fn span_from_json(v: &Json) -> Result<SpanSnapshot, String> {
             .get("calls")
             .and_then(Json::as_num)
             .ok_or("span calls missing")? as u64,
+        // Lenient: spans from pre-histogram reports carry no latency.
+        latency: match v.get("latency") {
+            Some(l) => hist_summary_from_json(l)?,
+            None => HistSummary::default(),
+        },
         children: match v.get("children") {
             Some(Json::Arr(items)) => items
                 .iter()
@@ -215,10 +293,27 @@ fn span_from_json(v: &Json) -> Result<SpanSnapshot, String> {
     })
 }
 
+/// `p50/p95/p99/max` in milliseconds, compact.
+fn render_percentiles(s: &HistSummary) -> String {
+    let ms = |ns: u64| ns as f64 / 1_000_000.0;
+    format!(
+        "p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+        ms(s.p50_ns),
+        ms(s.p95_ns),
+        ms(s.p99_ns),
+        ms(s.max_ns)
+    )
+}
+
 fn render_span(s: &SpanSnapshot, depth: usize, out: &mut String) {
+    let detail = if s.calls > 1 {
+        format!("  [{}]", render_percentiles(&s.latency))
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "{:indent$}{:<24} {:>10.3} ms  ({} call{})",
+        "{:indent$}{:<24} {:>10.3} ms  ({} call{}){detail}",
         "",
         s.name,
         s.micros as f64 / 1_000.0,
@@ -282,6 +377,34 @@ mod tests {
         // Zero counters are suppressed in text form.
         assert!(!text.contains("topdown_expansions"));
         assert!(text.contains("what-if"));
+    }
+
+    #[test]
+    fn latency_sections_render_and_round_trip() {
+        let t = Telemetry::new();
+        t.record_nanos(crate::Hist::WhatIfCall, 2_000_000);
+        t.record_nanos(crate::Hist::WhatIfCall, 3_000_000);
+        let report = t.report();
+        let text = report.to_text();
+        assert!(text.contains("latencies:"));
+        assert!(text.contains("what_if_call"));
+        assert!(text.contains("p95"));
+        // Zero-sample histograms stay out of the text form.
+        assert!(!text.contains("contain_check"));
+        let back = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn from_json_tolerates_reports_without_latencies() {
+        let report = TraceReport {
+            counters: vec![("benefit_cache_hits".to_string(), 1)],
+            phases: Vec::new(),
+            latencies: Vec::new(),
+            statements: Vec::new(),
+        };
+        let text = r#"{"counters":{"benefit_cache_hits":1},"phases":[],"statements":[]}"#;
+        assert_eq!(TraceReport::from_json(text).unwrap(), report);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Diffable metrics snapshots — the export unit a serving layer
+//! publishes per connection (ROADMAP: advisor-as-a-service).
+//!
+//! A [`MetricsSnapshot`] freezes a [`crate::Telemetry`] sink's counters
+//! and latency summaries together with a [`crate::EventJournal`]'s
+//! high-water marks. Two snapshots of the same sink diff into the
+//! activity between them: counters and journal marks subtract exactly;
+//! histogram summaries keep the later snapshot's percentiles with a
+//! subtracted sample count (percentiles are not subtractable — the
+//! bucket arrays never leave the sink).
+
+use crate::hist::{Hist, HistSummary};
+use crate::journal::EventJournal;
+use crate::json::Json;
+use crate::Telemetry;
+
+/// A frozen view of one sink + journal pair. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Every counter with its value, in declaration order.
+    pub counters: Vec<(String, u64)>,
+    /// Latency summaries, in [`Hist::ALL`] order.
+    pub latencies: Vec<(String, HistSummary)>,
+    /// Journal high-water mark (total events ever emitted).
+    pub journal_high_water: u64,
+    /// Events dropped by the journal ring so far.
+    pub journal_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Captures the current state of a sink and journal.
+    pub fn capture(telemetry: &Telemetry, journal: &EventJournal) -> Self {
+        Self {
+            counters: telemetry
+                .counters()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            latencies: Hist::ALL
+                .iter()
+                .map(|&h| (h.name().to_string(), telemetry.hist_summary(h)))
+                .collect(),
+            journal_high_water: journal.high_water(),
+            journal_dropped: journal.dropped(),
+        }
+    }
+
+    /// The activity between `earlier` and `self`: counters and journal
+    /// marks subtract (saturating — a reset sink reads as zero activity);
+    /// latency summaries keep `self`'s percentiles with the sample-count
+    /// delta.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let earlier_counter = |name: &str| {
+            earlier
+                .counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        let earlier_count = |name: &str| {
+            earlier
+                .latencies
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(0, |(_, s)| s.count)
+        };
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.saturating_sub(earlier_counter(k))))
+                .collect(),
+            latencies: self
+                .latencies
+                .iter()
+                .map(|(k, s)| {
+                    let mut s = *s;
+                    s.count = s.count.saturating_sub(earlier_count(k));
+                    (k.clone(), s)
+                })
+                .collect(),
+            journal_high_water: self
+                .journal_high_water
+                .saturating_sub(earlier.journal_high_water),
+            journal_dropped: self.journal_dropped.saturating_sub(earlier.journal_dropped),
+        }
+    }
+
+    /// Value of a counter by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "latencies".to_string(),
+                Json::Obj(
+                    self.latencies
+                        .iter()
+                        .map(|(k, s)| (k.clone(), crate::report::hist_summary_to_json(s)))
+                        .collect(),
+                ),
+            ),
+            (
+                "journal".to_string(),
+                Json::Obj(vec![
+                    (
+                        "high_water".to_string(),
+                        Json::Num(self.journal_high_water as f64),
+                    ),
+                    (
+                        "dropped".to_string(),
+                        Json::Num(self.journal_dropped as f64),
+                    ),
+                ]),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a snapshot back from its JSON rendering.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+        let v = Json::parse(text)?;
+        let counters = match v.get("counters") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_num()
+                        .map(|n| (k.clone(), n as u64))
+                        .ok_or_else(|| format!("counter `{k}` is not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing `counters` object".to_string()),
+        };
+        let latencies = match v.get("latencies") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), crate::report::hist_summary_from_json(v)?)))
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("missing `latencies` object".to_string()),
+        };
+        let journal = v.get("journal").ok_or("missing `journal` object")?;
+        let mark = |k: &str| {
+            journal
+                .get(k)
+                .and_then(Json::as_num)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing journal `{k}`"))
+        };
+        Ok(MetricsSnapshot {
+            counters,
+            latencies,
+            journal_high_water: mark("high_water")?,
+            journal_dropped: mark("dropped")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::Counter;
+    use std::time::Duration;
+
+    fn populated() -> (Telemetry, EventJournal) {
+        let t = Telemetry::new();
+        t.add(Counter::OptimizerEvaluateCalls, 10);
+        t.record(Hist::WhatIfCall, Duration::from_micros(50));
+        t.record(Hist::WhatIfCall, Duration::from_micros(70));
+        let j = EventJournal::new();
+        j.emit(|| Event::BudgetExhausted { charged: 1 });
+        (t, j)
+    }
+
+    #[test]
+    fn capture_freezes_counters_latencies_and_marks() {
+        let (t, j) = populated();
+        let s = MetricsSnapshot::capture(&t, &j);
+        assert_eq!(s.counter("optimizer_evaluate_calls"), Some(10));
+        let (name, what_if) = &s.latencies[0];
+        assert_eq!(name, "what_if_call");
+        assert_eq!(what_if.count, 2);
+        assert!(what_if.max_ns >= 70_000);
+        assert_eq!(s.journal_high_water, 1);
+        assert_eq!(s.journal_dropped, 0);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_marks() {
+        let (t, j) = populated();
+        let before = MetricsSnapshot::capture(&t, &j);
+        t.add(Counter::OptimizerEvaluateCalls, 5);
+        t.record(Hist::WhatIfCall, Duration::from_micros(90));
+        j.emit(|| Event::BudgetExhausted { charged: 2 });
+        j.emit(|| Event::BudgetExhausted { charged: 3 });
+        let after = MetricsSnapshot::capture(&t, &j);
+        let d = after.diff(&before);
+        assert_eq!(d.counter("optimizer_evaluate_calls"), Some(5));
+        assert_eq!(d.counter("benefit_cache_hits"), Some(0));
+        assert_eq!(d.latencies[0].1.count, 1);
+        assert_eq!(d.journal_high_water, 2);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let (t, j) = populated();
+        let s = MetricsSnapshot::capture(&t, &j);
+        let back = MetricsSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn snapshot_of_off_handles_is_all_zero() {
+        let s = MetricsSnapshot::capture(&Telemetry::off(), &EventJournal::off());
+        assert!(s.counters.iter().all(|&(_, v)| v == 0));
+        assert!(s.latencies.iter().all(|(_, h)| h.count == 0));
+        assert_eq!(s.journal_high_water, 0);
+    }
+}

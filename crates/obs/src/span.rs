@@ -2,8 +2,11 @@
 //!
 //! Spans are merged by name under their parent: entering `"evaluate"`
 //! 10 000 times inside `"search"` yields one tree node with
-//! `calls == 10_000`, keeping memory bounded for hot loops.
+//! `calls == 10_000`, keeping memory bounded for hot loops. Each node
+//! also keeps a log-bucketed histogram of its per-call durations, so
+//! reports can show p50/p95/p99/max instead of a single sum.
 
+use crate::hist::{HistSummary, LatencyHistogram};
 use std::time::Duration;
 
 #[derive(Debug, Clone)]
@@ -11,6 +14,7 @@ struct SpanNode {
     name: &'static str,
     nanos: u128,
     calls: u64,
+    hist: LatencyHistogram,
     children: Vec<usize>,
 }
 
@@ -44,6 +48,7 @@ impl SpanStore {
                     name,
                     nanos: 0,
                     calls: 0,
+                    hist: LatencyHistogram::new(),
                     children: Vec::new(),
                 });
                 match self.stack.last() {
@@ -62,6 +67,8 @@ impl SpanStore {
             let node = &mut self.nodes[idx];
             node.nanos += elapsed.as_nanos();
             node.calls += 1;
+            node.hist
+                .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
         }
     }
 
@@ -83,6 +90,7 @@ impl SpanStore {
             name: node.name.to_string(),
             micros: (node.nanos / 1_000) as u64,
             calls: node.calls,
+            latency: node.hist.summary(),
             children: node.children.iter().map(|&c| self.snap(c)).collect(),
         }
     }
@@ -97,6 +105,8 @@ pub struct SpanSnapshot {
     pub micros: u64,
     /// Number of times the phase was entered.
     pub calls: u64,
+    /// Per-call duration distribution (p50/p95/p99/max, nanoseconds).
+    pub latency: HistSummary,
     /// Nested phases, in first-entered order.
     pub children: Vec<SpanSnapshot>,
 }

@@ -105,6 +105,34 @@ fn fig3_reports_time_and_calls() {
 }
 
 #[test]
+fn latency_histogram_table_covers_hists_and_phases() {
+    let mut lab = TpoxLab::quick();
+    let workload = lab.workload();
+    let table =
+        speedup_budget::latency_table(&mut lab, &workload, &[SearchAlgorithm::GreedyHeuristics]);
+    let text = table.render();
+    assert!(text.contains("what_if_call"), "{text}");
+    assert!(text.contains("contain_check"), "{text}");
+    assert!(text.contains("phase:advise:search:evaluate"), "{text}");
+    // Every row that recorded samples has a sane percentile ladder.
+    for row in &table.rows {
+        let count: u64 = row[2].parse().unwrap();
+        let p50: u64 = row[3].parse().unwrap();
+        let max: u64 = row[6].parse().unwrap();
+        if count > 0 {
+            assert!(p50 <= max, "p50 {p50} > max {max} in {row:?}");
+        } else {
+            assert_eq!(max, 0, "empty histogram with nonzero max in {row:?}");
+        }
+    }
+    // What-if calls were actually recorded.
+    assert!(table
+        .rows
+        .iter()
+        .any(|r| r[1] == "what_if_call" && r[2].parse::<u64>().unwrap() > 0));
+}
+
+#[test]
 fn table3_generalization_expands_candidates() {
     let mut lab = TpoxLab::quick();
     let rows = candidates::run(&mut lab, &[10, 20, 30]);

@@ -252,6 +252,7 @@ fn generalization_dag_parents_cover_children() {
 fn semi_naive_fixpoint_matches_naive() {
     use xia_advisor::candidate::CandOrigin;
     use xia_advisor::{generalize_set_fast, generalize_set_naive, CandidateSet};
+    use xia_obs::EventJournal;
     use xia_obs::Telemetry;
 
     let mut rng = Prng::seed_from_u64(0x0c);
@@ -281,8 +282,9 @@ fn semi_naive_fixpoint_matches_naive() {
         };
         let mut naive = build(&seeds);
         let mut fast = build(&seeds);
-        let created_naive = generalize_set_naive(&mut naive, &Telemetry::off());
-        let created_fast = generalize_set_fast(&mut fast, &Telemetry::off());
+        let created_naive =
+            generalize_set_naive(&mut naive, &Telemetry::off(), &EventJournal::off());
+        let created_fast = generalize_set_fast(&mut fast, &Telemetry::off(), &EventJournal::off());
         assert_eq!(created_naive, created_fast, "created ids diverge");
         assert_eq!(naive.len(), fast.len());
         for (n, f) in naive.iter().zip(fast.iter()) {
