@@ -1,0 +1,124 @@
+//! Overhead gate for the run-lifecycle layer, meant for CI: exits
+//! non-zero if the disabled-by-default `RunController` measurably slows
+//! the advisor down.
+//!
+//! Two legs:
+//!
+//! * **Macro**: a full advisor run with the controller off (the
+//!   production default) versus the same run with a controller carrying
+//!   a generous deadline that never fires. The controlled run must stay
+//!   within the tolerance of the baseline — polls are coordinator-side
+//!   and amortized over whole evaluation batches.
+//! * **Micro**: the disabled-handle `RunController::poll` must cost no
+//!   more than the established disabled-handle floor, measured against
+//!   `Telemetry::incr` on an off handle (both are a branch on `None`).
+//!   A small absolute slack absorbs timer noise at the ~1 ns scale.
+//!
+//! Timing is noisy on shared CI runners, so the gate retries a few
+//! rounds and fails only if every round regresses. `XIA_GATE_TOLERANCE`
+//! overrides the relative tolerance (default 0.05 = 5%).
+
+use std::time::Instant;
+use xia_advisor::{Advisor, AdvisorParams, RunController, SearchAlgorithm};
+use xia_bench::TpoxLab;
+use xia_obs::{Counter, Telemetry};
+
+const ROUNDS: usize = 5;
+const MICRO_ITERS: u32 = 5_000_000;
+/// Absolute slack for the micro comparison, nanoseconds: both sides are
+/// sub-nanosecond branches, so a fixed budget absorbs timer granularity.
+const MICRO_SLACK_NS: f64 = 1.0;
+/// A deadline far beyond any run in this gate: the controller is fully
+/// armed (polls check the clock) but never fires.
+const GENEROUS_DEADLINE_MS: u64 = 600_000;
+
+fn tolerance() -> f64 {
+    std::env::var("XIA_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// One full advisor run; returns wall seconds.
+fn advise_secs(lab: &mut TpoxLab, ctl: RunController) -> f64 {
+    let workload = lab.workload();
+    let params = AdvisorParams {
+        telemetry: Telemetry::off(),
+        ctl,
+        ..AdvisorParams::default()
+    };
+    let t0 = Instant::now();
+    let rec = Advisor::recommend(
+        &mut lab.db,
+        &workload,
+        u64::MAX / 2,
+        SearchAlgorithm::GreedyHeuristics,
+        &params,
+    )
+    .expect("advise");
+    std::hint::black_box(rec.speedup);
+    t0.elapsed().as_secs_f64()
+}
+
+/// Mean cost of `f` in nanoseconds over a tight loop.
+fn micro_mean_ns(f: impl Fn()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..MICRO_ITERS {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / f64::from(MICRO_ITERS)
+}
+
+fn main() {
+    let tol = tolerance();
+    let mut lab = TpoxLab::standard();
+    // Warm-up: fault the caches and code paths in before timing.
+    advise_secs(&mut lab, RunController::off());
+
+    let mut pass = false;
+    for round in 1..=ROUNDS {
+        let base = advise_secs(&mut lab, RunController::off());
+        let with_ctl = advise_secs(
+            &mut lab,
+            RunController::new().with_deadline_ms(GENEROUS_DEADLINE_MS),
+        );
+
+        let off_ctl = RunController::off();
+        let poll_ns = micro_mean_ns(|| {
+            std::hint::black_box(off_ctl.poll());
+        });
+        let off_telemetry = Telemetry::off();
+        let incr_ns = micro_mean_ns(|| {
+            off_telemetry.incr(std::hint::black_box(Counter::GreedyIterations));
+        });
+
+        let macro_ok = with_ctl <= base * (1.0 + tol);
+        let micro_ok = poll_ns <= incr_ns * (1.0 + tol) + MICRO_SLACK_NS;
+        println!(
+            "round {round}: advise off {:.1} ms, controller-on {:.1} ms ({:+.1}%) [{}]; \
+             off-handle poll {poll_ns:.2} ns vs incr {incr_ns:.2} ns [{}]",
+            base * 1e3,
+            with_ctl * 1e3,
+            (with_ctl / base - 1.0) * 100.0,
+            if macro_ok { "ok" } else { "REGRESSED" },
+            if micro_ok { "ok" } else { "REGRESSED" },
+        );
+        if macro_ok && micro_ok {
+            pass = true;
+            break;
+        }
+    }
+    if pass {
+        println!(
+            "lifecycle overhead gate: PASS (tolerance {:.0}%)",
+            tol * 100.0
+        );
+    } else {
+        eprintln!(
+            "lifecycle overhead gate: FAIL — run-control overhead regressed in all {ROUNDS} \
+             rounds (tolerance {:.0}%)",
+            tol * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -127,8 +127,10 @@ fn trace_report(
     set: &xia_advisor::CandidateSet,
     rec: &xia_advisor::Recommendation,
     telemetry: &xia_obs::Telemetry,
+    journal: &xia_obs::EventJournal,
 ) -> xia_obs::TraceReport {
     let mut tr = telemetry.report();
+    tr.dropped_events = journal.dropped();
     let full = xia_advisor::TuningReport::build(db, workload, set, rec);
     for s in &full.statements {
         tr.push_statement(first_line(&s.text), s.cost_before, s.cost_after);
@@ -241,7 +243,14 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     }
     let set = Advisor::prepare(&mut db, &workload, &params);
     let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)?;
-    let tr = trace_report(&mut db, &workload, &set, &rec, &params.telemetry);
+    let tr = trace_report(
+        &mut db,
+        &workload,
+        &set,
+        &rec,
+        &params.telemetry,
+        &params.journal,
+    );
 
     let mut out = String::new();
     let _ = writeln!(
@@ -263,6 +272,11 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     out.push_str(&tr.to_text());
     if !why.is_empty() {
         let events = params.journal.events();
+        // If the journal ring dropped events, any derivation chain below
+        // may be missing links — say so up front.
+        if let Some(note) = xia_obs::provenance::incompleteness_note(params.journal.dropped()) {
+            let _ = writeln!(out, "{note}");
+        }
         for pattern in &why {
             let _ = writeln!(out, "--- why {pattern} ---");
             out.push_str(&xia_obs::provenance::explain_why(&events, pattern));
@@ -358,8 +372,10 @@ enum TraceFormat {
 /// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]
 /// [--report] [--trace[=json|text]] [--strict] [--journal <path>]
 /// [--what-if-budget <calls>] [--jobs <n>] [--no-prune] [--no-fastpath]
-/// [--inject <site>:<rate>] [--fault-seed <n>]`
-pub fn recommend(args: &[String]) -> Result<String, CliError> {
+/// [--inject <site>:<rate>] [--fault-seed <n>] [--deadline-ms <n>]
+/// [--checkpoint <path>] [--resume <path>] [--mem-budget <bytes>]
+/// [--cancel-after-polls <k>]`
+pub fn recommend(args: &[String]) -> Result<crate::CmdOutput, CliError> {
     let mut workload_file = None;
     let mut budget: Option<u64> = None;
     let mut algo = SearchAlgorithm::TopDownFull;
@@ -374,6 +390,11 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let mut inject_specs: Vec<String> = Vec::new();
     let mut trace: Option<TraceFormat> = None;
     let mut journal_path: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut mem_budget: Option<u64> = None;
+    let mut cancel_after_polls: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -440,6 +461,38 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
             "--journal" => {
                 journal_path =
                     Some(require(args, i + 1, "output path after --journal")?.to_string());
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let v = require(args, i + 1, "milliseconds after --deadline-ms")?;
+                deadline_ms = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("bad deadline `{v}` (expected milliseconds)"))
+                })?);
+                i += 2;
+            }
+            "--checkpoint" => {
+                checkpoint_path =
+                    Some(require(args, i + 1, "output path after --checkpoint")?.to_string());
+                i += 2;
+            }
+            "--resume" => {
+                resume_path =
+                    Some(require(args, i + 1, "checkpoint path after --resume")?.to_string());
+                i += 2;
+            }
+            "--mem-budget" => {
+                let v = require(args, i + 1, "size after --mem-budget")?;
+                mem_budget = Some(
+                    parse_size(v)
+                        .ok_or_else(|| CliError::usage(format!("bad memory budget `{v}`")))?,
+                );
+                i += 2;
+            }
+            "--cancel-after-polls" => {
+                let v = require(args, i + 1, "poll count after --cancel-after-polls")?;
+                cancel_after_polls = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("bad poll count `{v}` (expected a number)"))
+                })?);
                 i += 2;
             }
             other if other == "--trace" || other.starts_with("--trace=") => {
@@ -513,12 +566,38 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
         )));
     }
 
+    // Lifecycle controller: enabled only when one of the lifecycle flags
+    // is present, so the plain path keeps a single-branch off() handle.
+    let lifecycle = deadline_ms.is_some()
+        || checkpoint_path.is_some()
+        || resume_path.is_some()
+        || mem_budget.is_some()
+        || cancel_after_polls.is_some();
+    let mut ctl = xia_advisor::RunController::off();
+    if lifecycle {
+        let mut c = xia_advisor::RunController::new();
+        if let Some(ms) = deadline_ms {
+            c = c.with_deadline_ms(ms);
+        }
+        if let Some(k) = cancel_after_polls {
+            c = c.with_cancel_after_polls(k);
+        }
+        if let Some(p) = &checkpoint_path {
+            c = c.with_checkpoint(p, 1);
+        }
+        if let Some(b) = mem_budget {
+            c = c.with_mem_budget(b);
+        }
+        ctl = c;
+    }
+
     let mut params = AdvisorParams {
         faults,
         what_if_budget: xia_advisor::WhatIfBudget::calls(what_if_calls),
         strict,
         prune,
         fastpath,
+        ctl,
         ..AdvisorParams::default()
     };
     if let Some(jobs) = jobs {
@@ -528,6 +607,27 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
         params.journal = xia_obs::EventJournal::new();
     }
     let set = Advisor::prepare(&mut db, &workload, &params);
+    // Resume: load the warm store once the candidate set (and hence the
+    // digest the checkpoint must match) is known. A stale or corrupt
+    // checkpoint degrades to a cold start with a warning — never an error.
+    if let Some(rpath) = &resume_path {
+        match xia_advisor::load_checkpoint(
+            rpath,
+            xia_advisor::candidate_digest(&set),
+            &params.faults,
+        ) {
+            Ok(entries) => {
+                params.ctl.install_warm(entries);
+                let _ = writeln!(out, "resumed from checkpoint {rpath}");
+            }
+            Err(e) => {
+                let _ = writeln!(
+                    out,
+                    "warning: cannot resume from {rpath}: {e}; starting cold"
+                );
+            }
+        }
+    }
     let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)?;
     // Write the journal before any follow-up optimizer work; all events
     // are coordinator-side, so the file is byte-identical for every
@@ -546,12 +646,30 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
     let traced = trace.map(|fmt| {
         (
             fmt,
-            trace_report(&mut db, &workload, &set, &rec, &params.telemetry),
+            trace_report(
+                &mut db,
+                &workload,
+                &set,
+                &rec,
+                &params.telemetry,
+                &params.journal,
+            ),
         )
     });
 
     for q in &rec.quarantined {
         let _ = writeln!(out, "warning: {q}");
+    }
+    for w in &rec.warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    if let Some(p) = rec.partial() {
+        let _ = writeln!(
+            out,
+            "warning: run stopped early ({}); the recommendation below is the best \
+             configuration found so far, not necessarily the final answer",
+            p.reason
+        );
     }
     if rec.degraded {
         let _ = writeln!(
@@ -611,7 +729,16 @@ pub fn recommend(args: &[String]) -> Result<String, CliError> {
         save_database(&db, &path)?;
         let _ = writeln!(out, "applied: {n} physical index(es) built; {path} saved");
     }
-    Ok(out)
+    // Lifecycle exit codes: a partial (deadline/cancelled) result outranks
+    // a successful resume — scripts must know the answer is incomplete.
+    let code = if !rec.complete {
+        6
+    } else if params.ctl.resumed() {
+        7
+    } else {
+        0
+    };
+    Ok(crate::CmdOutput::with_code(out, code))
 }
 
 /// `xia whatif <db> -w <file> -i <collection>:<pattern>:<string|numerical> ...`
@@ -1155,7 +1282,7 @@ mod tests {
             ];
             args.extend_from_slice(extra);
             let out = recommend(&s(&args)).unwrap();
-            (out, std::fs::read_to_string(&jpath).unwrap())
+            (out.text, std::fs::read_to_string(&jpath).unwrap())
         };
         let (out1, j1) = run("1", "clean", &[]);
         assert!(out1.contains("journal:"), "{out1}");
@@ -1376,6 +1503,185 @@ mod tests {
         let err = recommend(&s(&[&db, "-w", &wl, "-b", "10m", "--strict"])).unwrap_err();
         assert_eq!(err.kind, crate::ErrorKind::Internal, "{err}");
         assert_eq!(err.exit_code(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_deadline_zero_returns_partial_with_exit_6() {
+        let dir = tmpdir().join("lifecycle_deadline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let cp = dir.join("dead.ckpt");
+        let out = recommend(&s(&[
+            &db,
+            "-w",
+            &wl,
+            "-b",
+            "10m",
+            "-a",
+            "heuristics",
+            "--deadline-ms",
+            "0",
+            "--checkpoint",
+            cp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(out.code, 6, "{}", out.text);
+        assert!(out.contains("run stopped early (deadline)"), "{}", out.text);
+        assert!(
+            cp.exists(),
+            "a stopped run must leave a final checkpoint behind"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_resume_matches_uninterrupted_and_exits_7() {
+        let dir = tmpdir().join("lifecycle_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let cp_full = dir.join("full.ckpt");
+        let cp_kill = dir.join("kill.ckpt");
+        let cp_next = dir.join("next.ckpt");
+        let base = &[
+            db.as_str(),
+            "-w",
+            wl.as_str(),
+            "-b",
+            "10m",
+            "-a",
+            "heuristics",
+        ];
+        let run = |extra: &[&str]| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend_from_slice(extra);
+            recommend(&s(&args)).unwrap()
+        };
+        // Uninterrupted run with checkpointing on: the reference output.
+        let full = run(&["--checkpoint", cp_full.to_str().unwrap()]);
+        assert_eq!(full.code, 0, "{}", full.text);
+        assert!(full.contains("CREATE INDEX"), "{}", full.text);
+        // Kill deterministically mid-run; the partial run leaves a
+        // checkpoint (cadence writes plus the final one on stop).
+        let killed = run(&[
+            "--cancel-after-polls",
+            "2",
+            "--checkpoint",
+            cp_kill.to_str().unwrap(),
+        ]);
+        assert_eq!(killed.code, 6, "{}", killed.text);
+        assert!(
+            killed.contains("run stopped early (cancelled)"),
+            "{}",
+            killed.text
+        );
+        // Resume from the kill point: exit 7, and apart from the resume
+        // banner the output is byte-identical to the uninterrupted run.
+        let strip = |t: &str| {
+            t.lines()
+                .filter(|l| !l.starts_with("resumed from checkpoint"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let resumed = run(&[
+            "--resume",
+            cp_kill.to_str().unwrap(),
+            "--checkpoint",
+            cp_next.to_str().unwrap(),
+        ]);
+        assert_eq!(resumed.code, 7, "{}", resumed.text);
+        assert!(
+            resumed.contains("resumed from checkpoint"),
+            "{}",
+            resumed.text
+        );
+        assert_eq!(
+            strip(&resumed),
+            strip(&full),
+            "resumed output must match the uninterrupted run"
+        );
+        // The resumed path is jobs-invariant like everything else.
+        let resumed4 = run(&[
+            "--resume",
+            cp_kill.to_str().unwrap(),
+            "--checkpoint",
+            cp_next.to_str().unwrap(),
+            "--jobs",
+            "4",
+        ]);
+        assert_eq!(resumed.text, resumed4.text, "resume diverged at --jobs 4");
+        // A garbage checkpoint degrades to a cold start with a warning.
+        let garbage = dir.join("garbage.ckpt");
+        std::fs::write(&garbage, "not a checkpoint\n").unwrap();
+        let cold = run(&["--resume", garbage.to_str().unwrap()]);
+        assert_eq!(cold.code, 0, "cold start is a plain success");
+        assert!(cold.contains("starting cold"), "{}", cold.text);
+        let strip_warn = |t: &str| {
+            t.lines()
+                .filter(|l| !l.starts_with("warning: cannot resume"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip_warn(&cold),
+            strip(&full),
+            "cold start must still agree"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_mem_budget_walks_the_ladder_deterministically() {
+        let dir = tmpdir().join("lifecycle_governor");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        let jp = dir.join("gov.jsonl");
+        let run = || {
+            recommend(&s(&[
+                &db,
+                "-w",
+                &wl,
+                "-b",
+                "10m",
+                "-a",
+                "heuristics",
+                "--mem-budget",
+                "1",
+                "--journal",
+                jp.to_str().unwrap(),
+            ]))
+            .unwrap()
+        };
+        let a = run();
+        assert_eq!(a.code, 0, "{}", a.text);
+        let j = std::fs::read_to_string(&jp).unwrap();
+        assert!(
+            j.contains("governor_demoted"),
+            "a 1-byte budget must demote: {j}"
+        );
+        // The ladder fires at the same batches every run: output and
+        // journal are reproducible.
+        let b = run();
+        assert_eq!(a, b, "governor runs must be deterministic");
+        assert_eq!(j, std::fs::read_to_string(&jp).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_rejects_bad_lifecycle_flags_as_usage() {
+        let dir = tmpdir().join("lifecycle_usage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, wl) = trace_fixture(&dir);
+        for bad in [
+            &["--deadline-ms", "soon"][..],
+            &["--mem-budget", "lots"][..],
+            &["--cancel-after-polls", "x"][..],
+        ] {
+            let mut args = vec![db.as_str(), "-w", wl.as_str(), "-b", "10m"];
+            args.extend_from_slice(bad);
+            let err = recommend(&s(&args)).unwrap_err();
+            assert_eq!(err.kind, crate::ErrorKind::Usage, "{bad:?}: {err}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

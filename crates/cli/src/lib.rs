@@ -105,6 +105,44 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// Output of a successful command: the text to print plus the process
+/// exit code. Most commands exit 0; `recommend` reserves nonzero success
+/// codes for lifecycle outcomes scripts need to distinguish — 6 for a
+/// deadline/cancel partial result, 7 for a run resumed from a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Text to print on stdout.
+    pub text: String,
+    /// Process exit code (0 = plain success).
+    pub code: i32,
+}
+
+impl CmdOutput {
+    /// Successful output with an explicit exit code.
+    pub fn with_code(text: String, code: i32) -> Self {
+        Self { text, code }
+    }
+}
+
+impl From<String> for CmdOutput {
+    fn from(text: String) -> Self {
+        Self { text, code: 0 }
+    }
+}
+
+impl std::ops::Deref for CmdOutput {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for CmdOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
 impl From<xia_storage::PersistError> for CliError {
     fn from(e: xia_storage::PersistError) -> Self {
         let kind = match &e {
@@ -171,7 +209,9 @@ USAGE:
                 [--apply] [--report] [--trace[=json|text]] [--strict]
                 [--journal <path>] [--what-if-budget <calls>] [--jobs <n>]
                 [--no-prune] [--no-fastpath] [--inject <site>:<rate>]
-                [--fault-seed <n>]
+                [--fault-seed <n>] [--deadline-ms <n>] [--checkpoint <path>]
+                [--resume <path>] [--mem-budget <bytes>]
+                [--cancel-after-polls <k>]
   xia whatif    <db> -w <workload-file> -i <coll>:<pattern>:<string|numerical> ...
                                              price a hand-written configuration
   xia indexes   <db>                           list physical indexes
@@ -200,27 +240,42 @@ way, only slower.
 
 Fault injection (for robustness testing): --inject storage-io:0.05
 injects I/O faults in 5% of storage operations; sites are storage-io,
-optimizer-cost, stats-unavailable. --fault-seed makes runs reproducible.
+optimizer-cost, stats-unavailable, checkpoint-io. --fault-seed makes runs
+reproducible.
 
-Exit codes: 0 ok, 2 usage, 3 bad input, 4 corrupt database, 5 internal.
+Run lifecycle: --deadline-ms bounds the advisor's wall-clock time; on
+expiry the run unwinds cooperatively and prints the best configuration
+found so far (a *partial* recommendation, exit 6). --checkpoint <path>
+periodically writes a checksummed, atomically-renamed snapshot of the
+what-if cost work done so far; --resume <path> warm-starts a new run from
+such a snapshot (exit 7) and produces a recommendation byte-identical to
+an uninterrupted run at any --jobs. A stale or corrupt checkpoint falls
+back to a cold start with a warning. --mem-budget bounds approximate live
+cache memory; over budget, the evaluator walks a graceful-degradation
+ladder (shrink memo -> drop statement cache -> heuristic-only costing),
+journaling every demotion. --cancel-after-polls <k> cancels at the k-th
+cooperative poll (a deterministic kill switch for testing).
+
+Exit codes: 0 ok, 2 usage, 3 bad input, 4 corrupt database, 5 internal,
+6 deadline/cancel partial result, 7 resumed from checkpoint.
 ";
 
 /// Dispatches a full argument vector (excluding `argv[0]`). Returns the
-/// output to print.
-pub fn run(args: &[String]) -> Result<String, CliError> {
+/// output to print plus the process exit code.
+pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
     let Some(cmd) = args.first() else {
         return Err(CliError::usage(USAGE));
     };
     match cmd.as_str() {
-        "init" => commands::init(args.get(1).map(|s| s.as_str())),
-        "load" => commands::load(&args[1..]),
-        "stats" => commands::stats(args.get(1).map(|s| s.as_str())),
-        "explain" => commands::explain(&args[1..]),
-        "exec" => commands::exec(&args[1..]),
+        "init" => commands::init(args.get(1).map(|s| s.as_str())).map(Into::into),
+        "load" => commands::load(&args[1..]).map(Into::into),
+        "stats" => commands::stats(args.get(1).map(|s| s.as_str())).map(Into::into),
+        "explain" => commands::explain(&args[1..]).map(Into::into),
+        "exec" => commands::exec(&args[1..]).map(Into::into),
         "recommend" => commands::recommend(&args[1..]),
-        "whatif" => commands::whatif(&args[1..]),
-        "indexes" => commands::indexes(args.get(1).map(|s| s.as_str())),
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "whatif" => commands::whatif(&args[1..]).map(Into::into),
+        "indexes" => commands::indexes(args.get(1).map(|s| s.as_str())).map(Into::into),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string().into()),
         other => Err(CliError::usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),

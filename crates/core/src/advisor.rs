@@ -5,6 +5,7 @@ use crate::candidate::{CandId, CandOrigin, CandidateSet};
 use crate::enumerate::{enumerate_candidates_traced, size_candidates_traced};
 use crate::error::{StatementIssue, XiaError};
 use crate::generalize::{generalize_set_fast, generalize_set_naive};
+use crate::runctl::{RunController, StopReason};
 use crate::search;
 use std::time::{Duration, Instant};
 use xia_fault::FaultInjector;
@@ -98,6 +99,13 @@ pub struct AdvisorParams {
     /// run on the coordinator thread in deterministic order, so the JSONL
     /// export is byte-identical for every `jobs` value.
     pub journal: EventJournal,
+    /// Run-lifecycle controller (`--deadline-ms`, `--checkpoint`,
+    /// `--resume`, `--mem-budget`): wall-clock deadline, cooperative
+    /// cancellation, crash-safe checkpointing, and the resource governor.
+    /// Disabled by default; a stopped run returns a partial
+    /// recommendation ([`Recommendation::complete`] is `false`) instead
+    /// of an error.
+    pub ctl: RunController,
 }
 
 impl AdvisorParams {
@@ -133,6 +141,7 @@ impl Default for AdvisorParams {
             prune: true,
             fastpath: true,
             journal: EventJournal::off(),
+            ctl: RunController::off(),
         }
     }
 }
@@ -190,9 +199,37 @@ pub struct Recommendation {
     /// Benefit evaluations answered heuristically (injected faults,
     /// unavailable statistics, or what-if budget exhaustion).
     pub cost_fallbacks: u64,
+    /// Whether the run ran to completion. `false` means the run
+    /// controller stopped the search early (deadline or cancellation)
+    /// and the configuration is the best one found so far.
+    pub complete: bool,
+    /// Why the run stopped early, when [`Recommendation::complete`] is
+    /// `false`.
+    pub stop: Option<StopReason>,
+    /// Lifecycle warnings to surface to the user (abandoned checkpoint
+    /// writes), in emission order.
+    pub warnings: Vec<String>,
+}
+
+/// A recommendation produced by a run the controller stopped early:
+/// best-so-far configuration plus the reason the search unwound.
+#[derive(Debug, Clone)]
+pub struct PartialRecommendation<'a> {
+    /// The best-so-far recommendation (fully priced and sized).
+    pub recommendation: &'a Recommendation,
+    /// Why the run stopped.
+    pub reason: StopReason,
 }
 
 impl Recommendation {
+    /// The partial-result view, when the run was stopped early.
+    pub fn partial(&self) -> Option<PartialRecommendation<'_>> {
+        self.stop.map(|reason| PartialRecommendation {
+            recommendation: self,
+            reason,
+        })
+    }
+
     /// Renders the recommendation as a DB2-pureXML-style DDL script.
     ///
     /// ```text
@@ -432,6 +469,16 @@ impl Advisor {
                 size: ix.size,
             });
         }
+        // A stopped run records why (coordinator-side, after the partial
+        // configuration was priced) and flushes a final checkpoint so
+        // `--resume` sees every costing that completed.
+        let stop = ev.ctl().stopped();
+        if let Some(reason) = stop {
+            ev.journal().emit(|| Event::RunStopped {
+                reason: reason.name().to_string(),
+            });
+            ev.final_checkpoint();
+        }
         Recommendation {
             config,
             indexes,
@@ -449,6 +496,9 @@ impl Advisor {
             quarantined: ev.quarantined().to_vec(),
             degraded: ev.is_degraded(),
             cost_fallbacks: ev.fallback_count(),
+            complete: stop.is_none(),
+            stop,
+            warnings: ev.warnings().to_vec(),
         }
     }
 

@@ -36,6 +36,7 @@
 
 use crate::candidate::{CandId, CandidateSet, StmtSet};
 use crate::error::{IssueStage, StatementIssue};
+use crate::runctl::{GovernorRung, RunController, WarmEntry, WarmKey};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
@@ -240,6 +241,28 @@ enum TaskKind {
     BudgetFallback,
     /// Collection statistics were unavailable when this task was planned.
     StatsFallback,
+    /// The resource governor's `heuristic_only` rung was in effect when
+    /// this task was planned: no optimizer fan-out for uncached work.
+    GovernorFallback,
+}
+
+/// Scratch-counter snapshot taken around one worker task while
+/// checkpointing is armed, so the task's exact counter footprint can be
+/// replayed when a warm-store entry serves it on `--resume`.
+fn counter_snapshot(tel: &Telemetry) -> Vec<u64> {
+    Counter::ALL.iter().map(|&c| tel.get(c)).collect()
+}
+
+/// `(Counter::ALL index, delta)` pairs the task added over `before`.
+fn counter_deltas(before: &[u64], tel: &Telemetry) -> Vec<(usize, u64)> {
+    Counter::ALL
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &c)| {
+            let d = tel.get(c).saturating_sub(before[i]);
+            (d > 0).then_some((i, d))
+        })
+        .collect()
 }
 
 /// One planned statement costing against one missed sub-configuration.
@@ -338,6 +361,23 @@ pub struct BenefitEvaluator<'a> {
     journal: EventJournal,
     /// `BudgetExhausted` is emitted once, at the first fallback planning.
     budget_event_emitted: bool,
+    /// Run-lifecycle controller: deadline/cancel polls, the checkpoint
+    /// warm store and log, and the governor's memory budget. All
+    /// interactions are coordinator-side, so lifecycle decisions are
+    /// jobs-invariant.
+    ctl: RunController,
+    /// Candidate-set digest binding checkpoint files to this run.
+    digest: u64,
+    /// Resource-governor rung currently in effect (demotions are
+    /// one-way).
+    rung: GovernorRung,
+    /// Approximate live bytes of the sharded memo cache.
+    memo_bytes: u64,
+    /// Approximate live bytes of the statement cost cache.
+    stmt_bytes: u64,
+    /// Lifecycle warnings to surface to the caller (abandoned checkpoint
+    /// writes).
+    warnings: Vec<String>,
 }
 
 impl<'a> BenefitEvaluator<'a> {
@@ -372,6 +412,7 @@ impl<'a> BenefitEvaluator<'a> {
             params.effective_jobs(),
             params.fastpath,
             &params.journal,
+            &params.ctl,
         );
         ev.prune = params.prune;
         ev
@@ -399,6 +440,7 @@ impl<'a> BenefitEvaluator<'a> {
             1,
             true,
             &EventJournal::off(),
+            &RunController::off(),
         )
     }
 
@@ -413,6 +455,7 @@ impl<'a> BenefitEvaluator<'a> {
         jobs: usize,
         fastpath: bool,
         journal: &EventJournal,
+        ctl: &RunController,
     ) -> Self {
         // Setup is the only phase that mutates the database: attach the
         // sinks, refresh statistics, and clear stale virtual indexes. From
@@ -491,6 +534,18 @@ impl<'a> BenefitEvaluator<'a> {
             fallbacks: 0,
             journal: journal.clone(),
             budget_event_emitted: false,
+            ctl: ctl.clone(),
+            // The digest only matters for checkpoint binding; skip the
+            // render when no controller is armed.
+            digest: if ctl.is_enabled() {
+                crate::runctl::candidate_digest(set)
+            } else {
+                0
+            },
+            rung: GovernorRung::Full,
+            memo_bytes: 0,
+            stmt_bytes: 0,
+            warnings: Vec::new(),
         };
         ev.compute_baselines();
         ev
@@ -530,14 +585,41 @@ impl<'a> BenefitEvaluator<'a> {
                 }
             });
         }
+        // Warm-store consult (coordinator-side): a resumed run serves any
+        // baseline costing the interrupted run already executed.
+        let capture = self.ctl.checkpointing();
+        let mut warm: Vec<Option<WarmEntry>> = if self.ctl.resumed() {
+            plans
+                .iter()
+                .enumerate()
+                .map(|(si, plan)| match plan {
+                    BasePlan::Cost { salt } => self.ctl.warm_lookup(&WarmKey {
+                        salt: *salt,
+                        si,
+                        proj: Vec::new(),
+                    }),
+                    _ => None,
+                })
+                .collect()
+        } else {
+            vec![None; n]
+        };
         let (db, workload) = (self.db, self.workload);
         let faults = self.faults.clone();
+        let warm_ref = &warm;
         let results = run_indexed(n, self.jobs, &self.telemetry.clone(), |si, tel| {
             let BasePlan::Cost { salt } = plans[si] else {
-                return None;
+                return (None, Vec::new());
             };
+            if warm_ref[si].is_some() {
+                // Served from the warm store at merge time.
+                return (None, Vec::new());
+            }
             let stmt = &workload.entries()[si].statement;
-            let (collection, catalog, stats) = db.parts(stmt.collection())?;
+            let Some((collection, catalog, stats)) = db.parts(stmt.collection()) else {
+                return (None, Vec::new());
+            };
+            let before = capture.then(|| counter_snapshot(tel));
             let mut optimizer = Optimizer::with_view(collection, stats, catalog.view());
             optimizer.set_telemetry(tel);
             optimizer.set_faults(&faults.derive_stream(salt));
@@ -546,17 +628,48 @@ impl<'a> BenefitEvaluator<'a> {
             if let Some(t0) = t0 {
                 tel.record(Hist::WhatIfCall, t0.elapsed());
             }
-            cost
+            let deltas = before.map(|b| counter_deltas(&b, tel)).unwrap_or_default();
+            (cost, deltas)
         });
-        for (si, (plan, result)) in plans.iter().zip(results).enumerate() {
-            self.baseline[si] = match (plan, result) {
-                (BasePlan::Quarantined, _) => 0.0,
-                (BasePlan::Cost { .. }, Some(cost)) => {
+        for (si, (plan, (result, deltas))) in plans.iter().zip(results).enumerate() {
+            let served = warm[si].take();
+            self.baseline[si] = match (plan, served, result) {
+                (BasePlan::Quarantined, _, _) => 0.0,
+                (BasePlan::Cost { salt }, Some(entry), _) => {
+                    // Warm-served replay: reuse the exact cost and reapply
+                    // the original execution's counter footprint, then log
+                    // the entry again so the next checkpoint carries it.
                     self.stats.optimizer_calls += 1;
                     self.charged += 1;
+                    self.apply_deltas(&entry.deltas);
+                    let cost = f64::from_bits(entry.cost_bits);
+                    self.ctl.record_costing(
+                        WarmKey {
+                            salt: *salt,
+                            si,
+                            proj: Vec::new(),
+                        },
+                        entry,
+                    );
                     cost
                 }
-                (kind, _) => {
+                (BasePlan::Cost { salt }, None, Some(cost)) => {
+                    self.stats.optimizer_calls += 1;
+                    self.charged += 1;
+                    self.ctl.record_costing(
+                        WarmKey {
+                            salt: *salt,
+                            si,
+                            proj: Vec::new(),
+                        },
+                        WarmEntry {
+                            cost_bits: cost.to_bits(),
+                            deltas,
+                        },
+                    );
+                    cost
+                }
+                (kind, _, _) => {
                     // An optimizer failure here is an injected fault — the
                     // collection and its statistics were resolvable at
                     // planning time.
@@ -620,6 +733,99 @@ impl<'a> BenefitEvaluator<'a> {
     /// Whether any quarantine or fallback degraded this run.
     pub fn is_degraded(&self) -> bool {
         self.fallbacks > 0 || !self.quarantined.is_empty()
+    }
+
+    /// The run-lifecycle controller threaded through this evaluator (the
+    /// searches poll it at their loop boundaries).
+    pub fn ctl(&self) -> &RunController {
+        &self.ctl
+    }
+
+    /// The resource-governor rung currently in effect.
+    pub fn governor_rung(&self) -> GovernorRung {
+        self.rung
+    }
+
+    /// Lifecycle warnings accumulated so far (abandoned checkpoint
+    /// writes), in emission order.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Writes a final checkpoint unconditionally (the advisor calls this
+    /// when a run stops early, so `--resume` sees all completed work).
+    pub fn final_checkpoint(&mut self) {
+        if let Some(w) = self
+            .ctl
+            .final_checkpoint(self.digest, &self.faults, &self.telemetry)
+        {
+            self.warnings.push(w);
+        }
+    }
+
+    /// Replays a warm-store entry's counter footprint into the attached
+    /// telemetry (coordinator-side, so totals merge identically to the
+    /// original worker execution).
+    fn apply_deltas(&self, deltas: &[(usize, u64)]) {
+        for &(i, v) in deltas {
+            // Out-of-range indexes can only come from a checkpoint written
+            // by a different build; ignore them rather than panic.
+            if let Some(&c) = Counter::ALL.get(i) {
+                self.telemetry.add(c, v);
+            }
+        }
+    }
+
+    /// Inserts one statement costing into the projection-keyed cache
+    /// unless the governor demoted past `no_stmt_cache`, tracking the
+    /// approximate live bytes the governor budgets against.
+    fn insert_stmt_cost(&mut self, si: usize, proj: Vec<CandId>, cost: f64) {
+        if self.rung >= GovernorRung::NoStmtCache {
+            return;
+        }
+        self.stmt_bytes += (48 + 8 * proj.len()) as u64;
+        self.stmt_cache.entry(si).or_default().insert(proj, cost);
+    }
+
+    /// Batch epilogue: walk the governor's degradation ladder one rung if
+    /// the cache tally exceeds the memory budget, then let the controller
+    /// write a cadence checkpoint. Entirely coordinator-side, so both
+    /// decisions are jobs-invariant and replay-invariant.
+    fn end_batch(&mut self) {
+        if let Some(budget) = self.ctl.mem_budget() {
+            if self.memo_bytes + self.stmt_bytes > budget {
+                if let Some(next) = self.rung.next() {
+                    self.rung = next;
+                    match next {
+                        GovernorRung::ShrinkMemo => {
+                            // Reclaim the memo now; it may regrow, and
+                            // renewed pressure demotes further.
+                            self.cache = ShardedCache::new();
+                            self.memo_bytes = 0;
+                        }
+                        GovernorRung::NoStmtCache | GovernorRung::HeuristicOnly => {
+                            self.cache = ShardedCache::new();
+                            self.memo_bytes = 0;
+                            self.stmt_cache.clear();
+                            self.stmt_bytes = 0;
+                        }
+                        GovernorRung::Full => {}
+                    }
+                    let approx_bytes = self.memo_bytes + self.stmt_bytes;
+                    self.telemetry.incr(Counter::GovernorDemotions);
+                    self.journal.emit(|| Event::GovernorDemoted {
+                        rung: next.name().to_string(),
+                        approx_bytes,
+                    });
+                }
+            }
+        }
+        if let Some(w) = self
+            .ctl
+            .after_batch(self.digest, &self.faults, &self.telemetry)
+        {
+            self.warnings.push(w);
+        }
     }
 
     /// Attaches a telemetry sink: subsequent optimizer calls, cache
@@ -760,6 +966,10 @@ impl<'a> BenefitEvaluator<'a> {
         // The time budget is anchored at the first evaluation, not at
         // evaluator construction: a long prepare phase must not eat it.
         let started = *self.started.get_or_insert_with(Instant::now);
+        // Coordinator-side stop check: latches a deadline crossing or a
+        // cancellation. The current batch still evaluates — the searches
+        // observe the latch at their next loop boundary and unwind.
+        self.ctl.poll();
 
         // Phase 1 (coordinator): cache lookups and miss collection.
         enum Slot {
@@ -880,6 +1090,10 @@ impl<'a> BenefitEvaluator<'a> {
                         let coll = self.workload.entries()[si].statement.collection();
                         if self.db.parts(coll).is_none() {
                             (TaskKind::StatsFallback, None)
+                        } else if self.rung >= GovernorRung::HeuristicOnly {
+                            // Bottom governor rung: uncached costings stop
+                            // fanning out to the optimizer entirely.
+                            (TaskKind::GovernorFallback, None)
                         } else {
                             self.charged += 1;
                             (
@@ -922,22 +1136,51 @@ impl<'a> BenefitEvaluator<'a> {
             })
             .collect();
 
+        // Warm-store consult (coordinator-side): a resumed run serves any
+        // optimizer task the interrupted run already executed. The
+        // overlays above are still built — their virtual-index churn
+        // counters are part of the uninterrupted run's footprint.
+        let capture = self.ctl.checkpointing();
+        let mut warm: Vec<Option<WarmEntry>> = if self.ctl.resumed() {
+            tasks
+                .iter()
+                .map(|t| match t.kind {
+                    TaskKind::Optimize { salt } => self.ctl.warm_lookup(&WarmKey {
+                        salt,
+                        si: t.si,
+                        proj: t.proj.clone().unwrap_or_default(),
+                    }),
+                    _ => None,
+                })
+                .collect()
+        } else {
+            vec![None; tasks.len()]
+        };
+
         // Phase 4 (workers): pure costing, fanned out over `jobs` threads.
         let (db, workload) = (self.db, self.workload);
         let faults = self.faults.clone();
+        let warm_ref = &warm;
         let results = run_indexed(tasks.len(), self.jobs, &self.telemetry.clone(), |i, tel| {
             let task = &tasks[i];
             let TaskKind::Optimize { salt } = task.kind else {
-                return None;
+                return (None, Vec::new());
             };
+            if warm_ref[i].is_some() {
+                // Served from the warm store at merge time.
+                return (None, Vec::new());
+            }
             let stmt = &workload.entries()[task.si].statement;
             let coll = stmt.collection();
-            let (collection, catalog, stats) = db.parts(coll)?;
+            let Some((collection, catalog, stats)) = db.parts(coll) else {
+                return (None, Vec::new());
+            };
             let view = overlays[task.group]
                 .iter()
                 .find(|(name, _)| name == coll)
                 .map(|(_, ov)| ov.view())
                 .unwrap_or_else(|| catalog.view());
+            let before = capture.then(|| counter_snapshot(tel));
             let mut optimizer = Optimizer::with_view(collection, stats, view);
             optimizer.set_telemetry(tel);
             optimizer.set_faults(&faults.derive_stream(salt));
@@ -946,30 +1189,60 @@ impl<'a> BenefitEvaluator<'a> {
             if let Some(t0) = t0 {
                 tel.record(Hist::WhatIfCall, t0.elapsed());
             }
-            cost
+            let deltas = before.map(|b| counter_deltas(&b, tel)).unwrap_or_default();
+            (cost, deltas)
         });
 
         // Phase 5 (coordinator): merge in task order — the floating-point
         // summation order is fixed regardless of worker interleaving.
         let mut totals = vec![0.0f64; misses.len()];
         let mut tainted = vec![false; misses.len()];
-        for (task, result) in tasks.iter().zip(results) {
-            let new_cost = match (task.kind, result) {
-                (TaskKind::Served { cost }, _) => cost,
-                (TaskKind::Optimize { .. }, Some(cost)) => {
+        for (i, (task, (result, deltas))) in tasks.iter().zip(results).enumerate() {
+            let served = warm[i].take();
+            let new_cost = match (task.kind, served, result) {
+                (TaskKind::Served { cost }, _, _) => cost,
+                (TaskKind::Optimize { salt }, Some(entry), _) => {
+                    // Warm-served replay: reuse the exact cost, reapply the
+                    // original counter footprint, and re-log the entry so
+                    // the next checkpoint carries it.
+                    self.stats.optimizer_calls += 1;
+                    self.apply_deltas(&entry.deltas);
+                    let cost = f64::from_bits(entry.cost_bits);
+                    if let Some(proj) = &task.proj {
+                        self.insert_stmt_cost(task.si, proj.clone(), cost);
+                        self.ctl.record_costing(
+                            WarmKey {
+                                salt,
+                                si: task.si,
+                                proj: proj.clone(),
+                            },
+                            entry,
+                        );
+                    }
+                    cost
+                }
+                (TaskKind::Optimize { salt }, None, Some(cost)) => {
                     self.stats.optimizer_calls += 1;
                     // Memoize under the projection key: any configuration
                     // with the same projection onto this statement has
                     // bitwise the same cost.
                     if let Some(proj) = &task.proj {
-                        self.stmt_cache
-                            .entry(task.si)
-                            .or_default()
-                            .insert(proj.clone(), cost);
+                        self.insert_stmt_cost(task.si, proj.clone(), cost);
+                        self.ctl.record_costing(
+                            WarmKey {
+                                salt,
+                                si: task.si,
+                                proj: proj.clone(),
+                            },
+                            WarmEntry {
+                                cost_bits: cost.to_bits(),
+                                deltas,
+                            },
+                        );
                     }
                     cost
                 }
-                (kind, _) => {
+                (kind, _, _) => {
                     // The degradation ladder's heuristic indexed-cost
                     // estimate: half the baseline — optimistic enough that
                     // candidates still rank by affected baseline mass.
@@ -997,10 +1270,12 @@ impl<'a> BenefitEvaluator<'a> {
         drop(overlays);
 
         // Heuristic answers are not memoized: a later evaluation inside
-        // budget (or past the fault) should get the real number.
-        if self.use_cache {
+        // budget (or past the fault) should get the real number. The
+        // bottom governor rung stops memo inserts too.
+        if self.use_cache && self.rung < GovernorRung::HeuristicOnly {
             for ((key, &value), &bad) in misses.iter().zip(&totals).zip(&tainted) {
                 if !bad {
+                    self.memo_bytes += (32 + 8 * key.len()) as u64;
                     self.cache.insert(key.clone(), value);
                 }
             }
@@ -1013,6 +1288,10 @@ impl<'a> BenefitEvaluator<'a> {
             })
             .collect();
         self.emit_what_if_events(&journal_slots, &out);
+        // Governor ladder + cadence checkpoint: only batches that actually
+        // costed something count (fully-served batches change no state
+        // worth persisting).
+        self.end_batch();
         out
     }
 

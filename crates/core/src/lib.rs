@@ -35,10 +35,11 @@ pub mod enumerate;
 pub mod error;
 pub mod generalize;
 pub mod report;
+pub mod runctl;
 pub mod search;
 pub mod session;
 
-pub use advisor::{Advisor, AdvisorParams, Recommendation, SearchAlgorithm};
+pub use advisor::{Advisor, AdvisorParams, PartialRecommendation, Recommendation, SearchAlgorithm};
 pub use benefit::{BenefitEvaluator, WhatIfBudget};
 pub use candidate::{CandId, Candidate, CandidateSet, StmtSet};
 pub use enumerate::{
@@ -47,4 +48,5 @@ pub use enumerate::{
 pub use error::{IssueStage, StatementIssue, XiaError};
 pub use generalize::{generalize_pair, generalize_set, generalize_set_fast, generalize_set_naive};
 pub use report::TuningReport;
+pub use runctl::{candidate_digest, load_checkpoint, GovernorRung, RunController, StopReason};
 pub use session::TuningSession;

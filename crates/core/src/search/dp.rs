@@ -55,6 +55,11 @@ pub fn dp_knapsack(
     let mut dp = vec![0.0f64; cap + 1];
     let mut keep = vec![vec![false; cap + 1]; items.len()];
     for (i, (_, _, value)) in items.iter().enumerate() {
+        // Cooperative stop: reconstruction over the partial table still
+        // yields a budget-feasible (if suboptimal) configuration.
+        if ev.ctl().poll().is_some() {
+            break;
+        }
         let w = weights[i];
         if w > cap {
             continue;

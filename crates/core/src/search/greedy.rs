@@ -14,11 +14,16 @@ use xia_obs::{Event, PruneReason};
 pub fn greedy(ev: &mut BenefitEvaluator<'_>, candidates: &[CandId], budget: u64) -> Vec<CandId> {
     let telemetry = ev.telemetry().clone();
     let journal = ev.journal().clone();
+    let ctl = ev.ctl().clone();
     let benefits = standalone_benefits(ev, candidates);
     let order = by_density(ev, &benefits, candidates);
     let mut chosen = Vec::new();
     let mut used = 0u64;
     for id in order {
+        // Cooperative stop: unwind with the best configuration so far.
+        if ctl.poll().is_some() {
+            break;
+        }
         telemetry.incr(xia_obs::Counter::GreedyIterations);
         if benefits[&id] <= 0.0 {
             continue;
@@ -60,6 +65,7 @@ pub fn greedy_heuristics(
 ) -> Vec<CandId> {
     let telemetry = ev.telemetry().clone();
     let journal = ev.journal().clone();
+    let ctl = ev.ctl().clone();
     let benefits = standalone_benefits(ev, candidates);
     let order = by_density(ev, &benefits, candidates);
 
@@ -71,6 +77,11 @@ pub fn greedy_heuristics(
     let basics = ev.candidates().basic_ids();
 
     for id in order {
+        // Cooperative stop: unwind with the best configuration so far
+        // (the redundancy pass below is skipped too).
+        if ctl.poll().is_some() {
+            break;
+        }
         telemetry.incr(xia_obs::Counter::GreedyIterations);
         if benefits[&id] <= 0.0 {
             continue;
@@ -178,6 +189,11 @@ pub fn greedy_heuristics(
     // `used` are rebuilt from the pruned `chosen` each round — the refill
     // must not re-admit coverage (or budget) freed only on paper.
     for _ in 0..4 {
+        // Each compile-and-refill round is a stop boundary: on expiry the
+        // current (already budget-feasible) configuration is returned.
+        if ctl.poll().is_some() {
+            break;
+        }
         let in_use = ev.used_candidates(&chosen);
         if in_use.len() == chosen.len() {
             break;
@@ -196,6 +212,9 @@ pub fn greedy_heuristics(
         covered = rebuild_covered(ev, &chosen, &basics);
         let mut grew = false;
         for &id in &by_density(ev, &benefits, candidates) {
+            if ctl.poll().is_some() {
+                break;
+            }
             if chosen.contains(&id) || benefits[&id] <= 0.0 {
                 continue;
             }
@@ -248,6 +267,9 @@ pub fn greedy_heuristics(
                 }
                 grew = true;
             }
+        }
+        if ctl.stopped().is_some() {
+            break;
         }
         if !grew {
             // Converged: one more prune below (loop) or done.

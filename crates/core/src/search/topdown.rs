@@ -61,6 +61,13 @@ pub fn top_down(
 
     // Iterative replacement.
     loop {
+        // Cooperative stop: the descent may still be over budget, so the
+        // best-so-far result is a greedy pack of the current members —
+        // standalone benefits are already computed, so this costs no
+        // further optimizer work.
+        if ev.ctl().poll().is_some() {
+            return greedy_prefix(ev, &benefits, &current, budget);
+        }
         let size = ev.candidates().config_size(&current);
         if size <= budget {
             fill_leftover(ev, &benefits, &mut current, candidates, budget, full);
@@ -200,6 +207,11 @@ fn fill_leftover(
     let mut used = ev.candidates().config_size(current);
     let mut cur_benefit = if full { ev.benefit(current) } else { 0.0 };
     for id in by_density(ev, benefits, candidates) {
+        // Cooperative stop: `current` already fits the budget, so it is
+        // the partial result as-is.
+        if ev.ctl().poll().is_some() {
+            break;
+        }
         if current.contains(&id) {
             continue;
         }

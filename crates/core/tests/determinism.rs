@@ -533,6 +533,231 @@ fn masked_trace_report_is_byte_identical_across_jobs() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Run-lifecycle matrix: cooperative cancellation, checkpoint/resume, and
+// the resource governor must all preserve the determinism contract. A
+// run killed at *any* checkpoint and resumed must reproduce the
+// uninterrupted run bit for bit — recommendation, pinned counters, and
+// the full JSONL journal — at every worker count. (Latency histograms
+// are excluded: warm-served tasks legitimately skip what-if samples.)
+
+use xia_advisor::RunController;
+
+/// Everything a lifecycle run must reproduce: completion state, the
+/// recommendation, the pinned counters plus the lifecycle-specific ones,
+/// and the byte-exact journal.
+#[derive(Debug, PartialEq)]
+struct LifecycleRun {
+    complete: bool,
+    config: Vec<xia_advisor::CandId>,
+    indexes: Vec<String>,
+    est_benefit_bits: u64,
+    counters: Vec<(Counter, u64)>,
+    journal: String,
+}
+
+fn lifecycle_counters(t: &Telemetry) -> Vec<(Counter, u64)> {
+    let mut v: Vec<(Counter, u64)> = PINNED.iter().map(|&c| (c, t.get(c))).collect();
+    v.push((
+        Counter::CheckpointsWritten,
+        t.get(Counter::CheckpointsWritten),
+    ));
+    v.push((
+        Counter::GovernorDemotions,
+        t.get(Counter::GovernorDemotions),
+    ));
+    v
+}
+
+fn run_lifecycle(
+    jobs: usize,
+    make_params: &dyn Fn() -> AdvisorParams,
+    ctl: RunController,
+    resume_from: Option<&std::path::Path>,
+) -> LifecycleRun {
+    let mut db = Database::new();
+    let cfg = TpoxConfig::tiny();
+    tpox::generate(&mut db, &cfg);
+    let w = Workload::from_texts(tpox::queries(&cfg).iter().map(|s| s.as_str())).unwrap();
+    let params = AdvisorParams {
+        jobs,
+        telemetry: Telemetry::new(),
+        journal: xia_obs::EventJournal::new(),
+        ctl,
+        ..make_params()
+    };
+    let set = Advisor::prepare(&mut db, &w, &params);
+    if let Some(path) = resume_from {
+        let entries =
+            xia_advisor::load_checkpoint(path, xia_advisor::candidate_digest(&set), &params.faults)
+                .expect("checkpoint must load");
+        params.ctl.install_warm(entries);
+    }
+    let rec = Advisor::recommend_prepared(
+        &mut db,
+        &w,
+        &set,
+        u64::MAX / 2,
+        SearchAlgorithm::GreedyHeuristics,
+        &params,
+    )
+    .expect("advise");
+    LifecycleRun {
+        complete: rec.complete,
+        config: rec.config.clone(),
+        indexes: rec.indexes.iter().map(|ix| format!("{ix:?}")).collect(),
+        est_benefit_bits: rec.est_benefit.to_bits(),
+        counters: lifecycle_counters(&params.telemetry),
+        journal: params.journal.to_jsonl(),
+    }
+}
+
+fn lc_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xia_lc_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The any-prefix resume property: kill the run at the k-th cooperative
+/// poll for a sweep of k, resume each from its checkpoint, and require
+/// the resumed run to equal the uninterrupted (checkpointing) run —
+/// journal included — at jobs 1 and 4.
+fn assert_resume_equivalence(tag: &str, make_params: &dyn Fn() -> AdvisorParams) {
+    let dir = lc_dir(tag);
+    for jobs in [1usize, 4] {
+        let full_ck = dir.join(format!("full_{jobs}.ckpt"));
+        let full = run_lifecycle(
+            jobs,
+            make_params,
+            RunController::new().with_checkpoint(&full_ck, 1),
+            None,
+        );
+        assert!(full.complete, "uninterrupted run must complete");
+        assert!(!full.config.is_empty(), "suite needs a non-trivial run");
+        for k in 1..=4u64 {
+            let kill_ck = dir.join(format!("kill_{jobs}_{k}.ckpt"));
+            let killed = run_lifecycle(
+                jobs,
+                make_params,
+                RunController::new()
+                    .with_cancel_after_polls(k)
+                    .with_checkpoint(&kill_ck, 1),
+                None,
+            );
+            assert!(!killed.complete, "cancel at poll {k} must stop the run");
+            assert!(kill_ck.exists(), "stopped run must leave a checkpoint");
+            let next_ck = dir.join(format!("next_{jobs}_{k}.ckpt"));
+            let resumed = run_lifecycle(
+                jobs,
+                make_params,
+                RunController::new().with_checkpoint(&next_ck, 1),
+                Some(&kill_ck),
+            );
+            assert_eq!(
+                resumed, full,
+                "kill at poll {k} + resume diverged from uninterrupted (jobs={jobs}, {tag})"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_matches_uninterrupted_clean() {
+    assert_resume_equivalence("clean", &AdvisorParams::default);
+}
+
+#[test]
+fn resume_matches_uninterrupted_under_faults() {
+    assert_resume_equivalence("faults", &|| AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::OptimizerCost, 0.3),
+        ..AdvisorParams::default()
+    });
+}
+
+#[test]
+fn resume_matches_uninterrupted_under_exhausted_budget() {
+    assert_resume_equivalence("budget", &|| AdvisorParams {
+        what_if_budget: WhatIfBudget::calls(32),
+        ..AdvisorParams::default()
+    });
+}
+
+#[test]
+fn partial_results_are_jobs_invariant() {
+    // Cooperative polls happen only on the coordinator, so a cancelled
+    // run stops at the same point — and returns the same best-so-far
+    // configuration — for every worker count.
+    for k in [1u64, 3, 6] {
+        let r1 = run_lifecycle(
+            1,
+            &AdvisorParams::default,
+            RunController::new().with_cancel_after_polls(k),
+            None,
+        );
+        assert!(!r1.complete, "cancel after {k} polls must stop the run");
+        assert!(
+            r1.journal.contains("run_stopped"),
+            "stop must be journaled: {}",
+            r1.journal
+        );
+        for jobs in [4usize, 8] {
+            let r = run_lifecycle(
+                jobs,
+                &AdvisorParams::default,
+                RunController::new().with_cancel_after_polls(k),
+                None,
+            );
+            assert_eq!(r1, r, "partial result diverged at jobs={jobs}, k={k}");
+        }
+    }
+    // A zero deadline expires at the first poll, deterministically.
+    let d1 = run_lifecycle(
+        1,
+        &AdvisorParams::default,
+        RunController::new().with_deadline_ms(0),
+        None,
+    );
+    assert!(!d1.complete);
+    for jobs in [4usize, 8] {
+        let d = run_lifecycle(
+            jobs,
+            &AdvisorParams::default,
+            RunController::new().with_deadline_ms(0),
+            None,
+        );
+        assert_eq!(d1, d, "deadline partial result diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn governor_ladder_is_deterministic_across_jobs() {
+    // A 1-byte budget trips on the first batch and walks the ladder; the
+    // coordinator-side byte tally makes every demotion (and the degraded
+    // costings after it) identical at every worker count.
+    let mk = || RunController::new().with_mem_budget(1);
+    let r1 = run_lifecycle(1, &AdvisorParams::default, mk(), None);
+    assert!(
+        r1.complete,
+        "the governor degrades, it does not stop the run"
+    );
+    let demotions = r1
+        .counters
+        .iter()
+        .find(|(c, _)| *c == Counter::GovernorDemotions)
+        .map(|&(_, n)| n)
+        .unwrap_or(0);
+    assert!(demotions > 0, "a 1-byte budget must demote");
+    assert!(
+        r1.journal.contains("governor_demoted"),
+        "every demotion must be journaled"
+    );
+    for jobs in [4usize, 8] {
+        let r = run_lifecycle(jobs, &AdvisorParams::default, mk(), None);
+        assert_eq!(r1, r, "governor run diverged at jobs={jobs}");
+    }
+}
+
 #[test]
 fn journal_round_trips_through_jsonl() {
     let mut db = Database::new();

@@ -39,14 +39,19 @@ pub enum FaultSite {
     OptimizerCost,
     /// Statistics collection (RUNSTATS) unavailable for a collection.
     StatsUnavailable,
+    /// Run-checkpoint I/O (checkpoint file reads and writes). A firing
+    /// write abandons that checkpoint (the previous one survives); a
+    /// firing read falls back to a cold start.
+    CheckpointIo,
 }
 
 impl FaultSite {
     /// All sites, in declaration order.
-    pub const ALL: [FaultSite; 3] = [
+    pub const ALL: [FaultSite; 4] = [
         FaultSite::StorageIo,
         FaultSite::OptimizerCost,
         FaultSite::StatsUnavailable,
+        FaultSite::CheckpointIo,
     ];
 
     /// Number of sites.
@@ -58,6 +63,7 @@ impl FaultSite {
             FaultSite::StorageIo => "storage-io",
             FaultSite::OptimizerCost => "optimizer-cost",
             FaultSite::StatsUnavailable => "stats-unavailable",
+            FaultSite::CheckpointIo => "checkpoint-io",
         }
     }
 

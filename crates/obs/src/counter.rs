@@ -78,11 +78,17 @@ pub enum Counter {
     /// Containment verdicts decided by the name-mask fast reject without
     /// running the NFA product search.
     ContainFastRejects,
+    /// Resource-governor demotions: rungs of the graceful-degradation
+    /// ladder walked because the cache memory tally exceeded
+    /// `--mem-budget`.
+    GovernorDemotions,
+    /// Run-progress checkpoints written by the run controller.
+    CheckpointsWritten,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 31] = [
         Counter::OptimizerEvaluateCalls,
         Counter::OptimizerEnumerateCalls,
         Counter::IndexMatchingAttempts,
@@ -112,6 +118,8 @@ impl Counter {
         Counter::PairsMemoHits,
         Counter::ContainCacheHits,
         Counter::ContainFastRejects,
+        Counter::GovernorDemotions,
+        Counter::CheckpointsWritten,
     ];
 
     /// Number of counters.
@@ -149,6 +157,8 @@ impl Counter {
             Counter::PairsMemoHits => "pairs_memo_hits",
             Counter::ContainCacheHits => "contain_cache_hits",
             Counter::ContainFastRejects => "contain_fast_rejects",
+            Counter::GovernorDemotions => "governor_demotions",
+            Counter::CheckpointsWritten => "checkpoints_written",
         }
     }
 

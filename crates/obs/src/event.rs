@@ -123,6 +123,21 @@ pub enum Event {
         /// Optimizer calls charged when the budget tripped.
         charged: u64,
     },
+    /// The run controller stopped the run before the search finished;
+    /// the recommendation is the best configuration found so far.
+    RunStopped {
+        /// Why the run stopped (`deadline` / `cancelled`).
+        reason: String,
+    },
+    /// The resource governor walked one rung down the graceful-degradation
+    /// ladder because the cache memory tally exceeded the budget.
+    GovernorDemoted {
+        /// The rung entered (`shrink_memo` / `no_stmt_cache` /
+        /// `heuristic_only`).
+        rung: String,
+        /// Approximate live cache bytes when the demotion fired.
+        approx_bytes: u64,
+    },
 }
 
 impl Event {
@@ -136,6 +151,8 @@ impl Event {
             Event::KnapsackDecision { .. } => "knapsack_decision",
             Event::FaultInjected { .. } => "fault_injected",
             Event::BudgetExhausted { .. } => "budget_exhausted",
+            Event::RunStopped { .. } => "run_stopped",
+            Event::GovernorDemoted { .. } => "governor_demoted",
         }
     }
 
@@ -199,6 +216,11 @@ impl Event {
             Event::BudgetExhausted { charged } => {
                 vec![("charged".into(), Json::Num(*charged as f64))]
             }
+            Event::RunStopped { reason } => vec![("reason".into(), s(reason))],
+            Event::GovernorDemoted { rung, approx_bytes } => vec![
+                ("rung".into(), s(rung)),
+                ("approx_bytes".into(), Json::Num(*approx_bytes as f64)),
+            ],
         }
     }
 
@@ -270,6 +292,13 @@ impl Event {
             "budget_exhausted" => Event::BudgetExhausted {
                 charged: num_field("charged")? as u64,
             },
+            "run_stopped" => Event::RunStopped {
+                reason: str_field("reason")?,
+            },
+            "governor_demoted" => Event::GovernorDemoted {
+                rung: str_field("rung")?,
+                approx_bytes: num_field("approx_bytes")? as u64,
+            },
             other => return Err(format!("unknown event tag `{other}`")),
         })
     }
@@ -311,6 +340,13 @@ mod tests {
             },
             Event::FaultInjected { statement: 3 },
             Event::BudgetExhausted { charged: 500 },
+            Event::RunStopped {
+                reason: "deadline".into(),
+            },
+            Event::GovernorDemoted {
+                rung: "shrink_memo".into(),
+                approx_bytes: 1 << 20,
+            },
         ]
     }
 

@@ -237,6 +237,7 @@ impl Telemetry {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
+            dropped_events: 0,
             phases: self.span_snapshots(),
             latencies: Hist::ALL
                 .iter()

@@ -88,6 +88,18 @@ pub fn derive(events: &[(u64, Event)], pattern: &str) -> Derivation {
     d
 }
 
+/// A warning line for provenance output when the journal ring dropped
+/// events: the replayed derivation chain may be missing its oldest links,
+/// so it must be presented as incomplete rather than authoritative.
+pub fn incompleteness_note(dropped: u64) -> Option<String> {
+    (dropped > 0).then(|| {
+        format!(
+            "warning: journal ring dropped {dropped} event{}; the derivation chain may be incomplete",
+            if dropped == 1 { "" } else { "s" }
+        )
+    })
+}
+
 /// Renders the full derivation chain for `pattern` as indented text,
 /// recursing through generalization parents down to basic candidates
 /// (with a cycle guard). Returns a "no events" message for unknown
@@ -276,6 +288,14 @@ mod tests {
     fn explain_why_handles_unknown_patterns() {
         let text = explain_why(&sample_events(), "/No/Such/Pattern");
         assert!(text.contains("no journal events"));
+    }
+
+    #[test]
+    fn incompleteness_note_fires_only_on_drops() {
+        assert_eq!(incompleteness_note(0), None);
+        let note = incompleteness_note(2).unwrap();
+        assert!(note.contains("dropped 2 events"));
+        assert!(note.contains("incomplete"));
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct StatementTrace {
 pub struct TraceReport {
     /// Every counter with its value, in declaration order.
     pub counters: Vec<(String, u64)>,
+    /// Events the decision journal's ring buffer dropped (oldest first)
+    /// because it overflowed. Non-zero means provenance replay over this
+    /// run's journal sees an incomplete chain.
+    pub dropped_events: u64,
     /// Phase-timing tree roots.
     pub phases: Vec<SpanSnapshot>,
     /// Named latency distributions ([`crate::Hist::ALL`] order): what-if
@@ -65,6 +69,10 @@ impl TraceReport {
                         .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
                         .collect(),
                 ),
+            ),
+            (
+                "dropped_events".to_string(),
+                Json::Num(self.dropped_events as f64),
             ),
             (
                 "phases".to_string(),
@@ -112,6 +120,12 @@ impl TraceReport {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("missing `counters` object".to_string()),
         };
+        // Lenient: reports written before the journal-overflow counter
+        // existed simply report zero drops.
+        let dropped_events = v
+            .get("dropped_events")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64;
         let phases = match v.get("phases") {
             Some(Json::Arr(items)) => items
                 .iter()
@@ -153,6 +167,7 @@ impl TraceReport {
         };
         Ok(TraceReport {
             counters,
+            dropped_events,
             phases,
             latencies,
             statements,
@@ -181,6 +196,14 @@ impl TraceReport {
             if *value > 0 {
                 let _ = writeln!(out, "  {name:<width$}  {value}");
             }
+        }
+        if self.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "journal: ring buffer dropped {} event{} — provenance replay is incomplete",
+                self.dropped_events,
+                if self.dropped_events == 1 { "" } else { "s" }
+            );
         }
         if self.latencies.iter().any(|(_, s)| s.count > 0) {
             out.push_str("latencies:\n");
@@ -399,12 +422,26 @@ mod tests {
     fn from_json_tolerates_reports_without_latencies() {
         let report = TraceReport {
             counters: vec![("benefit_cache_hits".to_string(), 1)],
+            dropped_events: 0,
             phases: Vec::new(),
             latencies: Vec::new(),
             statements: Vec::new(),
         };
         let text = r#"{"counters":{"benefit_cache_hits":1},"phases":[],"statements":[]}"#;
         assert_eq!(TraceReport::from_json(text).unwrap(), report);
+    }
+
+    #[test]
+    fn dropped_events_render_and_round_trip() {
+        let mut report = sample();
+        assert!(!report.to_text().contains("dropped"));
+        report.dropped_events = 3;
+        let text = report.to_text();
+        assert!(text.contains("dropped 3 events"));
+        assert!(text.contains("incomplete"));
+        let back = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.dropped_events, 3);
+        assert_eq!(back, report);
     }
 
     #[test]
