@@ -1,0 +1,105 @@
+//! Overhead gate for the streaming data path, meant for CI: exits
+//! non-zero if the default streaming ingest path (single-pass parse fused
+//! with the columnar append) measurably lags the DOM path it replaced.
+//!
+//! Two legs:
+//!
+//! * **Throughput**: parse-and-insert the serialized tiny TPoX corpus
+//!   through [`Collection::insert_xml`] (streaming, fused columnar
+//!   append) versus [`Collection::insert_xml_dom`] (materialize the DOM,
+//!   then project columns). Streaming must stay within the tolerance of
+//!   the DOM baseline — it does strictly less work per node, so any real
+//!   regression here is a bug, not noise.
+//! * **Parity**: both paths must produce identical collections (same
+//!   vocabulary, same document arenas, same column store). A throughput
+//!   win on a wrong answer is no win; the gate asserts parity before it
+//!   times anything.
+//!
+//! Timing is noisy on shared CI runners, so the gate retries a few rounds
+//! and fails only if every round regresses. `XIA_GATE_TOLERANCE`
+//! overrides the relative tolerance (default 0.05 = 5%).
+
+use std::time::Instant;
+use xia_storage::Collection;
+use xia_workloads::tpox::{self, TpoxConfig};
+
+const ROUNDS: usize = 5;
+
+fn tolerance() -> f64 {
+    std::env::var("XIA_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// Inserts every text into a fresh collection; returns (collection, secs).
+fn ingest_secs(texts: &[String], use_dom: bool) -> (Collection, f64) {
+    let mut c = Collection::new("GATE");
+    let t0 = Instant::now();
+    for t in texts {
+        let r = if use_dom {
+            c.insert_xml_dom(t)
+        } else {
+            c.insert_xml(t)
+        };
+        r.expect("generated TPoX documents parse");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(c.len());
+    (c, secs)
+}
+
+fn main() {
+    let tol = tolerance();
+    let (securities, orders, customers) = tpox::docs_xml(&TpoxConfig::tiny());
+    let mut texts = securities;
+    texts.extend(orders);
+    texts.extend(customers);
+
+    // Parity first: a fast wrong answer must not pass the gate.
+    let (stream, _) = ingest_secs(&texts, false);
+    let (dom, _) = ingest_secs(&texts, true);
+    assert_eq!(
+        stream.vocab(),
+        dom.vocab(),
+        "streaming and DOM ingest built different vocabularies"
+    );
+    assert!(
+        stream.iter_docs().eq(dom.iter_docs()),
+        "streaming and DOM ingest built different documents"
+    );
+    assert_eq!(
+        stream.columns(),
+        dom.columns(),
+        "streaming and DOM ingest built different column stores"
+    );
+    println!("parity: streaming == DOM over {} documents", texts.len());
+
+    let mut pass = false;
+    for round in 1..=ROUNDS {
+        let (_, dom_secs) = ingest_secs(&texts, true);
+        let (_, stream_secs) = ingest_secs(&texts, false);
+        let ok = stream_secs <= dom_secs * (1.0 + tol);
+        println!(
+            "round {round}: dom {:.1} ms, streaming {:.1} ms ({:+.1}%) [{}]",
+            dom_secs * 1e3,
+            stream_secs * 1e3,
+            (stream_secs / dom_secs - 1.0) * 100.0,
+            if ok { "ok" } else { "REGRESSED" },
+        );
+        if ok {
+            pass = true;
+            break;
+        }
+    }
+    if pass {
+        println!("datapath gate: PASS (tolerance {:.0}%)", tol * 100.0);
+    } else {
+        eprintln!(
+            "datapath gate: FAIL — streaming ingest lagged the DOM path in all {ROUNDS} rounds \
+             (tolerance {:.0}%)",
+            tol * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,14 +1,27 @@
-//! Advisor scalability: cost vs workload size.
+//! Advisor scalability (cost vs workload size) plus the data-path sweep
+//! (streaming parallel ingest and columnar scan throughput vs corpus
+//! size). Both land in one combined `results/scalability.csv`.
 
-use xia_bench::experiments::scalability::{self, DEFAULT_SIZES};
+use xia_bench::experiments::scalability::{self, DEFAULT_FACTORS, DEFAULT_SIZES};
 use xia_bench::{write_csv, TpoxLab};
+
+fn jobs() -> usize {
+    std::env::var("XIA_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
 
 fn main() {
     let mut lab = TpoxLab::standard();
     let points = scalability::run(&mut lab, &DEFAULT_SIZES);
-    let table = scalability::table(&points);
-    print!("{}", table.render());
-    if let Some(p) = write_csv(&table, "scalability") {
+    print!("{}", scalability::table(&points).render());
+
+    let datapath = scalability::run_datapath(&DEFAULT_FACTORS, jobs());
+    print!("{}", scalability::datapath_table(&datapath).render());
+
+    let combined = scalability::combined_table(&points, &datapath);
+    if let Some(p) = write_csv(&combined, "scalability") {
         println!("wrote {}", p.display());
     }
 }

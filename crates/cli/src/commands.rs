@@ -49,27 +49,57 @@ pub fn init(db_path: Option<&str>) -> Result<String, CliError> {
     Ok(format!("created empty database {path}\n"))
 }
 
-/// `xia load <db> <collection> <file...>`
+/// `xia load <db> <collection> <file...> [--jobs <n>] [--no-stream]`
 pub fn load(args: &[String]) -> Result<String, CliError> {
     let (path, mut db) = open(args.first().map(|s| s.as_str()))?;
     let collection = require(args, 1, "<collection>")?.to_string();
-    let files = &args[2..];
+    let mut files: Vec<&str> = Vec::new();
+    let mut opts = xia_storage::IngestOptions::default();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-j" | "--jobs" => {
+                let v = require(args, i + 1, "worker count after --jobs")?;
+                opts.jobs = v.parse().map_err(|_| {
+                    CliError::usage(format!("bad job count `{v}` (expected a number; 0 = auto)"))
+                })?;
+                i += 2;
+            }
+            "--no-stream" => {
+                opts.use_dom = true;
+                i += 1;
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::usage(format!("unknown load flag `{other}`")));
+            }
+            file => {
+                files.push(file);
+                i += 1;
+            }
+        }
+    }
     if files.is_empty() {
         return Err(CliError::new("no XML files given"));
     }
-    let mut loaded = 0usize;
-    for file in files {
-        let text = std::fs::read_to_string(file)
-            .map_err(|e| CliError::new(format!("cannot read {file}: {e}")))?;
-        let coll = db.create_collection(&collection);
-        coll.insert_xml(&text)
-            .map_err(|e| CliError::new(format!("{file}: {e}")))?;
-        loaded += 1;
+    let mut texts = Vec::with_capacity(files.len());
+    for file in &files {
+        texts.push(
+            std::fs::read_to_string(file)
+                .map_err(|e| CliError::new(format!("cannot read {file}: {e}")))?,
+        );
     }
+    // All-or-nothing batch: on a parse error nothing is inserted and the
+    // failing *file* is named, not just its batch index.
+    let coll = db.create_collection(&collection);
+    let report = xia_storage::ingest_batch(coll, &texts, opts)
+        .map_err(|e| CliError::new(format!("{}: {}", files[e.index], e.error)))?;
     db.runstats_all();
     save_database(&db, &path)?;
     Ok(format!(
-        "loaded {loaded} document(s) into {collection}; {path} saved\n"
+        "loaded {} document(s) ({} nodes) into {collection} with {} worker(s); {path} saved\n",
+        report.doc_ids.len(),
+        report.nodes,
+        report.workers,
     ))
 }
 
@@ -870,6 +900,34 @@ mod tests {
     }
 
     #[test]
+    fn load_batch_is_all_or_nothing_and_names_the_bad_file() {
+        let dir = tmpdir();
+        let db = dir.join("batch.xiadb").to_string_lossy().to_string();
+        init(Some(&db)).unwrap();
+        let mut args = vec![db.clone(), "C".to_string()];
+        for i in 0..6 {
+            let f = dir.join(format!("batch{i}.xml"));
+            let body = if i == 4 {
+                "<broken".to_string()
+            } else {
+                format!("<a><b>{i}</b></a>")
+            };
+            std::fs::write(&f, body).unwrap();
+            args.push(f.to_string_lossy().to_string());
+        }
+        args.push("--jobs".to_string());
+        args.push("3".to_string());
+        let err = load(&args).unwrap_err();
+        assert!(err.to_string().contains("batch4.xml"), "{err}");
+        // Nothing was inserted.
+        let out = stats(Some(&db)).unwrap();
+        assert!(out.contains("database is empty"), "{out}");
+        // Unknown flags are usage errors.
+        let err = load(&s(&[&db, "C", "x.xml", "--frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown load flag"), "{err}");
+    }
+
+    #[test]
     fn init_load_stats_explain_exec_recommend_round_trip() {
         let dir = tmpdir();
         let db = dir.join("t.xiadb").to_string_lossy().to_string();
@@ -903,6 +961,20 @@ mod tests {
         }
         let out = load(&file_args).unwrap();
         assert!(out.contains("loaded 60"));
+
+        // Reloading the same corpus through the DOM escape hatch and with
+        // parallel workers produces the same database surface.
+        let db_dom = dir.join("t_dom.xiadb").to_string_lossy().to_string();
+        init(Some(&db_dom)).unwrap();
+        let mut dom_args = vec![db_dom.clone()];
+        dom_args.extend(file_args[1..].iter().cloned());
+        dom_args.push("--no-stream".to_string());
+        dom_args.push("--jobs".to_string());
+        dom_args.push("4".to_string());
+        let out = load(&dom_args).unwrap();
+        assert!(out.contains("loaded 60"), "{out}");
+        assert!(out.contains("4 worker(s)"), "{out}");
+        assert_eq!(stats(Some(&db)).unwrap(), stats(Some(&db_dom)).unwrap());
 
         // stats
         let out = stats(Some(&db)).unwrap();

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! xia init      <db>                          create an empty database file
-//! xia load      <db> <collection> <file...>   load XML documents
+//! xia load      <db> <collection> <file...>   load XML documents [--jobs <n>] [--no-stream]
 //! xia stats     <db>                          collection/path statistics
 //! xia explain   <db> <statement>              show the optimizer's plan
 //! xia exec      <db> <statement>              execute a query
@@ -196,6 +196,10 @@ xia — XML Index Advisor
 USAGE:
   xia init      <db>                           create an empty database file
   xia load      <db> <collection> <file...>    load XML documents into a collection
+                [--jobs <n>] [--no-stream]   parallel batch ingest (all-or-nothing);
+                                             --no-stream uses the DOM parser instead
+                                             of the default streaming path (the
+                                             result is byte-identical either way)
   xia stats     <db>                           print collection and path statistics
   xia explain   <db> <statement>               show the best plan and its cost
   xia explain   <db> -w <workload-file> -b <budget-bytes> [-a <algo>]

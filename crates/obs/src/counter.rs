@@ -84,11 +84,21 @@ pub enum Counter {
     GovernorDemotions,
     /// Run-progress checkpoints written by the run controller.
     CheckpointsWritten,
+    /// Documents ingested through the streaming (SAX-style) parse path
+    /// instead of the DOM parser.
+    DocsStreamed,
+    /// Multi-document ingestion batches processed (one per worker chunk of
+    /// a parallel `ingest_batch` call).
+    IngestBatches,
+    /// Value rows iterated from the columnar leaf store during statistics
+    /// collection and physical index builds (contiguous typed slices
+    /// instead of per-node pointer chasing).
+    ColumnarScanRows,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 34] = [
         Counter::OptimizerEvaluateCalls,
         Counter::OptimizerEnumerateCalls,
         Counter::IndexMatchingAttempts,
@@ -120,6 +130,9 @@ impl Counter {
         Counter::ContainFastRejects,
         Counter::GovernorDemotions,
         Counter::CheckpointsWritten,
+        Counter::DocsStreamed,
+        Counter::IngestBatches,
+        Counter::ColumnarScanRows,
     ];
 
     /// Number of counters.
@@ -159,6 +172,9 @@ impl Counter {
             Counter::ContainFastRejects => "contain_fast_rejects",
             Counter::GovernorDemotions => "governor_demotions",
             Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::DocsStreamed => "docs_streamed",
+            Counter::IngestBatches => "ingest_batches",
+            Counter::ColumnarScanRows => "columnar_scan_rows",
         }
     }
 

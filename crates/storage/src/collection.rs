@@ -1,6 +1,11 @@
 //! Multi-document XML collection.
 
-use xia_xml::{parse_document, DocBuilder, Document, Vocabulary, XmlError};
+use crate::columnar::ColumnStore;
+use xia_obs::{Counter, Telemetry};
+use xia_xml::{
+    parse_document, stream_document, DocBuilder, Document, DocumentSink, StreamSink, Symbol, Value,
+    Vocabulary, XmlError,
+};
 
 /// Identifier of a document within a collection. Ids are never reused; a
 /// deleted document leaves a tombstone.
@@ -16,12 +21,58 @@ impl DocId {
 
 /// A collection of XML documents sharing one vocabulary — the equivalent of
 /// one XML-typed column in the paper's DB2 prototype.
-#[derive(Debug, Default)]
+///
+/// Alongside the DOM arenas the collection maintains a columnar
+/// projection of every leaf value ([`ColumnStore`]); inserts keep it
+/// fresh incrementally (streamed inserts fuse the column append into the
+/// parse), while deletes and in-place updates mark it dirty until the
+/// next [`Collection::ensure_columns`].
+#[derive(Debug)]
 pub struct Collection {
     name: String,
     vocab: Vocabulary,
     docs: Vec<Option<Document>>,
     live: usize,
+    columns: ColumnStore,
+    columns_clean: bool,
+    telemetry: Telemetry,
+}
+
+impl Default for Collection {
+    fn default() -> Self {
+        Self::new("")
+    }
+}
+
+/// Streaming sink that builds the DOM arena *and* appends the document's
+/// leaf values to the collection's column store in one pass (events
+/// arrive in the per-path row order the store requires; see
+/// `columnar.rs`).
+struct ColumnDocSink<'a> {
+    inner: DocumentSink,
+    columns: &'a mut ColumnStore,
+    doc: DocId,
+}
+
+impl StreamSink for ColumnDocSink<'_> {
+    fn start_element(&mut self, name: Symbol, path: xia_xml::PathId) {
+        self.columns.note_node(path, self.doc);
+        self.inner.start_element(name, path);
+    }
+
+    fn attribute(&mut self, name: Symbol, path: xia_xml::PathId, value: Value) {
+        self.columns.note_node(path, self.doc);
+        self.columns
+            .push_value(path, self.doc, self.inner.next_id(), &value);
+        self.inner.attribute(name, path, value);
+    }
+
+    fn end_element(&mut self, name: Symbol, path: xia_xml::PathId, value: Option<Value>) {
+        if let (Some(v), Some(node)) = (&value, self.inner.open_element()) {
+            self.columns.push_value(path, self.doc, node, v);
+        }
+        self.inner.end_element(name, path, value);
+    }
 }
 
 impl Collection {
@@ -32,6 +83,9 @@ impl Collection {
             vocab: Vocabulary::new(),
             docs: Vec::new(),
             live: 0,
+            columns: ColumnStore::new(),
+            columns_clean: true,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -45,15 +99,73 @@ impl Collection {
         &self.vocab
     }
 
-    /// Parses and stores an XML document.
+    /// Parses and stores an XML document through the streaming parse
+    /// path: one scan builds the DOM arena and appends the leaf values to
+    /// the column store, without an intermediate tree walk. Produces a
+    /// state byte-identical to [`Collection::insert_xml_dom`].
     pub fn insert_xml(&mut self, xml: &str) -> Result<DocId, XmlError> {
+        let id = DocId(self.docs.len() as u32);
+        if !self.columns_clean {
+            // Columns are already stale: skip the fused append, parse
+            // straight into the arena.
+            let mut sink = DocumentSink::new();
+            stream_document(xml, &mut self.vocab, &mut sink)?;
+            self.telemetry.incr(Counter::DocsStreamed);
+            let doc = sink
+                .into_document()
+                .map_err(|message| XmlError { offset: 0, message })?;
+            return Ok(self.push_doc(doc));
+        }
+        let mut sink = ColumnDocSink {
+            inner: DocumentSink::new(),
+            columns: &mut self.columns,
+            doc: id,
+        };
+        match stream_document(xml, &mut self.vocab, &mut sink) {
+            Ok(()) => {
+                self.telemetry.incr(Counter::DocsStreamed);
+                let doc = sink
+                    .inner
+                    .into_document()
+                    .map_err(|message| XmlError { offset: 0, message })?;
+                Ok(self.push_doc(doc))
+            }
+            Err(e) => {
+                // The fused sink may have appended rows for the aborted
+                // document; rebuild lazily before the next columnar scan.
+                self.columns_clean = false;
+                Err(e)
+            }
+        }
+    }
+
+    /// Parses and stores an XML document through the DOM parser — the
+    /// `--no-stream` escape hatch. Byte-identical outcome to
+    /// [`Collection::insert_xml`].
+    pub fn insert_xml_dom(&mut self, xml: &str) -> Result<DocId, XmlError> {
         let doc = parse_document(xml, &mut self.vocab)?;
         Ok(self.insert_document(doc))
+    }
+
+    /// Stores a document parsed against a *different* vocabulary by
+    /// re-interning it into this collection's vocabulary (the merge step
+    /// of parallel ingestion; see [`Document::remap`]).
+    pub fn insert_parsed(&mut self, from: &Vocabulary, doc: &Document) -> DocId {
+        let remapped = doc.remap(from, &mut self.vocab);
+        self.insert_document(remapped)
     }
 
     /// Stores a pre-built document. The document must have been built
     /// against this collection's vocabulary.
     pub fn insert_document(&mut self, doc: Document) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        if self.columns_clean {
+            self.columns.append_doc(id, &doc);
+        }
+        self.push_doc(doc)
+    }
+
+    fn push_doc(&mut self, doc: Document) -> DocId {
         let id = DocId(self.docs.len() as u32);
         self.docs.push(Some(doc));
         self.live += 1;
@@ -77,12 +189,14 @@ impl Collection {
         self.insert_document(doc)
     }
 
-    /// Removes a document, returning it. Idempotent.
+    /// Removes a document, returning it. Idempotent. Marks the columnar
+    /// projection stale.
     pub fn delete(&mut self, id: DocId) -> Option<Document> {
         let slot = self.docs.get_mut(id.index())?;
         let doc = slot.take();
         if doc.is_some() {
             self.live -= 1;
+            self.columns_clean = false;
         }
         doc
     }
@@ -93,8 +207,14 @@ impl Collection {
     }
 
     /// Mutably borrows a live document (used by `update` execution).
+    /// Marks the columnar projection stale: the caller may rewrite leaf
+    /// values behind the columns' back.
     pub fn doc_mut(&mut self, id: DocId) -> Option<&mut Document> {
-        self.docs.get_mut(id.index()).and_then(|d| d.as_mut())
+        let doc = self.docs.get_mut(id.index()).and_then(|d| d.as_mut());
+        if doc.is_some() {
+            self.columns_clean = false;
+        }
+        doc
     }
 
     /// Number of live documents.
@@ -154,7 +274,44 @@ impl Collection {
             }
         }
         self.docs = compacted;
+        self.rebuild_columns();
         mapping
+    }
+
+    /// The columnar leaf projection, or `None` while it is stale (after a
+    /// delete or an in-place update). Call
+    /// [`Collection::ensure_columns`] to refresh it.
+    pub fn columns(&self) -> Option<&ColumnStore> {
+        self.columns_clean.then_some(&self.columns)
+    }
+
+    /// Rebuilds the columnar projection if stale.
+    pub fn ensure_columns(&mut self) {
+        if !self.columns_clean {
+            self.rebuild_columns();
+        }
+    }
+
+    fn rebuild_columns(&mut self) {
+        self.columns.clear();
+        for (i, slot) in self.docs.iter().enumerate() {
+            if let Some(doc) = slot {
+                self.columns.append_doc(DocId(i as u32), doc);
+            }
+        }
+        self.columns_clean = true;
+    }
+
+    /// Attaches a telemetry sink; ingestion and columnar-scan counters
+    /// (`docs_streamed`, `ingest_batches`, `columnar_scan_rows`) report
+    /// to it.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+    }
+
+    /// The attached telemetry sink (disabled unless set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 

@@ -89,6 +89,7 @@ impl Database {
         let i = *self.by_name.get(name)?;
         let e = &mut self.entries[i];
         if e.stats.is_none() {
+            e.collection.ensure_columns();
             e.stats = Some(runstats(&e.collection));
         }
         let Entry {
@@ -159,6 +160,7 @@ impl Database {
                 e.stats = None;
                 continue;
             }
+            e.collection.ensure_columns();
             e.stats = Some(runstats(&e.collection));
         }
     }
@@ -172,6 +174,7 @@ impl Database {
             if faults.roll(FaultSite::StatsUnavailable).is_err() {
                 return None;
             }
+            e.collection.ensure_columns();
             e.stats = Some(runstats(&e.collection));
         }
         e.stats.as_ref()
@@ -188,11 +191,13 @@ impl Database {
     }
 
     /// Attaches a telemetry sink to every collection's catalog (see
-    /// [`Catalog::set_telemetry`]). Collections created afterwards start
-    /// with a disabled sink.
+    /// [`Catalog::set_telemetry`]) and to every collection's ingestion /
+    /// columnar-scan counters. Collections created afterwards start with
+    /// a disabled sink.
     pub fn set_telemetry(&mut self, telemetry: &xia_obs::Telemetry) {
         for e in &mut self.entries {
             e.catalog.set_telemetry(telemetry);
+            e.collection.set_telemetry(telemetry);
         }
     }
 

@@ -7,7 +7,9 @@
 //! SQL VARCHAR / DOUBLE`.
 
 use crate::collection::{Collection, DocId};
+use crate::columnar::ColumnStore;
 use std::collections::{BTreeMap, HashSet};
+use xia_obs::Counter;
 use xia_xml::{Document, NodeId, PathId, Vocabulary};
 use xia_xpath::{CmpOp, LinearPath, Literal, PathMatcher, ValueKind};
 
@@ -76,10 +78,76 @@ impl PhysicalIndex {
             entries: 0,
             key_bytes: 0,
         };
-        for (doc_id, doc) in collection.iter_docs() {
-            idx.insert_doc_inner(doc_id, doc);
+        match collection.columns() {
+            // Columnar build: iterate the contiguous per-path value
+            // arrays instead of walking every node of every document.
+            Some(cols) => idx.build_from_columns(collection, cols),
+            None => {
+                for (doc_id, doc) in collection.iter_docs() {
+                    idx.insert_doc_inner(doc_id, doc);
+                }
+            }
         }
         idx
+    }
+
+    /// Builds the key maps from the columnar projection. Value rows of
+    /// all matched paths are merged in `(doc, node)` order — the exact
+    /// order the document scan inserts them — so the resulting maps and
+    /// posting vectors are identical to [`PhysicalIndex::insert_doc_inner`]
+    /// output.
+    fn build_from_columns(&mut self, collection: &Collection, cols: &ColumnStore) {
+        let mut rows_scanned = 0u64;
+        match self.kind {
+            ValueKind::Str => {
+                let mut rows: Vec<(DocId, NodeId, &str)> = Vec::new();
+                for &path in &self.matched_paths {
+                    let Some(col) = cols.col(path) else { continue };
+                    if col.node_count() > 0 {
+                        self.struct_map.insert(path, col.struct_docs().to_vec());
+                    }
+                    rows_scanned += col.rows();
+                    for (i, v) in col.strs().iter().enumerate() {
+                        rows.push((col.docs()[i], col.nodes()[i], v));
+                    }
+                }
+                rows.sort_unstable_by_key(|&(d, n, _)| (d, n));
+                for (doc, node, v) in rows {
+                    self.key_bytes += v.len() as u64;
+                    self.str_map
+                        .entry(v.into())
+                        .or_default()
+                        .push(Posting { doc, node });
+                    self.entries += 1;
+                }
+            }
+            ValueKind::Num => {
+                let mut rows: Vec<(DocId, NodeId, f64)> = Vec::new();
+                for &path in &self.matched_paths {
+                    let Some(col) = cols.col(path) else { continue };
+                    if col.node_count() > 0 {
+                        self.struct_map.insert(path, col.struct_docs().to_vec());
+                    }
+                    rows_scanned += col.nums().len() as u64;
+                    for &(row, n) in col.nums() {
+                        let row = row as usize;
+                        rows.push((col.docs()[row], col.nodes()[row], n));
+                    }
+                }
+                rows.sort_unstable_by_key(|&(d, n, _)| (d, n));
+                for (doc, node, n) in rows {
+                    self.key_bytes += 8;
+                    self.num_map
+                        .entry(OrdF64(n))
+                        .or_default()
+                        .push(Posting { doc, node });
+                    self.entries += 1;
+                }
+            }
+        }
+        collection
+            .telemetry()
+            .add(Counter::ColumnarScanRows, rows_scanned);
     }
 
     /// The index pattern.
@@ -389,6 +457,50 @@ mod tests {
         let idx = PhysicalIndex::build(&c, &p, ValueKind::Str);
         assert!(idx.lookup_eq(&Literal::Num(1.0)).is_empty());
         assert!(idx.lookup_cmp(CmpOp::Gt, &Literal::Num(1.0)).is_empty());
+    }
+
+    #[test]
+    fn columnar_build_matches_document_scan() {
+        // Two identical collections; one has its columnar projection
+        // dirtied so PhysicalIndex::build takes the document-scan
+        // fallback. The resulting indexes must be bit-identical.
+        let texts: Vec<String> = (0..25)
+            .map(|i| {
+                format!(
+                    "<Security><Symbol>S{}</Symbol><Yield>{}</Yield><SecInfo s=\"T{}\"><Sector>E{}</Sector></SecInfo></Security>",
+                    i % 9,
+                    i as f64 / 2.0,
+                    i % 4,
+                    i % 3
+                )
+            })
+            .collect();
+        let mut cols = Collection::new("SDOC");
+        let mut scan = Collection::new("SDOC");
+        for t in &texts {
+            cols.insert_xml(t).unwrap();
+            scan.insert_xml(t).unwrap();
+        }
+        // Dirty the scan collection's columns without changing data.
+        let _ = scan.doc_mut(DocId(0));
+        assert!(cols.columns().is_some());
+        assert!(scan.columns().is_none());
+        for (pat, kind) in [
+            ("/Security/Symbol", ValueKind::Str),
+            ("/Security/Yield", ValueKind::Num),
+            ("/Security//*", ValueKind::Str),
+            ("/Security/SecInfo/s", ValueKind::Str),
+            ("/Nothing/Here", ValueKind::Num),
+        ] {
+            let p = parse_linear_path(pat).unwrap();
+            let a = PhysicalIndex::build(&cols, &p, kind);
+            let b = PhysicalIndex::build(&scan, &p, kind);
+            assert_eq!(a.str_map, b.str_map, "{pat}");
+            assert_eq!(a.num_map, b.num_map, "{pat}");
+            assert_eq!(a.struct_map, b.struct_map, "{pat}");
+            assert_eq!(a.entries, b.entries, "{pat}");
+            assert_eq!(a.key_bytes, b.key_bytes, "{pat}");
+        }
     }
 
     #[test]

@@ -17,19 +17,23 @@
 
 pub mod catalog;
 pub mod collection;
+pub mod columnar;
 pub mod database;
 pub mod index;
+pub mod ingest;
 pub mod persist;
 pub mod size;
 pub mod stats;
 
 pub use catalog::{Catalog, CatalogOverlay, CatalogView, IndexDef, IndexId, IndexStats};
 pub use collection::{Collection, DocId};
+pub use columnar::{ColumnStore, PathColumn};
 pub use database::Database;
 pub use index::{OrdF64, PhysicalIndex, Posting};
+pub use ingest::{ingest_batch, resolve_jobs, IngestError, IngestOptions, IngestReport};
 pub use persist::{
     fnv1a64, load_database, load_database_from, load_database_lenient,
     load_database_lenient_faulted, load_database_lenient_from, save_database,
     save_database_faulted, save_database_to, save_database_to_faulted, LoadReport, PersistError,
 };
-pub use stats::{runstats, CollectionStats, PathStat};
+pub use stats::{runstats, runstats_scan, CollectionStats, PathStat};

@@ -14,8 +14,45 @@ pub const FILL_FACTOR: f64 = 0.70;
 /// Per-entry posting overhead: (doc id, node id) plus slot overhead.
 pub const POSTING_BYTES: f64 = 12.0;
 
+/// Saturating `f64 -> u64` conversion for size estimates. Huge entry
+/// counts (up to `u64::MAX`) times wide keys overflow into `f64::INFINITY`;
+/// a hostile `avg_key_width` can even be NaN. Both must clamp, not wrap:
+/// a too-big index estimate should price the candidate out of the
+/// knapsack, never alias to a tiny size.
+fn saturate_u64(x: f64) -> u64 {
+    if x.is_nan() {
+        return 0;
+    }
+    // `as` from f64 saturates since Rust 1.45, but spell the policy out so
+    // the overflow behavior is explicit and unit-tested rather than
+    // incidental.
+    if x <= 0.0 {
+        0
+    } else if x >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        x as u64
+    }
+}
+
+/// Saturating `f64 -> u32` conversion for level estimates (see
+/// [`saturate_u64`]).
+fn saturate_u32(x: f64) -> u32 {
+    if x.is_nan() {
+        return 0;
+    }
+    if x <= 0.0 {
+        0
+    } else if x >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        x as u32
+    }
+}
+
 /// Estimated on-disk size in bytes of an index with `entries` keys of
-/// average width `avg_key_width`.
+/// average width `avg_key_width`. Saturates at `u64::MAX` for entry counts
+/// or key widths whose product overflows.
 pub fn index_size_bytes(entries: u64, avg_key_width: f64) -> u64 {
     if entries == 0 {
         // An empty index still occupies its root page.
@@ -24,10 +61,11 @@ pub fn index_size_bytes(entries: u64, avg_key_width: f64) -> u64 {
     let entry_bytes = avg_key_width + POSTING_BYTES;
     let leaf_bytes = entries as f64 * entry_bytes / FILL_FACTOR;
     // Interior levels add a small fraction.
-    (leaf_bytes * 1.05).ceil() as u64
+    saturate_u64((leaf_bytes * 1.05).ceil()).max(PAGE_SIZE as u64)
 }
 
-/// Estimated number of B-tree levels (root = level 1).
+/// Estimated number of B-tree levels (root = level 1). Saturates rather
+/// than wrapping for degenerate inputs.
 pub fn index_levels(entries: u64, avg_key_width: f64) -> u32 {
     if entries == 0 {
         return 1;
@@ -37,7 +75,7 @@ pub fn index_levels(entries: u64, avg_key_width: f64) -> u32 {
     let leaf_pages = (entries as f64 / entries_per_page).ceil().max(1.0);
     // Interior fanout: key + child pointer.
     let fanout = (PAGE_SIZE / (avg_key_width + 8.0)).max(2.0);
-    1 + leaf_pages.log(fanout).ceil().max(0.0) as u32
+    1_u32.saturating_add(saturate_u32(leaf_pages.log(fanout).ceil().max(0.0)))
 }
 
 /// Number of pages occupied by `bytes`.
@@ -75,6 +113,26 @@ mod tests {
         let large = index_levels(10_000_000, 8.0);
         assert!(small <= large);
         assert!(large <= 5, "levels = {large}");
+    }
+
+    #[test]
+    fn extreme_entry_counts_saturate_instead_of_wrapping() {
+        // u64::MAX entries * any key width overflows the f64 product; the
+        // estimate must clamp to u64::MAX / u32::MAX, not wrap to a small
+        // number that would make a monster index look free.
+        let bytes = index_size_bytes(u64::MAX, 4096.0);
+        assert_eq!(bytes, u64::MAX);
+        let levels = index_levels(u64::MAX, 4096.0);
+        assert!((1..=u32::MAX).contains(&levels), "levels = {levels}");
+        // Still monotone: the saturated estimate dominates normal ones.
+        assert!(bytes > index_size_bytes(1_000_000, 4096.0));
+        assert!(levels >= index_levels(1_000_000, 4096.0));
+        // Hostile NaN key width degrades to the floor, not a panic or a
+        // garbage huge value (`f64::max` drops the NaN operand, so the
+        // level model falls back to its minimum fanout of 2).
+        assert_eq!(index_size_bytes(1_000, f64::NAN), PAGE_SIZE as u64);
+        let nan_levels = index_levels(1_000, f64::NAN);
+        assert!((1..=64).contains(&nan_levels), "levels = {nan_levels}");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! ranges, and an equi-depth histogram for selectivity estimation.
 
 use crate::collection::Collection;
+use crate::columnar::ColumnStore;
 use std::collections::HashSet;
+use xia_obs::Counter;
 use xia_xml::PathId;
 use xia_xpath::CmpOp;
 
@@ -15,7 +17,7 @@ use xia_xpath::CmpOp;
 pub const HISTOGRAM_BUCKETS: usize = 20;
 
 /// Statistics for one rooted label path.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PathStat {
     /// Total nodes at this path.
     pub node_count: u64,
@@ -113,7 +115,7 @@ impl PathStat {
 }
 
 /// Statistics for one collection.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CollectionStats {
     /// Live documents.
     pub doc_count: u64,
@@ -157,7 +159,66 @@ impl CollectionStats {
 }
 
 /// Collects statistics over a collection — the RUNSTATS equivalent.
+///
+/// Dispatches to the columnar fast path when the collection's leaf
+/// projection is fresh (contiguous typed slices per path), falling back
+/// to the per-node document scan otherwise. Both produce identical
+/// statistics; the property suite holds them equal.
 pub fn runstats(collection: &Collection) -> CollectionStats {
+    match collection.columns() {
+        Some(cols) => runstats_columnar(collection, cols),
+        None => runstats_scan(collection),
+    }
+}
+
+/// Columnar RUNSTATS: every per-path figure comes straight off the
+/// column arrays. Numeric samples are sorted before bucketing (exactly
+/// as the scan path does), so histograms match regardless of row order.
+fn runstats_columnar(collection: &Collection, cols: &ColumnStore) -> CollectionStats {
+    let path_count = collection.vocab().paths.len();
+    let mut per_path = vec![PathStat::default(); path_count];
+    let mut value_bytes = 0u64;
+    let mut rows_scanned = 0u64;
+    for (pi, stat) in per_path.iter_mut().enumerate() {
+        let Some(col) = cols.col(PathId(pi as u32)) else {
+            continue;
+        };
+        stat.node_count = col.node_count();
+        stat.doc_count = col.struct_docs().len() as u64;
+        stat.value_count = col.rows();
+        rows_scanned += col.rows();
+        let mut distinct: HashSet<&str> = HashSet::with_capacity(col.strs().len());
+        for v in col.strs() {
+            stat.value_bytes += v.len() as u64;
+            distinct.insert(v);
+        }
+        value_bytes += stat.value_bytes;
+        stat.distinct_values = distinct.len() as u64;
+        stat.numeric_count = col.nums().len() as u64;
+        for &(_, n) in col.nums() {
+            stat.min_num = Some(stat.min_num.map_or(n, |m| m.min(n)));
+            stat.max_num = Some(stat.max_num.map_or(n, |m| m.max(n)));
+        }
+        if col.nums().len() >= HISTOGRAM_BUCKETS {
+            let mut samples: Vec<f64> = col.nums().iter().map(|&(_, n)| n).collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            stat.histogram = equi_depth_boundaries(&samples, HISTOGRAM_BUCKETS);
+        }
+    }
+    collection
+        .telemetry()
+        .add(Counter::ColumnarScanRows, rows_scanned);
+    CollectionStats {
+        doc_count: collection.len() as u64,
+        node_count: cols.total_nodes(),
+        value_bytes,
+        per_path,
+    }
+}
+
+/// Per-node document-scan RUNSTATS (the original path; also the fallback
+/// while the columnar projection is stale).
+pub fn runstats_scan(collection: &Collection) -> CollectionStats {
     let path_count = collection.vocab().paths.len();
     let mut per_path = vec![PathStat::default(); path_count];
     // Exact distinct counting; data sizes in this reproduction are small
@@ -311,6 +372,46 @@ mod tests {
         let s = runstats(&c);
         assert_eq!(s.doc_count, 0);
         assert_eq!(s.avg_doc_nodes(), 0.0);
+    }
+
+    #[test]
+    fn columnar_and_scan_stats_agree() {
+        let mut c = Collection::new("SDOC");
+        for i in 0..40 {
+            c.insert_xml(&format!(
+                "<Security><Symbol>S{}</Symbol><Yield>{}</Yield><Info sector=\"T{}\" cap=\"{}\"/><Note/></Security>",
+                i % 7,
+                i as f64 / 3.0,
+                i % 3,
+                i * 10
+            ))
+            .unwrap();
+        }
+        // Streamed inserts keep the columns fresh: runstats takes the
+        // columnar path and must reproduce the scan exactly, histograms
+        // included.
+        assert!(c.columns().is_some());
+        assert_eq!(runstats(&c), runstats_scan(&c));
+
+        // A delete invalidates the columns; runstats falls back to the
+        // scan until they are rebuilt, then agrees again.
+        c.delete(crate::collection::DocId(5));
+        assert!(c.columns().is_none());
+        assert_eq!(runstats(&c), runstats_scan(&c));
+        c.ensure_columns();
+        assert!(c.columns().is_some());
+        assert_eq!(runstats(&c), runstats_scan(&c));
+    }
+
+    #[test]
+    fn columnar_stats_count_scan_rows() {
+        let t = xia_obs::Telemetry::new();
+        let mut c = Collection::new("SDOC");
+        c.set_telemetry(&t);
+        c.insert_xml("<a><b>1</b><b>2</b><c/></a>").unwrap();
+        let _ = runstats(&c);
+        // Two valued nodes scanned from the columns.
+        assert_eq!(t.get(xia_obs::Counter::ColumnarScanRows), 2);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::prng::Prng;
 use xia_storage::Database;
+use xia_xml::{write_document, DocBuilder, Vocabulary};
 
 /// Sector names with their industries (three per sector).
 pub const SECTORS: [(&str, [&str; 3]); 8] = [
@@ -122,124 +123,161 @@ fn filler(seed: usize, words: usize) -> String {
     out
 }
 
+/// Builds security document `i`. Draws from `rng` in a fixed order, so
+/// every caller threading the same sequential RNG gets identical
+/// documents.
+fn security_doc(b: &mut DocBuilder<'_>, i: usize, rng: &mut Prng) {
+    let (sector, industries) = SECTORS[rng.gen_range(0..SECTORS.len())];
+    let industry = industries[rng.gen_range(0..3)];
+    let is_stock = rng.gen_bool(0.7);
+    let yield_v = (rng.gen_range(0.0..10.0f64) * 10.0).round() / 10.0;
+    let pe = (rng.gen_range(4.0..60.0f64) * 10.0).round() / 10.0;
+    let last = (rng.gen_range(1.0..500.0f64) * 100.0).round() / 100.0;
+    b.leaf("Symbol", symbol(i).as_str());
+    b.leaf("Name", format!("{industry} Corp {i}").as_str());
+    b.leaf("SecurityType", if is_stock { "Stock" } else { "Fund" });
+    b.begin("SecInfo");
+    b.begin(if is_stock { "StockInfo" } else { "FundInfo" });
+    b.leaf("Sector", sector);
+    b.leaf("Industry", industry);
+    b.end();
+    b.end();
+    b.begin("Price");
+    b.leaf("LastTrade", last);
+    b.leaf("High52", last * 1.3);
+    b.leaf("Low52", last * 0.6);
+    b.end();
+    b.leaf("Yield", yield_v);
+    b.leaf("PE", pe);
+    // Optional elements: only some securities pay dividends — gives
+    // existence predicates discriminating power.
+    if rng.gen_bool(0.3) {
+        b.begin("Dividend");
+        b.leaf("Amount", (yield_v * last / 100.0 * 100.0).round() / 100.0);
+        b.leaf("ExDate", "2007-06-15");
+        b.end();
+    }
+    b.begin("Prospectus");
+    b.leaf("Summary", filler(i, 120).as_str());
+    b.leaf("RiskFactors", filler(i + 1, 120).as_str());
+    b.leaf("Management", filler(i + 2, 80).as_str());
+    b.end();
+    b.begin("History");
+    for e in 0..3 {
+        b.begin("Event");
+        b.leaf("Date", format!("200{}-0{}-1{}", 5 + e, 1 + e, e).as_str());
+        b.leaf("Text", filler(i * 3 + e, 60).as_str());
+        b.end();
+    }
+    b.end();
+}
+
+/// Builds order document `i` (see [`security_doc`] on RNG discipline).
+fn order_doc(b: &mut DocBuilder<'_>, i: usize, rng: &mut Prng, cfg: &TpoxConfig) {
+    let sym = symbol(rng.gen_range(0..cfg.securities.max(1)));
+    let acct = rng.gen_range(0..cfg.customers.max(1) * 2);
+    let qty = rng.gen_range(1..200) * 50;
+    let price = (rng.gen_range(1.0..500.0f64) * 100.0).round() / 100.0;
+    let buy = rng.gen_bool(0.5);
+    b.attr("id", i as f64);
+    b.leaf("AccountId", format!("A{acct:05}").as_str());
+    b.leaf("Symbol", sym.as_str());
+    b.leaf("OrderType", if buy { "buy" } else { "sell" });
+    b.leaf("Quantity", qty as f64);
+    b.leaf("LimitPrice", price);
+    b.leaf(
+        "Date",
+        format!(
+            "2007-{:02}-{:02}",
+            rng.gen_range(1..13),
+            rng.gen_range(1..29)
+        )
+        .as_str(),
+    );
+    b.begin("Fixml");
+    b.leaf("Instrument", filler(i, 90).as_str());
+    b.leaf("Parties", filler(i + 5, 90).as_str());
+    b.leaf("Stipulations", filler(i + 9, 60).as_str());
+    b.end();
+}
+
+/// Builds customer document `i` (see [`security_doc`] on RNG discipline).
+fn customer_doc(b: &mut DocBuilder<'_>, i: usize, rng: &mut Prng) {
+    let nation = NATIONS[rng.gen_range(0..NATIONS.len())];
+    let premium = rng.gen_bool(0.2);
+    let accounts = rng.gen_range(1..4);
+    let balances: Vec<f64> = (0..accounts)
+        .map(|_| (rng.gen_range(100.0..200_000.0f64) * 100.0).round() / 100.0)
+        .collect();
+    let currencies: Vec<&str> = (0..accounts)
+        .map(|_| CURRENCIES[rng.gen_range(0..CURRENCIES.len())])
+        .collect();
+    b.leaf("Id", 1000.0 + i as f64);
+    b.leaf("Name", format!("Customer {i}").as_str());
+    b.leaf("Nationality", nation);
+    b.leaf("Premium", if premium { "Y" } else { "N" });
+    b.begin("Accounts");
+    for (a, &bal) in balances.iter().enumerate() {
+        b.begin("Account");
+        b.leaf("AccountId", format!("A{:05}", i * 2 + a).as_str());
+        b.leaf("Balance", bal);
+        b.leaf("Currency", currencies[a]);
+        b.end();
+    }
+    b.end();
+    b.begin("Profile");
+    b.leaf("Notes", filler(i, 110).as_str());
+    b.leaf("Preferences", filler(i + 3, 110).as_str());
+    b.leaf("Compliance", filler(i + 6, 70).as_str());
+    b.end();
+}
+
 /// Generates the three TPoX collections into `db` and refreshes statistics.
 pub fn generate(db: &mut Database, cfg: &TpoxConfig) {
     let mut rng = Prng::seed_from_u64(cfg.seed);
 
     let sdoc = db.create_collection(SECURITY_COLL);
     for i in 0..cfg.securities {
-        let (sector, industries) = SECTORS[rng.gen_range(0..SECTORS.len())];
-        let industry = industries[rng.gen_range(0..3)];
-        let is_stock = rng.gen_bool(0.7);
-        let yield_v = (rng.gen_range(0.0..10.0f64) * 10.0).round() / 10.0;
-        let pe = (rng.gen_range(4.0..60.0f64) * 10.0).round() / 10.0;
-        let last = (rng.gen_range(1.0..500.0f64) * 100.0).round() / 100.0;
-        sdoc.build_doc("Security", |b| {
-            b.leaf("Symbol", symbol(i).as_str());
-            b.leaf("Name", format!("{industry} Corp {i}").as_str());
-            b.leaf("SecurityType", if is_stock { "Stock" } else { "Fund" });
-            b.begin("SecInfo");
-            b.begin(if is_stock { "StockInfo" } else { "FundInfo" });
-            b.leaf("Sector", sector);
-            b.leaf("Industry", industry);
-            b.end();
-            b.end();
-            b.begin("Price");
-            b.leaf("LastTrade", last);
-            b.leaf("High52", last * 1.3);
-            b.leaf("Low52", last * 0.6);
-            b.end();
-            b.leaf("Yield", yield_v);
-            b.leaf("PE", pe);
-            // Optional elements: only some securities pay dividends — gives
-            // existence predicates discriminating power.
-            if rng.gen_bool(0.3) {
-                b.begin("Dividend");
-                b.leaf("Amount", (yield_v * last / 100.0 * 100.0).round() / 100.0);
-                b.leaf("ExDate", "2007-06-15");
-                b.end();
-            }
-            b.begin("Prospectus");
-            b.leaf("Summary", filler(i, 120).as_str());
-            b.leaf("RiskFactors", filler(i + 1, 120).as_str());
-            b.leaf("Management", filler(i + 2, 80).as_str());
-            b.end();
-            b.begin("History");
-            for e in 0..3 {
-                b.begin("Event");
-                b.leaf("Date", format!("200{}-0{}-1{}", 5 + e, 1 + e, e).as_str());
-                b.leaf("Text", filler(i * 3 + e, 60).as_str());
-                b.end();
-            }
-            b.end();
-        });
+        sdoc.build_doc("Security", |b| security_doc(b, i, &mut rng));
     }
 
     let odoc = db.create_collection(ORDER_COLL);
     for i in 0..cfg.orders {
-        let sym = symbol(rng.gen_range(0..cfg.securities.max(1)));
-        let acct = rng.gen_range(0..cfg.customers.max(1) * 2);
-        let qty = rng.gen_range(1..200) * 50;
-        let price = (rng.gen_range(1.0..500.0f64) * 100.0).round() / 100.0;
-        let buy = rng.gen_bool(0.5);
-        odoc.build_doc("Order", |b| {
-            b.attr("id", i as f64);
-            b.leaf("AccountId", format!("A{acct:05}").as_str());
-            b.leaf("Symbol", sym.as_str());
-            b.leaf("OrderType", if buy { "buy" } else { "sell" });
-            b.leaf("Quantity", qty as f64);
-            b.leaf("LimitPrice", price);
-            b.leaf(
-                "Date",
-                format!(
-                    "2007-{:02}-{:02}",
-                    rng.gen_range(1..13),
-                    rng.gen_range(1..29)
-                )
-                .as_str(),
-            );
-            b.begin("Fixml");
-            b.leaf("Instrument", filler(i, 90).as_str());
-            b.leaf("Parties", filler(i + 5, 90).as_str());
-            b.leaf("Stipulations", filler(i + 9, 60).as_str());
-            b.end();
-        });
+        odoc.build_doc("Order", |b| order_doc(b, i, &mut rng, cfg));
     }
 
     let cdoc = db.create_collection(CUSTACC_COLL);
     for i in 0..cfg.customers {
-        let nation = NATIONS[rng.gen_range(0..NATIONS.len())];
-        let premium = rng.gen_bool(0.2);
-        let accounts = rng.gen_range(1..4);
-        let balances: Vec<f64> = (0..accounts)
-            .map(|_| (rng.gen_range(100.0..200_000.0f64) * 100.0).round() / 100.0)
-            .collect();
-        let currencies: Vec<&str> = (0..accounts)
-            .map(|_| CURRENCIES[rng.gen_range(0..CURRENCIES.len())])
-            .collect();
-        cdoc.build_doc("Customer", |b| {
-            b.leaf("Id", 1000.0 + i as f64);
-            b.leaf("Name", format!("Customer {i}").as_str());
-            b.leaf("Nationality", nation);
-            b.leaf("Premium", if premium { "Y" } else { "N" });
-            b.begin("Accounts");
-            for (a, &bal) in balances.iter().enumerate() {
-                b.begin("Account");
-                b.leaf("AccountId", format!("A{:05}", i * 2 + a).as_str());
-                b.leaf("Balance", bal);
-                b.leaf("Currency", currencies[a]);
-                b.end();
-            }
-            b.end();
-            b.begin("Profile");
-            b.leaf("Notes", filler(i, 110).as_str());
-            b.leaf("Preferences", filler(i + 3, 110).as_str());
-            b.leaf("Compliance", filler(i + 6, 70).as_str());
-            b.end();
-        });
+        cdoc.build_doc("Customer", |b| customer_doc(b, i, &mut rng));
     }
 
     db.runstats_all();
+}
+
+/// Serializes the three TPoX collections as per-document XML texts
+/// (`(securities, orders, customers)`), drawing from the same RNG stream
+/// as [`generate`]: ingesting these texts reproduces `generate`'s
+/// database exactly. This is the input feed for the ingestion
+/// scalability sweep and the `load` CLI path.
+pub fn docs_xml(cfg: &TpoxConfig) -> (Vec<String>, Vec<String>, Vec<String>) {
+    let mut rng = Prng::seed_from_u64(cfg.seed);
+    let mut scratch = Vocabulary::new();
+    let mut render = |root: &str, f: &mut dyn FnMut(&mut DocBuilder<'_>)| {
+        let mut b = DocBuilder::new(&mut scratch, root);
+        f(&mut b);
+        let doc = b.finish();
+        write_document(&doc, &scratch)
+    };
+    let securities = (0..cfg.securities)
+        .map(|i| render("Security", &mut |b| security_doc(b, i, &mut rng)))
+        .collect();
+    let orders = (0..cfg.orders)
+        .map(|i| render("Order", &mut |b| order_doc(b, i, &mut rng, cfg)))
+        .collect();
+    let customers = (0..cfg.customers)
+        .map(|i| render("Customer", &mut |b| customer_doc(b, i, &mut rng)))
+        .collect();
+    (securities, orders, customers)
 }
 
 /// The 11-query TPoX-like workload. Literals are deterministic in the seed
@@ -413,6 +451,41 @@ mod tests {
         assert!(paths
             .iter()
             .any(|p| p == "/Security/SecInfo/FundInfo/Sector"));
+    }
+
+    #[test]
+    fn docs_xml_reproduces_generate() {
+        // The serialized per-document feed must rebuild the exact same
+        // database as the in-place generator: same vocabularies, same
+        // arenas, same statistics — the scalability sweep depends on it.
+        let cfg = TpoxConfig::tiny();
+        let mut built = Database::new();
+        generate(&mut built, &cfg);
+        let (sec, ord, cust) = docs_xml(&cfg);
+        assert_eq!(sec.len(), cfg.securities);
+        assert_eq!(ord.len(), cfg.orders);
+        assert_eq!(cust.len(), cfg.customers);
+        let mut ingested = Database::new();
+        for (name, texts) in [
+            (SECURITY_COLL, &sec),
+            (ORDER_COLL, &ord),
+            (CUSTACC_COLL, &cust),
+        ] {
+            let c = ingested.create_collection(name);
+            xia_storage::ingest_batch(c, texts, xia_storage::IngestOptions::default()).unwrap();
+        }
+        ingested.runstats_all();
+        for name in [SECURITY_COLL, ORDER_COLL, CUSTACC_COLL] {
+            let a = built.collection(name).unwrap();
+            let b = ingested.collection(name).unwrap();
+            assert_eq!(a.vocab(), b.vocab(), "{name}");
+            assert!(a.iter_docs().eq(b.iter_docs()), "{name}: documents differ");
+            assert_eq!(
+                built.stats_cached(name).unwrap(),
+                ingested.stats_cached(name).unwrap(),
+                "{name}"
+            );
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ impl fmt::Display for Symbol {
 ///
 /// Symbols are dense indices, so per-symbol side tables can be plain
 /// vectors.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Interner {
     strings: Vec<Box<str>>,
     map: HashMap<Box<str>, Symbol>,

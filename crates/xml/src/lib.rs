@@ -23,6 +23,7 @@ pub mod interner;
 pub mod model;
 pub mod parser;
 pub mod paths;
+pub mod stream;
 pub mod value;
 pub mod writer;
 
@@ -31,6 +32,7 @@ pub use interner::{Interner, Symbol};
 pub use model::{Document, Node, NodeId, NodeKind};
 pub use parser::{decode_entities, parse_document, XmlError, MAX_XML_DEPTH};
 pub use paths::{PathDictionary, PathId};
+pub use stream::{parse_document_streaming, stream_document, DocumentSink, StreamSink};
 pub use value::Value;
 pub use writer::write_document;
 
@@ -38,7 +40,7 @@ pub use writer::write_document;
 ///
 /// All documents stored in one collection intern their names and rooted
 /// paths here, so a [`PathId`] means the same label path in every document.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Vocabulary {
     /// Interned element/attribute names.
     pub names: Interner,

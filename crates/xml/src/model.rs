@@ -30,7 +30,7 @@ pub enum NodeKind {
 }
 
 /// A single XML node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// Interned element/attribute name.
     pub name: Symbol,
@@ -47,7 +47,7 @@ pub struct Node {
 }
 
 /// An XML document: an arena of nodes with a single root element.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Document {
     nodes: Vec<Node>,
 }
@@ -127,6 +127,38 @@ impl Document {
     /// Panics if `id` is out of range for this document.
     pub fn set_value(&mut self, id: NodeId, value: Option<Value>) {
         self.nodes[id.index()].value = value;
+    }
+
+    /// Re-expresses this document against another vocabulary: every name is
+    /// re-interned and every rooted path re-derived in node (pre-)order.
+    ///
+    /// This is the merge step of parallel ingestion: worker threads parse
+    /// documents against private vocabularies, and the coordinator remaps
+    /// them into the collection's shared vocabulary in input order. Because
+    /// nodes are visited in preorder and each node interns its name and
+    /// then its path — the exact sequence a direct parse performs — the
+    /// shared vocabulary ends up byte-identical to a sequential parse.
+    ///
+    /// # Panics
+    /// Panics if a symbol or path id in the document did not come from
+    /// `from`.
+    pub fn remap(&self, from: &Vocabulary, into: &mut Vocabulary) -> Document {
+        let mut nodes: Vec<Node> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let name = into.names.intern(from.names.resolve(n.name));
+            // Preorder guarantees the parent was remapped already.
+            let parent_path = n.parent.map(|p| nodes[p.index()].path);
+            let path = into.paths.extend(parent_path, name);
+            nodes.push(Node {
+                name,
+                parent: n.parent,
+                children: n.children.clone(),
+                path,
+                value: n.value.clone(),
+                kind: n.kind,
+            });
+        }
+        Document::from_arena(nodes)
     }
 
     /// Total bytes of value text stored in the document (used by the size

@@ -321,7 +321,7 @@ impl<'a, 'v> Parser<'a, 'v> {
     }
 }
 
-fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+pub(crate) fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
 }
 
@@ -336,6 +336,23 @@ pub const MAX_XML_DEPTH: usize = 512;
 /// `&#x10FFFF;`; the cap keeps a stray `&` in hostile input from scanning
 /// (and echoing back) unbounded text while hunting for a `;`.
 const MAX_ENTITY_LEN: usize = 32;
+
+/// Validates a character reference against the XML 1.0 `Char` production:
+/// C0 controls other than tab, newline, and carriage return are not XML
+/// characters, so `&#0;`, `&#x1;`, … must be rejected rather than smuggled
+/// into path values. Surrogates and out-of-range code points are already
+/// rejected by `char::from_u32`; the non-characters U+FFFE/U+FFFF are
+/// excluded here as well.
+fn char_ref(code: u32, entity: &str) -> Result<char, String> {
+    let c = char::from_u32(code).ok_or_else(|| format!("invalid code point in `&{entity};`"))?;
+    let is_forbidden_control = c < '\u{20}' && !matches!(c, '\t' | '\n' | '\r');
+    if is_forbidden_control || matches!(c, '\u{FFFE}' | '\u{FFFF}') {
+        return Err(format!(
+            "character reference `&{entity};` is not an XML character"
+        ));
+    }
+    Ok(c)
+}
 
 /// Decodes the five predefined XML entities plus decimal/hex character
 /// references.
@@ -365,19 +382,13 @@ pub fn decode_entities(s: &str) -> Result<String, String> {
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
                 let code = u32::from_str_radix(&entity[2..], 16)
                     .map_err(|_| format!("bad character reference `&{entity};`"))?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| format!("invalid code point in `&{entity};`"))?,
-                );
+                out.push(char_ref(code, entity)?);
             }
             _ if entity.starts_with('#') => {
                 let code = entity[1..]
                     .parse::<u32>()
                     .map_err(|_| format!("bad character reference `&{entity};`"))?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| format!("invalid code point in `&{entity};`"))?,
-                );
+                out.push(char_ref(code, entity)?);
             }
             _ => return Err(format!("unknown entity `&{entity};`")),
         }
@@ -504,6 +515,39 @@ mod tests {
     fn unterminated_entity_reference_errors() {
         assert!(decode_entities("tail &amp").is_err());
         assert!(decode_entities("&").is_err());
+    }
+
+    #[test]
+    fn cdata_passes_ampersands_and_references_verbatim() {
+        // CDATA content must NOT be routed through entity decoding: a
+        // literal `&`, a stray `&foo`, or a `&#` inside `<![CDATA[...]]>`
+        // is plain character data, not a reference.
+        let (doc, vocab) = parse("<a><b><![CDATA[x & y &foo &#0; &# z]]></b></a>");
+        let b = vocab.lookup_name("b").unwrap();
+        assert_eq!(doc.value_at(&[b]).unwrap().as_str(), "x & y &foo &#0; &# z");
+        // Mixed CDATA + text: only the text part is decoded.
+        let (doc, vocab) = parse("<a><b><![CDATA[&amp;]]>&amp;</b></a>");
+        let b = vocab.lookup_name("b").unwrap();
+        assert_eq!(doc.value_at(&[b]).unwrap().as_str(), "&amp;&");
+    }
+
+    #[test]
+    fn control_character_references_are_rejected() {
+        // NUL and other C0 controls are not XML characters (Char
+        // production); only tab, newline, and carriage return are allowed.
+        for bad in ["&#0;", "&#x0;", "&#1;", "&#x1F;", "&#8;", "&#11;"] {
+            let err = decode_entities(bad).unwrap_err();
+            assert!(err.contains("not an XML character"), "{bad}: {err}");
+        }
+        assert_eq!(decode_entities("&#9;&#10;&#13;").unwrap(), "\t\n\r");
+        // Non-characters U+FFFE/U+FFFF are rejected too.
+        assert!(decode_entities("&#xFFFE;").is_err());
+        assert!(decode_entities("&#xFFFF;").is_err());
+        assert_eq!(decode_entities("&#xFFFD;").unwrap(), "\u{FFFD}");
+        // Same through the document parser, in text and attribute values.
+        let mut vocab = Vocabulary::new();
+        assert!(parse_document("<a>&#0;</a>", &mut vocab).is_err());
+        assert!(parse_document("<a x=\"&#x1;\"/>", &mut vocab).is_err());
     }
 
     #[test]

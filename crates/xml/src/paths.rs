@@ -21,7 +21,7 @@ impl PathId {
 }
 
 /// Append-only dictionary of rooted label paths.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct PathDictionary {
     paths: Vec<Box<[Symbol]>>,
     map: HashMap<Box<[Symbol]>, PathId>,

@@ -22,6 +22,29 @@ use xia_bench::TpoxLab;
 use xia_workloads::xmark::XmarkConfig;
 
 #[test]
+fn datapath_sweep_reports_throughput() {
+    let points = scalability::run_datapath(&[1, 2], 2);
+    assert_eq!(points.len(), 2);
+    // tiny() yields 270 documents per unit factor (60 + 150 + 60).
+    assert_eq!(points[0].docs, 270);
+    assert_eq!(points[1].docs, 540);
+    for p in &points {
+        assert!(p.nodes > 0);
+        assert!(p.nodes_per_sec > 0.0, "factor {}: {p:?}", p.factor);
+        // Columnar RUNSTATS must actually run over columns, not fall back
+        // to the document scan (which reports no scan rows).
+        assert!(p.scans_per_sec > 0.0, "factor {}: {p:?}", p.factor);
+        assert!(p.jobs >= 1);
+    }
+    assert!(points[1].nodes > points[0].nodes);
+    let table = scalability::datapath_table(&points);
+    assert_eq!(table.rows.len(), 2);
+    let combined = scalability::combined_table(&[], &points);
+    assert_eq!(combined.rows.len(), 2);
+    assert_eq!(combined.headers.len(), 11);
+}
+
+#[test]
 fn update_cost_erodes_recommendations_at_high_frequency() {
     let mut lab = TpoxLab::quick();
     let rows = update_cost::run(&mut lab, &[0.0, 2000.0]);

@@ -412,6 +412,143 @@ fn index_plans_agree_with_scan_plans() {
     }
 }
 
+/// Random well-formed text content, biased toward entity references and
+/// numerics so value decoding and the numeric column both get exercised.
+fn random_text(rng: &mut Prng) -> String {
+    match rng.gen_range(0..6) {
+        0 => "plain value".to_string(),
+        1 => format!("{}", rng.gen_range(0..50)),
+        2 => format!("{}.5", rng.gen_range(0..20)),
+        3 => "a &amp; b &lt;ok&gt; &quot;q&quot;".to_string(),
+        4 => "&#65;&#x42;c".to_string(),
+        _ => "  spaced  ".to_string(),
+    }
+}
+
+const CDATA_BLOCKS: [&str; 3] = [
+    "<![CDATA[keep & raw &# and &foo; verbatim]]>",
+    "<![CDATA[1 < 2 > 0]]>",
+    "<![CDATA[x]]>",
+];
+
+/// Random well-formed XML element: attributes (with entities), text,
+/// CDATA, self-closing tags, mixed children, stray whitespace.
+fn random_xml_element(rng: &mut Prng, depth: usize, out: &mut String) {
+    let name = label(rng);
+    out.push('<');
+    out.push_str(&name);
+    for i in 0..rng.gen_range(0..3) {
+        out.push_str(&format!(" at{i}=\"{}\"", random_text(rng).trim()));
+    }
+    if rng.gen_bool(0.15) {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if depth == 0 || rng.gen_bool(0.4) {
+        match rng.gen_range(0..3) {
+            0 => out.push_str(&random_text(rng)),
+            1 => out.push_str(CDATA_BLOCKS[rng.gen_range(0..CDATA_BLOCKS.len())]),
+            _ => {}
+        }
+    } else {
+        for _ in 0..rng.gen_range(1..4) {
+            if rng.gen_bool(0.3) {
+                out.push_str("\n  ");
+            }
+            random_xml_element(rng, depth - 1, out);
+        }
+        if rng.gen_bool(0.3) {
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!("</{name}>"));
+}
+
+/// Tentpole parity property: the streaming (SAX-style) parse path must
+/// produce exactly the same document arena *and* the same vocabulary
+/// (name/path intern order) as the DOM parser, over randomized documents
+/// covering CDATA, entity references, attributes, mixed content, and
+/// self-closing tags — plus nesting at the depth cap.
+#[test]
+fn streaming_parse_matches_dom() {
+    use xia_xml::{parse_document_streaming, MAX_XML_DEPTH};
+
+    let mut rng = Prng::seed_from_u64(0x12);
+    for case in 0..256 {
+        let mut text = String::new();
+        random_xml_element(&mut rng, 4, &mut text);
+        let mut v_dom = Vocabulary::new();
+        let d_dom = parse_document(&text, &mut v_dom)
+            .unwrap_or_else(|e| panic!("case {case}: generated XML must parse: {e}\n`{text}`"));
+        let mut v_stream = Vocabulary::new();
+        let d_stream = parse_document_streaming(&text, &mut v_stream)
+            .unwrap_or_else(|e| panic!("case {case}: streaming rejected valid XML: {e}\n`{text}`"));
+        assert_eq!(d_dom, d_stream, "case {case}: arenas diverge on `{text}`");
+        assert_eq!(
+            v_dom, v_stream,
+            "case {case}: vocabularies diverge on `{text}`"
+        );
+    }
+
+    // Nesting one level under the cap parses identically; one level past
+    // it, both parsers reject.
+    for depth in [MAX_XML_DEPTH - 1, MAX_XML_DEPTH + 1] {
+        let text = format!("{}v{}", "<d>".repeat(depth), "</d>".repeat(depth));
+        let mut v_dom = Vocabulary::new();
+        let dom = parse_document(&text, &mut v_dom);
+        let mut v_stream = Vocabulary::new();
+        let stream = parse_document_streaming(&text, &mut v_stream);
+        match (dom, stream) {
+            (Ok(a), Ok(b)) => {
+                assert!(depth < MAX_XML_DEPTH, "depth {depth} must be rejected");
+                assert_eq!(a, b, "depth {depth}: arenas diverge");
+                assert_eq!(v_dom, v_stream, "depth {depth}: vocabularies diverge");
+            }
+            (Err(_), Err(_)) => {
+                assert!(depth >= MAX_XML_DEPTH, "depth {depth} must parse");
+            }
+            (dom, stream) => panic!(
+                "depth {depth}: parsers disagree (dom ok: {}, streaming ok: {})",
+                dom.is_ok(),
+                stream.is_ok()
+            ),
+        }
+    }
+}
+
+/// Columnar statistics parity property: RUNSTATS over the column store
+/// must equal the document-scan fallback, for collections fed through the
+/// streaming path and the DOM path alike.
+#[test]
+fn columnar_stats_match_scan() {
+    use xia_storage::{runstats, runstats_scan, Collection};
+
+    let mut rng = Prng::seed_from_u64(0x13);
+    for case in 0..24 {
+        let mut stream = Collection::new("P");
+        let mut dom = Collection::new("P");
+        for _ in 0..rng.gen_range(1..24) {
+            let mut text = String::new();
+            random_xml_element(&mut rng, 3, &mut text);
+            stream.insert_xml(&text).expect("generated XML parses");
+            dom.insert_xml_dom(&text).expect("generated XML parses");
+        }
+        assert!(
+            stream.columns().is_some(),
+            "case {case}: columns dirty after pure inserts"
+        );
+        let columnar = runstats(&stream);
+        let scanned = runstats_scan(&stream);
+        assert_eq!(columnar, scanned, "case {case}: columnar != scan");
+        assert_eq!(
+            columnar,
+            runstats_scan(&dom),
+            "case {case}: streaming != DOM collection stats"
+        );
+    }
+}
+
 fn random_fragment(rng: &mut Prng, max_len: usize) -> String {
     // Bytes biased toward XML metacharacters so structure-shaped inputs
     // actually occur.
