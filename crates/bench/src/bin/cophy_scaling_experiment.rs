@@ -1,0 +1,61 @@
+//! Regenerates E16: CoPhy workload compression + LP-relaxation scaling,
+//! cophy vs plain greedy over synthetic workloads from 1k to 100k
+//! statements. Writes `results/cophy_scaling.csv`.
+//!
+//! `XIA_E16_SIZES` overrides the size sweep (comma-separated statement
+//! counts, default `1000,10000,100000`); `XIA_E16_DP_MAX` bounds the
+//! sizes on which the DP standalone optimum is cross-checked (default
+//! 10000).
+
+use xia_advisor::SearchAlgorithm;
+use xia_bench::experiments::cophy_scaling;
+use xia_bench::{write_csv, TpoxLab};
+
+fn sizes() -> Vec<usize> {
+    std::env::var("XIA_E16_SIZES")
+        .ok()
+        .map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1_000, 10_000, 100_000])
+}
+
+fn dp_max() -> usize {
+    std::env::var("XIA_E16_DP_MAX")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000)
+}
+
+fn main() {
+    let mut lab = TpoxLab::standard();
+    let sizes = sizes();
+    let rows = cophy_scaling::run(
+        &mut lab,
+        &sizes,
+        &[SearchAlgorithm::Cophy, SearchAlgorithm::Greedy],
+        dp_max(),
+    );
+    let t = cophy_scaling::table(&rows);
+    print!("{}", t.render());
+    if let Some(p) = write_csv(&t, "cophy_scaling") {
+        println!("wrote {}", p.display());
+    }
+    // Headline ratio at the largest size.
+    let largest = *sizes.iter().max().unwrap();
+    let calls = |algo: SearchAlgorithm| {
+        rows.iter()
+            .find(|r| r.n_statements == largest && r.algo == algo)
+            .map(|r| (r.evaluate_calls, r.wall_ms))
+    };
+    if let (Some((cophy, cophy_ms)), Some((greedy, _))) = (
+        calls(SearchAlgorithm::Cophy),
+        calls(SearchAlgorithm::Greedy),
+    ) {
+        println!(
+            "at {largest} statements: cophy {cophy} evaluate calls in {:.1} s vs greedy {greedy} \
+             ({:.1}x fewer)",
+            cophy_ms / 1e3,
+            greedy as f64 / cophy.max(1) as f64
+        );
+    }
+}

@@ -82,4 +82,17 @@ fn main() {
     let t = parallel::table(&rows);
     print!("{}", t.render());
     write_csv(&t, "parallel_speedup");
+
+    println!("\n=== E16: CoPhy compression + LP relaxation ===");
+    // A reduced sweep; the standalone `cophy_scaling_experiment` bin
+    // runs the full 1k → 100k version.
+    let rows = cophy_scaling::run(
+        &mut lab,
+        &[1_000, 10_000],
+        &[SearchAlgorithm::Cophy, SearchAlgorithm::Greedy],
+        10_000,
+    );
+    let t = cophy_scaling::table(&rows);
+    print!("{}", t.render());
+    write_csv(&t, "cophy_scaling");
 }

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod candidates;
+pub mod cophy_scaling;
 pub mod generality;
 pub mod generalization;
 pub mod generalization_speedup;

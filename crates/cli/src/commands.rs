@@ -210,6 +210,7 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     let mut jobs: Option<usize> = None;
     let mut prune = true;
     let mut fastpath = true;
+    let mut compress = true;
     let mut why: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -243,6 +244,14 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
                 fastpath = false;
                 i += 1;
             }
+            "--compress" => {
+                compress = true;
+                i += 1;
+            }
+            "--no-compress" => {
+                compress = false;
+                i += 1;
+            }
             "--why" => {
                 why.push(require(args, i + 1, "index pattern after --why")?.to_string());
                 i += 2;
@@ -271,6 +280,13 @@ fn explain_advisor(args: &[String]) -> Result<String, CliError> {
     if !why.is_empty() {
         params.journal = xia_obs::EventJournal::new();
     }
+    // CoPhy compression happens before candidate enumeration, exactly as
+    // in `Advisor::recommend`, so the explained run is the real run.
+    let workload = if algo == SearchAlgorithm::Cophy && compress {
+        xia_advisor::compress_workload(&workload, &params.telemetry, &params.journal).workload
+    } else {
+        workload
+    };
     let set = Advisor::prepare(&mut db, &workload, &params);
     let rec = Advisor::recommend_prepared(&mut db, &workload, &set, budget, algo, &params)?;
     let tr = trace_report(
@@ -387,7 +403,7 @@ fn parse_algo(s: &str) -> Result<SearchAlgorithm, CliError> {
         .find(|a| a.name() == s)
         .ok_or_else(|| {
             CliError::new(format!(
-                "unknown algorithm `{s}` (expected one of: greedy, heuristics, topdown-lite, topdown-full, dp)"
+                "unknown algorithm `{s}` (expected one of: greedy, heuristics, topdown-lite, topdown-full, dp, cophy)"
             ))
         })
 }
@@ -402,9 +418,9 @@ enum TraceFormat {
 /// `xia recommend <db> -w <file> -b <bytes> [-a <algo>] [--apply]
 /// [--report] [--trace[=json|text]] [--strict] [--journal <path>]
 /// [--what-if-budget <calls>] [--jobs <n>] [--no-prune] [--no-fastpath]
-/// [--inject <site>:<rate>] [--fault-seed <n>] [--deadline-ms <n>]
-/// [--checkpoint <path>] [--resume <path>] [--mem-budget <bytes>]
-/// [--cancel-after-polls <k>]`
+/// [--compress] [--no-compress] [--inject <site>:<rate>]
+/// [--fault-seed <n>] [--deadline-ms <n>] [--checkpoint <path>]
+/// [--resume <path>] [--mem-budget <bytes>] [--cancel-after-polls <k>]`
 pub fn recommend(args: &[String]) -> Result<crate::CmdOutput, CliError> {
     let mut workload_file = None;
     let mut budget: Option<u64> = None;
@@ -416,6 +432,7 @@ pub fn recommend(args: &[String]) -> Result<crate::CmdOutput, CliError> {
     let mut jobs: Option<usize> = None;
     let mut prune = true;
     let mut fastpath = true;
+    let mut compress = true;
     let mut fault_seed: u64 = 0;
     let mut inject_specs: Vec<String> = Vec::new();
     let mut trace: Option<TraceFormat> = None;
@@ -475,6 +492,14 @@ pub fn recommend(args: &[String]) -> Result<crate::CmdOutput, CliError> {
             }
             "--no-fastpath" => {
                 fastpath = false;
+                i += 1;
+            }
+            "--compress" => {
+                compress = true;
+                i += 1;
+            }
+            "--no-compress" => {
+                compress = false;
                 i += 1;
             }
             "--inject" => {
@@ -636,6 +661,24 @@ pub fn recommend(args: &[String]) -> Result<crate::CmdOutput, CliError> {
     if journal_path.is_some() {
         params.journal = xia_obs::EventJournal::new();
     }
+    // CoPhy-style workload compression (cophy only, on by default): advise
+    // over weighted cost-identity templates instead of raw statements.
+    // Coordinator-side and deterministic in the workload alone, so the
+    // output stays byte-identical across --jobs values; --no-compress
+    // reproduces the uncompressed run bitwise.
+    let workload = if algo == SearchAlgorithm::Cophy && compress {
+        let compressed =
+            xia_advisor::compress_workload(&workload, &params.telemetry, &params.journal);
+        let _ = writeln!(
+            out,
+            "workload compressed: {} statement(s) -> {} weighted template(s)",
+            compressed.original_statements,
+            compressed.workload.len()
+        );
+        compressed.workload
+    } else {
+        workload
+    };
     let set = Advisor::prepare(&mut db, &workload, &params);
     // Resume: load the warm store once the candidate set (and hence the
     // digest the checkpoint must match) is known. A stale or corrupt
@@ -1188,7 +1231,11 @@ mod tests {
                 "missing {phase} phase"
             );
         }
-        assert!(advise.child("search").unwrap().child("evaluate").is_some());
+        // Every algorithm records its own search-loop span (PR 9): the
+        // default algorithm's evaluate phase nests under its name.
+        let search = advise.child("search").unwrap();
+        let algo_span = search.child("topdown-full").expect("per-algorithm span");
+        assert!(algo_span.child("evaluate").is_some());
         // Per-statement what-if rows for both workload statements.
         assert_eq!(tr.statements.len(), 2);
         std::fs::remove_dir_all(&dir).ok();

@@ -15,7 +15,8 @@ use xia_workloads::Workload;
 use xia_xpath::ValueKind;
 
 /// Which configuration-search algorithm to run (paper Section VII-B
-/// evaluates all five).
+/// evaluates the first five; `cophy` is the post-paper scale-out for
+/// huge workloads).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SearchAlgorithm {
     /// Plain greedy by benefit density (ignores interaction).
@@ -28,16 +29,21 @@ pub enum SearchAlgorithm {
     TopDownFull,
     /// Dynamic-programming knapsack (optimal modulo interaction).
     Dp,
+    /// CoPhy-style: workload compression + LP-relaxation search with a
+    /// certified quality bound (built for 100k+-statement workloads).
+    Cophy,
 }
 
 impl SearchAlgorithm {
-    /// All five algorithms, in the paper's presentation order.
-    pub const ALL: [SearchAlgorithm; 5] = [
+    /// All algorithms: the paper's five in presentation order, then
+    /// `cophy`.
+    pub const ALL: [SearchAlgorithm; 6] = [
         SearchAlgorithm::Greedy,
         SearchAlgorithm::GreedyHeuristics,
         SearchAlgorithm::TopDownLite,
         SearchAlgorithm::TopDownFull,
         SearchAlgorithm::Dp,
+        SearchAlgorithm::Cophy,
     ];
 
     /// Short display name.
@@ -48,6 +54,7 @@ impl SearchAlgorithm {
             SearchAlgorithm::TopDownLite => "topdown-lite",
             SearchAlgorithm::TopDownFull => "topdown-full",
             SearchAlgorithm::Dp => "dp",
+            SearchAlgorithm::Cophy => "cophy",
         }
     }
 }
@@ -99,6 +106,16 @@ pub struct AdvisorParams {
     /// run on the coordinator thread in deterministic order, so the JSONL
     /// export is byte-identical for every `jobs` value.
     pub journal: EventJournal,
+    /// Workload compression (`--no-compress` turns it off): before a
+    /// [`SearchAlgorithm::Cophy`] run, cluster the workload into weighted
+    /// cost-identity templates and advise over the representatives (see
+    /// [`crate::compress`]). Lossless for advising — the recommendation
+    /// matches the uncompressed run — and the whole point of `cophy` at
+    /// scale, so on by default. Other algorithms ignore it (they exist to
+    /// reproduce the paper's per-statement behavior). Only
+    /// [`Advisor::recommend`] compresses; `recommend_prepared` callers
+    /// own their workload/candidate pairing.
+    pub compress: bool,
     /// Run-lifecycle controller (`--deadline-ms`, `--checkpoint`,
     /// `--resume`, `--mem-budget`): wall-clock deadline, cooperative
     /// cancellation, crash-safe checkpointing, and the resource governor.
@@ -141,6 +158,7 @@ impl Default for AdvisorParams {
             prune: true,
             fastpath: true,
             journal: EventJournal::off(),
+            compress: true,
             ctl: RunController::off(),
         }
     }
@@ -331,6 +349,23 @@ impl Advisor {
         if workload.is_empty() {
             return Err(XiaError::EmptyWorkload);
         }
+        if algorithm == SearchAlgorithm::Cophy && params.compress {
+            let compressed = {
+                let _compress = params.telemetry.span("compress");
+                crate::compress::compress_workload(workload, &params.telemetry, &params.journal)
+            };
+            return Self::recommend_inner(db, &compressed.workload, budget, algorithm, params);
+        }
+        Self::recommend_inner(db, workload, budget, algorithm, params)
+    }
+
+    fn recommend_inner(
+        db: &mut Database,
+        workload: &Workload,
+        budget: u64,
+        algorithm: SearchAlgorithm,
+        params: &AdvisorParams,
+    ) -> Result<Recommendation, XiaError> {
         let start = Instant::now();
         let _advise = params.telemetry.span("advise");
         let set = Self::prepare(db, workload, params);
@@ -408,6 +443,10 @@ impl Advisor {
         algorithm: SearchAlgorithm,
         params: &AdvisorParams,
     ) -> Vec<CandId> {
+        // Every algorithm records a span named after itself, nested under
+        // the generic "search" phase, so `--trace` latency histograms
+        // carry one search-loop row per `--algorithm` value.
+        let _algo = params.telemetry.span(algorithm.name());
         let all: Vec<CandId> = set.ids().collect();
         match algorithm {
             SearchAlgorithm::Greedy => search::greedy(ev, &all, budget),
@@ -417,6 +456,7 @@ impl Advisor {
             SearchAlgorithm::TopDownLite => search::top_down(ev, &all, budget, false),
             SearchAlgorithm::TopDownFull => search::top_down(ev, &all, budget, true),
             SearchAlgorithm::Dp => search::dp_knapsack(ev, &all, budget),
+            SearchAlgorithm::Cophy => search::cophy(ev, &all, budget),
         }
     }
 

@@ -308,6 +308,14 @@ pub struct BenefitEvaluator<'a> {
     /// consult the candidate (derived from the statements' index-matching
     /// signatures at construction time — no optimizer calls).
     relevance: Vec<StmtSet>,
+    /// Content-derived fault salt per statement: the FNV-1a fingerprint
+    /// of the statement's cost-identity template key. XORed into every
+    /// fault-stream salt in place of the raw statement index, so an
+    /// injected fault verdict is a pure function of *what* the statement
+    /// is (and the projection being costed), never of where it sits in
+    /// the workload — the invariant that keeps CoPhy workload compression
+    /// lossless under fault injection.
+    stmt_salts: Vec<u64>,
     /// Per-statement cost cache: statement index → canonical projection of
     /// a sub-configuration onto the statement's relevant candidates → cost.
     /// Coordinator-only; maintained identically with pruning on or off so
@@ -484,6 +492,11 @@ impl<'a> BenefitEvaluator<'a> {
                 .map(|e| xia_optimizer::statement_signature(&e.statement))
                 .collect(),
         );
+        let stmt_salts: Vec<u64> = workload
+            .entries()
+            .iter()
+            .map(|e| xia_xpath::template_fingerprint(&e.statement))
+            .collect();
         let cover_cache = CoverCache::new();
         let relevance = set
             .ids()
@@ -515,6 +528,7 @@ impl<'a> BenefitEvaluator<'a> {
             mc_totals: HashMap::new(),
             cache: ShardedCache::new(),
             relevance,
+            stmt_salts,
             stmt_cache: HashMap::new(),
             charged: 0,
             prune: true,
@@ -581,7 +595,7 @@ impl<'a> BenefitEvaluator<'a> {
                 BasePlan::StatsFallback
             } else {
                 BasePlan::Cost {
-                    salt: key_hash(SALT_BASELINE, &[]) ^ si as u64,
+                    salt: key_hash(SALT_BASELINE, &[]) ^ self.stmt_salts[si],
                 }
             });
         }
@@ -1074,7 +1088,7 @@ impl<'a> BenefitEvaluator<'a> {
                     // call is not charged against the budget.
                     Some(_) => (
                         TaskKind::Optimize {
-                            salt: key_hash(SALT_EVALUATE, &proj) ^ si as u64,
+                            salt: key_hash(SALT_EVALUATE, &proj) ^ self.stmt_salts[si],
                         },
                         Some(proj),
                     ),
@@ -1098,7 +1112,7 @@ impl<'a> BenefitEvaluator<'a> {
                             self.charged += 1;
                             (
                                 TaskKind::Optimize {
-                                    salt: key_hash(SALT_EVALUATE, &proj) ^ si as u64,
+                                    salt: key_hash(SALT_EVALUATE, &proj) ^ self.stmt_salts[si],
                                 },
                                 Some(proj),
                             )

@@ -31,6 +31,7 @@
 pub mod advisor;
 pub mod benefit;
 pub mod candidate;
+pub mod compress;
 pub mod enumerate;
 pub mod error;
 pub mod generalize;
@@ -42,6 +43,7 @@ pub mod session;
 pub use advisor::{Advisor, AdvisorParams, PartialRecommendation, Recommendation, SearchAlgorithm};
 pub use benefit::{BenefitEvaluator, WhatIfBudget};
 pub use candidate::{CandId, Candidate, CandidateSet, StmtSet};
+pub use compress::{compress_workload, compute_weights, CompressedWorkload, WorkloadTemplate};
 pub use enumerate::{
     enumerate_candidates, enumerate_candidates_traced, size_candidates, size_candidates_traced,
 };

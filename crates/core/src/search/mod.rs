@@ -12,11 +12,19 @@
 //! | [`top_down`] (lite)  | ignored     | as general as possible |
 //! | [`top_down`] (full)  | full        | as general as possible |
 //! | [`dp_knapsack`]      | ignored     | optimal modulo interaction |
+//! | [`cophy`]            | ignored     | LP relaxation with a certified bound |
+//!
+//! [`cophy`] is the scale play: paired with workload compression it costs
+//! one standalone batch over the compressed workload, solves the
+//! fractional knapsack exactly, and rounds — reporting the LP optimum as
+//! a quality certificate (see `search/cophy.rs` for the bound argument).
 
+mod cophy;
 mod dp;
 mod greedy;
 mod topdown;
 
+pub use cophy::{cophy, cophy_with_outcome, CophyOutcome};
 pub use dp::dp_knapsack;
 pub use greedy::{greedy, greedy_heuristics};
 pub use topdown::top_down;
@@ -29,7 +37,9 @@ use std::collections::HashMap;
 /// batch so every singleton's what-if calls fan out across the evaluator's
 /// worker pool — the largest single source of parallel speedup — and
 /// memoized by the evaluator's sub-configuration cache for later reuse.
-pub(crate) fn standalone_benefits(
+/// Public so the quality gate can score configurations in the same
+/// standalone currency as [`cophy_with_outcome`]'s LP certificate.
+pub fn standalone_benefits(
     ev: &mut BenefitEvaluator<'_>,
     candidates: &[CandId],
 ) -> HashMap<CandId, f64> {
@@ -205,6 +215,7 @@ mod tests {
         assert!(dp_knapsack(&mut ev, &all, 0).is_empty());
         assert!(top_down(&mut ev, &all, 0, false).is_empty());
         assert!(top_down(&mut ev, &all, 0, true).is_empty());
+        assert!(cophy(&mut ev, &all, 0).is_empty());
     }
 
     #[test]
@@ -229,6 +240,9 @@ mod tests {
         assert!(set.config_size(&d) <= budget);
         let t = top_down(&mut ev, &all, budget, false);
         assert!(!t.contains(&victim), "top-down admitted a u64::MAX index");
+        let c = cophy(&mut ev, &all, budget);
+        assert!(!c.contains(&victim), "cophy admitted a u64::MAX index");
+        assert!(set.config_size(&c) <= budget);
     }
 
     #[test]

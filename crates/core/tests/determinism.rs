@@ -20,7 +20,7 @@ const SEED: u64 = 0xD37E;
 const JOBS: [usize; 3] = [1, 4, 8];
 
 /// Counters whose totals must not depend on the worker count.
-const PINNED: [Counter; 9] = [
+const PINNED: [Counter; 12] = [
     Counter::OptimizerEvaluateCalls,
     Counter::BenefitCacheHits,
     Counter::BenefitCacheMisses,
@@ -30,6 +30,9 @@ const PINNED: [Counter; 9] = [
     Counter::FaultsInjected,
     Counter::VirtualIndexesCreated,
     Counter::VirtualIndexesDropped,
+    Counter::TemplatesBuilt,
+    Counter::StmtsCompressed,
+    Counter::LpIterations,
 ];
 
 /// Everything the suite compares across worker counts.
@@ -96,6 +99,42 @@ fn clean_run_is_jobs_invariant_greedy() {
 #[test]
 fn clean_run_is_jobs_invariant_heuristics() {
     assert_jobs_invariant(SearchAlgorithm::GreedyHeuristics, AdvisorParams::default);
+}
+
+#[test]
+fn clean_run_is_jobs_invariant_cophy() {
+    // Compression is on by default for cophy; it runs on the coordinator
+    // (first-occurrence template order), so the compressed run must be
+    // jobs-invariant like every other mode — including the compression
+    // counters pinned below.
+    assert_jobs_invariant(SearchAlgorithm::Cophy, AdvisorParams::default);
+    let probe = run(SearchAlgorithm::Cophy, 4, AdvisorParams::default);
+    let get = |c: Counter| {
+        probe
+            .counters
+            .iter()
+            .find(|(k, _)| *k == c)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    };
+    assert!(get(Counter::TemplatesBuilt) > 0, "compression never ran");
+    assert!(get(Counter::LpIterations) > 0, "relaxation never iterated");
+}
+
+#[test]
+fn cophy_without_compression_is_jobs_invariant() {
+    assert_jobs_invariant(SearchAlgorithm::Cophy, || AdvisorParams {
+        compress: false,
+        ..AdvisorParams::default()
+    });
+}
+
+#[test]
+fn cophy_faults_are_jobs_invariant() {
+    assert_jobs_invariant(SearchAlgorithm::Cophy, || AdvisorParams {
+        faults: FaultInjector::seeded(SEED).with_rate(FaultSite::OptimizerCost, 0.3),
+        ..AdvisorParams::default()
+    });
 }
 
 #[test]

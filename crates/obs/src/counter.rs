@@ -94,11 +94,20 @@ pub enum Counter {
     /// collection and physical index builds (contiguous typed slices
     /// instead of per-node pointer chasing).
     ColumnarScanRows,
+    /// Weighted workload templates produced by CoPhy-style compression
+    /// (one per distinct cost-identity template key).
+    TemplatesBuilt,
+    /// Statements folded into an existing template during workload
+    /// compression (original statements minus templates built).
+    StmtsCompressed,
+    /// Iterations of the LP/knapsack relaxation loop in the `cophy`
+    /// search (fractional solve + greedy rounding passes).
+    LpIterations,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 37] = [
         Counter::OptimizerEvaluateCalls,
         Counter::OptimizerEnumerateCalls,
         Counter::IndexMatchingAttempts,
@@ -133,6 +142,9 @@ impl Counter {
         Counter::DocsStreamed,
         Counter::IngestBatches,
         Counter::ColumnarScanRows,
+        Counter::TemplatesBuilt,
+        Counter::StmtsCompressed,
+        Counter::LpIterations,
     ];
 
     /// Number of counters.
@@ -175,6 +187,9 @@ impl Counter {
             Counter::DocsStreamed => "docs_streamed",
             Counter::IngestBatches => "ingest_batches",
             Counter::ColumnarScanRows => "columnar_scan_rows",
+            Counter::TemplatesBuilt => "templates_built",
+            Counter::StmtsCompressed => "stmts_compressed",
+            Counter::LpIterations => "lp_iterations",
         }
     }
 

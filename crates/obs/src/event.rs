@@ -138,6 +138,25 @@ pub enum Event {
         /// Approximate live cache bytes when the demotion fired.
         approx_bytes: u64,
     },
+    /// The workload was compressed into weighted cost-identity templates
+    /// before the search (CoPhy-style advising).
+    WorkloadCompressed {
+        /// Statements in the original workload.
+        statements: u64,
+        /// Weighted templates the search actually costs.
+        templates: u64,
+    },
+    /// The `cophy` LP/knapsack relaxation solved. `bound` is the
+    /// fractional (LP) optimum — an upper bound on any integer
+    /// configuration's benefit; `value` is the rounded solution's benefit.
+    LpRelaxed {
+        /// Fractional LP optimum (upper bound).
+        bound: f64,
+        /// Benefit of the rounded integer solution.
+        value: f64,
+        /// Relaxation loop iterations.
+        iterations: u64,
+    },
 }
 
 impl Event {
@@ -153,6 +172,8 @@ impl Event {
             Event::BudgetExhausted { .. } => "budget_exhausted",
             Event::RunStopped { .. } => "run_stopped",
             Event::GovernorDemoted { .. } => "governor_demoted",
+            Event::WorkloadCompressed { .. } => "workload_compressed",
+            Event::LpRelaxed { .. } => "lp_relaxed",
         }
     }
 
@@ -220,6 +241,22 @@ impl Event {
             Event::GovernorDemoted { rung, approx_bytes } => vec![
                 ("rung".into(), s(rung)),
                 ("approx_bytes".into(), Json::Num(*approx_bytes as f64)),
+            ],
+            Event::WorkloadCompressed {
+                statements,
+                templates,
+            } => vec![
+                ("statements".into(), Json::Num(*statements as f64)),
+                ("templates".into(), Json::Num(*templates as f64)),
+            ],
+            Event::LpRelaxed {
+                bound,
+                value,
+                iterations,
+            } => vec![
+                ("bound".into(), Json::Num(*bound)),
+                ("value".into(), Json::Num(*value)),
+                ("iterations".into(), Json::Num(*iterations as f64)),
             ],
         }
     }
@@ -299,6 +336,15 @@ impl Event {
                 rung: str_field("rung")?,
                 approx_bytes: num_field("approx_bytes")? as u64,
             },
+            "workload_compressed" => Event::WorkloadCompressed {
+                statements: num_field("statements")? as u64,
+                templates: num_field("templates")? as u64,
+            },
+            "lp_relaxed" => Event::LpRelaxed {
+                bound: num_field("bound")?,
+                value: num_field("value")?,
+                iterations: num_field("iterations")? as u64,
+            },
             other => return Err(format!("unknown event tag `{other}`")),
         })
     }
@@ -346,6 +392,15 @@ mod tests {
             Event::GovernorDemoted {
                 rung: "shrink_memo".into(),
                 approx_bytes: 1 << 20,
+            },
+            Event::WorkloadCompressed {
+                statements: 100_000,
+                templates: 412,
+            },
+            Event::LpRelaxed {
+                bound: 512.75,
+                value: 498.5,
+                iterations: 7,
             },
         ]
     }

@@ -7,7 +7,7 @@
 //! SQL VARCHAR / DOUBLE`.
 
 use crate::collection::{Collection, DocId};
-use crate::columnar::ColumnStore;
+use crate::columnar::{ColumnStore, PathColumn};
 use std::collections::{BTreeMap, HashSet};
 use xia_obs::Counter;
 use xia_xml::{Document, NodeId, PathId, Vocabulary};
@@ -41,8 +41,11 @@ pub struct Posting {
     pub node: NodeId,
 }
 
-/// A physical partial value index.
-#[derive(Debug)]
+/// A physical partial value index. `PartialEq` compares the full
+/// physical state (key maps, posting order, byte accounting) — the
+/// datapath gate uses it to assert parallel and serial builds are
+/// byte-identical.
+#[derive(Debug, PartialEq)]
 pub struct PhysicalIndex {
     pattern: LinearPath,
     kind: ValueKind,
@@ -62,8 +65,24 @@ pub struct PhysicalIndex {
 }
 
 impl PhysicalIndex {
-    /// Builds an index over all live documents of a collection.
+    /// Builds an index over all live documents of a collection. Worker
+    /// count for the columnar path comes from `XIA_JOBS` (serial when
+    /// unset); see [`PhysicalIndex::build_with_jobs`].
     pub fn build(collection: &Collection, pattern: &LinearPath, kind: ValueKind) -> Self {
+        Self::build_with_jobs(collection, pattern, kind, build_jobs())
+    }
+
+    /// [`PhysicalIndex::build`] with an explicit worker count for the
+    /// columnar row-collection phase. `jobs == 0` resolves to the
+    /// machine's available parallelism; any value yields a byte-identical
+    /// index (sharding is by document range with a deterministic
+    /// concatenation — see [`PhysicalIndex::build_from_columns`]).
+    pub fn build_with_jobs(
+        collection: &Collection,
+        pattern: &LinearPath,
+        kind: ValueKind,
+        jobs: usize,
+    ) -> Self {
         let vocab = collection.vocab();
         let matcher = PathMatcher::new(pattern, vocab);
         let matched: HashSet<PathId> = matcher.matching_path_ids(vocab).into_iter().collect();
@@ -81,7 +100,7 @@ impl PhysicalIndex {
         match collection.columns() {
             // Columnar build: iterate the contiguous per-path value
             // arrays instead of walking every node of every document.
-            Some(cols) => idx.build_from_columns(collection, cols),
+            Some(cols) => idx.build_from_columns(collection, cols, jobs),
             None => {
                 for (doc_id, doc) in collection.iter_docs() {
                     idx.insert_doc_inner(doc_id, doc);
@@ -96,23 +115,51 @@ impl PhysicalIndex {
     /// order the document scan inserts them — so the resulting maps and
     /// posting vectors are identical to [`PhysicalIndex::insert_doc_inner`]
     /// output.
-    fn build_from_columns(&mut self, collection: &Collection, cols: &ColumnStore) {
+    ///
+    /// Row collection is sharded by *document range* across scoped worker
+    /// threads when the index is large enough (`jobs` workers, serial by
+    /// default): each worker slices every matched column to its doc range
+    /// with binary searches, sorts its shard by `(doc, node)`, and the
+    /// coordinator concatenates shards in range order. Ranges are
+    /// contiguous and disjoint, so the concatenation *is* the globally
+    /// sorted row stream — the merge is deterministic and the B-tree
+    /// insertion (serial, on the coordinator) byte-identical for every
+    /// worker count.
+    fn build_from_columns(&mut self, collection: &Collection, cols: &ColumnStore, jobs: usize) {
         let mut rows_scanned = 0u64;
+        let mut matched: Vec<&PathColumn> = Vec::new();
+        for &path in &self.matched_paths {
+            let Some(col) = cols.col(path) else { continue };
+            if col.node_count() > 0 {
+                self.struct_map.insert(path, col.struct_docs().to_vec());
+            }
+            rows_scanned += match self.kind {
+                ValueKind::Str => col.rows(),
+                ValueKind::Num => col.nums().len() as u64,
+            };
+            matched.push(col);
+        }
+        let ranges = doc_ranges(&matched, rows_scanned, jobs);
         match self.kind {
             ValueKind::Str => {
-                let mut rows: Vec<(DocId, NodeId, &str)> = Vec::new();
-                for &path in &self.matched_paths {
-                    let Some(col) = cols.col(path) else { continue };
-                    if col.node_count() > 0 {
-                        self.struct_map.insert(path, col.struct_docs().to_vec());
-                    }
-                    rows_scanned += col.rows();
-                    for (i, v) in col.strs().iter().enumerate() {
-                        rows.push((col.docs()[i], col.nodes()[i], v));
-                    }
-                }
-                rows.sort_unstable_by_key(|&(d, n, _)| (d, n));
-                for (doc, node, v) in rows {
+                let shards: Vec<Vec<(DocId, NodeId, &str)>> = if ranges.len() > 1 {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = ranges
+                            .iter()
+                            .map(|&(lo, hi)| {
+                                let matched = &matched;
+                                scope.spawn(move || collect_str_rows(matched, lo, hi))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("index-build worker panicked"))
+                            .collect()
+                    })
+                } else {
+                    vec![collect_str_rows(&matched, 0, u32::MAX)]
+                };
+                for (doc, node, v) in shards.into_iter().flatten() {
                     self.key_bytes += v.len() as u64;
                     self.str_map
                         .entry(v.into())
@@ -122,20 +169,24 @@ impl PhysicalIndex {
                 }
             }
             ValueKind::Num => {
-                let mut rows: Vec<(DocId, NodeId, f64)> = Vec::new();
-                for &path in &self.matched_paths {
-                    let Some(col) = cols.col(path) else { continue };
-                    if col.node_count() > 0 {
-                        self.struct_map.insert(path, col.struct_docs().to_vec());
-                    }
-                    rows_scanned += col.nums().len() as u64;
-                    for &(row, n) in col.nums() {
-                        let row = row as usize;
-                        rows.push((col.docs()[row], col.nodes()[row], n));
-                    }
-                }
-                rows.sort_unstable_by_key(|&(d, n, _)| (d, n));
-                for (doc, node, n) in rows {
+                let shards: Vec<Vec<(DocId, NodeId, f64)>> = if ranges.len() > 1 {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = ranges
+                            .iter()
+                            .map(|&(lo, hi)| {
+                                let matched = &matched;
+                                scope.spawn(move || collect_num_rows(matched, lo, hi))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("index-build worker panicked"))
+                            .collect()
+                    })
+                } else {
+                    vec![collect_num_rows(&matched, 0, u32::MAX)]
+                };
+                for (doc, node, n) in shards.into_iter().flatten() {
                     self.key_bytes += 8;
                     self.num_map
                         .entry(OrdF64(n))
@@ -338,6 +389,94 @@ impl PhysicalIndex {
     }
 }
 
+/// Below this many value rows the sharding overhead (thread spawn + per-
+/// column binary searches) outweighs the sort it parallelizes.
+const PARALLEL_BUILD_THRESHOLD: u64 = 4096;
+
+/// Worker count for [`PhysicalIndex::build`]: `XIA_JOBS`, or serial when
+/// unset/unparsable. `0` means "use every core", matching the ingestion
+/// pool's convention.
+fn build_jobs() -> usize {
+    std::env::var("XIA_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(crate::ingest::resolve_jobs)
+        .unwrap_or(1)
+}
+
+/// Splits the document-id space covered by `matched` into up to `jobs`
+/// contiguous half-open ranges `[lo, hi)`. Returns a single all-covering
+/// range when sharding is off (`jobs <= 1`) or not worth it
+/// (`total_rows < PARALLEL_BUILD_THRESHOLD`). Ranges are ascending and
+/// disjoint — the invariant the deterministic shard concatenation relies
+/// on.
+fn doc_ranges(matched: &[&PathColumn], total_rows: u64, jobs: usize) -> Vec<(u32, u32)> {
+    let jobs = crate::ingest::resolve_jobs(jobs);
+    if jobs <= 1 || total_rows < PARALLEL_BUILD_THRESHOLD {
+        return vec![(0, u32::MAX)];
+    }
+    // Columns store rows in ascending document order, so the last row of
+    // each column carries its maximum document id.
+    let max_doc = matched
+        .iter()
+        .filter_map(|col| col.docs().last())
+        .map(|d| d.0)
+        .max();
+    let Some(max_doc) = max_doc else {
+        return vec![(0, u32::MAX)];
+    };
+    let span = max_doc as u64 + 1;
+    let jobs = (jobs as u64).min(span);
+    let chunk = span.div_ceil(jobs);
+    (0..jobs)
+        .map(|i| ((i * chunk) as u32, ((i + 1) * chunk).min(span) as u32))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Collects the string value rows of documents in `[lo, hi)` from every
+/// matched column, sorted by `(doc, node)`. Each column's rows are sliced
+/// with binary searches over its (ascending) document array, so a worker
+/// touches only its own shard.
+fn collect_str_rows<'c>(
+    matched: &[&'c PathColumn],
+    lo: u32,
+    hi: u32,
+) -> Vec<(DocId, NodeId, &'c str)> {
+    let mut rows = Vec::new();
+    for col in matched {
+        let docs = col.docs();
+        let start = docs.partition_point(|d| d.0 < lo);
+        let end = docs.partition_point(|d| d.0 < hi);
+        let nodes = &col.nodes()[start..end];
+        let strs = &col.strs()[start..end];
+        for ((&d, &n), s) in docs[start..end].iter().zip(nodes).zip(strs) {
+            rows.push((d, n, s.as_ref()));
+        }
+    }
+    rows.sort_unstable_by_key(|&(d, n, _)| (d, n));
+    rows
+}
+
+/// Numeric twin of [`collect_str_rows`]. The sparse `(row, value)` pairs
+/// are ascending in row — and therefore in document — so the same binary-
+/// search slicing applies through the row → doc indirection.
+fn collect_num_rows(matched: &[&PathColumn], lo: u32, hi: u32) -> Vec<(DocId, NodeId, f64)> {
+    let mut rows = Vec::new();
+    for col in matched {
+        let docs = col.docs();
+        let nums = col.nums();
+        let start = nums.partition_point(|&(r, _)| docs[r as usize].0 < lo);
+        let end = nums.partition_point(|&(r, _)| docs[r as usize].0 < hi);
+        for &(row, n) in &nums[start..end] {
+            let row = row as usize;
+            rows.push((docs[row], col.nodes()[row], n));
+        }
+    }
+    rows.sort_unstable_by_key(|&(d, n, _)| (d, n));
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +639,66 @@ mod tests {
             assert_eq!(a.struct_map, b.struct_map, "{pat}");
             assert_eq!(a.entries, b.entries, "{pat}");
             assert_eq!(a.key_bytes, b.key_bytes, "{pat}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_for_every_worker_count() {
+        // Enough value rows to clear PARALLEL_BUILD_THRESHOLD so the
+        // sharded path actually runs, including a numeric column and
+        // duplicate keys that make posting order observable.
+        let mut c = Collection::new("SDOC");
+        for i in 0..3000u32 {
+            c.insert_xml(&format!(
+                "<Security><Symbol>S{}</Symbol><Yield>{}</Yield></Security>",
+                i % 17,
+                (i % 11) as f64 / 2.0
+            ))
+            .unwrap();
+        }
+        assert!(c.columns().is_some());
+        for (pat, kind) in [
+            ("/Security//*", ValueKind::Str),
+            ("/Security/Symbol", ValueKind::Str),
+            ("/Security/Yield", ValueKind::Num),
+        ] {
+            let p = parse_linear_path(pat).unwrap();
+            let serial = PhysicalIndex::build_with_jobs(&c, &p, kind, 1);
+            // More workers than documents is also legal: ranges clamp.
+            for jobs in [2, 3, 8, 5000] {
+                let par = PhysicalIndex::build_with_jobs(&c, &p, kind, jobs);
+                assert_eq!(serial.str_map, par.str_map, "{pat} jobs={jobs}");
+                assert_eq!(serial.num_map, par.num_map, "{pat} jobs={jobs}");
+                assert_eq!(serial.struct_map, par.struct_map, "{pat} jobs={jobs}");
+                assert_eq!(serial.entries, par.entries, "{pat} jobs={jobs}");
+                assert_eq!(serial.key_bytes, par.key_bytes, "{pat} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn doc_ranges_cover_the_space_without_overlap() {
+        let mut c = Collection::new("X");
+        for i in 0..40u32 {
+            c.insert_xml(&format!("<a><v>{i}</v></a>")).unwrap();
+        }
+        let cols = c.columns().unwrap();
+        let matched: Vec<&PathColumn> = c
+            .vocab()
+            .paths
+            .iter()
+            .enumerate()
+            .filter_map(|(i, _)| cols.col(PathId(i as u32)))
+            .collect();
+        // Below the row threshold sharding is declined outright.
+        assert_eq!(doc_ranges(&matched, 40, 8), vec![(0, u32::MAX)]);
+        // Above it, ranges tile [0, max_doc+1) in ascending disjoint order.
+        let ranges = doc_ranges(&matched, PARALLEL_BUILD_THRESHOLD, 8);
+        assert!(ranges.len() > 1 && ranges.len() <= 8);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges.last().unwrap().1, 40);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
         }
     }
 

@@ -322,6 +322,18 @@ impl StatementSignature {
                 .any(|(q, kq)| kq.is_none_or(|k| k == kind) && covers(pattern, q))
     }
 
+    /// Canonicalizes the signature in place: targets sorted by
+    /// (pattern text, value kind) and deduplicated. `admits` is a
+    /// disjunction over targets, so order and multiplicity never change a
+    /// verdict — two statements with equal canonical signatures admit
+    /// exactly the same candidate indexes. The workload compressor uses
+    /// this as its coarse clustering key before cost-identity refinement.
+    pub fn canonicalize(&mut self) {
+        self.targets
+            .sort_by(|(pa, ka), (pb, kb)| pa.to_string().cmp(&pb.to_string()).then(ka.cmp(kb)));
+        self.targets.dedup();
+    }
+
     /// [`Self::admits`] with containment verdicts routed through a shared
     /// [`CoverCache`]. Same result; repeated pattern pairs cost one lookup.
     pub fn admits_with(

@@ -27,6 +27,7 @@ pub mod normalize;
 pub mod parser;
 pub mod sqlxml;
 pub mod statement;
+pub mod template;
 pub mod xquery;
 
 pub use ast::{CmpOp, Literal, PathExpr, Predicate, Step};
@@ -42,4 +43,5 @@ pub use normalize::{
 pub use parser::{parse_linear_path, parse_path_expr, ParseError, MAX_PATH_STEPS};
 pub use sqlxml::parse_sqlxml;
 pub use statement::{Statement, ValueKind};
+pub use template::{fnv1a, template_fingerprint, template_key};
 pub use xquery::{parse_statement, FlworQuery, ReturnExpr};

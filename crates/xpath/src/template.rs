@@ -1,0 +1,196 @@
+//! Workload-template keys: the canonical cost identity of a statement.
+//!
+//! Two statements with the same template key are indistinguishable to the
+//! cost model — same baseline cost, same what-if cost under every candidate
+//! configuration, same maintenance charge — so the advisor may cost one
+//! representative and multiply by the group's accumulated frequency
+//! (CoPhy-style workload compression).
+//!
+//! The key deliberately collapses everything the cost model ignores and
+//! keeps everything it consults:
+//!
+//! * Queries reduce to their [`normalize`]d access structure: collection,
+//!   iteration root, conjunctive patterns, disjunctive groups, and return
+//!   paths. Comparison literals are collapsed to their [`ValueKind`] —
+//!   equality selectivity comes from aggregate distinct counts and string
+//!   ranges use a constant heuristic, so the concrete value cannot change a
+//!   cost — **except** numeric range comparisons (`<`, `<=`, `>`, `>=` on a
+//!   number), whose selectivity is read from a per-path histogram at the
+//!   literal's position; those keep the exact bit pattern of the value.
+//! * Modifications keep their full surface structure (via `Debug`):
+//!   maintenance cost depends on the inserted payload, the set of matched
+//!   target documents, and the updated path, so nothing is safe to
+//!   collapse.
+//!
+//! [`template_fingerprint`] hashes the key to a stable `u64` used to derive
+//! content-addressed fault salts, making injected fault verdicts a function
+//! of *what* a statement is rather than *where* it sits in the workload —
+//! the property that keeps compression lossless under fault injection.
+
+use crate::ast::{CmpOp, Literal};
+use crate::normalize::{normalize, AccessPattern, PatternPred};
+use crate::statement::Statement;
+use std::fmt::Write as _;
+
+/// Appends the canonical form of one access pattern to `out`.
+fn push_pattern(out: &mut String, p: &AccessPattern) {
+    let _ = write!(out, "{}", p.linear);
+    match &p.pred {
+        PatternPred::Exists => out.push_str("?ex"),
+        PatternPred::Compare(op, lit) => {
+            let _ = write!(out, "?{op:?}");
+            match (op, lit) {
+                // Numeric range selectivity is histogram-driven at the
+                // literal's value: the exact bits are part of the identity.
+                (CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, Literal::Num(v)) => {
+                    let _ = write!(out, ":n{:016x}", v.to_bits());
+                }
+                (_, Literal::Num(_)) => out.push_str(":n"),
+                (_, Literal::Str(_)) => out.push_str(":s"),
+            }
+        }
+    }
+}
+
+/// The canonical template key of a statement: equal keys ⇒ equal costs
+/// under every configuration the advisor can propose.
+pub fn template_key(stmt: &Statement) -> String {
+    if stmt.is_modification() {
+        // Maintenance cost is content-dependent (inserted payload, matched
+        // target documents, updated path): keep the whole statement.
+        return format!("m|{stmt:?}");
+    }
+    let mut out = String::from("q|");
+    match normalize(stmt) {
+        Some(n) => {
+            let _ = write!(out, "{}|{}", n.collection, n.root);
+            for p in &n.patterns {
+                out.push('|');
+                push_pattern(&mut out, p);
+            }
+            for g in &n.or_groups {
+                out.push_str("|or(");
+                for (i, p) in g.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_pattern(&mut out, p);
+                }
+                out.push(')');
+            }
+            for r in &n.returns {
+                let _ = write!(out, "|ret:{r}");
+            }
+        }
+        // Unreachable for queries today (only inserts normalize to None),
+        // but stay total: fall back to the exact statement.
+        None => {
+            let _ = write!(out, "{stmt:?}");
+        }
+    }
+    out
+}
+
+/// FNV-1a fingerprint of [`template_key`]: a stable content hash usable as
+/// a fault-stream salt or compact template identity.
+pub fn template_fingerprint(stmt: &Statement) -> u64 {
+    fnv1a(template_key(stmt).as_bytes())
+}
+
+/// FNV-1a 64-bit hash (std-only, stable across platforms and runs).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xquery::parse_statement;
+
+    fn key(s: &str) -> String {
+        template_key(&parse_statement(s).unwrap())
+    }
+
+    #[test]
+    fn equality_literals_collapse() {
+        let a = key(r#"for $s in S('C')/a where $s/b = "x" return $s"#);
+        let b = key(r#"for $s in S('C')/a where $s/b = "y" return $s"#);
+        assert_eq!(a, b);
+        // ...but a different value *kind* does not collapse.
+        let c = key(r#"for $s in S('C')/a where $s/b = 3 return $s"#);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn numeric_range_literals_are_kept() {
+        let a = key("for $s in S('C')/a where $s/b > 1 return $s");
+        let b = key("for $s in S('C')/a where $s/b > 2 return $s");
+        assert_ne!(a, b);
+        let a2 = key("for $s in S('C')/a where $s/b > 1 return $s");
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn numeric_equality_collapses_but_op_distinguishes() {
+        let eq1 = key("for $s in S('C')/a where $s/b = 1 return $s");
+        let eq2 = key("for $s in S('C')/a where $s/b = 2 return $s");
+        assert_eq!(eq1, eq2);
+        let ge1 = key("for $s in S('C')/a where $s/b >= 1 return $s");
+        assert_ne!(eq1, ge1);
+    }
+
+    #[test]
+    fn structure_distinguishes() {
+        let a = key("for $s in S('C')/a return $s");
+        let b = key("for $s in S('C')/a/b return $s");
+        let c = key("for $s in S('D')/a return $s");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let ex = key("for $s in S('C')/a where $s/b return $s");
+        assert_ne!(a, ex);
+    }
+
+    #[test]
+    fn returns_and_or_groups_matter() {
+        let a = key("for $s in S('C')/a return $s");
+        let b = key("for $s in S('C')/a return $s/b");
+        assert_ne!(a, b);
+        let o1 = key(r#"collection('C')/a[b = 1 or c = 2]"#);
+        let o2 = key(r#"collection('C')/a[b = 1]"#);
+        assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn modifications_never_collapse_content() {
+        let i1 = key("insert into C <a><b>1</b></a>");
+        let i2 = key("insert into C <a><b>2</b></a>");
+        assert_ne!(i1, i2);
+        // Update values feed maintenance cost; keep them distinct.
+        let u1 = key("update C set /a/x = 1 where /a");
+        let u2 = key("update C set /a/x = 2 where /a");
+        assert_ne!(u1, u2);
+        let d1 = key("delete from C where /a[b = 1]");
+        let d2 = key("delete from C where /a[b = 2]");
+        assert_ne!(d1, d2);
+        assert!(i1.starts_with("m|"));
+    }
+
+    #[test]
+    fn identical_statements_share_fingerprint() {
+        let s1 = parse_statement(r#"for $s in S('C')/a where $s/b = "x" return $s"#).unwrap();
+        let s2 = parse_statement(r#"for $s in S('C')/a where $s/b = "z" return $s"#).unwrap();
+        assert_eq!(template_fingerprint(&s1), template_fingerprint(&s2));
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Known FNV-1a vectors: the empty string and "a".
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

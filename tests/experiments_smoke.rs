@@ -3,8 +3,8 @@
 
 use xia_advisor::SearchAlgorithm;
 use xia_bench::experiments::{
-    ablation, candidates, generality, generalization, scalability, speedup_budget, update_cost,
-    xmark_exp,
+    ablation, candidates, cophy_scaling, generality, generalization, scalability, speedup_budget,
+    update_cost, xmark_exp,
 };
 
 #[test]
@@ -136,7 +136,13 @@ fn latency_histogram_table_covers_hists_and_phases() {
     let text = table.render();
     assert!(text.contains("what_if_call"), "{text}");
     assert!(text.contains("contain_check"), "{text}");
-    assert!(text.contains("phase:advise:search:evaluate"), "{text}");
+    // Since PR 9 every algorithm records its own search-loop span, so the
+    // evaluate phase nests under the algorithm's name.
+    assert!(text.contains("phase:advise:search:heuristics"), "{text}");
+    assert!(
+        text.contains("phase:advise:search:heuristics:evaluate"),
+        "{text}"
+    );
     // Every row that recorded samples has a sane percentile ladder.
     for row in &table.rows {
         let count: u64 = row[2].parse().unwrap();
@@ -153,6 +159,49 @@ fn latency_histogram_table_covers_hists_and_phases() {
         .rows
         .iter()
         .any(|r| r[1] == "what_if_call" && r[2].parse::<u64>().unwrap() > 0));
+}
+
+#[test]
+fn e16_cophy_compresses_and_matches_greedy_quality() {
+    let mut lab = TpoxLab::quick();
+    let rows = cophy_scaling::run(
+        &mut lab,
+        &[60, 240],
+        &[SearchAlgorithm::Cophy, SearchAlgorithm::Greedy],
+        240,
+    );
+    assert_eq!(rows.len(), 4);
+    for pair in rows.chunks(2) {
+        let (cophy, greedy) = (&pair[0], &pair[1]);
+        assert_eq!(cophy.algo, SearchAlgorithm::Cophy);
+        assert_eq!(greedy.algo, SearchAlgorithm::Greedy);
+        // Compression actually folded statements into templates...
+        assert!(cophy.templates > 0);
+        assert!(cophy.templates < cophy.n_statements as u64);
+        // ...and the call count shrank accordingly while quality held.
+        assert!(
+            cophy.evaluate_calls < greedy.evaluate_calls,
+            "cophy {} calls vs greedy {}",
+            cophy.evaluate_calls,
+            greedy.evaluate_calls
+        );
+        assert!(cophy.lp_bound > 0.0);
+        let rel = (cophy.est_benefit - greedy.est_benefit).abs() / greedy.est_benefit.max(1.0);
+        assert!(
+            rel < 0.05,
+            "quality diverged: cophy {} vs greedy {}",
+            cophy.est_benefit,
+            greedy.est_benefit
+        );
+        // DP cross-check ran on these small sizes and stayed close.
+        assert!(cophy.dp_gap_pct.is_finite());
+        assert!(cophy.dp_gap_pct < 10.0, "dp gap {}%", cophy.dp_gap_pct);
+    }
+    // Template growth is sublinear: quadrupling the workload did not
+    // quadruple the template count.
+    assert!(rows[2].templates < rows[0].templates * 4);
+    let t = cophy_scaling::table(&rows);
+    assert!(t.render().contains("lp_bound"));
 }
 
 #[test]

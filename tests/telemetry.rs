@@ -105,8 +105,15 @@ fn full_run_populates_counters_and_phase_tree() {
             "missing {phase} under advise"
         );
     }
-    // Benefit evaluation nests inside the search.
-    assert!(advise.child("search").unwrap().child("evaluate").is_some());
+    // Benefit evaluation nests inside the per-algorithm search span
+    // (`search:<algorithm>:evaluate` since each algorithm records its
+    // own search-loop span).
+    let algo = advise
+        .child("search")
+        .unwrap()
+        .child("heuristics")
+        .expect("per-algorithm span under search");
+    assert!(algo.child("evaluate").is_some());
     assert!(t.span_micros("evaluate") > 0);
 }
 
