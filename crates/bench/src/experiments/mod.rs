@@ -9,6 +9,7 @@ pub mod generalization_speedup;
 pub mod parallel;
 pub mod pruning;
 pub mod scalability;
+pub mod server_warm;
 pub mod speedup_budget;
 pub mod update_cost;
 pub mod xmark_exp;

@@ -15,10 +15,11 @@
 //! | Fig. 5 (generalization, actual)       | [`experiments::generalization`] | `fig5_actual` |
 //! | XMark (tech-report appendix)          | [`experiments::xmark_exp`] | `xmark_experiment` |
 //! | E9 ablations (cache/affected/β)       | [`experiments::ablation`] | `ablation_benefit_cache` |
+//! | E17 warm service vs cold batch        | [`experiments::server_warm`] | `server_overhead_gate` |
 
 pub mod experiments;
 pub mod lab;
 pub mod report;
 
 pub use lab::TpoxLab;
-pub use report::{write_csv, Table};
+pub use report::{write_bench_json, write_csv, Table};

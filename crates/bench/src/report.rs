@@ -95,6 +95,25 @@ pub fn write_csv(table: &Table, name: &str) -> Option<std::path::PathBuf> {
     }
 }
 
+/// Writes `BENCH_<name>.json` in the current directory: a flat,
+/// machine-readable perf snapshot (one JSON object) so the performance
+/// trajectory is tracked across PRs instead of living only in CSVs.
+/// Returns the path written; failures are reported, not fatal.
+pub fn write_bench_json(
+    name: &str,
+    fields: Vec<(String, xia_obs::json::Json)>,
+) -> Option<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    let body = xia_obs::json::Json::Obj(fields).render() + "\n";
+    match std::fs::write(&path, body) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 /// Formats a float with limited precision for tables.
 pub fn f(v: f64) -> String {
     if v.is_infinite() {

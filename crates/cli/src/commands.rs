@@ -897,6 +897,359 @@ pub fn indexes(db_path: Option<&str>) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `xia serve <db> [--tcp <addr>] [--socket <path>] [--max-conns <n>]
+/// [--drift-threshold <x>] [--what-if-budget <calls>] [--jobs <n>]
+/// [--inject <site>:<rate>] [--fault-seed <n>] [--no-prewarm]`
+///
+/// Starts the warm advisor service over the given database and blocks
+/// until a client sends the `shutdown` verb (or the process is killed).
+/// The listening endpoints are printed before the server starts
+/// accepting, so wrappers can wait for that line.
+pub fn serve(args: &[String]) -> Result<String, CliError> {
+    let (path, db) = open(args.first().map(|s| s.as_str()))?;
+    let mut config = xia_server::ServerConfig::default();
+    let mut fault_seed: u64 = 0;
+    let mut inject_specs: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tcp" => {
+                config.tcp = Some(require(args, i + 1, "address after --tcp")?.to_string());
+                i += 2;
+            }
+            "--socket" => {
+                config.socket = Some(
+                    require(args, i + 1, "path after --socket")?
+                        .to_string()
+                        .into(),
+                );
+                i += 2;
+            }
+            "--max-conns" => {
+                let v = require(args, i + 1, "count after --max-conns")?;
+                config.max_connections = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad connection cap `{v}`")))?;
+                i += 2;
+            }
+            "--drift-threshold" => {
+                let v = require(args, i + 1, "value after --drift-threshold")?;
+                config.drift_threshold = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && (0.0..=1.0).contains(t))
+                    .ok_or_else(|| {
+                        CliError::usage(format!("bad drift threshold `{v}` (expected 0..=1)"))
+                    })?;
+                i += 2;
+            }
+            "--what-if-budget" => {
+                let v = require(args, i + 1, "call count after --what-if-budget")?;
+                config.what_if_budget = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad what-if budget `{v}`")))?;
+                i += 2;
+            }
+            "-j" | "--jobs" => {
+                let v = require(args, i + 1, "worker count after --jobs")?;
+                config.jobs = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("bad job count `{v}` (expected a number; 0 = auto)"))
+                })?);
+                i += 2;
+            }
+            "--inject" => {
+                inject_specs.push(require(args, i + 1, "spec after --inject")?.to_string());
+                i += 2;
+            }
+            "--fault-seed" => {
+                let v = require(args, i + 1, "seed after --fault-seed")?;
+                fault_seed = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad fault seed `{v}`")))?;
+                i += 2;
+            }
+            "--no-prewarm" => {
+                config.prewarm = false;
+                i += 1;
+            }
+            other => return Err(CliError::usage(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    if config.tcp.is_none() && config.socket.is_none() {
+        return Err(CliError::usage(
+            "serve needs at least one of --tcp <addr> / --socket <path>",
+        ));
+    }
+    // Validate injection specs up front (the server falls back to
+    // fault-free on a bad spec; the CLI should reject it loudly instead).
+    if !inject_specs.is_empty() {
+        let mut f = xia_fault::FaultInjector::seeded(fault_seed);
+        for spec in &inject_specs {
+            f = f.with_spec(spec).map_err(CliError::usage)?;
+        }
+        config.fault_specs = inject_specs;
+        config.fault_seed = fault_seed;
+    }
+    let handle = xia_server::start(config, db)
+        .map_err(|e| CliError::internal(format!("cannot start server: {e}")))?;
+    // Print endpoints immediately: the process now blocks until shutdown,
+    // and wrappers poll for this banner.
+    println!("serving {path}");
+    if let Some(addr) = handle.tcp_addr() {
+        println!("listening on tcp {addr}");
+    }
+    if let Some(sock) = handle.socket_path() {
+        println!("listening on socket {}", sock.display());
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    Ok("server stopped\n".to_string())
+}
+
+/// `xia client (--tcp <addr> | --socket <path>) <verb> [...]`
+///
+/// Verbs: `ping`, `hello`, `stats`, `journal`, `reset`, `shutdown`,
+/// `observe (-w <workload-file> | <statement>...)`,
+/// `recommend -b <budget> [-a <algo>]`. Prints the server's JSON reply;
+/// an error reply maps to the same exit code the equivalent local
+/// command would use.
+pub fn client(args: &[String]) -> Result<String, CliError> {
+    let mut tcp: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tcp" => {
+                tcp = Some(require(args, i + 1, "address after --tcp")?.to_string());
+                i += 2;
+            }
+            "--socket" => {
+                socket = Some(require(args, i + 1, "path after --socket")?.to_string());
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if tcp.is_none() && socket.is_none() {
+        return Err(CliError::usage(
+            "client needs one of --tcp <addr> / --socket <path>",
+        ));
+    }
+    let verb = rest
+        .first()
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::usage("missing client verb"))?;
+    let lines = build_client_requests(verb, &rest[1..])?;
+    let replies = client_exchange(tcp.as_deref(), socket.as_deref(), &lines)?;
+    let mut out = String::new();
+    for reply in replies {
+        // Map an error reply to the exit code the CLI taxonomy assigns it.
+        if let Ok(v) = xia_obs::json::Json::parse(&reply) {
+            if v.get("ok") == Some(&xia_obs::json::Json::Bool(false)) {
+                let code = v
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(xia_obs::json::Json::as_num)
+                    .unwrap_or(5.0) as i32;
+                let message = v
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(xia_obs::json::Json::as_str)
+                    .unwrap_or("server error")
+                    .to_string();
+                let kind = match code {
+                    2 => crate::ErrorKind::Usage,
+                    3 => crate::ErrorKind::Input,
+                    4 => crate::ErrorKind::CorruptDb,
+                    _ => crate::ErrorKind::Internal,
+                };
+                return Err(CliError::with_kind(format!("server: {message}"), kind));
+            }
+        }
+        let _ = writeln!(out, "{reply}");
+    }
+    Ok(out)
+}
+
+/// Reads a workload file into wire-shaped `{text, freq}` statement objects.
+fn workload_statements(file: &str) -> Result<Vec<xia_obs::json::Json>, CliError> {
+    use xia_obs::json::Json;
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CliError::new(format!("cannot read {file}: {e}")))?;
+    Ok(crate::workload_file::split_statements(&text)
+        .into_iter()
+        .map(|(freq, stmt)| {
+            Json::Obj(vec![
+                ("text".into(), Json::Str(stmt)),
+                ("freq".into(), Json::Num(freq)),
+            ])
+        })
+        .collect())
+}
+
+/// Builds the request lines for a client verb. Sessions live exactly as
+/// long as their connection, so a verb that needs prior observations
+/// (`recommend -w`) expands to several requests sent over one connection.
+fn build_client_requests(verb: &str, args: &[String]) -> Result<Vec<String>, CliError> {
+    use xia_obs::json::Json;
+    match verb {
+        "ping" | "hello" | "stats" | "journal" | "reset" | "shutdown" => {
+            Ok(vec![Json::Obj(vec![(
+                "verb".into(),
+                Json::Str(verb.into()),
+            )])
+            .render()])
+        }
+        "observe" => {
+            let mut statements: Vec<Json> = Vec::new();
+            let mut i = 0;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "-w" | "--workload" => {
+                        let file = require(args, i + 1, "workload file after -w")?;
+                        statements.extend(workload_statements(file)?);
+                        i += 2;
+                    }
+                    other if other.starts_with('-') => {
+                        return Err(CliError::usage(format!("unknown observe flag `{other}`")));
+                    }
+                    stmt => {
+                        statements.push(Json::Str(stmt.to_string()));
+                        i += 1;
+                    }
+                }
+            }
+            if statements.is_empty() {
+                return Err(CliError::usage(
+                    "observe needs -w <workload-file> or statement arguments",
+                ));
+            }
+            Ok(vec![Json::Obj(vec![
+                ("verb".into(), Json::Str("observe".into())),
+                ("statements".into(), Json::Arr(statements)),
+            ])
+            .render()])
+        }
+        "recommend" => {
+            let mut budget: Option<u64> = None;
+            let mut algo: Option<String> = None;
+            let mut statements: Vec<Json> = Vec::new();
+            let mut i = 0;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "-b" | "--budget" => {
+                        let v = require(args, i + 1, "budget after -b")?;
+                        budget = Some(
+                            parse_size(v)
+                                .ok_or_else(|| CliError::usage(format!("bad budget `{v}`")))?,
+                        );
+                        i += 2;
+                    }
+                    "-a" | "--algo" => {
+                        // Validated here for a fast local error; the
+                        // server validates again.
+                        let a = require(args, i + 1, "algorithm after -a")?;
+                        parse_algo(a)?;
+                        algo = Some(a.to_string());
+                        i += 2;
+                    }
+                    "-w" | "--workload" => {
+                        let file = require(args, i + 1, "workload file after -w")?;
+                        statements.extend(workload_statements(file)?);
+                        i += 2;
+                    }
+                    other => {
+                        return Err(CliError::usage(format!("unknown recommend flag `{other}`")))
+                    }
+                }
+            }
+            let budget = budget.ok_or_else(|| CliError::usage("missing -b <budget>"))?;
+            let mut lines = Vec::new();
+            if !statements.is_empty() {
+                lines.push(
+                    Json::Obj(vec![
+                        ("verb".into(), Json::Str("observe".into())),
+                        ("statements".into(), Json::Arr(statements)),
+                    ])
+                    .render(),
+                );
+            }
+            let mut fields = vec![
+                ("verb".into(), Json::Str("recommend".into())),
+                ("budget".into(), Json::Num(budget as f64)),
+            ];
+            if let Some(a) = algo {
+                fields.push(("algo".into(), Json::Str(a)));
+            }
+            lines.push(Json::Obj(fields).render());
+            Ok(lines)
+        }
+        other => Err(CliError::usage(format!("unknown client verb `{other}`"))),
+    }
+}
+
+/// Connects once, then sends each request line and reads its reply line
+/// over that single connection (so all requests share one session).
+fn client_exchange(
+    tcp: Option<&str>,
+    socket: Option<&str>,
+    lines: &[String],
+) -> Result<Vec<String>, CliError> {
+    use std::io::{BufRead as _, BufReader};
+    fn exchange<S: std::io::Read + std::io::Write>(
+        stream: S,
+        lines: &[String],
+    ) -> std::io::Result<Vec<String>> {
+        let mut reader = BufReader::new(stream);
+        let mut replies = Vec::with_capacity(lines.len());
+        for line in lines {
+            let stream = reader.get_mut();
+            // One write per request: split small writes trip Nagle +
+            // delayed-ACK stalls on TCP.
+            stream.write_all(format!("{line}\n").as_bytes())?;
+            stream.flush()?;
+            let mut reply = String::new();
+            if reader.read_line(&mut reply)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            replies.push(reply.trim_end().to_string());
+        }
+        Ok(replies)
+    }
+    let replies = if let Some(addr) = tcp {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| CliError::new(format!("cannot connect to tcp {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        exchange(stream, lines)
+    } else if let Some(path) = socket {
+        #[cfg(unix)]
+        {
+            let stream = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| CliError::new(format!("cannot connect to socket {path}: {e}")))?;
+            exchange(stream, lines)
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(CliError::usage(
+                "unix sockets are not available on this platform",
+            ));
+        }
+    } else {
+        return Err(CliError::usage(
+            "client needs one of --tcp <addr> / --socket <path>",
+        ));
+    };
+    replies.map_err(|e| CliError::new(format!("server connection failed: {e}")))
+}
+
 /// Parses sizes like `1048576`, `64k`, `10m`, `2g`.
 pub fn parse_size(s: &str) -> Option<u64> {
     let s = s.trim().to_ascii_lowercase();
@@ -1819,6 +2172,148 @@ mod tests {
         let out = recommend(&s(&[&db, "-w", &wl, "-b", "10m"])).unwrap();
         assert!(out.contains("warning:"), "{out}");
         assert!(out.contains("degraded database"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Builds a small db file and returns its path (serve fixtures).
+    fn serve_fixture(dir: &std::path::Path) -> String {
+        let db = dir.join("serve.xiadb").to_string_lossy().to_string();
+        init(Some(&db)).unwrap();
+        // Padded documents so scans are expensive enough that a selective
+        // index clears the benefit bar.
+        let filler = "prospectus filler text ".repeat(50);
+        let mut args = vec![db.clone(), "SDOC".to_string()];
+        for i in 0..50 {
+            let f = dir.join(format!("sdoc{i}.xml"));
+            std::fs::write(
+                &f,
+                format!(
+                    "<Security><Symbol>S{i}</Symbol><Yield>{}.25</Yield>\
+                     <Pad>{filler}</Pad></Security>",
+                    i % 8
+                ),
+            )
+            .unwrap();
+            args.push(f.to_string_lossy().to_string());
+        }
+        load(&args).unwrap();
+        db
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serve_and_client_round_trip_over_a_unix_socket() {
+        let dir = tmpdir().join("serve_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = serve_fixture(&dir);
+        let sock = dir.join("xia.sock").to_string_lossy().to_string();
+        let serve_args = s(&[&db, "--socket", &sock, "--drift-threshold", "0.3"]);
+        let server = std::thread::spawn(move || serve(&serve_args));
+        // Wait for the listener (the socket file appears once bound).
+        let sock_path = std::path::Path::new(&sock);
+        for _ in 0..200 {
+            if sock_path.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(sock_path.exists(), "server never bound its socket");
+
+        let out = client(&s(&["--socket", &sock, "ping"])).unwrap();
+        assert_eq!(out.trim(), r#"{"ok":true,"pong":true}"#);
+
+        let out = client(&s(&[
+            "--socket",
+            &sock,
+            "observe",
+            r#"collection('SDOC')/Security[Symbol = "S3"]"#,
+        ]))
+        .unwrap();
+        assert!(out.contains(r#""observed":1"#), "{out}");
+
+        // Sessions are per-connection, so `recommend -w` observes and
+        // recommends over one connection: two replies, one invocation.
+        let wl = dir.join("serve.workload").to_string_lossy().to_string();
+        std::fs::write(
+            &wl,
+            "collection('SDOC')/Security[Symbol = \"S3\"]\n\ncollection('SDOC')/Security[Yield > 4.0]\n",
+        )
+        .unwrap();
+        let out = client(&s(&[
+            "--socket",
+            &sock,
+            "recommend",
+            "-w",
+            &wl,
+            "-b",
+            "10m",
+            "-a",
+            "heuristics",
+        ]))
+        .unwrap();
+        assert!(out.contains(r#""observed":2"#), "{out}");
+        assert!(out.contains("CREATE INDEX"), "{out}");
+
+        // A second connection is a fresh session: recommending with no
+        // observations is an input-class error, mapped to exit code 3.
+        let err = client(&s(&["--socket", &sock, "recommend", "-b", "10m"])).unwrap_err();
+        assert_eq!(err.kind, crate::ErrorKind::Input, "{err}");
+
+        let out = client(&s(&["--socket", &sock, "shutdown"])).unwrap();
+        assert!(out.contains("stopping"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("server stopped"), "{served}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_client_flag_validation() {
+        let dir = tmpdir().join("serve_flags");
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = serve_fixture(&dir);
+        // serve: no listener, bad threshold, bad spec, unknown flag.
+        for bad in [
+            vec![db.as_str()],
+            vec![db.as_str(), "--tcp"],
+            vec![
+                db.as_str(),
+                "--tcp",
+                "127.0.0.1:0",
+                "--drift-threshold",
+                "7",
+            ],
+            vec![db.as_str(), "--tcp", "127.0.0.1:0", "--inject", "bogus"],
+            vec![db.as_str(), "--tcp", "127.0.0.1:0", "--frobnicate"],
+        ] {
+            let err = serve(&s(&bad)).unwrap_err();
+            assert_eq!(err.kind, crate::ErrorKind::Usage, "{bad:?}: {err}");
+        }
+        // client: no endpoint, missing verb, unknown verb, missing budget.
+        for bad in [
+            vec!["ping"],
+            vec!["--tcp", "127.0.0.1:1"],
+            vec!["--tcp", "127.0.0.1:1", "frobnicate"],
+            vec!["--tcp", "127.0.0.1:1", "recommend"],
+            vec!["--tcp", "127.0.0.1:1", "observe"],
+        ] {
+            let err = client(&s(&bad)).unwrap_err();
+            assert_eq!(err.kind, crate::ErrorKind::Usage, "{bad:?}: {err}");
+        }
+        // An unknown algorithm is an input error, same as local recommend.
+        let err = client(&s(&[
+            "--tcp",
+            "127.0.0.1:1",
+            "recommend",
+            "-b",
+            "10m",
+            "-a",
+            "quantum",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.kind, crate::ErrorKind::Input, "{err}");
+        // client: unreachable server is an input-class connection error.
+        let err = client(&s(&["--tcp", "127.0.0.1:1", "ping"])).unwrap_err();
+        assert_eq!(err.kind, crate::ErrorKind::Input, "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

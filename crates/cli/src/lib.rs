@@ -220,6 +220,26 @@ USAGE:
   xia whatif    <db> -w <workload-file> -i <coll>:<pattern>:<string|numerical> ...
                                              price a hand-written configuration
   xia indexes   <db>                           list physical indexes
+  xia serve     <db> (--tcp <addr> | --socket <path>)
+                [--max-conns <n>] [--drift-threshold <0..1>]
+                [--what-if-budget <calls>] [--jobs <n>]
+                [--inject <site>:<rate>] [--fault-seed <n>] [--no-prewarm]
+                                             run the warm advisor service
+  xia client    (--tcp <addr> | --socket <path>) <verb> [...]
+                                             talk to a running server; verbs:
+                                             ping, hello, stats, journal, reset,
+                                             shutdown,
+                                             observe (-w <file> | <stmt>...),
+                                             recommend -b <budget> [-a <algo>]
+                                               [-w <file>] (-w observes first,
+                                               on the same connection)
+
+`serve` keeps one database resident with statistics, prepared candidates,
+and warm what-if cost caches shared across requests; each connection gets
+its own tuning session. Sessions re-advise automatically when the
+observed workload's template-mass distribution drifts past
+--drift-threshold (total-variation distance; default 0.25). A client
+error reply exits with the same code the equivalent local command would.
 
 Workload files: statements separated by blank lines; '#'/'--' comment lines.
 Statements that fail to parse are quarantined (reported, then skipped) by
@@ -287,6 +307,8 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
         "recommend" => commands::recommend(&args[1..]),
         "whatif" => commands::whatif(&args[1..]).map(Into::into),
         "indexes" => commands::indexes(args.get(1).map(|s| s.as_str())).map(Into::into),
+        "serve" => commands::serve(&args[1..]).map(Into::into),
+        "client" => commands::client(&args[1..]).map(Into::into),
         "help" | "--help" | "-h" => Ok(USAGE.to_string().into()),
         other => Err(CliError::usage(format!(
             "unknown command `{other}`\n\n{USAGE}"

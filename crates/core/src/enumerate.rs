@@ -48,6 +48,47 @@ pub fn enumerate_candidates_traced(
     set
 }
 
+/// Incremental enumeration: runs only statements `from..` of the workload
+/// through Enumerate Indexes mode, inserting into an existing candidate
+/// set. Statement indices recorded in affected sets are the *global*
+/// workload indices, so an append-only workload keeps previously recorded
+/// indices valid. Patterns already present merge their affected sets via
+/// the set's insert semantics.
+///
+/// Returns the ids of candidates that were *not* in the set before this
+/// call (the generalization frontier for [`crate::generalize::generalize_set_extend`]).
+pub fn enumerate_candidates_into(
+    db: &mut Database,
+    workload: &Workload,
+    from: usize,
+    set: &mut CandidateSet,
+    telemetry: &Telemetry,
+) -> Vec<crate::candidate::CandId> {
+    db.runstats_all();
+    let mut fresh = Vec::new();
+    for (si, entry) in workload.entries().iter().enumerate().skip(from) {
+        let coll_name = entry.statement.collection().to_string();
+        let Some(collection) = db.collection(&coll_name) else {
+            continue;
+        };
+        let Some(stats) = db.stats_cached(&coll_name) else {
+            continue;
+        };
+        let catalog = db.catalog(&coll_name).expect("collection has a catalog");
+        let mut optimizer = Optimizer::new(collection, stats, catalog);
+        optimizer.set_telemetry(telemetry);
+        for cand in optimizer.enumerate_indexes(&entry.statement) {
+            let existed = set.lookup(&cand.collection, &cand.pattern, cand.kind);
+            let id = set.insert(&cand.collection, cand.pattern, cand.kind, CandOrigin::Basic);
+            set.get_mut(id).affected.insert(si);
+            if existed.is_none() {
+                fresh.push(id);
+            }
+        }
+    }
+    fresh
+}
+
 /// Fills in size estimates for every candidate from derived virtual-index
 /// statistics (paper Section III: index statistics derived from data
 /// statistics).
@@ -58,8 +99,21 @@ pub fn size_candidates(db: &mut Database, set: &mut CandidateSet) {
 /// [`size_candidates`] with each statistics derivation counted against a
 /// telemetry sink.
 pub fn size_candidates_traced(db: &mut Database, set: &mut CandidateSet, telemetry: &Telemetry) {
+    let ids: Vec<_> = set.ids().collect();
+    size_candidates_ids(db, set, &ids, telemetry)
+}
+
+/// Sizes only the given candidate ids — the incremental-preparation path,
+/// where pre-existing candidates already carry sizes derived from the same
+/// statistics and re-deriving them would be pure waste.
+pub fn size_candidates_ids(
+    db: &mut Database,
+    set: &mut CandidateSet,
+    ids: &[crate::candidate::CandId],
+    telemetry: &Telemetry,
+) {
     db.runstats_all();
-    for id in set.ids().collect::<Vec<_>>() {
+    for &id in ids {
         let (coll_name, pattern, kind) = {
             let c = set.get(id);
             (c.collection.clone(), c.pattern.clone(), c.kind)

@@ -232,11 +232,55 @@ pub fn generalize_set_naive(
 /// round completes, mirroring the naive loop's round-start snapshot of
 /// `all`.
 pub fn generalize_set_fast(set: &mut CandidateSet, t: &Telemetry, j: &EventJournal) -> Vec<CandId> {
+    let frontier: Vec<CandId> = set.ids().collect();
+    let created = fixpoint_fast(set, frontier, t, j);
+    union_affected_from_basics(set, &created);
+    created
+}
+
+/// Extends an already-generalized candidate set with newly enumerated
+/// candidates: the same semi-naive fixpoint as [`generalize_set_fast`],
+/// but seeded with `new_ids` as the initial frontier, so round one visits
+/// exactly the new×all pairs (old×old pairs were closed by the previous
+/// fixpoint and revisiting them is a provable no-op). `new_ids` must
+/// already be inserted into `set`. After the fixpoint, the affected sets
+/// of *every* generalized candidate are re-unioned from the basics, so
+/// pre-existing generalizations pick up statements that merged into
+/// basics they cover.
+///
+/// Returns the ids of the newly created generalized candidates.
+pub fn generalize_set_extend(
+    set: &mut CandidateSet,
+    new_ids: &[CandId],
+    t: &Telemetry,
+    j: &EventJournal,
+) -> Vec<CandId> {
+    let created = fixpoint_fast(set, new_ids.to_vec(), t, j);
+    let generalized: Vec<CandId> = set
+        .iter()
+        .filter(|c| c.origin == CandOrigin::Generalized)
+        .map(|c| c.id)
+        .collect();
+    union_affected_from_basics(set, &generalized);
+    created
+}
+
+/// The semi-naive round loop shared by [`generalize_set_fast`] (frontier =
+/// the whole set) and [`generalize_set_extend`] (frontier = the new
+/// candidates). Buckets always span the whole set, so frontier members
+/// pair against everything compatible. Does *not* touch affected sets —
+/// callers do, because full runs and extensions union different id sets.
+fn fixpoint_fast(
+    set: &mut CandidateSet,
+    mut frontier: Vec<CandId>,
+    t: &Telemetry,
+    j: &EventJournal,
+) -> Vec<CandId> {
     let mut created = Vec::new();
-    let mut frontier: Vec<CandId> = set.ids().collect();
     let mut buckets: HashMap<(String, ValueKind), Vec<CandId>> = HashMap::new();
     let mut all_len = 0usize;
-    for &id in &frontier {
+    let all_ids: Vec<CandId> = set.ids().collect();
+    for id in all_ids {
         let c = set.get(id);
         buckets
             .entry((c.collection.clone(), c.kind))
@@ -321,7 +365,6 @@ pub fn generalize_set_fast(set: &mut CandidateSet, t: &Telemetry, j: &EventJourn
         all_len += new_ids.len();
         frontier = new_ids;
     }
-    union_affected_from_basics(set, &created);
     created
 }
 
@@ -708,6 +751,98 @@ mod tests {
                 .collect();
             assert_fixpoints_agree(&borrowed);
         }
+    }
+
+    /// Content signature of a candidate set, id-independent: one record
+    /// per candidate with DAG edges rendered as pattern strings, sorted.
+    /// Extension and full re-preparation may assign different ids to the
+    /// same derived patterns, so parity is asserted on content.
+    fn content_signature(set: &CandidateSet) -> Vec<String> {
+        let pat = |id: CandId| set.get(id).pattern.to_string();
+        let mut out: Vec<String> = set
+            .iter()
+            .map(|c| {
+                let mut kids: Vec<String> = c.children.iter().map(|&k| pat(k)).collect();
+                kids.sort();
+                let mut parents: Vec<String> = c.parents.iter().map(|&k| pat(k)).collect();
+                parents.sort();
+                format!(
+                    "{}|{}|{:?}|{:?}|{:?}|kids={kids:?}|parents={parents:?}",
+                    c.collection,
+                    c.pattern,
+                    c.kind,
+                    c.origin,
+                    c.affected.iter().collect::<Vec<_>>()
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Extending an already-generalized set with new basics reaches the
+    /// same closure (patterns, origins, affected sets, DAG edges) as
+    /// generalizing everything from scratch.
+    #[test]
+    fn extend_matches_full_fixpoint_by_content() {
+        use xia_xpath::ValueKind::Str;
+        let old = [
+            ("SDOC", "/Security/Symbol"),
+            ("SDOC", "/Security/SecInfo/*/Sector"),
+            ("C", "/r/a/x"),
+        ];
+        let new = [
+            ("SDOC", "/Security/Yield"),
+            ("C", "/r/b/x"),
+            ("C", "/r/a/y"),
+        ];
+        // Incremental: generalize the old basics, then insert + extend.
+        let mut inc = CandidateSet::new();
+        for (i, (coll, path)) in old.iter().enumerate() {
+            let id = inc.insert(coll, lp(path), Str, CandOrigin::Basic);
+            inc.get_mut(id).affected.insert(i);
+        }
+        generalize_set_fast(&mut inc, &Telemetry::off(), &EventJournal::off());
+        let mut new_ids = Vec::new();
+        for (i, (coll, path)) in new.iter().enumerate() {
+            let id = inc.insert(coll, lp(path), Str, CandOrigin::Basic);
+            inc.get_mut(id).affected.insert(old.len() + i);
+            new_ids.push(id);
+        }
+        generalize_set_extend(&mut inc, &new_ids, &Telemetry::off(), &EventJournal::off());
+        // Full: everything from scratch.
+        let mut full = CandidateSet::new();
+        for (i, (coll, path)) in old.iter().chain(new.iter()).enumerate() {
+            let id = full.insert(coll, lp(path), Str, CandOrigin::Basic);
+            full.get_mut(id).affected.insert(i);
+        }
+        generalize_set_fast(&mut full, &Telemetry::off(), &EventJournal::off());
+        assert_eq!(content_signature(&inc), content_signature(&full));
+    }
+
+    /// Extending with an already-present pattern (a duplicate basic whose
+    /// statements merged into the existing candidate) refreshes the
+    /// affected sets of covering generalizations.
+    #[test]
+    fn extend_refreshes_affected_of_existing_generalizations() {
+        use xia_xpath::ValueKind::Str;
+        let mut set = CandidateSet::new();
+        let a = set.insert("C", lp("/r/a/x"), Str, CandOrigin::Basic);
+        let b = set.insert("C", lp("/r/b/x"), Str, CandOrigin::Basic);
+        set.get_mut(a).affected.insert(0);
+        set.get_mut(b).affected.insert(1);
+        let created = generalize_set_fast(&mut set, &Telemetry::off(), &EventJournal::off());
+        assert_eq!(created.len(), 1);
+        let g = created[0];
+        // A later statement re-produces /r/a/x: insert merges affected.
+        let a2 = set.insert("C", lp("/r/a/x"), Str, CandOrigin::Basic);
+        assert_eq!(a2, a);
+        set.get_mut(a).affected.insert(2);
+        generalize_set_extend(&mut set, &[], &Telemetry::off(), &EventJournal::off());
+        assert!(
+            set.get(g).affected.contains(2),
+            "generalization must pick up the merged statement"
+        );
     }
 
     /// The fast path's accounting: bucketing skips cross-kind pairs, the

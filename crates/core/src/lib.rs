@@ -32,6 +32,7 @@ pub mod advisor;
 pub mod benefit;
 pub mod candidate;
 pub mod compress;
+pub mod drift;
 pub mod enumerate;
 pub mod error;
 pub mod generalize;
@@ -44,11 +45,18 @@ pub use advisor::{Advisor, AdvisorParams, PartialRecommendation, Recommendation,
 pub use benefit::{BenefitEvaluator, WhatIfBudget};
 pub use candidate::{CandId, Candidate, CandidateSet, StmtSet};
 pub use compress::{compress_workload, compute_weights, CompressedWorkload, WorkloadTemplate};
+pub use drift::DriftTracker;
 pub use enumerate::{
-    enumerate_candidates, enumerate_candidates_traced, size_candidates, size_candidates_traced,
+    enumerate_candidates, enumerate_candidates_into, enumerate_candidates_traced, size_candidates,
+    size_candidates_ids, size_candidates_traced,
 };
 pub use error::{IssueStage, StatementIssue, XiaError};
-pub use generalize::{generalize_pair, generalize_set, generalize_set_fast, generalize_set_naive};
+pub use generalize::{
+    generalize_pair, generalize_set, generalize_set_extend, generalize_set_fast,
+    generalize_set_naive,
+};
 pub use report::TuningReport;
-pub use runctl::{candidate_digest, load_checkpoint, GovernorRung, RunController, StopReason};
+pub use runctl::{
+    candidate_digest, load_checkpoint, GovernorRung, RunController, StopReason, WarmCostStore,
+};
 pub use session::TuningSession;

@@ -5,40 +5,72 @@
 //! training workload, but the actual workload may be a variation") and
 //! re-advises on demand, reusing enumeration and generalization work when
 //! nothing changed.
+//!
+//! Two kinds of state stay warm across calls:
+//!
+//! * **Prepared candidates** — `observe` no longer throws the prepared
+//!   [`CandidateSet`] away. The compressed workload is append-only under
+//!   new observations (duplicates merge into existing entries without
+//!   moving them), so new statements enumerate their basic candidates
+//!   into the existing set and the semi-naive generalization fixpoint
+//!   extends the closure from just the new frontier
+//!   ([`generalize_set_extend`]). Candidate ids are append-only too,
+//!   which keeps previously captured warm cost entries valid.
+//! * **Warm benefit costs** — every `recommend` runs under a
+//!   [`RunController`] armed with in-memory warm capture; the run's
+//!   costing log accumulates in a [`WarmCostStore`] and is installed into
+//!   the next run, which replays previously executed optimizer costings
+//!   byte-identically (costs, counters, journal events) instead of
+//!   re-fanning out. The store resets whenever the database changes
+//!   underneath the session (`apply`) or the advisor parameters change.
+//!
+//! The session does not hold the database borrow; every call that needs
+//! the database takes `&mut Database`, so a serving layer can share one
+//! database across many sessions behind its own synchronization.
 
 use crate::advisor::{Advisor, AdvisorParams, Recommendation, SearchAlgorithm};
 use crate::candidate::CandidateSet;
+use crate::enumerate::{enumerate_candidates_into, size_candidates_ids};
 use crate::error::XiaError;
+use crate::generalize::generalize_set_extend;
+use crate::runctl::{RunController, WarmCostStore};
+use xia_obs::{Counter, Event};
 use xia_storage::Database;
 use xia_workloads::Workload;
 use xia_xpath::ParseError;
 
-/// An incremental advisor session over one database.
-pub struct TuningSession<'db> {
-    db: &'db mut Database,
-    workload: Workload,
-    params: AdvisorParams,
-    /// Prepared candidates, invalidated when the workload changes.
-    prepared: Option<CandidateSet>,
+/// Prepared candidate state plus how much of the compressed workload it
+/// covers.
+struct Prepared {
+    set: CandidateSet,
+    /// Compressed-workload entries already enumerated into `set`.
+    covered: usize,
 }
 
-impl<'db> TuningSession<'db> {
-    /// Opens a session on a database.
-    pub fn new(db: &'db mut Database) -> Self {
-        Self {
-            db,
-            workload: Workload::new(),
-            params: AdvisorParams::default(),
-            prepared: None,
-        }
+/// An incremental advisor session.
+#[derive(Default)]
+pub struct TuningSession {
+    workload: Workload,
+    params: AdvisorParams,
+    prepared: Option<Prepared>,
+    warm: WarmCostStore,
+}
+
+impl TuningSession {
+    /// Opens a session.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Replaces the advisor parameters (invalidates prepared state if the
-    /// generalization switch changed).
+    /// Replaces the advisor parameters. Invalidates prepared state if the
+    /// generalization switch changed, and always resets the warm cost
+    /// store — captured costs are only valid under the costing context
+    /// (faults, budgets, toggles) they were captured in.
     pub fn set_params(&mut self, params: AdvisorParams) {
         if params.generalize != self.params.generalize {
             self.prepared = None;
         }
+        self.warm.reset();
         self.params = params;
     }
 
@@ -47,10 +79,10 @@ impl<'db> TuningSession<'db> {
         self.observe_with_freq(statement_text, 1.0)
     }
 
-    /// Adds one statement with an explicit frequency.
+    /// Adds one statement with an explicit frequency. Prepared candidates
+    /// are kept; the next `recommend` extends them incrementally.
     pub fn observe_with_freq(&mut self, statement_text: &str, freq: f64) -> Result<(), ParseError> {
         self.workload.push_with_freq(statement_text, freq)?;
-        self.prepared = None;
         Ok(())
     }
 
@@ -70,44 +102,125 @@ impl<'db> TuningSession<'db> {
         self.workload.compress()
     }
 
-    fn ensure_prepared(&mut self) -> &CandidateSet {
-        if self.prepared.is_none() {
-            let compressed = self.workload.compress();
-            self.prepared = Some(Advisor::prepare(self.db, &compressed, &self.params));
+    /// Distinct warm costings carried to the next `recommend`.
+    pub fn warm_costings(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// Brings the prepared candidate set up to date with the compressed
+    /// workload: a full [`Advisor::prepare`] on first use, an incremental
+    /// extension afterwards.
+    fn ensure_prepared(&mut self, db: &mut Database) {
+        let compressed = self.workload.compress();
+        match &mut self.prepared {
+            None => {
+                let set = Advisor::prepare(db, &compressed, &self.params);
+                self.prepared = Some(Prepared {
+                    set,
+                    covered: compressed.len(),
+                });
+            }
+            Some(p) if p.covered < compressed.len() => {
+                let t = &self.params.telemetry;
+                db.set_faults(&self.params.faults);
+                db.set_telemetry(t);
+                let fresh = {
+                    let _enumerate = t.span("enumerate");
+                    enumerate_candidates_into(db, &compressed, p.covered, &mut p.set, t)
+                };
+                t.add(Counter::CandidatesEnumerated, fresh.len() as u64);
+                if self.params.journal.is_enabled() {
+                    for &id in &fresh {
+                        let c = p.set.get(id);
+                        self.params.journal.emit(|| Event::CandidateGenerated {
+                            collection: c.collection.clone(),
+                            pattern: c.pattern.to_string(),
+                            kind: c.kind.to_string(),
+                            origin: "basic".to_string(),
+                        });
+                    }
+                }
+                let mut to_size = fresh.clone();
+                if self.params.generalize {
+                    let created = {
+                        let _generalize = t.span("generalize");
+                        generalize_set_extend(&mut p.set, &fresh, t, &self.params.journal)
+                    };
+                    t.add(Counter::CandidatesGeneralized, created.len() as u64);
+                    to_size.extend(created);
+                }
+                {
+                    let _size = t.span("size");
+                    size_candidates_ids(db, &mut p.set, &to_size, t);
+                }
+                p.covered = compressed.len();
+            }
+            Some(_) => {}
         }
-        self.prepared.as_ref().expect("just prepared")
     }
 
     /// Candidate count after enumeration + generalization (for monitoring).
-    pub fn candidate_count(&mut self) -> usize {
-        self.ensure_prepared();
-        self.prepared.as_ref().expect("prepared").len()
+    pub fn candidate_count(&mut self, db: &mut Database) -> usize {
+        self.ensure_prepared(db);
+        self.prepared.as_ref().map_or(0, |p| p.set.len())
     }
 
-    /// Produces a recommendation for the accumulated workload. Errors when
-    /// nothing useful can be recommended (empty workload, everything
-    /// quarantined, strict-mode degradation); see [`Advisor::recommend`].
+    /// The prepared candidate set, brought up to date first — for
+    /// serving-path introspection and the incremental-vs-full parity
+    /// tests.
+    pub fn candidates(&mut self, db: &mut Database) -> &CandidateSet {
+        self.ensure_prepared(db);
+        &self.prepared.as_ref().expect("prepared above").set
+    }
+
+    /// Produces a recommendation for the accumulated workload, reusing
+    /// prepared candidates and warm benefit costs from earlier calls.
+    /// Errors when nothing useful can be recommended (empty workload,
+    /// everything quarantined, strict-mode degradation); see
+    /// [`Advisor::recommend`].
     pub fn recommend(
         &mut self,
+        db: &mut Database,
         budget: u64,
         algorithm: SearchAlgorithm,
     ) -> Result<Recommendation, XiaError> {
-        self.ensure_prepared();
+        self.ensure_prepared(db);
         let compressed = self.workload.compress();
-        let set = self.prepared.as_ref().expect("prepared");
-        Advisor::recommend_prepared(self.db, &compressed, set, budget, algorithm, &self.params)
+        let set = &self.prepared.as_ref().expect("prepared above").set;
+        // Warm cost reuse rides on the run controller. When the caller
+        // armed their own controller (deadline, checkpointing) it is used
+        // untouched and the session's warm store stays out of the run;
+        // otherwise the run captures its costing log for the next call.
+        if self.params.ctl.is_enabled() {
+            return Advisor::recommend_prepared(
+                db,
+                &compressed,
+                set,
+                budget,
+                algorithm,
+                &self.params,
+            );
+        }
+        let ctl = RunController::new().with_warm_capture();
+        if !self.warm.is_empty() {
+            ctl.install_warm(self.warm.install());
+        }
+        let mut params = self.params.clone();
+        params.ctl = ctl.clone();
+        let out = Advisor::recommend_prepared(db, &compressed, set, budget, algorithm, &params);
+        self.warm.absorb(ctl.export_warm_log());
+        out
     }
 
-    /// Materializes a recommendation produced by this session.
-    pub fn apply(&mut self, rec: &Recommendation) -> usize {
-        let set = self.ensure_prepared();
-        // `prepared` is still valid — materializing does not change the
-        // workload — but borrowck needs the set cloned out of self.
-        let config = rec.config.clone();
-        let _ = set;
-        let set = self.prepared.take().expect("prepared above");
-        let n = Advisor::materialize(self.db, &set, &config);
-        self.prepared = Some(set);
+    /// Materializes a recommendation produced by this session. The
+    /// prepared candidates stay valid (the workload did not change), but
+    /// the warm cost store resets: physical indexes change what the
+    /// optimizer would cost.
+    pub fn apply(&mut self, db: &mut Database, rec: &Recommendation) -> usize {
+        self.ensure_prepared(db);
+        let p = self.prepared.as_ref().expect("prepared above");
+        let n = Advisor::materialize(db, &p.set, &rec.config);
+        self.warm.reset();
         n
     }
 }
@@ -126,7 +239,7 @@ mod tests {
     #[test]
     fn session_accumulates_and_recommends() {
         let mut db = db();
-        let mut session = TuningSession::new(&mut db);
+        let mut session = TuningSession::new();
         session
             .observe(
                 r#"for $s in SECURITY('SDOC')/Security where $s/Symbol = "SYM00001" return $s"#,
@@ -134,7 +247,7 @@ mod tests {
             .unwrap();
         assert_eq!(session.observed(), 1);
         let rec1 = session
-            .recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .recommend(&mut db, u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
             .unwrap();
         assert_eq!(rec1.indexes.len(), 1);
 
@@ -142,15 +255,14 @@ mod tests {
             .observe(r#"for $o in ORDER('ODOC')/Order where $o/AccountId = "A00001" return $o"#)
             .unwrap();
         let rec2 = session
-            .recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .recommend(&mut db, u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
             .unwrap();
         assert!(rec2.indexes.len() >= 2, "{:?}", rec2.indexes);
     }
 
     #[test]
     fn duplicate_observations_compress() {
-        let mut db = db();
-        let mut session = TuningSession::new(&mut db);
+        let mut session = TuningSession::new();
         for _ in 0..5 {
             session
                 .observe(r#"collection('SDOC')/Security[Symbol = "SYM00002"]"#)
@@ -162,33 +274,72 @@ mod tests {
     }
 
     #[test]
-    fn prepared_state_reused_until_workload_changes() {
+    fn prepared_state_extends_incrementally_across_observes() {
         let mut db = db();
-        let mut session = TuningSession::new(&mut db);
+        let mut session = TuningSession::new();
         session
             .observe(r#"collection('SDOC')/Security[Symbol = "SYM00003"]"#)
             .unwrap();
-        let c1 = session.candidate_count();
-        let c2 = session.candidate_count();
+        let c1 = session.candidate_count(&mut db);
+        let c2 = session.candidate_count(&mut db);
         assert_eq!(c1, c2);
         session
             .observe(r#"collection('SDOC')/Security[Yield > 4]"#)
             .unwrap();
-        let c3 = session.candidate_count();
+        let c3 = session.candidate_count(&mut db);
         assert!(c3 >= c1);
+        // A duplicate observation merges into the compressed workload
+        // without growing the candidate set.
+        session
+            .observe(r#"collection('SDOC')/Security[Symbol = "SYM00003"]"#)
+            .unwrap();
+        assert_eq!(session.candidate_count(&mut db), c3);
+    }
+
+    #[test]
+    fn warm_costs_accumulate_and_reset_on_apply() {
+        let mut db = db();
+        let mut session = TuningSession::new();
+        session
+            .observe(r#"collection('SDOC')/Security[Symbol = "SYM00009"]"#)
+            .unwrap();
+        assert_eq!(session.warm_costings(), 0);
+        let rec = session
+            .recommend(&mut db, u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .unwrap();
+        let after_first = session.warm_costings();
+        assert!(after_first > 0, "recommend must capture warm costings");
+        // A repeat recommend replays warm entries and returns an
+        // identical recommendation.
+        let rec2 = session
+            .recommend(&mut db, u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .unwrap();
+        assert_eq!(rec.ddl(), rec2.ddl());
+        assert_eq!(
+            rec.est_benefit.to_bits(),
+            rec2.est_benefit.to_bits(),
+            "warm replay must be bit-exact"
+        );
+        assert_eq!(session.warm_costings(), after_first);
+        session.apply(&mut db, &rec);
+        assert_eq!(
+            session.warm_costings(),
+            0,
+            "materializing changes the database; warm costs must reset"
+        );
     }
 
     #[test]
     fn apply_materializes_indexes() {
         let mut db = db();
-        let mut session = TuningSession::new(&mut db);
+        let mut session = TuningSession::new();
         session
             .observe(r#"collection('SDOC')/Security[Symbol = "SYM00004"]"#)
             .unwrap();
         let rec = session
-            .recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .recommend(&mut db, u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
             .unwrap();
-        let n = session.apply(&rec);
+        let n = session.apply(&mut db, &rec);
         assert_eq!(n, rec.indexes.len());
         assert!(n >= 1);
         let physical = db
@@ -203,7 +354,7 @@ mod tests {
     #[test]
     fn ddl_renders_create_index_statements() {
         let mut db = db();
-        let mut session = TuningSession::new(&mut db);
+        let mut session = TuningSession::new();
         session
             .observe(r#"collection('SDOC')/Security[Symbol = "SYM00005"]"#)
             .unwrap();
@@ -211,7 +362,7 @@ mod tests {
             .observe(r#"collection('SDOC')/Security[Yield > 4.5]"#)
             .unwrap();
         let rec = session
-            .recommend(u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+            .recommend(&mut db, u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
             .unwrap();
         let ddl = rec.ddl();
         assert!(ddl.contains("CREATE INDEX idx_sdoc_1"), "{ddl}");

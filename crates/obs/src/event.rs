@@ -157,6 +157,18 @@ pub enum Event {
         /// Relaxation loop iterations.
         iterations: u64,
     },
+    /// The template-mass distribution of the observed workload drifted
+    /// past the configured threshold since the last recommendation; the
+    /// serving layer re-advises incrementally and rebaselines.
+    DriftDetected {
+        /// Total-variation distance between the current and baseline
+        /// template-mass distributions, in `[0, 1]`.
+        drift: f64,
+        /// The configured re-advise threshold that was crossed.
+        threshold: f64,
+        /// Distinct templates in the current distribution.
+        templates: u64,
+    },
 }
 
 impl Event {
@@ -174,6 +186,7 @@ impl Event {
             Event::GovernorDemoted { .. } => "governor_demoted",
             Event::WorkloadCompressed { .. } => "workload_compressed",
             Event::LpRelaxed { .. } => "lp_relaxed",
+            Event::DriftDetected { .. } => "drift_detected",
         }
     }
 
@@ -257,6 +270,15 @@ impl Event {
                 ("bound".into(), Json::Num(*bound)),
                 ("value".into(), Json::Num(*value)),
                 ("iterations".into(), Json::Num(*iterations as f64)),
+            ],
+            Event::DriftDetected {
+                drift,
+                threshold,
+                templates,
+            } => vec![
+                ("drift".into(), Json::Num(*drift)),
+                ("threshold".into(), Json::Num(*threshold)),
+                ("templates".into(), Json::Num(*templates as f64)),
             ],
         }
     }
@@ -345,6 +367,11 @@ impl Event {
                 value: num_field("value")?,
                 iterations: num_field("iterations")? as u64,
             },
+            "drift_detected" => Event::DriftDetected {
+                drift: num_field("drift")?,
+                threshold: num_field("threshold")?,
+                templates: num_field("templates")? as u64,
+            },
             other => return Err(format!("unknown event tag `{other}`")),
         })
     }
@@ -401,6 +428,11 @@ mod tests {
                 bound: 512.75,
                 value: 498.5,
                 iterations: 7,
+            },
+            Event::DriftDetected {
+                drift: 0.375,
+                threshold: 0.2,
+                templates: 12,
             },
         ]
     }

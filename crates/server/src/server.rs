@@ -1,0 +1,732 @@
+//! The daemon: listeners, admission control, and the connection loop.
+//!
+//! One [`Server`] holds one [`Database`] behind a mutex, warm across
+//! requests and connections. Each accepted connection gets its own OS
+//! thread and its own [`ServerSession`]; a request locks the database
+//! only for the duration of its dispatch, so sessions interleave at
+//! request granularity while each session's caches stay private.
+//!
+//! Listeners are non-blocking and polled, so `shutdown` (the wire verb or
+//! [`ServerHandle::shutdown`]) stops the accept loop promptly; connection
+//! reads use a short timeout and re-check the stop flag, so connection
+//! threads drain within one poll interval.
+//!
+//! **Determinism under sharing.** Sessions with fault injection enabled
+//! can leave shared database state (collection statistics staleness)
+//! behind; after every faulted request the server re-canonicalizes the
+//! database (fault-free `runstats_all`) while still holding the lock, so
+//! the next request — whichever session it comes from — starts from the
+//! same database state regardless of interleaving.
+
+use crate::protocol::{ok_reply, parse_request, Request, WireError, MAX_LINE_BYTES};
+use crate::session::{ServerSession, SessionOptions};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xia_fault::FaultInjector;
+use xia_obs::json::Json;
+use xia_storage::Database;
+
+/// How long a connection read waits before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// How long the accept loop sleeps when no listener had a connection.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP listen address, e.g. `127.0.0.1:0` (`None` = no TCP listener).
+    pub tcp: Option<String>,
+    /// Unix-domain socket path (`None` = no unix listener; unix only).
+    pub socket: Option<PathBuf>,
+    /// Admission cap: connections beyond this get a `busy` error reply
+    /// and are closed.
+    pub max_connections: usize,
+    /// Total-variation drift that triggers an incremental re-advise.
+    pub drift_threshold: f64,
+    /// Per-run what-if optimizer-call budget (0 = unlimited).
+    pub what_if_budget: u64,
+    /// What-if worker threads per request (`None` = advisor default).
+    pub jobs: Option<usize>,
+    /// Fault-injection specs (`site:rate`), applied per session.
+    pub fault_specs: Vec<String>,
+    /// Seed for the per-session fault streams.
+    pub fault_seed: u64,
+    /// Warm up collection statistics and columnar stores at startup.
+    pub prewarm: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            tcp: None,
+            socket: None,
+            max_connections: 8,
+            drift_threshold: 0.25,
+            what_if_budget: 0,
+            jobs: None,
+            fault_specs: Vec::new(),
+            fault_seed: 0,
+            prewarm: true,
+        }
+    }
+}
+
+/// Server-level counters (plain atomics; session-level determinism lives
+/// in [`ServerSession::stats_json`], these are operational gauges).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted (including rejected ones).
+    pub connections: AtomicU64,
+    /// Connections rejected by the admission cap.
+    pub rejected: AtomicU64,
+    /// Request lines parsed (valid or not).
+    pub requests: AtomicU64,
+    /// Error replies written.
+    pub errors: AtomicU64,
+}
+
+struct Shared {
+    db: Mutex<Database>,
+    config: ServerConfig,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    counters: ServerCounters,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn lock_db(&self) -> std::sync::MutexGuard<'_, Database> {
+        match self.db.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn stats_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "connections".into(),
+                Json::Num(self.counters.connections.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected".into(),
+                Json::Num(self.counters.rejected.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "requests".into(),
+                Json::Num(self.counters.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "errors".into(),
+                Json::Num(self.counters.errors.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "active".into(),
+                Json::Num(self.active.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "max_connections".into(),
+                Json::Num(self.config.max_connections as f64),
+            ),
+        ])
+    }
+}
+
+/// Handle to a running server: bound addresses, shutdown, join.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    tcp_addr: Option<SocketAddr>,
+    socket_path: Option<PathBuf>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (with the real port when `:0` was asked).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The unix socket path, if listening on one.
+    pub fn socket_path(&self) -> Option<&Path> {
+        self.socket_path.as_deref()
+    }
+
+    /// Asks the server to stop; returns immediately.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the server has been asked to stop.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Server-level counter snapshot, in declaration order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let c = &self.shared.counters;
+        vec![
+            ("connections", c.connections.load(Ordering::Relaxed)),
+            ("rejected", c.rejected.load(Ordering::Relaxed)),
+            ("requests", c.requests.load(Ordering::Relaxed)),
+            ("errors", c.errors.load(Ordering::Relaxed)),
+        ]
+    }
+
+    /// Waits for the accept loop and every connection thread to finish.
+    /// Call [`ServerHandle::shutdown`] first (or send the `shutdown`
+    /// verb) or this blocks until a client stops the server.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles = match self.shared.conns.lock() {
+            Ok(mut g) => std::mem::take(&mut *g),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// [`ServerHandle::shutdown`] + [`ServerHandle::join`].
+    pub fn stop(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Starts the server on the configured listeners (at least one of `tcp` /
+/// `socket` must be set) and returns a handle. The accept loop runs on a
+/// background thread; this returns as soon as the listeners are bound, so
+/// clients can connect immediately.
+pub fn start(config: ServerConfig, mut db: Database) -> io::Result<ServerHandle> {
+    if config.tcp.is_none() && config.socket.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "server needs a TCP address or a unix socket path",
+        ));
+    }
+    if config.prewarm {
+        db.prewarm();
+    }
+    let tcp = match &config.tcp {
+        Some(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        }
+        None => None,
+    };
+    let tcp_addr = match &tcp {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
+    #[cfg(unix)]
+    let unix = match &config.socket {
+        Some(path) => {
+            // A stale socket file from a dead server blocks rebinding.
+            let _ = std::fs::remove_file(path);
+            let l = std::os::unix::net::UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        }
+        None => None,
+    };
+    #[cfg(not(unix))]
+    if config.socket.is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix sockets are not available on this platform",
+        ));
+    }
+    let socket_path = config.socket.clone();
+    let shared = Arc::new(Shared {
+        db: Mutex::new(db),
+        config,
+        stop: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        counters: ServerCounters::default(),
+        conns: Mutex::new(Vec::new()),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("xia-accept".into())
+        .spawn(move || {
+            accept_loop(
+                &accept_shared,
+                tcp,
+                #[cfg(unix)]
+                unix,
+            )
+        })?;
+
+    Ok(ServerHandle {
+        shared,
+        tcp_addr,
+        socket_path,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    tcp: Option<TcpListener>,
+    #[cfg(unix)] unix: Option<std::os::unix::net::UnixListener>,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let mut accepted = false;
+        if let Some(l) = &tcp {
+            match l.accept() {
+                Ok((stream, _)) => {
+                    accepted = true;
+                    admit(shared, stream, |s| {
+                        s.set_nonblocking(false)?;
+                        s.set_nodelay(true)?;
+                        s.set_read_timeout(Some(READ_POLL))
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(_) => {}
+            }
+        }
+        #[cfg(unix)]
+        if let Some(l) = &unix {
+            match l.accept() {
+                Ok((stream, _)) => {
+                    accepted = true;
+                    admit(shared, stream, |s| {
+                        s.set_nonblocking(false)?;
+                        s.set_read_timeout(Some(READ_POLL))
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(_) => {}
+            }
+        }
+        if !accepted {
+            std::thread::sleep(ACCEPT_POLL);
+        }
+    }
+}
+
+/// Admission control: under the cap, spawn a connection thread; over it,
+/// write one `busy` error reply and close.
+fn admit<S>(shared: &Arc<Shared>, mut stream: S, configure: impl Fn(&S) -> io::Result<()>)
+where
+    S: Read + Write + Send + 'static,
+{
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    if configure(&stream).is_err() {
+        return;
+    }
+    // Reserve a slot; back out if that oversubscribed the cap. The
+    // fetch_add/compare makes the cap exact under concurrent accepts.
+    let prev = shared.active.fetch_add(1, Ordering::SeqCst);
+    if prev >= shared.config.max_connections {
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        let busy = WireError::busy(format!(
+            "server at its connection cap ({})",
+            shared.config.max_connections
+        ));
+        let _ = write_line(&mut stream, &busy.render());
+        return;
+    }
+    let conn_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("xia-conn".into())
+        .spawn(move || {
+            conn_loop(&conn_shared, stream);
+            conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+        });
+    match spawned {
+        Ok(handle) => {
+            if let Ok(mut conns) = shared.conns.lock() {
+                conns.push(handle);
+            }
+        }
+        Err(_) => {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn write_line<S: Write>(stream: &mut S, line: &str) -> io::Result<()> {
+    // One write per reply: a payload write followed by a separate newline
+    // write trips Nagle + delayed-ACK stalls (~40 ms) on TCP.
+    let mut framed = Vec::with_capacity(line.len() + 1);
+    framed.extend_from_slice(line.as_bytes());
+    framed.push(b'\n');
+    stream.write_all(&framed)?;
+    stream.flush()
+}
+
+/// Byte-capped, stop-aware line reader. Keeps leftover bytes between
+/// calls so pipelined requests in one TCP segment all surface.
+struct LineReader {
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// `Ok(None)` on EOF or server stop; `Ok(Some(Err(..)))` on an
+    /// oversized or non-UTF-8 line (protocol error — the caller replies
+    /// and closes); `Err` on a fatal transport error.
+    fn next_line<S: Read>(
+        &mut self,
+        stream: &mut S,
+        stop: &AtomicBool,
+    ) -> io::Result<Option<Result<String, WireError>>> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                if pos > MAX_LINE_BYTES {
+                    return Ok(Some(Err(WireError::input(format!(
+                        "request line exceeds {MAX_LINE_BYTES} bytes"
+                    )))));
+                }
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(
+                    String::from_utf8(line)
+                        .map_err(|_| WireError::input("request line is not valid UTF-8")),
+                ));
+            }
+            // No newline yet: bound the buffer so a client cannot stream
+            // an endless line into memory.
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Ok(Some(Err(WireError::input(format!(
+                    "request line exceeds {MAX_LINE_BYTES} bytes"
+                )))));
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn conn_loop<S: Read + Write>(shared: &Arc<Shared>, mut stream: S) {
+    let faults = build_faults(&shared.config);
+    let opts = SessionOptions {
+        drift_threshold: shared.config.drift_threshold,
+        what_if_budget: shared.config.what_if_budget,
+        jobs: shared.config.jobs,
+        faults,
+    };
+    let mut session = ServerSession::new(&opts);
+    let mut reader = LineReader::new();
+    loop {
+        let line = match reader.next_line(&mut stream, &shared.stop) {
+            Ok(Some(Ok(line))) => line,
+            Ok(Some(Err(protocol_err))) => {
+                // Framing is lost (oversized/undecodable line): reply,
+                // then close the connection.
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_line(&mut stream, &protocol_err.render());
+                return;
+            }
+            Ok(None) | Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = match parse_request(&line) {
+            Err(e) => {
+                // The line framed correctly; a malformed request does not
+                // cost the client its connection.
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                e.render()
+            }
+            Ok(Request::Shutdown) => {
+                let _ = write_line(
+                    &mut stream,
+                    &ok_reply(vec![("stopping".into(), Json::Bool(true))]),
+                );
+                shared.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(req) => {
+                let mut db = shared.lock_db();
+                let outcome = dispatch(&mut session, &mut db, &req, shared);
+                if session.faults_enabled() {
+                    // Faulted requests may leave statistics stale in the
+                    // shared database; restore the canonical all-fresh
+                    // state so the next request (from any session) sees
+                    // the same starting point in every interleaving.
+                    db.set_faults(&FaultInjector::off());
+                    db.runstats_all();
+                }
+                drop(db);
+                match outcome {
+                    Ok(reply) => reply,
+                    Err(e) => {
+                        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        e.render()
+                    }
+                }
+            }
+        };
+        if write_line(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    session: &mut ServerSession,
+    db: &mut Database,
+    req: &Request,
+    shared: &Shared,
+) -> Result<String, WireError> {
+    match req {
+        Request::Hello => Ok(session.hello_reply()),
+        Request::Ping => Ok(session.ping_reply()),
+        Request::Observe { statements } => session.observe(db, statements),
+        Request::Recommend { budget, algorithm } => {
+            session.recommend_reply(db, *budget, *algorithm)
+        }
+        Request::Stats => Ok(ok_reply(vec![
+            ("session".into(), session.stats_json()),
+            ("server".into(), shared.stats_json()),
+        ])),
+        Request::Journal => Ok(session.journal_reply()),
+        Request::Reset => Ok(session.reset_reply()),
+        // Handled by the connection loop before dispatch.
+        Request::Shutdown => Ok(ok_reply(vec![("stopping".into(), Json::Bool(true))])),
+    }
+}
+
+/// Each session derives its fault injector from the same seed and specs,
+/// so a session's injection sequence depends only on its own operations —
+/// never on how connections interleave.
+fn build_faults(config: &ServerConfig) -> FaultInjector {
+    if config.fault_specs.is_empty() {
+        return FaultInjector::off();
+    }
+    let mut f = FaultInjector::seeded(config.fault_seed);
+    for spec in &config.fault_specs {
+        match f.with_spec(spec) {
+            Ok(armed) => f = armed,
+            Err(_) => return FaultInjector::off(),
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+    use std::net::TcpStream;
+
+    fn tpox_db() -> Database {
+        let mut db = Database::new();
+        xia_workloads::tpox::generate(&mut db, &xia_workloads::tpox::TpoxConfig::tiny());
+        db
+    }
+
+    fn connect(handle: &ServerHandle) -> TcpStream {
+        let addr = handle.tcp_addr().expect("tcp listener");
+        TcpStream::connect(addr).expect("connect")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
+        let mut s = stream.try_clone().expect("clone");
+        write_line(&mut s, line).expect("write");
+        let mut reader = std::io::BufReader::new(stream);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        reply.trim_end().to_string()
+    }
+
+    fn start_tcp(config: ServerConfig) -> ServerHandle {
+        let config = ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            ..config
+        };
+        start(config, tpox_db()).expect("start")
+    }
+
+    #[test]
+    fn ping_hello_shutdown_over_tcp() {
+        let handle = start_tcp(ServerConfig::default());
+        let mut c = connect(&handle);
+        let pong = roundtrip(&mut c, r#"{"verb":"ping"}"#);
+        assert_eq!(pong, r#"{"ok":true,"pong":true}"#);
+        let hello = roundtrip(&mut c, r#"{"verb":"hello"}"#);
+        let v = Json::parse(&hello).expect("hello json");
+        assert_eq!(v.get("server").unwrap().as_str(), Some("xia-server"));
+        let bye = roundtrip(&mut c, r#"{"verb":"shutdown"}"#);
+        assert!(bye.contains("stopping"), "{bye}");
+        handle.join();
+    }
+
+    #[test]
+    fn start_requires_a_listener() {
+        let Err(err) = start(ServerConfig::default(), Database::new()) else {
+            panic!("expected an error without listeners");
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn admission_cap_rejects_with_busy() {
+        let handle = start_tcp(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        });
+        let mut first = connect(&handle);
+        // A round trip guarantees the accept loop admitted this
+        // connection before the second one arrives.
+        let _ = roundtrip(&mut first, r#"{"verb":"ping"}"#);
+        let mut second = connect(&handle);
+        let mut reader = std::io::BufReader::new(&mut second);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("busy reply");
+        let v = Json::parse(reply.trim_end()).expect("busy json");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            v.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("busy")
+        );
+        drop(second);
+        handle.stop();
+    }
+
+    #[test]
+    fn malformed_requests_get_typed_errors_and_keep_the_connection() {
+        let handle = start_tcp(ServerConfig::default());
+        let mut c = connect(&handle);
+        let bad = roundtrip(&mut c, "this is not json");
+        let v = Json::parse(&bad).expect("error json");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_num(),
+            Some(3.0)
+        );
+        // Connection survives: the next request succeeds.
+        let pong = roundtrip(&mut c, r#"{"verb":"ping"}"#);
+        assert!(pong.contains("pong"), "{pong}");
+        handle.stop();
+    }
+
+    #[test]
+    fn oversized_lines_error_and_close() {
+        let handle = start_tcp(ServerConfig::default());
+        let mut c = connect(&handle);
+        let huge = format!(
+            r#"{{"verb":"observe","statements":["{}"]}}"#,
+            "x".repeat(MAX_LINE_BYTES + 16)
+        );
+        let reply = roundtrip(&mut c, &huge);
+        let v = Json::parse(&reply).expect("error json");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert!(v
+            .get("error")
+            .unwrap()
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("exceeds"));
+        // The server closed this connection; the next read is EOF.
+        let mut rest = String::new();
+        let n = std::io::BufReader::new(&mut c)
+            .read_line(&mut rest)
+            .expect("read after close");
+        assert_eq!(n, 0, "connection must be closed, got {rest:?}");
+        handle.stop();
+    }
+
+    #[test]
+    fn observe_and_recommend_stay_warm_across_requests() {
+        let handle = start_tcp(ServerConfig::default());
+        let mut c = connect(&handle);
+        let observe = r#"{"verb":"observe","statements":["collection('SDOC')/Security[Symbol = \"SYM00001\"]"]}"#;
+        let v = Json::parse(&roundtrip(&mut c, observe)).expect("observe json");
+        assert_eq!(v.get("observed").unwrap().as_num(), Some(1.0));
+        let rec_req = r#"{"verb":"recommend","budget":1000000000,"algo":"heuristics"}"#;
+        let r1 = roundtrip(&mut c, rec_req);
+        let r2 = roundtrip(&mut c, rec_req);
+        assert_eq!(r1, r2, "warm repeat must be byte-identical");
+        let v = Json::parse(&r1).expect("recommend json");
+        assert!(v.get("recommendation").is_some());
+        handle.stop();
+    }
+
+    #[test]
+    fn sessions_are_isolated_per_connection() {
+        let handle = start_tcp(ServerConfig::default());
+        let mut a = connect(&handle);
+        let observe =
+            r#"{"verb":"observe","statements":["collection('SDOC')/Security[Yield > 4]"]}"#;
+        let _ = roundtrip(&mut a, observe);
+        let mut b = connect(&handle);
+        let stats = Json::parse(&roundtrip(&mut b, r#"{"verb":"stats"}"#)).expect("stats");
+        assert_eq!(
+            stats
+                .get("session")
+                .unwrap()
+                .get("observed")
+                .unwrap()
+                .as_num(),
+            Some(0.0),
+            "b must not see a's observations"
+        );
+        handle.stop();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        let path =
+            std::env::temp_dir().join(format!("xia-server-test-{}.sock", std::process::id()));
+        let handle = start(
+            ServerConfig {
+                socket: Some(path.clone()),
+                ..ServerConfig::default()
+            },
+            tpox_db(),
+        )
+        .expect("start");
+        let mut stream =
+            std::os::unix::net::UnixStream::connect(&path).expect("connect unix socket");
+        write_line(&mut stream, r#"{"verb":"ping"}"#).expect("write");
+        let mut reply = String::new();
+        std::io::BufReader::new(&stream)
+            .read_line(&mut reply)
+            .expect("read");
+        assert_eq!(reply.trim_end(), r#"{"ok":true,"pong":true}"#);
+        handle.stop();
+        assert!(!path.exists(), "socket file must be cleaned up");
+    }
+}

@@ -156,13 +156,35 @@ impl Database {
     pub fn runstats_all(&mut self) {
         let faults = self.faults.clone();
         for e in &mut self.entries {
-            if faults.roll(FaultSite::StatsUnavailable).is_err() {
-                e.stats = None;
+            // Fresh statistics stay as they are — every mutation path
+            // clears `stats`, so `Some` means nothing changed since the
+            // last RUNSTATS and recomputing would produce the same values.
+            // With an armed injector the roll still happens for every
+            // collection (fresh or not) so fault streams keep their
+            // per-call sequence.
+            if faults.is_armed(FaultSite::StatsUnavailable) {
+                if faults.roll(FaultSite::StatsUnavailable).is_err() {
+                    e.stats = None;
+                    continue;
+                }
+            } else if e.stats.is_some() {
                 continue;
             }
             e.collection.ensure_columns();
             e.stats = Some(runstats(&e.collection));
         }
+    }
+
+    /// Serving-path warm-up: materializes every collection's columnar
+    /// leaf store and statistics up front, so the first request against a
+    /// freshly opened database does not pay the lazy `ensure_columns` /
+    /// RUNSTATS cost inside a connection's critical section. Returns the
+    /// number of collections whose statistics are fresh afterwards (a
+    /// `stats-unavailable` fault leaves that collection cold, exactly as
+    /// [`Database::runstats_all`] would).
+    pub fn prewarm(&mut self) -> usize {
+        self.runstats_all();
+        self.entries.iter().filter(|e| e.stats.is_some()).count()
     }
 
     /// Borrows statistics, computing them if stale. Returns `None` when an
@@ -244,6 +266,21 @@ mod tests {
         assert!(db.stats_cached("C").is_none());
         let n2 = db.stats("C").unwrap().node_count;
         assert_eq!(n2, 4);
+    }
+
+    #[test]
+    fn prewarm_freshens_every_collection() {
+        let mut db = Database::new();
+        db.create_collection("A")
+            .insert_xml("<a><b>1</b></a>")
+            .unwrap();
+        db.create_collection("B")
+            .insert_xml("<x><y>2</y></x>")
+            .unwrap();
+        assert!(db.stats_cached("A").is_none());
+        assert_eq!(db.prewarm(), 2);
+        assert!(db.stats_cached("A").is_some());
+        assert!(db.stats_cached("B").is_some());
     }
 
     #[test]

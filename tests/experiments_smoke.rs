@@ -3,8 +3,8 @@
 
 use xia_advisor::SearchAlgorithm;
 use xia_bench::experiments::{
-    ablation, candidates, cophy_scaling, generality, generalization, scalability, speedup_budget,
-    update_cost, xmark_exp,
+    ablation, candidates, cophy_scaling, generality, generalization, scalability, server_warm,
+    speedup_budget, update_cost, xmark_exp,
 };
 
 #[test]
@@ -337,4 +337,27 @@ fn ablation_beta_zero_blocks_generals() {
     // β = 0 admits a general index only if it is no larger than its
     // specifics combined — rare; β = 1 is permissive.
     assert!(rows[0].general <= rows[1].general);
+}
+
+#[test]
+fn e17_warm_path_is_byte_identical_and_faster() {
+    // Reduced scale: 2 timing rounds, 2 concurrent sessions. The 5x bar
+    // belongs to the release-mode `server_overhead_gate`; a debug smoke
+    // run only asserts correctness plus a sane warm-path advantage.
+    let e = server_warm::run(&xia_workloads::tpox::TpoxConfig::tiny(), 2, 2, 2, None);
+    assert!(e.identical, "warm recommendation diverged from cold");
+    assert!(
+        e.concurrent_identical,
+        "a concurrent session's recommendation diverged from cold"
+    );
+    assert!(e.cold_secs > 0.0 && e.warm_secs > 0.0);
+    assert!(
+        e.speedup > 1.0,
+        "warm repeat recommend slower than a cold run: {:.2}x",
+        e.speedup
+    );
+    assert!(e.throughput_rps > 0.0);
+    let t = server_warm::table(&e);
+    assert!(t.render().contains("warm speedup"));
+    assert_eq!(server_warm::bench_fields(&e).len(), 10);
 }

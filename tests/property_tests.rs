@@ -675,3 +675,131 @@ fn document_write_parse_round_trip() {
         }
     }
 }
+
+/// Incremental-session parity: observing statements one at a time — the
+/// serving path, which extends the prepared candidate set via basic
+/// enumeration of just the new statements plus the semi-naive new×all
+/// generalization fixpoint — must produce the same candidate *content*
+/// (patterns, kinds, origins, DAG edges, affected statements) and an
+/// equivalent recommendation as observing everything up front and
+/// preparing once. Checked clean and under injected optimizer faults, at
+/// jobs 1 and 4. Candidate *ids* are allowed to differ (the two paths
+/// interleave basics and generals differently), so the comparison is
+/// over canonical keys, not insertion order.
+#[test]
+fn incremental_prepare_matches_full_preparation() {
+    use std::collections::BTreeMap;
+    use xia_advisor::{AdvisorParams, CandidateSet, SearchAlgorithm, TuningSession};
+    use xia_fault::FaultInjector;
+    use xia_storage::Database;
+    use xia_workloads::tpox::{self, TpoxConfig};
+
+    type Canon = BTreeMap<String, (String, Vec<usize>, Vec<String>)>;
+    fn canon(set: &CandidateSet) -> Canon {
+        let key = |c: &xia_advisor::candidate::Candidate| {
+            format!("{}|{}|{:?}", c.collection, c.pattern, c.kind)
+        };
+        set.iter()
+            .map(|c| {
+                let mut children: Vec<String> =
+                    c.children.iter().map(|&id| key(set.get(id))).collect();
+                children.sort();
+                let mut affected: Vec<usize> = c.affected.iter().collect();
+                affected.sort_unstable();
+                (key(c), (format!("{:?}", c.origin), affected, children))
+            })
+            .collect()
+    }
+
+    let cfg = TpoxConfig::tiny();
+    let texts = tpox::queries(&cfg);
+    let specs: [Option<&str>; 2] = [None, Some("optimizer-cost:0.2")];
+    for spec in specs {
+        for jobs in [1usize, 4] {
+            let params = || {
+                let faults = match spec {
+                    // Same seed on both sides: prepare consumes no
+                    // optimizer-cost rolls, so the recommend-phase
+                    // streams line up call for call.
+                    Some(s) => FaultInjector::seeded(0x5eed)
+                        .with_spec(s)
+                        .expect("valid spec"),
+                    None => FaultInjector::off(),
+                };
+                AdvisorParams {
+                    faults,
+                    jobs,
+                    ..Default::default()
+                }
+            };
+            let case = format!("spec={spec:?} jobs={jobs}");
+
+            let mut db = Database::new();
+            tpox::generate(&mut db, &cfg);
+            let mut incremental = TuningSession::new();
+            incremental.set_params(params());
+            for t in &texts {
+                incremental.observe(t).expect("TPoX queries parse");
+                // Force a prepare after every observation so each step
+                // exercises the incremental extension.
+                incremental.candidate_count(&mut db);
+            }
+
+            let mut db_full = Database::new();
+            tpox::generate(&mut db_full, &cfg);
+            let mut full = TuningSession::new();
+            full.set_params(params());
+            for t in &texts {
+                full.observe(t).expect("TPoX queries parse");
+            }
+
+            let ci = canon(incremental.candidates(&mut db));
+            let cf = canon(full.candidates(&mut db_full));
+            assert_eq!(ci.len(), cf.len(), "{case}: candidate counts diverge");
+            for (k, v) in &cf {
+                assert_eq!(
+                    ci.get(k),
+                    Some(v),
+                    "{case}: candidate {k} diverges between incremental and full preparation"
+                );
+            }
+
+            let ri = incremental
+                .recommend(&mut db, u64::MAX / 2, SearchAlgorithm::GreedyHeuristics)
+                .expect("incremental recommend");
+            let rf = full
+                .recommend(
+                    &mut db_full,
+                    u64::MAX / 2,
+                    SearchAlgorithm::GreedyHeuristics,
+                )
+                .expect("full recommend");
+            let pick = |r: &xia_advisor::Recommendation| {
+                let mut v: Vec<String> = r
+                    .indexes
+                    .iter()
+                    .map(|ix| format!("{}|{}|{:?}", ix.collection, ix.pattern, ix.kind))
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(
+                pick(&ri),
+                pick(&rf),
+                "{case}: chosen configurations diverge"
+            );
+            let rel = (ri.est_benefit - rf.est_benefit).abs() / rf.est_benefit.abs().max(1.0);
+            assert!(
+                rel < 1e-9,
+                "{case}: benefits diverge: {} vs {}",
+                ri.est_benefit,
+                rf.est_benefit
+            );
+            assert_eq!(
+                ri.quarantined.len(),
+                rf.quarantined.len(),
+                "{case}: quarantine diverges"
+            );
+        }
+    }
+}
